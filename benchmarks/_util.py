@@ -1,0 +1,27 @@
+"""Shared helpers for the benchmark harness.
+
+Every bench regenerates one experiment from DESIGN.md's per-experiment
+index.  The *simulated* results (the numbers that correspond to what the
+paper shows) are printed as tables; pytest-benchmark additionally measures
+the wall-clock cost of simulating a representative kernel so regressions
+in the simulator itself are visible.
+
+Run:  pytest benchmarks/ --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+from repro.common.tables import format_table
+
+
+def run(cluster, gen):
+    """Run a process generator to completion on a cluster."""
+    return cluster.run(cluster.engine.process(gen))
+
+
+def show(capsys, title: str, headers, rows) -> None:
+    """Print a result table past pytest's capture."""
+    with capsys.disabled():
+        print()
+        print(format_table(headers, rows, title=title))
+        print()

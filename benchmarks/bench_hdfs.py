@@ -1,0 +1,170 @@
+"""E06 (Figure 11): HDFS behaviour -- throughput, replication, recovery.
+
+Measures write/read throughput as the cluster grows, the cost of the
+replication factor (ablation), read locality, and the time from DataNode
+failure to full re-replication -- the fault-tolerance property the paper
+relies on for video storage.
+"""
+
+import pytest
+
+from repro.common.units import MB, MiB
+from repro.hardware import Cluster
+from repro.hdfs import Hdfs
+
+from _util import run, show
+
+FILE = 256 * MiB
+
+
+def write_read_time(n_datanodes, replication, *, n_files=4, spread_clients=True):
+    """Concurrent writes+reads of n_files x 256 MiB; clients optionally
+    spread over the DataNodes (aggregate bandwidth) or all on node1
+    (single-NIC bound)."""
+    cluster = Cluster(n_datanodes + 1)
+    fs = Hdfs(cluster, replication=replication, block_size=64 * MiB)
+    dns = sorted(fs.datanodes)
+
+    def client_for(i):
+        return fs.client(dns[i % len(dns)] if spread_clients else "node1")
+
+    t0 = cluster.now
+    procs = [
+        cluster.engine.process(client_for(i).write_synthetic(f"/v/{i}", FILE))
+        for i in range(n_files)
+    ]
+    cluster.run(cluster.engine.all_of(procs))
+    write_t = cluster.now - t0
+    t0 = cluster.now
+    procs = [
+        cluster.engine.process(client_for(i + 1).read_file(f"/v/{i}"))
+        for i in range(n_files)
+    ]
+    cluster.run(cluster.engine.all_of(procs))
+    read_t = cluster.now - t0
+    return write_t, read_t
+
+
+def test_e06_throughput_vs_cluster_size(benchmark, capsys):
+    rows = []
+    times = {}
+    n_files = 8
+    for n in (2, 4, 8):
+        wt, rt = write_read_time(n, replication=2, n_files=n_files)
+        times[n] = (wt, rt)
+        rows.append([
+            n, f"{wt:.1f}", f"{n_files * FILE / wt / MB:.0f}",
+            f"{rt:.1f}", f"{n_files * FILE / rt / MB:.0f}",
+        ])
+    show(capsys,
+         "E06: 8x256 MiB concurrent writes+reads, clients on DataNodes (repl 2)",
+         ["datanodes", "write s", "agg write MB/s", "read s",
+          "agg read MB/s"], rows)
+    # aggregate bandwidth grows with the cluster
+    assert times[8][0] < times[2][0]
+    assert times[8][1] < times[2][1]
+    benchmark.pedantic(write_read_time, args=(4, 2),
+                       kwargs={"n_files": 1}, rounds=3, iterations=1)
+
+
+def test_e06_replication_factor_ablation(benchmark, capsys):
+    rows = []
+    prev = 0.0
+    for repl in (1, 2, 3):
+        wt, _ = write_read_time(6, replication=repl)
+        rows.append([repl, f"{wt:.1f}", f"{4 * FILE * repl / MiB:.0f}"])
+        assert wt >= prev * 0.95  # more replicas never meaningfully faster
+        prev = wt
+    show(capsys, "E06b: replication-factor ablation (6 DataNodes)",
+         ["replication", "write s", "MiB stored"], rows)
+    benchmark.pedantic(write_read_time, args=(6, 3),
+                       kwargs={"n_files": 1}, rounds=3, iterations=1)
+
+
+def recovery_time():
+    cluster = Cluster(7)
+    fs = Hdfs(cluster, replication=3, block_size=32 * MiB)
+    writer = fs.client("node1")
+    run(cluster, writer.write_synthetic("/v/movie", 128 * MiB))
+    fs.start()
+    inode = fs.namenode.get_file("/v/movie")
+    victim = sorted(fs.namenode.locations(inode.blocks[0].block_id))[0]
+    t_kill = cluster.now
+    fs.kill_datanode(victim)
+    # run until every block is back at full replication (or give up)
+    deadline = t_kill + cluster.cal.hadoop.datanode_timeout + 300
+    while cluster.now < deadline:
+        cluster.run(until=cluster.now + 5)
+        detected = victim in fs.namenode.dead_datanodes
+        if detected and all(len(fs.namenode.locations(b.block_id)) >= 3
+                            for b in inode.blocks):
+            break
+    t_recovered = cluster.now
+    fs.stop()
+    healed = all(len(fs.namenode.locations(b.block_id)) >= 3
+                 for b in inode.blocks)
+    return healed, t_recovered - t_kill, fs.namenode.rereplications_done
+
+
+def test_e06_failure_recovery(benchmark, capsys):
+    healed, dt, copies = recovery_time()
+    show(capsys, "E06c: DataNode failure -> re-replication (128 MiB, repl 3)",
+         ["healed", "detection+recovery s", "blocks re-replicated"],
+         [[("yes" if healed else "NO"), f"{dt:.1f}", copies]])
+    assert healed
+    assert copies >= 4  # 128 MiB / 32 MiB blocks
+    benchmark.pedantic(recovery_time, rounds=2, iterations=1)
+
+
+def test_e06_read_locality(benchmark, capsys):
+    def read_time(reader):
+        cluster = Cluster(6)
+        fs = Hdfs(cluster, replication=1, block_size=64 * MiB)
+        run(cluster, fs.client("node1").write_synthetic("/f", FILE))
+        t0 = cluster.now
+        run(cluster, fs.client(reader).read_file("/f"))
+        return cluster.now - t0
+
+    local = read_time("node1")
+    remote = read_time("node5")
+    show(capsys, "E06d: read locality (256 MiB, single replica on node1)",
+         ["reader", "read s"],
+         [["node1 (local)", f"{local:.1f}"], ["node5 (remote)", f"{remote:.1f}"]])
+    assert local < remote
+    benchmark.pedantic(read_time, args=("node1",), rounds=3, iterations=1)
+
+
+def test_e06_balancer_and_decommission(benchmark, capsys):
+    """Day-2 operations: rebalance skew, then drain a node with no loss."""
+    from repro.common.units import GiB
+    from repro.hdfs import balancer, decommission, fsck, utilisations
+
+    cluster = Cluster(7)
+    fs = Hdfs(cluster, replication=1, block_size=16 * MiB)
+    for i in range(10):
+        run(cluster, fs.client("node1").write_synthetic(f"/v/{i}", 32 * MiB))
+    cap = 2 * GiB
+    before = utilisations(fs, cap)
+    report = run(cluster, balancer(fs, capacity=cap, threshold=0.02))
+    after = report.utilisations_after
+    spread_before = max(before.values()) - min(before.values())
+    spread_after = max(after.values()) - min(after.values())
+    moved = run(cluster, decommission(fs, "node2"))
+    health = fsck(fs)
+    show(capsys, "E06e: balancer + decommission (10x32 MiB, repl 1)",
+         ["metric", "value"],
+         [["utilisation spread before", f"{spread_before * 100:.1f}%"],
+          ["utilisation spread after", f"{spread_after * 100:.1f}%"],
+          ["balancer moves", report.moves],
+          ["decommission blocks moved", moved],
+          ["post-ops fsck", health.summary().split(" -- ")[-1]]])
+    assert spread_after < spread_before
+    assert health.healthy
+
+    def kernel():
+        c = Cluster(5)
+        f = Hdfs(c, replication=1, block_size=16 * MiB)
+        run(c, f.client("node1").write_synthetic("/x", 32 * MiB))
+        run(c, balancer(f, capacity=2 * GiB, threshold=0.02))
+
+    benchmark.pedantic(kernel, rounds=2, iterations=1)

@@ -1,0 +1,101 @@
+"""E07 (Figure 12): MapReduce scaling, locality, combiner ablation.
+
+Word-count over a real text corpus stored in HDFS: job duration vs the
+number of TaskTrackers, the data-locality rate the JobTracker achieves,
+and the shuffle-volume effect of the combiner.
+"""
+
+import pytest
+
+from repro.common.units import KiB, MiB
+from repro.hardware import Cluster
+from repro.hdfs import Hdfs
+from repro.mapreduce import JobTracker, word_count_job
+
+from _util import run, show
+
+PARAGRAPH = (
+    "cloud services have been regarded as the significant trend of technical "
+    "industries and applications after web services the framework of cloud "
+    "services contains the infrastructure os virtual machines platform cloud "
+    "web application services and cloud devices video websites become popular\n"
+)
+
+
+def make_corpus(n_paragraphs):
+    return (PARAGRAPH * n_paragraphs).encode("utf-8")
+
+
+def run_wordcount(n_trackers, *, corpus_kib=512, use_combiner=True,
+                  block_size=64 * KiB, num_reduces=2):
+    cluster = Cluster(max(n_trackers + 1, 4))
+    fs = Hdfs(cluster, replication=2, block_size=block_size)
+    data = make_corpus(corpus_kib * 1024 // len(PARAGRAPH) + 1)
+    run(cluster, fs.client("node1").write_file("/in", data))
+    hosts = sorted(fs.datanodes)[:n_trackers]
+    jt = JobTracker(fs, hosts)
+    job = word_count_job(["/in"], num_reduces=num_reduces,
+                         use_combiner=use_combiner)
+    return run(cluster, jt.submit(job))
+
+
+def test_e07_scaling_with_trackers(benchmark, capsys):
+    rows = []
+    durations = {}
+    base = None
+    for n in (1, 2, 4, 8):
+        result = run_wordcount(n, corpus_kib=1024)
+        durations[n] = result.duration
+        base = base or result.duration
+        rows.append([
+            n, result.counters.map_tasks,
+            f"{result.duration:.1f}",
+            f"{base / result.duration:.2f}x",
+            f"{result.counters.locality_rate * 100:.0f}%",
+        ])
+    show(capsys, "E07: word count over 1 MiB real text vs TaskTrackers",
+         ["trackers", "maps", "duration s", "speedup", "locality"], rows)
+    assert durations[8] < durations[1]
+    benchmark.pedantic(run_wordcount, args=(2,),
+                       kwargs={"corpus_kib": 64}, rounds=3, iterations=1)
+
+
+def test_e07_combiner_ablation(benchmark, capsys):
+    with_c = run_wordcount(4, use_combiner=True)
+    without = run_wordcount(4, use_combiner=False)
+    show(capsys, "E07b: combiner ablation (512 KiB corpus, 4 trackers)",
+         ["combiner", "shuffle bytes", "duration s"],
+         [["on", with_c.counters.shuffle_bytes, f"{with_c.duration:.1f}"],
+          ["off", without.counters.shuffle_bytes, f"{without.duration:.1f}"]])
+    assert with_c.counters.shuffle_bytes < without.counters.shuffle_bytes
+    assert with_c.output == without.output
+    benchmark.pedantic(run_wordcount, args=(2,),
+                       kwargs={"corpus_kib": 64, "use_combiner": False},
+                       rounds=3, iterations=1)
+
+
+def test_e07_locality_rate_high(benchmark, capsys):
+    result = run_wordcount(6, corpus_kib=1024, block_size=32 * KiB)
+    show(capsys, "E07c: data locality with co-located trackers/DataNodes",
+         ["maps", "data-local maps", "rate"],
+         [[result.counters.map_tasks, result.counters.data_local_maps,
+           f"{result.counters.locality_rate * 100:.0f}%"]])
+    assert result.counters.locality_rate >= 0.5
+    benchmark.pedantic(run_wordcount, args=(4,),
+                       kwargs={"corpus_kib": 128}, rounds=3, iterations=1)
+
+
+def test_e07_reduce_fanout(benchmark, capsys):
+    rows = []
+    outputs = []
+    for r in (1, 2, 4):
+        result = run_wordcount(4, num_reduces=r)
+        outputs.append(result.output)
+        rows.append([r, f"{result.duration:.1f}",
+                     result.counters.reduce_tasks])
+    show(capsys, "E07d: reducer fan-out (correctness invariant under R)",
+         ["reducers", "duration s", "reduce tasks"], rows)
+    assert outputs[0] == outputs[1] == outputs[2]
+    benchmark.pedantic(run_wordcount, args=(4,),
+                       kwargs={"corpus_kib": 64, "num_reduces": 4},
+                       rounds=3, iterations=1)

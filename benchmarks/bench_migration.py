@@ -1,0 +1,132 @@
+"""E05 (Figures 8-10): live migration -- pre-copy vs post-copy.
+
+Sweeps the guest dirty rate and reports total time, downtime, rounds and
+bytes moved for both algorithms; ablates the pre-copy round cap.  Expected
+shape (Clark'05 / Hines'09, both cited by the paper): pre-copy downtime
+grows with dirty rate and diverges past link bandwidth; post-copy downtime
+is small and constant but trades a post-resume degradation window.
+"""
+
+import pytest
+
+from repro.common.calibration import Calibration, MigrationModel
+from repro.common.units import GiB, MiB
+from repro.hardware import Cluster
+from repro.one import OpenNebula, VmTemplate
+from repro.virt import DiskImage
+
+from _util import run, show
+
+
+def migrate_once(dirty_rate, kind, *, memory=1 * GiB, cal=None):
+    cluster = Cluster(4, cal=cal)
+    cloud = OpenNebula(cluster)
+    for name in cluster.host_names[1:]:
+        cloud.add_host(name)
+    cloud.register_image(DiskImage("img", size=1 * GiB))
+    vm = cloud.instantiate(VmTemplate(
+        name="guest", vcpus=1, memory=memory, image="img",
+        dirty_rate=dirty_rate))
+    cluster.run()
+    dst = next(n for n in cluster.host_names[1:] if n != vm.host_name)
+    return run(cluster, cloud.live_migrate(vm, dst, kind))
+
+
+def test_e05_dirty_rate_sweep(benchmark, capsys):
+    rows = []
+    results = {}
+    for rate_mib in (0, 10, 50, 100, 200, 400):
+        for kind in ("precopy", "postcopy"):
+            r = migrate_once(rate_mib * MiB, kind)
+            results[(rate_mib, kind)] = r
+            rows.append([
+                rate_mib, kind, f"{r.total_time:.2f}",
+                f"{r.downtime * 1000:.1f}", r.rounds,
+                "yes" if r.converged else "NO",
+                f"{r.bytes_transferred / MiB:.0f}",
+                f"{r.degradation_time:.2f}" if kind == "postcopy" else "-",
+            ])
+    show(capsys, "E05: live migration of a 1 GiB VM (Figures 8-10)",
+         ["dirty MiB/s", "algo", "total s", "downtime ms", "rounds",
+          "converged", "MiB moved", "degraded s"], rows)
+
+    # shape assertions
+    assert results[(0, "precopy")].downtime < results[(100, "precopy")].downtime
+    assert not results[(400, "precopy")].converged
+    post_downtimes = [results[(r, "postcopy")].downtime for r in (0, 100, 400)]
+    assert max(post_downtimes) - min(post_downtimes) < 0.01
+    assert (results[(400, "postcopy")].downtime
+            < results[(400, "precopy")].downtime)
+
+    benchmark.pedantic(migrate_once, args=(50 * MiB, "precopy"),
+                       rounds=3, iterations=1)
+
+
+def test_e05_memory_size_scaling(benchmark, capsys):
+    rows = []
+    prev_total = 0.0
+    for mem_gib in (1, 2, 4):
+        r = migrate_once(20 * MiB, "precopy", memory=mem_gib * GiB)
+        rows.append([mem_gib, f"{r.total_time:.2f}", f"{r.downtime * 1000:.1f}"])
+        assert r.total_time > prev_total
+        prev_total = r.total_time
+    show(capsys, "E05b: pre-copy total time vs guest RAM (20 MiB/s dirty)",
+         ["RAM GiB", "total s", "downtime ms"], rows)
+    benchmark.pedantic(migrate_once, args=(20 * MiB, "postcopy"),
+                       rounds=3, iterations=1)
+
+
+def test_e05_round_cap_ablation(benchmark, capsys):
+    """Fewer allowed pre-copy rounds: shorter total, longer stop-and-copy."""
+    rows = []
+    downtimes = []
+    for cap in (2, 5, 30):
+        cal = Calibration(migration=MigrationModel(max_precopy_rounds=cap))
+        r = migrate_once(150 * MiB, "precopy", cal=cal)
+        rows.append([cap, r.rounds, f"{r.total_time:.2f}",
+                     f"{r.downtime * 1000:.1f}"])
+        downtimes.append(r.downtime)
+    show(capsys, "E05c: pre-copy round-cap ablation (150 MiB/s dirty guest)",
+         ["round cap", "rounds used", "total s", "downtime ms"], rows)
+    assert downtimes[0] >= downtimes[-1]
+    benchmark.pedantic(
+        migrate_once, args=(150 * MiB, "precopy"),
+        kwargs={"cal": Calibration(migration=MigrationModel(max_precopy_rounds=3))},
+        rounds=3, iterations=1)
+
+
+def test_e05_cold_vs_live(benchmark, capsys):
+    """Why Figures 8-10 matter: cold migration's downtime is the whole move."""
+    from repro.hardware import Cluster
+    from repro.one import OpenNebula, VmTemplate
+    from repro.virt import DiskImage
+
+    def migrate(kind):
+        cluster = Cluster(4)
+        cloud = OpenNebula(cluster)
+        for name in cluster.host_names[1:]:
+            cloud.add_host(name)
+        cloud.register_image(DiskImage("img", size=1 * GiB))
+        vm = cloud.instantiate(VmTemplate(
+            name="t", vcpus=1, memory=1 * GiB, image="img",
+            dirty_rate=20 * MiB))
+        cluster.run()
+        dst = next(n for n in cluster.host_names[1:] if n != vm.host_name)
+        if kind == "cold":
+            return run(cluster, cloud.cold_migrate(vm, dst))
+        return run(cluster, cloud.live_migrate(vm, dst, kind))
+
+    rows = []
+    results = {}
+    for kind in ("cold", "precopy", "postcopy"):
+        r = migrate(kind)
+        results[kind] = r
+        rows.append([kind, f"{r.total_time:.2f}",
+                     f"{r.downtime * 1000:.0f}",
+                     f"{r.bytes_transferred / MiB:.0f}"])
+    show(capsys, "E05d: cold vs live migration (1 GiB guest, 20 MiB/s dirty)",
+         ["method", "total s", "downtime ms", "MiB moved"],
+         rows)
+    assert results["cold"].downtime == results["cold"].total_time
+    assert results["precopy"].downtime < results["cold"].downtime / 10
+    benchmark.pedantic(migrate, args=("cold",), rounds=2, iterations=1)

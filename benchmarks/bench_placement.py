@@ -1,0 +1,81 @@
+"""E14 (Section II.D, Figure 5): capacity-manager placement policies.
+
+Submits a burst of VMs to a heterogeneous host pool under each policy and
+reports hosts used, balance, and the paper's "economize power" metric
+(hosts that could be powered down).
+"""
+
+import pytest
+
+from repro.common.units import GiB, MiB
+from repro.hardware import Cluster
+from repro.one import OneState, OpenNebula, VmTemplate, rank_free_memory
+from repro.virt import DiskImage
+
+from _util import show
+
+
+def place_burst(policy, n_vms=8, *, rank=None):
+    cluster = Cluster(6)
+    # heterogeneous pool: node5 is a big box
+    cluster.add_host("big", cores=16, memory=32 * GiB)
+    cloud = OpenNebula(cluster, placement_policy=policy)
+    for name in cluster.host_names[1:]:
+        cloud.add_host(name)
+    cloud.register_image(DiskImage("img", size=1 * GiB))
+    tpl = VmTemplate(name="vm", vcpus=1, memory=1 * GiB, image="img", rank=rank)
+    vms = [cloud.instantiate(tpl) for _ in range(n_vms)]
+    cluster.run()
+    assert all(vm.state is OneState.RUNNING for vm in vms)
+    hosts = [vm.host_name for vm in vms]
+    counts = {h: hosts.count(h) for h in set(hosts)}
+    return cluster, counts
+
+
+def test_e14_policy_comparison(benchmark, capsys):
+    rows = []
+    results = {}
+    for policy in ("packing", "striping", "load_aware"):
+        _, counts = place_burst(policy)
+        results[policy] = counts
+        idle_hosts = 5 + 1 - len(counts)  # compute hosts without guests
+        rows.append([
+            policy, len(counts), max(counts.values()), min(counts.values()),
+            idle_hosts,
+        ])
+    show(capsys, "E14: 8 VMs onto a heterogeneous pool (5 small + 1 big host)",
+         ["policy", "hosts used", "max/host", "min/host", "idle hosts"], rows)
+    # packing consolidates (frees hosts for power-down); striping spreads
+    assert len(results["packing"]) < len(results["striping"])
+    assert max(results["striping"].values()) <= max(results["packing"].values())
+    benchmark.pedantic(place_burst, args=("striping",), rounds=3, iterations=1)
+
+
+def test_e14_rank_expression_targets_big_host(benchmark, capsys):
+    _, counts = place_burst("striping", n_vms=6, rank=rank_free_memory)
+    show(capsys, "E14b: template RANK=FREEMEMORY draws VMs to the big box",
+         ["host", "VMs"], sorted(counts.items()))
+    # the 32 GiB host keeps the most free memory, so it attracts the burst
+    assert counts.get("big", 0) >= 4
+    benchmark.pedantic(place_burst, args=("packing",), rounds=3, iterations=1)
+
+
+def test_e14_pending_backlog_drains_when_capacity_frees(benchmark, capsys):
+    cluster = Cluster(2)
+    cloud = OpenNebula(cluster)
+    cloud.add_host("node1")
+    cloud.register_image(DiskImage("img", size=1 * GiB))
+    host_mem = cluster.host("node1").memory
+    big = VmTemplate(name="big", vcpus=1, memory=int(host_mem * 0.6), image="img")
+    first = cloud.instantiate(big)
+    second = cloud.instantiate(big)  # cannot fit while first runs
+    cluster.run(until=60)
+    assert first.state is OneState.RUNNING
+    assert second.state is OneState.PENDING
+    cluster.engine.process(cloud.shutdown_vm(first))
+    cluster.run(until=cluster.now + 120)
+    assert second.state is OneState.RUNNING
+    show(capsys, "E14c: backlog drains after capacity frees",
+         ["vm", "state"],
+         [[first.name, first.state.value], [second.name, second.state.value]])
+    benchmark.pedantic(place_burst, args=("load_aware", 4), rounds=3, iterations=1)

@@ -1,0 +1,79 @@
+"""E03 quantified (Figures 13-14): the portal under realistic load.
+
+A day-in-the-life run: seed a Zipf-popularity catalog, replay a mixed
+browse/search/watch/comment workload from many clients, and report
+per-action latency percentiles and error rates -- the serving-side
+numbers behind "ordinary users can watch and search videos".
+"""
+
+import pytest
+
+from repro.bench import PortalDriver, TrafficModel, VideoCatalog
+from repro.common.units import MiB
+from repro.hardware import Cluster
+from repro.hdfs import Hdfs
+from repro.web import VideoPortal
+
+from _util import run, show
+
+
+def build_loaded_portal(n_videos=6, n_clients=4):
+    cluster = Cluster(8 + n_clients)
+    server_hosts = cluster.host_names[:8]
+    client_hosts = cluster.host_names[8:]
+    fs = Hdfs(cluster, namenode_host="node0",
+              datanode_hosts=server_hosts[1:], block_size=16 * MiB,
+              replication=2)
+    portal = VideoPortal(cluster, fs, web_host="node1",
+                         transcode_workers=server_hosts[2:])
+    driver = PortalDriver(portal)
+    run(cluster, driver.seed(VideoCatalog(n_videos, seed=2, mean_duration=60)))
+    return cluster, portal, driver, client_hosts
+
+
+def test_e03_mixed_workload_latencies(benchmark, capsys):
+    cluster, portal, driver, clients = build_loaded_portal()
+    events = TrafficModel(rate_per_s=2.0, seed=9).events(120, 6)
+    report = run(cluster, driver.replay(events, clients))
+
+    rows = []
+    for action in ("browse", "search", "watch", "comment"):
+        s = report.stat(action)
+        rows.append([
+            action, s.count, f"{s.mean * 1000:.1f}",
+            f"{s.percentile(50) * 1000:.1f}",
+            f"{s.percentile(95) * 1000:.1f}",
+        ])
+    show(capsys, "E03: 120 mixed requests against the portal",
+         ["action", "count", "mean ms", "p50 ms", "p95 ms"], rows)
+    assert report.errors == 0
+    assert report.events == 120
+    # watch includes actual streaming, so it dwarfs page serves
+    assert report.stat("watch").mean > report.stat("browse").mean
+    # page serves stay interactive
+    assert report.stat("browse").percentile(95) < 0.5
+
+    def kernel():
+        c, p, d, cl = build_loaded_portal(n_videos=2, n_clients=1)
+        ev = TrafficModel(rate_per_s=5.0, seed=1).events(10, 2)
+        run(c, d.replay(ev, cl))
+
+    benchmark.pedantic(kernel, rounds=2, iterations=1)
+
+
+def test_e03_popularity_skew_hits_popular_videos(benchmark, capsys):
+    cluster, portal, driver, clients = build_loaded_portal()
+    events = TrafficModel(rate_per_s=4.0, seed=4).events(200, 6)
+    run(cluster, driver.replay(events, clients))
+    views = {
+        row["id"]: row["views"]
+        for row in portal.db.table("videos").select({"status": "published"})
+    }
+    ranked = [views[vid] for vid in driver.video_ids]
+    rows = [[rank, driver.video_ids[rank], v] for rank, v in enumerate(ranked)]
+    show(capsys, "E03b: Zipf popularity -> view counts by rank",
+         ["popularity rank", "video id", "views"], rows)
+    # most popular video gets more views than the tail
+    assert ranked[0] >= max(ranked[3:] or [0])
+    benchmark.pedantic(
+        lambda: TrafficModel(seed=4).events(500, 6), rounds=3, iterations=1)

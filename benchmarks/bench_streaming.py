@@ -1,0 +1,180 @@
+"""E12 (Figure 23): streaming playback quality.
+
+Measures startup delay, seek latency and rebuffering for the portal's
+H.264 720p format as client bandwidth varies, and the effect of many
+concurrent viewers sharing the server's uplink.
+"""
+
+import pytest
+
+from repro.common.units import Mbps
+from repro.hardware import Cluster
+from repro.video import PlaybackSession, R_720P, StreamingServer, VideoFile
+
+from _util import run, show
+
+
+def movie(bitrate=4 * Mbps, duration=120.0):
+    return VideoFile(
+        name="movie.flv", container="flv", vcodec="h264", acodec="aac",
+        duration=duration, resolution=R_720P, fps=25.0, bitrate=bitrate,
+    )
+
+
+def play(client_nic_mbps, *, plan=None, duration=60.0):
+    cluster = Cluster(1)
+    cluster.add_host("client", nic_rate=client_nic_mbps * Mbps)
+    server = StreamingServer(cluster, "node0")
+    session = PlaybackSession(server, "client", movie(duration=duration),
+                              watch_plan=plan)
+    return run(cluster, session.run())
+
+
+def test_e12_bandwidth_sweep(benchmark, capsys):
+    rows = []
+    reports = {}
+    for nic in (64, 16, 8, 4):
+        r = play(nic)
+        reports[nic] = r
+        rows.append([
+            nic, f"{r.startup_delay * 1000:.0f}",
+            r.rebuffer_count, f"{r.rebuffer_time:.1f}",
+            "yes" if r.smooth else "NO",
+        ])
+    show(capsys, "E12: 4 Mb/s 720p stream vs client bandwidth",
+         ["client Mb/s", "startup ms", "rebuffers", "stall s", "smooth"], rows)
+    assert reports[64].smooth
+    assert reports[4].rebuffer_count > 0  # below the ~4.2 Mb/s media rate
+    assert reports[64].startup_delay < reports[8].startup_delay
+    benchmark.pedantic(play, args=(16,), kwargs={"duration": 20.0},
+                       rounds=3, iterations=1)
+
+
+def test_e12_seek_latency(benchmark, capsys):
+    """Figure 23: the draggable time bar issues ranged requests."""
+    r = play(16, plan=[(0.0, 10.0), (60.0, 10.0), (110.0, 10.0)],
+             duration=120.0)
+    rows = [[i + 1, f"{lat * 1000:.0f}"] for i, lat in enumerate(r.seek_latencies)]
+    show(capsys, "E12b: seek latencies (16 Mb/s client)",
+         ["seek #", "latency ms"], rows)
+    assert len(r.seek_latencies) == 2
+    assert all(lat < 5.0 for lat in r.seek_latencies)
+    benchmark.pedantic(play, args=(16,),
+                       kwargs={"plan": [(0.0, 5.0), (60.0, 5.0)],
+                               "duration": 120.0},
+                       rounds=3, iterations=1)
+
+
+def concurrent_viewers(n_viewers):
+    cluster = Cluster(1)
+    for i in range(n_viewers):
+        cluster.add_host(f"client{i}", nic_rate=16 * Mbps)
+    server = StreamingServer(cluster, "node0")
+    vid = movie(duration=60.0)
+    procs = [
+        cluster.engine.process(
+            PlaybackSession(server, f"client{i}", vid).run())
+        for i in range(n_viewers)
+    ]
+    done = cluster.engine.run(cluster.engine.all_of(procs))
+    return [done[p] for p in procs]
+
+
+def test_e12_concurrent_viewers_share_uplink(benchmark, capsys):
+    rows = []
+    stats = {}
+    for n in (4, 64, 256):
+        reports = concurrent_viewers(n)
+        stalled = sum(1 for r in reports if not r.smooth)
+        mean_startup = sum(r.startup_delay for r in reports) / n
+        stats[n] = stalled
+        rows.append([n, f"{mean_startup * 1000:.0f}", stalled])
+    show(capsys, "E12c: concurrent viewers on one 1 Gb/s server (4 Mb/s media)",
+         ["viewers", "mean startup ms", "viewers with stalls"], rows)
+    # 1 Gb/s / 4.2 Mb/s media rate ~ 230 viewers: 256 must congest, 4 must not
+    assert stats[4] == 0
+    assert stats[256] > 0
+    benchmark.pedantic(concurrent_viewers, args=(8,), rounds=2, iterations=1)
+
+
+def test_e12_replica_streaming_scales_service_capacity(benchmark, capsys):
+    """Serving from HDFS replicas multiplies streamable concurrency."""
+    from repro.common.units import MiB
+    from repro.hdfs import Hdfs
+    from repro.video import ReplicaStreamer
+
+    def stalls(use_replicas, n_viewers=96):
+        cluster = Cluster(6)
+        for i in range(n_viewers):
+            cluster.add_host(f"client{i}", nic_rate=16 * Mbps)
+        fs = Hdfs(cluster, replication=3, block_size=64 * MiB)
+        vid = movie(duration=30.0)
+        cluster.run(cluster.engine.process(
+            fs.client("node1").write_synthetic("/pub/m.flv", vid.size)))
+        rs = ReplicaStreamer(fs, "/pub/m.flv")
+        if use_replicas:
+            procs = [
+                cluster.engine.process(rs.open_session(f"client{i}", vid))
+                for i in range(n_viewers)
+            ]
+            done = cluster.engine.run(cluster.engine.all_of(procs))
+            reports = [done[p][1] for p in procs]
+        else:
+            server = StreamingServer(cluster, rs.replica_holders()[0])
+            procs = [
+                cluster.engine.process(
+                    PlaybackSession(server, f"client{i}", vid).run())
+                for i in range(n_viewers)
+            ]
+            done = cluster.engine.run(cluster.engine.all_of(procs))
+            reports = [done[p] for p in procs]
+        return sum(1 for r in reports if not r.smooth)
+
+    single = stalls(False)
+    replicas = stalls(True)
+    show(capsys, "E12d: 96 viewers of a 4 Mb/s stream (repl 3)",
+         ["serving mode", "viewers with stalls"],
+         [["single server", single], ["3 HDFS replicas", replicas]])
+    assert replicas <= single
+
+    benchmark.pedantic(stalls, args=(True, 8), rounds=2, iterations=1)
+
+
+def test_e12_adaptive_bitrate_selection(benchmark, capsys):
+    """Startup ABR over the rendition ladder keeps slow clients smooth."""
+    from repro.video import R_360P, R_480P, adaptive_play
+
+    def rung(res, rate, duration=30.0):
+        return VideoFile(
+            name=f"m-{res.height}p.flv", container="flv", vcodec="h264",
+            acodec="aac", duration=duration, resolution=res, fps=25.0,
+            bitrate=rate, content_id="m",
+        )
+
+    ladder = {
+        "720p": rung(R_720P, 4 * Mbps),
+        "480p": rung(R_480P, 2 * Mbps),
+        "360p": rung(R_360P, 1 * Mbps),
+    }
+
+    def play_abr(client_mbps):
+        cluster = Cluster(1)
+        cluster.add_host("client", nic_rate=client_mbps * Mbps)
+        server = StreamingServer(cluster, "node0")
+        return cluster.run(cluster.engine.process(
+            adaptive_play(server, "client", ladder)))
+
+    rows = []
+    results = {}
+    for mbps in (16, 6, 4, 2):
+        quality, report = play_abr(mbps)
+        results[mbps] = (quality, report)
+        rows.append([mbps, quality,
+                     "yes" if report.smooth else "NO",
+                     f"{report.startup_delay * 1000:.0f}"])
+    show(capsys, "E12e: startup ABR over the 720/480/360p ladder",
+         ["client Mb/s", "chosen", "smooth", "startup ms"], rows)
+    assert results[16][0] == "720p"
+    assert results[2][0] == "360p"
+    assert all(r.smooth for _, r in results.values())
+    benchmark.pedantic(play_abr, args=(6,), rounds=3, iterations=1)

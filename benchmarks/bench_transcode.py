@@ -1,0 +1,107 @@
+"""E08 (Figure 16, claim C1): parallel video conversion.
+
+The headline experiment: converting an uploaded 720p video on one node vs
+splitting it at keyframes and converting segments in parallel.  Reports
+the speedup curve over workers, the stage breakdown, the clip-length
+sensitivity (overhead regime), and the segments-per-worker ablation.
+"""
+
+import pytest
+
+from repro.common.units import Mbps
+from repro.hardware import Cluster
+from repro.video import DistributedTranscoder, R_480P, R_720P, VideoFile
+
+from _util import run, show
+
+
+def clip(duration, name="upload.avi"):
+    return VideoFile(
+        name=name, container="avi", vcodec="mpeg4", acodec="mp3",
+        duration=duration, resolution=R_720P, fps=25.0, bitrate=4 * Mbps,
+    )
+
+
+def convert(duration, n_workers, *, distributed=True, n_segments=None,
+            resolution=None):
+    cluster = Cluster(n_workers + 1)
+    tx = DistributedTranscoder(cluster, cluster.host_names[1:],
+                               ingest_host="node0")
+    if distributed:
+        gen = tx.convert_distributed(
+            clip(duration), vcodec="h264", container="flv",
+            n_segments=n_segments, resolution=resolution)
+    else:
+        gen = tx.convert_single_node(
+            clip(duration), vcodec="h264", container="flv",
+            resolution=resolution)
+    return run(cluster, gen)
+
+
+def test_e08_speedup_curve(benchmark, capsys):
+    duration = 1800.0
+    base = convert(duration, 1, distributed=False)
+    rows = [["single", "-", "-", "-", f"{base.total_time:.1f}", "1.00x"]]
+    speedups = {}
+    for n in (1, 2, 4, 8):
+        rep = convert(duration, n)
+        speedup = base.total_time / rep.total_time
+        speedups[n] = speedup
+        rows.append([
+            f"{n} workers",
+            f"{rep.stage_times['split']:.1f}",
+            f"{rep.stage_times['convert']:.1f}",
+            f"{rep.stage_times['merge']:.1f}",
+            f"{rep.total_time:.1f}",
+            f"{speedup:.2f}x",
+        ])
+    show(capsys, "E08: Figure 16 pipeline, 30-min 720p mpeg4 -> h264/flv",
+         ["configuration", "split s", "convert s", "merge s", "total s",
+          "speedup"], rows)
+    # C1: distributed wins, speedup grows with workers (sub-linear is fine)
+    assert speedups[2] > 1.5
+    assert speedups[8] > speedups[4] > speedups[2]
+    benchmark.pedantic(convert, args=(300.0, 4), rounds=3, iterations=1)
+
+
+def test_e08_clip_length_sensitivity(benchmark, capsys):
+    rows = []
+    ratios = []
+    for duration in (10.0, 60.0, 600.0, 3600.0):
+        single = convert(duration, 4, distributed=False)
+        dist = convert(duration, 4)
+        ratio = single.total_time / dist.total_time
+        ratios.append(ratio)
+        rows.append([f"{duration:.0f}", f"{single.total_time:.1f}",
+                     f"{dist.total_time:.1f}", f"{ratio:.2f}x"])
+    show(capsys, "E08b: speedup vs clip length (4 workers)",
+         ["clip s", "single s", "distributed s", "speedup"], rows)
+    assert ratios == sorted(ratios)  # longer clips amortise overheads better
+    benchmark.pedantic(convert, args=(60.0, 4), rounds=3, iterations=1)
+
+
+def test_e08_segments_per_worker_ablation(benchmark, capsys):
+    """More segments than workers improves load balance, to a point."""
+    duration = 1800.0
+    rows = []
+    times = {}
+    for mult in (1, 2, 4, 16):
+        rep = convert(duration, 4, n_segments=4 * mult)
+        times[mult] = rep.total_time
+        rows.append([4 * mult, f"{rep.total_time:.1f}"])
+    show(capsys, "E08c: segment-count ablation (4 workers, 30-min clip)",
+         ["segments", "total s"], rows)
+    benchmark.pedantic(convert, args=(300.0, 4),
+                       kwargs={"n_segments": 8}, rounds=3, iterations=1)
+
+
+def test_e08_downscale_target(benchmark, capsys):
+    """Converting to a smaller output resolution is cheaper end-to-end."""
+    hd = convert(600.0, 4, resolution=R_720P)
+    sd = convert(600.0, 4, resolution=R_480P)
+    show(capsys, "E08d: output-resolution effect (10-min clip, 4 workers)",
+         ["target", "total s"],
+         [["720p", f"{hd.total_time:.1f}"], ["480p", f"{sd.total_time:.1f}"]])
+    assert sd.total_time < hd.total_time
+    benchmark.pedantic(convert, args=(300.0, 4),
+                       kwargs={"resolution": R_480P}, rounds=3, iterations=1)

@@ -1,0 +1,93 @@
+"""E11 (Figure 22): the end-to-end upload pipeline.
+
+Times the full user-visible flow -- FUSE write into HDFS, distributed
+conversion, publish -- for growing clip lengths, and checks that the
+dynamic link works immediately after publishing.
+"""
+
+import pytest
+
+from repro.common.units import MiB, Mbps
+from repro.hardware import Cluster
+from repro.hdfs import Hdfs
+from repro.video import R_720P, VideoFile
+from repro.web import VideoPortal
+
+from _util import run, show
+
+
+def make_portal(n_hosts=7):
+    cluster = Cluster(n_hosts)
+    fs = Hdfs(cluster, namenode_host="node0",
+              datanode_hosts=cluster.host_names[1:],
+              block_size=32 * MiB, replication=2)
+    portal = VideoPortal(cluster, fs, web_host="node1",
+                         transcode_workers=cluster.host_names[2:])
+    return cluster, portal
+
+
+def login(cluster, portal, username="kuan"):
+    run(cluster, portal.request("POST", "/register", params={
+        "username": username, "password": "secret99",
+        "email": f"{username}@x.y"}))
+    _, token = portal.auth.outbox[-1]
+    run(cluster, portal.request("POST", "/verify", params={"token": token}))
+    resp = run(cluster, portal.request("POST", "/login", params={
+        "username": username, "password": "secret99"}))
+    return resp.set_session
+
+
+def upload(cluster, portal, session, minutes):
+    media = VideoFile(
+        name=f"clip{minutes}.avi", container="avi", vcodec="mpeg4",
+        acodec="mp3", duration=minutes * 60.0, resolution=R_720P,
+        fps=25.0, bitrate=4 * Mbps,
+    )
+    t0 = cluster.now
+    resp = run(cluster, portal.request(
+        "POST", "/upload", session=session,
+        params={"title": f"clip {minutes} min", "media": media}))
+    assert resp.ok, resp.body
+    return resp.body["video_id"], cluster.now - t0
+
+
+def test_e11_upload_pipeline_vs_length(benchmark, capsys):
+    cluster, portal = make_portal()
+    session = login(cluster, portal)
+    rows = []
+    times = []
+    for minutes in (1, 5, 15, 30):
+        vid, dt = upload(cluster, portal, session, minutes)
+        times.append(dt)
+        resp = run(cluster, portal.request("GET", "/video", params={"id": vid}))
+        assert resp.ok  # dynamic link live right after upload
+        rows.append([minutes, f"{dt:.1f}", f"{dt / (minutes * 60):.3f}",
+                     resp.body["video"]["link"]])
+    show(capsys, "E11: Figure 22 upload -> convert -> publish pipeline",
+         ["clip min", "pipeline s", "s per media-s", "dynamic link"], rows)
+    assert times == sorted(times)
+
+    def kernel():
+        c, p = make_portal()
+        s = login(c, p)
+        upload(c, p, s, 1)
+
+    benchmark.pedantic(kernel, rounds=2, iterations=1)
+
+
+def test_e11_published_video_is_replicated(benchmark, capsys):
+    cluster, portal = make_portal()
+    session = login(cluster, portal)
+    vid, _ = upload(cluster, portal, session, 2)
+    inode = portal.fs.namenode.get_file(f"/published/video-{vid}-720p.flv")
+    repl_ok = all(
+        len(portal.fs.namenode.locations(b.block_id)) == portal.fs.replication
+        for b in inode.blocks
+    )
+    show(capsys, "E11b: published rendition storage",
+         ["video", "bytes", "blocks", "fully replicated"],
+         [[vid, inode.length, len(inode.blocks), "yes" if repl_ok else "NO"]])
+    assert repl_ok
+    benchmark.pedantic(
+        lambda: portal.fs.namenode.under_replicated_count(),
+        rounds=5, iterations=10)

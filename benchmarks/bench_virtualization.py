@@ -1,0 +1,78 @@
+"""E01 (Figures 1-2, claim C3): virtualization overhead by mode.
+
+Runs identical CPU-bound and I/O-bound guest workloads on bare metal and
+under each virtualization mode, reporting the slowdown versus bare metal.
+Expected shape (Section II.B): bare < para (Xen PV) < full (KVM) <<
+emulation, with the I/O penalty much larger than the CPU penalty for full
+virtualization.
+"""
+
+import pytest
+
+from repro.common.units import GHz, MiB
+from repro.hardware import Cluster
+from repro.virt import (
+    DiskImage,
+    HYPERVISOR_TYPES,
+    VirtualMachine,
+    WorkKind,
+    make_hypervisor,
+)
+
+from _util import run, show
+
+IMG = DiskImage("bench", size=1024 * MiB)
+CYCLES = 20 * GHz  # ~7.4 s of guest work at 2.7 GHz
+
+
+def run_workload(mode: str, kind: WorkKind, batches: int = 50) -> float:
+    """Simulated seconds to run `batches` work batches under `mode`."""
+    cluster = Cluster(1)
+    hv = make_hypervisor(mode, cluster.hosts[0])
+    vm = VirtualMachine("guest", vcpus=1, memory=512 * MiB, image=IMG)
+    hv.define(vm)
+    hv.start(vm)
+
+    def workload():
+        for _ in range(batches):
+            yield cluster.engine.process(vm.run_work(CYCLES / batches, kind))
+
+    run(cluster, workload())
+    return cluster.now
+
+
+@pytest.mark.parametrize("kind", [WorkKind.CPU, WorkKind.IO])
+def test_e01_virtualization_overhead(benchmark, capsys, kind):
+    bare = run_workload("bare", kind)
+    rows = []
+    for mode in ("bare", "xen", "kvm-virtio", "kvm", "emul"):
+        t = run_workload(mode, kind)
+        rows.append([
+            {"bare": "bare metal", "xen": "Xen PV (para)",
+             "kvm-virtio": "KVM + virtio",
+             "kvm": "KVM (full)", "emul": "QEMU (emulation)"}[mode],
+            f"{t:.3f}",
+            f"{(t / bare - 1) * 100:+.1f}%",
+        ])
+    show(capsys, f"E01: {kind.value}-bound guest workload (Figures 1-2)",
+         ["mode", "simulated s", "overhead vs bare"], rows)
+
+    # ordering assertions: the paper's qualitative claim
+    times = {m: run_workload(m, kind, batches=10) for m in HYPERVISOR_TYPES}
+    assert times["bare"] < times["xen"] < times["kvm"] < times["emul"]
+    # virtio recovers most of full virt's I/O penalty
+    assert times["xen"] <= times["kvm-virtio"] <= times["kvm"]
+
+    benchmark.pedantic(run_workload, args=("kvm", kind, 10), rounds=3, iterations=1)
+
+
+def test_e01_io_penalty_exceeds_cpu_penalty(benchmark, capsys):
+    """Full virt hurts I/O much more than CPU (why virtio/PV drivers exist)."""
+    cpu_ratio = run_workload("kvm", WorkKind.CPU) / run_workload("bare", WorkKind.CPU)
+    io_ratio = run_workload("kvm", WorkKind.IO) / run_workload("bare", WorkKind.IO)
+    show(capsys, "E01b: KVM slowdown factor by workload type",
+         ["workload", "slowdown"],
+         [["CPU-bound", f"{cpu_ratio:.3f}x"], ["I/O-bound", f"{io_ratio:.3f}x"]])
+    assert io_ratio > cpu_ratio
+    benchmark.pedantic(run_workload, args=("kvm", WorkKind.IO, 10),
+                       rounds=3, iterations=1)

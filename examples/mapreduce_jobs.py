@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""The PaaS layer driven directly: MapReduce jobs on HDFS (Figure 12).
+
+Runs the stock jobs on real text stored in HDFS -- word count, grep, a
+TeraSort-style distributed sort -- then shows the fault-tolerance
+machinery: a 30% per-attempt failure rate fully masked by retries, and a
+straggler node masked by speculative execution.
+
+Run:  python examples/mapreduce_jobs.py
+"""
+
+from repro.common.tables import format_table
+from repro.common.units import KiB
+from repro.hardware import Cluster
+from repro.hdfs import Hdfs
+from repro.mapreduce import (
+    FaultModel,
+    JobQueue,
+    JobTracker,
+    grep_job,
+    run_distributed_sort,
+    word_count_job,
+)
+
+TEXT = """cloud services have been regarded as the significant trend
+video websites become fairly popular with cloud computing and storage
+the goal is to build video services on a cloud iaas environment
+users can accelerate the search and find the precise videos they want
+hadoop distributes application to process in other node hosts
+""" * 120
+
+
+def main() -> None:
+    cluster = Cluster(7)
+    fs = Hdfs(cluster, block_size=2 * KiB, replication=2)
+    run = lambda gen: cluster.run(cluster.engine.process(gen))  # noqa: E731
+    run(fs.client("node1").write_file("/corpus", TEXT.encode()))
+    print(f"corpus: {len(TEXT)} bytes in "
+          f"{len(fs.namenode.get_file('/corpus').blocks)} HDFS blocks\n")
+
+    print("== FIFO job queue: word count, then grep ==")
+    jq = JobQueue(JobTracker(fs))
+    wc_ev = jq.submit(word_count_job(["/corpus"], num_reduces=2))
+    grep_ev = jq.submit(grep_job(["/corpus"], r"video[s]?"))
+    grep_res = cluster.run(until=grep_ev)
+    wc_res = wc_ev.value
+    top = sorted(wc_res.output.items(), key=lambda kv: (-kv[1], kv[0]))[:5]
+    print(format_table(["word", "count"], top,
+                       title=f"word count: {wc_res.duration:.1f} s, "
+                             f"locality {wc_res.counters.locality_rate:.0%}"))
+    print(f"\n   grep 'video[s]?': {dict(grep_res.output)} "
+          f"(ran after word count: {grep_res.started >= wc_res.finished})\n")
+
+    print("== distributed sort (TotalOrderPartitioner) ==")
+    lines = [w for w in TEXT.split() if w]
+    run(fs.client("node2").write_file(
+        "/words", ("\n".join(lines) + "\n").encode()))
+    ordered, result = run(run_distributed_sort(fs, ["/words"], num_reduces=4))
+    print(f"   {len(ordered)} words sorted in {result.duration:.1f} s "
+          f"across {result.counters.reduce_tasks} reducers")
+    print(f"   first: {ordered[:4]}  last: {ordered[-3:]}")
+    assert ordered == sorted(lines)
+    print()
+
+    print("== fault tolerance: 30% of map attempts crash ==")
+    jt = JobTracker(fs, fault=FaultModel(map_failure_rate=0.3))
+    res = run(jt.submit(word_count_job(["/corpus"])))
+    print(f"   output identical: {res.output == wc_res.output}; "
+          f"{res.counters.failed_task_attempts} attempts died and were "
+          f"retried; duration {res.duration:.1f} s vs {wc_res.duration:.1f} s clean\n")
+
+    print("== speculative execution: one node 40x slower ==")
+    slow = sorted(fs.datanodes)[0]
+    rows = []
+    for speculative in (False, True):
+        jt = JobTracker(fs, speculative=speculative, slowdowns={slow: 40.0})
+        res = run(jt.submit(word_count_job(["/corpus"])))
+        rows.append(["on" if speculative else "off",
+                     f"{res.duration:.1f}",
+                     res.counters.speculative_attempts])
+    print(format_table(["speculation", "duration s", "backup attempts"], rows))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,107 @@
+#!/usr/bin/env python3
+"""The full VOC portal walkthrough (Figures 15, 17-23, experiment E03).
+
+Drives every page of the paper's website in order: register two users,
+verify them by e-mail, log in, upload videos (converted in parallel and
+stored replicated in HDFS), re-crawl with Nutch, search, open the player
+page, comment, share, flag a bad film, and let the admin remove it and
+block the vicious user -- the complete page graph of Figure 15.
+
+Run:  python examples/video_portal.py
+"""
+
+from repro import build_video_cloud
+from repro.common.units import Mbps
+from repro.video import R_720P, VideoFile
+from repro.web import render_page
+
+
+def media(name, minutes):
+    return VideoFile(
+        name=name, container="avi", vcodec="mpeg4", acodec="mp3",
+        duration=minutes * 60.0, resolution=R_720P, fps=25.0, bitrate=4 * Mbps,
+    )
+
+
+def main() -> None:
+    vc = build_video_cloud(n_hosts=7, seed=1)
+    cluster, portal = vc.cluster, vc.portal
+    run = lambda gen: cluster.run(cluster.engine.process(gen))  # noqa: E731
+
+    def page(resp, label):
+        status = "OK" if resp.ok else f"HTTP {resp.status}"
+        print(f"   [{status:>8}] {label}: {resp.body}")
+        return resp
+
+    print("== register + verify + login (Figures 19-20) ==")
+    sessions = {}
+    for username in ("admin", "kuan", "troll"):
+        page(run(portal.request("POST", "/register", params={
+            "username": username, "password": "secret99",
+            "email": f"{username}@thu.edu.tw"})), f"register {username}")
+        _, token = portal.auth.outbox[-1]
+        run(portal.request("POST", "/verify", params={"token": token}))
+        resp = run(portal.request("POST", "/login", params={
+            "username": username, "password": "secret99"}))
+        sessions[username] = resp.set_session
+    print()
+
+    print("== uploads (Figure 22; parallel conversion of Figure 16) ==")
+    uploads = [
+        ("kuan", "Nobody - Wonder Girls MV", "kpop nobody wonder girls", 4),
+        ("kuan", "Cloud IaaS lecture", "cloud kvm opennebula", 30),
+        ("troll", "Totally legit video", "spam", 1),
+    ]
+    video_ids = {}
+    for user, title, tags, minutes in uploads:
+        resp = run(portal.request("POST", "/upload", session=sessions[user],
+                                  params={"title": title, "tags": tags,
+                                          "description": f"{title} in HD",
+                                          "media": media(f"{title}.avi", minutes)}))
+        video_ids[title] = resp.body["video_id"]
+        print(f"   uploaded [{resp.body['video_id']}] {title} -> {resp.body['link']}")
+    print()
+
+    print("== Nutch refresh + home + search (Figures 17-18) ==")
+    run(portal.refresh_search_index())
+    home = run(portal.request("GET", "/"))
+    print(f"   home shows {len(home.body['recent'])} recent videos")
+    resp = run(portal.request("GET", "/search", params={"q": "nobody"}))
+    print(render_page(resp))
+    print()
+
+    print("== player page + comments + social (Figure 23) ==")
+    vid = video_ids["Nobody - Wonder Girls MV"]
+    run(portal.request("POST", "/comment", session=sessions["kuan"],
+                       params={"id": vid, "text": "classic!"}))
+    resp = run(portal.request("GET", "/video", params={"id": vid}))
+    body = resp.body
+    print(render_page(resp))
+    report = run(portal.play(vid, cluster.host_names[-1]).run())
+    print(f"   streamed {report.watched_seconds:.0f} s, "
+          f"startup {report.startup_delay * 1000:.0f} ms, smooth={report.smooth}")
+    print()
+
+    print("== moderation: flag -> admin removes + blocks (Section IV) ==")
+    bad = video_ids["Totally legit video"]
+    run(portal.request("POST", "/flag", session=sessions["kuan"],
+                       params={"id": bad, "reason": "bad film"}))
+    resp = run(portal.request("GET", "/admin", session=sessions["admin"]))
+    print(f"   admin sees open flags: {resp.body['open_flags']}")
+    run(portal.request("POST", "/admin/remove", session=sessions["admin"],
+                       params={"id": bad}))
+    troll_id = portal.auth.current_user(sessions["troll"])["id"]
+    run(portal.request("POST", "/admin/block", session=sessions["admin"],
+                       params={"user_id": troll_id}))
+    print(f"   removed video {bad}, blocked user {troll_id}")
+    resp = run(portal.request("POST", "/logout", session=sessions["kuan"]))
+    print(f"   kuan logged out (Figure 21): {resp.body['message']}")
+
+    print(f"\nserver stats: {portal.server.stats.requests} requests, "
+          f"{portal.server.stats.errors} errors, "
+          f"{portal.server.kind} footprint "
+          f"{portal.server.memory_footprint() // 1024} KiB")
+
+
+if __name__ == "__main__":
+    main()

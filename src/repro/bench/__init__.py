@@ -1,0 +1,22 @@
+"""Workload generation + load driving for the benchmark harness."""
+
+from .driver import PortalDriver, WorkloadReport
+from .workloads import (
+    CatalogEntry,
+    LatencyStats,
+    TrafficEvent,
+    TrafficMix,
+    TrafficModel,
+    VideoCatalog,
+)
+
+__all__ = [
+    "CatalogEntry",
+    "LatencyStats",
+    "PortalDriver",
+    "TrafficEvent",
+    "TrafficMix",
+    "TrafficModel",
+    "VideoCatalog",
+    "WorkloadReport",
+]

@@ -1,0 +1,145 @@
+"""Portal load driver: replay a traffic workload against a VideoPortal.
+
+Populates the portal from a :class:`~repro.bench.workloads.VideoCatalog`,
+then replays :class:`TrafficEvent` streams as concurrent simulated users,
+collecting per-action latency statistics -- the quantitative version of
+the paper's "users can watch and search videos" demo.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Generator
+
+from ..common.errors import ConfigError
+from ..web import VideoPortal
+from .workloads import CatalogEntry, LatencyStats, TrafficEvent, VideoCatalog
+
+
+@dataclass
+class WorkloadReport:
+    """What a load run produces."""
+
+    stats: dict[str, LatencyStats] = field(default_factory=dict)
+    errors: int = 0
+    duration: float = 0.0
+    events: int = 0
+
+    def stat(self, action: str) -> LatencyStats:
+        return self.stats.setdefault(action, LatencyStats())
+
+    @property
+    def throughput(self) -> float:
+        return self.events / self.duration if self.duration else 0.0
+
+
+class PortalDriver:
+    """Seeds content and replays traffic."""
+
+    def __init__(self, portal: VideoPortal, *, uploader: str = "seeduser") -> None:
+        self.portal = portal
+        self.cluster = portal.cluster
+        self.engine = portal.engine
+        self.uploader = uploader
+        self.video_ids: list[int] = []   # indexed by popularity rank
+        self._session: str | None = None
+
+    # -- content seeding ----------------------------------------------------------
+
+    def seed(self, catalog: VideoCatalog, *, reindex: bool = True) -> Generator:
+        """Process: register the uploader and publish the whole catalog."""
+
+        def _flow():
+            run = self.engine.process
+            resp = yield run(self.portal.request("POST", "/register", params={
+                "username": self.uploader, "password": "secret99",
+                "email": f"{self.uploader}@x.y"}))
+            if not resp.ok:
+                raise ConfigError(f"seed register failed: {resp.body}")
+            _, token = self.portal.auth.outbox[-1]
+            yield run(self.portal.request("POST", "/verify",
+                                          params={"token": token}))
+            resp = yield run(self.portal.request("POST", "/login", params={
+                "username": self.uploader, "password": "secret99"}))
+            self._session = resp.set_session
+
+            by_rank: dict[int, int] = {}
+            for entry in catalog.entries:
+                resp = yield run(self.portal.request(
+                    "POST", "/upload", session=self._session, params={
+                        "title": entry.title, "description": entry.description,
+                        "tags": entry.tags, "media": entry.media}))
+                if not resp.ok:
+                    raise ConfigError(f"seed upload failed: {resp.body}")
+                by_rank[entry.popularity_rank] = resp.body["video_id"]
+            self.video_ids = [by_rank[r] for r in sorted(by_rank)]
+            if reindex:
+                yield run(self.portal.refresh_search_index())
+            return self.video_ids
+
+        return _flow()
+
+    # -- traffic replay --------------------------------------------------------------
+
+    def replay(self, events: list[TrafficEvent],
+               client_hosts: list[str]) -> Generator:
+        """Process: replay *events* (each from a client host, round-robin).
+
+        Returns a :class:`WorkloadReport`.
+        """
+        if not self.video_ids:
+            raise ConfigError("seed() the portal before replaying traffic")
+        if not client_hosts:
+            raise ConfigError("need at least one client host")
+        report = WorkloadReport()
+        engine = self.engine
+
+        def one_event(event: TrafficEvent, client: str):
+            t0 = engine.now
+            vid = self.video_ids[event.video_rank % len(self.video_ids)]
+            try:
+                if event.action == "browse":
+                    resp = yield engine.process(self.portal.request(
+                        "GET", "/", client_host=client))
+                elif event.action == "search":
+                    resp = yield engine.process(self.portal.request(
+                        "GET", "/search", params={"q": event.query},
+                        client_host=client))
+                elif event.action == "watch":
+                    resp = yield engine.process(self.portal.request(
+                        "GET", "/video", params={"id": vid},
+                        client_host=client))
+                    if resp.ok:
+                        session = self.portal.play(
+                            vid, client,
+                            watch_plan=[(0.0, event.watch_seconds)])
+                        yield engine.process(session.run())
+                else:  # comment
+                    resp = yield engine.process(self.portal.request(
+                        "POST", "/comment", session=self._session,
+                        params={"id": vid, "text": "nice!"},
+                        client_host=client))
+                if not resp.ok:
+                    report.errors += 1
+            except Exception:  # noqa: BLE001 - load runs tolerate errors
+                report.errors += 1
+            finally:
+                report.stat(event.action).add(engine.now - t0)
+
+        def _flow():
+            started = engine.now
+            procs = []
+            for i, event in enumerate(events):
+                # honour arrival times
+                delay = started + event.at - engine.now
+                if delay > 0:
+                    yield engine.timeout(delay)
+                client = client_hosts[i % len(client_hosts)]
+                procs.append(engine.process(one_event(event, client)))
+            if procs:
+                yield engine.all_of(procs)
+            report.duration = engine.now - started
+            report.events = len(events)
+            return report
+
+        return _flow()

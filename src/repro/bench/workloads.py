@@ -1,0 +1,165 @@
+"""Workload generators: synthetic video catalogs and user traffic.
+
+The paper's evaluation is a hand-driven demo; to *measure* the portal the
+benches need repeatable load.  Two generators, both seeded:
+
+* :class:`VideoCatalog` -- synthetic uploads with realistic shapes:
+  log-normal durations (most clips are minutes, a few are hours), titles
+  drawn from topic word pools, and Zipf popularity ranks;
+* :class:`TrafficModel` -- a request mix over the portal (browse /
+  search / watch / comment / upload) with Zipf-distributed video choice
+  and exponential inter-arrivals, like real VoD traffic (the paper cites
+  VoD demand studies [28-33]).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..common.errors import ConfigError
+from ..common.rng import RngStream
+from ..common.units import Mbps
+from ..video import R_720P, VideoFile
+
+_TOPICS = ["nobody", "wonder girls", "cloud lecture", "cat", "concert",
+           "parody", "kvm tutorial", "hadoop talk", "music video", "news"]
+_ADJ = ["official", "live", "HD", "full", "best", "new", "classic", "rare"]
+
+
+@dataclass(frozen=True)
+class CatalogEntry:
+    """One synthetic upload."""
+
+    title: str
+    description: str
+    tags: str
+    media: VideoFile
+    popularity_rank: int      # 0 = most popular
+
+
+class VideoCatalog:
+    """Deterministic synthetic catalog."""
+
+    def __init__(self, n_videos: int, *, seed: int = 0,
+                 mean_duration: float = 300.0) -> None:
+        if n_videos < 1:
+            raise ConfigError("catalog needs >= 1 video")
+        self.rng = RngStream(seed, "catalog")
+        self.entries: list[CatalogEntry] = []
+        ranks = self.rng.shuffle(list(range(n_videos)))
+        for i in range(n_videos):
+            topic = _TOPICS[i % len(_TOPICS)]
+            adj = _ADJ[self.rng.randint(0, len(_ADJ))]
+            # log-normal-ish durations: median `mean_duration`, long tail
+            duration = max(
+                10.0, mean_duration * self.rng.lognormal_factor(0.7))
+            media = VideoFile(
+                name=f"upload-{i}.avi", container="avi", vcodec="mpeg4",
+                acodec="mp3", duration=duration, resolution=R_720P,
+                fps=25.0, bitrate=4 * Mbps,
+            )
+            self.entries.append(CatalogEntry(
+                title=f"{topic} {adj} #{i}",
+                description=f"a {adj} video about {topic}",
+                tags=topic.split()[0],
+                media=media,
+                popularity_rank=ranks[i],
+            ))
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def by_popularity(self) -> list[CatalogEntry]:
+        return sorted(self.entries, key=lambda e: e.popularity_rank)
+
+
+@dataclass(frozen=True)
+class TrafficEvent:
+    """One user action against the portal."""
+
+    at: float                    # arrival offset from workload start, seconds
+    action: str                  # browse|search|watch|comment
+    video_rank: int              # popularity rank of the target (watch/comment)
+    query: str = ""              # search only
+    watch_seconds: float = 30.0  # watch only
+
+
+@dataclass
+class TrafficMix:
+    """Fractions of each action; must sum to 1."""
+
+    browse: float = 0.30
+    search: float = 0.25
+    watch: float = 0.40
+    comment: float = 0.05
+
+    def __post_init__(self) -> None:
+        total = self.browse + self.search + self.watch + self.comment
+        if abs(total - 1.0) > 1e-9:
+            raise ConfigError(f"traffic mix sums to {total}, expected 1.0")
+
+
+class TrafficModel:
+    """Poisson arrivals, Zipf video popularity, configurable mix."""
+
+    def __init__(self, *, rate_per_s: float = 1.0, zipf_a: float = 1.3,
+                 mix: TrafficMix | None = None, seed: int = 0) -> None:
+        if rate_per_s <= 0:
+            raise ConfigError("rate must be > 0")
+        self.rate = rate_per_s
+        self.zipf_a = zipf_a
+        self.mix = mix or TrafficMix()
+        self.rng = RngStream(seed, "traffic")
+
+    def events(self, n: int, n_videos: int) -> list[TrafficEvent]:
+        """Generate *n* arrivals against a catalog of *n_videos*."""
+        if n < 0 or n_videos < 1:
+            raise ConfigError("bad events request")
+        mix = self.mix
+        out: list[TrafficEvent] = []
+        t = 0.0
+        for _ in range(n):
+            t += self.rng.exponential(1.0 / self.rate)
+            u = self.rng.uniform()
+            rank = self.rng.zipf_rank(self.zipf_a, n_videos)
+            if u < mix.browse:
+                action, query = "browse", ""
+            elif u < mix.browse + mix.search:
+                action = "search"
+                query = _TOPICS[rank % len(_TOPICS)].split()[0]
+            elif u < mix.browse + mix.search + mix.watch:
+                action, query = "watch", ""
+            else:
+                action, query = "comment", ""
+            out.append(TrafficEvent(
+                at=t, action=action, video_rank=rank, query=query,
+                watch_seconds=10.0 + 50.0 * self.rng.uniform(),
+            ))
+        return out
+
+
+@dataclass
+class LatencyStats:
+    """Latency aggregate for one action type."""
+
+    samples: list[float] = field(default_factory=list)
+
+    def add(self, value: float) -> None:
+        self.samples.append(value)
+
+    @property
+    def count(self) -> int:
+        return len(self.samples)
+
+    @property
+    def mean(self) -> float:
+        return sum(self.samples) / len(self.samples) if self.samples else 0.0
+
+    def percentile(self, p: float) -> float:
+        if not self.samples:
+            return 0.0
+        if not 0 <= p <= 100:
+            raise ConfigError(f"percentile {p} outside [0, 100]")
+        ordered = sorted(self.samples)
+        k = min(len(ordered) - 1, int(round((p / 100) * (len(ordered) - 1))))
+        return ordered[k]

@@ -1,0 +1,104 @@
+"""Exception hierarchy shared by every repro subsystem.
+
+Each layer raises a subclass of :class:`ReproError` so callers can catch at
+whatever granularity they need (``except ReproError`` at the top of a bench,
+``except HdfsError`` inside the filesystem bridge, and so on).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the repro library."""
+
+
+class ConfigError(ReproError):
+    """Invalid configuration value (negative capacity, unknown policy, ...)."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event kernel was used incorrectly."""
+
+
+class CapacityError(ReproError):
+    """A resource request exceeded what a host/pool can ever satisfy."""
+
+
+class PlacementError(ReproError):
+    """The capacity manager could not place a VM on any host."""
+
+
+class LifecycleError(ReproError):
+    """An operation is illegal in the VM's (or job's) current state."""
+
+
+class DriverError(ReproError):
+    """A virtualization/transfer/information driver operation failed."""
+
+
+class MigrationError(ReproError):
+    """Live migration could not start or complete."""
+
+
+class HdfsError(ReproError):
+    """Base for distributed-filesystem errors."""
+
+
+class FileNotFoundInHdfs(HdfsError):
+    """Requested path does not exist in the namespace."""
+
+
+class FileAlreadyExists(HdfsError):
+    """Create was called on an existing path without overwrite."""
+
+
+class ReplicationError(HdfsError):
+    """Not enough live DataNodes to satisfy a replication factor."""
+
+
+class SafeModeError(HdfsError):
+    """Mutation attempted while the NameNode is in safe mode."""
+
+
+class MapReduceError(ReproError):
+    """Job submission/execution failure in the MapReduce layer."""
+
+
+class TaskFailedError(MapReduceError):
+    """A map or reduce attempt exhausted its retries."""
+
+
+class SearchError(ReproError):
+    """Indexing or query-parsing failure in the search engine."""
+
+
+class MediaError(ReproError):
+    """Invalid media file, codec, or container operation."""
+
+
+class TranscodeError(MediaError):
+    """A conversion step failed (bad segment boundaries, codec mismatch...)."""
+
+
+class StreamingError(MediaError):
+    """Playback session error (seek out of range, no such rendition...)."""
+
+
+class WebError(ReproError):
+    """Base for the web/portal layer."""
+
+
+class HttpError(WebError):
+    """Carries an HTTP status code for the web-server model."""
+
+    def __init__(self, status: int, message: str = "") -> None:
+        super().__init__(message or f"HTTP {status}")
+        self.status = status
+
+
+class AuthError(WebError):
+    """Registration/login/session failure."""
+
+
+class DatabaseError(WebError):
+    """The mini relational engine rejected a statement."""

@@ -1,0 +1,86 @@
+"""Structured event log.
+
+Every subsystem appends :class:`LogRecord` entries to a shared
+:class:`EventLog` -- the simulated analogue of OpenNebula's ``oned.log`` plus
+Hadoop's job history.  Tests and benches assert on the log instead of
+scraping stdout, and examples render it to show "what the web UI showed"
+(e.g. the live-migration screenshots, Figures 8-10).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator
+
+
+@dataclass(frozen=True)
+class LogRecord:
+    """One timestamped event."""
+
+    time: float
+    source: str          # component name, e.g. "one.core", "hdfs.namenode"
+    kind: str            # machine-matchable event kind, e.g. "vm_state"
+    message: str         # human-readable line
+    data: dict[str, Any] = field(default_factory=dict)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"[{self.time:12.6f}] {self.source:<16} {self.kind:<20} {self.message}"
+
+
+class EventLog:
+    """Append-only in-memory log with simple filtering helpers."""
+
+    def __init__(self, clock: Callable[[], float] | None = None) -> None:
+        self._records: list[LogRecord] = []
+        self._clock = clock or (lambda: 0.0)
+        self._subscribers: list[Callable[[LogRecord], None]] = []
+
+    def bind_clock(self, clock: Callable[[], float]) -> None:
+        """Attach the simulation clock after construction."""
+        self._clock = clock
+
+    def emit(self, source: str, kind: str, message: str, **data: Any) -> LogRecord:
+        rec = LogRecord(self._clock(), source, kind, message, data)
+        self._records.append(rec)
+        for fn in self._subscribers:
+            fn(rec)
+        return rec
+
+    def subscribe(self, fn: Callable[[LogRecord], None]) -> None:
+        """Invoke *fn* for every future record (used by the monitoring UI)."""
+        self._subscribers.append(fn)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[LogRecord]:
+        return iter(self._records)
+
+    def records(
+        self,
+        *,
+        source: str | None = None,
+        kind: str | None = None,
+        since: float | None = None,
+    ) -> list[LogRecord]:
+        """Filtered view of the log."""
+        out = []
+        for r in self._records:
+            if source is not None and r.source != source:
+                continue
+            if kind is not None and r.kind != kind:
+                continue
+            if since is not None and r.time < since:
+                continue
+            out.append(r)
+        return out
+
+    def last(self, kind: str) -> LogRecord | None:
+        """Most recent record of *kind*, or None."""
+        for r in reversed(self._records):
+            if r.kind == kind:
+                return r
+        return None
+
+    def tail(self, n: int = 20) -> list[LogRecord]:
+        return self._records[-n:]

@@ -1,0 +1,34 @@
+"""Deterministic ID generation.
+
+Simulations must be reproducible, so IDs are issued by per-prefix counters
+rather than UUIDs.  Each :class:`IdFactory` is owned by one top-level object
+(an engine, a cloud, a NameNode) and hands out ids like ``vm-0``, ``vm-1``,
+``blk-0`` in allocation order.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+
+class IdFactory:
+    """Issues monotonically increasing string ids per prefix."""
+
+    def __init__(self) -> None:
+        self._counters: dict[str, int] = defaultdict(int)
+
+    def next(self, prefix: str) -> str:
+        """Return ``"<prefix>-<n>"`` where n counts calls with this prefix."""
+        n = self._counters[prefix]
+        self._counters[prefix] = n + 1
+        return f"{prefix}-{n}"
+
+    def next_int(self, prefix: str) -> int:
+        """Return the bare integer counter for callers that want numeric ids."""
+        n = self._counters[prefix]
+        self._counters[prefix] = n + 1
+        return n
+
+    def peek(self, prefix: str) -> int:
+        """Number of ids issued so far for *prefix* (does not allocate)."""
+        return self._counters[prefix]

@@ -1,0 +1,83 @@
+"""Seeded random streams.
+
+Every stochastic component receives a :class:`RngStream` rather than calling
+``numpy.random`` globals, so two runs with the same seed are bit-identical
+and components do not perturb each other's randomness when one of them adds
+an extra draw.
+
+Streams are derived from a root seed plus a label using
+``numpy.random.SeedSequence.spawn``-style key derivation, so e.g. the HDFS
+placement stream is independent of the transcoder's noise stream.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class RngStream:
+    """A labelled, independently seeded wrapper around numpy's Generator."""
+
+    def __init__(self, seed: int, label: str = "root") -> None:
+        self.seed = int(seed)
+        self.label = label
+        # Derive a child seed from (seed, label) deterministically.
+        ss = np.random.SeedSequence(entropy=self.seed, spawn_key=(_label_key(label),))
+        self._gen = np.random.Generator(np.random.PCG64(ss))
+
+    def child(self, label: str) -> "RngStream":
+        """Derive an independent stream for a subcomponent."""
+        return RngStream(self.seed, f"{self.label}/{label}")
+
+    # -- thin delegation; only what the library actually uses ---------------
+
+    def uniform(self, low: float = 0.0, high: float = 1.0) -> float:
+        return float(self._gen.uniform(low, high))
+
+    def normal(self, mean: float = 0.0, std: float = 1.0) -> float:
+        return float(self._gen.normal(mean, std))
+
+    def lognormal_factor(self, sigma: float) -> float:
+        """A multiplicative noise factor with median 1.0."""
+        return float(self._gen.lognormal(mean=0.0, sigma=sigma))
+
+    def exponential(self, mean: float) -> float:
+        return float(self._gen.exponential(mean))
+
+    def randint(self, low: int, high: int) -> int:
+        """Integer in [low, high) like ``Generator.integers``."""
+        return int(self._gen.integers(low, high))
+
+    def choice(self, seq, k: int | None = None, replace: bool = True):
+        """Choose one element (k=None) or a list of k elements from *seq*."""
+        seq = list(seq)
+        if k is None:
+            return seq[int(self._gen.integers(0, len(seq)))]
+        idx = self._gen.choice(len(seq), size=k, replace=replace)
+        return [seq[int(i)] for i in idx]
+
+    def shuffle(self, seq: list) -> list:
+        """Return a new shuffled copy of *seq*."""
+        out = list(seq)
+        self._gen.shuffle(out)
+        return out
+
+    def pareto_size(self, shape: float, scale: float) -> float:
+        """Heavy-tailed size draw (video sizes, page popularity)."""
+        return float((self._gen.pareto(shape) + 1.0) * scale)
+
+    def zipf_rank(self, a: float, n: int) -> int:
+        """A rank in [0, n) with Zipf(a) popularity (rank 0 most popular)."""
+        while True:
+            r = int(self._gen.zipf(a))
+            if r <= n:
+                return r - 1
+
+
+def _label_key(label: str) -> int:
+    """Stable 63-bit key from a label (Python's hash() is salted; avoid it)."""
+    h = 1469598103934665603  # FNV-1a 64-bit offset basis
+    for ch in label.encode("utf-8"):
+        h ^= ch
+        h = (h * 1099511628211) & 0xFFFFFFFFFFFFFFFF
+    return h >> 1

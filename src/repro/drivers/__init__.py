@@ -1,0 +1,17 @@
+"""libvirt-like driver layer: VMM, Transfer and Information drivers."""
+
+from .base import CallTrace, DriverCall
+from .im import HostMetrics, InformationDriver, POLL_COST
+from .tm import SNAPSHOT_COST, TransferDriver
+from .vmm import VmmDriver
+
+__all__ = [
+    "CallTrace",
+    "DriverCall",
+    "HostMetrics",
+    "InformationDriver",
+    "POLL_COST",
+    "SNAPSHOT_COST",
+    "TransferDriver",
+    "VmmDriver",
+]

@@ -1,0 +1,48 @@
+"""Driver framework.
+
+OpenNebula's core never touches a hypervisor directly: it goes through
+pluggable *drivers* that "expose the basic functionality of the hypervisor"
+(Section II.D, citing [18]).  We keep that separation: the core only sees
+the three driver interfaces below, and every driver invocation is recorded
+on a call trace so tests and the orchestration bench (E02) can assert the
+exact sequence the core issued.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..sim import Engine
+
+
+@dataclass(frozen=True)
+class DriverCall:
+    """One recorded driver invocation."""
+
+    time: float
+    driver: str       # e.g. "vmm.kvm", "tm.ssh", "im.kvm"
+    action: str       # e.g. "deploy", "clone", "poll"
+    target: str       # vm or host name
+    detail: dict[str, Any] = field(default_factory=dict)
+
+
+class CallTrace:
+    """Shared, append-only trace of driver activity."""
+
+    def __init__(self, engine: Engine) -> None:
+        self._engine = engine
+        self.calls: list[DriverCall] = []
+
+    def record(self, driver: str, action: str, target: str, **detail: Any) -> None:
+        self.calls.append(DriverCall(self._engine.now, driver, action, target, detail))
+
+    def actions(self, driver: str | None = None) -> list[str]:
+        """Action names in order, optionally filtered by driver name."""
+        return [c.action for c in self.calls if driver is None or c.driver == driver]
+
+    def for_target(self, target: str) -> list[DriverCall]:
+        return [c for c in self.calls if c.target == target]
+
+    def __len__(self) -> int:
+        return len(self.calls)

@@ -1,0 +1,64 @@
+"""Information Manager (IM) driver.
+
+Periodically polls each host for the metrics the OpenNebula web interface
+displays (Figure 7: CPU utilisation, host loading, memory utilisation, VM
+info).  The poll itself is a cheap remote command, so it costs a small
+fixed time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generator
+
+from ..hardware import PhysicalHost
+from ..virt import Hypervisor
+from .base import CallTrace
+
+POLL_COST = 0.05  # seconds per host probe (ssh + /proc scrape)
+
+
+@dataclass(frozen=True)
+class HostMetrics:
+    """One monitoring sample for one host."""
+
+    time: float
+    host: str
+    alive: bool
+    cpu_util: float          # 0..1 average since boot
+    mem_total: int
+    mem_used: int
+    running_vms: int
+
+    @property
+    def mem_util(self) -> float:
+        return self.mem_used / self.mem_total if self.mem_total else 0.0
+
+
+class InformationDriver:
+    """Polls one host's hypervisor for metrics."""
+
+    def __init__(self, hypervisor: Hypervisor, trace: CallTrace) -> None:
+        self.hypervisor = hypervisor
+        self.trace = trace
+        self.name = "im.kvm" if hypervisor.mode == "full" else f"im.{hypervisor.mode}"
+
+    @property
+    def host(self) -> PhysicalHost:
+        return self.hypervisor.host
+
+    def poll(self) -> Generator:
+        """Process: probe the host and return a :class:`HostMetrics` sample."""
+        host = self.host
+        engine = host.engine
+        self.trace.record(self.name, "poll", host.name)
+        yield engine.timeout(POLL_COST)
+        return HostMetrics(
+            time=engine.now,
+            host=host.name,
+            alive=host.alive,
+            cpu_util=host.cpu_utilisation(),
+            mem_total=host.memory,
+            mem_used=host.memory_used,
+            running_vms=len(self.hypervisor.domains),
+        )

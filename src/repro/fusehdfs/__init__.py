@@ -1,0 +1,5 @@
+"""FUSE-like bridge exposing HDFS as a mounted directory tree."""
+
+from .mount import FUSE_OP_COST, HdfsMount
+
+__all__ = ["FUSE_OP_COST", "HdfsMount"]

@@ -1,0 +1,107 @@
+"""FUSE bridge: mount HDFS under a local path prefix.
+
+"we use Virtual folder technology of FUSE to mount uploading folders on
+HDFS to reach the goal of Cloud distributed storage" (Section IV).  The
+web tier writes to what it believes is an ordinary directory (e.g.
+``/var/www/uploads``); every operation is translated to HDFS client calls
+-- plus the small user-kernel crossing cost FUSE imposes per operation.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from ..common.errors import HdfsError
+from ..hdfs import Hdfs, HdfsClient, INode
+
+#: per-operation FUSE user<->kernel crossing overhead, seconds
+FUSE_OP_COST = 0.0005
+
+
+class HdfsMount:
+    """A mounted view of HDFS rooted at *mount_point*."""
+
+    def __init__(self, fs: Hdfs, host_name: str, *,
+                 mount_point: str = "/mnt/hdfs", hdfs_root: str = "") -> None:
+        if not mount_point.startswith("/") or mount_point.endswith("/"):
+            raise HdfsError(f"bad mount point {mount_point!r}")
+        self.fs = fs
+        self.client: HdfsClient = fs.client(host_name)
+        self.mount_point = mount_point
+        self.hdfs_root = hdfs_root.rstrip("/")
+
+    # -- path translation -----------------------------------------------------
+
+    def to_hdfs_path(self, local_path: str) -> str:
+        if not local_path.startswith(self.mount_point + "/"):
+            raise HdfsError(
+                f"{local_path!r} is outside the mount at {self.mount_point}"
+            )
+        rel = local_path[len(self.mount_point):]
+        return f"{self.hdfs_root}{rel}"
+
+    def to_local_path(self, hdfs_path: str) -> str:
+        root = self.hdfs_root
+        if root and not hdfs_path.startswith(root + "/"):
+            raise HdfsError(f"{hdfs_path!r} is outside the exported root {root}")
+        rel = hdfs_path[len(root):]
+        return f"{self.mount_point}{rel}"
+
+    # -- POSIX-ish operations (all are simulation processes) ---------------------
+
+    def write(self, local_path: str, data: bytes, replication: int | None = None) -> Generator:
+        """Process: create a file through the mount."""
+        path = self.to_hdfs_path(local_path)
+        engine = self.fs.engine
+
+        def _op():
+            yield engine.timeout(FUSE_OP_COST)
+            inode = yield engine.process(
+                self.client.write_file(path, data, replication=replication)
+            )
+            return inode
+
+        return _op()
+
+    def write_sized(self, local_path: str, length: int, replication: int | None = None) -> Generator:
+        """Process: create a synthetic (sized) file through the mount."""
+        path = self.to_hdfs_path(local_path)
+        engine = self.fs.engine
+
+        def _op():
+            yield engine.timeout(FUSE_OP_COST)
+            inode = yield engine.process(
+                self.client.write_synthetic(path, length, replication=replication)
+            )
+            return inode
+
+        return _op()
+
+    def read(self, local_path: str) -> Generator:
+        """Process: read a file through the mount."""
+        path = self.to_hdfs_path(local_path)
+        engine = self.fs.engine
+
+        def _op():
+            yield engine.timeout(FUSE_OP_COST)
+            data = yield engine.process(self.client.read_file(path))
+            return data
+
+        return _op()
+
+    def exists(self, local_path: str) -> bool:
+        return self.client.exists(self.to_hdfs_path(local_path))
+
+    def stat(self, local_path: str) -> INode:
+        return self.client.stat(self.to_hdfs_path(local_path))
+
+    def listdir(self, local_dir: str) -> list[str]:
+        """Local paths of entries under *local_dir*."""
+        if local_dir == self.mount_point:
+            hdfs_prefix = self.hdfs_root or "/"
+        else:
+            hdfs_prefix = self.to_hdfs_path(local_dir)
+        return [self.to_local_path(p) for p in self.client.listdir(hdfs_prefix)]
+
+    def remove(self, local_path: str) -> None:
+        self.client.delete(self.to_hdfs_path(local_path))

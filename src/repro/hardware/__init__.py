@@ -1,0 +1,7 @@
+"""Simulated physical substrate: hosts, disks, network fabric, clusters."""
+
+from .cluster import Cluster
+from .host import Disk, PhysicalHost
+from .network import LOOPBACK_RATE, Flow, Network
+
+__all__ = ["Cluster", "Disk", "Flow", "LOOPBACK_RATE", "Network", "PhysicalHost"]

@@ -1,0 +1,80 @@
+"""Cluster builder: the simulated testbed everything runs on.
+
+A :class:`Cluster` bundles the event engine, calibration, RNG root, event
+log, a set of :class:`PhysicalHost` nodes and the :class:`Network` that
+joins them -- the simulated equivalent of the paper's rack of KVM servers.
+"""
+
+from __future__ import annotations
+
+from ..common.calibration import Calibration, DEFAULT_CALIBRATION
+from ..common.errors import ConfigError
+from ..common.events import EventLog
+from ..common.ids import IdFactory
+from ..common.rng import RngStream
+from ..sim import Engine
+from .host import PhysicalHost
+from .network import Network
+
+
+class Cluster:
+    """N homogeneous hosts on one switch, plus shared simulation services."""
+
+    def __init__(
+        self,
+        n_hosts: int,
+        *,
+        cal: Calibration | None = None,
+        seed: int = 0,
+        host_prefix: str = "node",
+    ) -> None:
+        if n_hosts < 1:
+            raise ConfigError(f"cluster needs >= 1 host, got {n_hosts}")
+        self.cal = cal or DEFAULT_CALIBRATION
+        self.engine = Engine()
+        self.rng = RngStream(seed, "cluster")
+        self.ids = IdFactory()
+        self.log = EventLog(clock=lambda: self.engine.now)
+        self.network = Network(self.engine, self.cal)
+        self.hosts: list[PhysicalHost] = []
+        for i in range(n_hosts):
+            host = PhysicalHost(self.engine, f"{host_prefix}{i}", self.cal)
+            self.network.attach(host)
+            self.hosts.append(host)
+
+    def add_host(
+        self,
+        name: str | None = None,
+        *,
+        cores: int | None = None,
+        cpu_hz: float | None = None,
+        memory: int | None = None,
+        nic_rate: float | None = None,
+    ) -> PhysicalHost:
+        """Grow the pool (heterogeneous hosts allowed)."""
+        if name is None:
+            name = f"extra{self.ids.next_int('extra-host')}"
+        host = PhysicalHost(
+            self.engine, name, self.cal, cores=cores, cpu_hz=cpu_hz, memory=memory
+        )
+        self.network.attach(host, nic_rate=nic_rate)
+        self.hosts.append(host)
+        return host
+
+    def host(self, name: str) -> PhysicalHost:
+        for h in self.hosts:
+            if h.name == name:
+                return h
+        raise ConfigError(f"no host named {name}")
+
+    @property
+    def host_names(self) -> list[str]:
+        return [h.name for h in self.hosts]
+
+    def run(self, until=None):
+        """Convenience passthrough to the engine."""
+        return self.engine.run(until)
+
+    @property
+    def now(self) -> float:
+        return self.engine.now

@@ -1,0 +1,156 @@
+"""Physical host model: CPU cores, memory, and a single-spindle disk.
+
+A :class:`PhysicalHost` is what OpenNebula would call a *host* -- one entry
+in its host pool.  CPU is a :class:`~repro.sim.Resource` with one slot per
+core; memory is accounted (not time-shared) because placement decisions need
+free-memory arithmetic; the disk is a FIFO spindle with seek + streaming
+cost.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Generator
+
+from ..common.calibration import Calibration
+from ..common.errors import CapacityError
+from ..sim import Engine, Resource
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .network import Network
+
+
+class Disk:
+    """A single spindle: operations queue FIFO, each pays seek + size/rate."""
+
+    def __init__(self, engine: Engine, cal: Calibration) -> None:
+        self.engine = engine
+        self.cal = cal
+        self._spindle = Resource(engine, capacity=1)
+        self.bytes_read = 0
+        self.bytes_written = 0
+
+    def read(self, nbytes: int) -> Generator:
+        """Process: sequential read of *nbytes*."""
+        return self._io(nbytes, self.cal.disk_read_rate, is_write=False)
+
+    def write(self, nbytes: int) -> Generator:
+        """Process: sequential write of *nbytes*."""
+        return self._io(nbytes, self.cal.disk_write_rate, is_write=True)
+
+    def _io(self, nbytes: int, rate: float, is_write: bool) -> Generator:
+        if nbytes < 0:
+            raise CapacityError(f"negative I/O size: {nbytes}")
+        with self._spindle.request() as req:
+            yield req
+            yield self.engine.timeout(self.cal.disk_seek_time + nbytes / rate)
+        if is_write:
+            self.bytes_written += nbytes
+        else:
+            self.bytes_read += nbytes
+
+    @property
+    def queue_length(self) -> int:
+        return self._spindle.queue_length
+
+
+class PhysicalHost:
+    """One node of the cluster.
+
+    CPU work is expressed in *cycles* so virtualization overhead models can
+    scale it; ``compute(cycles)`` claims one core for ``cycles / cpu_hz``
+    seconds.  Memory is an explicit ledger used by the capacity manager.
+    """
+
+    def __init__(
+        self,
+        engine: Engine,
+        name: str,
+        cal: Calibration,
+        *,
+        cores: int | None = None,
+        cpu_hz: float | None = None,
+        memory: int | None = None,
+    ) -> None:
+        self.engine = engine
+        self.name = name
+        self.cal = cal
+        self.cores = cores if cores is not None else cal.cores_per_host
+        self.cpu_hz = cpu_hz if cpu_hz is not None else cal.cpu_hz
+        self.memory = memory if memory is not None else cal.host_memory
+        if self.cores < 1 or self.cpu_hz <= 0 or self.memory <= 0:
+            raise CapacityError(f"invalid host shape for {name}")
+
+        self.cpu = Resource(engine, capacity=self.cores)
+        self.disk = Disk(engine, cal)
+        self.network: "Network | None" = None  # set by Network.attach
+        self._mem_used = 0
+        self._busy_core_seconds = 0.0
+        self.alive = True
+
+    # -- memory ledger ---------------------------------------------------------
+
+    @property
+    def memory_used(self) -> int:
+        return self._mem_used
+
+    @property
+    def memory_free(self) -> int:
+        return self.memory - self._mem_used
+
+    def allocate_memory(self, nbytes: int) -> None:
+        if nbytes < 0:
+            raise CapacityError("negative memory allocation")
+        if nbytes > self.memory_free:
+            raise CapacityError(
+                f"{self.name}: need {nbytes} B, only {self.memory_free} B free"
+            )
+        self._mem_used += nbytes
+
+    def free_memory(self, nbytes: int) -> None:
+        if nbytes < 0 or nbytes > self._mem_used:
+            raise CapacityError(f"{self.name}: bad memory free of {nbytes}")
+        self._mem_used -= nbytes
+
+    # -- CPU ---------------------------------------------------------------------
+
+    def compute(self, cycles: float, overhead: float = 1.0) -> Generator:
+        """Process: burn *cycles* of CPU on one core, scaled by *overhead*."""
+        if cycles < 0:
+            raise CapacityError(f"negative cycles: {cycles}")
+        seconds = cycles * overhead / self.cpu_hz
+        with self.cpu.request() as req:
+            yield req
+            yield self.engine.timeout(seconds)
+            self._busy_core_seconds += seconds
+
+    def compute_seconds(self, seconds: float, overhead: float = 1.0) -> Generator:
+        """Process: hold one core for a fixed duration (already in seconds)."""
+        return self.compute(seconds * self.cpu_hz, overhead)
+
+    # -- monitoring ---------------------------------------------------------------
+
+    def cpu_utilisation(self, window_start: float = 0.0) -> float:
+        """Average fraction of total core-time spent busy since *window_start*."""
+        elapsed = self.engine.now - window_start
+        if elapsed <= 0:
+            return 0.0
+        return min(1.0, self._busy_core_seconds / (elapsed * self.cores))
+
+    def utilisation_since(self, busy_snapshot: float, t_snapshot: float) -> float:
+        """Interval utilisation between a snapshot and now (for dashboards)."""
+        elapsed = self.engine.now - t_snapshot
+        if elapsed <= 0:
+            return 0.0
+        delta = self._busy_core_seconds - busy_snapshot
+        return min(1.0, max(0.0, delta / (elapsed * self.cores)))
+
+    @property
+    def busy_core_seconds(self) -> float:
+        return self._busy_core_seconds
+
+    @property
+    def running_tasks(self) -> int:
+        return self.cpu.count
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<PhysicalHost {self.name} cores={self.cores} mem={self.memory}>"

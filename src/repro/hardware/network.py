@@ -1,0 +1,221 @@
+"""Flow-level network model with max-min fair bandwidth sharing.
+
+Hosts hang off a non-blocking switch; each host contributes an uplink and a
+downlink of ``nic_rate`` bytes/s.  A transfer is a *flow* crossing two links
+(source uplink, destination downlink).  Whenever the flow set changes the
+model recomputes max-min fair rates by progressive filling and reschedules
+the next completion -- the standard fluid approximation used by cluster
+simulators, which preserves exactly the effects the paper's claims depend
+on: N parallel transfers into one node share its downlink, while transfers
+to distinct nodes run at full rate.
+
+Loopback transfers (src == dst) bypass the NIC at memory-copy speed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..common.calibration import Calibration
+from ..common.errors import SimulationError
+from ..sim import Engine, Event
+from .host import PhysicalHost
+
+LOOPBACK_RATE = 5_000_000_000.0  # bytes/s, memcpy-ish
+
+
+@dataclass
+class _Link:
+    capacity: float
+    flows: set = field(default_factory=set)
+
+
+class Flow:
+    """One in-flight transfer."""
+
+    __slots__ = ("src", "dst", "size", "remaining", "rate", "done", "links", "started")
+
+    def __init__(self, src: str, dst: str, size: float, done: Event, links: tuple, started: float) -> None:
+        self.src = src
+        self.dst = dst
+        self.size = size
+        self.remaining = float(size)
+        self.rate = 0.0
+        self.done = done
+        self.links = links
+        self.started = started
+
+
+class Network:
+    """The cluster fabric.  Attach hosts, then ``transfer`` between them."""
+
+    def __init__(self, engine: Engine, cal: Calibration) -> None:
+        self.engine = engine
+        self.cal = cal
+        self._links: dict[str, _Link] = {}
+        self._flows: set[Flow] = set()
+        self._hosts: dict[str, PhysicalHost] = {}
+        self._last_update = 0.0
+        self._timer_token = 0
+        self.bytes_delivered = 0.0
+
+    # -- topology -----------------------------------------------------------------
+
+    def attach(self, host: PhysicalHost, nic_rate: float | None = None) -> None:
+        """Register *host* with an uplink and a downlink."""
+        if host.name in self._hosts:
+            raise SimulationError(f"host {host.name} already attached")
+        rate = nic_rate if nic_rate is not None else self.cal.nic_rate
+        self._links[f"{host.name}:up"] = _Link(rate)
+        self._links[f"{host.name}:down"] = _Link(rate)
+        self._hosts[host.name] = host
+        host.network = self
+
+    def host(self, name: str) -> PhysicalHost:
+        return self._hosts[name]
+
+    @property
+    def host_names(self) -> list[str]:
+        return list(self._hosts)
+
+    # -- transfers ------------------------------------------------------------------
+
+    def transfer(self, src: str, dst: str, nbytes: float) -> Event:
+        """Start a flow of *nbytes* from *src* to *dst*; returns completion event.
+
+        The event's value is the flow duration in seconds.
+        """
+        if src not in self._hosts or dst not in self._hosts:
+            raise SimulationError(f"transfer between unknown hosts {src}->{dst}")
+        if nbytes < 0:
+            raise SimulationError(f"negative transfer size {nbytes}")
+        done = self.engine.event()
+        if src == dst:
+            # Loopback: latency-free memcpy, not subject to NIC contention.
+            dur = nbytes / LOOPBACK_RATE
+
+            def _loop():
+                yield self.engine.timeout(dur)
+                self.bytes_delivered += nbytes
+                done.succeed(dur)
+
+            self.engine.process(_loop(), name=f"loopback:{src}")
+            return done
+
+        if nbytes == 0:
+            dur = self.cal.net_latency
+
+            def _empty():
+                yield self.engine.timeout(dur)
+                done.succeed(dur)
+
+            self.engine.process(_empty(), name=f"xfer0:{src}->{dst}")
+            return done
+
+        links = (f"{src}:up", f"{dst}:down")
+        flow = Flow(src, dst, nbytes, done, links, self.engine.now)
+        self._advance()
+        self._flows.add(flow)
+        for l in links:
+            self._links[l].flows.add(flow)
+        self._recompute_and_schedule()
+        return done
+
+    def active_flow_count(self) -> int:
+        return len(self._flows)
+
+    def flow_rate(self, src: str, dst: str) -> float:
+        """Current aggregate rate of all flows src->dst (monitoring aid)."""
+        return sum(f.rate for f in self._flows if f.src == src and f.dst == dst)
+
+    # -- fluid model internals ----------------------------------------------------
+
+    def _advance(self) -> None:
+        """Account progress of every flow since the last rate change."""
+        now = self.engine.now
+        dt = now - self._last_update
+        if dt > 0:
+            for f in self._flows:
+                f.remaining = max(0.0, f.remaining - f.rate * dt)
+        self._last_update = now
+
+    def _max_min_rates(self) -> None:
+        """Progressive-filling max-min fairness over all links."""
+        unfrozen: set[Flow] = set(self._flows)
+        residual = {name: link.capacity for name, link in self._links.items()}
+        for f in unfrozen:
+            f.rate = 0.0
+        while unfrozen:
+            # fair share each link could give its unfrozen flows
+            best_share = None
+            best_link = None
+            for name, link in self._links.items():
+                n = sum(1 for f in link.flows if f in unfrozen)
+                if n == 0:
+                    continue
+                share = residual[name] / n
+                if best_share is None or share < best_share:
+                    best_share = share
+                    best_link = name
+            if best_link is None:
+                break
+            # freeze every unfrozen flow crossing the bottleneck
+            frozen_now = [f for f in self._links[best_link].flows if f in unfrozen]
+            for f in frozen_now:
+                f.rate = best_share
+                unfrozen.discard(f)
+                for lname in f.links:
+                    residual[lname] -= best_share
+            residual[best_link] = 0.0
+
+    def _recompute_and_schedule(self) -> None:
+        self._max_min_rates()
+        self._timer_token += 1
+        token = self._timer_token
+        # earliest completion among active flows
+        next_done = None
+        for f in self._flows:
+            if f.rate <= 0:
+                continue
+            t = f.remaining / f.rate
+            if next_done is None or t < next_done:
+                next_done = t
+        if next_done is None:
+            return
+        # Flows this timer is responsible for finishing.  They are forced to
+        # zero when it fires: float rounding can make `now + next_done == now`,
+        # in which case _advance() sees dt == 0 and would never drain them,
+        # rescheduling a zero-delay timer forever.
+        expected = [
+            f
+            for f in self._flows
+            if f.rate > 0 and f.remaining / f.rate <= next_done * (1 + 1e-9)
+        ]
+
+        def _timer():
+            yield self.engine.timeout(next_done)
+            if token != self._timer_token:
+                return  # superseded by a newer rate change
+            self._advance()
+            for f in expected:
+                f.remaining = 0.0
+            finished = [f for f in self._flows if f.remaining <= 1e-9]
+            for f in finished:
+                self._flows.discard(f)
+                for lname in f.links:
+                    self._links[lname].flows.discard(f)
+                self.bytes_delivered += f.size
+                self._complete(f)
+            self._recompute_and_schedule()
+
+        self.engine.process(_timer(), name="net-timer")
+
+    def _complete(self, flow: Flow) -> None:
+        """Deliver the completion event after propagation latency."""
+        duration = self.engine.now - flow.started + self.cal.net_latency
+
+        def _finish():
+            yield self.engine.timeout(self.cal.net_latency)
+            flow.done.succeed(duration)
+
+        self.engine.process(_finish(), name=f"xfer-done:{flow.src}->{flow.dst}")

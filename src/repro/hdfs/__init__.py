@@ -1,0 +1,59 @@
+"""HDFS analogue: NameNode, DataNodes, replicated pipelined writes."""
+
+from .admin import (
+    BalancerReport,
+    FileHealth,
+    FsckReport,
+    SafeModeController,
+    balancer,
+    decommission,
+    fsck,
+    utilisations,
+)
+from .block import Block, BlockId, split_into_blocks
+from .client import HdfsClient, RPC_COST
+from .datanode import DataNode
+from .fs import Hdfs
+from .journal import (
+    EditLog,
+    EditOp,
+    FsImage,
+    attach_journal,
+    checkpoint,
+    replay_into_image,
+    restart_namenode,
+)
+from .namenode import INode, NameNode
+from .placement import PlacementPolicy
+from .trash import TRASH_ROOT, TrashEntry, TrashPolicy
+
+__all__ = [
+    "BalancerReport",
+    "Block",
+    "BlockId",
+    "DataNode",
+    "EditLog",
+    "EditOp",
+    "FsImage",
+    "FileHealth",
+    "FsckReport",
+    "Hdfs",
+    "HdfsClient",
+    "INode",
+    "NameNode",
+    "PlacementPolicy",
+    "RPC_COST",
+    "SafeModeController",
+    "TRASH_ROOT",
+    "TrashEntry",
+    "TrashPolicy",
+    "attach_journal",
+    "balancer",
+    "checkpoint",
+    "decommission",
+    "fsck",
+    "replay_into_image",
+    "restart_namenode",
+    "split_into_blocks",
+    "utilisations",
+]

@@ -1,0 +1,240 @@
+"""HDFS administration: fsck, safe mode, balancer, decommissioning.
+
+The operational tools a production Hadoop deployment of the paper's era
+shipped with:
+
+* **fsck** -- walk the namespace and report per-file replica health;
+* **safe mode** -- after a (simulated) NameNode restart, mutations are
+  refused until enough DataNodes have re-registered;
+* **balancer** -- iteratively move block replicas from over-utilised to
+  under-utilised DataNodes until utilisations sit within a threshold of
+  the mean;
+* **decommissioning** -- drain a DataNode gracefully: re-replicate its
+  blocks elsewhere, then retire it (no data loss, unlike a crash).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Generator
+
+from ..common.errors import HdfsError, ReplicationError, SafeModeError
+from .block import BlockId
+from .fs import Hdfs
+
+
+@dataclass
+class FileHealth:
+    path: str
+    blocks: int
+    healthy_blocks: int
+    under_replicated: int
+    missing: int
+
+    @property
+    def healthy(self) -> bool:
+        return self.missing == 0 and self.under_replicated == 0
+
+
+@dataclass
+class FsckReport:
+    files: list[FileHealth] = field(default_factory=list)
+
+    @property
+    def healthy(self) -> bool:
+        return all(f.healthy for f in self.files)
+
+    @property
+    def total_missing(self) -> int:
+        return sum(f.missing for f in self.files)
+
+    @property
+    def total_under_replicated(self) -> int:
+        return sum(f.under_replicated for f in self.files)
+
+    def summary(self) -> str:
+        status = "HEALTHY" if self.healthy else "CORRUPT"
+        return (
+            f"fsck: {len(self.files)} files, "
+            f"{self.total_under_replicated} under-replicated, "
+            f"{self.total_missing} missing -- {status}"
+        )
+
+
+def fsck(fs: Hdfs) -> FsckReport:
+    """Walk the namespace, classifying every block."""
+    nn = fs.namenode
+    report = FsckReport()
+    for path, inode in sorted(nn.namespace.items()):
+        healthy = under = missing = 0
+        for block in inode.blocks:
+            live = len(nn.locations(block.block_id))
+            if live == 0:
+                missing += 1
+            elif live < inode.replication:
+                under += 1
+            else:
+                healthy += 1
+        report.files.append(FileHealth(
+            path=path, blocks=len(inode.blocks), healthy_blocks=healthy,
+            under_replicated=under, missing=missing,
+        ))
+    return report
+
+
+class SafeModeController:
+    """NameNode-restart safe mode.
+
+    On entry, mutations raise :class:`SafeModeError`.  The controller
+    leaves safe mode once at least ``threshold`` of DataNodes have sent a
+    heartbeat *after* the restart (the block-report threshold of real HDFS,
+    simplified to node granularity).
+    """
+
+    def __init__(self, fs: Hdfs, threshold: float = 0.999) -> None:
+        if not 0 < threshold <= 1:
+            raise HdfsError("safe-mode threshold must be in (0, 1]")
+        self.fs = fs
+        self.threshold = threshold
+        self.active = False
+        self._reported: set[str] = set()
+        self._orig_create = None
+
+    def enter(self) -> None:
+        """Simulate a NameNode restart: forget liveness, refuse mutations."""
+        if self.active:
+            return
+        self.active = True
+        self._reported = set()
+        nn = self.fs.namenode
+        self._orig_create = nn.create_file
+
+        def guarded_create(path, replication):
+            if self.active:
+                raise SafeModeError(f"cannot create {path}: namenode in safe mode")
+            return self._orig_create(path, replication)
+
+        nn.create_file = guarded_create  # type: ignore[method-assign]
+
+    def report(self, datanode: str) -> None:
+        """A DataNode heartbeat observed after restart."""
+        if not self.active:
+            return
+        if datanode not in self.fs.datanodes:
+            raise HdfsError(f"unknown datanode {datanode}")
+        self._reported.add(datanode)
+        if self.fraction_reported() >= self.threshold:
+            self.leave()
+
+    def fraction_reported(self) -> float:
+        return len(self._reported) / max(1, len(self.fs.datanodes))
+
+    def leave(self) -> None:
+        if not self.active:
+            return
+        self.active = False
+        if self._orig_create is not None:
+            self.fs.namenode.create_file = self._orig_create  # type: ignore[method-assign]
+        self.fs.cluster.log.emit("hdfs.namenode", "safemode_off",
+                                 "namenode left safe mode")
+
+
+@dataclass
+class BalancerReport:
+    moves: int = 0
+    bytes_moved: int = 0
+    iterations: int = 0
+    utilisations_before: dict[str, float] = field(default_factory=dict)
+    utilisations_after: dict[str, float] = field(default_factory=dict)
+
+
+def utilisations(fs: Hdfs, capacity: int) -> dict[str, float]:
+    """Per-DataNode used/capacity fractions."""
+    return {name: dn.used_bytes / capacity for name, dn in fs.datanodes.items()}
+
+
+def balancer(fs: Hdfs, *, capacity: int, threshold: float = 0.1,
+             max_iterations: int = 100) -> Generator:
+    """Process: move replicas until every node is within *threshold* of the
+    mean utilisation.  Returns a BalancerReport."""
+    if capacity <= 0:
+        raise HdfsError("balancer needs a positive per-node capacity")
+    nn = fs.namenode
+    engine = fs.engine
+
+    def _run():
+        report = BalancerReport(utilisations_before=utilisations(fs, capacity))
+        for _ in range(max_iterations):
+            report.iterations += 1
+            utils = utilisations(fs, capacity)
+            ranked = sorted((u, n) for n, u in utils.items())
+            (low, dst), (high, src) = ranked[0], ranked[-1]
+            if high - low <= threshold:
+                break
+            src_dn = fs.datanode(src)
+            moved = False
+            for block_id, block in sorted(src_dn.blocks.items(),
+                                          key=lambda kv: -kv[1].length):
+                holders = nn.block_map.get(block_id, set())
+                if dst in holders:
+                    continue
+                # copy src -> dst, then drop the src replica
+                yield engine.process(src_dn.serve_block(block_id, dst))
+                yield engine.process(fs.datanode(dst).store_block(block, []))
+                src_dn.blocks.pop(block_id, None)
+                holders.discard(src)
+                report.moves += 1
+                report.bytes_moved += block.length
+                moved = True
+                break
+            if not moved:
+                break
+        report.utilisations_after = utilisations(fs, capacity)
+        fs.cluster.log.emit("hdfs.balancer", "balanced",
+                            f"balancer: {report.moves} moves, "
+                            f"{report.bytes_moved} bytes",
+                            moves=report.moves)
+        return report
+
+    return _run()
+
+
+def decommission(fs: Hdfs, datanode: str) -> Generator:
+    """Process: gracefully drain *datanode*, then retire it.
+
+    Every block it holds is first copied to another live node; only then
+    is the node removed from service.  Raises ReplicationError if the
+    remaining cluster cannot hold the data.
+    """
+    nn = fs.namenode
+    engine = fs.engine
+    dn = fs.datanode(datanode)
+
+    def _run():
+        others = [d for d in nn.live_datanodes() if d != datanode]
+        if not others:
+            raise ReplicationError(f"cannot decommission {datanode}: last node")
+        moved = 0
+        for block_id in sorted(dn.blocks, key=lambda b: b.id):
+            block = dn.blocks[block_id]
+            holders = nn.block_map.get(block_id, set())
+            targets = [d for d in others if d not in holders]
+            if not targets:
+                # already replicated everywhere else; just drop ours
+                pass
+            else:
+                target = nn.placement.choose_rereplication_target(
+                    others, holders - {datanode})
+                yield engine.process(dn.serve_block(block_id, target))
+                yield engine.process(fs.datanode(target).store_block(block, []))
+                moved += 1
+            holders.discard(datanode)
+        dn.blocks.clear()
+        dn.kill()
+        nn.dead_datanodes.add(datanode)
+        fs.cluster.log.emit("hdfs.namenode", "decommissioned",
+                            f"{datanode} decommissioned ({moved} blocks moved)",
+                            datanode=datanode, moved=moved)
+        return moved
+
+    return _run()

@@ -1,0 +1,73 @@
+"""HDFS blocks.
+
+Files are split into fixed-size blocks (64 MiB by default, as in the
+paper's Hadoop generation).  A block carries an authoritative *length*
+used for all timing/placement arithmetic, and optionally the *real bytes*
+of its content: small files (search indexes, page text) store real data so
+higher layers can assert exact round-trips, while multi-GiB video files
+are *synthetic* -- length without materialised payload -- so simulations
+stay memory-bounded.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..common.errors import HdfsError
+
+
+@dataclass(frozen=True)
+class BlockId:
+    """Globally unique block identifier."""
+
+    id: int
+
+    def __str__(self) -> str:
+        return f"blk_{self.id}"
+
+
+@dataclass
+class Block:
+    """One block of one file."""
+
+    block_id: BlockId
+    length: int                 # bytes, authoritative for timing
+    payload: bytes | None = None  # real content, or None for synthetic data
+
+    def __post_init__(self) -> None:
+        if self.length < 0:
+            raise HdfsError(f"{self.block_id}: negative length")
+        if self.payload is not None and len(self.payload) != self.length:
+            raise HdfsError(
+                f"{self.block_id}: payload length {len(self.payload)} != declared {self.length}"
+            )
+
+    @property
+    def is_synthetic(self) -> bool:
+        return self.payload is None
+
+
+def split_into_blocks(
+    next_id, data: bytes | None, length: int, block_size: int
+) -> list[Block]:
+    """Cut a file into blocks of *block_size* (the last one may be short).
+
+    *next_id* is a callable returning fresh integer ids.
+    """
+    if block_size <= 0:
+        raise HdfsError("block size must be > 0")
+    if length < 0:
+        raise HdfsError("file length must be >= 0")
+    if data is not None and len(data) != length:
+        raise HdfsError("data length disagrees with declared length")
+    blocks: list[Block] = []
+    offset = 0
+    # A zero-length file still occupies one (empty) block entry.
+    while offset < length or not blocks:
+        chunk = min(block_size, length - offset)
+        payload = data[offset : offset + chunk] if data is not None else None
+        blocks.append(Block(BlockId(next_id()), chunk, payload))
+        offset += chunk
+        if length == 0:
+            break
+    return blocks

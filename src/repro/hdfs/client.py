@@ -1,0 +1,131 @@
+"""HDFS client: the user-facing filesystem API.
+
+A client is bound to the host it runs on: reads prefer a local replica
+(Hadoop's read locality), writes place the first replica locally when the
+writer host is also a DataNode.  This is exactly the property MapReduce
+exploits ("calculation migration to the storage method", Section III.B).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Generator
+
+from ..common.errors import HdfsError
+from .block import split_into_blocks
+from .namenode import INode
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .fs import Hdfs
+
+#: fixed cost of one client<->NameNode metadata RPC, seconds
+RPC_COST = 0.002
+
+
+class HdfsClient:
+    """Filesystem operations from the point of view of one host."""
+
+    def __init__(self, fs: "Hdfs", host_name: str) -> None:
+        self.fs = fs
+        self.host_name = host_name
+
+    # -- writes ---------------------------------------------------------------
+
+    def write_file(self, path: str, data: bytes, replication: int | None = None) -> Generator:
+        """Process: create *path* with real content *data*."""
+        return self._write(path, data, len(data), replication)
+
+    def write_synthetic(self, path: str, length: int, replication: int | None = None) -> Generator:
+        """Process: create *path* as *length* synthetic bytes (timing only)."""
+        return self._write(path, None, length, replication)
+
+    def _write(self, path: str, data: bytes | None, length: int, replication: int | None) -> Generator:
+        fs = self.fs
+        nn = fs.namenode
+        engine = fs.engine
+        repl = replication if replication is not None else fs.replication
+
+        def _flow():
+            yield engine.timeout(RPC_COST)
+            nn.create_file(path, repl)
+            blocks = split_into_blocks(nn.next_block_id, data, length, fs.block_size)
+            for block in blocks:
+                yield engine.timeout(RPC_COST)
+                targets = nn.add_block(path, block, self.host_name)
+                # Client streams to the first DataNode; it forwards down the
+                # pipeline while writing (store_block overlaps the hops).
+                first, rest = targets[0], targets[1:]
+                yield fs.cluster.network.transfer(self.host_name, first, block.length)
+                yield engine.process(fs.datanode(first).store_block(block, rest))
+            nn.complete_file(path)
+            return nn.get_file(path)
+
+        return _flow()
+
+    # -- reads ------------------------------------------------------------------
+
+    def read_file(self, path: str) -> Generator:
+        """Process: read all blocks; returns bytes (real) or total length (synthetic)."""
+        fs = self.fs
+        nn = fs.namenode
+        engine = fs.engine
+
+        def _flow():
+            yield engine.timeout(RPC_COST)
+            inode = nn.get_file(path)
+            chunks: list[bytes] = []
+            synthetic = False
+            for block in inode.blocks:
+                # try replicas in preference order; a checksum failure on
+                # one replica (reported to the NameNode by the DataNode)
+                # falls through to the next -- real DFSClient behaviour
+                got = None
+                last_error: HdfsError | None = None
+                while got is None:
+                    locs = nn.locations(block.block_id)
+                    if not locs:
+                        raise last_error or HdfsError(
+                            f"{path}: {block.block_id} has no live replica")
+                    src = (self.host_name if self.host_name in locs
+                           else sorted(locs)[0])
+                    try:
+                        got = yield engine.process(
+                            fs.datanode(src).serve_block(
+                                block.block_id, self.host_name)
+                        )
+                    except HdfsError as exc:
+                        last_error = exc
+                        # corrupt replicas are dropped from the block map by
+                        # report_corrupt; a dead node needs manual exclusion
+                        if src in nn.locations(block.block_id):
+                            raise
+                if got.payload is None:
+                    synthetic = True
+                else:
+                    chunks.append(got.payload)
+            if synthetic:
+                return inode.length
+            return b"".join(chunks)
+
+        return _flow()
+
+    def preferred_block_host(self, path: str, block_index: int) -> str:
+        """Where block *block_index* of *path* should be read from (locality)."""
+        inode = self.fs.namenode.get_file(path)
+        locs = self.fs.namenode.locations(inode.blocks[block_index].block_id)
+        if not locs:
+            raise HdfsError(f"{path}: block {block_index} has no live replica")
+        return self.host_name if self.host_name in locs else sorted(locs)[0]
+
+    # -- metadata -----------------------------------------------------------------
+
+    def exists(self, path: str) -> bool:
+        return self.fs.namenode.exists(path)
+
+    def stat(self, path: str) -> INode:
+        return self.fs.namenode.get_file(path)
+
+    def listdir(self, prefix: str) -> list[str]:
+        return self.fs.namenode.listdir(prefix)
+
+    def delete(self, path: str) -> None:
+        self.fs.namenode.delete(path)

@@ -1,0 +1,193 @@
+"""DataNode: block storage + pipeline forwarding + heartbeats.
+
+"Data node ... is utilized for information storage that directly sets up
+data communicate to users" (Section III.B).  Each DataNode lives on one
+cluster host; storing a block costs a disk write, serving one costs a
+disk read, and both ends of every transfer go through the shared network
+fabric.  A heartbeat process reports liveness to the NameNode.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Generator
+
+from ..common.errors import HdfsError
+from ..hardware import PhysicalHost
+from ..sim import Interrupt, Process
+from .block import Block, BlockId
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .namenode import NameNode
+
+
+class DataNode:
+    """One storage node."""
+
+    def __init__(self, host: PhysicalHost, namenode: "NameNode") -> None:
+        self.host = host
+        self.namenode = namenode
+        self.blocks: dict[BlockId, Block] = {}
+        self.corrupted: set[BlockId] = set()
+        self.alive = True
+        self._heartbeat_proc: Process | None = None
+        self._hb_stop = False
+        self._scanner_proc: Process | None = None
+        self._scan_stop = False
+
+    @property
+    def name(self) -> str:
+        return self.host.name
+
+    @property
+    def used_bytes(self) -> int:
+        return sum(b.length for b in self.blocks.values())
+
+    # -- block I/O -------------------------------------------------------------
+
+    def store_block(self, block: Block, pipeline: list[str]) -> Generator:
+        """Process: receive *block* (already on the wire to us), write it to
+        disk, and forward down the remaining *pipeline* concurrently (HDFS
+        write pipelining: downstream replication overlaps the local write)."""
+        engine = self.host.engine
+
+        def _store():
+            if not self.alive:
+                raise HdfsError(f"datanode {self.name} is down")
+            forward = None
+            if pipeline:
+                nxt = pipeline[0]
+                fs = self.namenode.fs
+                forward = engine.process(
+                    fs.datanode(nxt).receive_from(self.name, block, pipeline[1:])
+                )
+            yield engine.process(self.host.disk.write(block.length))
+            if not self.alive:
+                raise HdfsError(f"datanode {self.name} died mid-write")
+            self.blocks[block.block_id] = block
+            self.namenode.block_received(self.name, block)
+            if forward is not None:
+                yield forward
+
+        return _store()
+
+    def receive_from(self, src_host: str, block: Block, pipeline: list[str]) -> Generator:
+        """Process: network transfer from *src_host*, then store + forward."""
+        engine = self.host.engine
+        fs = self.namenode.fs
+
+        def _recv():
+            yield fs.cluster.network.transfer(src_host, self.name, block.length)
+            yield engine.process(self.store_block(block, pipeline))
+
+        return _recv()
+
+    def serve_block(self, block_id: BlockId, dst_host: str) -> Generator:
+        """Process: read a block from disk and ship it to *dst_host*.
+
+        A corrupted replica fails its checksum on read: the DataNode
+        reports itself to the NameNode and the read errors out so the
+        client can retry another replica (real HDFS behaviour).
+        """
+        engine = self.host.engine
+        fs = self.namenode.fs
+
+        def _serve():
+            if not self.alive:
+                raise HdfsError(f"datanode {self.name} is down")
+            block = self.blocks.get(block_id)
+            if block is None:
+                raise HdfsError(f"{self.name} has no replica of {block_id}")
+            yield engine.process(self.host.disk.read(block.length))
+            if block_id in self.corrupted:
+                self.namenode.report_corrupt(self.name, block_id)
+                raise HdfsError(
+                    f"{self.name}: checksum failure on {block_id}")
+            yield fs.cluster.network.transfer(self.name, dst_host, block.length)
+            return block
+
+        return _serve()
+
+    # -- liveness ------------------------------------------------------------------
+
+    def start_heartbeats(self, interval: float) -> None:
+        """Begin the heartbeat loop (idempotent)."""
+        if self._heartbeat_proc is not None and self._heartbeat_proc.is_alive:
+            return
+        self._hb_stop = False
+        engine = self.host.engine
+
+        def _beat():
+            try:
+                while self.alive and not self._hb_stop:
+                    self.namenode.heartbeat(self.name)
+                    yield engine.timeout(interval)
+            except Interrupt:
+                pass
+
+        self._heartbeat_proc = engine.process(_beat(), name=f"hb-{self.name}")
+
+    def stop_heartbeats(self) -> None:
+        self._hb_stop = True
+        proc = self._heartbeat_proc
+        self._heartbeat_proc = None
+        if proc is not None and proc.is_alive and proc.started:
+            proc.interrupt("stop")
+
+    # -- corruption + scanning --------------------------------------------------
+
+    def corrupt_replica(self, block_id: BlockId) -> None:
+        """Failure injection: bit-rot this replica (detected on next read/scan)."""
+        if block_id not in self.blocks:
+            raise HdfsError(f"{self.name} has no replica of {block_id}")
+        self.corrupted.add(block_id)
+
+    def scan_once(self) -> Generator:
+        """Process: the block scanner -- read-verify every local replica,
+        reporting corrupt ones to the NameNode.  Returns found corruptions."""
+        engine = self.host.engine
+
+        def _scan():
+            found = []
+            for block_id in sorted(self.blocks, key=lambda b: b.id):
+                block = self.blocks.get(block_id)
+                if block is None or not self.alive:
+                    continue
+                yield engine.process(self.host.disk.read(block.length))
+                if block_id in self.corrupted:
+                    self.namenode.report_corrupt(self.name, block_id)
+                    found.append(block_id)
+            return found
+
+        return _scan()
+
+    def start_block_scanner(self, period: float) -> None:
+        """Periodic scan loop (idempotent; stop with stop_block_scanner)."""
+        if self._scanner_proc is not None and self._scanner_proc.is_alive:
+            return
+        self._scan_stop = False
+        engine = self.host.engine
+
+        def _loop():
+            try:
+                while self.alive and not self._scan_stop:
+                    yield engine.timeout(period)
+                    if self._scan_stop:
+                        return
+                    yield engine.process(self.scan_once())
+            except Interrupt:
+                pass
+
+        self._scanner_proc = engine.process(_loop(), name=f"scan-{self.name}")
+
+    def stop_block_scanner(self) -> None:
+        self._scan_stop = True
+        proc = self._scanner_proc
+        self._scanner_proc = None
+        if proc is not None and proc.is_alive and proc.started:
+            proc.interrupt("stop")
+
+    def kill(self) -> None:
+        """Simulate node failure: stops heartbeats, refuses all future I/O."""
+        self.alive = False
+        self.stop_heartbeats()
+        self.stop_block_scanner()

@@ -1,0 +1,105 @@
+"""The Hdfs façade: one NameNode + DataNodes on cluster hosts.
+
+Mirrors the deployment of Figure 11: the NameNode runs on a master host
+(usually the cloud front-end) and each slave host runs a DataNode.
+"""
+
+from __future__ import annotations
+
+from ..common.errors import ConfigError
+from ..hardware import Cluster
+from .client import HdfsClient
+from .datanode import DataNode
+from .namenode import NameNode
+from .placement import PlacementPolicy
+
+
+class Hdfs:
+    """A deployed HDFS instance."""
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        *,
+        namenode_host: str | None = None,
+        datanode_hosts: list[str] | None = None,
+        replication: int | None = None,
+        block_size: int | None = None,
+    ) -> None:
+        self.cluster = cluster
+        self.engine = cluster.engine
+        cal = cluster.cal.hadoop
+        self.replication = replication if replication is not None else cal.replication
+        self.block_size = block_size if block_size is not None else cal.block_size
+        if self.replication < 1:
+            raise ConfigError("replication must be >= 1")
+        if self.block_size <= 0:
+            raise ConfigError("block size must be > 0")
+
+        self.namenode_host = namenode_host or cluster.host_names[0]
+        if self.namenode_host not in cluster.host_names:
+            raise ConfigError(f"namenode host {self.namenode_host} not in cluster")
+        dn_hosts = datanode_hosts or [
+            n for n in cluster.host_names if n != self.namenode_host
+        ]
+        if not dn_hosts:
+            raise ConfigError("need at least one datanode host")
+        for n in dn_hosts:
+            if n not in cluster.host_names:
+                raise ConfigError(f"datanode host {n} not in cluster")
+        if self.replication > len(dn_hosts):
+            raise ConfigError(
+                f"replication {self.replication} exceeds {len(dn_hosts)} datanodes"
+            )
+
+        self.namenode = NameNode(self, PlacementPolicy(cluster.rng.child("hdfs")))
+        self.datanodes: dict[str, DataNode] = {}
+        for name in dn_hosts:
+            dn = DataNode(cluster.host(name), self.namenode)
+            self.datanodes[name] = dn
+            self.namenode.register_datanode(name)
+
+    # -- access -------------------------------------------------------------------
+
+    def datanode(self, name: str) -> DataNode:
+        try:
+            return self.datanodes[name]
+        except KeyError:
+            raise ConfigError(f"no datanode on host {name}") from None
+
+    def client(self, host_name: str | None = None) -> HdfsClient:
+        """A client running on *host_name* (default: the NameNode host)."""
+        return HdfsClient(self, host_name or self.namenode_host)
+
+    # -- background services -----------------------------------------------------------
+
+    def start(self, *, scan_period: float | None = None) -> None:
+        """Start heartbeats + the replication monitor (+ block scanners)."""
+        cal = self.cluster.cal.hadoop
+        for dn in self.datanodes.values():
+            dn.start_heartbeats(cal.heartbeat_interval)
+            if scan_period is not None:
+                dn.start_block_scanner(scan_period)
+        self.namenode.start_replication_monitor(
+            period=cal.heartbeat_interval, dn_timeout=cal.datanode_timeout
+        )
+
+    def stop(self) -> None:
+        """Stop all background processes so the engine can drain."""
+        for dn in self.datanodes.values():
+            dn.stop_heartbeats()
+            dn.stop_block_scanner()
+        self.namenode.stop_monitor()
+
+    def kill_datanode(self, name: str) -> None:
+        """Failure injection: the node stops heart-beating and serving."""
+        self.datanode(name).kill()
+        self.cluster.log.emit("hdfs", "datanode_killed", f"killed {name}", datanode=name)
+
+    # -- metrics ------------------------------------------------------------------------
+
+    def total_stored_bytes(self) -> int:
+        return sum(dn.used_bytes for dn in self.datanodes.values())
+
+    def file_count(self) -> int:
+        return len(self.namenode.namespace)

@@ -1,0 +1,274 @@
+"""NameNode: namespace, block map, replication management.
+
+"Name node is used for storing metadata of the file system ... The
+function of Name node is like the top commander in the file system"
+(Section III.B).  Pure metadata lives here -- real bytes only ever sit on
+DataNodes.  A replication monitor detects DataNodes that stopped
+heart-beating and re-replicates every block they held, which is the
+fault-tolerance behaviour the paper leans on for video storage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Generator
+
+from ..common.errors import (
+    FileAlreadyExists,
+    FileNotFoundInHdfs,
+    HdfsError,
+    ReplicationError,
+)
+from ..sim import Interrupt, Process
+from .block import Block, BlockId
+from .placement import PlacementPolicy
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .fs import Hdfs
+
+
+@dataclass
+class INode:
+    """Metadata of one file."""
+
+    path: str
+    replication: int
+    blocks: list[Block] = field(default_factory=list)
+    complete: bool = False
+    mtime: float = 0.0
+
+    @property
+    def length(self) -> int:
+        return sum(b.length for b in self.blocks)
+
+
+class NameNode:
+    """The metadata master."""
+
+    def __init__(self, fs: "Hdfs", placement: PlacementPolicy) -> None:
+        self.fs = fs
+        self.placement = placement
+        self.namespace: dict[str, INode] = {}
+        self.block_map: dict[BlockId, set[str]] = {}
+        self.block_owner: dict[BlockId, str] = {}   # block -> file path
+        self.last_heartbeat: dict[str, float] = {}
+        self.dead_datanodes: set[str] = set()
+        self.under_replicated: list[BlockId] = []
+        self._monitor_proc: Process | None = None
+        self._monitor_stop = False
+        self._next_block_id = 0
+        self.rereplications_done = 0
+
+    # -- datanode membership ----------------------------------------------------
+
+    def register_datanode(self, name: str) -> None:
+        self.last_heartbeat[name] = self.fs.engine.now
+
+    def heartbeat(self, name: str) -> None:
+        if name in self.dead_datanodes:
+            # A node can come back; treat as re-registration.
+            self.dead_datanodes.discard(name)
+        self.last_heartbeat[name] = self.fs.engine.now
+
+    def live_datanodes(self) -> list[str]:
+        return [d for d in self.last_heartbeat if d not in self.dead_datanodes]
+
+    # -- namespace ops (metadata only, instantaneous) ------------------------------
+
+    def next_block_id(self) -> int:
+        self._next_block_id += 1
+        return self._next_block_id - 1
+
+    def create_file(self, path: str, replication: int) -> INode:
+        _validate_path(path)
+        if path in self.namespace:
+            raise FileAlreadyExists(path)
+        live = len(self.live_datanodes())
+        if replication > live:
+            raise ReplicationError(
+                f"replication {replication} > {live} live datanodes"
+            )
+        inode = INode(path=path, replication=replication, mtime=self.fs.engine.now)
+        self.namespace[path] = inode
+        return inode
+
+    def add_block(self, path: str, block: Block, writer_host: str | None) -> list[str]:
+        """Register a new block for *path* and pick its target pipeline."""
+        inode = self._inode(path)
+        if inode.complete:
+            raise HdfsError(f"{path}: file is complete (HDFS files are immutable)")
+        targets = self.placement.choose_targets(
+            inode.replication, self.live_datanodes(), writer_host
+        )
+        inode.blocks.append(block)
+        self.block_map[block.block_id] = set()
+        self.block_owner[block.block_id] = path
+        return targets
+
+    def block_received(self, datanode: str, block: Block) -> None:
+        """A DataNode confirmed a replica (the HDFS blockReceived RPC)."""
+        self.block_map.setdefault(block.block_id, set()).add(datanode)
+
+    def complete_file(self, path: str) -> None:
+        inode = self._inode(path)
+        inode.complete = True
+        inode.mtime = self.fs.engine.now
+
+    def get_file(self, path: str) -> INode:
+        return self._inode(path)
+
+    def exists(self, path: str) -> bool:
+        return path in self.namespace
+
+    def delete(self, path: str) -> None:
+        inode = self._inode(path)
+        for block in inode.blocks:
+            for dn_name in self.block_map.pop(block.block_id, set()):
+                dn = self.fs.datanodes.get(dn_name)
+                if dn is not None:
+                    dn.blocks.pop(block.block_id, None)
+            self.block_owner.pop(block.block_id, None)
+        del self.namespace[path]
+
+    def listdir(self, prefix: str) -> list[str]:
+        """All file paths under *prefix* (flat namespace with / separators)."""
+        if not prefix.endswith("/"):
+            prefix += "/"
+        return sorted(p for p in self.namespace if p.startswith(prefix))
+
+    def locations(self, block_id: BlockId) -> set[str]:
+        live = set(self.live_datanodes())
+        return self.block_map.get(block_id, set()) & live
+
+    def _inode(self, path: str) -> INode:
+        try:
+            return self.namespace[path]
+        except KeyError:
+            raise FileNotFoundInHdfs(path) from None
+
+    # -- failure detection + re-replication ------------------------------------------
+
+    def check_datanodes(self, timeout: float) -> list[str]:
+        """Mark DataNodes silent for > *timeout* as dead; enqueue their blocks."""
+        now = self.fs.engine.now
+        newly_dead = []
+        for name, last in self.last_heartbeat.items():
+            if name in self.dead_datanodes:
+                continue
+            if now - last > timeout:
+                newly_dead.append(name)
+        for name in newly_dead:
+            self.dead_datanodes.add(name)
+            self.fs.cluster.log.emit(
+                "hdfs.namenode", "datanode_dead",
+                f"datanode {name} declared dead", datanode=name,
+            )
+            for block_id, holders in self.block_map.items():
+                if name in holders:
+                    path = self.block_owner.get(block_id)
+                    inode = self.namespace.get(path) if path else None
+                    want = inode.replication if inode else 1
+                    if len(self.locations(block_id)) < want:
+                        self.under_replicated.append(block_id)
+        return newly_dead
+
+    def report_corrupt(self, datanode: str, block_id: BlockId) -> None:
+        """A replica failed its checksum: drop it and queue a re-copy."""
+        holders = self.block_map.get(block_id)
+        if holders is None or datanode not in holders:
+            return
+        holders.discard(datanode)
+        dn = self.fs.datanodes.get(datanode)
+        if dn is not None:
+            dn.blocks.pop(block_id, None)
+            dn.corrupted.discard(block_id)
+        self.under_replicated.append(block_id)
+        self.fs.cluster.log.emit(
+            "hdfs.namenode", "corrupt_replica",
+            f"{block_id} corrupt on {datanode}; replica dropped",
+            block=str(block_id), datanode=datanode,
+        )
+
+    def rereplicate_one(self, block_id: BlockId) -> Generator:
+        """Process: copy one under-replicated block to a fresh DataNode."""
+        fs = self.fs
+
+        def _copy():
+            holders = self.locations(block_id)
+            if not holders:
+                raise ReplicationError(f"{block_id}: all replicas lost")
+            src = sorted(holders)[0]
+            target = self.placement.choose_rereplication_target(
+                self.live_datanodes(), holders
+            )
+            src_dn = fs.datanode(src)
+            block = src_dn.blocks[block_id]
+            yield fs.engine.process(src_dn.serve_block(block_id, target))
+            yield fs.engine.process(fs.datanode(target).store_block(block, []))
+            self.rereplications_done += 1
+            fs.cluster.log.emit(
+                "hdfs.namenode", "rereplicated",
+                f"{block_id} re-replicated {src} -> {target}",
+                block=str(block_id), src=src, dst=target,
+            )
+
+        return _copy()
+
+    def start_replication_monitor(self, period: float, dn_timeout: float) -> None:
+        """Spawn the background monitor (idempotent; stop with stop_monitor)."""
+        if self._monitor_proc is not None and self._monitor_proc.is_alive:
+            return
+        self._monitor_stop = False
+        engine = self.fs.engine
+
+        def _loop():
+            try:
+                while not self._monitor_stop:
+                    yield engine.timeout(period)
+                    if self._monitor_stop:
+                        return
+                    self.check_datanodes(dn_timeout)
+                    work, self.under_replicated = self.under_replicated, []
+                    procs = []
+                    for block_id in work:
+                        inode = self.namespace.get(self.block_owner.get(block_id, ""))
+                        if inode is None:
+                            continue
+                        if len(self.locations(block_id)) >= inode.replication:
+                            continue
+                        if not self.locations(block_id):
+                            continue  # unrecoverable; surfaced via metrics
+                        procs.append(engine.process(self.rereplicate_one(block_id)))
+                    for p in procs:
+                        yield p
+            except Interrupt:
+                pass
+
+        self._monitor_proc = engine.process(_loop(), name="hdfs-replication-monitor")
+
+    def stop_monitor(self) -> None:
+        self._monitor_stop = True
+        proc = self._monitor_proc
+        self._monitor_proc = None
+        if proc is not None and proc.is_alive and proc.started:
+            proc.interrupt("stop")
+
+    # -- metrics -----------------------------------------------------------------------
+
+    def missing_blocks(self) -> list[BlockId]:
+        """Blocks with zero live replicas (data loss)."""
+        return [b for b in self.block_map if not self.locations(b)]
+
+    def under_replicated_count(self) -> int:
+        count = 0
+        for block_id, _ in self.block_map.items():
+            path = self.block_owner.get(block_id)
+            inode = self.namespace.get(path) if path else None
+            if inode and len(self.locations(block_id)) < inode.replication:
+                count += 1
+        return count
+
+
+def _validate_path(path: str) -> None:
+    if not path.startswith("/") or path.endswith("/") or "//" in path:
+        raise HdfsError(f"bad HDFS path {path!r}")

@@ -1,0 +1,56 @@
+"""Block placement policy.
+
+Single-rack version of HDFS's default policy: the first replica goes to
+the writer's own DataNode when the writer is co-located with one (this is
+what gives Hadoop its write locality); remaining replicas go to distinct
+nodes chosen uniformly at random from the live set.  Randomness comes from
+a seeded stream so placements are reproducible.
+"""
+
+from __future__ import annotations
+
+from ..common.errors import ReplicationError
+from ..common.rng import RngStream
+
+
+class PlacementPolicy:
+    """Default HDFS placement (single rack)."""
+
+    def __init__(self, rng: RngStream) -> None:
+        self.rng = rng
+
+    def choose_targets(
+        self,
+        replication: int,
+        live_datanodes: list[str],
+        writer_host: str | None = None,
+        exclude: set[str] | None = None,
+    ) -> list[str]:
+        """Pick *replication* distinct DataNode hosts.
+
+        Raises :class:`ReplicationError` if there are not enough live nodes.
+        """
+        if replication < 1:
+            raise ReplicationError(f"replication must be >= 1, got {replication}")
+        exclude = exclude or set()
+        candidates = [d for d in live_datanodes if d not in exclude]
+        if len(candidates) < replication:
+            raise ReplicationError(
+                f"need {replication} datanodes, only {len(candidates)} live"
+            )
+        targets: list[str] = []
+        if writer_host in candidates:
+            targets.append(writer_host)
+        rest = [d for d in candidates if d not in targets]
+        rest = self.rng.shuffle(rest)
+        targets.extend(rest[: replication - len(targets)])
+        return targets
+
+    def choose_rereplication_target(
+        self, live_datanodes: list[str], existing: set[str]
+    ) -> str:
+        """Pick one new node for an under-replicated block."""
+        candidates = [d for d in live_datanodes if d not in existing]
+        if not candidates:
+            raise ReplicationError("no candidate node for re-replication")
+        return self.rng.choice(candidates)

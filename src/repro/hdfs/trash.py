@@ -1,0 +1,92 @@
+"""HDFS trash: deletions are moved to ``/.Trash`` and expire later.
+
+Hadoop's ``fs.trash.interval`` protects against fat-fingered deletes: a
+client-side delete renames the file under ``/.Trash/<original path>``;
+a checkpointing process permanently expunges entries older than the
+interval.  Restores are plain renames back.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..common.errors import FileNotFoundInHdfs, HdfsError
+from .fs import Hdfs
+
+TRASH_ROOT = "/.Trash"
+
+
+@dataclass(frozen=True)
+class TrashEntry:
+    original_path: str
+    trash_path: str
+    deleted_at: float
+
+
+class TrashPolicy:
+    """Client-side trash semantics over one filesystem."""
+
+    def __init__(self, fs: Hdfs, *, interval: float = 3600.0) -> None:
+        if interval <= 0:
+            raise HdfsError("trash interval must be > 0")
+        self.fs = fs
+        self.interval = interval
+        self._entries: dict[str, TrashEntry] = {}   # original path -> entry
+
+    # -- operations ---------------------------------------------------------------
+
+    def delete(self, path: str) -> TrashEntry:
+        """Move *path* into the trash (metadata-only rename)."""
+        nn = self.fs.namenode
+        inode = nn.get_file(path)  # raises FileNotFoundInHdfs
+        if path.startswith(TRASH_ROOT + "/"):
+            raise HdfsError(f"{path} is already in the trash; expunge instead")
+        if path in self._entries:
+            # a previous same-named delete is silently expunged, as in HDFS
+            self.expunge_one(path)
+        trash_path = f"{TRASH_ROOT}{path}"
+        del nn.namespace[path]
+        nn.namespace[trash_path] = inode
+        inode.path = trash_path
+        entry = TrashEntry(original_path=path, trash_path=trash_path,
+                           deleted_at=self.fs.engine.now)
+        self._entries[path] = entry
+        return entry
+
+    def restore(self, path: str) -> None:
+        """Undo a trashed delete (rename back to the original path)."""
+        entry = self._entries.pop(path, None)
+        if entry is None:
+            raise FileNotFoundInHdfs(f"{path} is not in the trash")
+        nn = self.fs.namenode
+        if nn.exists(path):
+            raise HdfsError(f"cannot restore {path}: path exists again")
+        inode = nn.namespace.pop(entry.trash_path)
+        inode.path = path
+        nn.namespace[path] = inode
+
+    def expunge_one(self, path: str) -> None:
+        """Permanently delete one trashed entry (frees the replicas)."""
+        entry = self._entries.pop(path, None)
+        if entry is None:
+            raise FileNotFoundInHdfs(f"{path} is not in the trash")
+        self.fs.namenode.delete(entry.trash_path)
+
+    def expunge_expired(self) -> list[str]:
+        """The trash checkpointer: drop entries older than the interval."""
+        now = self.fs.engine.now
+        expired = [
+            p for p, e in self._entries.items()
+            if now - e.deleted_at >= self.interval
+        ]
+        for p in expired:
+            self.expunge_one(p)
+        return expired
+
+    # -- views -----------------------------------------------------------------------
+
+    def listing(self) -> list[TrashEntry]:
+        return sorted(self._entries.values(), key=lambda e: e.original_path)
+
+    def __contains__(self, path: str) -> bool:
+        return path in self._entries

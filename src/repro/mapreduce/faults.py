@@ -1,0 +1,41 @@
+"""Fault model for task attempts.
+
+Hadoop's unit of fault tolerance is the *task attempt*: a failed attempt
+is rescheduled (preferably elsewhere) up to ``max_attempts`` times before
+the whole job is failed.  The model injects failures at a configurable
+per-attempt probability from a seeded stream, so tests are reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..common.errors import ConfigError, MapReduceError
+from ..common.rng import RngStream
+
+
+@dataclass
+class FaultModel:
+    """Per-attempt failure probabilities."""
+
+    map_failure_rate: float = 0.0
+    reduce_failure_rate: float = 0.0
+    max_attempts: int = 4
+
+    def __post_init__(self) -> None:
+        for rate in (self.map_failure_rate, self.reduce_failure_rate):
+            if not 0.0 <= rate < 1.0:
+                raise ConfigError(f"failure rate {rate} outside [0, 1)")
+        if self.max_attempts < 1:
+            raise ConfigError("max_attempts must be >= 1")
+
+    def attempt_fails(self, rng: RngStream, kind: str) -> bool:
+        rate = self.map_failure_rate if kind == "map" else self.reduce_failure_rate
+        return rate > 0 and rng.uniform() < rate
+
+
+class TaskAttemptFailed(MapReduceError):
+    """Internal: one attempt died; the JobTracker reschedules it."""
+
+
+NO_FAULTS = FaultModel()

@@ -1,0 +1,105 @@
+"""Job specification and result types.
+
+A job follows Hadoop 1.x semantics: a *mapper* is applied to every input
+record, an optional *combiner* pre-aggregates map output locally, map
+output is hash-partitioned across *num_reduces* reducers, each reducer
+sees its keys in sorted order with all their values grouped.
+
+Functions are **real Python callables executed on real data** -- the
+simulator charges their simulated CPU/network/disk time while the actual
+computation produces actual results (e.g. a usable inverted index).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable
+
+from ..common.errors import MapReduceError
+
+# mapper(key, value) -> iterable of (k, v)
+Mapper = Callable[[Any, Any], Iterable[tuple[Any, Any]]]
+# reducer(key, values) -> iterable of (k, v)
+Reducer = Callable[[Any, list[Any]], Iterable[tuple[Any, Any]]]
+
+
+@dataclass
+class MapReduceJob:
+    """Everything needed to run one job."""
+
+    name: str
+    input_paths: list[str]
+    mapper: Mapper
+    reducer: Reducer
+    combiner: Reducer | None = None
+    num_reduces: int = 1
+    output_path: str | None = None      # HDFS path prefix for part files
+    output_replication: int | None = None
+    #: per-byte map CPU override (None -> calibration's map_cpu_per_byte);
+    #: heavier analytics (e.g. text indexing) set this higher
+    map_cpu_per_byte: float | None = None
+    #: custom partitioner fn(key, num_reduces) -> index (None -> hash);
+    #: Hadoop's Partitioner class, e.g. TotalOrderPartitioner for sorts
+    partitioner: Callable[[Any, int], int] | None = None
+
+    def __post_init__(self) -> None:
+        if not self.input_paths:
+            raise MapReduceError(f"job {self.name}: no input paths")
+        if self.num_reduces < 1:
+            raise MapReduceError(f"job {self.name}: num_reduces must be >= 1")
+
+
+@dataclass
+class Counters:
+    """Job counters, a la the Hadoop web UI."""
+
+    map_tasks: int = 0
+    data_local_maps: int = 0
+    reduce_tasks: int = 0
+    map_input_records: int = 0
+    map_output_records: int = 0
+    combine_output_records: int = 0
+    reduce_input_groups: int = 0
+    reduce_output_records: int = 0
+    map_input_bytes: int = 0
+    shuffle_bytes: int = 0
+    failed_task_attempts: int = 0
+    speculative_attempts: int = 0
+
+    @property
+    def locality_rate(self) -> float:
+        return self.data_local_maps / self.map_tasks if self.map_tasks else 0.0
+
+
+@dataclass
+class JobResult:
+    """Returned by JobTracker.submit once the job completes."""
+
+    job: MapReduceJob
+    started: float
+    finished: float
+    counters: Counters
+    output: dict[Any, Any] = field(default_factory=dict)
+    part_paths: list[str] = field(default_factory=list)
+
+    @property
+    def duration(self) -> float:
+        return self.finished - self.started
+
+
+def partition_for(key: Any, num_reduces: int) -> int:
+    """Deterministic hash partitioner (Python's hash is salted for str)."""
+    return _stable_hash(key) % num_reduces
+
+
+def _stable_hash(key: Any) -> int:
+    h = 2166136261
+    for ch in repr(key).encode("utf-8"):
+        h ^= ch
+        h = (h * 16777619) & 0xFFFFFFFF
+    return h
+
+
+def record_size(key: Any, value: Any) -> int:
+    """Serialized-size estimate of one (k, v) pair, bytes."""
+    return len(repr(key)) + len(repr(value)) + 2

@@ -1,0 +1,281 @@
+"""JobTracker: job orchestration, locality scheduling, fault tolerance.
+
+"Main program on Map/Reduce is called Jobtracker, which is in charge of
+controlling the whole Map/Reduce ... Jobtracker is usually in the same
+node with Name node" (Section III.B).  The scheduling loop mirrors Hadoop
+1.x:
+
+* every tracker exposes fixed map/reduce slots; when a slot frees, the
+  tracker is offered the most *local* remaining split (node-local first);
+* a failed task attempt is retried -- preferably on a different node --
+  up to ``FaultModel.max_attempts`` times before the job is failed;
+* with ``speculative=True``, idle slots duplicate the oldest
+  still-running attempt (straggler mitigation); the first copy to finish
+  wins and the duplicate's output is discarded.
+
+:class:`JobQueue` adds Hadoop's default FIFO scheduler on top: jobs run
+strictly in submission order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Generator
+
+from ..common.errors import MapReduceError, TaskFailedError
+from ..common.rng import RngStream
+from ..hdfs import Hdfs
+from .faults import FaultModel, NO_FAULTS, TaskAttemptFailed
+from .job import Counters, JobResult, MapReduceJob
+from .split import InputSplit, compute_splits
+from .tasktracker import TaskTracker
+
+
+@dataclass
+class MapOutput:
+    """Materialised output of one map task."""
+
+    host: str
+    partitions: dict[int, list[tuple[Any, Any]]]
+    sizes: dict[int, int] = field(default_factory=dict)
+
+
+class JobTracker:
+    """Runs jobs over a fixed set of TaskTrackers."""
+
+    def __init__(
+        self,
+        fs: Hdfs,
+        tracker_hosts: list[str] | None = None,
+        *,
+        map_slots: int = 2,
+        reduce_slots: int = 2,
+        fault: FaultModel = NO_FAULTS,
+        speculative: bool = False,
+        slowdowns: dict[str, float] | None = None,
+    ) -> None:
+        self.fs = fs
+        self.engine = fs.engine
+        self.fault = fault
+        self.speculative = speculative
+        self._rng = fs.cluster.rng.child("mapred-faults")
+        hosts = tracker_hosts or sorted(fs.datanodes)
+        if not hosts:
+            raise MapReduceError("JobTracker needs at least one tracker host")
+        for h in hosts:
+            if h not in fs.cluster.host_names:
+                raise MapReduceError(f"tracker host {h} not in cluster")
+        slowdowns = slowdowns or {}
+        self.trackers = [
+            TaskTracker(fs.cluster.host(h), fs, map_slots=map_slots,
+                        reduce_slots=reduce_slots,
+                        slowdown=slowdowns.get(h, 1.0))
+            for h in hosts
+        ]
+
+    def submit(self, job: MapReduceJob) -> Generator:
+        """Process: run *job* to completion; returns a JobResult.
+
+        Raises :class:`TaskFailedError` if any task exhausts its attempts.
+        """
+        engine = self.engine
+        fs = self.fs
+
+        def _run():
+            started = engine.now
+            counters = Counters()
+            fs.cluster.log.emit("mapred.jobtracker", "job_started",
+                                f"job {job.name} started", job=job.name)
+            splits = compute_splits(fs, job.input_paths)
+            if not splits:
+                raise MapReduceError(f"job {job.name}: no input splits")
+
+            # ---- map phase -------------------------------------------------
+            pending: list[InputSplit] = list(splits)
+            attempts: dict[int, int] = {}
+            outputs: dict[int, MapOutput] = {}
+            running: dict[int, float] = {}      # split_id -> first start time
+            speculated: set[int] = set()
+            dead: list[TaskFailedError] = []
+
+            phase_done = engine.event()
+
+            def check_phase():
+                if phase_done.triggered:
+                    return
+                if dead or len(outputs) == len(splits):
+                    phase_done.succeed()
+
+            def map_worker(tracker: TaskTracker):
+                from ..sim import Interrupt
+
+                while not dead:
+                    split = _take_best(pending, tracker.name)
+                    if split is None:
+                        split = self._speculation_candidate(
+                            running, outputs, speculated, splits)
+                        if split is None:
+                            break
+                        speculated.add(split.split_id)
+                        counters.speculative_attempts += 1
+                    sid = split.split_id
+                    running.setdefault(sid, engine.now)
+                    attempt = engine.process(tracker.run_map(
+                        job, split, counters,
+                        fault=self.fault, fault_rng=self._rng))
+                    try:
+                        out = yield attempt
+                    except TaskAttemptFailed as exc:
+                        counters.failed_task_attempts += 1
+                        attempts[sid] = attempts.get(sid, 0) + 1
+                        running.pop(sid, None)
+                        if attempts[sid] >= self.fault.max_attempts:
+                            dead.append(TaskFailedError(
+                                f"job {job.name}: split {sid} failed "
+                                f"{attempts[sid]} times ({exc})"))
+                            check_phase()
+                            return
+                        if sid not in outputs:
+                            pending.append(split)
+                        continue
+                    except Interrupt:
+                        # the phase ended while we were a loser duplicate:
+                        # kill the in-flight attempt quietly
+                        if attempt.is_alive:
+                            attempt.defuse()
+                            attempt.interrupt("speculation-kill")
+                        return
+                    running.pop(sid, None)
+                    if sid not in outputs:
+                        outputs[sid] = out
+                    check_phase()
+
+            workers = []
+            for tracker in self.trackers:
+                for _ in range(tracker.map_slots):
+                    workers.append(
+                        engine.process(map_worker(tracker),
+                                       name=f"map-worker-{tracker.name}"))
+            check_phase()  # zero-split edge is rejected above; keeps invariants
+            yield phase_done
+            # kill workers still grinding redundant attempts
+            for w in workers:
+                if w.is_alive and w.started:
+                    w.interrupt("map-phase-complete")
+            if dead:
+                fs.cluster.log.emit("mapred.jobtracker", "job_failed",
+                                    f"job {job.name} failed: {dead[0]}",
+                                    job=job.name)
+                raise dead[0]
+            map_outputs = [outputs[s.split_id] for s in splits]
+
+            # ---- reduce phase ----------------------------------------------
+            def reduce_task(r: int):
+                for attempt in range(self.fault.max_attempts):
+                    tracker = self.trackers[(r + attempt) % len(self.trackers)]
+                    try:
+                        result = yield engine.process(tracker.run_reduce(
+                            job, r, map_outputs, counters,
+                            fault=self.fault, fault_rng=self._rng))
+                        return result
+                    except TaskAttemptFailed:
+                        counters.failed_task_attempts += 1
+                        # HDFS create is not idempotent: drop a partial part
+                        # file so the retry can rewrite it.
+                        if job.output_path is not None:
+                            part = f"{job.output_path}/part-r-{r:05d}"
+                            if fs.namenode.exists(part):
+                                fs.namenode.delete(part)
+                raise TaskFailedError(
+                    f"job {job.name}: reduce {r} failed "
+                    f"{self.fault.max_attempts} times")
+
+            reduce_procs = [
+                engine.process(reduce_task(r), name=f"reduce-{r}")
+                for r in range(job.num_reduces)
+            ]
+            done = yield engine.all_of(reduce_procs)
+            results = [done[p] for p in reduce_procs]
+
+            output: dict[Any, Any] = {}
+            part_paths: list[str] = []
+            for part_path, part_output in results:
+                output.update(part_output)
+                if part_path is not None:
+                    part_paths.append(part_path)
+
+            result = JobResult(
+                job=job, started=started, finished=engine.now,
+                counters=counters, output=output, part_paths=sorted(part_paths),
+            )
+            fs.cluster.log.emit(
+                "mapred.jobtracker", "job_finished",
+                f"job {job.name} finished in {result.duration:.1f} s "
+                f"({counters.map_tasks} maps, {counters.reduce_tasks} reduces, "
+                f"locality {counters.locality_rate * 100:.0f}%)",
+                job=job.name, duration=result.duration,
+            )
+            return result
+
+        return _run()
+
+    def _speculation_candidate(
+        self,
+        running: dict[int, float],
+        outputs: dict[int, MapOutput],
+        speculated: set[int],
+        splits: list[InputSplit],
+    ) -> InputSplit | None:
+        """Oldest still-running, not-yet-duplicated split, if speculating."""
+        if not self.speculative:
+            return None
+        candidates = [
+            (start, sid) for sid, start in running.items()
+            if sid not in outputs and sid not in speculated
+        ]
+        if not candidates:
+            return None
+        _, sid = min(candidates)
+        by_id = {s.split_id: s for s in splits}
+        return by_id[sid]
+
+
+class JobQueue:
+    """Hadoop's default FIFO scheduler: one job at a time, in order."""
+
+    def __init__(self, jobtracker: JobTracker) -> None:
+        self.jobtracker = jobtracker
+        self._queue: list[tuple[MapReduceJob, Any]] = []
+        self._draining = False
+
+    def submit(self, job: MapReduceJob):
+        """Enqueue *job*; returns an event that fires with its JobResult."""
+        engine = self.jobtracker.engine
+        done = engine.event()
+        self._queue.append((job, done))
+        if not self._draining:
+            self._draining = True
+            engine.process(self._drain(), name="jobqueue-drain")
+        return done
+
+    def _drain(self) -> Generator:
+        engine = self.jobtracker.engine
+        while self._queue:
+            job, done = self._queue.pop(0)
+            try:
+                result = yield engine.process(self.jobtracker.submit(job))
+            except Exception as exc:  # noqa: BLE001 - any job failure
+                done.fail(exc)
+                continue
+            done.succeed(result)
+        self._draining = False
+
+
+def _take_best(pending: list[InputSplit], tracker_host: str) -> InputSplit | None:
+    """Pop the most local pending split for *tracker_host* (node-local first)."""
+    if not pending:
+        return None
+    for i, split in enumerate(pending):
+        if tracker_host in split.hosts:
+            return pending.pop(i)
+    return pending.pop(0)

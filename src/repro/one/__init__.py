@@ -1,0 +1,68 @@
+"""OpenNebula analogue: core daemon, capacity manager, drivers glue,
+live migration, multi-VM services, monitoring, EC2 façade."""
+
+from .cli import CloudShell
+from .core import HostRecord, OpenNebula
+from .econe import EconeApi, INSTANCE_TYPES, InstanceDescription
+from .hooks import Hook, HookManager, HookRecord
+from .lifecycle import ACTIVE_STATES, FINAL_STATES, LifecycleTracker, OneState, TRANSITIONS
+from .migration import MigrationResult, postcopy_migrate, precopy_migrate
+from .monitoring import MonitoringService
+from .scheduler import CapacityManager, host_facts
+from .service import DeployedService, Role, ServiceManager, ServiceTemplate
+from .users import (
+    ACTIONS,
+    AclRule,
+    AclService,
+    CloudUser,
+    DEFAULT_RULES,
+    UserPool,
+)
+from .template import (
+    VmTemplate,
+    free_memory_at_least,
+    host_name_in,
+    rank_free_cpu,
+    rank_free_memory,
+)
+from .vm import OneVm, PlacementRecord
+
+__all__ = [
+    "ACTIONS",
+    "ACTIVE_STATES",
+    "AclRule",
+    "AclService",
+    "CloudUser",
+    "DEFAULT_RULES",
+    "UserPool",
+    "CapacityManager",
+    "CloudShell",
+    "DeployedService",
+    "EconeApi",
+    "FINAL_STATES",
+    "Hook",
+    "HookManager",
+    "HookRecord",
+    "HostRecord",
+    "INSTANCE_TYPES",
+    "InstanceDescription",
+    "LifecycleTracker",
+    "MigrationResult",
+    "MonitoringService",
+    "OneState",
+    "OneVm",
+    "OpenNebula",
+    "PlacementRecord",
+    "Role",
+    "ServiceManager",
+    "ServiceTemplate",
+    "TRANSITIONS",
+    "VmTemplate",
+    "free_memory_at_least",
+    "host_facts",
+    "host_name_in",
+    "postcopy_migrate",
+    "precopy_migrate",
+    "rank_free_cpu",
+    "rank_free_memory",
+]

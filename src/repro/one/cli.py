@@ -1,0 +1,159 @@
+"""An OpenNebula-style command shell: onehost / onevm / oneuser / oneimage.
+
+The paper's administrators drive the cloud with OpenNebula's CLI tools;
+:class:`CloudShell` reproduces that interface over the simulated core.
+``execute()`` takes one command line and returns the text the tool would
+print.  Commands that need simulated time to pass (migrate, shutdown)
+advance the engine until they finish, like a blocking CLI call would.
+"""
+
+from __future__ import annotations
+
+import shlex
+
+from ..common.errors import ReproError
+from ..common.tables import format_table
+from ..hdfs import Hdfs, fsck
+from .core import OpenNebula
+from .lifecycle import OneState
+from .monitoring import MonitoringService
+
+USAGE = """\
+available commands:
+  onehost list                         host pool with utilisation
+  onevm   list                         VM pool
+  onevm   show <id>                    one VM in detail
+  onevm   shutdown <id>                clean shutdown
+  onevm   migrate <id> <host> [--live] move a VM (--live = pre-copy)
+  oneuser create <name> [vm_quota]     add a cloud user
+  oneuser list                         users and quota usage
+  oneimage list                        datastore images
+  hdfs    fsck                         filesystem health (needs HDFS)
+  help                                 this text"""
+
+
+class CloudShell:
+    """Textual front-end over one cloud (and optionally one HDFS)."""
+
+    def __init__(self, cloud: OpenNebula, fs: Hdfs | None = None) -> None:
+        self.cloud = cloud
+        self.fs = fs
+        self.monitor = MonitoringService(cloud)
+
+    def execute(self, line: str) -> str:
+        """Run one command line; returns the output text.
+
+        Errors come back as ``ERROR: ...`` strings, as a CLI would print
+        them, rather than raising.
+        """
+        try:
+            argv = shlex.split(line)
+        except ValueError as exc:
+            return f"ERROR: {exc}"
+        if not argv:
+            return ""
+        tool, *args = argv
+        handler = getattr(self, f"_cmd_{tool.replace('-', '_')}", None)
+        if tool == "help" or handler is None and tool in ("?",):
+            return USAGE
+        if handler is None:
+            return f"ERROR: unknown command {tool!r} (try 'help')"
+        try:
+            return handler(args)
+        except ReproError as exc:
+            return f"ERROR: {exc}"
+        except (ValueError, IndexError):
+            return f"ERROR: bad arguments for {tool!r} (try 'help')"
+
+    # -- onehost -----------------------------------------------------------------
+
+    def _cmd_onehost(self, args: list[str]) -> str:
+        sub = args[0]
+        if sub != "list":
+            return f"ERROR: onehost {sub!r} not supported"
+        self.cloud.cluster.run(
+            self.cloud.engine.process(self.monitor.poll_once()))
+        return self.monitor.snapshot()
+
+    # -- onevm -------------------------------------------------------------------
+
+    def _cmd_onevm(self, args: list[str]) -> str:
+        sub = args[0]
+        if sub == "list":
+            return self.monitor.vm_table()
+        if sub == "show":
+            vm = self.cloud.vm(int(args[1]))
+            rows = [
+                ["ID", vm.id], ["NAME", vm.name], ["OWNER", vm.owner],
+                ["STATE", vm.state.value.upper()],
+                ["HOST", vm.host_name or "-"],
+                ["IP", vm.context.get("ip", "-")],
+                ["VCPUS", vm.template.vcpus],
+                ["MEMORY", vm.template.memory],
+            ]
+            history = " -> ".join(s.value for _, s in vm.lifecycle.history)
+            rows.append(["HISTORY", history])
+            return format_table(["FIELD", "VALUE"], rows,
+                                title=f"VM {vm.id} information")
+        if sub == "shutdown":
+            vm = self.cloud.vm(int(args[1]))
+            p = self.cloud.engine.process(self.cloud.shutdown_vm(vm))
+            self.cloud.cluster.run(p)
+            return f"VM {vm.id} is DONE"
+        if sub == "migrate":
+            vm = self.cloud.vm(int(args[1]))
+            dst = args[2]
+            live = "--live" in args
+            if live:
+                p = self.cloud.engine.process(
+                    self.cloud.live_migrate(vm, dst, "precopy"))
+                result = self.cloud.cluster.run(p)
+                return (f"VM {vm.id} live-migrated to {dst}: "
+                        f"{result.total_time:.2f} s total, "
+                        f"{result.downtime * 1000:.0f} ms downtime")
+            return "ERROR: cold migration not wired to the CLI; use --live"
+        return f"ERROR: onevm {sub!r} not supported"
+
+    # -- oneuser -----------------------------------------------------------------
+
+    def _cmd_oneuser(self, args: list[str]) -> str:
+        sub = args[0]
+        if sub == "create":
+            name = args[1]
+            quota = int(args[2]) if len(args) > 2 else None
+            self.cloud.users.create(name, quota_vms=quota)
+            return f"USER {name} created"
+        if sub == "list":
+            rows = []
+            for user in self.cloud.users.users.values():
+                n_vms, mem = self.cloud.users.usage(user.name,
+                                                    self.cloud.vm_pool)
+                quota = user.quota_vms if user.quota_vms is not None else "-"
+                rows.append([user.name, user.group, f"{n_vms}/{quota}", mem])
+            return format_table(["USER", "GROUP", "VMS", "MEMORY"], rows,
+                                title="user pool")
+        return f"ERROR: oneuser {sub!r} not supported"
+
+    # -- oneimage -----------------------------------------------------------------
+
+    def _cmd_oneimage(self, args: list[str]) -> str:
+        if args[0] != "list":
+            return f"ERROR: oneimage {args[0]!r} not supported"
+        rows = [[img.name, img.fmt, img.size, img.os_type]
+                for img in self.cloud.image_store.list_images()]
+        return format_table(["NAME", "FORMAT", "SIZE", "OS"], rows,
+                            title="image datastore")
+
+    # -- hdfs ---------------------------------------------------------------------
+
+    def _cmd_hdfs(self, args: list[str]) -> str:
+        if self.fs is None:
+            return "ERROR: no HDFS attached to this shell"
+        if args[0] == "fsck":
+            return fsck(self.fs).summary()
+        return f"ERROR: hdfs {args[0]!r} not supported"
+
+    # -- misc -----------------------------------------------------------------------
+
+    def _cmd_help(self, args: list[str]) -> str:
+        return USAGE

@@ -1,0 +1,421 @@
+"""The OpenNebula core ("oned"): pools, lifecycle orchestration, dispatch.
+
+"The OpenNebula Core is a centralized component that manages the life cycle
+of a VM by performing basic VM operations, and provides a basic management
+and monitor interface for the physical hosts" (Section II.D).
+
+This module wires the pieces together exactly along that decomposition:
+
+* a **host pool** of :class:`HostRecord` (host + hypervisor + drivers);
+* a **VM pool** of :class:`~repro.one.vm.OneVm` records;
+* the **capacity manager** (:class:`~repro.one.scheduler.CapacityManager`)
+  invoked on a dispatch tick to place pending VMs;
+* lifecycle flows (deploy = PROLOG->BOOT->RUNNING, shutdown =
+  SHUTDOWN->EPILOG->DONE, suspend/resume, live migrate) that drive the
+  DFA in :mod:`repro.one.lifecycle` through the driver layer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generator
+
+from ..common.errors import ConfigError, LifecycleError, PlacementError
+from ..drivers import CallTrace, InformationDriver, TransferDriver, VmmDriver
+from ..hardware import Cluster, PhysicalHost
+from ..virt import (
+    DirtyPageModel,
+    DiskImage,
+    Hypervisor,
+    ImageStore,
+    VirtualMachine,
+    make_hypervisor,
+)
+from .lifecycle import OneState
+from .migration import MigrationResult, precopy_migrate, postcopy_migrate
+from .scheduler import CapacityManager
+from .template import VmTemplate
+from .users import AclService, UserPool
+from .vm import OneVm
+
+
+@dataclass
+class HostRecord:
+    """One entry of the host pool.
+
+    ``reserved_memory`` / ``reserved_vms`` track capacity promised to VMs
+    the scheduler has dispatched but whose domains are not yet defined on
+    the hypervisor (they are in PROLOG); the capacity manager counts both,
+    so a burst of simultaneous submissions spreads correctly.
+    """
+
+    host: PhysicalHost
+    hypervisor: Hypervisor
+    vmm: VmmDriver
+    im: InformationDriver
+    reserved_memory: int = 0
+    reserved_vms: int = 0
+
+
+class OpenNebula:
+    """The cloud controller.
+
+    The *front-end* host runs oned and the image datastore; *compute hosts*
+    are enrolled with :meth:`add_host` and receive a hypervisor plus VMM/IM
+    drivers (the paper deploys KVM; ``hypervisor="xen"`` switches the whole
+    pool to para-virt, which is how bench E01 compares the two).
+    """
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        *,
+        front_end: str | None = None,
+        hypervisor: str = "kvm",
+        tm_strategy: str = "ssh",
+        placement_policy: str = "striping",
+        sched_interval: float = 5.0,
+    ) -> None:
+        self.cluster = cluster
+        self.engine = cluster.engine
+        self.log = cluster.log
+        front = front_end or cluster.host_names[0]
+        if front not in cluster.host_names:
+            raise ConfigError(f"front-end {front} not in cluster")
+        self.front_end = front
+        self.hypervisor_kind = hypervisor
+        self.trace = CallTrace(self.engine)
+        self.image_store = ImageStore(cluster, front)
+        self.tm = TransferDriver(self.image_store, self.trace, strategy=tm_strategy)
+        self.capacity = CapacityManager(placement_policy)
+        self.sched_interval = sched_interval
+
+        self.users = UserPool()
+        self.acl = AclService(self.users)
+        self.host_pool: list[HostRecord] = []
+        self.vm_pool: dict[int, OneVm] = {}
+        self._pending: list[OneVm] = []
+        self._dispatch_scheduled = False
+        self._next_ip = 2  # 192.168.122.2 onwards; .1 is the gateway
+
+    # -- host pool -----------------------------------------------------------
+
+    def add_host(self, name: str, *, hypervisor: str | None = None) -> HostRecord:
+        """Enrol a cluster host as a compute node."""
+        if name == self.front_end:
+            raise ConfigError("the front-end does not run guest VMs")
+        if any(r.host.name == name for r in self.host_pool):
+            raise ConfigError(f"host {name} already enrolled")
+        host = self.cluster.host(name)
+        hv = make_hypervisor(hypervisor or self.hypervisor_kind, host)
+        rec = HostRecord(
+            host=host,
+            hypervisor=hv,
+            vmm=VmmDriver(hv, self.trace),
+            im=InformationDriver(hv, self.trace),
+        )
+        self.host_pool.append(rec)
+        self.log.emit("one.core", "host_added", f"enrolled {name} ({hv.mode})", host=name)
+        return rec
+
+    def host_record(self, name: str) -> HostRecord:
+        for rec in self.host_pool:
+            if rec.host.name == name:
+                return rec
+        raise ConfigError(f"host {name} not enrolled")
+
+    # -- image management ------------------------------------------------------
+
+    def register_image(self, image: DiskImage) -> DiskImage:
+        self.log.emit("one.core", "image_registered", f"image {image.name}", image=image.name)
+        return self.image_store.register(image)
+
+    # -- VM pool -----------------------------------------------------------------
+
+    def instantiate(self, template: VmTemplate, name: str | None = None,
+                    *, owner: str = "oneadmin") -> OneVm:
+        """Submit a VM: enters PENDING and is placed on the next dispatch tick.
+
+        *owner* must be a registered cloud user with ``create`` permission
+        and headroom in their VM/memory quotas.
+        """
+        if template.image not in self.image_store:
+            raise ConfigError(f"template {template.name}: image {template.image!r} unknown")
+        self.acl.require(owner, "create")
+        self.users.check_quota(owner, template.memory, self.vm_pool)
+        vm_id = self.cluster.ids.next_int("onevm")
+        vm_name = name or f"{template.name}-{vm_id}"
+        one_vm = OneVm(vm_id, vm_name, template, clock=lambda: self.engine.now,
+                       owner=owner)
+        self.vm_pool[vm_id] = one_vm
+        self._pending.append(one_vm)
+        self.log.emit("one.core", "vm_submitted", f"{vm_name} submitted (PENDING)", vm=vm_name)
+        self._schedule_dispatch()
+        return one_vm
+
+    def vm(self, vm_id: int) -> OneVm:
+        try:
+            return self.vm_pool[vm_id]
+        except KeyError:
+            raise ConfigError(f"no VM with id {vm_id}") from None
+
+    def vms_in_state(self, state: OneState) -> list[OneVm]:
+        return [v for v in self.vm_pool.values() if v.state is state]
+
+    # -- dispatch (the scheduler tick) -----------------------------------------------
+
+    def _schedule_dispatch(self) -> None:
+        if self._dispatch_scheduled:
+            return
+        self._dispatch_scheduled = True
+
+        def _tick():
+            yield self.engine.timeout(self.sched_interval)
+            self._dispatch_scheduled = False
+            self.dispatch_pending()
+
+        self.engine.process(_tick(), name="one-sched-tick")
+
+    def dispatch_pending(self) -> list[OneVm]:
+        """Place every PENDING VM the capacity manager can match right now."""
+        placed: list[OneVm] = []
+        still_pending: list[OneVm] = []
+        for one_vm in self._pending:
+            if one_vm.state is not OneState.PENDING:
+                continue  # resubmitted/cancelled elsewhere
+            try:
+                rec = self.capacity.select_host(one_vm, self.host_pool)
+            except PlacementError as exc:
+                self.log.emit("one.sched", "no_placement", str(exc), vm=one_vm.name)
+                still_pending.append(one_vm)
+                continue
+            # Reserve capacity at dispatch, like the real core: the domain
+            # does not exist on the hypervisor until PROLOG finishes, and
+            # without the reservation a burst of submissions would all pick
+            # the same "emptiest" host.
+            rec.reserved_memory += one_vm.template.memory
+            rec.reserved_vms += 1
+            self.engine.process(self._deploy_flow(one_vm, rec), name=f"deploy-{one_vm.name}")
+            placed.append(one_vm)
+        self._pending = still_pending
+        if still_pending:
+            self._schedule_dispatch()  # retry later
+        return placed
+
+    # -- lifecycle flows -----------------------------------------------------------
+
+    def fail_host(self, name: str, *, resubmit: bool = True) -> list[OneVm]:
+        """Simulate a host crash.
+
+        Every VM on it fails; with *resubmit* (the proactive-fault-tolerance
+        hook the paper cites as [1]) the failed VMs are resubmitted as
+        PENDING and the capacity manager redeploys them elsewhere.
+        Returns the affected VMs.
+        """
+        rec = self.host_record(name)
+        rec.host.alive = False
+        affected = [
+            vm for vm in self.vm_pool.values()
+            if vm.host_name == name and vm.lifecycle.is_active
+        ]
+        for one_vm in affected:
+            if one_vm.domain is not None and one_vm.domain.hypervisor is rec.hypervisor:
+                rec.hypervisor.eject(one_vm.domain)
+                one_vm.domain = None
+            one_vm.lifecycle.to(OneState.FAILED)
+            one_vm.end_placement()
+            self.log.emit("one.core", "vm_failed",
+                          f"{one_vm.name} FAILED: host {name} crashed",
+                          vm=one_vm.name, host=name)
+            if resubmit:
+                one_vm.lifecycle.to(OneState.PENDING)
+                self._pending.append(one_vm)
+        self.log.emit("one.core", "host_failed",
+                      f"host {name} crashed ({len(affected)} VMs affected, "
+                      f"resubmit={resubmit})", host=name, vms=len(affected))
+        if resubmit and affected:
+            self._schedule_dispatch()
+        return affected
+
+    def _make_domain(self, one_vm: OneVm) -> VirtualMachine:
+        tpl = one_vm.template
+        image = self.image_store.get(tpl.image)
+        dirty = DirtyPageModel(
+            memory=tpl.memory, dirty_rate=tpl.dirty_rate, wws_fraction=tpl.wws_fraction
+        )
+        return VirtualMachine(
+            one_vm.name, vcpus=tpl.vcpus, memory=tpl.memory, image=image, dirty=dirty
+        )
+
+    def _deploy_flow(self, one_vm: OneVm, rec: HostRecord) -> Generator:
+        host_name = rec.host.name
+        tpl = one_vm.template
+        reservation_held = True
+        try:
+            one_vm.lifecycle.to(OneState.PROLOG)
+            one_vm.record_placement(host_name, "deploy")
+            self.log.emit("one.core", "vm_state", f"{one_vm.name} PROLOG on {host_name}",
+                          vm=one_vm.name, state="prolog", host=host_name)
+            image = self.image_store.get(tpl.image)
+            yield self.engine.process(self.tm.prolog(image, host_name))
+
+            one_vm.lifecycle.to(OneState.BOOT)
+            self.log.emit("one.core", "vm_state", f"{one_vm.name} BOOT",
+                          vm=one_vm.name, state="boot", host=host_name)
+            domain = self._make_domain(one_vm)
+            one_vm.domain = domain
+            # Hand the reservation over to the real domain allocation.
+            rec.reserved_memory -= tpl.memory
+            rec.reserved_vms -= 1
+            reservation_held = False
+            yield self.engine.process(rec.vmm.deploy(domain))
+
+            # contextualization: deliver network identity & template context
+            one_vm.context.setdefault("ip", f"192.168.122.{self._next_ip}")
+            self._next_ip += 1
+            one_vm.context.setdefault("gateway", "192.168.122.1")
+
+            one_vm.lifecycle.to(OneState.RUNNING)
+            self.log.emit("one.core", "vm_state", f"{one_vm.name} RUNNING on {host_name}",
+                          vm=one_vm.name, state="running", host=host_name,
+                          ip=one_vm.context["ip"])
+        except Exception as exc:  # noqa: BLE001 - any driver failure fails the VM
+            if reservation_held:
+                rec.reserved_memory -= tpl.memory
+                rec.reserved_vms -= 1
+            one_vm.lifecycle.to(OneState.FAILED)
+            one_vm.end_placement()
+            self.log.emit("one.core", "vm_failed", f"{one_vm.name} FAILED: {exc}",
+                          vm=one_vm.name, error=str(exc))
+
+    def shutdown_vm(self, one_vm: OneVm, *, as_user: str | None = None) -> Generator:
+        """Process: clean shutdown -> epilog -> DONE."""
+        if as_user is not None:
+            self.acl.require(as_user, "manage", one_vm.owner)
+        if one_vm.state is not OneState.RUNNING:
+            raise LifecycleError(f"{one_vm.name}: shutdown requires RUNNING")
+        rec = self.host_record(one_vm.host_name)
+
+        def _flow():
+            one_vm.lifecycle.to(OneState.SHUTDOWN)
+            self.log.emit("one.core", "vm_state", f"{one_vm.name} SHUTDOWN",
+                          vm=one_vm.name, state="shutdown")
+            yield self.engine.process(rec.vmm.shutdown(one_vm.domain))
+            one_vm.lifecycle.to(OneState.EPILOG)
+            yield self.engine.process(
+                self.tm.epilog(self.image_store.get(one_vm.template.image), rec.host.name)
+            )
+            one_vm.lifecycle.to(OneState.DONE)
+            one_vm.end_placement()
+            self.log.emit("one.core", "vm_state", f"{one_vm.name} DONE",
+                          vm=one_vm.name, state="done")
+
+        return _flow()
+
+    def suspend_vm(self, one_vm: OneVm) -> Generator:
+        """Process: save guest RAM to disk -> SUSPENDED."""
+        if one_vm.state is not OneState.RUNNING:
+            raise LifecycleError(f"{one_vm.name}: suspend requires RUNNING")
+        rec = self.host_record(one_vm.host_name)
+
+        def _flow():
+            one_vm.lifecycle.to(OneState.SAVE)
+            yield self.engine.process(rec.vmm.save(one_vm.domain))
+            one_vm.lifecycle.to(OneState.SUSPENDED)
+            self.log.emit("one.core", "vm_state", f"{one_vm.name} SUSPENDED",
+                          vm=one_vm.name, state="suspended")
+
+        return _flow()
+
+    def resume_vm(self, one_vm: OneVm) -> Generator:
+        """Process: restore guest RAM -> RUNNING."""
+        if one_vm.state is not OneState.SUSPENDED:
+            raise LifecycleError(f"{one_vm.name}: resume requires SUSPENDED")
+        rec = self.host_record(one_vm.host_name)
+
+        def _flow():
+            one_vm.lifecycle.to(OneState.RESUME)
+            yield self.engine.process(rec.vmm.restore(one_vm.domain))
+            one_vm.lifecycle.to(OneState.RUNNING)
+            self.log.emit("one.core", "vm_state", f"{one_vm.name} RUNNING (resumed)",
+                          vm=one_vm.name, state="running")
+
+        return _flow()
+
+    def cold_migrate(self, one_vm: OneVm, dst_host: str) -> Generator:
+        """Process: stop-save-move-restore migration (the non-live path).
+
+        The guest is suspended for the *entire* move -- save RAM to disk,
+        copy image + saved state to the destination, restore -- which is
+        what makes the paper's live migration (Figures 8-10) worth its
+        complexity.  Returns a MigrationResult with kind="cold".
+        """
+        if one_vm.state is not OneState.RUNNING:
+            raise LifecycleError(f"{one_vm.name}: cold migration requires RUNNING")
+        src_rec = self.host_record(one_vm.host_name)
+        dst_rec = self.host_record(dst_host)
+        if src_rec is dst_rec:
+            raise ConfigError(f"{one_vm.name} is already on {dst_host}")
+
+        def _flow():
+            t0 = self.engine.now
+            domain = one_vm.domain
+            one_vm.lifecycle.to(OneState.SAVE)
+            yield self.engine.process(src_rec.vmm.save(domain))
+            one_vm.lifecycle.to(OneState.SUSPENDED)
+            # move the saved RAM image + the disk image over the wire
+            image = self.image_store.get(one_vm.template.image)
+            yield self.cluster.network.transfer(
+                src_rec.host.name, dst_host, domain.memory)
+            yield self.engine.process(
+                self.tm.move(image, src_rec.host.name, dst_host))
+            src_rec.hypervisor.eject(domain)
+            from ..virt import VmState
+            dst_rec.hypervisor.adopt(domain, VmState.PAUSED)
+            one_vm.lifecycle.to(OneState.RESUME)
+            yield self.engine.process(dst_rec.vmm.restore(domain))
+            one_vm.record_placement(dst_host, "migrate")
+            one_vm.lifecycle.to(OneState.RUNNING)
+            total = self.engine.now - t0
+            self.log.emit("one.migration", "migrate_done",
+                          f"{one_vm.name} cold-migrated to {dst_host} "
+                          f"in {total:.1f} s (VM down throughout)",
+                          vm=one_vm.name, total=total)
+            return MigrationResult(
+                kind="cold", vm=one_vm.name, src=src_rec.host.name,
+                dst=dst_host, total_time=total, downtime=total,
+                bytes_transferred=float(domain.memory + image.size),
+                rounds=0, converged=True,
+            )
+
+        return _flow()
+
+    def live_migrate(self, one_vm: OneVm, dst_host: str, kind: str = "precopy",
+                     *, as_user: str | None = None) -> Generator:
+        """Process: live-migrate a RUNNING VM; returns MigrationResult."""
+        if as_user is not None:
+            self.acl.require(as_user, "admin", one_vm.owner)
+        if one_vm.state is not OneState.RUNNING:
+            raise LifecycleError(f"{one_vm.name}: live migration requires RUNNING")
+        if kind not in ("precopy", "postcopy"):
+            raise ConfigError(f"unknown migration kind {kind!r}")
+        src_rec = self.host_record(one_vm.host_name)
+        dst_rec = self.host_record(dst_host)
+        migrate = precopy_migrate if kind == "precopy" else postcopy_migrate
+
+        def _flow():
+            one_vm.lifecycle.to(OneState.MIGRATE)
+            self.log.emit("one.core", "vm_state",
+                          f"{one_vm.name} MIGRATE {src_rec.host.name} -> {dst_host}",
+                          vm=one_vm.name, state="migrate", dst=dst_host)
+            result: MigrationResult = yield self.engine.process(
+                migrate(self.cluster, one_vm.domain, src_rec.hypervisor,
+                        dst_rec.hypervisor, log=self.log)
+            )
+            one_vm.record_placement(dst_host, "migrate")
+            one_vm.lifecycle.to(OneState.RUNNING)
+            self.log.emit("one.core", "vm_state", f"{one_vm.name} RUNNING on {dst_host}",
+                          vm=one_vm.name, state="running", host=dst_host)
+            return result
+
+        return _flow()

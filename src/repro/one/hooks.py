@@ -1,0 +1,120 @@
+"""VM state hooks -- OpenNebula's HOOK subsystem.
+
+Real OpenNebula lets administrators attach scripts to VM state changes
+(``VM_HOOK = [ on = "RUNNING", command = ... ]``); that is how production
+sites wire alerting, IP registration, and the fault-tolerance hook the
+paper cites as [1].  :class:`HookManager` reproduces the mechanism: hooks
+register on a target state (or ``"*"``) and run when any VM enters it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, TYPE_CHECKING
+
+from ..common.errors import ConfigError
+from .lifecycle import OneState
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .core import OpenNebula
+    from .vm import OneVm
+
+#: hook callback: fn(vm, old_state, new_state)
+HookFn = Callable[["OneVm", OneState, OneState], None]
+
+
+@dataclass
+class Hook:
+    """One registered hook."""
+
+    name: str
+    on: OneState | None          # None = every transition
+    fn: HookFn
+    runs: int = 0
+
+
+@dataclass
+class HookRecord:
+    """One hook execution, for the audit trail."""
+
+    time: float
+    hook: str
+    vm: str
+    state: str
+
+
+class HookManager:
+    """Registers hooks and dispatches lifecycle transitions to them.
+
+    Attach to a cloud with :meth:`install`; every VM instantiated *after*
+    installation is covered (the manager wires itself into each VM's
+    lifecycle tracker at submission time).
+    """
+
+    def __init__(self) -> None:
+        self.hooks: list[Hook] = []
+        self.log: list[HookRecord] = []
+        self._cloud: "OpenNebula | None" = None
+
+    # -- registration ------------------------------------------------------------
+
+    def register(self, name: str, on: "OneState | str | None", fn: HookFn) -> Hook:
+        """Add a hook firing when a VM enters *on* ('*' or None = always)."""
+        if isinstance(on, str):
+            if on == "*":
+                on = None
+            else:
+                try:
+                    on = OneState(on.lower())
+                except ValueError:
+                    raise ConfigError(f"unknown hook state {on!r}") from None
+        if any(h.name == name for h in self.hooks):
+            raise ConfigError(f"hook {name!r} already registered")
+        hook = Hook(name=name, on=on, fn=fn)
+        self.hooks.append(hook)
+        return hook
+
+    def unregister(self, name: str) -> None:
+        before = len(self.hooks)
+        self.hooks = [h for h in self.hooks if h.name != name]
+        if len(self.hooks) == before:
+            raise ConfigError(f"no hook {name!r}")
+
+    # -- wiring --------------------------------------------------------------------
+
+    def install(self, cloud: "OpenNebula") -> None:
+        """Wrap the cloud's instantiate() so every new VM reports to us."""
+        if self._cloud is not None:
+            raise ConfigError("hook manager already installed")
+        self._cloud = cloud
+        orig_instantiate = cloud.instantiate
+
+        def instantiate(template, name=None, **kw):
+            vm = orig_instantiate(template, name, **kw)
+            self.watch(vm)
+            return vm
+
+        cloud.instantiate = instantiate  # type: ignore[method-assign]
+        cloud.hooks = self               # type: ignore[attr-defined]
+
+    def watch(self, vm: "OneVm") -> None:
+        """Attach dispatching to one VM's lifecycle."""
+
+        def on_transition(old: OneState, new: OneState) -> None:
+            self._dispatch(vm, old, new)
+
+        vm.lifecycle.listeners.append(on_transition)
+
+    # -- dispatch ---------------------------------------------------------------------
+
+    def _dispatch(self, vm: "OneVm", old: OneState, new: OneState) -> None:
+        now = self._cloud.engine.now if self._cloud else 0.0
+        for hook in self.hooks:
+            if hook.on is not None and hook.on is not new:
+                continue
+            hook.runs += 1
+            self.log.append(HookRecord(now, hook.name, vm.name, new.value))
+            hook.fn(vm, old, new)
+
+    def records_for(self, hook_name: str) -> list[HookRecord]:
+        return [r for r in self.log if r.hook == hook_name]

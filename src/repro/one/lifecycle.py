@@ -1,0 +1,113 @@
+"""OpenNebula VM lifecycle state machine.
+
+Mirrors the states of OpenNebula 3.x (the paper's generation): a VM is
+submitted (PENDING), matched to a host by the capacity manager, staged
+(PROLOG), booted (BOOT), runs (RUNNING), may be live-migrated (MIGRATE),
+suspended (SAVE/SUSPENDED), and eventually exits through SHUTDOWN/EPILOG to
+DONE, or to FAILED on error.  Illegal transitions raise
+:class:`~repro.common.errors.LifecycleError`, so every caller is forced
+through the same DFA the real core enforces.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from ..common.errors import LifecycleError
+
+
+class OneState(enum.Enum):
+    PENDING = "pending"
+    PROLOG = "prolog"
+    BOOT = "boot"
+    RUNNING = "running"
+    MIGRATE = "migrate"
+    SAVE = "save"
+    SUSPENDED = "suspended"
+    RESUME = "resume"
+    SHUTDOWN = "shutdown"
+    EPILOG = "epilog"
+    STOPPED = "stopped"
+    DONE = "done"
+    FAILED = "failed"
+
+
+#: allowed transitions: state -> set of next states
+TRANSITIONS: dict[OneState, frozenset[OneState]] = {
+    OneState.PENDING: frozenset({OneState.PROLOG, OneState.FAILED, OneState.DONE}),
+    OneState.PROLOG: frozenset({OneState.BOOT, OneState.FAILED}),
+    OneState.BOOT: frozenset({OneState.RUNNING, OneState.FAILED}),
+    OneState.RUNNING: frozenset(
+        {
+            OneState.MIGRATE,
+            OneState.SAVE,
+            OneState.SHUTDOWN,
+            OneState.FAILED,
+        }
+    ),
+    OneState.MIGRATE: frozenset({OneState.RUNNING, OneState.FAILED}),
+    OneState.SAVE: frozenset({OneState.SUSPENDED, OneState.STOPPED, OneState.FAILED}),
+    OneState.SUSPENDED: frozenset({OneState.RESUME, OneState.DONE, OneState.FAILED}),
+    OneState.RESUME: frozenset({OneState.RUNNING, OneState.FAILED}),
+    OneState.SHUTDOWN: frozenset({OneState.EPILOG, OneState.FAILED}),
+    OneState.EPILOG: frozenset({OneState.DONE, OneState.FAILED}),
+    OneState.STOPPED: frozenset({OneState.PENDING, OneState.DONE, OneState.FAILED}),
+    OneState.DONE: frozenset(),
+    OneState.FAILED: frozenset({OneState.PENDING}),  # resubmit
+}
+
+#: states in which the VM occupies capacity on a host
+ACTIVE_STATES = frozenset(
+    {
+        OneState.PROLOG,
+        OneState.BOOT,
+        OneState.RUNNING,
+        OneState.MIGRATE,
+        OneState.SAVE,
+        OneState.SUSPENDED,
+        OneState.RESUME,
+        OneState.SHUTDOWN,
+        OneState.EPILOG,
+    }
+)
+
+#: terminal states
+FINAL_STATES = frozenset({OneState.DONE})
+
+
+class LifecycleTracker:
+    """Holds the current state of one VM and its full transition history."""
+
+    def __init__(self, clock) -> None:
+        self._clock = clock
+        self.state = OneState.PENDING
+        self.history: list[tuple[float, OneState]] = [(clock(), OneState.PENDING)]
+        #: callables invoked as fn(old_state, new_state) after each transition
+        self.listeners: list = []
+
+    def to(self, new: OneState) -> None:
+        """Transition, enforcing the DFA."""
+        if new not in TRANSITIONS[self.state]:
+            raise LifecycleError(
+                f"illegal transition {self.state.value} -> {new.value}"
+            )
+        old = self.state
+        self.state = new
+        self.history.append((self._clock(), new))
+        for fn in self.listeners:
+            fn(old, new)
+
+    def time_entered(self, state: OneState) -> float | None:
+        """Most recent time the VM entered *state*, or None."""
+        for t, s in reversed(self.history):
+            if s is state:
+                return t
+        return None
+
+    @property
+    def is_active(self) -> bool:
+        return self.state in ACTIVE_STATES
+
+    @property
+    def is_final(self) -> bool:
+        return self.state in FINAL_STATES

@@ -1,0 +1,198 @@
+"""Live migration: iterative pre-copy and post-copy.
+
+Reproduces the behaviour behind Figures 8-10 (live migration of a VM from
+Node 3 to Node 2 through the web interface).  Two algorithms, both from the
+papers the reproduced paper cites:
+
+* **pre-copy** (Clark et al., NSDI'05): copy all RAM while the guest runs,
+  then iteratively re-copy what it dirtied, then stop-and-copy the small
+  remainder.  Downtime ~ final dirty set / bandwidth; diverges if the guest
+  dirties faster than the link sends.
+* **post-copy** (Hines et al., VEE'09): stop at once, move only CPU state,
+  resume on the destination, and fetch pages over the network on demand
+  while pushing the rest in the background.  Downtime is minimal and
+  constant; the cost is a post-resume degradation window.
+
+Transfers go through the shared :class:`~repro.hardware.Network`, so a
+migration competes for bandwidth with HDFS traffic or a running shuffle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Generator
+
+from ..common.calibration import Calibration
+from ..common.errors import MigrationError
+from ..common.events import EventLog
+from ..hardware import Cluster
+from ..virt import Hypervisor, VirtualMachine, VmState
+
+
+@dataclass
+class MigrationResult:
+    """Everything the migration benches report."""
+
+    kind: str                  # "precopy" | "postcopy"
+    vm: str
+    src: str
+    dst: str
+    total_time: float
+    downtime: float
+    bytes_transferred: float
+    rounds: int
+    converged: bool
+    degradation_time: float = 0.0   # post-copy only: demand-paging window
+    round_bytes: list[float] = field(default_factory=list)
+
+
+def precopy_migrate(
+    cluster: Cluster,
+    vm: VirtualMachine,
+    src_hv: Hypervisor,
+    dst_hv: Hypervisor,
+    *,
+    log: EventLog | None = None,
+    cal: Calibration | None = None,
+) -> Generator:
+    """Process: iterative pre-copy migration of *vm*.  Returns MigrationResult."""
+    cal = cal or cluster.cal
+    m = cal.migration
+    engine = cluster.engine
+    src, dst = src_hv.host.name, dst_hv.host.name
+    if src == dst:
+        raise MigrationError(f"migrating {vm.name} to its own host {src}")
+    if vm.state is not VmState.RUNNING:
+        raise MigrationError(f"{vm.name} must be RUNNING to live-migrate")
+    if dst_hv.host.memory_free < vm.memory:
+        raise MigrationError(f"{dst} lacks memory for {vm.name}")
+
+    start = engine.now
+    inflate = 1.0 / m.link_efficiency
+    total_bytes = 0.0
+    round_bytes: list[float] = []
+    to_send = float(vm.memory)
+    converged = False
+
+    if log:
+        log.emit("one.migration", "migrate_start",
+                 f"live migration of {vm.name}: {src} -> {dst} (pre-copy)",
+                 vm=vm.name, src=src, dst=dst)
+
+    # --- iterative pre-copy rounds (guest keeps running) ---------------------
+    rounds = 0
+    while rounds < m.max_precopy_rounds:
+        rounds += 1
+        t0 = engine.now
+        yield cluster.network.transfer(src, dst, to_send * inflate)
+        round_time = engine.now - t0
+        total_bytes += to_send * inflate
+        round_bytes.append(to_send)
+        dirtied = vm.dirty.dirtied_during(round_time)
+        if log:
+            log.emit("one.migration", "precopy_round",
+                     f"round {rounds}: sent {to_send:.0f} B in {round_time:.3f} s, "
+                     f"{dirtied:.0f} B dirtied",
+                     vm=vm.name, round=rounds, sent=to_send, dirtied=dirtied)
+        if dirtied <= m.stop_copy_threshold:
+            to_send = dirtied
+            converged = True
+            break
+        if dirtied >= to_send and rounds > 1:
+            # Not converging: the guest dirties as fast as we send.
+            to_send = dirtied
+            break
+        to_send = dirtied
+
+    # --- stop-and-copy --------------------------------------------------------
+    down0 = engine.now
+    src_hv.pause(vm)
+    yield engine.timeout(m.suspend_cost)
+    yield cluster.network.transfer(src, dst, to_send * inflate)
+    total_bytes += to_send * inflate
+    round_bytes.append(to_send)
+    # hand the domain over
+    src_hv.eject(vm)
+    dst_hv.adopt(vm, VmState.PAUSED)
+    yield engine.timeout(m.resume_cost)
+    dst_hv.resume(vm)
+    downtime = engine.now - down0
+
+    result = MigrationResult(
+        kind="precopy", vm=vm.name, src=src, dst=dst,
+        total_time=engine.now - start, downtime=downtime,
+        bytes_transferred=total_bytes, rounds=rounds, converged=converged,
+        round_bytes=round_bytes,
+    )
+    if log:
+        log.emit("one.migration", "migrate_done",
+                 f"{vm.name} now on {dst}: total {result.total_time:.3f} s, "
+                 f"downtime {downtime * 1000:.1f} ms, {rounds} rounds",
+                 vm=vm.name, **{"total": result.total_time, "downtime": downtime})
+    return result
+
+
+def postcopy_migrate(
+    cluster: Cluster,
+    vm: VirtualMachine,
+    src_hv: Hypervisor,
+    dst_hv: Hypervisor,
+    *,
+    log: EventLog | None = None,
+    cal: Calibration | None = None,
+) -> Generator:
+    """Process: post-copy migration of *vm*.  Returns MigrationResult."""
+    cal = cal or cluster.cal
+    m = cal.migration
+    engine = cluster.engine
+    src, dst = src_hv.host.name, dst_hv.host.name
+    if src == dst:
+        raise MigrationError(f"migrating {vm.name} to its own host {src}")
+    if vm.state is not VmState.RUNNING:
+        raise MigrationError(f"{vm.name} must be RUNNING to live-migrate")
+    if dst_hv.host.memory_free < vm.memory:
+        raise MigrationError(f"{dst} lacks memory for {vm.name}")
+
+    start = engine.now
+    inflate = 1.0 / m.link_efficiency
+    cpu_state = 8 * 1024 * 1024  # vCPU + device state: a few MiB
+
+    if log:
+        log.emit("one.migration", "migrate_start",
+                 f"live migration of {vm.name}: {src} -> {dst} (post-copy)",
+                 vm=vm.name, src=src, dst=dst)
+
+    # --- minimal stop-and-go ---------------------------------------------------
+    down0 = engine.now
+    src_hv.pause(vm)
+    yield engine.timeout(m.suspend_cost)
+    yield cluster.network.transfer(src, dst, cpu_state * inflate)
+    src_hv.eject(vm)
+    dst_hv.adopt(vm, VmState.PAUSED)
+    yield engine.timeout(m.resume_cost)
+    dst_hv.resume(vm)
+    downtime = engine.now - down0
+
+    # --- background push + demand paging ----------------------------------------
+    deg0 = engine.now
+    yield cluster.network.transfer(src, dst, vm.memory * inflate)
+    # Demand faults on the hot working set while the push runs: each fault
+    # pays a network round trip, serialised with guest execution.
+    faults = vm.dirty.pages(vm.dirty.wws_bytes)
+    # Faults overlap the push; their *extra* cost is the per-fault latency.
+    fault_penalty = faults * m.postcopy_fault_cost
+    yield engine.timeout(fault_penalty)
+    degradation = engine.now - deg0
+
+    result = MigrationResult(
+        kind="postcopy", vm=vm.name, src=src, dst=dst,
+        total_time=engine.now - start, downtime=downtime,
+        bytes_transferred=cpu_state * inflate + vm.memory * inflate,
+        rounds=1, converged=True, degradation_time=degradation,
+    )
+    if log:
+        log.emit("one.migration", "migrate_done",
+                 f"{vm.name} now on {dst}: downtime {downtime * 1000:.1f} ms, "
+                 f"degraded for {degradation:.3f} s",
+                 vm=vm.name, **{"total": result.total_time, "downtime": downtime})
+    return result

@@ -1,0 +1,93 @@
+"""The Capacity Manager: match-making placement of pending VMs.
+
+"The Capacity Manager governs the functionality provided by the OpenNebula
+core ... adjusts VM placement based on a set of predefined policies"
+(Section II.D).  As in the real scheduler this is match-making: first
+*filter* hosts that satisfy hard requirements (capacity + template
+REQUIREMENTS), then *rank* the survivors with a policy, then place on the
+best-ranked host.
+
+Built-in policies (same trio OpenNebula ships):
+
+* ``packing``  -- maximise VMs per host (minimise fragmentation / powered
+  hosts; the paper's "economize power" motivation);
+* ``striping`` -- spread VMs across hosts (maximise per-VM headroom);
+* ``load_aware`` -- prefer the host with the most idle CPU.
+
+A template's own ``rank`` expression overrides the policy for its VMs.
+"""
+
+from __future__ import annotations
+
+from typing import Any, TYPE_CHECKING
+
+from ..common.errors import ConfigError, PlacementError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .core import HostRecord
+    from .vm import OneVm
+
+
+def host_facts(record: "HostRecord") -> dict[str, Any]:
+    """The facts dict requirements/rank expressions evaluate against."""
+    host = record.host
+    return {
+        "name": host.name,
+        "cores": host.cores,
+        "cpu_hz": host.cpu_hz,
+        "mem_total": host.memory,
+        "mem_free": host.memory_free - record.reserved_memory,
+        "mem_used": host.memory_used + record.reserved_memory,
+        "running_vms": len(record.hypervisor.domains) + record.reserved_vms,
+        "running_tasks": host.running_tasks,
+        "cpu_util": host.cpu_utilisation(),
+        "alive": host.alive,
+    }
+
+
+class CapacityManager:
+    """Filter + rank placement."""
+
+    POLICIES = ("packing", "striping", "load_aware")
+
+    def __init__(self, policy: str = "striping") -> None:
+        if policy not in self.POLICIES:
+            raise ConfigError(
+                f"unknown placement policy {policy!r}; choose from {self.POLICIES}"
+            )
+        self.policy = policy
+
+    # -- ranking -------------------------------------------------------------
+
+    def _policy_rank(self, facts: dict[str, Any]) -> float:
+        if self.policy == "packing":
+            # more VMs already there -> better (consolidate)
+            return float(facts["running_vms"])
+        if self.policy == "striping":
+            # fewer VMs -> better (spread)
+            return -float(facts["running_vms"])
+        # load_aware: most idle CPU wins
+        return float(facts["cores"] - facts["running_tasks"]) - facts["cpu_util"]
+
+    def select_host(self, vm: "OneVm", records: list["HostRecord"]) -> "HostRecord":
+        """Choose a host for *vm* or raise :class:`PlacementError`."""
+        tpl = vm.template
+        candidates: list[tuple[float, int, "HostRecord"]] = []
+        for idx, rec in enumerate(records):
+            facts = host_facts(rec)
+            if not facts["alive"]:
+                continue
+            if facts["mem_free"] < tpl.memory:
+                continue
+            if any(not req(facts) for req in tpl.requirements):
+                continue
+            rank = tpl.rank(facts) if tpl.rank else self._policy_rank(facts)
+            candidates.append((rank, idx, rec))
+        if not candidates:
+            raise PlacementError(
+                f"no host satisfies vm {vm.name} "
+                f"(memory={tpl.memory}, requirements={len(tpl.requirements)})"
+            )
+        # highest rank wins; ties broken by pool order for determinism
+        candidates.sort(key=lambda t: (-t[0], t[1]))
+        return candidates[0][2]

@@ -1,0 +1,164 @@
+"""Multi-VM service deployment.
+
+"a group of related VMs becomes a first-class entity in OpenNebula.
+Besides managing the VMs as a unit, the core also handles the context
+information delivery (such as the Web server's IP address, digital
+certificates, and software licenses) to the VMs" (Section III.A).
+
+A :class:`ServiceTemplate` is a set of roles with cardinalities and
+boot-order dependencies (database before web server, say).  Deploying it
+instantiates every VM, waits for each tier in dependency order, and then
+cross-delivers context: every VM learns the IPs of every role.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Generator
+
+from ..common.errors import ConfigError, LifecycleError
+from .core import OpenNebula
+from .lifecycle import OneState
+from .template import VmTemplate
+from .vm import OneVm
+
+
+@dataclass
+class Role:
+    """One tier of a service."""
+
+    name: str
+    template: VmTemplate
+    cardinality: int = 1
+    depends_on: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.cardinality < 1:
+            raise ConfigError(f"role {self.name}: cardinality must be >= 1")
+
+
+@dataclass
+class ServiceTemplate:
+    """A named group of roles."""
+
+    name: str
+    roles: list[Role] = field(default_factory=list)
+
+    def role(self, name: str) -> Role:
+        for r in self.roles:
+            if r.name == name:
+                return r
+        raise ConfigError(f"service {self.name}: no role {name!r}")
+
+    def boot_order(self) -> list[Role]:
+        """Topologically sort roles by depends_on (deterministic, stable)."""
+        order: list[Role] = []
+        placed: set[str] = set()
+        remaining = list(self.roles)
+        while remaining:
+            progress = [r for r in remaining if set(r.depends_on) <= placed]
+            if not progress:
+                cyc = ", ".join(r.name for r in remaining)
+                raise ConfigError(f"service {self.name}: dependency cycle among {cyc}")
+            for r in progress:
+                order.append(r)
+                placed.add(r.name)
+            remaining = [r for r in remaining if r.name not in placed]
+        return order
+
+
+class DeployedService:
+    """A running instance of a service template."""
+
+    def __init__(self, name: str, vms_by_role: dict[str, list[OneVm]]) -> None:
+        self.name = name
+        self.vms_by_role = vms_by_role
+
+    @property
+    def vms(self) -> list[OneVm]:
+        return [vm for vms in self.vms_by_role.values() for vm in vms]
+
+    def role_ips(self, role: str) -> list[str]:
+        return [vm.context["ip"] for vm in self.vms_by_role[role]]
+
+    @property
+    def healthy(self) -> bool:
+        return all(vm.state is OneState.RUNNING for vm in self.vms)
+
+
+class ServiceManager:
+    """Deploys and tears down services as a unit."""
+
+    def __init__(self, cloud: OpenNebula) -> None:
+        self.cloud = cloud
+        self.services: dict[str, DeployedService] = {}
+
+    def deploy(self, template: ServiceTemplate) -> Generator:
+        """Process: deploy every role in dependency order; returns the service."""
+        if template.name in self.services:
+            raise ConfigError(f"service {template.name} already deployed")
+        cloud = self.cloud
+        engine = cloud.engine
+
+        def _flow():
+            vms_by_role: dict[str, list[OneVm]] = {}
+            for role in template.boot_order():
+                tier: list[OneVm] = []
+                for i in range(role.cardinality):
+                    vm = cloud.instantiate(
+                        role.template, name=f"{template.name}-{role.name}-{i}"
+                    )
+                    tier.append(vm)
+                vms_by_role[role.name] = tier
+                # Wait for the whole tier before booting dependants.
+                yield engine.process(_wait_running(cloud, tier))
+            service = DeployedService(template.name, vms_by_role)
+            # Context delivery: every VM learns every role's IPs.
+            directory = {
+                role_name: [vm.context["ip"] for vm in vms]
+                for role_name, vms in vms_by_role.items()
+            }
+            for vm in service.vms:
+                vm.context["service"] = template.name
+                vm.context["roles"] = directory
+            self.services[template.name] = service
+            cloud.log.emit("one.service", "service_running",
+                           f"service {template.name} fully RUNNING",
+                           service=template.name, vms=len(service.vms))
+            return service
+
+        return _flow()
+
+    def teardown(self, name: str) -> Generator:
+        """Process: shut down every VM of a service."""
+        service = self.services.get(name)
+        if service is None:
+            raise ConfigError(f"no deployed service {name!r}")
+        cloud = self.cloud
+
+        def _flow():
+            procs = [
+                cloud.engine.process(cloud.shutdown_vm(vm))
+                for vm in service.vms
+                if vm.state is OneState.RUNNING
+            ]
+            if procs:
+                yield cloud.engine.all_of(procs)
+            del self.services[name]
+            cloud.log.emit("one.service", "service_done",
+                           f"service {name} torn down", service=name)
+
+        return _flow()
+
+
+def _wait_running(cloud: OpenNebula, vms: list[OneVm]) -> Generator:
+    """Process: poll until every VM in *vms* is RUNNING (or raise on FAILED)."""
+    engine = cloud.engine
+    while True:
+        states = {vm.state for vm in vms}
+        if OneState.FAILED in states:
+            bad = [vm.name for vm in vms if vm.state is OneState.FAILED]
+            raise LifecycleError(f"service tier failed to boot: {bad}")
+        if states == {OneState.RUNNING}:
+            return
+        yield engine.timeout(1.0)

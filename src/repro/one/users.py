@@ -1,0 +1,148 @@
+"""Cloud users, quotas and ACL -- OpenNebula's multi-tenancy layer.
+
+The paper's cloud serves "end users" who create VMs through the web UI;
+in real OpenNebula that runs through ``oneuser`` accounts with per-user
+quotas and ACL rules.  This module provides both:
+
+* :class:`UserPool` -- named users in groups, with optional limits on
+  concurrently active VMs and total guest memory;
+* :class:`AclService` -- rule-based authorisation ("users manage their own
+  VMs, oneadmin manages everything"), extensible with custom rules.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..common.errors import AuthError, ConfigError
+from .lifecycle import ACTIVE_STATES, OneState
+from .vm import OneVm
+
+#: actions the ACL knows about
+ACTIONS = ("create", "use", "manage", "admin")
+
+
+@dataclass
+class CloudUser:
+    """One oneuser entry."""
+
+    name: str
+    group: str = "users"
+    quota_vms: int | None = None          # max concurrently active VMs
+    quota_memory: int | None = None       # max total active guest RAM, bytes
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigError("user needs a name")
+        if self.quota_vms is not None and self.quota_vms < 0:
+            raise ConfigError(f"user {self.name}: negative VM quota")
+        if self.quota_memory is not None and self.quota_memory < 0:
+            raise ConfigError(f"user {self.name}: negative memory quota")
+
+
+@dataclass(frozen=True)
+class AclRule:
+    """Subject (user or @group) may perform *action* on *scope*.
+
+    scope is "own" (resources they own) or "*" (everything).
+    """
+
+    subject: str
+    action: str
+    scope: str = "own"
+
+    def __post_init__(self) -> None:
+        if self.action not in ACTIONS:
+            raise ConfigError(f"unknown ACL action {self.action!r}")
+        if self.scope not in ("own", "*"):
+            raise ConfigError(f"unknown ACL scope {self.scope!r}")
+
+
+DEFAULT_RULES = (
+    AclRule("@users", "create", "own"),
+    AclRule("@users", "use", "own"),
+    AclRule("@users", "manage", "own"),
+    AclRule("oneadmin", "create", "*"),
+    AclRule("oneadmin", "use", "*"),
+    AclRule("oneadmin", "manage", "*"),
+    AclRule("oneadmin", "admin", "*"),
+)
+
+
+class UserPool:
+    """Accounts + quota accounting."""
+
+    def __init__(self) -> None:
+        self.users: dict[str, CloudUser] = {}
+        self.create("oneadmin", group="oneadmin")
+
+    def create(self, name: str, *, group: str = "users",
+               quota_vms: int | None = None,
+               quota_memory: int | None = None) -> CloudUser:
+        if name in self.users:
+            raise ConfigError(f"user {name} already exists")
+        user = CloudUser(name, group, quota_vms, quota_memory)
+        self.users[name] = user
+        return user
+
+    def get(self, name: str) -> CloudUser:
+        try:
+            return self.users[name]
+        except KeyError:
+            raise AuthError(f"no cloud user {name!r}") from None
+
+    def usage(self, name: str, vm_pool: dict[int, OneVm]) -> tuple[int, int]:
+        """(active VM count, active guest memory) owned by *name*."""
+        vms = [v for v in vm_pool.values()
+               if v.owner == name
+               and (v.state in ACTIVE_STATES or v.state is OneState.PENDING)]
+        return len(vms), sum(v.template.memory for v in vms)
+
+    def check_quota(self, name: str, memory: int,
+                    vm_pool: dict[int, OneVm]) -> None:
+        """Raise AuthError if submitting a VM of *memory* would bust quota."""
+        user = self.get(name)
+        n_vms, mem = self.usage(name, vm_pool)
+        if user.quota_vms is not None and n_vms + 1 > user.quota_vms:
+            raise AuthError(
+                f"{name}: VM quota exceeded ({n_vms}/{user.quota_vms} in use)")
+        if user.quota_memory is not None and mem + memory > user.quota_memory:
+            raise AuthError(
+                f"{name}: memory quota exceeded "
+                f"({mem + memory} > {user.quota_memory} bytes)")
+
+
+class AclService:
+    """Rule evaluation."""
+
+    def __init__(self, users: UserPool,
+                 rules: tuple[AclRule, ...] = DEFAULT_RULES) -> None:
+        self.users = users
+        self.rules: list[AclRule] = list(rules)
+
+    def add_rule(self, rule: AclRule) -> None:
+        self.rules.append(rule)
+
+    def allowed(self, username: str, action: str, owner: str | None = None) -> bool:
+        """May *username* perform *action* on a resource owned by *owner*?"""
+        user = self.users.get(username)
+        for rule in self.rules:
+            if rule.subject.startswith("@"):
+                if user.group != rule.subject[1:]:
+                    continue
+            elif rule.subject != username:
+                continue
+            if rule.action != action:
+                continue
+            if rule.scope == "*":
+                return True
+            if owner is None or owner == username:
+                return True
+        return False
+
+    def require(self, username: str, action: str, owner: str | None = None) -> None:
+        if not self.allowed(username, action, owner):
+            raise AuthError(
+                f"{username} is not authorised to {action} "
+                f"{'their own resources' if owner in (None, username) else f'resources of {owner}'}"
+            )

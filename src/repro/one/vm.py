@@ -1,0 +1,61 @@
+"""The core's per-VM record: template + lifecycle + placement history."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from ..virt import VirtualMachine
+from .lifecycle import LifecycleTracker, OneState
+from .template import VmTemplate
+
+
+@dataclass
+class PlacementRecord:
+    """One deployment of the VM on one host."""
+
+    host: str
+    start: float
+    end: float | None = None
+    reason: str = "deploy"   # deploy | migrate | resume
+
+
+class OneVm:
+    """What `onevm show` would print: state, host, history, context."""
+
+    def __init__(self, vm_id: int, name: str, template: VmTemplate, clock,
+                 owner: str = "oneadmin") -> None:
+        self.id = vm_id
+        self.name = name
+        self.owner = owner
+        self.template = template
+        self.lifecycle = LifecycleTracker(clock)
+        self.domain: VirtualMachine | None = None  # set at PROLOG time
+        self.placements: list[PlacementRecord] = []
+        self.context: dict[str, Any] = dict(template.context)
+        self._clock = clock
+
+    # -- convenience ----------------------------------------------------------
+
+    @property
+    def state(self) -> OneState:
+        return self.lifecycle.state
+
+    @property
+    def host_name(self) -> str | None:
+        if self.placements and self.placements[-1].end is None:
+            return self.placements[-1].host
+        return None
+
+    def record_placement(self, host: str, reason: str) -> None:
+        now = self._clock()
+        if self.placements and self.placements[-1].end is None:
+            self.placements[-1].end = now
+        self.placements.append(PlacementRecord(host=host, start=now, reason=reason))
+
+    def end_placement(self) -> None:
+        if self.placements and self.placements[-1].end is None:
+            self.placements[-1].end = self._clock()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<OneVm {self.id} {self.name!r} {self.state.value} on={self.host_name}>"

@@ -1,0 +1,69 @@
+"""Nutch/Lucene analogue: analyzer, inverted index, TF-IDF, crawler,
+sequential + MapReduce index builders, query execution."""
+
+from .analyzer import STOPWORDS, analyze, analyze_terms, strip_plural
+from .crawler import CrawlResult, FETCH_COST, Page, Site, StaticSite, crawl
+from .engine import QUERY_COST, SearchEngine
+from .index import Document, InvertedIndex, Posting
+from .indexer import (
+    assemble_index,
+    build_index_mapreduce,
+    build_index_sequential,
+    doc_to_line,
+    index_job,
+    line_to_doc,
+    load_index,
+    save_index,
+    write_crawl_segment,
+)
+from .query import Clause, ParsedQuery, SearchHit, execute, parse_query
+from .scoring import DEFAULT_BOOSTS, combine, coordination_factor, idf, score_term
+from .ux import (
+    ResultPage,
+    highlight,
+    more_like_this,
+    paginate,
+    suggest,
+)
+
+__all__ = [
+    "Clause",
+    "CrawlResult",
+    "DEFAULT_BOOSTS",
+    "Document",
+    "FETCH_COST",
+    "InvertedIndex",
+    "Page",
+    "ParsedQuery",
+    "Posting",
+    "ResultPage",
+    "QUERY_COST",
+    "STOPWORDS",
+    "SearchEngine",
+    "SearchHit",
+    "Site",
+    "StaticSite",
+    "analyze",
+    "analyze_terms",
+    "assemble_index",
+    "build_index_mapreduce",
+    "build_index_sequential",
+    "combine",
+    "coordination_factor",
+    "crawl",
+    "doc_to_line",
+    "execute",
+    "highlight",
+    "idf",
+    "more_like_this",
+    "paginate",
+    "suggest",
+    "index_job",
+    "line_to_doc",
+    "load_index",
+    "parse_query",
+    "save_index",
+    "score_term",
+    "strip_plural",
+    "write_crawl_segment",
+]

@@ -1,0 +1,48 @@
+"""Text analysis: tokenizer, stopwords, light stemming.
+
+The Lucene-style analysis chain Nutch uses: lower-case word tokens, a
+small English stopword list, and an s-stripping stemmer so "videos"
+matches "video".  Positions are preserved for phrase queries.
+"""
+
+from __future__ import annotations
+
+import re
+
+_WORD = re.compile(r"[a-z0-9']+")
+
+STOPWORDS = frozenset(
+    """a an and are as at be but by for if in into is it no not of on or
+    such that the their then there these they this to was will with""".split()
+)
+
+
+def strip_plural(token: str) -> str:
+    """Very light stemming: sses -> ss, ies -> y, trailing s dropped."""
+    if len(token) > 4 and token.endswith("sses"):
+        return token[:-2]
+    if len(token) > 3 and token.endswith("ies"):
+        return token[:-3] + "y"
+    if len(token) > 3 and token.endswith("s") and not token.endswith("ss"):
+        return token[:-1]
+    return token
+
+
+def analyze(text: str, *, stem: bool = True) -> list[tuple[str, int]]:
+    """Tokenize *text* into (term, position) pairs, dropping stopwords.
+
+    Positions count pre-stopword tokens, as Lucene does, so phrases with
+    elided stopwords keep a gap.
+    """
+    out: list[tuple[str, int]] = []
+    for pos, raw in enumerate(_WORD.findall(text.lower())):
+        if raw in STOPWORDS:
+            continue
+        term = strip_plural(raw) if stem else raw
+        out.append((term, pos))
+    return out
+
+
+def analyze_terms(text: str, *, stem: bool = True) -> list[str]:
+    """Terms only (for queries and quick checks)."""
+    return [t for t, _ in analyze(text, stem=stem)]

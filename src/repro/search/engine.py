@@ -1,0 +1,143 @@
+"""The search engine façade: crawl -> index -> query.
+
+Ties the Nutch-like pieces together the way the portal uses them: crawl
+the site, write a crawl segment into HDFS, build the index with MapReduce,
+persist the segment, answer queries.  Re-crawls produce fresh segments
+that are merged -- the "renew indexed material every certain time"
+behaviour of Section III.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from ..common.errors import SearchError
+from ..hdfs import Hdfs
+from ..sim import Interrupt, Process
+from .crawler import Site, crawl
+from .index import InvertedIndex
+from .indexer import (
+    build_index_mapreduce,
+    save_index,
+    write_crawl_segment,
+)
+from .query import SearchHit, execute
+
+#: per-query simulated cost (parse + postings scan; index is memory-resident)
+QUERY_COST = 0.01
+
+
+class SearchEngine:
+    """A deployed Nutch-like engine over one HDFS instance."""
+
+    def __init__(
+        self,
+        fs: Hdfs,
+        *,
+        index_dir: str = "/nutch",
+        tracker_hosts: list[str] | None = None,
+        num_reduces: int = 2,
+    ) -> None:
+        self.fs = fs
+        self.engine = fs.engine
+        self.index_dir = index_dir.rstrip("/")
+        self.tracker_hosts = tracker_hosts
+        self.num_reduces = num_reduces
+        self.index = InvertedIndex()
+        self._generation = 0
+        self.last_build_duration: float | None = None
+        self._refresher: Process | None = None
+        self._refresher_stop = False
+        self.refresh_count = 0
+
+    def refresh(self, site: Site, *, max_pages: int = 10_000) -> Generator:
+        """Process: crawl *site*, index new documents, persist the segment.
+
+        Returns (n_new_documents, build_duration).
+        """
+        engine = self.engine
+        fs = self.fs
+
+        def _flow():
+            result = yield engine.process(crawl(engine, site, max_pages=max_pages))
+            known = set(self.index.docs)
+            fresh = [d for d in result.documents if d.doc_id not in known]
+            if not fresh:
+                return 0, 0.0
+            gen = self._generation
+            self._generation += 1
+            seg_path = f"{self.index_dir}/segments/seg-{gen:05d}"
+            yield engine.process(write_crawl_segment(fs, fresh, seg_path))
+            built, job_result = yield engine.process(
+                build_index_mapreduce(
+                    fs, [seg_path],
+                    tracker_hosts=self.tracker_hosts,
+                    num_reduces=self.num_reduces,
+                )
+            )
+            self.index.merge(built)
+            self.index.finalize()
+            idx_path = f"{self.index_dir}/index/segment-{gen:05d}"
+            yield engine.process(save_index(fs, built, idx_path))
+            self.last_build_duration = job_result.duration
+            fs.cluster.log.emit(
+                "nutch", "index_refreshed",
+                f"indexed {len(fresh)} new docs in {job_result.duration:.1f} s "
+                f"(total {self.index.doc_count})",
+                new=len(fresh), total=self.index.doc_count,
+            )
+            return len(fresh), job_result.duration
+
+        return _flow()
+
+    def start_periodic_refresh(self, site: Site, interval: float,
+                               *, max_pages: int = 10_000) -> None:
+        """Re-crawl + re-index *site* every *interval* seconds.
+
+        "Set Nutch searching engine renew indexed material every certain
+        time in order to maintain corresponding to the latest material
+        that is new uploaded videos" (Section III).  Idempotent; stop with
+        :meth:`stop_periodic_refresh` so the engine can drain.
+        """
+        if interval <= 0:
+            raise SearchError("refresh interval must be > 0")
+        if self._refresher is not None and self._refresher.is_alive:
+            return
+        self._refresher_stop = False
+        engine = self.engine
+
+        def _loop():
+            try:
+                while not self._refresher_stop:
+                    yield engine.timeout(interval)
+                    if self._refresher_stop:
+                        return
+                    yield engine.process(self.refresh(site, max_pages=max_pages))
+                    self.refresh_count += 1
+            except Interrupt:
+                pass
+
+        self._refresher = engine.process(_loop(), name="nutch-refresher")
+
+    def stop_periodic_refresh(self) -> None:
+        self._refresher_stop = True
+        proc = self._refresher
+        self._refresher = None
+        if proc is not None and proc.is_alive and proc.started:
+            proc.interrupt("stop")
+
+    def search(self, query: str, *, limit: int = 10) -> Generator:
+        """Process: answer a query against the current index."""
+        if query is None:
+            raise SearchError("query is None")
+        engine = self.engine
+
+        def _flow():
+            yield engine.timeout(QUERY_COST)
+            return execute(self.index, query, limit=limit)
+
+        return _flow()
+
+    def search_now(self, query: str, *, limit: int = 10) -> list[SearchHit]:
+        """Zero-cost synchronous search (for tests / UI rendering)."""
+        return execute(self.index, query, limit=limit)

@@ -1,0 +1,140 @@
+"""The inverted index: positional postings + document store.
+
+A document has named *fields* (title, description, tags, uploader ...);
+each field is analyzed separately and postings record (doc, field, term
+frequency, positions).  Segments are immutable once built and can be
+merged (Nutch/Lucene's segment model) and serialized to bytes for storage
+in HDFS.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+from ..common.errors import SearchError
+from .analyzer import analyze
+
+
+@dataclass(frozen=True)
+class Posting:
+    """One (document, field) occurrence list for a term."""
+
+    doc_id: str
+    field: str
+    tf: int
+    positions: tuple[int, ...]
+
+
+@dataclass
+class Document:
+    """A document to index: id + text fields + opaque stored attributes."""
+
+    doc_id: str
+    fields: dict[str, str]
+    stored: dict[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.doc_id:
+            raise SearchError("document needs a non-empty id")
+        if not self.fields:
+            raise SearchError(f"document {self.doc_id}: no fields")
+
+
+class InvertedIndex:
+    """One index segment."""
+
+    def __init__(self) -> None:
+        self.postings: dict[str, list[Posting]] = {}
+        self.docs: dict[str, Document] = {}
+        self.field_lengths: dict[tuple[str, str], int] = {}  # (doc, field) -> tokens
+
+    # -- building ----------------------------------------------------------------
+
+    def add(self, doc: Document) -> None:
+        if doc.doc_id in self.docs:
+            raise SearchError(f"duplicate document id {doc.doc_id}")
+        self.docs[doc.doc_id] = doc
+        for fname, text in doc.fields.items():
+            terms = analyze(text)
+            self.field_lengths[(doc.doc_id, fname)] = len(terms)
+            by_term: dict[str, list[int]] = {}
+            for term, pos in terms:
+                by_term.setdefault(term, []).append(pos)
+            for term, positions in by_term.items():
+                self.postings.setdefault(term, []).append(
+                    Posting(doc.doc_id, fname, len(positions), tuple(positions))
+                )
+
+    def add_posting(self, term: str, posting: Posting) -> None:
+        """Low-level insert used by the MapReduce index builder."""
+        self.postings.setdefault(term, []).append(posting)
+
+    def register_doc(self, doc: Document, lengths: dict[str, int]) -> None:
+        """Register a document without re-analyzing (MapReduce builder)."""
+        self.docs[doc.doc_id] = doc
+        for fname, n in lengths.items():
+            self.field_lengths[(doc.doc_id, fname)] = n
+
+    def merge(self, other: "InvertedIndex") -> None:
+        """Absorb *other* (used for segment merging)."""
+        dup = self.docs.keys() & other.docs.keys()
+        if dup:
+            raise SearchError(f"merge would duplicate documents: {sorted(dup)[:3]}")
+        self.docs.update(other.docs)
+        self.field_lengths.update(other.field_lengths)
+        for term, posts in other.postings.items():
+            self.postings.setdefault(term, []).extend(posts)
+
+    def finalize(self) -> None:
+        """Sort postings for deterministic scoring/iteration."""
+        for posts in self.postings.values():
+            posts.sort(key=lambda p: (p.doc_id, p.field))
+
+    # -- stats -----------------------------------------------------------------------
+
+    @property
+    def doc_count(self) -> int:
+        return len(self.docs)
+
+    def doc_frequency(self, term: str) -> int:
+        return len({p.doc_id for p in self.postings.get(term, [])})
+
+    def terms(self) -> list[str]:
+        return sorted(self.postings)
+
+    # -- serialization (real bytes, goes into HDFS) -------------------------------------
+
+    def to_bytes(self) -> bytes:
+        payload = {
+            "docs": {
+                d.doc_id: {"fields": d.fields, "stored": d.stored}
+                for d in self.docs.values()
+            },
+            "lengths": {f"{k[0]}\x00{k[1]}": v for k, v in self.field_lengths.items()},
+            "postings": {
+                term: [[p.doc_id, p.field, p.tf, list(p.positions)] for p in posts]
+                for term, posts in self.postings.items()
+            },
+        }
+        return json.dumps(payload, sort_keys=True).encode("utf-8")
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "InvertedIndex":
+        try:
+            payload = json.loads(data.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError) as exc:
+            raise SearchError(f"corrupt index segment: {exc}") from exc
+        idx = cls()
+        for doc_id, d in payload["docs"].items():
+            idx.docs[doc_id] = Document(doc_id, d["fields"], d["stored"])
+        for key, v in payload["lengths"].items():
+            doc_id, fname = key.split("\x00")
+            idx.field_lengths[(doc_id, fname)] = v
+        for term, posts in payload["postings"].items():
+            idx.postings[term] = [
+                Posting(doc_id, fname, tf, tuple(positions))
+                for doc_id, fname, tf, positions in posts
+            ]
+        idx.finalize()
+        return idx

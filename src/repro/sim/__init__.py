@@ -1,0 +1,43 @@
+"""Deterministic discrete-event simulation kernel (SimPy-style, homegrown)."""
+
+from .core import (
+    AllOf,
+    AnyOf,
+    Condition,
+    Engine,
+    Event,
+    Initialize,
+    Interrupt,
+    Process,
+    Timeout,
+)
+from .resources import (
+    Container,
+    ContainerGet,
+    ContainerPut,
+    Request,
+    Resource,
+    Store,
+    StoreGet,
+    StorePut,
+)
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Condition",
+    "Container",
+    "ContainerGet",
+    "ContainerPut",
+    "Engine",
+    "Event",
+    "Initialize",
+    "Interrupt",
+    "Process",
+    "Request",
+    "Resource",
+    "Store",
+    "StoreGet",
+    "StorePut",
+    "Timeout",
+]

@@ -1,0 +1,383 @@
+"""Discrete-event simulation kernel.
+
+A small, deterministic, process-based kernel in the style of SimPy: model
+code is written as Python generators that ``yield`` events; the engine owns
+virtual time and resumes processes when the events they wait on trigger.
+
+Determinism rules:
+
+* the event queue is a heap keyed by ``(time, priority, seq)`` where *seq*
+  is a global schedule counter, so simultaneous events fire in the order
+  they were scheduled;
+* the kernel never consults wall-clock time or unseeded randomness.
+
+Only the features the repro library needs are implemented, but they are
+implemented fully: timeouts, process joining, interrupts, and the
+``AnyOf``/``AllOf`` conditions used by migration and failure injection.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable
+
+from ..common.errors import SimulationError
+
+# Scheduling priorities (lower fires first at equal times).
+URGENT = 0
+NORMAL = 1
+
+
+class Event:
+    """A one-shot occurrence with a value and callbacks.
+
+    Lifecycle: *pending* -> ``succeed``/``fail`` (**triggered**) ->
+    callbacks run (**processed**).
+    """
+
+    def __init__(self, engine: "Engine") -> None:
+        self.engine = engine
+        self.callbacks: list[Callable[[Event], None]] | None = []
+        self._value: Any = _PENDING
+        self._ok: bool | None = None
+        self._defused = False
+
+    # -- state ---------------------------------------------------------------
+
+    @property
+    def triggered(self) -> bool:
+        return self._value is not _PENDING
+
+    @property
+    def processed(self) -> bool:
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        if self._ok is None:
+            raise SimulationError("event value not yet available")
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        if self._value is _PENDING:
+            raise SimulationError("event value not yet available")
+        return self._value
+
+    # -- triggering ----------------------------------------------------------
+
+    def succeed(self, value: Any = None) -> "Event":
+        if self.triggered:
+            raise SimulationError(f"{self!r} already triggered")
+        self._ok = True
+        self._value = value
+        self.engine._schedule(self, NORMAL)
+        return self
+
+    def fail(self, exc: BaseException) -> "Event":
+        if not isinstance(exc, BaseException):
+            raise SimulationError("Event.fail() needs an exception instance")
+        if self.triggered:
+            raise SimulationError(f"{self!r} already triggered")
+        self._ok = False
+        self._value = exc
+        self.engine._schedule(self, NORMAL)
+        return self
+
+    def defuse(self) -> None:
+        """Mark a failed event as handled so it doesn't crash the run."""
+        self._defused = True
+
+    # -- composition ---------------------------------------------------------
+
+    def __and__(self, other: "Event") -> "Condition":
+        return AllOf(self.engine, [self, other])
+
+    def __or__(self, other: "Event") -> "Condition":
+        return AnyOf(self.engine, [self, other])
+
+
+_PENDING = object()
+
+
+class Timeout(Event):
+    """An event that triggers *delay* simulated seconds after creation."""
+
+    def __init__(self, engine: "Engine", delay: float, value: Any = None) -> None:
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay: {delay}")
+        super().__init__(engine)
+        self.delay = delay
+        self._ok = True
+        self._value = value
+        engine._schedule(self, NORMAL, delay)
+
+
+class Initialize(Event):
+    """Internal: kicks off a freshly created process."""
+
+    def __init__(self, engine: "Engine", process: "Process") -> None:
+        super().__init__(engine)
+        self._ok = True
+        self._value = None
+        self.callbacks.append(process._resume)
+        engine._schedule(self, URGENT)
+
+
+class Interrupt(Exception):
+    """Raised inside a process that another process interrupted."""
+
+    @property
+    def cause(self) -> Any:
+        return self.args[0] if self.args else None
+
+
+class _Interruption(Event):
+    """Internal: delivers an Interrupt into a process out-of-band."""
+
+    def __init__(self, process: "Process", cause: Any) -> None:
+        super().__init__(process.engine)
+        if process.triggered:
+            raise SimulationError("cannot interrupt a terminated process")
+        if process is self.engine.active_process:
+            raise SimulationError("a process cannot interrupt itself")
+        self._ok = False
+        self._value = Interrupt(cause)
+        self._defused = True
+        # Detach the process from whatever it was waiting on so the original
+        # event does not resume it a second time when it eventually fires.
+        target = process._target
+        if target is not None and target.callbacks is not None:
+            try:
+                target.callbacks.remove(process._resume)
+            except ValueError:
+                pass
+        self.callbacks.append(process._resume)
+        self.engine._schedule(self, URGENT)
+
+
+class Process(Event):
+    """Wraps a generator; is itself an event that triggers on return.
+
+    Yield an :class:`Event` to wait for it.  The event's value becomes the
+    result of the ``yield`` expression; failed events raise inside the
+    generator (so model code can ``try/except`` simulated failures).
+    """
+
+    def __init__(self, engine: "Engine", generator: Generator, name: str | None = None) -> None:
+        if not hasattr(generator, "throw"):
+            raise SimulationError(f"{generator!r} is not a generator")
+        super().__init__(engine)
+        self._generator = generator
+        self.name = name or getattr(generator, "__name__", "process")
+        self._target: Event | None = Initialize(engine, self)
+
+    @property
+    def is_alive(self) -> bool:
+        return not self.triggered
+
+    @property
+    def started(self) -> bool:
+        """True once the generator body has begun executing.
+
+        Interrupting a process that has not started raises the Interrupt at
+        its first line -- before any ``try`` can catch it -- so cooperative
+        shutdown code should check this and use a flag instead.
+        """
+        return not isinstance(self._target, Initialize)
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time."""
+        _Interruption(self, cause)
+
+    # -- engine plumbing -----------------------------------------------------
+
+    def _resume(self, event: Event) -> None:
+        self.engine._active = self
+        while True:
+            try:
+                if event._ok:
+                    next_target = self._generator.send(event._value)
+                else:
+                    event._defused = True
+                    next_target = self._generator.throw(event._value)
+            except StopIteration as stop:
+                self._target = None
+                self.succeed(stop.value)
+                break
+            except BaseException as exc:
+                self._target = None
+                self.fail(exc)
+                break
+
+            if not isinstance(next_target, Event):
+                exc = SimulationError(
+                    f"process {self.name!r} yielded a non-event: {next_target!r}"
+                )
+                self._target = None
+                self.fail(exc)
+                break
+            if next_target.engine is not self.engine:
+                exc = SimulationError("yielded an event from a different engine")
+                self._target = None
+                self.fail(exc)
+                break
+
+            self._target = next_target
+            if next_target.callbacks is not None:
+                next_target.callbacks.append(self._resume)
+                break
+            # Already processed: loop immediately with its value.
+            event = next_target
+        self.engine._active = None
+
+
+class Condition(Event):
+    """Base for AllOf/AnyOf: triggers when ``_check`` says enough happened."""
+
+    def __init__(self, engine: "Engine", events: Iterable[Event]) -> None:
+        super().__init__(engine)
+        self.events = list(events)
+        self._done = 0
+        if not self.events:
+            self.succeed(self._collect())
+            return
+        for ev in self.events:
+            if ev.engine is not engine:
+                raise SimulationError("condition spans multiple engines")
+            if ev.callbacks is None:
+                self._on_event(ev)
+            else:
+                ev.callbacks.append(self._on_event)
+
+    def _on_event(self, ev: Event) -> None:
+        if self.triggered:
+            if not ev._ok:
+                ev._defused = True
+            return
+        if not ev._ok:
+            ev._defused = True
+            self.fail(ev._value)
+            return
+        self._done += 1
+        if self._check():
+            self.succeed(self._collect())
+
+    def _collect(self) -> dict[Event, Any]:
+        # Only *processed* events count: a Timeout carries its value from
+        # birth, so `triggered` alone would leak events that fire later.
+        return {ev: ev._value for ev in self.events if ev.callbacks is None and ev._ok}
+
+    def _check(self) -> bool:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class AllOf(Condition):
+    """Triggers when every constituent event has succeeded."""
+
+    def _check(self) -> bool:
+        return self._done == len(self.events)
+
+
+class AnyOf(Condition):
+    """Triggers when the first constituent event succeeds."""
+
+    def _check(self) -> bool:
+        return self._done >= 1
+
+
+class Engine:
+    """The event loop: owns virtual time and the schedule."""
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._queue: list[tuple[float, int, int, Event]] = []
+        self._seq = 0
+        self._active: Process | None = None
+
+    # -- clock ----------------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    @property
+    def active_process(self) -> Process | None:
+        return self._active
+
+    # -- factories ------------------------------------------------------------
+
+    def event(self) -> Event:
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator, name: str | None = None) -> Process:
+        return Process(self, generator, name)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    # -- scheduling -----------------------------------------------------------
+
+    def _schedule(self, event: Event, priority: int, delay: float = 0.0) -> None:
+        heapq.heappush(self._queue, (self._now + delay, priority, self._seq, event))
+        self._seq += 1
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or +inf if none."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def step(self) -> None:
+        """Process exactly one event."""
+        if not self._queue:
+            raise SimulationError("step() on an empty schedule")
+        self._now, _, _, event = heapq.heappop(self._queue)
+        callbacks, event.callbacks = event.callbacks, None
+        for cb in callbacks:
+            cb(event)
+        if not event._ok and not event._defused:
+            exc = event._value
+            raise exc
+
+    def run(self, until: "float | Event | None" = None) -> Any:
+        """Run until the schedule empties, a deadline passes, or an event fires.
+
+        * ``until=None``   -- drain the schedule.
+        * ``until=<float>``-- advance to that time (clock lands exactly there).
+        * ``until=<Event>``-- run until that event triggers; returns its value.
+        """
+        stop_event: Event | None = None
+        deadline: float | None = None
+        if isinstance(until, Event):
+            stop_event = until
+            if stop_event.callbacks is None:
+                return stop_event._value
+        elif until is not None:
+            deadline = float(until)
+            if deadline < self._now:
+                raise SimulationError(f"run(until={deadline}) is in the past (now={self._now})")
+
+        while self._queue:
+            if stop_event is not None and stop_event.triggered and stop_event.processed:
+                break
+            if deadline is not None and self._queue[0][0] > deadline:
+                break
+            self.step()
+            if stop_event is not None and stop_event.processed:
+                break
+
+        if deadline is not None:
+            self._now = max(self._now, deadline)
+        if stop_event is not None:
+            if not stop_event.triggered:
+                raise SimulationError("run() ran out of events before `until` triggered")
+            if not stop_event._ok:
+                stop_event._defused = True
+                raise stop_event._value
+            return stop_event._value
+        return None

@@ -1,0 +1,203 @@
+"""Shared resources for the event kernel: Resource, Container, Store.
+
+These model contention: CPU cores (Resource), disk/NIC byte budgets and
+memory (Container), and queues of work items (Store).  All wait-lists are
+FIFO, which together with the kernel's deterministic tie-breaking keeps
+whole simulations reproducible.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any
+
+from ..common.errors import SimulationError
+from .core import Engine, Event
+
+
+class Request(Event):
+    """A pending claim on a :class:`Resource` slot."""
+
+    def __init__(self, resource: "Resource") -> None:
+        super().__init__(resource.engine)
+        self.resource = resource
+        resource._queue.append(self)
+        resource._dispatch()
+
+    def __enter__(self) -> "Request":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.resource.release(self)
+
+
+class Resource:
+    """*capacity* identical slots, granted FIFO.
+
+    Usage inside a process::
+
+        with cpu.request() as req:
+            yield req
+            yield engine.timeout(work_seconds)
+    """
+
+    def __init__(self, engine: Engine, capacity: int = 1) -> None:
+        if capacity < 1:
+            raise SimulationError(f"Resource capacity must be >= 1, got {capacity}")
+        self.engine = engine
+        self.capacity = capacity
+        self._users: list[Request] = []
+        self._queue: deque[Request] = deque()
+
+    @property
+    def count(self) -> int:
+        """Slots currently held."""
+        return len(self._users)
+
+    @property
+    def queue_length(self) -> int:
+        return len(self._queue)
+
+    def request(self) -> Request:
+        return Request(self)
+
+    def release(self, request: Request) -> None:
+        """Give back a slot (or cancel a still-queued request)."""
+        if request in self._users:
+            self._users.remove(request)
+        elif request in self._queue:
+            self._queue.remove(request)
+        self._dispatch()
+
+    def _dispatch(self) -> None:
+        while self._queue and len(self._users) < self.capacity:
+            req = self._queue.popleft()
+            self._users.append(req)
+            req.succeed()
+
+
+class ContainerPut(Event):
+    def __init__(self, container: "Container", amount: float) -> None:
+        if amount <= 0:
+            raise SimulationError(f"put amount must be > 0, got {amount}")
+        super().__init__(container.engine)
+        self.amount = amount
+        container._puts.append(self)
+        container._dispatch()
+
+
+class ContainerGet(Event):
+    def __init__(self, container: "Container", amount: float) -> None:
+        if amount <= 0:
+            raise SimulationError(f"get amount must be > 0, got {amount}")
+        super().__init__(container.engine)
+        self.amount = amount
+        container._gets.append(self)
+        container._dispatch()
+
+
+class Container:
+    """A homogeneous quantity (bytes of RAM, litres of anything).
+
+    ``put`` blocks while full, ``get`` blocks while insufficient.
+    """
+
+    def __init__(self, engine: Engine, capacity: float = float("inf"), init: float = 0.0) -> None:
+        if capacity <= 0:
+            raise SimulationError("Container capacity must be > 0")
+        if not 0 <= init <= capacity:
+            raise SimulationError("Container init outside [0, capacity]")
+        self.engine = engine
+        self.capacity = capacity
+        self._level = float(init)
+        self._puts: deque[ContainerPut] = deque()
+        self._gets: deque[ContainerGet] = deque()
+
+    @property
+    def level(self) -> float:
+        return self._level
+
+    def put(self, amount: float) -> ContainerPut:
+        return ContainerPut(self, amount)
+
+    def get(self, amount: float) -> ContainerGet:
+        return ContainerGet(self, amount)
+
+    def cancel(self, event: Event) -> None:
+        """Withdraw a still-pending put/get."""
+        if event in self._puts:
+            self._puts.remove(event)
+        if event in self._gets:
+            self._gets.remove(event)
+
+    def _dispatch(self) -> None:
+        progressed = True
+        while progressed:
+            progressed = False
+            if self._puts and self._level + self._puts[0].amount <= self.capacity:
+                put = self._puts.popleft()
+                self._level += put.amount
+                put.succeed()
+                progressed = True
+            if self._gets and self._level >= self._gets[0].amount:
+                get = self._gets.popleft()
+                self._level -= get.amount
+                get.succeed()
+                progressed = True
+
+
+class StorePut(Event):
+    def __init__(self, store: "Store", item: Any) -> None:
+        super().__init__(store.engine)
+        self.item = item
+        store._puts.append(self)
+        store._dispatch()
+
+
+class StoreGet(Event):
+    def __init__(self, store: "Store") -> None:
+        super().__init__(store.engine)
+        store._gets.append(self)
+        store._dispatch()
+
+
+class Store:
+    """A FIFO queue of arbitrary items with optional capacity."""
+
+    def __init__(self, engine: Engine, capacity: float = float("inf")) -> None:
+        if capacity <= 0:
+            raise SimulationError("Store capacity must be > 0")
+        self.engine = engine
+        self.capacity = capacity
+        self.items: deque[Any] = deque()
+        self._puts: deque[StorePut] = deque()
+        self._gets: deque[StoreGet] = deque()
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def put(self, item: Any) -> StorePut:
+        return StorePut(self, item)
+
+    def get(self) -> StoreGet:
+        return StoreGet(self)
+
+    def cancel(self, event: Event) -> None:
+        if event in self._puts:
+            self._puts.remove(event)
+        if event in self._gets:
+            self._gets.remove(event)
+
+    def _dispatch(self) -> None:
+        progressed = True
+        while progressed:
+            progressed = False
+            while self._puts and len(self.items) < self.capacity:
+                put = self._puts.popleft()
+                self.items.append(put.item)
+                put.succeed()
+                progressed = True
+            while self._gets and self.items:
+                get = self._gets.popleft()
+                get.succeed(self.items.popleft())
+                progressed = True

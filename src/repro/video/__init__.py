@@ -1,0 +1,65 @@
+"""Video substrate: media model, FFmpeg-like tool, distributed conversion,
+progressive streaming + player."""
+
+from .abr import PROBE_BYTES, adaptive_play, probe_bandwidth, select_rendition
+from .cdn import ReplicaStreamer
+from .ffmpeg import FFmpeg
+from .media import (
+    AUDIO_CODECS,
+    CONTAINERS,
+    CONTAINER_CODECS,
+    CONTAINER_OVERHEAD,
+    R_1080P,
+    R_360P,
+    R_480P,
+    R_720P,
+    Resolution,
+    STANDARD_RESOLUTIONS,
+    VIDEO_CODECS,
+    VideoFile,
+)
+from .pipeline import ConversionReport, DistributedTranscoder
+from .renditions import (
+    DEFAULT_LADDER,
+    LADDER_BY_NAME,
+    Rendition,
+    THUMB_RESOLUTION,
+    Thumbnail,
+    extract_thumbnail,
+    make_renditions,
+)
+from .streaming import PlaybackEvent, PlaybackReport, PlaybackSession, StreamingServer
+
+__all__ = [
+    "AUDIO_CODECS",
+    "CONTAINERS",
+    "CONTAINER_CODECS",
+    "CONTAINER_OVERHEAD",
+    "ConversionReport",
+    "PROBE_BYTES",
+    "adaptive_play",
+    "probe_bandwidth",
+    "select_rendition",
+    "DEFAULT_LADDER",
+    "DistributedTranscoder",
+    "LADDER_BY_NAME",
+    "Rendition",
+    "ReplicaStreamer",
+    "THUMB_RESOLUTION",
+    "Thumbnail",
+    "extract_thumbnail",
+    "make_renditions",
+    "FFmpeg",
+    "PlaybackEvent",
+    "PlaybackReport",
+    "PlaybackSession",
+    "R_1080P",
+    "R_360P",
+    "R_480P",
+    "R_720P",
+    "Resolution",
+    "STANDARD_RESOLUTIONS",
+    "StreamingServer",
+    "VIDEO_CODECS",
+    "VideoFile",
+]

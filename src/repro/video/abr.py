@@ -1,0 +1,83 @@
+"""Startup quality selection: pick the rendition the client can sustain.
+
+With a multi-rendition ladder published per video, the player should not
+hand a 4 Mb/s 720p stream to a 2 Mb/s client.  :func:`probe_bandwidth`
+measures the client's effective throughput with a small range request
+(what Flash players of the era did with a progressive-download probe),
+and :func:`select_rendition` picks the highest rung that fits under a
+safety factor.  :func:`adaptive_play` wires both in front of a
+:class:`~repro.video.streaming.PlaybackSession`.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from ..common.errors import StreamingError
+from .media import VideoFile
+from .streaming import PlaybackSession, StreamingServer
+
+#: bytes fetched by the bandwidth probe
+PROBE_BYTES = 512 * 1024
+#: the chosen rendition's media rate must fit under bw * SAFETY
+SAFETY = 0.8
+
+
+def probe_bandwidth(server: StreamingServer, client_host: str) -> Generator:
+    """Process: measure effective server->client throughput, bytes/s."""
+    engine = server.cluster.engine
+
+    def _probe():
+        t0 = engine.now
+        yield server.stream_range(client_host, PROBE_BYTES)
+        elapsed = engine.now - t0
+        if elapsed <= 0:
+            raise StreamingError("bandwidth probe completed in zero time")
+        return PROBE_BYTES / elapsed
+
+    return _probe()
+
+
+def select_rendition(
+    renditions: dict[str, VideoFile], bandwidth: float, *, safety: float = SAFETY
+) -> str:
+    """Highest-rate rendition whose media rate fits under bandwidth*safety.
+
+    Falls back to the lowest rung when nothing fits (better a struggling
+    240p than nothing), matching every real player's behaviour.
+    """
+    if not renditions:
+        raise StreamingError("no renditions to choose from")
+    budget = bandwidth * safety
+
+    def media_rate(v: VideoFile) -> float:
+        return v.size / v.duration
+
+    ranked = sorted(renditions.items(), key=lambda kv: media_rate(kv[1]))
+    chosen = ranked[0][0]
+    for name, video in ranked:
+        if media_rate(video) <= budget:
+            chosen = name
+    return chosen
+
+
+def adaptive_play(
+    server: StreamingServer,
+    client_host: str,
+    renditions: dict[str, VideoFile],
+    *,
+    watch_plan: list[tuple[float, float]] | None = None,
+    safety: float = SAFETY,
+) -> Generator:
+    """Process: probe, select, and play.  Returns (quality, PlaybackReport)."""
+    engine = server.cluster.engine
+
+    def _flow():
+        bw = yield engine.process(probe_bandwidth(server, client_host))
+        quality = select_rendition(renditions, bw, safety=safety)
+        session = PlaybackSession(server, client_host, renditions[quality],
+                                  watch_plan=watch_plan)
+        report = yield engine.process(session.run())
+        return quality, report
+
+    return _flow()

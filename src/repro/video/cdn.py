@@ -1,0 +1,78 @@
+"""Replica-aware streaming: serve each viewer from an HDFS replica.
+
+The paper stores published videos replicated in HDFS; serving every
+stream from the single web host would waste that.  The
+:class:`ReplicaStreamer` picks, per viewer, the DataNode replica that is
+(a) local to the client when possible, else (b) the least-loaded replica
+holder -- a miniature CDN built from what HDFS already provides.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Generator
+
+from ..common.errors import StreamingError
+from ..hdfs import Hdfs
+from .media import VideoFile
+from .streaming import PlaybackSession, StreamingServer
+
+
+class ReplicaStreamer:
+    """Load-balances playback sessions over a file's replica holders."""
+
+    def __init__(self, fs: Hdfs, hdfs_path: str) -> None:
+        self.fs = fs
+        self.path = hdfs_path
+        inode = fs.namenode.get_file(hdfs_path)
+        if not inode.blocks:
+            raise StreamingError(f"{hdfs_path}: empty file")
+        self._servers: dict[str, StreamingServer] = {}
+        self.active_sessions: dict[str, int] = defaultdict(int)
+        self.sessions_served: dict[str, int] = defaultdict(int)
+
+    def replica_holders(self) -> list[str]:
+        inode = self.fs.namenode.get_file(self.path)
+        holders = self.fs.namenode.locations(inode.blocks[0].block_id)
+        return sorted(holders)
+
+    def pick_server(self, client_host: str) -> str:
+        """Client-local replica first; else least-loaded holder."""
+        holders = self.replica_holders()
+        if not holders:
+            raise StreamingError(f"{self.path}: no live replica to stream from")
+        if client_host in holders:
+            return client_host
+        return min(holders, key=lambda h: (self.active_sessions[h], h))
+
+    def open_session(
+        self,
+        client_host: str,
+        video: VideoFile,
+        *,
+        watch_plan: list[tuple[float, float]] | None = None,
+    ) -> Generator:
+        """Process: stream *video* to *client_host* from the chosen replica.
+
+        Returns (serving_host, PlaybackReport).
+        """
+        engine = self.fs.engine
+
+        def _run():
+            # select at session start, so concurrent opens see each other
+            server_host = self.pick_server(client_host)
+            server = self._servers.get(server_host)
+            if server is None:
+                server = StreamingServer(self.fs.cluster, server_host)
+                self._servers[server_host] = server
+            session = PlaybackSession(server, client_host, video,
+                                      watch_plan=watch_plan)
+            self.active_sessions[server_host] += 1
+            self.sessions_served[server_host] += 1
+            try:
+                report = yield engine.process(session.run())
+            finally:
+                self.active_sessions[server_host] -= 1
+            return server_host, report
+
+        return _run()

@@ -1,0 +1,132 @@
+"""Media model: codecs, containers, resolutions, video files, GOP structure.
+
+A :class:`VideoFile` is described the way ffprobe would describe it --
+container, codec, resolution, frame rate, bitrate, duration -- plus a
+*content identity* and GOP (group-of-pictures) structure.  Real video
+bytes are never materialised; instead every file knows its ``content_id``
+and the half-open GOP range it covers, so splitting and merging can be
+checked for *exact* correctness (no lost/duplicated/reordered frames)
+without storing terabytes.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+
+from ..common.errors import MediaError
+
+#: video codecs the toolchain understands (cost constants live in calibration)
+VIDEO_CODECS = ("h264", "mpeg4", "vp8", "flv1")
+AUDIO_CODECS = ("aac", "mp3", "vorbis")
+CONTAINERS = ("mp4", "avi", "flv", "mkv", "webm")
+
+#: which video codecs each container legally carries
+CONTAINER_CODECS: dict[str, tuple[str, ...]] = {
+    "mp4": ("h264", "mpeg4"),
+    "avi": ("mpeg4", "flv1"),
+    "flv": ("flv1", "h264"),
+    "mkv": ("h264", "mpeg4", "vp8"),
+    "webm": ("vp8",),
+}
+
+
+@dataclass(frozen=True)
+class Resolution:
+    width: int
+    height: int
+
+    def __post_init__(self) -> None:
+        if self.width <= 0 or self.height <= 0:
+            raise MediaError(f"bad resolution {self.width}x{self.height}")
+
+    @property
+    def pixels(self) -> int:
+        return self.width * self.height
+
+    def __str__(self) -> str:
+        return f"{self.width}x{self.height}"
+
+
+#: the resolutions the portal offers; the paper's player serves 720p 16:9
+R_1080P = Resolution(1920, 1080)
+R_720P = Resolution(1280, 720)
+R_480P = Resolution(854, 480)
+R_360P = Resolution(640, 360)
+
+STANDARD_RESOLUTIONS = {"1080p": R_1080P, "720p": R_720P, "480p": R_480P, "360p": R_360P}
+
+#: container framing overhead on top of the elementary streams
+CONTAINER_OVERHEAD = 0.01
+
+
+@dataclass(frozen=True)
+class VideoFile:
+    """One media file (or segment of one)."""
+
+    name: str
+    container: str
+    vcodec: str
+    acodec: str
+    duration: float              # seconds
+    resolution: Resolution
+    fps: float
+    bitrate: float               # video bytes/second
+    audio_bitrate: float = 16_000.0
+    gop_seconds: float = 2.0
+    content_id: str = ""
+    gop_start: int = 0           # first GOP index (inclusive) of the content
+    gop_end: int = -1            # last GOP index (exclusive); -1 = derive
+
+    def __post_init__(self) -> None:
+        if self.container not in CONTAINERS:
+            raise MediaError(f"{self.name}: unknown container {self.container!r}")
+        if self.vcodec not in VIDEO_CODECS:
+            raise MediaError(f"{self.name}: unknown video codec {self.vcodec!r}")
+        if self.acodec not in AUDIO_CODECS:
+            raise MediaError(f"{self.name}: unknown audio codec {self.acodec!r}")
+        if self.vcodec not in CONTAINER_CODECS[self.container]:
+            raise MediaError(
+                f"{self.name}: {self.container} cannot carry {self.vcodec}"
+            )
+        if self.duration <= 0 or self.fps <= 0 or self.bitrate <= 0:
+            raise MediaError(f"{self.name}: non-positive duration/fps/bitrate")
+        if self.gop_seconds <= 0:
+            raise MediaError(f"{self.name}: gop_seconds must be > 0")
+        if not self.content_id:
+            object.__setattr__(self, "content_id", self.name)
+        if self.gop_end < 0:
+            object.__setattr__(self, "gop_end", self.gop_start + self.gop_count_of_duration)
+
+    # -- derived geometry ----------------------------------------------------------
+
+    @property
+    def gop_count_of_duration(self) -> int:
+        return max(1, math.ceil(self.duration / self.gop_seconds))
+
+    @property
+    def gop_count(self) -> int:
+        return self.gop_end - self.gop_start
+
+    @property
+    def size(self) -> int:
+        """Container size in bytes."""
+        streams = (self.bitrate + self.audio_bitrate) * self.duration
+        return int(streams * (1.0 + CONTAINER_OVERHEAD))
+
+    @property
+    def total_frames(self) -> int:
+        return int(round(self.duration * self.fps))
+
+    @property
+    def pixels_total(self) -> float:
+        return self.resolution.pixels * self.fps * self.duration
+
+    def byte_offset_of(self, t: float) -> int:
+        """Approximate byte offset of playback time *t* (for range requests)."""
+        if not 0 <= t <= self.duration:
+            raise MediaError(f"{self.name}: seek {t} outside [0, {self.duration}]")
+        return int(self.size * (t / self.duration))
+
+    def with_name(self, name: str) -> "VideoFile":
+        return replace(self, name=name)

@@ -1,0 +1,157 @@
+"""Progressive HTTP streaming + the Flowplayer-style client (Figure 23).
+
+The portal serves H.264/FLV over plain HTTP with range requests; the
+player buffers a little, starts playing, and the time bar "can be moved
+to streaming playback at any time" -- a seek issues a new range request
+at the byte offset of the target time.  The session model tracks startup
+delay, rebuffering stalls and seek latency under whatever bandwidth the
+shared network fabric gives the flow.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Generator
+
+from ..common.errors import StreamingError
+from ..hardware import Cluster
+from .media import VideoFile
+
+
+@dataclass
+class PlaybackEvent:
+    time: float          # simulation time
+    kind: str            # play | stall | resume | seek | done
+    position: float      # media position, seconds
+
+
+@dataclass
+class PlaybackReport:
+    """Session metrics, the player's quality-of-experience view."""
+
+    video: str
+    startup_delay: float
+    watched_seconds: float
+    rebuffer_count: int
+    rebuffer_time: float
+    seek_latencies: list[float] = field(default_factory=list)
+    events: list[PlaybackEvent] = field(default_factory=list)
+
+    @property
+    def smooth(self) -> bool:
+        return self.rebuffer_count == 0
+
+
+class StreamingServer:
+    """Serves one host's videos over the shared network."""
+
+    def __init__(self, cluster: Cluster, host_name: str) -> None:
+        if host_name not in cluster.host_names:
+            raise StreamingError(f"server host {host_name} not in cluster")
+        self.cluster = cluster
+        self.host_name = host_name
+
+    def stream_range(self, client_host: str, nbytes: float):
+        """One range-request transfer to the client; returns the flow event."""
+        return self.cluster.network.transfer(self.host_name, client_host, nbytes)
+
+
+class PlaybackSession:
+    """A Flowplayer-like client: buffer, play, seek, stall."""
+
+    #: how far ahead the player requests data, in media-seconds per request
+    CHUNK_SECONDS = 2.0
+
+    def __init__(
+        self,
+        server: StreamingServer,
+        client_host: str,
+        video: VideoFile,
+        *,
+        watch_plan: list[tuple[float, float]] | None = None,
+    ) -> None:
+        """*watch_plan*: list of (start_position, watch_seconds) segments;
+        each entry after the first is reached via a seek on the time bar.
+        Default: watch the whole video from the start."""
+        if client_host not in server.cluster.host_names:
+            raise StreamingError(f"client host {client_host} not in cluster")
+        self.server = server
+        self.client_host = client_host
+        self.video = video
+        self.plan = watch_plan or [(0.0, video.duration)]
+        for start, span in self.plan:
+            if not 0 <= start <= video.duration or span < 0:
+                raise StreamingError(f"bad watch plan entry ({start}, {span})")
+
+    def run(self) -> Generator:
+        """Process: execute the watch plan; returns a PlaybackReport."""
+        cluster = self.server.cluster
+        engine = cluster.engine
+        video = self.video
+        cal = cluster.cal.video
+        media_rate = video.size / video.duration  # bytes per media-second
+
+        def _session():
+            events: list[PlaybackEvent] = []
+            startup_delay = 0.0
+            rebuffer_count = 0
+            rebuffer_time = 0.0
+            seek_latencies: list[float] = []
+            watched = 0.0
+
+            for i, (start, span) in enumerate(self.plan):
+                span = min(span, video.duration - start)
+                t_request = engine.now
+                # initial (or post-seek) buffer fill
+                buffered = min(cal.player_initial_buffer, span)
+                if buffered > 0:
+                    yield self.server.stream_range(
+                        self.client_host, buffered * media_rate
+                    )
+                delay = engine.now - t_request
+                if i == 0:
+                    startup_delay = delay
+                    events.append(PlaybackEvent(engine.now, "play", start))
+                else:
+                    seek_latencies.append(delay)
+                    events.append(PlaybackEvent(engine.now, "seek", start))
+
+                # play through the span in chunks: fetch next chunk while the
+                # buffered media plays out; stall when the fetch is slower.
+                position = start + buffered
+                remaining = span - buffered
+                while remaining > 0:
+                    chunk = min(self.CHUNK_SECONDS, remaining)
+                    t0 = engine.now
+                    play_out = engine.timeout(buffered)
+                    fetch = self.server.stream_range(
+                        self.client_host, chunk * media_rate
+                    )
+                    yield engine.all_of([play_out, fetch])
+                    fetch_time = engine.now - t0
+                    stall = fetch_time - buffered
+                    if stall > 1e-9:
+                        rebuffer_count += 1
+                        rebuffer_time += stall
+                        events.append(PlaybackEvent(engine.now, "stall", position))
+                        events.append(PlaybackEvent(engine.now, "resume", position))
+                    watched += buffered
+                    position += chunk
+                    buffered = chunk
+                    remaining -= chunk
+                # drain the final buffer
+                yield engine.timeout(buffered)
+                watched += buffered
+                events.append(PlaybackEvent(engine.now, "done", start + span))
+
+            return PlaybackReport(
+                video=video.name,
+                startup_delay=startup_delay,
+                watched_seconds=watched,
+                rebuffer_count=rebuffer_count,
+                rebuffer_time=rebuffer_time,
+                seek_latencies=seek_latencies,
+                events=events,
+            )
+
+        return _session()

@@ -1,0 +1,32 @@
+"""Virtualization substrate: VMs, images, hypervisors, dirty-page model."""
+
+from .dirty import DirtyPageModel
+from .hypervisor import (
+    BareMetal,
+    Emulator,
+    HYPERVISOR_TYPES,
+    Hypervisor,
+    Kvm,
+    KvmVirtio,
+    XenPv,
+    make_hypervisor,
+)
+from .image import DiskImage, ImageStore
+from .vm import VirtualMachine, VmState, WorkKind
+
+__all__ = [
+    "BareMetal",
+    "DirtyPageModel",
+    "DiskImage",
+    "Emulator",
+    "HYPERVISOR_TYPES",
+    "Hypervisor",
+    "ImageStore",
+    "Kvm",
+    "KvmVirtio",
+    "VirtualMachine",
+    "VmState",
+    "WorkKind",
+    "XenPv",
+    "make_hypervisor",
+]

@@ -1,0 +1,83 @@
+"""The virtual machine object as the hypervisor sees it.
+
+A :class:`VirtualMachine` is a bundle of vCPUs, guest RAM, a disk image and
+a dirty-page model.  It executes *guest work* (CPU- or I/O-bound cycle
+batches) through whatever hypervisor currently hosts it, paying that
+hypervisor's virtualization overhead -- this is the mechanism behind the
+paper's full- vs para-virtualization comparison (Section II.B).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import TYPE_CHECKING, Generator
+
+from ..common.errors import LifecycleError
+from .dirty import DirtyPageModel
+from .image import DiskImage
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .hypervisor import Hypervisor
+
+
+class VmState(enum.Enum):
+    """Hypervisor-level (libvirt-ish) domain states."""
+
+    DEFINED = "defined"
+    RUNNING = "running"
+    PAUSED = "paused"
+    SHUTOFF = "shutoff"
+
+
+class WorkKind(enum.Enum):
+    """Whether a guest work batch is CPU-bound or I/O-bound."""
+
+    CPU = "cpu"
+    IO = "io"
+
+
+class VirtualMachine:
+    """A guest domain."""
+
+    def __init__(
+        self,
+        name: str,
+        *,
+        vcpus: int,
+        memory: int,
+        image: DiskImage,
+        dirty: DirtyPageModel | None = None,
+    ) -> None:
+        if vcpus < 1 or memory <= 0:
+            raise LifecycleError(f"vm {name}: bad shape vcpus={vcpus} memory={memory}")
+        self.name = name
+        self.vcpus = vcpus
+        self.memory = memory
+        self.image = image
+        self.dirty = dirty or DirtyPageModel(memory=memory, dirty_rate=0.0)
+        self.state = VmState.DEFINED
+        self.hypervisor: "Hypervisor | None" = None
+        self.cpu_seconds_run = 0.0
+
+    @property
+    def host_name(self) -> str | None:
+        return self.hypervisor.host.name if self.hypervisor else None
+
+    def require_state(self, *allowed: VmState) -> None:
+        if self.state not in allowed:
+            raise LifecycleError(
+                f"vm {self.name}: operation requires state in "
+                f"{[s.value for s in allowed]}, but is {self.state.value}"
+            )
+
+    def run_work(self, cycles: float, kind: WorkKind = WorkKind.CPU) -> Generator:
+        """Process: execute a batch of guest cycles through the hypervisor."""
+        self.require_state(VmState.RUNNING)
+        assert self.hypervisor is not None
+        return self.hypervisor.execute(self, cycles, kind)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<VM {self.name} {self.state.value} vcpus={self.vcpus} "
+            f"mem={self.memory} on={self.host_name}>"
+        )

@@ -1,0 +1,36 @@
+"""Web tier: Lighttpd-like server, mini relational DB, auth, the VOC portal."""
+
+from .auth import AuthService, Session, hash_password
+from .feed import render_feed
+from .minidb import Column, Database, QueryStats, Table
+from .portal import VideoPortal
+from .render import render_page
+from .server import (
+    ApachePrefork,
+    Handler,
+    Lighttpd,
+    Request,
+    Response,
+    ServerStats,
+    WebServer,
+)
+
+__all__ = [
+    "ApachePrefork",
+    "AuthService",
+    "Column",
+    "Database",
+    "Handler",
+    "Lighttpd",
+    "QueryStats",
+    "Request",
+    "Response",
+    "ServerStats",
+    "Session",
+    "Table",
+    "VideoPortal",
+    "WebServer",
+    "hash_password",
+    "render_feed",
+    "render_page",
+]

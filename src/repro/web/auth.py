@@ -1,0 +1,132 @@
+"""Registration, e-mail verification, login/logout, sessions.
+
+The flows of Figures 19-21: a visitor registers with account/password/
+name/e-mail, confirms via the token mailed to them, then logs in to get a
+session and can log out to end it.  Passwords are salted-and-hashed;
+sessions are server-side records keyed by deterministic tokens.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+from ..common.errors import AuthError
+from ..common.ids import IdFactory
+from .minidb import Column, Database
+
+
+def hash_password(password: str, salt: str) -> str:
+    return hashlib.sha256(f"{salt}:{password}".encode("utf-8")).hexdigest()
+
+
+@dataclass
+class Session:
+    token: str
+    user_id: int
+    created: float
+
+
+class AuthService:
+    """User accounts + sessions over the mini database."""
+
+    MIN_PASSWORD_LEN = 6
+
+    def __init__(self, db: Database, clock) -> None:
+        self.db = db
+        self.clock = clock
+        self.ids = IdFactory()
+        if "users" not in db:
+            db.create_table(
+                "users",
+                [
+                    Column("id", "int"),
+                    Column("username", "str", unique=True),
+                    Column("email", "str", unique=True),
+                    Column("display_name", "str"),
+                    Column("password_hash", "str"),
+                    Column("salt", "str"),
+                    Column("verified", "bool"),
+                    Column("blocked", "bool"),
+                ],
+            )
+        self._verification_tokens: dict[str, int] = {}   # token -> user id
+        self.sessions: dict[str, Session] = {}
+        self.outbox: list[tuple[str, str]] = []          # (email, token) "sent" mails
+
+    # -- registration (Figure 19) --------------------------------------------------
+
+    def register(self, username: str, password: str, display_name: str, email: str) -> int:
+        """Create an unverified account; mails a verification token."""
+        if not username or not username.isalnum():
+            raise AuthError(f"bad username {username!r} (alphanumeric required)")
+        if len(password) < self.MIN_PASSWORD_LEN:
+            raise AuthError(f"password shorter than {self.MIN_PASSWORD_LEN} characters")
+        if "@" not in email:
+            raise AuthError(f"bad e-mail address {email!r}")
+        users = self.db.table("users")
+        if users.select({"username": username}):
+            raise AuthError(f"username {username!r} is taken")
+        if users.select({"email": email}):
+            raise AuthError(f"e-mail {email!r} already registered")
+        salt = self.ids.next("salt")
+        user_id = users.insert(
+            username=username,
+            email=email,
+            display_name=display_name,
+            password_hash=hash_password(password, salt),
+            salt=salt,
+            verified=False,
+            blocked=False,
+        )
+        token = self.ids.next("verify")
+        self._verification_tokens[token] = user_id
+        self.outbox.append((email, token))
+        return user_id
+
+    def verify_email(self, token: str) -> int:
+        """Confirm the account behind *token* (the mailed link)."""
+        user_id = self._verification_tokens.pop(token, None)
+        if user_id is None:
+            raise AuthError("invalid or already-used verification token")
+        self.db.table("users").update(user_id, verified=True)
+        return user_id
+
+    # -- login / logout (Figures 20-21) ----------------------------------------------
+
+    def login(self, username: str, password: str) -> Session:
+        users = self.db.table("users")
+        found = users.select({"username": username})
+        if not found:
+            raise AuthError("unknown username or wrong password")
+        user = found[0]
+        if hash_password(password, user["salt"]) != user["password_hash"]:
+            raise AuthError("unknown username or wrong password")
+        if not user["verified"]:
+            raise AuthError("account not verified: check your e-mail")
+        if user["blocked"]:
+            raise AuthError("account blocked by the administrator")
+        token = self.ids.next("sess")
+        session = Session(token=token, user_id=user["id"], created=self.clock())
+        self.sessions[token] = session
+        return session
+
+    def logout(self, token: str) -> None:
+        if token not in self.sessions:
+            raise AuthError("no such session")
+        del self.sessions[token]
+
+    def current_user(self, token: str | None) -> dict | None:
+        """The logged-in user's row, or None for anonymous visitors."""
+        if token is None:
+            return None
+        session = self.sessions.get(token)
+        if session is None:
+            return None
+        return self.db.table("users").get(session.user_id)
+
+    def require_user(self, token: str | None) -> dict:
+        user = self.current_user(token)
+        if user is None:
+            raise AuthError("login required")
+        return user

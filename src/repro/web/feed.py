@@ -1,0 +1,43 @@
+"""RSS 2.0 feed of recent uploads.
+
+Every 2012-era video site exposed an RSS feed of new videos; the portal
+serves one at ``GET /feed``.  The XML is assembled by hand (the real site
+would use PHP's DOM) and is well-formed enough for feed readers of the
+day: channel metadata plus one ``<item>`` per published video, newest
+first.
+"""
+
+from __future__ import annotations
+
+from xml.sax.saxutils import escape
+
+SITE_URL = "http://voc.example"
+
+
+def render_feed(videos: list[dict], *, title: str = "VOC - new videos",
+                limit: int = 20) -> str:
+    """RSS 2.0 document for *videos* (dicts with id/title/views/duration)."""
+    items = []
+    for v in videos[:limit]:
+        link = f"{SITE_URL}/video?id={v['id']}"
+        items.append(
+            "    <item>\n"
+            f"      <title>{escape(str(v['title']))}</title>\n"
+            f"      <link>{escape(link)}</link>\n"
+            f"      <guid isPermaLink=\"true\">{escape(link)}</guid>\n"
+            f"      <description>{escape(str(v.get('description', '')))}"
+            "</description>\n"
+            "    </item>"
+        )
+    body = "\n".join(items)
+    return (
+        '<?xml version="1.0" encoding="UTF-8"?>\n'
+        '<rss version="2.0">\n'
+        "  <channel>\n"
+        f"    <title>{escape(title)}</title>\n"
+        f"    <link>{SITE_URL}/</link>\n"
+        "    <description>latest uploads on the video cloud</description>\n"
+        f"{body}\n"
+        "  </channel>\n"
+        "</rss>\n"
+    )

@@ -1,0 +1,248 @@
+"""The mini relational engine (MySQL stand-in).
+
+"we use MySQL in database to store a user's account, passwords, and film
+information" (Section IV).  Tables have typed columns, a primary key with
+optional auto-increment, unique constraints and secondary hash indexes.
+Point lookups through an index report one row scanned; everything else is
+a table scan -- the numbers the web-server layer turns into simulated
+query time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable
+
+from ..common.errors import DatabaseError
+
+COLUMN_TYPES = ("int", "float", "str", "bool", "bytes")
+
+
+@dataclass(frozen=True)
+class Column:
+    name: str
+    type: str = "str"
+    nullable: bool = False
+    unique: bool = False
+
+    def __post_init__(self) -> None:
+        if self.type not in COLUMN_TYPES:
+            raise DatabaseError(f"column {self.name}: unknown type {self.type!r}")
+
+    def check(self, value: Any) -> None:
+        if value is None:
+            if not self.nullable:
+                raise DatabaseError(f"column {self.name} is NOT NULL")
+            return
+        ok = {
+            "int": lambda v: isinstance(v, int) and not isinstance(v, bool),
+            "float": lambda v: isinstance(v, (int, float)) and not isinstance(v, bool),
+            "str": lambda v: isinstance(v, str),
+            "bool": lambda v: isinstance(v, bool),
+            "bytes": lambda v: isinstance(v, (bytes, bytearray)),
+        }[self.type](value)
+        if not ok:
+            raise DatabaseError(
+                f"column {self.name}: {value!r} is not of type {self.type}"
+            )
+
+
+@dataclass
+class QueryStats:
+    """How much work the engine did (drives simulated query time)."""
+
+    rows_scanned: int = 0
+    rows_returned: int = 0
+    used_index: bool = False
+
+
+class Table:
+    """One table with a primary key and optional secondary indexes."""
+
+    def __init__(
+        self,
+        name: str,
+        columns: list[Column],
+        *,
+        primary_key: str = "id",
+        auto_increment: bool = True,
+    ) -> None:
+        self.name = name
+        self.columns = {c.name: c for c in columns}
+        if primary_key not in self.columns:
+            raise DatabaseError(f"{name}: primary key {primary_key!r} not a column")
+        self.primary_key = primary_key
+        self.auto_increment = auto_increment
+        self.rows: dict[Any, dict[str, Any]] = {}
+        self._next_id = 1
+        self._indexes: dict[str, dict[Any, set[Any]]] = {}
+        for c in columns:
+            if c.unique and c.name != primary_key:
+                self.create_index(c.name)
+
+    # -- DDL ----------------------------------------------------------------------
+
+    def create_index(self, column: str) -> None:
+        if column not in self.columns:
+            raise DatabaseError(f"{self.name}: no column {column!r}")
+        if column in self._indexes:
+            return
+        idx: dict[Any, set[Any]] = {}
+        for pk, row in self.rows.items():
+            idx.setdefault(row[column], set()).add(pk)
+        self._indexes[column] = idx
+
+    # -- DML ----------------------------------------------------------------------
+
+    def insert(self, **values: Any) -> Any:
+        """Insert a row; returns the primary key."""
+        row = dict(values)
+        if self.auto_increment and self.primary_key not in row:
+            row[self.primary_key] = self._next_id
+            self._next_id += 1
+        unknown = set(row) - set(self.columns)
+        if unknown:
+            raise DatabaseError(f"{self.name}: unknown columns {sorted(unknown)}")
+        for cname, col in self.columns.items():
+            col.check(row.get(cname))
+        pk = row[self.primary_key]
+        if pk in self.rows:
+            raise DatabaseError(f"{self.name}: duplicate primary key {pk!r}")
+        for cname, col in self.columns.items():
+            if col.unique and cname != self.primary_key:
+                hits = self._indexes[cname].get(row.get(cname), set())
+                if hits:
+                    raise DatabaseError(
+                        f"{self.name}: duplicate value {row.get(cname)!r} "
+                        f"for unique column {cname}"
+                    )
+        self.rows[pk] = row
+        if isinstance(pk, int):
+            self._next_id = max(self._next_id, pk + 1)
+        for cname, idx in self._indexes.items():
+            idx.setdefault(row.get(cname), set()).add(pk)
+        return pk
+
+    def get(self, pk: Any, stats: QueryStats | None = None) -> dict[str, Any] | None:
+        """Primary-key point lookup."""
+        row = self.rows.get(pk)
+        if stats is not None:
+            stats.rows_scanned += 1
+            stats.used_index = True
+            stats.rows_returned += 1 if row else 0
+        return dict(row) if row else None
+
+    def select(
+        self,
+        where: dict[str, Any] | Callable[[dict], bool] | None = None,
+        *,
+        order_by: str | None = None,
+        descending: bool = False,
+        limit: int | None = None,
+        stats: QueryStats | None = None,
+    ) -> list[dict[str, Any]]:
+        """Filtered scan; equality dicts use an index when one exists."""
+        stats = stats if stats is not None else QueryStats()
+        candidates: Iterable[Any]
+        predicate: Callable[[dict], bool]
+        if isinstance(where, dict):
+            indexed = [c for c in where if c in self._indexes]
+            if indexed:
+                col = indexed[0]
+                candidates = sorted(
+                    self._indexes[col].get(where[col], set()), key=repr
+                )
+                stats.used_index = True
+            else:
+                candidates = list(self.rows)
+
+            def predicate(row: dict) -> bool:
+                return all(row.get(k) == v for k, v in where.items())
+
+        elif callable(where):
+            candidates = list(self.rows)
+            predicate = where
+        else:
+            candidates = list(self.rows)
+            predicate = lambda row: True  # noqa: E731
+
+        out = []
+        for pk in candidates:
+            row = self.rows.get(pk)
+            if row is None:
+                continue
+            stats.rows_scanned += 1
+            if predicate(row):
+                out.append(dict(row))
+        if order_by is not None:
+            if order_by not in self.columns:
+                raise DatabaseError(f"{self.name}: no column {order_by!r}")
+            out.sort(key=lambda r: (r.get(order_by) is None, r.get(order_by)),
+                     reverse=descending)
+        else:
+            out.sort(key=lambda r: repr(r.get(self.primary_key)))
+        if limit is not None:
+            out = out[:limit]
+        stats.rows_returned += len(out)
+        return out
+
+    def update(self, pk: Any, **changes: Any) -> bool:
+        row = self.rows.get(pk)
+        if row is None:
+            return False
+        unknown = set(changes) - set(self.columns)
+        if unknown:
+            raise DatabaseError(f"{self.name}: unknown columns {sorted(unknown)}")
+        for cname, value in changes.items():
+            self.columns[cname].check(value)
+            col = self.columns[cname]
+            if col.unique and cname != self.primary_key:
+                hits = self._indexes[cname].get(value, set()) - {pk}
+                if hits:
+                    raise DatabaseError(
+                        f"{self.name}: duplicate value {value!r} for unique {cname}"
+                    )
+        for cname, idx in self._indexes.items():
+            if cname in changes:
+                idx.get(row.get(cname), set()).discard(pk)
+                idx.setdefault(changes[cname], set()).add(pk)
+        row.update(changes)
+        return True
+
+    def delete(self, pk: Any) -> bool:
+        row = self.rows.pop(pk, None)
+        if row is None:
+            return False
+        for cname, idx in self._indexes.items():
+            idx.get(row.get(cname), set()).discard(pk)
+        return True
+
+    def count(self, where: dict[str, Any] | None = None) -> int:
+        return len(self.select(where))
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+
+class Database:
+    """A named collection of tables."""
+
+    def __init__(self, name: str = "voc") -> None:
+        self.name = name
+        self.tables: dict[str, Table] = {}
+
+    def create_table(self, name: str, columns: list[Column], **kw: Any) -> Table:
+        if name in self.tables:
+            raise DatabaseError(f"table {name} already exists")
+        table = Table(name, columns, **kw)
+        self.tables[name] = table
+        return table
+
+    def table(self, name: str) -> Table:
+        try:
+            return self.tables[name]
+        except KeyError:
+            raise DatabaseError(f"no table {name!r}") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.tables

@@ -1,0 +1,179 @@
+"""Text mock-ups of the portal's pages (Figures 17-23).
+
+The paper's evaluation is a set of screenshots; this module renders the
+structured page bodies the handlers return as terminal mock-ups, so the
+examples can show "what the browser showed".  Pure formatting -- no
+simulation state is touched.
+"""
+
+from __future__ import annotations
+
+from ..common.errors import WebError
+from .server import Response
+
+WIDTH = 64
+
+
+def _box(title: str, lines: list[str]) -> str:
+    bar = "+" + "-" * (WIDTH - 2) + "+"
+    out = [bar, f"| {title.upper():<{WIDTH - 4}} |", bar]
+    for line in lines:
+        for chunk in _wrap(line):
+            out.append(f"| {chunk:<{WIDTH - 4}} |")
+    out.append(bar)
+    return "\n".join(out)
+
+
+def _wrap(line: str) -> list[str]:
+    width = WIDTH - 4
+    if not line:
+        return [""]
+    return [line[i:i + width] for i in range(0, len(line), width)]
+
+
+def render_page(response: Response) -> str:
+    """Render a portal response as the page the browser would show."""
+    if not response.ok:
+        return _box(f"HTTP {response.status}",
+                    [response.body.get("error", "error")])
+    body = response.body
+    page = body.get("page")
+    renderer = _RENDERERS.get(page)
+    if renderer is None:
+        raise WebError(f"no renderer for page {page!r}")
+    return renderer(body)
+
+
+def _render_home(body: dict) -> str:
+    lines = ["[ search videos...          ] (Search)", ""]
+    lines.append("Recent uploads:")
+    for v in body.get("recent", []):
+        lines.append(f"  > {v['title']}  ({v['views']} views)  {v['link']}")
+    return _box("VOC - video cloud", lines)
+
+
+def _render_search(body: dict) -> str:
+    lines = [f"results for: {body['query']!r}", ""]
+    for v in body.get("results", []):
+        lines.append(f"  {v['title']}")
+        if v.get("snippet"):
+            lines.append(f"     {v['snippet']}")
+        lines.append(f"     {v['link']}  ({v['views']} views)")
+    if not body.get("results"):
+        lines.append("  no videos found")
+        if body.get("did_you_mean"):
+            lines.append(f"  did you mean: {body['did_you_mean']!r}?")
+    if body.get("total_pages", 1) > 1:
+        lines.append("")
+        lines.append(f"page {body['page_number']} of {body['total_pages']}")
+    return _box("search results (figure 18)", lines)
+
+
+def _render_register(body: dict) -> str:
+    return _box("register (figure 19)", [
+        "account:  [________]", "password: [________]",
+        "name:     [________]", "e-mail:   [________]",
+        "", body.get("message", ""),
+    ])
+
+
+def _render_verify(body: dict) -> str:
+    return _box("e-mail verification", [
+        f"account {body['verified_user']} verified -- you can log in now"])
+
+
+def _render_login(body: dict) -> str:
+    return _box("log-in (figure 20)", [f"welcome back, {body['welcome']}!"])
+
+
+def _render_logout(body: dict) -> str:
+    return _box("log-out (figure 21)", [body.get("message", "goodbye")])
+
+
+def _render_upload(body: dict) -> str:
+    return _box("upload (figure 22)", [
+        "your film was uploaded and converted.",
+        f"dynamic video link: {body['link']}",
+    ])
+
+
+def _render_player(body: dict) -> str:
+    v = body["video"]
+    p = body["player"]
+    lines = [
+        f"{v['title']}   ({v['views']} views)",
+        "",
+        "  .-------------------------------------.",
+        "  |                                     |",
+        f"  |        [ {p['format']} {p['resolution']} ]        |",
+        "  |                                     |",
+        "  '-------------------------------------'",
+        "  |>--------------o--------------------|  (drag to seek)",
+        f"qualities: {' / '.join(p.get('qualities', []))}",
+        f"share: {' '.join(sorted(body.get('share', {})))}",
+        "",
+        "comments:",
+    ]
+    for c in body.get("comments", []):
+        lines.append(f"  user{c['user']}: {c['text']}")
+    if not body.get("comments"):
+        lines.append("  (no comments yet)")
+    related = body.get("related", [])
+    if related:
+        lines.append("")
+        lines.append("related videos:")
+        for r in related:
+            lines.append(f"  > {r['title']}  {r['link']}")
+    return _box("player (figure 23)", lines)
+
+
+def _render_my_videos(body: dict) -> str:
+    lines = []
+    for v in body.get("videos", []):
+        lines.append(f"  {v['title']}  [{v['status']}]  "
+                     f"(edit) (delete)  {v['link']}")
+    if not lines:
+        lines = ["  you have not uploaded any videos yet"]
+    return _box("my videos", lines)
+
+
+def _render_admin(body: dict) -> str:
+    lines = []
+    if "open_flags" in body:
+        lines.append("open reports:")
+        for f in body["open_flags"]:
+            lines.append(f"  flag #{f['flag_id']}: video {f['video_id']} "
+                         f"-- {f['reason']}  (remove) (dismiss)")
+        if not body["open_flags"]:
+            lines.append("  none -- all clean")
+    if "removed" in body:
+        lines.append(f"video {body['removed']} removed")
+    if "blocked_user" in body:
+        lines.append(f"user {body['blocked_user']} blocked")
+    return _box("administration", lines)
+
+
+def _render_simple(title: str):
+    def render(body: dict) -> str:
+        lines = [f"{k}: {v}" for k, v in sorted(body.items()) if k != "page"]
+        return _box(title, lines)
+
+    return render
+
+
+_RENDERERS = {
+    "home": _render_home,
+    "search": _render_search,
+    "register": _render_register,
+    "verify": _render_verify,
+    "login": _render_login,
+    "logout": _render_logout,
+    "upload": _render_upload,
+    "player": _render_player,
+    "my_videos": _render_my_videos,
+    "admin": _render_admin,
+    "comment": _render_simple("comment posted"),
+    "flag": _render_simple("report received"),
+    "edit": _render_simple("video updated"),
+    "delete": _render_simple("video deleted"),
+}

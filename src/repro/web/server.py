@@ -1,0 +1,152 @@
+"""Web-server models: event-driven Lighttpd vs a preforking heavyweight.
+
+"Comparing with other webpage servers, Lighttpd needs very little memory
+and CPU resource to obtain the same efficiency" (Section IV).  Both models
+serve the same handlers; they differ in per-request CPU overhead,
+per-connection memory, and concurrency structure (event loop vs a worker
+pool), which is exactly what bench E13 measures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Generator
+
+from ..common.errors import HttpError, WebError
+from ..hardware import Cluster
+from ..sim import Resource
+
+
+@dataclass
+class Request:
+    """One HTTP request."""
+
+    method: str
+    path: str
+    params: dict[str, Any] = field(default_factory=dict)
+    client_host: str = ""
+    session_id: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.method not in ("GET", "POST"):
+            raise HttpError(405, f"method {self.method} not allowed")
+
+
+@dataclass
+class Response:
+    """One HTTP response."""
+
+    status: int = 200
+    body: dict[str, Any] = field(default_factory=dict)
+    body_bytes: int = 8 * 1024        # size on the wire
+    set_session: str | None = None
+
+    @property
+    def ok(self) -> bool:
+        return 200 <= self.status < 300
+
+
+#: a handler is a *generator function* (request) -> yields sim events,
+#: returns a Response
+Handler = Callable[[Request], Generator]
+
+
+@dataclass
+class ServerStats:
+    requests: int = 0
+    errors: int = 0
+    bytes_sent: int = 0
+    peak_connections: int = 0
+    cpu_seconds: float = 0.0
+
+    def memory_footprint(self, conn_memory: int, base: int) -> int:
+        return base + self.peak_connections * conn_memory
+
+
+class WebServer:
+    """Base server: routes, connection slots, request accounting."""
+
+    #: subclass knobs
+    kind = "generic"
+    request_cpu = 0.0005
+    conn_memory = 1 * 1024 * 1024
+    base_memory = 4 * 1024 * 1024
+    max_connections = 256
+
+    def __init__(self, cluster: Cluster, host_name: str) -> None:
+        if host_name not in cluster.host_names:
+            raise WebError(f"server host {host_name} not in cluster")
+        self.cluster = cluster
+        self.host = cluster.host(host_name)
+        self.engine = cluster.engine
+        self.routes: dict[tuple[str, str], Handler] = {}
+        self.stats = ServerStats()
+        self._conns = Resource(self.engine, capacity=self.max_connections)
+
+    def route(self, method: str, path: str, handler: Handler) -> None:
+        self.routes[(method, path)] = handler
+
+    def handle(self, request: Request) -> Generator:
+        """Process: serve one request end-to-end; returns the Response."""
+
+        def _serve():
+            with self._conns.request() as slot:
+                yield slot
+                self.stats.peak_connections = max(
+                    self.stats.peak_connections, self._conns.count
+                )
+                # server front-end overhead (parse, route, I/O multiplexing)
+                yield self.engine.process(
+                    self.host.compute_seconds(self.request_cpu)
+                )
+                self.stats.cpu_seconds += self.request_cpu
+                handler = self.routes.get((request.method, request.path))
+                try:
+                    if handler is None:
+                        raise HttpError(404, f"no route {request.method} {request.path}")
+                    response = yield self.engine.process(handler(request))
+                except HttpError as exc:
+                    response = Response(status=exc.status, body={"error": str(exc)})
+                self.stats.requests += 1
+                if not response.ok:
+                    self.stats.errors += 1
+                # ship the response body to the client
+                if request.client_host and request.client_host != self.host.name:
+                    yield self.cluster.network.transfer(
+                        self.host.name, request.client_host, response.body_bytes
+                    )
+                self.stats.bytes_sent += response.body_bytes
+                return response
+
+        return _serve()
+
+    def memory_footprint(self) -> int:
+        return self.stats.memory_footprint(self.conn_memory, self.base_memory)
+
+
+class Lighttpd(WebServer):
+    """Single event loop: tiny per-connection state, low per-request CPU."""
+
+    kind = "lighttpd"
+
+    def __init__(self, cluster: Cluster, host_name: str) -> None:
+        web = cluster.cal.web
+        self.request_cpu = web.lighttpd_request_cpu
+        self.conn_memory = web.lighttpd_conn_memory
+        self.base_memory = 3 * 1024 * 1024
+        self.max_connections = 1024
+        super().__init__(cluster, host_name)
+
+
+class ApachePrefork(WebServer):
+    """A worker-pool server: one heavy process per connection."""
+
+    kind = "apache-prefork"
+
+    def __init__(self, cluster: Cluster, host_name: str, workers: int = 64) -> None:
+        web = cluster.cal.web
+        self.request_cpu = web.apache_prefork_request_cpu
+        self.conn_memory = web.apache_prefork_conn_memory
+        self.base_memory = 32 * 1024 * 1024
+        self.max_connections = workers
+        super().__init__(cluster, host_name)

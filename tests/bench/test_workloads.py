@@ -1,0 +1,130 @@
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.common.units import MiB
+from repro.bench import (
+    LatencyStats,
+    PortalDriver,
+    TrafficMix,
+    TrafficModel,
+    VideoCatalog,
+)
+from repro.hardware import Cluster
+from repro.hdfs import Hdfs
+from repro.web import VideoPortal
+
+
+class TestVideoCatalog:
+    def test_deterministic(self):
+        a = VideoCatalog(10, seed=5)
+        b = VideoCatalog(10, seed=5)
+        assert [e.title for e in a.entries] == [e.title for e in b.entries]
+        assert [e.media.duration for e in a.entries] == \
+            [e.media.duration for e in b.entries]
+
+    def test_popularity_is_permutation(self):
+        cat = VideoCatalog(20)
+        ranks = sorted(e.popularity_rank for e in cat.entries)
+        assert ranks == list(range(20))
+        assert [e.popularity_rank for e in cat.by_popularity()] == list(range(20))
+
+    def test_durations_have_tail(self):
+        cat = VideoCatalog(200, seed=1, mean_duration=300)
+        durations = [e.media.duration for e in cat.entries]
+        assert min(durations) >= 10.0
+        assert max(durations) > 2 * (sum(durations) / len(durations))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigError):
+            VideoCatalog(0)
+
+
+class TestTrafficModel:
+    def test_arrivals_monotone(self):
+        events = TrafficModel(rate_per_s=2.0, seed=3).events(50, 10)
+        times = [e.at for e in events]
+        assert times == sorted(times)
+        assert len(events) == 50
+
+    def test_mix_roughly_respected(self):
+        events = TrafficModel(seed=7).events(2000, 10)
+        frac = {a: sum(1 for e in events if e.action == a) / 2000
+                for a in ("browse", "search", "watch", "comment")}
+        assert abs(frac["watch"] - 0.40) < 0.05
+        assert abs(frac["browse"] - 0.30) < 0.05
+
+    def test_zipf_prefers_popular(self):
+        events = TrafficModel(seed=5).events(2000, 50)
+        rank0 = sum(1 for e in events if e.video_rank == 0)
+        rank_tail = sum(1 for e in events if e.video_rank >= 25)
+        assert rank0 > rank_tail / 5
+        assert all(0 <= e.video_rank < 50 for e in events)
+
+    def test_bad_mix(self):
+        with pytest.raises(ConfigError):
+            TrafficMix(browse=0.9, search=0.9, watch=0.1, comment=0.1)
+
+    def test_bad_rate(self):
+        with pytest.raises(ConfigError):
+            TrafficModel(rate_per_s=0)
+
+
+class TestLatencyStats:
+    def test_mean_and_percentiles(self):
+        s = LatencyStats()
+        for v in [1.0, 2.0, 3.0, 4.0, 10.0]:
+            s.add(v)
+        assert s.count == 5
+        assert s.mean == pytest.approx(4.0)
+        assert s.percentile(0) == 1.0
+        assert s.percentile(100) == 10.0
+        assert s.percentile(50) == 3.0
+
+    def test_empty(self):
+        s = LatencyStats()
+        assert s.mean == 0.0
+        assert s.percentile(99) == 0.0
+
+    def test_bad_percentile(self):
+        s = LatencyStats()
+        s.add(1.0)
+        with pytest.raises(ConfigError):
+            s.percentile(101)
+
+
+class TestPortalDriver:
+    def make(self):
+        cluster = Cluster(7)
+        fs = Hdfs(cluster, namenode_host="node0",
+                  datanode_hosts=cluster.host_names[1:], block_size=16 * MiB,
+                  replication=2)
+        portal = VideoPortal(cluster, fs, web_host="node1",
+                             transcode_workers=cluster.host_names[2:])
+        return cluster, portal, PortalDriver(portal)
+
+    def test_seed_publishes_catalog(self):
+        cluster, portal, driver = self.make()
+        catalog = VideoCatalog(4, seed=2, mean_duration=60)
+        vids = cluster.run(cluster.engine.process(driver.seed(catalog)))
+        assert len(vids) == 4
+        assert portal.db.table("videos").count({"status": "published"}) == 4
+        assert portal.search.index.doc_count == 4
+
+    def test_replay_collects_stats(self):
+        cluster, portal, driver = self.make()
+        catalog = VideoCatalog(3, seed=2, mean_duration=30)
+        cluster.run(cluster.engine.process(driver.seed(catalog)))
+        events = TrafficModel(rate_per_s=5.0, seed=1).events(30, 3)
+        report = cluster.run(cluster.engine.process(
+            driver.replay(events, client_hosts=[cluster.host_names[-1]])))
+        assert report.events == 30
+        assert report.errors == 0
+        assert report.stat("watch").count > 0
+        assert report.stat("browse").mean > 0
+        assert report.duration > 0
+        assert report.throughput > 0
+
+    def test_replay_requires_seed(self):
+        cluster, portal, driver = self.make()
+        with pytest.raises(ConfigError):
+            driver.replay([], ["node1"])

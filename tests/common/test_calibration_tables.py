@@ -1,0 +1,100 @@
+"""Guard rails on the calibration constants and the table renderer.
+
+The whole reproduction's *shapes* depend on ordering relations between
+calibration constants (para < full < emulation, read faster than write,
+Lighttpd lighter than prefork...).  These tests pin those relations so a
+careless recalibration cannot silently invert a paper claim.
+"""
+
+import pytest
+
+from repro.common.calibration import Calibration, DEFAULT_CALIBRATION
+from repro.common.tables import format_table
+
+
+class TestCalibrationInvariants:
+    def setup_method(self):
+        self.cal = DEFAULT_CALIBRATION
+
+    def test_virtualization_orderings(self):
+        v = self.cal.virt
+        assert 1.0 == v.cpu_bare < v.cpu_para < v.cpu_full < v.cpu_emul
+        assert 1.0 == v.io_bare < v.io_para < v.io_full < v.io_emul
+        # I/O penalties exceed CPU penalties for each virtualized mode
+        assert v.io_para / v.cpu_para > 1
+        assert v.io_full / v.cpu_full > 1
+        assert v.exit_cost > 0
+
+    def test_disk_read_faster_than_write(self):
+        assert self.cal.disk_read_rate > self.cal.disk_write_rate > 0
+        assert self.cal.disk_seek_time > 0
+
+    def test_network_sane(self):
+        assert self.cal.nic_rate > 0
+        assert 0 < self.cal.net_latency < 1.0
+
+    def test_migration_model(self):
+        m = self.cal.migration
+        assert 0 < m.link_efficiency <= 1
+        assert m.stop_copy_threshold > 0
+        assert m.max_precopy_rounds >= 1
+        assert m.suspend_cost > 0 and m.resume_cost > 0
+
+    def test_hadoop_costs_positive_and_ordered(self):
+        h = self.cal.hadoop
+        assert h.block_size > 0 and h.replication >= 1
+        assert h.datanode_timeout > h.heartbeat_interval
+        # indexing is heavier than a plain scan
+        assert h.index_cpu_per_byte > h.map_cpu_per_byte
+
+    def test_video_codec_cost_orderings(self):
+        v = self.cal.video
+        # encode costs more than decode for every codec we encode
+        for codec in ("h264", "mpeg4", "vp8"):
+            assert v.encode_cycles_per_pixel[codec] > \
+                v.decode_cycles_per_pixel[codec]
+        # the paper's target codec is the expensive one
+        assert v.encode_cycles_per_pixel["h264"] > \
+            v.encode_cycles_per_pixel["mpeg4"]
+        assert v.player_initial_buffer > 0
+
+    def test_web_server_gap(self):
+        w = self.cal.web
+        assert w.lighttpd_request_cpu < w.apache_prefork_request_cpu
+        assert w.lighttpd_conn_memory < w.apache_prefork_conn_memory
+        assert w.php_page_cpu > w.db_point_query_cpu
+
+    def test_calibration_is_immutable(self):
+        with pytest.raises(Exception):
+            self.cal.nic_rate = 0  # frozen dataclass
+
+    def test_override_single_knob(self):
+        cal = Calibration(cores_per_host=16)
+        assert cal.cores_per_host == 16
+        assert cal.cpu_hz == DEFAULT_CALIBRATION.cpu_hz
+
+
+class TestFormatTable:
+    def test_alignment_and_title(self):
+        out = format_table(["A", "BB"], [[1, 2.5], [33, 4.0]], title="t")
+        lines = out.splitlines()
+        assert lines[0] == "t"
+        assert lines[1] == "="
+        assert len({len(l) for l in lines[2:]}) == 1  # aligned columns
+
+    def test_float_formatting(self):
+        out = format_table(["x"], [[1.23456]], floatfmt=".2f")
+        assert "1.23" in out and "1.2345" not in out
+
+    def test_bool_rendering(self):
+        out = format_table(["ok"], [[True], [False]])
+        assert "yes" in out and "no" in out
+
+    def test_empty_rows(self):
+        out = format_table(["a", "b"], [])
+        assert "a" in out and "b" in out
+
+    def test_wide_cells_stretch_columns(self):
+        out = format_table(["h"], [["a-very-long-cell-value"]])
+        header_line = out.splitlines()[0]
+        assert len(header_line) >= len("a-very-long-cell-value")

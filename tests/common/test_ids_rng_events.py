@@ -1,0 +1,112 @@
+import pytest
+
+from repro.common.events import EventLog
+from repro.common.ids import IdFactory
+from repro.common.rng import RngStream
+
+
+class TestIdFactory:
+    def test_sequential_per_prefix(self):
+        f = IdFactory()
+        assert f.next("vm") == "vm-0"
+        assert f.next("vm") == "vm-1"
+        assert f.next("host") == "host-0"
+        assert f.next("vm") == "vm-2"
+
+    def test_next_int(self):
+        f = IdFactory()
+        assert f.next_int("blk") == 0
+        assert f.next_int("blk") == 1
+
+    def test_peek_does_not_allocate(self):
+        f = IdFactory()
+        f.next("x")
+        assert f.peek("x") == 1
+        assert f.peek("x") == 1
+        assert f.next("x") == "x-1"
+
+
+class TestRngStream:
+    def test_same_seed_same_draws(self):
+        a = RngStream(42, "t")
+        b = RngStream(42, "t")
+        assert [a.uniform() for _ in range(5)] == [b.uniform() for _ in range(5)]
+
+    def test_different_labels_differ(self):
+        a = RngStream(42, "a")
+        b = RngStream(42, "b")
+        assert [a.uniform() for _ in range(5)] != [b.uniform() for _ in range(5)]
+
+    def test_child_streams_independent_of_draw_order(self):
+        root1 = RngStream(7)
+        c1 = root1.child("x")
+        v1 = c1.uniform()
+
+        root2 = RngStream(7)
+        root2.uniform()  # extra draw on the parent must not disturb the child
+        c2 = root2.child("x")
+        assert c2.uniform() == v1
+
+    def test_choice_single_and_multi(self):
+        r = RngStream(1)
+        xs = ["a", "b", "c"]
+        assert r.choice(xs) in xs
+        picked = r.choice(xs, k=2, replace=False)
+        assert len(picked) == 2
+        assert len(set(picked)) == 2
+
+    def test_shuffle_is_permutation(self):
+        r = RngStream(3)
+        xs = list(range(20))
+        out = r.shuffle(xs)
+        assert sorted(out) == xs
+        assert xs == list(range(20))  # input untouched
+
+    def test_zipf_rank_in_range(self):
+        r = RngStream(5)
+        for _ in range(100):
+            assert 0 <= r.zipf_rank(1.5, 10) < 10
+
+    def test_lognormal_factor_positive(self):
+        r = RngStream(9)
+        assert all(r.lognormal_factor(0.2) > 0 for _ in range(50))
+
+    def test_randint_bounds(self):
+        r = RngStream(11)
+        vals = {r.randint(2, 5) for _ in range(200)}
+        assert vals == {2, 3, 4}
+
+
+class TestEventLog:
+    def test_emit_and_filter(self):
+        log = EventLog()
+        log.emit("one.core", "vm_state", "vm-0 RUNNING", vm="vm-0")
+        log.emit("hdfs", "block_written", "blk-0")
+        assert len(log) == 2
+        assert len(log.records(source="one.core")) == 1
+        assert log.records(kind="block_written")[0].message == "blk-0"
+
+    def test_clock_binding(self):
+        t = {"now": 0.0}
+        log = EventLog(clock=lambda: t["now"])
+        log.emit("s", "k", "first")
+        t["now"] = 5.0
+        log.emit("s", "k", "second")
+        times = [r.time for r in log]
+        assert times == [0.0, 5.0]
+        assert log.records(since=1.0)[0].message == "second"
+
+    def test_last_and_tail(self):
+        log = EventLog()
+        for i in range(30):
+            log.emit("s", "tick", f"n{i}", i=i)
+        assert log.last("tick").data["i"] == 29
+        assert log.last("absent") is None
+        assert len(log.tail(5)) == 5
+
+    def test_subscribers_see_records(self):
+        log = EventLog()
+        seen = []
+        log.subscribe(seen.append)
+        rec = log.emit("s", "k", "m")
+        assert seen == [rec]

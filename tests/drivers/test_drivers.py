@@ -1,0 +1,170 @@
+import pytest
+
+from repro.common.errors import ConfigError, DriverError
+from repro.common.units import MiB
+from repro.drivers import (
+    CallTrace,
+    InformationDriver,
+    TransferDriver,
+    VmmDriver,
+)
+from repro.hardware import Cluster
+from repro.virt import DiskImage, ImageStore, Kvm, VirtualMachine, VmState
+
+
+IMG = DiskImage("base", size=1024 * MiB)
+
+
+def setup_cluster(n=2):
+    c = Cluster(n)
+    trace = CallTrace(c.engine)
+    store = ImageStore(c, "node0")
+    store.register(IMG)
+    return c, trace, store
+
+
+def make_vm(name="vm0"):
+    return VirtualMachine(name, vcpus=1, memory=512 * MiB, image=IMG)
+
+
+class TestVmmDriver:
+    def test_deploy_boots_vm(self):
+        c, trace, _ = setup_cluster()
+        vmm = VmmDriver(Kvm(c.hosts[1]), trace)
+        vm = make_vm()
+        p = c.engine.process(vmm.deploy(vm))
+        c.run(p)
+        assert vm.state == VmState.RUNNING
+        assert vm.host_name == "node1"
+        assert c.now == pytest.approx(VmmDriver.BOOT_TIME)
+        assert trace.actions() == ["deploy"]
+
+    def test_shutdown_releases_host(self):
+        c, trace, _ = setup_cluster()
+        vmm = VmmDriver(Kvm(c.hosts[1]), trace)
+        vm = make_vm()
+
+        def flow():
+            yield c.engine.process(vmm.deploy(vm))
+            yield c.engine.process(vmm.shutdown(vm))
+
+        c.run(c.engine.process(flow()))
+        assert vm.state == VmState.SHUTOFF
+        assert c.hosts[1].memory_used == 0
+        assert trace.actions("vmm.full") == ["deploy", "shutdown"]
+
+    def test_cancel_is_fast(self):
+        c, trace, _ = setup_cluster()
+        vmm = VmmDriver(Kvm(c.hosts[1]), trace)
+        vm = make_vm()
+
+        def flow():
+            yield c.engine.process(vmm.deploy(vm))
+            t0 = c.engine.now
+            yield c.engine.process(vmm.cancel(vm))
+            return c.engine.now - t0
+
+        dt = c.run(c.engine.process(flow()))
+        assert dt == pytest.approx(VmmDriver.CANCEL_TIME)
+        assert vm.hypervisor is None
+
+    def test_save_restore_roundtrip(self):
+        c, trace, _ = setup_cluster()
+        vmm = VmmDriver(Kvm(c.hosts[1]), trace)
+        vm = make_vm()
+
+        def flow():
+            yield c.engine.process(vmm.deploy(vm))
+            yield c.engine.process(vmm.save(vm))
+            assert vm.state == VmState.PAUSED
+            yield c.engine.process(vmm.restore(vm))
+            assert vm.state == VmState.RUNNING
+
+        c.run(c.engine.process(flow()))
+        # RAM written then read from the host disk
+        assert c.hosts[1].disk.bytes_written == vm.memory
+        assert c.hosts[1].disk.bytes_read == vm.memory
+
+    def test_restore_unsaved_rejected(self):
+        c, trace, _ = setup_cluster()
+        vmm = VmmDriver(Kvm(c.hosts[1]), trace)
+        vm = make_vm()
+
+        def flow():
+            yield c.engine.process(vmm.deploy(vm))
+            yield c.engine.process(vmm.restore(vm))
+
+        with pytest.raises(DriverError):
+            c.run(c.engine.process(flow()))
+
+
+class TestTransferDriver:
+    def test_ssh_prolog_copies_bytes(self):
+        c, trace, store = setup_cluster()
+        tm = TransferDriver(store, trace, strategy="ssh")
+        p = c.engine.process(tm.prolog(IMG, "node1"))
+        c.run(p)
+        assert c.network.bytes_delivered == pytest.approx(IMG.size)
+        assert trace.actions("tm.ssh") == ["prolog"]
+
+    def test_shared_prolog_is_constant_cost(self):
+        c, trace, store = setup_cluster()
+        tm = TransferDriver(store, trace, strategy="shared")
+        p = c.engine.process(tm.prolog(IMG, "node1"))
+        c.run(p)
+        assert c.network.bytes_delivered == 0
+        assert c.now < 1.0
+
+    def test_shared_beats_ssh(self):
+        def prolog_time(strategy):
+            c, trace, store = setup_cluster()
+            tm = TransferDriver(store, trace, strategy=strategy)
+            c.run(c.engine.process(tm.prolog(IMG, "node1")))
+            return c.now
+
+        assert prolog_time("shared") < prolog_time("ssh")
+
+    def test_epilog_recorded(self):
+        c, trace, store = setup_cluster()
+        tm = TransferDriver(store, trace)
+        c.run(c.engine.process(tm.epilog(IMG, "node1")))
+        assert trace.actions() == ["epilog"]
+
+    def test_move_ssh_transfers(self):
+        c, trace, store = setup_cluster(3)
+        tm = TransferDriver(store, trace, strategy="ssh")
+        c.run(c.engine.process(tm.move(IMG, "node1", "node2")))
+        assert c.network.bytes_delivered == pytest.approx(IMG.size)
+
+    def test_unknown_strategy(self):
+        c, trace, store = setup_cluster()
+        with pytest.raises(ConfigError):
+            TransferDriver(store, trace, strategy="rsync")
+
+
+class TestInformationDriver:
+    def test_poll_reports_memory_and_vms(self):
+        c, trace, _ = setup_cluster()
+        hv = Kvm(c.hosts[1])
+        im = InformationDriver(hv, trace)
+        vmm = VmmDriver(hv, trace)
+        vm = make_vm()
+
+        def flow():
+            yield c.engine.process(vmm.deploy(vm))
+            metrics = yield c.engine.process(im.poll())
+            return metrics
+
+        m = c.run(c.engine.process(flow()))
+        assert m.host == "node1"
+        assert m.running_vms == 1
+        assert m.mem_used == vm.memory
+        assert 0 <= m.mem_util <= 1
+        assert m.alive
+
+    def test_trace_records_poll(self):
+        c, trace, _ = setup_cluster()
+        im = InformationDriver(Kvm(c.hosts[0]), trace)
+        c.run(c.engine.process(im.poll()))
+        assert trace.actions("im.kvm") == ["poll"]
+        assert trace.for_target("node0")[0].action == "poll"

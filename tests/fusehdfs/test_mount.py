@@ -1,0 +1,93 @@
+import pytest
+
+from repro.common.errors import HdfsError
+from repro.common.units import MiB
+from repro.hardware import Cluster
+from repro.hdfs import Hdfs
+from repro.fusehdfs import HdfsMount
+
+
+def make_mount(hdfs_root="/uploads"):
+    cluster = Cluster(4)
+    fs = Hdfs(cluster, block_size=4 * MiB, replication=2)
+    mount = HdfsMount(fs, "node1", mount_point="/var/www/uploads",
+                      hdfs_root=hdfs_root)
+    return cluster, fs, mount
+
+
+class TestPathTranslation:
+    def test_roundtrip(self):
+        _, _, m = make_mount()
+        local = "/var/www/uploads/videos/a.avi"
+        hdfs = m.to_hdfs_path(local)
+        assert hdfs == "/uploads/videos/a.avi"
+        assert m.to_local_path(hdfs) == local
+
+    def test_outside_mount_rejected(self):
+        _, _, m = make_mount()
+        with pytest.raises(HdfsError):
+            m.to_hdfs_path("/etc/passwd")
+
+    def test_outside_root_rejected(self):
+        _, _, m = make_mount()
+        with pytest.raises(HdfsError):
+            m.to_local_path("/other/file")
+
+    def test_empty_root(self):
+        _, _, m = make_mount(hdfs_root="")
+        assert m.to_hdfs_path("/var/www/uploads/x") == "/x"
+
+    def test_bad_mount_point(self):
+        cluster = Cluster(4)
+        fs = Hdfs(cluster)
+        with pytest.raises(HdfsError):
+            HdfsMount(fs, "node1", mount_point="relative/path")
+
+
+class TestOperations:
+    def test_write_read_through_mount(self):
+        cluster, fs, m = make_mount()
+        data = b"video metadata" * 100
+        cluster.run(cluster.engine.process(
+            m.write("/var/www/uploads/meta.txt", data)))
+        got = cluster.run(cluster.engine.process(
+            m.read("/var/www/uploads/meta.txt")))
+        assert got == data
+        # and the bytes genuinely live in HDFS
+        assert fs.namenode.exists("/uploads/meta.txt")
+
+    def test_sized_write(self):
+        cluster, fs, m = make_mount()
+        cluster.run(cluster.engine.process(
+            m.write_sized("/var/www/uploads/big.avi", 10 * MiB)))
+        assert m.stat("/var/www/uploads/big.avi").length == 10 * MiB
+
+    def test_exists_listdir_remove(self):
+        cluster, fs, m = make_mount()
+        cluster.run(cluster.engine.process(
+            m.write("/var/www/uploads/v/a.txt", b"1")))
+        cluster.run(cluster.engine.process(
+            m.write("/var/www/uploads/v/b.txt", b"2")))
+        assert m.exists("/var/www/uploads/v/a.txt")
+        assert m.listdir("/var/www/uploads/v") == [
+            "/var/www/uploads/v/a.txt", "/var/www/uploads/v/b.txt"]
+        assert m.listdir("/var/www/uploads") == [
+            "/var/www/uploads/v/a.txt", "/var/www/uploads/v/b.txt"]
+        m.remove("/var/www/uploads/v/a.txt")
+        assert not m.exists("/var/www/uploads/v/a.txt")
+
+    def test_mount_costs_slightly_more_than_direct(self):
+        cluster, fs, m = make_mount()
+        t0 = cluster.now
+        cluster.run(cluster.engine.process(
+            m.write("/var/www/uploads/x", b"data")))
+        mounted = cluster.now - t0
+
+        cluster2 = Cluster(4)
+        fs2 = Hdfs(cluster2, block_size=4 * MiB, replication=2)
+        t0 = cluster2.now
+        cluster2.run(cluster2.engine.process(
+            fs2.client("node1").write_file("/uploads/x", b"data")))
+        direct = cluster2.now - t0
+        assert mounted > direct
+        assert mounted - direct < 0.01

@@ -1,0 +1,147 @@
+import pytest
+
+from repro.common.calibration import Calibration
+from repro.common.errors import CapacityError
+from repro.common.units import GHz, MiB
+from repro.hardware import Cluster, PhysicalHost
+from repro.sim import Engine
+
+
+@pytest.fixture
+def cal():
+    return Calibration()
+
+
+@pytest.fixture
+def eng():
+    return Engine()
+
+
+class TestMemoryLedger:
+    def test_allocate_and_free(self, eng, cal):
+        h = PhysicalHost(eng, "n0", cal, memory=1000)
+        h.allocate_memory(600)
+        assert h.memory_free == 400
+        h.free_memory(100)
+        assert h.memory_used == 500
+
+    def test_over_allocation_rejected(self, eng, cal):
+        h = PhysicalHost(eng, "n0", cal, memory=1000)
+        with pytest.raises(CapacityError):
+            h.allocate_memory(1001)
+
+    def test_over_free_rejected(self, eng, cal):
+        h = PhysicalHost(eng, "n0", cal, memory=1000)
+        h.allocate_memory(10)
+        with pytest.raises(CapacityError):
+            h.free_memory(11)
+
+    def test_negative_rejected(self, eng, cal):
+        h = PhysicalHost(eng, "n0", cal)
+        with pytest.raises(CapacityError):
+            h.allocate_memory(-1)
+
+
+class TestCompute:
+    def test_compute_duration_matches_cycles(self, eng, cal):
+        h = PhysicalHost(eng, "n0", cal, cores=1, cpu_hz=1 * GHz)
+        p = eng.process(h.compute(2 * GHz))
+        eng.run(p)
+        assert eng.now == pytest.approx(2.0)
+
+    def test_overhead_scales_duration(self, eng, cal):
+        h = PhysicalHost(eng, "n0", cal, cores=1, cpu_hz=1 * GHz)
+        p = eng.process(h.compute(1 * GHz, overhead=1.5))
+        eng.run(p)
+        assert eng.now == pytest.approx(1.5)
+
+    def test_cores_limit_parallelism(self, eng, cal):
+        h = PhysicalHost(eng, "n0", cal, cores=2, cpu_hz=1 * GHz)
+        done = []
+
+        def job(i):
+            yield eng.process(h.compute(1 * GHz))
+            done.append((i, eng.now))
+
+        for i in range(4):
+            eng.process(job(i))
+        eng.run()
+        assert [t for _, t in done] == [1, 1, 2, 2]
+
+    def test_utilisation(self, eng, cal):
+        h = PhysicalHost(eng, "n0", cal, cores=2, cpu_hz=1 * GHz)
+        eng.process(h.compute(1 * GHz))
+        eng.run(until=2.0)
+        # one core busy 1s of 2 cores * 2s = 0.25
+        assert h.cpu_utilisation() == pytest.approx(0.25)
+
+    def test_utilisation_zero_window(self, eng, cal):
+        h = PhysicalHost(eng, "n0", cal)
+        assert h.cpu_utilisation() == 0.0
+
+    def test_invalid_shape(self, eng, cal):
+        with pytest.raises(CapacityError):
+            PhysicalHost(eng, "bad", cal, cores=0)
+
+
+class TestDisk:
+    def test_sequential_io_time(self, eng, cal):
+        h = PhysicalHost(eng, "n0", cal)
+        nbytes = int(cal.disk_read_rate)  # exactly 1 second of streaming
+        p = eng.process(h.disk.read(nbytes))
+        eng.run(p)
+        assert eng.now == pytest.approx(cal.disk_seek_time + 1.0)
+        assert h.disk.bytes_read == nbytes
+
+    def test_spindle_serializes(self, eng, cal):
+        h = PhysicalHost(eng, "n0", cal)
+        nbytes = int(cal.disk_write_rate)  # 1 s each
+        times = []
+
+        def w():
+            yield eng.process(h.disk.write(nbytes))
+            times.append(eng.now)
+
+        eng.process(w())
+        eng.process(w())
+        eng.run()
+        assert times[1] - times[0] == pytest.approx(cal.disk_seek_time + 1.0)
+
+    def test_negative_size_rejected(self, eng, cal):
+        h = PhysicalHost(eng, "n0", cal)
+        p = eng.process(h.disk.read(-5))
+        with pytest.raises(CapacityError):
+            eng.run(p)
+
+
+class TestCluster:
+    def test_builds_named_hosts(self):
+        c = Cluster(3)
+        assert c.host_names == ["node0", "node1", "node2"]
+        assert c.host("node1").name == "node1"
+
+    def test_add_heterogeneous_host(self):
+        c = Cluster(1)
+        big = c.add_host("big", cores=16, memory=64 * 1024 * MiB)
+        assert big.cores == 16
+        assert c.host("big") is big
+
+    def test_unknown_host_raises(self):
+        c = Cluster(1)
+        with pytest.raises(Exception):
+            c.host("nope")
+
+    def test_log_uses_sim_clock(self):
+        c = Cluster(1)
+
+        def p():
+            yield c.engine.timeout(4)
+            c.log.emit("test", "tick", "at four")
+
+        c.engine.process(p())
+        c.run()
+        assert c.log.last("tick").time == 4
+
+    def test_zero_hosts_rejected(self):
+        with pytest.raises(Exception):
+            Cluster(0)

@@ -1,0 +1,148 @@
+import pytest
+
+from repro.common.calibration import Calibration
+from repro.common.errors import SimulationError
+from repro.hardware import Cluster
+
+RATE = Calibration().nic_rate  # 1 Gb/s = 125 MB/s
+LAT = Calibration().net_latency
+
+
+def xfer_time(cluster, src, dst, nbytes):
+    ev = cluster.network.transfer(src, dst, nbytes)
+    return cluster.engine.run(until=ev)
+
+
+class TestSingleFlow:
+    def test_full_rate_when_alone(self):
+        c = Cluster(2)
+        t = xfer_time(c, "node0", "node1", RATE)  # 1 second of bytes
+        assert t == pytest.approx(1.0 + LAT, rel=1e-6)
+
+    def test_zero_bytes_costs_latency_only(self):
+        c = Cluster(2)
+        t = xfer_time(c, "node0", "node1", 0)
+        assert t == pytest.approx(LAT)
+
+    def test_loopback_is_fast(self):
+        c = Cluster(1)
+        t = xfer_time(c, "node0", "node0", RATE)
+        assert t < 0.05
+
+    def test_unknown_host_rejected(self):
+        c = Cluster(1)
+        with pytest.raises(SimulationError):
+            c.network.transfer("node0", "ghost", 10)
+
+    def test_negative_size_rejected(self):
+        c = Cluster(2)
+        with pytest.raises(SimulationError):
+            c.network.transfer("node0", "node1", -1)
+
+
+class TestSharing:
+    def test_two_flows_into_same_destination_halve(self):
+        """Two senders to one receiver share its downlink: each takes ~2x."""
+        c = Cluster(3)
+        done = {}
+
+        def send(src):
+            ev = c.network.transfer(src, "node2", RATE)
+            yield ev
+            done[src] = c.engine.now
+
+        c.engine.process(send("node0"))
+        c.engine.process(send("node1"))
+        c.run()
+        assert done["node0"] == pytest.approx(2.0 + LAT, rel=1e-3)
+        assert done["node1"] == pytest.approx(2.0 + LAT, rel=1e-3)
+
+    def test_disjoint_flows_do_not_interfere(self):
+        c = Cluster(4)
+        done = {}
+
+        def send(src, dst):
+            ev = c.network.transfer(src, dst, RATE)
+            yield ev
+            done[src] = c.engine.now
+
+        c.engine.process(send("node0", "node1"))
+        c.engine.process(send("node2", "node3"))
+        c.run()
+        assert done["node0"] == pytest.approx(1.0 + LAT, rel=1e-3)
+        assert done["node2"] == pytest.approx(1.0 + LAT, rel=1e-3)
+
+    def test_rate_recovers_after_flow_finishes(self):
+        """Short flow + long flow into one node: long flow speeds up after."""
+        c = Cluster(3)
+        end = {}
+
+        def send(src, size):
+            ev = c.network.transfer(src, "node2", size)
+            yield ev
+            end[src] = c.engine.now
+
+        c.engine.process(send("node0", RATE))       # 1 s worth of bytes
+        c.engine.process(send("node1", 2 * RATE))   # 2 s worth
+        c.run()
+        # share (0.5 each) until the short flow finishes its bytes at t=2;
+        # long flow then has 1*RATE left at full rate -> ends ~3.0
+        assert end["node0"] == pytest.approx(2.0 + LAT, rel=1e-3)
+        assert end["node1"] == pytest.approx(3.0 + LAT, rel=1e-3)
+
+    def test_fan_out_limited_by_source_uplink(self):
+        c = Cluster(4)
+        end = {}
+
+        def send(dst):
+            ev = c.network.transfer("node0", dst, RATE)
+            yield ev
+            end[dst] = c.engine.now
+
+        for dst in ["node1", "node2", "node3"]:
+            c.engine.process(send(dst))
+        c.run()
+        for dst in end:
+            assert end[dst] == pytest.approx(3.0 + LAT, rel=1e-3)
+
+    def test_bytes_delivered_accounting(self):
+        c = Cluster(2)
+        xfer_time(c, "node0", "node1", 12345)
+        assert c.network.bytes_delivered == pytest.approx(12345)
+
+    def test_late_flow_joins_sharing(self):
+        """A flow that starts midway still gets its fair share."""
+        c = Cluster(3)
+        end = {}
+
+        def first():
+            ev = c.network.transfer("node0", "node2", 2 * RATE)
+            yield ev
+            end["first"] = c.engine.now
+
+        def second():
+            yield c.engine.timeout(1.0)
+            ev = c.network.transfer("node1", "node2", RATE)
+            yield ev
+            end["second"] = c.engine.now
+
+        c.engine.process(first())
+        c.engine.process(second())
+        c.run()
+        # first: full rate for 1s (1*RATE done), then half rate: 1*RATE left
+        # -> 2 more seconds, ends ~3.0. second: half rate 1*RATE -> 2s, ends ~3.0
+        assert end["first"] == pytest.approx(3.0 + LAT, rel=1e-3)
+        assert end["second"] == pytest.approx(3.0 + LAT, rel=1e-3)
+
+
+class TestHeterogeneousNics:
+    def test_slow_nic_bottleneck(self):
+        c = Cluster(1)
+        c.add_host("slow", nic_rate=RATE / 10)
+        t = xfer_time(c, "node0", "slow", RATE)
+        assert t == pytest.approx(10.0 + LAT, rel=1e-3)
+
+    def test_double_attach_rejected(self):
+        c = Cluster(1)
+        with pytest.raises(SimulationError):
+            c.network.attach(c.hosts[0])

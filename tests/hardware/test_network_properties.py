@@ -1,0 +1,103 @@
+"""Property-based tests of the max-min fair network model."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.common.units import MiB
+from repro.hardware import Cluster
+
+
+@st.composite
+def transfer_plans(draw):
+    n_hosts = draw(st.integers(min_value=2, max_value=5))
+    n_flows = draw(st.integers(min_value=1, max_value=8))
+    flows = []
+    for _ in range(n_flows):
+        src = draw(st.integers(min_value=0, max_value=n_hosts - 1))
+        dst = draw(st.integers(min_value=0, max_value=n_hosts - 1))
+        size = draw(st.integers(min_value=1, max_value=64)) * MiB
+        start = draw(st.floats(min_value=0, max_value=5, allow_nan=False))
+        flows.append((src, dst, size, start))
+    return n_hosts, flows
+
+
+class TestNetworkProperties:
+    @given(transfer_plans())
+    @settings(max_examples=50, deadline=None)
+    def test_all_bytes_delivered(self, plan):
+        n_hosts, flows = plan
+        cluster = Cluster(n_hosts)
+        hosts = cluster.host_names
+
+        def launch(src, dst, size, start):
+            yield cluster.engine.timeout(start)
+            yield cluster.network.transfer(hosts[src], hosts[dst], size)
+
+        for f in flows:
+            cluster.engine.process(launch(*f))
+        cluster.run()
+        expected = sum(size for _, _, size, _ in flows)
+        assert cluster.network.bytes_delivered == pytest.approx(expected)
+        assert cluster.network.active_flow_count() == 0
+
+    @given(transfer_plans())
+    @settings(max_examples=50, deadline=None)
+    def test_no_flow_beats_line_rate(self, plan):
+        """Every transfer takes at least size/NIC-rate (+0 latency slack)."""
+        n_hosts, flows = plan
+        cluster = Cluster(n_hosts)
+        hosts = cluster.host_names
+        rate = cluster.cal.nic_rate
+        durations = []
+
+        def launch(src, dst, size, start):
+            yield cluster.engine.timeout(start)
+            dur = yield cluster.network.transfer(hosts[src], hosts[dst], size)
+            if src != dst:
+                durations.append((size, dur))
+
+        for f in flows:
+            cluster.engine.process(launch(*f))
+        cluster.run()
+        for size, dur in durations:
+            assert dur >= size / rate - 1e-6
+
+    @given(st.integers(min_value=1, max_value=8),
+           st.integers(min_value=1, max_value=64))
+    @settings(max_examples=30, deadline=None)
+    def test_n_parallel_flows_share_fairly(self, n_flows, size_mib):
+        """n identical flows into one sink all finish together at ~n*t1."""
+        size = size_mib * MiB
+        cluster = Cluster(n_flows + 1)
+        sink = cluster.host_names[-1]
+        ends = []
+
+        def send(src):
+            yield cluster.network.transfer(src, sink, size)
+            ends.append(cluster.engine.now)
+
+        for src in cluster.host_names[:-1]:
+            cluster.engine.process(send(src))
+        cluster.run()
+        t_expected = n_flows * size / cluster.cal.nic_rate
+        assert max(ends) == pytest.approx(t_expected, rel=1e-3, abs=1e-3)
+        assert max(ends) - min(ends) < 1e-6  # all equal (perfect fairness)
+
+    @given(st.integers(min_value=1, max_value=200) )
+    @settings(max_examples=30, deadline=None)
+    def test_determinism_across_runs(self, size_mib):
+        def once():
+            cluster = Cluster(4, seed=1)
+            done = []
+
+            def send(src, dst, size):
+                yield cluster.network.transfer(src, dst, size)
+                done.append((src, dst, cluster.engine.now))
+
+            cluster.engine.process(send("node0", "node2", size_mib * MiB))
+            cluster.engine.process(send("node1", "node2", 2 * size_mib * MiB))
+            cluster.engine.process(send("node3", "node1", size_mib * MiB))
+            cluster.run()
+            return done
+
+        assert once() == once()

@@ -1,0 +1,173 @@
+import pytest
+
+from repro.common.errors import HdfsError, ReplicationError, SafeModeError
+from repro.common.units import GiB, MiB
+from repro.hardware import Cluster
+from repro.hdfs import (
+    Hdfs,
+    SafeModeController,
+    balancer,
+    decommission,
+    fsck,
+    utilisations,
+)
+
+
+def make_fs(n_hosts=6, replication=2, block_size=8 * MiB):
+    cluster = Cluster(n_hosts)
+    fs = Hdfs(cluster, replication=replication, block_size=block_size)
+    return cluster, fs
+
+
+def write(cluster, fs, path, size, host="node1", replication=None):
+    cluster.run(cluster.engine.process(
+        fs.client(host).write_synthetic(path, size, replication=replication)))
+
+
+class TestFsck:
+    def test_healthy_cluster(self):
+        cluster, fs = make_fs()
+        write(cluster, fs, "/a", 10 * MiB)
+        write(cluster, fs, "/b", 20 * MiB)
+        report = fsck(fs)
+        assert report.healthy
+        assert len(report.files) == 2
+        assert "HEALTHY" in report.summary()
+
+    def test_detects_under_replication(self):
+        cluster, fs = make_fs(replication=3)
+        write(cluster, fs, "/a", 10 * MiB)
+        inode = fs.namenode.get_file("/a")
+        victim = sorted(fs.namenode.locations(inode.blocks[0].block_id))[0]
+        fs.kill_datanode(victim)
+        fs.namenode.dead_datanodes.add(victim)
+        report = fsck(fs)
+        assert not report.healthy
+        assert report.total_under_replicated >= 1
+        assert report.total_missing == 0
+
+    def test_detects_missing_blocks(self):
+        cluster, fs = make_fs()
+        write(cluster, fs, "/a", 10 * MiB, replication=1)
+        inode = fs.namenode.get_file("/a")
+        (only,) = fs.namenode.locations(inode.blocks[0].block_id)
+        fs.kill_datanode(only)
+        fs.namenode.dead_datanodes.add(only)
+        report = fsck(fs)
+        assert report.total_missing == len(inode.blocks)
+        assert "CORRUPT" in report.summary()
+
+
+class TestSafeMode:
+    def test_mutations_refused_in_safe_mode(self):
+        cluster, fs = make_fs()
+        sm = SafeModeController(fs)
+        sm.enter()
+        with pytest.raises(SafeModeError):
+            cluster.run(cluster.engine.process(
+                fs.client("node1").write_file("/x", b"data")))
+
+    def test_leaves_after_enough_reports(self):
+        cluster, fs = make_fs(6)  # 5 datanodes
+        sm = SafeModeController(fs, threshold=0.6)
+        sm.enter()
+        for dn in sorted(fs.datanodes)[:2]:
+            sm.report(dn)
+        assert sm.active
+        sm.report(sorted(fs.datanodes)[2])  # 3/5 = 0.6
+        assert not sm.active
+        # mutations work again
+        write(cluster, fs, "/x", 1 * MiB)
+        assert fs.namenode.exists("/x")
+
+    def test_unknown_datanode_report(self):
+        _, fs = make_fs()
+        sm = SafeModeController(fs)
+        sm.enter()
+        with pytest.raises(HdfsError):
+            sm.report("ghost")
+
+    def test_threshold_validation(self):
+        _, fs = make_fs()
+        with pytest.raises(HdfsError):
+            SafeModeController(fs, threshold=0.0)
+
+    def test_enter_idempotent(self):
+        cluster, fs = make_fs()
+        sm = SafeModeController(fs)
+        sm.enter()
+        sm.enter()
+        sm.leave()
+        write(cluster, fs, "/x", 1 * MiB)  # create restored exactly once
+
+
+class TestBalancer:
+    def test_balances_skewed_cluster(self):
+        cluster, fs = make_fs(6, replication=1)
+        # everything lands on the writer's local node -> maximal skew
+        for i in range(10):
+            write(cluster, fs, f"/v/{i}", 8 * MiB, host="node1")
+        cap = 1 * GiB
+        before = utilisations(fs, cap)
+        assert max(before.values()) - min(before.values()) > 0.05
+        report = cluster.run(cluster.engine.process(
+            balancer(fs, capacity=cap, threshold=0.02)))
+        after = report.utilisations_after
+        assert max(after.values()) - min(after.values()) < \
+            max(before.values()) - min(before.values())
+        assert report.moves > 0
+        assert report.bytes_moved > 0
+
+    def test_balanced_cluster_is_noop(self):
+        cluster, fs = make_fs(4, replication=3)  # replicas everywhere
+        write(cluster, fs, "/a", 8 * MiB)
+        report = cluster.run(cluster.engine.process(
+            balancer(fs, capacity=1 * GiB, threshold=0.5)))
+        assert report.moves == 0
+
+    def test_data_still_readable_after_balancing(self):
+        cluster, fs = make_fs(6, replication=1)
+        for i in range(6):
+            write(cluster, fs, f"/v/{i}", 8 * MiB, host="node1")
+        cluster.run(cluster.engine.process(
+            balancer(fs, capacity=1 * GiB, threshold=0.02)))
+        for i in range(6):
+            got = cluster.run(cluster.engine.process(
+                fs.client("node2").read_file(f"/v/{i}")))
+            assert got == 8 * MiB
+        assert fsck(fs).healthy
+
+    def test_bad_capacity(self):
+        _, fs = make_fs()
+        with pytest.raises(HdfsError):
+            balancer(fs, capacity=0)
+
+
+class TestDecommission:
+    def test_graceful_drain_preserves_data(self):
+        cluster, fs = make_fs(6, replication=2)
+        for i in range(4):
+            write(cluster, fs, f"/v/{i}", 8 * MiB, host="node1")
+        moved = cluster.run(cluster.engine.process(decommission(fs, "node1")))
+        assert moved >= 0
+        assert "node1" in fs.namenode.dead_datanodes
+        assert fs.datanode("node1").blocks == {}
+        report = fsck(fs)
+        assert report.total_missing == 0
+        # files still fully readable from elsewhere
+        for i in range(4):
+            got = cluster.run(cluster.engine.process(
+                fs.client("node2").read_file(f"/v/{i}")))
+            assert got == 8 * MiB
+
+    def test_single_replica_blocks_are_moved_not_lost(self):
+        cluster, fs = make_fs(6, replication=1)
+        write(cluster, fs, "/only", 8 * MiB, host="node1")
+        cluster.run(cluster.engine.process(decommission(fs, "node1")))
+        assert fsck(fs).total_missing == 0
+
+    def test_last_node_refused(self):
+        cluster, fs = make_fs(3, replication=1)
+        cluster.run(cluster.engine.process(decommission(fs, "node1")))
+        with pytest.raises(ReplicationError):
+            cluster.run(cluster.engine.process(decommission(fs, "node2")))

@@ -1,0 +1,129 @@
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.common.errors import HdfsError, ReplicationError
+from repro.common.rng import RngStream
+from repro.hdfs import split_into_blocks
+from repro.hdfs.block import Block, BlockId
+from repro.hdfs.placement import PlacementPolicy
+
+
+def ids():
+    counter = {"n": 0}
+
+    def nxt():
+        counter["n"] += 1
+        return counter["n"] - 1
+
+    return nxt
+
+
+class TestBlockSplitting:
+    def test_exact_multiple(self):
+        blocks = split_into_blocks(ids(), None, 128, 64)
+        assert [b.length for b in blocks] == [64, 64]
+
+    def test_remainder_block(self):
+        blocks = split_into_blocks(ids(), None, 130, 64)
+        assert [b.length for b in blocks] == [64, 64, 2]
+
+    def test_small_file_single_block(self):
+        blocks = split_into_blocks(ids(), b"hi", 2, 64)
+        assert len(blocks) == 1
+        assert blocks[0].payload == b"hi"
+
+    def test_zero_length_file(self):
+        blocks = split_into_blocks(ids(), b"", 0, 64)
+        assert len(blocks) == 1
+        assert blocks[0].length == 0
+
+    def test_payload_sliced_correctly(self):
+        data = bytes(range(200))
+        blocks = split_into_blocks(ids(), data, 200, 64)
+        assert b"".join(b.payload for b in blocks) == data
+
+    def test_ids_unique(self):
+        blocks = split_into_blocks(ids(), None, 1000, 64)
+        assert len({b.block_id for b in blocks}) == len(blocks)
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(HdfsError):
+            split_into_blocks(ids(), b"abc", 5, 64)
+
+    def test_bad_block_size(self):
+        with pytest.raises(HdfsError):
+            split_into_blocks(ids(), None, 10, 0)
+
+    def test_block_payload_length_validated(self):
+        with pytest.raises(HdfsError):
+            Block(BlockId(0), 5, b"abcdef")
+
+    @given(st.binary(min_size=0, max_size=3000), st.integers(min_value=1, max_value=500))
+    def test_property_roundtrip(self, data, block_size):
+        blocks = split_into_blocks(ids(), data, len(data), block_size)
+        assert b"".join(b.payload for b in blocks) == data
+        assert all(b.length <= block_size for b in blocks)
+        assert sum(b.length for b in blocks) == len(data)
+
+
+class TestPlacement:
+    def nodes(self, n):
+        return [f"dn{i}" for i in range(n)]
+
+    def test_writer_local_first(self):
+        p = PlacementPolicy(RngStream(0))
+        targets = p.choose_targets(3, self.nodes(5), writer_host="dn2")
+        assert targets[0] == "dn2"
+        assert len(set(targets)) == 3
+
+    def test_non_datanode_writer(self):
+        p = PlacementPolicy(RngStream(0))
+        targets = p.choose_targets(3, self.nodes(5), writer_host="gateway")
+        assert "gateway" not in targets
+        assert len(set(targets)) == 3
+
+    def test_not_enough_nodes(self):
+        p = PlacementPolicy(RngStream(0))
+        with pytest.raises(ReplicationError):
+            p.choose_targets(4, self.nodes(3))
+
+    def test_bad_replication(self):
+        p = PlacementPolicy(RngStream(0))
+        with pytest.raises(ReplicationError):
+            p.choose_targets(0, self.nodes(3))
+
+    def test_exclusion(self):
+        p = PlacementPolicy(RngStream(0))
+        targets = p.choose_targets(2, self.nodes(4), exclude={"dn0", "dn1"})
+        assert set(targets) <= {"dn2", "dn3"}
+
+    def test_deterministic_given_seed(self):
+        a = PlacementPolicy(RngStream(7)).choose_targets(3, self.nodes(8), "dn1")
+        b = PlacementPolicy(RngStream(7)).choose_targets(3, self.nodes(8), "dn1")
+        assert a == b
+
+    def test_spread_over_many_calls(self):
+        p = PlacementPolicy(RngStream(3))
+        seen = set()
+        for _ in range(50):
+            seen.update(p.choose_targets(2, self.nodes(6)))
+        assert len(seen) == 6  # every node eventually used
+
+    def test_rereplication_target_avoids_existing(self):
+        p = PlacementPolicy(RngStream(0))
+        t = p.choose_rereplication_target(self.nodes(4), existing={"dn0", "dn1", "dn2"})
+        assert t == "dn3"
+
+    def test_rereplication_no_candidates(self):
+        p = PlacementPolicy(RngStream(0))
+        with pytest.raises(ReplicationError):
+            p.choose_rereplication_target(["dn0"], existing={"dn0"})
+
+    @given(st.integers(min_value=1, max_value=6), st.integers(min_value=6, max_value=12))
+    def test_property_targets_distinct_and_live(self, repl, n_nodes):
+        p = PlacementPolicy(RngStream(42))
+        nodes = self.nodes(n_nodes)
+        targets = p.choose_targets(repl, nodes)
+        assert len(targets) == repl
+        assert len(set(targets)) == repl
+        assert set(targets) <= set(nodes)

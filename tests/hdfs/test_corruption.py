@@ -1,0 +1,101 @@
+"""Checksum verification, corrupt-replica handling, the block scanner."""
+
+import pytest
+
+from repro.common.errors import HdfsError
+from repro.common.units import MiB
+from repro.hardware import Cluster
+from repro.hdfs import Hdfs
+
+
+def make_fs(replication=3, n_hosts=6):
+    cluster = Cluster(n_hosts)
+    fs = Hdfs(cluster, replication=replication, block_size=8 * MiB)
+    data = b"frame data " * 100000  # ~1 MiB real payload
+    cluster.run(cluster.engine.process(
+        fs.client("node1").write_file("/v/movie", data)))
+    inode = fs.namenode.get_file("/v/movie")
+    return cluster, fs, inode, data
+
+
+class TestCorruptReads:
+    def test_read_falls_through_to_good_replica(self):
+        cluster, fs, inode, data = make_fs()
+        block = inode.blocks[0]
+        # corrupt the replica the reader would pick first
+        first = sorted(fs.namenode.locations(block.block_id))[0]
+        fs.datanode(first).corrupt_replica(block.block_id)
+        got = cluster.run(cluster.engine.process(
+            fs.client("node0").read_file("/v/movie")))
+        assert got == data
+        # the corrupt replica was reported and dropped
+        assert first not in fs.namenode.locations(block.block_id)
+        assert len(cluster.log.records(kind="corrupt_replica")) == 1
+
+    def test_reader_local_corrupt_replica_also_retried(self):
+        cluster, fs, inode, data = make_fs()
+        block = inode.blocks[0]
+        assert "node1" in fs.namenode.locations(block.block_id)
+        fs.datanode("node1").corrupt_replica(block.block_id)
+        got = cluster.run(cluster.engine.process(
+            fs.client("node1").read_file("/v/movie")))
+        assert got == data
+
+    def test_all_replicas_corrupt_is_an_error(self):
+        cluster, fs, inode, _ = make_fs()
+        block = inode.blocks[0]
+        for dn in list(fs.namenode.locations(block.block_id)):
+            fs.datanode(dn).corrupt_replica(block.block_id)
+        with pytest.raises(HdfsError):
+            cluster.run(cluster.engine.process(
+                fs.client("node0").read_file("/v/movie")))
+
+    def test_corrupting_absent_replica_rejected(self):
+        cluster, fs, inode, _ = make_fs()
+        block = inode.blocks[0]
+        outsider = next(n for n in fs.datanodes
+                        if n not in fs.namenode.locations(block.block_id))
+        with pytest.raises(HdfsError):
+            fs.datanode(outsider).corrupt_replica(block.block_id)
+
+
+class TestBlockScanner:
+    def test_scan_once_detects_and_reports(self):
+        cluster, fs, inode, _ = make_fs()
+        block = inode.blocks[0]
+        victim = sorted(fs.namenode.locations(block.block_id))[0]
+        fs.datanode(victim).corrupt_replica(block.block_id)
+        found = cluster.run(cluster.engine.process(
+            fs.datanode(victim).scan_once()))
+        assert found == [block.block_id]
+        assert victim not in fs.namenode.locations(block.block_id)
+        assert fs.namenode.under_replicated
+
+    def test_scanner_plus_monitor_heal_to_full_replication(self):
+        cluster, fs, inode, data = make_fs()
+        block = inode.blocks[0]
+        victim = sorted(fs.namenode.locations(block.block_id))[0]
+        fs.datanode(victim).corrupt_replica(block.block_id)
+        fs.start(scan_period=10)
+        cluster.run(until=cluster.now + 120)
+        fs.stop()
+        cluster.run()
+        # back at 3 healthy replicas, on live nodes, data intact
+        assert len(fs.namenode.locations(block.block_id)) == 3
+        got = cluster.run(cluster.engine.process(
+            fs.client("node0").read_file("/v/movie")))
+        assert got == data
+        assert fs.namenode.rereplications_done >= 1
+
+    def test_clean_scan_finds_nothing(self):
+        cluster, fs, inode, _ = make_fs()
+        dn = sorted(fs.namenode.locations(inode.blocks[0].block_id))[0]
+        found = cluster.run(cluster.engine.process(fs.datanode(dn).scan_once()))
+        assert found == []
+
+    def test_scanner_stops_for_drain(self):
+        cluster, fs, _, _ = make_fs()
+        fs.start(scan_period=5)
+        cluster.run(until=cluster.now + 12)
+        fs.stop()
+        cluster.run()  # must terminate

@@ -1,0 +1,230 @@
+import pytest
+
+from repro.common.errors import (
+    ConfigError,
+    FileAlreadyExists,
+    FileNotFoundInHdfs,
+    HdfsError,
+    ReplicationError,
+)
+from repro.common.units import MiB
+from repro.hardware import Cluster
+from repro.hdfs import Hdfs
+
+
+def make_fs(n_hosts=5, **kw):
+    cluster = Cluster(n_hosts)
+    kw.setdefault("block_size", 8 * MiB)
+    fs = Hdfs(cluster, **kw)
+    return cluster, fs
+
+
+class TestConfig:
+    def test_default_topology(self):
+        cluster, fs = make_fs(4)
+        assert fs.namenode_host == "node0"
+        assert sorted(fs.datanodes) == ["node1", "node2", "node3"]
+
+    def test_replication_exceeds_nodes(self):
+        with pytest.raises(ConfigError):
+            make_fs(3, replication=3)  # only 2 datanodes
+
+    def test_bad_namenode_host(self):
+        with pytest.raises(ConfigError):
+            make_fs(3, namenode_host="ghost")
+
+    def test_bad_block_size(self):
+        with pytest.raises(ConfigError):
+            make_fs(3, block_size=0)
+
+
+class TestWriteRead:
+    def test_real_data_roundtrip(self):
+        cluster, fs = make_fs()
+        client = fs.client("node1")
+        data = b"the quick brown fox" * 1000
+        p = cluster.engine.process(client.write_file("/videos/meta.txt", data))
+        cluster.run(p)
+        p = cluster.engine.process(client.read_file("/videos/meta.txt"))
+        assert cluster.run(p) == data
+
+    def test_synthetic_write_and_length(self):
+        cluster, fs = make_fs()
+        client = fs.client("node1")
+        p = cluster.engine.process(client.write_synthetic("/videos/a.avi", 20 * MiB))
+        inode = cluster.run(p)
+        assert inode.length == 20 * MiB
+        assert len(inode.blocks) == 3  # 8 + 8 + 4
+        p = cluster.engine.process(client.read_file("/videos/a.avi"))
+        assert cluster.run(p) == 20 * MiB
+
+    def test_replication_places_n_copies(self):
+        cluster, fs = make_fs(replication=3)
+        client = fs.client("node1")
+        p = cluster.engine.process(client.write_synthetic("/f", 1 * MiB))
+        inode = cluster.run(p)
+        block = inode.blocks[0]
+        assert len(fs.namenode.locations(block.block_id)) == 3
+        assert fs.total_stored_bytes() == 3 * MiB
+
+    def test_writer_local_replica(self):
+        cluster, fs = make_fs()
+        client = fs.client("node2")
+        p = cluster.engine.process(client.write_synthetic("/f", 1 * MiB))
+        inode = cluster.run(p)
+        assert "node2" in fs.namenode.locations(inode.blocks[0].block_id)
+
+    def test_duplicate_create_rejected(self):
+        cluster, fs = make_fs()
+        client = fs.client()
+
+        def flow():
+            yield cluster.engine.process(client.write_file("/f", b"x"))
+            yield cluster.engine.process(client.write_file("/f", b"y"))
+
+        with pytest.raises(FileAlreadyExists):
+            cluster.run(cluster.engine.process(flow()))
+
+    def test_read_missing_file(self):
+        cluster, fs = make_fs()
+        client = fs.client()
+        with pytest.raises(FileNotFoundInHdfs):
+            cluster.run(cluster.engine.process(client.read_file("/nope")))
+
+    def test_bad_path_rejected(self):
+        cluster, fs = make_fs()
+        client = fs.client()
+        for bad in ["noslash", "/trailing/", "/dou//ble"]:
+            with pytest.raises(HdfsError):
+                cluster.run(cluster.engine.process(client.write_file(bad, b"x")))
+
+    def test_listdir_and_exists_and_delete(self):
+        cluster, fs = make_fs()
+        client = fs.client()
+
+        def flow():
+            yield cluster.engine.process(client.write_file("/d/a", b"1"))
+            yield cluster.engine.process(client.write_file("/d/b", b"2"))
+            yield cluster.engine.process(client.write_file("/other", b"3"))
+
+        cluster.run(cluster.engine.process(flow()))
+        assert client.listdir("/d") == ["/d/a", "/d/b"]
+        assert client.exists("/d/a")
+        client.delete("/d/a")
+        assert not client.exists("/d/a")
+        # replicas physically dropped
+        assert fs.total_stored_bytes() == (1 + 1) * fs.replication
+
+    def test_replication_factor_larger_than_live_nodes(self):
+        cluster, fs = make_fs(5)
+        client = fs.client()
+        p = cluster.engine.process(client.write_file("/f", b"x", replication=9))
+        with pytest.raises(ReplicationError):
+            cluster.run(p)
+
+    def test_stat(self):
+        cluster, fs = make_fs()
+        client = fs.client()
+        cluster.run(cluster.engine.process(client.write_file("/f", b"abc")))
+        st = client.stat("/f")
+        assert st.length == 3
+        assert st.complete
+
+
+class TestLocalityAndTiming:
+    def test_local_read_faster_than_remote(self):
+        def read_time(reader_host):
+            cluster, fs = make_fs()
+            writer = fs.client("node1")
+            cluster.run(cluster.engine.process(
+                writer.write_synthetic("/f", 32 * MiB, replication=1)))
+            t0 = cluster.now
+            reader = fs.client(reader_host)
+            cluster.run(cluster.engine.process(reader.read_file("/f")))
+            return cluster.now - t0
+
+        local = read_time("node1")   # replica is on node1 (writer-local)
+        remote = read_time("node4")
+        assert local < remote
+
+    def test_preferred_block_host_prefers_local(self):
+        cluster, fs = make_fs()
+        writer = fs.client("node1")
+        cluster.run(cluster.engine.process(
+            writer.write_synthetic("/f", 1 * MiB, replication=2)))
+        assert writer.preferred_block_host("/f", 0) == "node1"
+
+    def test_pipeline_write_slower_with_more_replicas(self):
+        def write_time(repl):
+            cluster, fs = make_fs()
+            client = fs.client("node1")
+            p = cluster.engine.process(
+                client.write_synthetic("/f", 64 * MiB, replication=repl))
+            cluster.run(p)
+            return cluster.now
+
+        # more replicas => more disk writes + transfers somewhere
+        assert write_time(1) < write_time(3)
+
+
+class TestFailureHandling:
+    def setup_with_data(self, replication=3):
+        cluster, fs = make_fs(6, replication=replication)
+        client = fs.client("node1")
+        p = cluster.engine.process(client.write_synthetic("/f", 16 * MiB))
+        inode = cluster.run(p)
+        return cluster, fs, inode
+
+    def test_kill_datanode_detected_and_rereplicated(self):
+        cluster, fs, inode = self.setup_with_data()
+        fs.start()
+        victim = sorted(fs.namenode.locations(inode.blocks[0].block_id))[0]
+        fs.kill_datanode(victim)
+        # run past the datanode timeout + monitor period + copy time
+        cluster.run(until=cluster.now + cluster.cal.hadoop.datanode_timeout + 60)
+        fs.stop()
+        for block in inode.blocks:
+            assert len(fs.namenode.locations(block.block_id)) >= 3
+        assert fs.namenode.rereplications_done >= 1
+
+    def test_read_survives_single_failure(self):
+        cluster, fs, inode = self.setup_with_data()
+        victim = sorted(fs.namenode.locations(inode.blocks[0].block_id))[0]
+        fs.kill_datanode(victim)
+        fs.namenode.dead_datanodes.add(victim)  # simulate detection
+        reader = fs.client("node1")
+        p = cluster.engine.process(reader.read_file("/f"))
+        assert cluster.run(p) == 16 * MiB
+
+    def test_all_replicas_lost_is_reported(self):
+        cluster, fs, inode = self.setup_with_data(replication=1)
+        (only,) = fs.namenode.locations(inode.blocks[0].block_id)
+        fs.kill_datanode(only)
+        fs.namenode.dead_datanodes.add(only)
+        assert fs.namenode.missing_blocks()
+        reader = fs.client("node1")
+        with pytest.raises(HdfsError):
+            cluster.run(cluster.engine.process(reader.read_file("/f")))
+
+    def test_under_replicated_count(self):
+        cluster, fs, inode = self.setup_with_data()
+        assert fs.namenode.under_replicated_count() == 0
+        victim = sorted(fs.namenode.locations(inode.blocks[0].block_id))[0]
+        fs.kill_datanode(victim)
+        fs.namenode.dead_datanodes.add(victim)
+        assert fs.namenode.under_replicated_count() == len(inode.blocks)
+
+    def test_heartbeat_keeps_node_alive(self):
+        cluster, fs, _ = self.setup_with_data()
+        fs.start()
+        cluster.run(until=cluster.now + 100)
+        assert fs.namenode.check_datanodes(cluster.cal.hadoop.datanode_timeout) == []
+        fs.stop()
+
+    def test_stop_allows_engine_drain(self):
+        cluster, fs, _ = self.setup_with_data()
+        fs.start()
+        cluster.run(until=cluster.now + 10)
+        fs.stop()
+        cluster.run()  # must terminate
+        assert True

@@ -1,0 +1,159 @@
+"""Edit log, checkpointing, NameNode restart with block reports."""
+
+import pytest
+
+from repro.common.errors import HdfsError, SafeModeError
+from repro.common.units import MiB
+from repro.hardware import Cluster
+from repro.hdfs import (
+    FsImage,
+    Hdfs,
+    attach_journal,
+    checkpoint,
+    replay_into_image,
+    restart_namenode,
+)
+
+
+def make_fs(n_hosts=5):
+    cluster = Cluster(n_hosts)
+    fs = Hdfs(cluster, replication=2, block_size=4 * MiB)
+    log = attach_journal(fs.namenode)
+    return cluster, fs, log
+
+
+def write(cluster, fs, path, data):
+    cluster.run(cluster.engine.process(fs.client("node1").write_file(path, data)))
+
+
+class TestEditLog:
+    def test_mutations_journalled(self):
+        cluster, fs, log = make_fs()
+        write(cluster, fs, "/a", b"x" * 100)
+        ops = [op.op for op in log.ops]
+        assert ops == ["create", "add_block", "complete"]
+
+    def test_delete_journalled(self):
+        cluster, fs, log = make_fs()
+        write(cluster, fs, "/a", b"x")
+        fs.namenode.delete("/a")
+        assert log.ops[-1].op == "delete"
+
+    def test_multi_block_file(self):
+        cluster, fs, log = make_fs()
+        cluster.run(cluster.engine.process(
+            fs.client("node1").write_synthetic("/big", 10 * MiB)))
+        adds = [op for op in log.ops if op.op == "add_block"]
+        assert len(adds) == 3  # 4+4+2 MiB
+        assert sum(op.length for op in adds) == 10 * MiB
+
+
+class TestCheckpoint:
+    def test_checkpoint_folds_and_truncates(self):
+        cluster, fs, log = make_fs()
+        write(cluster, fs, "/a", b"x" * 100)
+        write(cluster, fs, "/b", b"y" * 50)
+        image = checkpoint(fs.namenode)
+        assert image.file_count == 2
+        assert len(log) == 0
+        # later mutations land in the fresh log only
+        write(cluster, fs, "/c", b"z")
+        assert image.file_count == 2
+        assert len(log) == 3
+
+    def test_replay_is_pure(self):
+        base = FsImage()
+        cluster, fs, log = make_fs()
+        write(cluster, fs, "/a", b"x")
+        out = replay_into_image(base, log.ops)
+        assert base.file_count == 0
+        assert out.file_count == 1
+
+    def test_replay_delete_removes(self):
+        cluster, fs, log = make_fs()
+        write(cluster, fs, "/a", b"x")
+        fs.namenode.delete("/a")
+        image = replay_into_image(FsImage(), log.ops)
+        assert image.file_count == 0
+
+    def test_checkpoint_requires_journal(self):
+        cluster = Cluster(4)
+        fs = Hdfs(cluster, replication=2)
+        with pytest.raises(HdfsError):
+            checkpoint(fs.namenode)
+
+
+class TestRestart:
+    def populated(self):
+        cluster, fs, log = make_fs()
+        data = b"the nobody video metadata " * 1000
+        write(cluster, fs, "/meta", data)
+        cluster.run(cluster.engine.process(
+            fs.client("node2").write_synthetic("/movie", 12 * MiB)))
+        return cluster, fs, log, data
+
+    def test_restart_recovers_namespace_and_locations(self):
+        cluster, fs, log, data = self.populated()
+        image = checkpoint(fs.namenode)
+        old_nn = fs.namenode
+        nn = cluster.run(cluster.engine.process(restart_namenode(fs, image)))
+        assert nn is not old_nn
+        assert fs.namenode is nn
+        assert nn.exists("/meta") and nn.exists("/movie")
+        # locations rebuilt from block reports
+        for path in ("/meta", "/movie"):
+            for block in nn.get_file(path).blocks:
+                assert len(nn.locations(block.block_id)) == 2
+
+    def test_real_payload_survives_restart(self):
+        cluster, fs, log, data = self.populated()
+        image = checkpoint(fs.namenode)
+        cluster.run(cluster.engine.process(restart_namenode(fs, image)))
+        got = cluster.run(cluster.engine.process(
+            fs.client("node3").read_file("/meta")))
+        assert got == data
+
+    def test_unreplayed_edits_also_recovered(self):
+        cluster, fs, log, _ = self.populated()
+        image = checkpoint(fs.namenode)
+        write(cluster, fs, "/late", b"post-checkpoint")
+        edits = list(log.ops)
+        cluster.run(cluster.engine.process(
+            restart_namenode(fs, image, edits)))
+        assert fs.namenode.exists("/late")
+
+    def test_safe_mode_lifts_after_all_reports(self):
+        cluster, fs, log, _ = self.populated()
+        image = checkpoint(fs.namenode)
+        nn = cluster.run(cluster.engine.process(restart_namenode(fs, image)))
+        assert not nn.safemode.active
+        write(cluster, fs, "/after", b"ok")  # mutations allowed again
+
+    def test_safe_mode_holds_with_dead_datanode(self):
+        cluster, fs, log, _ = self.populated()
+        image = checkpoint(fs.namenode)
+        fs.kill_datanode("node4")
+        nn = cluster.run(cluster.engine.process(
+            restart_namenode(fs, image, safemode_threshold=0.999)))
+        assert nn.safemode.active  # 3/4 reported < 99.9%
+        with pytest.raises(SafeModeError):
+            write(cluster, fs, "/blocked", b"no")
+
+    def test_lower_threshold_tolerates_dead_node(self):
+        cluster, fs, log, _ = self.populated()
+        image = checkpoint(fs.namenode)
+        fs.kill_datanode("node4")
+        nn = cluster.run(cluster.engine.process(
+            restart_namenode(fs, image, safemode_threshold=0.7)))
+        assert not nn.safemode.active
+
+    def test_next_block_id_preserved(self):
+        cluster, fs, log, _ = self.populated()
+        before = fs.namenode._next_block_id
+        image = checkpoint(fs.namenode)
+        cluster.run(cluster.engine.process(restart_namenode(fs, image)))
+        assert fs.namenode._next_block_id == before
+        # new blocks get fresh ids
+        write(cluster, fs, "/new", b"n")
+        new_block = fs.namenode.get_file("/new").blocks[0]
+        assert new_block.block_id.id >= before

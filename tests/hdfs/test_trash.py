@@ -1,0 +1,102 @@
+import pytest
+
+from repro.common.errors import FileNotFoundInHdfs, HdfsError
+from repro.common.units import MiB
+from repro.hardware import Cluster
+from repro.hdfs import Hdfs, TrashPolicy, fsck
+
+
+def make_env(interval=100.0):
+    cluster = Cluster(5)
+    fs = Hdfs(cluster, replication=2, block_size=4 * MiB)
+    trash = TrashPolicy(fs, interval=interval)
+    data = b"precious video metadata" * 100
+    cluster.run(cluster.engine.process(
+        fs.client("node1").write_file("/videos/mv.txt", data)))
+    return cluster, fs, trash, data
+
+
+class TestTrash:
+    def test_delete_moves_to_trash(self):
+        cluster, fs, trash, _ = make_env()
+        entry = trash.delete("/videos/mv.txt")
+        assert not fs.namenode.exists("/videos/mv.txt")
+        assert fs.namenode.exists("/.Trash/videos/mv.txt")
+        assert entry.trash_path == "/.Trash/videos/mv.txt"
+        assert "/videos/mv.txt" in trash
+        # replicas untouched (it's a metadata rename)
+        assert fs.total_stored_bytes() > 0
+
+    def test_restore_roundtrip(self):
+        cluster, fs, trash, data = make_env()
+        trash.delete("/videos/mv.txt")
+        trash.restore("/videos/mv.txt")
+        assert fs.namenode.exists("/videos/mv.txt")
+        assert not fs.namenode.exists("/.Trash/videos/mv.txt")
+        got = cluster.run(cluster.engine.process(
+            fs.client("node2").read_file("/videos/mv.txt")))
+        assert got == data
+
+    def test_expunge_frees_replicas(self):
+        cluster, fs, trash, _ = make_env()
+        trash.delete("/videos/mv.txt")
+        trash.expunge_one("/videos/mv.txt")
+        assert fs.total_stored_bytes() == 0
+        assert not fs.namenode.exists("/.Trash/videos/mv.txt")
+
+    def test_expired_entries_expunged(self):
+        cluster, fs, trash, _ = make_env(interval=50.0)
+        trash.delete("/videos/mv.txt")
+
+        def wait():
+            yield cluster.engine.timeout(60.0)
+
+        cluster.run(cluster.engine.process(wait()))
+        expired = trash.expunge_expired()
+        assert expired == ["/videos/mv.txt"]
+        assert fs.total_stored_bytes() == 0
+
+    def test_fresh_entries_survive_checkpoint(self):
+        cluster, fs, trash, _ = make_env(interval=1000.0)
+        trash.delete("/videos/mv.txt")
+        assert trash.expunge_expired() == []
+        assert fs.namenode.exists("/.Trash/videos/mv.txt")
+
+    def test_restore_blocked_when_path_retaken(self):
+        cluster, fs, trash, _ = make_env()
+        trash.delete("/videos/mv.txt")
+        cluster.run(cluster.engine.process(
+            fs.client("node1").write_file("/videos/mv.txt", b"new")))
+        with pytest.raises(HdfsError):
+            trash.restore("/videos/mv.txt")
+
+    def test_double_delete_expunges_previous(self):
+        cluster, fs, trash, _ = make_env()
+        trash.delete("/videos/mv.txt")
+        cluster.run(cluster.engine.process(
+            fs.client("node1").write_file("/videos/mv.txt", b"second")))
+        trash.delete("/videos/mv.txt")
+        assert len(trash.listing()) == 1
+        got = fs.namenode.get_file("/.Trash/videos/mv.txt")
+        assert got.length == len(b"second")
+
+    def test_errors(self):
+        cluster, fs, trash, _ = make_env()
+        with pytest.raises(FileNotFoundInHdfs):
+            trash.delete("/nope")
+        with pytest.raises(FileNotFoundInHdfs):
+            trash.restore("/nope")
+        with pytest.raises(FileNotFoundInHdfs):
+            trash.expunge_one("/nope")
+        with pytest.raises(HdfsError):
+            TrashPolicy(fs, interval=0)
+        trash.delete("/videos/mv.txt")
+        with pytest.raises(HdfsError):
+            trash.delete("/.Trash/videos/mv.txt")
+
+    def test_fsck_healthy_through_the_cycle(self):
+        cluster, fs, trash, _ = make_env()
+        trash.delete("/videos/mv.txt")
+        assert fsck(fs).healthy
+        trash.restore("/videos/mv.txt")
+        assert fsck(fs).healthy

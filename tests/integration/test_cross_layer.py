@@ -1,0 +1,154 @@
+"""Cross-layer composition tests: the point of one shared event engine.
+
+Each test exercises two subsystems *simultaneously* and asserts both the
+functional outcome and the resource-contention coupling (shared network /
+CPU) that a layered simulator with separate clocks could never show.
+"""
+
+import pytest
+
+from repro.common.units import GiB, MiB, Mbps
+from repro.hardware import Cluster
+from repro.hdfs import Hdfs, checkpoint, attach_journal, restart_namenode
+from repro.one import OpenNebula, VmTemplate
+from repro.video import (
+    DistributedTranscoder,
+    PlaybackSession,
+    R_720P,
+    StreamingServer,
+    VideoFile,
+)
+from repro.virt import DiskImage
+
+
+def clip(duration=600.0):
+    return VideoFile(
+        name="up.avi", container="avi", vcodec="mpeg4", acodec="mp3",
+        duration=duration, resolution=R_720P, fps=25.0, bitrate=4 * Mbps,
+    )
+
+
+class TestMigrationDuringTranscode:
+    def run_conversion(self, with_migration):
+        cluster = Cluster(6)
+        cloud = OpenNebula(cluster)
+        for name in cluster.host_names[1:]:
+            cloud.add_host(name)
+        cloud.register_image(DiskImage("img", size=1 * GiB))
+        vm = cloud.instantiate(VmTemplate(
+            name="guest", vcpus=1, memory=2 * GiB, image="img",
+            dirty_rate=50 * MiB))
+        cluster.run()
+        tx = DistributedTranscoder(cluster, cluster.host_names[1:],
+                                   ingest_host="node1")
+        conv = cluster.engine.process(
+            tx.convert_distributed(clip(), vcodec="h264", container="flv"))
+        migration_result = {}
+        if with_migration:
+            def migrate_midway():
+                yield cluster.engine.timeout(30.0)
+                dst = next(n for n in cluster.host_names[1:]
+                           if n != vm.host_name)
+                r = yield cluster.engine.process(
+                    cloud.live_migrate(vm, dst, "precopy"))
+                migration_result["r"] = r
+
+            cluster.engine.process(migrate_midway())
+        report = cluster.run(conv)
+        return report, migration_result.get("r")
+
+    def test_both_complete_and_contention_visible(self):
+        clean, _ = self.run_conversion(False)
+        contended, migration = self.run_conversion(True)
+        # both finished, output identical geometry
+        assert contended.output.gop_count == clean.output.gop_count
+        assert migration is not None
+        assert migration.downtime < 2.0
+        # the 2 GiB RAM transfer stole worker bandwidth: conversion slower
+        assert contended.total_time >= clean.total_time
+
+
+class TestStreamingUnderUploadLoad:
+    def test_viewers_slow_the_upload_pipeline(self):
+        def upload_time(n_viewers):
+            cluster = Cluster(6)
+            for i in range(n_viewers):
+                cluster.add_host(f"viewer{i}", nic_rate=100 * Mbps)
+            tx = DistributedTranscoder(cluster, cluster.host_names[1:6],
+                                       ingest_host="node1")
+            server = StreamingServer(cluster, "node1")  # shares ingest uplink
+            movie = VideoFile(
+                name="m.flv", container="flv", vcodec="h264", acodec="aac",
+                duration=600.0, resolution=R_720P, fps=25.0, bitrate=20 * Mbps,
+            )
+            for i in range(n_viewers):
+                cluster.engine.process(
+                    PlaybackSession(server, f"viewer{i}", movie,
+                                    watch_plan=[(0.0, 300.0)]).run())
+            report = cluster.run(cluster.engine.process(
+                tx.convert_distributed(clip(), vcodec="h264",
+                                       container="flv")))
+            return report.total_time
+
+        idle = upload_time(0)
+        busy = upload_time(12)  # 12 x 20 Mb/s viewers on the ingest uplink
+        # conversion is CPU-dominated, so the coupling is a bounded slowdown
+        # of the scatter/gather stages -- strictly slower, deterministically
+        assert busy > idle + 0.1
+
+    def test_upload_still_correct_under_load(self):
+        cluster = Cluster(6)
+        cluster.add_host("viewer", nic_rate=200 * Mbps)
+        tx = DistributedTranscoder(cluster, cluster.host_names[1:6],
+                                   ingest_host="node1")
+        server = StreamingServer(cluster, "node1")
+        movie = VideoFile(
+            name="m.flv", container="flv", vcodec="h264", acodec="aac",
+            duration=300.0, resolution=R_720P, fps=25.0, bitrate=30 * Mbps,
+        )
+        cluster.engine.process(
+            PlaybackSession(server, "viewer", movie).run())
+        report = cluster.run(cluster.engine.process(
+            tx.convert_distributed(clip(300.0), vcodec="h264",
+                                   container="flv")))
+        assert report.output.vcodec == "h264"
+        assert report.output.duration == pytest.approx(300.0)
+
+
+class TestNameNodeRestartUnderPortal:
+    def test_portal_survives_namenode_restart(self):
+        from repro.web import VideoPortal
+        from tests.web.test_portal import register_and_login
+
+        cluster = Cluster(6)
+        fs = Hdfs(cluster, namenode_host="node0",
+                  datanode_hosts=cluster.host_names[1:],
+                  block_size=16 * MiB, replication=2)
+        attach_journal(fs.namenode)
+        portal = VideoPortal(cluster, fs, web_host="node1",
+                             transcode_workers=cluster.host_names[2:])
+        session = register_and_login(cluster, portal)
+        resp = cluster.run(cluster.engine.process(portal.request(
+            "POST", "/upload", session=session,
+            params={"title": "Nobody MV", "tags": "nobody",
+                    "media": clip(60.0)})))
+        vid = resp.body["video_id"]
+
+        # crash + restart the NameNode; recover from checkpoint + reports
+        image = checkpoint(fs.namenode)
+        cluster.run(cluster.engine.process(restart_namenode(fs, image)))
+
+        # the published rendition is still there, replicated, and playable
+        assert fs.namenode.exists(f"/published/video-{vid}-720p.flv")
+        inode = fs.namenode.get_file(f"/published/video-{vid}-720p.flv")
+        for block in inode.blocks:
+            assert len(fs.namenode.locations(block.block_id)) == 2
+        report = cluster.run(cluster.engine.process(
+            portal.play(vid, cluster.host_names[-1],
+                        watch_plan=[(0.0, 5.0)]).run()))
+        assert report.watched_seconds == pytest.approx(5.0, abs=0.5)
+        # and the portal can still publish new videos
+        resp = cluster.run(cluster.engine.process(portal.request(
+            "POST", "/upload", session=session,
+            params={"title": "After restart", "media": clip(30.0)})))
+        assert resp.ok

@@ -1,0 +1,114 @@
+"""End-to-end tests of the whole Figure 13/14 stack (experiment E03)."""
+
+import pytest
+
+from repro import build_video_cloud
+from repro.common.errors import ConfigError
+from repro.common.units import Mbps
+from repro.one import OneState
+from repro.video import R_720P, VideoFile
+
+
+def upload_clip(name="mv.avi", duration=120.0):
+    return VideoFile(
+        name=name, container="avi", vcodec="mpeg4", acodec="mp3",
+        duration=duration, resolution=R_720P, fps=25.0, bitrate=4 * Mbps,
+    )
+
+
+@pytest.fixture(scope="module")
+def stack():
+    """One fully deployed cloud shared by the module (it's expensive)."""
+    vc = build_video_cloud(6, seed=7)
+    return vc
+
+
+def login(vc, username="kuan"):
+    cluster, portal = vc.cluster, vc.portal
+    cluster.run(cluster.engine.process(portal.request(
+        "POST", "/register",
+        params={"username": username, "password": "secret99",
+                "email": f"{username}@thu.edu.tw"})))
+    _, token = portal.auth.outbox[-1]
+    cluster.run(cluster.engine.process(portal.request(
+        "POST", "/verify", params={"token": token})))
+    r = cluster.run(cluster.engine.process(portal.request(
+        "POST", "/login", params={"username": username, "password": "secret99"})))
+    return r.set_session
+
+
+class TestDeployment:
+    def test_iaas_vms_running(self, stack):
+        service = stack.services.services["video-cloud"]
+        assert service.healthy
+        assert len(service.vms) == 5
+        assert all(vm.state is OneState.RUNNING for vm in service.vms)
+
+    def test_vms_spread_across_hosts(self, stack):
+        hosts = {vm.host_name for vm in stack.services.services["video-cloud"].vms}
+        assert len(hosts) == 5  # striping policy: one per compute host
+
+    def test_too_small_cluster_rejected(self):
+        with pytest.raises(ConfigError):
+            build_video_cloud(2)
+
+
+class TestEndToEndVideoService:
+    def test_upload_search_play_cycle(self, stack):
+        vc = stack
+        cluster, portal = vc.cluster, vc.portal
+        session = login(vc)
+
+        # upload (Figure 22): FUSE -> HDFS -> parallel FFmpeg -> publish
+        r = cluster.run(cluster.engine.process(portal.request(
+            "POST", "/upload", session=session,
+            params={"title": "Nobody - Wonder Girls", "tags": "kpop nobody",
+                    "description": "the hit song nobody",
+                    "media": upload_clip()})))
+        assert r.ok
+        vid = r.body["video_id"]
+
+        # Nutch re-crawl (Section III: refresh indexed material)
+        cluster.run(cluster.engine.process(portal.refresh_search_index()))
+
+        # search (Figure 18)
+        r = cluster.run(cluster.engine.process(portal.request(
+            "GET", "/search", params={"q": "nobody"})))
+        assert [v["id"] for v in r.body["results"]] == [vid]
+
+        # player page (Figure 23) + streaming session with a seek
+        r = cluster.run(cluster.engine.process(portal.request(
+            "GET", "/video", params={"id": vid})))
+        assert r.body["player"]["seekable_time_bar"]
+        playback = portal.play(vid, vc.cluster.host_names[-1],
+                               watch_plan=[(0.0, 10.0), (60.0, 10.0)])
+        report = cluster.run(cluster.engine.process(playback.run()))
+        assert report.watched_seconds == pytest.approx(20.0, abs=0.5)
+
+    def test_video_bytes_are_replicated_in_hdfs(self, stack):
+        fs = stack.fs
+        published = fs.namenode.listdir("/published")
+        assert published
+        for path in published:
+            inode = fs.namenode.get_file(path)
+            for block in inode.blocks:
+                assert len(fs.namenode.locations(block.block_id)) == fs.replication
+
+    def test_live_migration_during_service(self, stack):
+        """Figures 8-10 on the full stack: move a hadoop VM, service stays up."""
+        vc = stack
+        vm = vc.services.services["video-cloud"].vms[0]
+        src = vm.host_name
+        dst = next(n for n in vc.cluster.host_names[1:] if n != src)
+        p = vc.engine.process(vc.cloud.live_migrate(vm, dst, "precopy"))
+        result = vc.run(p)
+        assert vm.host_name == dst
+        assert result.downtime < 1.0
+        assert vc.services.services["video-cloud"].healthy
+
+    def test_event_log_tells_the_story(self, stack):
+        kinds = {r.kind for r in stack.cluster.log}
+        for expected in ["vm_submitted", "vm_state", "service_running",
+                         "video_published", "index_refreshed", "job_started",
+                         "migrate_done"]:
+            assert expected in kinds, expected

@@ -1,0 +1,54 @@
+"""Unit-level tests of the stack builder (the module behind E03)."""
+
+import pytest
+
+from repro import VideoCloud, build_video_cloud
+from repro.common.calibration import Calibration
+from repro.common.errors import ConfigError
+from repro.one import OneState
+
+
+class TestBuildVideoCloud:
+    def test_minimum_size_enforced(self):
+        with pytest.raises(ConfigError):
+            build_video_cloud(3)
+
+    def test_without_vm_layer_is_fast(self):
+        vc = build_video_cloud(5, deploy_vms=False)
+        assert isinstance(vc, VideoCloud)
+        assert vc.cluster.now == 0.0
+        assert vc.services.services == {}
+        # upper layers still usable
+        assert sorted(vc.fs.datanodes) == vc.cluster.host_names[1:]
+        assert vc.portal.web_host == vc.cluster.host_names[1]
+
+    def test_with_vm_layer_boots_guests(self):
+        vc = build_video_cloud(5, seed=3)
+        service = vc.services.services["video-cloud"]
+        assert len(service.vms) == 4
+        assert all(vm.state is OneState.RUNNING for vm in service.vms)
+        assert vc.cluster.now > 0
+
+    def test_custom_calibration_respected(self):
+        cal = Calibration(cores_per_host=2)
+        vc = build_video_cloud(5, cal=cal, deploy_vms=False)
+        assert all(h.cores == 2 for h in vc.cluster.hosts)
+
+    def test_hypervisor_choice(self):
+        vc = build_video_cloud(5, hypervisor="xen", deploy_vms=False)
+        assert all(r.hypervisor.mode == "para" for r in vc.cloud.host_pool)
+
+    def test_same_seed_same_deployment(self):
+        a = build_video_cloud(5, seed=11)
+        b = build_video_cloud(5, seed=11)
+        pa = [vm.host_name for vm in a.services.services["video-cloud"].vms]
+        pb = [vm.host_name for vm in b.services.services["video-cloud"].vms]
+        assert pa == pb
+        assert a.cluster.now == b.cluster.now
+
+    def test_engine_shared_across_layers(self):
+        vc = build_video_cloud(5, deploy_vms=False)
+        assert vc.engine is vc.cluster.engine
+        assert vc.fs.engine is vc.engine
+        assert vc.portal.engine is vc.engine
+        assert vc.cloud.engine is vc.engine

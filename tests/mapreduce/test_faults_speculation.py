@@ -1,0 +1,140 @@
+from collections import Counter
+
+import pytest
+
+from repro.common.errors import ConfigError, TaskFailedError
+from repro.common.units import KiB
+from repro.hardware import Cluster
+from repro.hdfs import Hdfs
+from repro.mapreduce import (
+    FaultModel,
+    JobQueue,
+    JobTracker,
+    grep_job,
+    tokenize,
+    word_count_job,
+)
+
+TEXT = (b"cloud video nobody song stream hadoop nutch kvm opennebula ffmpeg\n"
+        * 200)
+
+
+def make_env(n_hosts=6, block_size=1 * KiB, seed=0):
+    cluster = Cluster(n_hosts, seed=seed)
+    fs = Hdfs(cluster, block_size=block_size, replication=2)
+    cluster.run(cluster.engine.process(fs.client("node1").write_file("/in", TEXT)))
+    return cluster, fs
+
+
+EXPECTED = dict(Counter(tokenize(TEXT.decode())))
+
+
+class TestFaultModel:
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            FaultModel(map_failure_rate=1.5)
+        with pytest.raises(ConfigError):
+            FaultModel(max_attempts=0)
+
+    def test_retries_mask_moderate_failure_rate(self):
+        cluster, fs = make_env()
+        jt = JobTracker(fs, fault=FaultModel(map_failure_rate=0.25))
+        result = cluster.run(cluster.engine.process(
+            jt.submit(word_count_job(["/in"]))))
+        assert result.output == EXPECTED
+        assert result.counters.failed_task_attempts > 0
+
+    def test_reduce_failures_also_retried(self):
+        cluster, fs = make_env()
+        jt = JobTracker(fs, fault=FaultModel(reduce_failure_rate=0.3))
+        job = word_count_job(["/in"], num_reduces=3, output_path="/out")
+        result = cluster.run(cluster.engine.process(jt.submit(job)))
+        assert result.output == EXPECTED
+        assert len(result.part_paths) == 3
+
+    def test_certain_failure_kills_job(self):
+        cluster, fs = make_env()
+        jt = JobTracker(fs, fault=FaultModel(map_failure_rate=0.95,
+                                             max_attempts=2))
+        with pytest.raises(TaskFailedError):
+            cluster.run(cluster.engine.process(
+                jt.submit(word_count_job(["/in"]))))
+        assert len(cluster.log.records(kind="job_failed")) == 1
+
+    def test_failures_cost_time(self):
+        def duration(rate):
+            cluster, fs = make_env(seed=3)
+            jt = JobTracker(fs, fault=FaultModel(map_failure_rate=rate))
+            return cluster.run(cluster.engine.process(
+                jt.submit(word_count_job(["/in"])))).duration
+
+        assert duration(0.4) > duration(0.0)
+
+    def test_deterministic_given_seed(self):
+        def run_once():
+            cluster, fs = make_env(seed=11)
+            jt = JobTracker(fs, fault=FaultModel(map_failure_rate=0.3))
+            r = cluster.run(cluster.engine.process(
+                jt.submit(word_count_job(["/in"]))))
+            return r.duration, r.counters.failed_task_attempts
+
+        assert run_once() == run_once()
+
+
+class TestSpeculation:
+    def straggler_duration(self, speculative):
+        cluster, fs = make_env(6)
+        slow = sorted(fs.datanodes)[0]
+        jt = JobTracker(fs, speculative=speculative,
+                        slowdowns={slow: 40.0})
+        result = cluster.run(cluster.engine.process(
+            jt.submit(word_count_job(["/in"]))))
+        assert result.output == EXPECTED
+        return result
+
+    def test_speculation_masks_straggler(self):
+        plain = self.straggler_duration(False)
+        spec = self.straggler_duration(True)
+        assert spec.duration < plain.duration
+        assert spec.counters.speculative_attempts > 0
+
+    def test_no_speculation_without_flag(self):
+        result = self.straggler_duration(False)
+        assert result.counters.speculative_attempts == 0
+
+    def test_speculation_output_identical(self):
+        assert (self.straggler_duration(True).output
+                == self.straggler_duration(False).output)
+
+
+class TestJobQueue:
+    def test_fifo_order(self):
+        cluster, fs = make_env()
+        jq = JobQueue(JobTracker(fs))
+        ev1 = jq.submit(word_count_job(["/in"]))
+        ev2 = jq.submit(grep_job(["/in"], "cloud"))
+        r2 = cluster.run(until=ev2)
+        r1 = ev1.value
+        assert r1.output == EXPECTED
+        assert r2.output == {"cloud": 200}
+        # strictly serial: job 2 starts after job 1 finishes
+        assert r2.started >= r1.finished
+
+    def test_failed_job_does_not_block_queue(self):
+        cluster, fs = make_env()
+        jq = JobQueue(JobTracker(fs))
+        bad = jq.submit(word_count_job(["/absent"]))   # missing input
+        good = jq.submit(grep_job(["/in"], "nobody"))
+        with pytest.raises(Exception):
+            cluster.run(until=bad)
+        r = cluster.run(until=good)
+        assert r.output == {"nobody": 200}
+
+    def test_late_submission_restarts_drain(self):
+        cluster, fs = make_env()
+        jq = JobQueue(JobTracker(fs))
+        ev1 = jq.submit(word_count_job(["/in"]))
+        cluster.run(until=ev1)
+        ev2 = jq.submit(grep_job(["/in"], "kvm"))
+        r2 = cluster.run(until=ev2)
+        assert r2.output == {"kvm": 200}

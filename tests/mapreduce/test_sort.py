@@ -1,0 +1,110 @@
+"""Distributed sort (TeraSort pattern) with the TotalOrderPartitioner."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.common.errors import MapReduceError
+from repro.common.rng import RngStream
+from repro.common.units import KiB
+from repro.hardware import Cluster
+from repro.hdfs import Hdfs
+from repro.mapreduce import (
+    TotalOrderPartitioner,
+    run_distributed_sort,
+    sample_boundaries,
+)
+
+
+def make_env(lines, n_hosts=6, block_size=1 * KiB):
+    cluster = Cluster(n_hosts)
+    fs = Hdfs(cluster, block_size=block_size, replication=2)
+    data = ("\n".join(lines) + "\n").encode("utf-8")
+    cluster.run(cluster.engine.process(fs.client("node1").write_file("/in", data)))
+    return cluster, fs
+
+
+def random_lines(n, seed=0):
+    rng = RngStream(seed, "sortdata")
+    words = ["kiwi", "apple", "zebra", "mango", "fig", "pear", "yam",
+             "date", "plum", "lime"]
+    return [f"{rng.choice(words)}-{rng.randint(0, 1000):04d}" for _ in range(n)]
+
+
+class TestPartitioner:
+    def test_routes_by_range(self):
+        p = TotalOrderPartitioner(["g", "n"])
+        assert p("apple", 3) == 0
+        assert p("grape", 3) == 1
+        assert p("zebra", 3) == 2
+
+    def test_boundary_keys_go_right(self):
+        p = TotalOrderPartitioner(["g"])
+        # bisect_right: key == boundary -> the upper partition, capped
+        assert p("g", 2) == 1
+
+    def test_unsorted_boundaries_rejected(self):
+        with pytest.raises(MapReduceError):
+            TotalOrderPartitioner(["z", "a"])
+
+    def test_never_exceeds_reducer_count(self):
+        p = TotalOrderPartitioner(["b", "d", "f"])
+        assert p("zzz", 4) == 3
+
+
+class TestSampling:
+    def test_boundaries_sorted_and_sized(self):
+        cluster, fs = make_env(random_lines(200))
+        b = sample_boundaries(fs, ["/in"], 4)
+        assert len(b) == 3
+        assert b == sorted(b)
+
+    def test_single_reducer_no_boundaries(self):
+        cluster, fs = make_env(random_lines(50))
+        assert sample_boundaries(fs, ["/in"], 1) == []
+
+    def test_empty_input_rejected(self):
+        cluster, fs = make_env([""])
+        with pytest.raises(MapReduceError):
+            sample_boundaries(fs, ["/in"], 2)
+
+
+class TestDistributedSort:
+    def test_output_is_sorted_and_complete(self):
+        lines = random_lines(300, seed=5)
+        cluster, fs = make_env(lines)
+        ordered, result = cluster.run(cluster.engine.process(
+            run_distributed_sort(fs, ["/in"], num_reduces=4)))
+        assert ordered == sorted(lines)
+        assert result.counters.reduce_tasks == 4
+
+    def test_duplicates_preserved(self):
+        lines = ["b", "a", "b", "c", "a", "a"]
+        cluster, fs = make_env(lines)
+        ordered, _ = cluster.run(cluster.engine.process(
+            run_distributed_sort(fs, ["/in"], num_reduces=2)))
+        assert ordered == ["a", "a", "a", "b", "b", "c"]
+
+    def test_reducers_receive_disjoint_ranges(self):
+        lines = random_lines(200, seed=9)
+        cluster, fs = make_env(lines)
+        ordered, result = cluster.run(cluster.engine.process(
+            run_distributed_sort(fs, ["/in"], num_reduces=3,
+                                 output_path="/sorted")))
+        # each part file's keys form a contiguous range: concatenation of
+        # the part files in order equals the global sort
+        reader = fs.client("node1")
+        concat = []
+        for part in result.part_paths:
+            data = cluster.run(cluster.engine.process(reader.read_file(part)))
+            concat.extend(l.split("\t")[0] for l in
+                          data.decode().splitlines() if l)
+        assert concat == sorted(set(lines))
+
+    @given(st.lists(st.text(alphabet="abcdef", min_size=1, max_size=6),
+                    min_size=1, max_size=60))
+    @settings(max_examples=20, deadline=None)
+    def test_property_sort_matches_builtin(self, lines):
+        cluster, fs = make_env(lines)
+        ordered, _ = cluster.run(cluster.engine.process(
+            run_distributed_sort(fs, ["/in"], num_reduces=3)))
+        assert ordered == sorted(l for l in lines if l)

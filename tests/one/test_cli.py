@@ -1,0 +1,97 @@
+import pytest
+
+from repro.common.units import GiB, MiB
+from repro.hardware import Cluster
+from repro.hdfs import Hdfs
+from repro.one import CloudShell, OneState, OpenNebula, VmTemplate
+from repro.virt import DiskImage
+
+
+@pytest.fixture
+def shell():
+    cluster = Cluster(5)
+    cloud = OpenNebula(cluster)
+    for name in cluster.host_names[1:]:
+        cloud.add_host(name)
+    cloud.register_image(DiskImage("ubuntu-10.04", size=2 * GiB))
+    fs = Hdfs(cluster, replication=2, block_size=16 * MiB)
+    vm = cloud.instantiate(VmTemplate(
+        name="web", vcpus=1, memory=512 * MiB, image="ubuntu-10.04"))
+    cluster.run()
+    sh = CloudShell(cloud, fs)
+    sh._vm = vm  # test convenience
+    return sh
+
+
+class TestShell:
+    def test_help(self, shell):
+        out = shell.execute("help")
+        assert "onevm" in out and "onehost" in out
+
+    def test_empty_line(self, shell):
+        assert shell.execute("") == ""
+
+    def test_unknown_command(self, shell):
+        assert "unknown command" in shell.execute("onemagic wave")
+
+    def test_onehost_list(self, shell):
+        out = shell.execute("onehost list")
+        assert "node1" in out
+        assert "CPU" in out
+
+    def test_onevm_list_and_show(self, shell):
+        out = shell.execute("onevm list")
+        assert "RUNNING" in out
+        out = shell.execute(f"onevm show {shell._vm.id}")
+        assert "HISTORY" in out
+        assert "pending -> prolog -> boot -> running" in out
+
+    def test_onevm_show_missing(self, shell):
+        assert "ERROR" in shell.execute("onevm show 999")
+
+    def test_onevm_migrate_live(self, shell):
+        vm = shell._vm
+        dst = next(n for n in shell.cloud.cluster.host_names[1:]
+                   if n != vm.host_name)
+        out = shell.execute(f"onevm migrate {vm.id} {dst} --live")
+        assert "live-migrated" in out
+        assert vm.host_name == dst
+
+    def test_onevm_shutdown(self, shell):
+        out = shell.execute(f"onevm shutdown {shell._vm.id}")
+        assert "DONE" in out
+        assert shell._vm.state is OneState.DONE
+
+    def test_oneuser_create_and_list(self, shell):
+        out = shell.execute("oneuser create kuan 2")
+        assert "created" in out
+        out = shell.execute("oneuser list")
+        assert "kuan" in out
+        assert "0/2" in out
+        assert "oneadmin" in out
+
+    def test_oneuser_duplicate_is_error_text(self, shell):
+        shell.execute("oneuser create kuan")
+        assert "ERROR" in shell.execute("oneuser create kuan")
+
+    def test_oneimage_list(self, shell):
+        out = shell.execute("oneimage list")
+        assert "ubuntu-10.04" in out
+        assert "qcow2" in out
+
+    def test_hdfs_fsck(self, shell):
+        out = shell.execute("hdfs fsck")
+        assert "HEALTHY" in out
+
+    def test_hdfs_without_fs(self):
+        cluster = Cluster(2)
+        cloud = OpenNebula(cluster)
+        sh = CloudShell(cloud)
+        assert "no HDFS" in sh.execute("hdfs fsck")
+
+    def test_bad_arguments(self, shell):
+        assert "ERROR" in shell.execute("onevm show notanumber")
+        assert "ERROR" in shell.execute("onevm")
+
+    def test_unbalanced_quotes(self, shell):
+        assert "ERROR" in shell.execute('onevm show "oops')

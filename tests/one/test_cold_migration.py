@@ -1,0 +1,71 @@
+import pytest
+
+from repro.common.errors import ConfigError, LifecycleError
+from repro.common.units import GiB, MiB
+from repro.hardware import Cluster
+from repro.one import OneState, OpenNebula, VmTemplate
+from repro.virt import DiskImage
+
+
+def running_vm(dirty_rate=20 * MiB):
+    cluster = Cluster(4)
+    cloud = OpenNebula(cluster)
+    for name in cluster.host_names[1:]:
+        cloud.add_host(name)
+    cloud.register_image(DiskImage("img", size=1 * GiB))
+    vm = cloud.instantiate(VmTemplate(
+        name="t", vcpus=1, memory=1 * GiB, image="img", dirty_rate=dirty_rate))
+    cluster.run()
+    dst = next(n for n in cluster.host_names[1:] if n != vm.host_name)
+    return cluster, cloud, vm, dst
+
+
+class TestColdMigration:
+    def test_moves_vm_and_returns_to_running(self):
+        cluster, cloud, vm, dst = running_vm()
+        result = cluster.run(cluster.engine.process(cloud.cold_migrate(vm, dst)))
+        assert result.kind == "cold"
+        assert vm.state is OneState.RUNNING
+        assert vm.host_name == dst
+        assert vm.placements[-1].reason == "migrate"
+
+    def test_downtime_is_total_time(self):
+        cluster, cloud, vm, dst = running_vm()
+        result = cluster.run(cluster.engine.process(cloud.cold_migrate(vm, dst)))
+        assert result.downtime == result.total_time
+        assert result.rounds == 0
+
+    def test_live_beats_cold_on_downtime(self):
+        cluster, cloud, vm, dst = running_vm()
+        cold = cluster.run(cluster.engine.process(cloud.cold_migrate(vm, dst)))
+        # migrate back, live this time
+        src = dst
+        back = vm.placements[-2].host
+        live = cluster.run(cluster.engine.process(
+            cloud.live_migrate(vm, back, "precopy")))
+        assert live.downtime < cold.downtime / 10
+
+    def test_lifecycle_passes_through_save_suspended_resume(self):
+        cluster, cloud, vm, dst = running_vm()
+        cluster.run(cluster.engine.process(cloud.cold_migrate(vm, dst)))
+        states = [s for _, s in vm.lifecycle.history]
+        for expected in (OneState.SAVE, OneState.SUSPENDED, OneState.RESUME):
+            assert expected in states
+
+    def test_memory_ledger_moves(self):
+        cluster, cloud, vm, dst = running_vm()
+        src = vm.host_name
+        cluster.run(cluster.engine.process(cloud.cold_migrate(vm, dst)))
+        assert cluster.host(src).memory_used == 0
+        assert cluster.host(dst).memory_used == vm.domain.memory
+
+    def test_requires_running(self):
+        cluster, cloud, vm, dst = running_vm()
+        cluster.run(cluster.engine.process(cloud.shutdown_vm(vm)))
+        with pytest.raises(LifecycleError):
+            cloud.cold_migrate(vm, dst)
+
+    def test_same_host_rejected(self):
+        cluster, cloud, vm, _ = running_vm()
+        with pytest.raises(ConfigError):
+            cloud.cold_migrate(vm, vm.host_name)

@@ -1,0 +1,167 @@
+import pytest
+
+from repro.common.errors import ConfigError, LifecycleError
+from repro.common.units import GiB, MiB
+from repro.hardware import Cluster
+from repro.one import OneState, OpenNebula, VmTemplate
+from repro.virt import DiskImage
+
+
+def make_cloud(n_hosts=4, **kw):
+    cluster = Cluster(n_hosts)
+    cloud = OpenNebula(cluster, **kw)
+    for name in cluster.host_names[1:]:
+        cloud.add_host(name)
+    cloud.register_image(DiskImage("ubuntu-10.04", size=2 * GiB))
+    return cluster, cloud
+
+
+def small_template(**kw):
+    defaults = dict(name="tiny", vcpus=1, memory=512 * MiB, image="ubuntu-10.04")
+    defaults.update(kw)
+    return VmTemplate(**defaults)
+
+
+class TestEnrollment:
+    def test_front_end_cannot_be_compute(self):
+        cluster = Cluster(2)
+        cloud = OpenNebula(cluster)
+        with pytest.raises(ConfigError):
+            cloud.add_host(cluster.host_names[0])
+
+    def test_double_enroll_rejected(self):
+        cluster = Cluster(2)
+        cloud = OpenNebula(cluster)
+        cloud.add_host("node1")
+        with pytest.raises(ConfigError):
+            cloud.add_host("node1")
+
+    def test_unknown_front_end(self):
+        with pytest.raises(ConfigError):
+            OpenNebula(Cluster(1), front_end="ghost")
+
+    def test_hypervisor_kind_per_host(self):
+        cluster = Cluster(3)
+        cloud = OpenNebula(cluster, hypervisor="kvm")
+        kvm_rec = cloud.add_host("node1")
+        xen_rec = cloud.add_host("node2", hypervisor="xen")
+        assert kvm_rec.hypervisor.mode == "full"
+        assert xen_rec.hypervisor.mode == "para"
+
+
+class TestDeployFlow:
+    def test_instantiate_goes_pending_then_running(self):
+        cluster, cloud = make_cloud()
+        vm = cloud.instantiate(small_template())
+        assert vm.state == OneState.PENDING
+        cluster.run()
+        assert vm.state == OneState.RUNNING
+        assert vm.host_name in cluster.host_names[1:]
+        assert vm.context["ip"].startswith("192.168.122.")
+
+    def test_lifecycle_passes_through_prolog_and_boot(self):
+        cluster, cloud = make_cloud()
+        vm = cloud.instantiate(small_template())
+        cluster.run()
+        states = [s for _, s in vm.lifecycle.history]
+        assert states == [
+            OneState.PENDING, OneState.PROLOG, OneState.BOOT, OneState.RUNNING
+        ]
+
+    def test_unknown_image_rejected_at_submit(self):
+        _, cloud = make_cloud()
+        with pytest.raises(ConfigError):
+            cloud.instantiate(small_template(image="missing"))
+
+    def test_dispatch_happens_after_interval(self):
+        cluster, cloud = make_cloud()
+        vm = cloud.instantiate(small_template())
+        cluster.run(until=cloud.sched_interval - 0.1)
+        assert vm.state == OneState.PENDING
+        cluster.run()
+        assert vm.state == OneState.RUNNING
+
+    def test_driver_trace_sequence(self):
+        cluster, cloud = make_cloud()
+        cloud.instantiate(small_template())
+        cluster.run()
+        tm_actions = cloud.trace.actions("tm.ssh")
+        vmm_actions = cloud.trace.actions("vmm.full")
+        assert tm_actions == ["prolog"]
+        assert vmm_actions == ["deploy"]
+
+    def test_unplaceable_vm_stays_pending(self):
+        cluster, cloud = make_cloud()
+        huge = small_template(name="huge", memory=10**15)
+        vm = cloud.instantiate(huge)
+        cluster.run(until=30)
+        assert vm.state == OneState.PENDING
+        assert len(cloud.log.records(kind="no_placement")) >= 1
+
+    def test_many_vms_spread_with_striping(self):
+        cluster, cloud = make_cloud(4, placement_policy="striping")
+        vms = [cloud.instantiate(small_template()) for _ in range(6)]
+        cluster.run()
+        hosts = [vm.host_name for vm in vms]
+        # 6 VMs over 3 compute hosts -> 2 each
+        assert sorted(hosts.count(h) for h in set(hosts)) == [2, 2, 2]
+
+    def test_packing_fills_one_host_first(self):
+        cluster, cloud = make_cloud(4, placement_policy="packing")
+        vms = [cloud.instantiate(small_template()) for _ in range(3)]
+        cluster.run()
+        hosts = {vm.host_name for vm in vms}
+        assert len(hosts) == 1
+
+    def test_ips_are_unique(self):
+        cluster, cloud = make_cloud()
+        vms = [cloud.instantiate(small_template()) for _ in range(5)]
+        cluster.run()
+        ips = [vm.context["ip"] for vm in vms]
+        assert len(set(ips)) == 5
+
+
+class TestShutdownFlow:
+    def test_shutdown_to_done(self):
+        cluster, cloud = make_cloud()
+        vm = cloud.instantiate(small_template())
+        cluster.run()
+        cluster.engine.process(cloud.shutdown_vm(vm))
+        cluster.run()
+        assert vm.state == OneState.DONE
+        assert vm.host_name is None
+        # memory returned to the host
+        assert all(r.host.memory_used == 0 for r in cloud.host_pool)
+
+    def test_shutdown_requires_running(self):
+        _, cloud = make_cloud()
+        vm = cloud.instantiate(small_template())
+        with pytest.raises(LifecycleError):
+            cloud.shutdown_vm(vm)
+
+    def test_vm_lookup(self):
+        cluster, cloud = make_cloud()
+        vm = cloud.instantiate(small_template())
+        assert cloud.vm(vm.id) is vm
+        with pytest.raises(ConfigError):
+            cloud.vm(999)
+
+
+class TestSuspendResume:
+    def test_suspend_resume_cycle(self):
+        cluster, cloud = make_cloud()
+        vm = cloud.instantiate(small_template())
+        cluster.run()
+        cluster.engine.process(cloud.suspend_vm(vm))
+        cluster.run()
+        assert vm.state == OneState.SUSPENDED
+        cluster.engine.process(cloud.resume_vm(vm))
+        cluster.run()
+        assert vm.state == OneState.RUNNING
+
+    def test_resume_requires_suspended(self):
+        cluster, cloud = make_cloud()
+        vm = cloud.instantiate(small_template())
+        cluster.run()
+        with pytest.raises(LifecycleError):
+            cloud.resume_vm(vm)

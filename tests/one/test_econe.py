@@ -1,0 +1,137 @@
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.common.units import GiB
+from repro.hardware import Cluster
+from repro.one import EconeApi, OneState, OpenNebula
+from repro.virt import DiskImage
+
+
+def make_api(n_hosts=4):
+    cluster = Cluster(n_hosts)
+    cloud = OpenNebula(cluster)
+    for name in cluster.host_names[1:]:
+        cloud.add_host(name)
+    cloud.register_image(DiskImage("ami-video", size=1 * GiB))
+    return cluster, cloud, EconeApi(cloud)
+
+
+class TestRunInstances:
+    def test_run_and_describe(self):
+        cluster, cloud, api = make_api()
+        ids = api.run_instances("ami-video", "m1.small", count=2)
+        assert len(ids) == 2
+        cluster.run()
+        desc = api.describe_instances()
+        assert all(d.state == "running" for d in desc)
+        assert all(d.private_ip for d in desc)
+        assert {d.instance_id for d in desc} == set(ids)
+
+    def test_pending_before_dispatch(self):
+        cluster, cloud, api = make_api()
+        api.run_instances("ami-video")
+        desc = api.describe_instances()
+        assert desc[0].state == "pending"
+
+    def test_unknown_type_rejected(self):
+        _, _, api = make_api()
+        with pytest.raises(ConfigError):
+            api.run_instances("ami-video", "t2.nano")
+
+    def test_bad_count(self):
+        _, _, api = make_api()
+        with pytest.raises(ConfigError):
+            api.run_instances("ami-video", count=0)
+
+    def test_instance_type_shapes(self):
+        cluster, cloud, api = make_api()
+        (iid,) = api.run_instances("ami-video", "m1.large")
+        cluster.run()
+        vm = api._vm(iid)
+        assert vm.template.vcpus == 2
+
+
+class TestTerminateAndMigrate:
+    def test_terminate(self):
+        cluster, cloud, api = make_api()
+        ids = api.run_instances("ami-video", count=2)
+        cluster.run()
+        p = cluster.engine.process(api.terminate_instances(*ids))
+        cluster.run(p)
+        assert all(d.state == "terminated" for d in api.describe_instances())
+
+    def test_migrate_instance_moves_host(self):
+        cluster, cloud, api = make_api()
+        (iid,) = api.run_instances("ami-video")
+        cluster.run()
+        src = api.describe_instances()[0].host
+        dst = [n for n in cluster.host_names[1:] if n != src][0]
+        p = cluster.engine.process(api.migrate_instance(iid, dst))
+        result = cluster.run(p)
+        assert api.describe_instances()[0].host == dst
+        assert result.downtime >= 0
+
+    def test_unknown_instance(self):
+        _, _, api = make_api()
+        with pytest.raises(ConfigError):
+            api.migrate_instance("i-deadbeef", "node1")
+
+
+class TestKeypairsImagesTags:
+    def test_keypair_lifecycle(self):
+        _, _, api = make_api()
+        material = api.create_key_pair("deploy")
+        assert "deploy" in material
+        assert api.describe_key_pairs() == ["deploy"]
+        with pytest.raises(ConfigError):
+            api.create_key_pair("deploy")
+        api.delete_key_pair("deploy")
+        assert api.describe_key_pairs() == []
+        with pytest.raises(ConfigError):
+            api.delete_key_pair("deploy")
+
+    def test_launch_with_key_injects_context(self):
+        cluster, cloud, api = make_api()
+        api.create_key_pair("deploy")
+        (iid,) = api.run_instances("ami-video", key_name="deploy")
+        cluster.run()
+        vm = api._vm(iid)
+        assert vm.context["ssh_key"] == "deploy"
+
+    def test_launch_with_unknown_key_rejected(self):
+        _, _, api = make_api()
+        with pytest.raises(ConfigError):
+            api.run_instances("ami-video", key_name="ghost")
+
+    def test_describe_images(self):
+        _, _, api = make_api()
+        images = api.describe_images()
+        assert images[0]["image_id"] == "ami-video"
+        assert images[0]["format"] == "qcow2"
+
+    def test_tags(self):
+        cluster, cloud, api = make_api()
+        (iid,) = api.run_instances("ami-video")
+        api.create_tags(iid, role="web", env="prod")
+        api.create_tags(iid, env="staging")
+        assert api.describe_tags(iid) == {"role": "web", "env": "staging"}
+        with pytest.raises(ConfigError):
+            api.create_tags("i-ffffffff", x="y")
+
+    def test_reboot(self):
+        cluster, cloud, api = make_api()
+        (iid,) = api.run_instances("ami-video")
+        cluster.run()
+        host_before = api.describe_instances()[0].host
+        t0 = cluster.now
+        cluster.run(cluster.engine.process(api.reboot_instances(iid)))
+        assert cluster.now - t0 > 10  # shutdown + boot time passed
+        desc = api.describe_instances()[0]
+        assert desc.state == "running"
+        assert desc.host == host_before
+
+    def test_reboot_pending_rejected(self):
+        cluster, cloud, api = make_api()
+        (iid,) = api.run_instances("ami-video")
+        with pytest.raises(ConfigError):
+            cluster.run(cluster.engine.process(api.reboot_instances(iid)))

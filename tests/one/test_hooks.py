@@ -1,0 +1,102 @@
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.common.units import GiB, MiB
+from repro.hardware import Cluster
+from repro.one import HookManager, OneState, OpenNebula, VmTemplate
+from repro.virt import DiskImage
+
+
+def make_cloud(n_hosts=4):
+    cluster = Cluster(n_hosts)
+    cloud = OpenNebula(cluster)
+    for name in cluster.host_names[1:]:
+        cloud.add_host(name)
+    cloud.register_image(DiskImage("img", size=1 * GiB))
+    hooks = HookManager()
+    hooks.install(cloud)
+    return cluster, cloud, hooks
+
+
+def tpl():
+    return VmTemplate(name="t", vcpus=1, memory=256 * MiB, image="img")
+
+
+class TestHookManager:
+    def test_running_hook_fires_once_per_boot(self):
+        cluster, cloud, hooks = make_cloud()
+        fired = []
+        hooks.register("on-running", OneState.RUNNING,
+                       lambda vm, old, new: fired.append(vm.name))
+        vm = cloud.instantiate(tpl())
+        cluster.run()
+        assert fired == [vm.name]
+        assert hooks.records_for("on-running")[0].state == "running"
+
+    def test_wildcard_hook_sees_every_transition(self):
+        cluster, cloud, hooks = make_cloud()
+        seen = []
+        hooks.register("audit", "*", lambda vm, old, new: seen.append(new))
+        vm = cloud.instantiate(tpl())
+        cluster.run()
+        cluster.run(cluster.engine.process(cloud.shutdown_vm(vm)))
+        assert seen == [
+            OneState.PROLOG, OneState.BOOT, OneState.RUNNING,
+            OneState.SHUTDOWN, OneState.EPILOG, OneState.DONE,
+        ]
+
+    def test_string_state_registration(self):
+        cluster, cloud, hooks = make_cloud()
+        fired = []
+        hooks.register("x", "running", lambda vm, o, n: fired.append(1))
+        cloud.instantiate(tpl())
+        cluster.run()
+        assert fired == [1]
+
+    def test_unknown_state_rejected(self):
+        _, _, hooks = make_cloud()
+        with pytest.raises(ConfigError):
+            hooks.register("bad", "warping", lambda *a: None)
+
+    def test_duplicate_name_rejected(self):
+        _, _, hooks = make_cloud()
+        hooks.register("h", "*", lambda *a: None)
+        with pytest.raises(ConfigError):
+            hooks.register("h", "*", lambda *a: None)
+
+    def test_unregister(self):
+        cluster, cloud, hooks = make_cloud()
+        fired = []
+        hooks.register("h", OneState.RUNNING, lambda *a: fired.append(1))
+        hooks.unregister("h")
+        cloud.instantiate(tpl())
+        cluster.run()
+        assert fired == []
+        with pytest.raises(ConfigError):
+            hooks.unregister("h")
+
+    def test_failure_alert_hook(self):
+        """The paper's [1]: proactive fault tolerance via a FAILED hook."""
+        cluster, cloud, hooks = make_cloud(5)
+        alerts = []
+        hooks.register("pager", OneState.FAILED,
+                       lambda vm, old, new: alerts.append((vm.name, old)))
+        vm = cloud.instantiate(tpl())
+        cluster.run()
+        cloud.fail_host(vm.host_name)
+        cluster.run()
+        assert alerts == [(vm.name, OneState.RUNNING)]
+        assert vm.state is OneState.RUNNING  # recovered elsewhere
+
+    def test_hook_run_counter(self):
+        cluster, cloud, hooks = make_cloud()
+        h = hooks.register("count", "*", lambda *a: None)
+        cloud.instantiate(tpl())
+        cloud.instantiate(tpl())
+        cluster.run()
+        assert h.runs == 6  # 2 VMs x (prolog, boot, running)
+
+    def test_double_install_rejected(self):
+        cluster, cloud, hooks = make_cloud()
+        with pytest.raises(ConfigError):
+            hooks.install(cloud)

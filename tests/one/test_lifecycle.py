@@ -1,0 +1,89 @@
+import pytest
+
+from repro.common.errors import LifecycleError
+from repro.one.lifecycle import (
+    ACTIVE_STATES,
+    LifecycleTracker,
+    OneState,
+    TRANSITIONS,
+)
+
+
+def tracker():
+    t = {"now": 0.0}
+    lt = LifecycleTracker(lambda: t["now"])
+    return lt, t
+
+
+class TestDfa:
+    def test_initial_state_pending(self):
+        lt, _ = tracker()
+        assert lt.state == OneState.PENDING
+
+    def test_happy_path_deploy(self):
+        lt, _ = tracker()
+        for s in [OneState.PROLOG, OneState.BOOT, OneState.RUNNING]:
+            lt.to(s)
+        assert lt.state == OneState.RUNNING
+        assert lt.is_active
+
+    def test_full_life(self):
+        lt, _ = tracker()
+        path = [
+            OneState.PROLOG, OneState.BOOT, OneState.RUNNING,
+            OneState.MIGRATE, OneState.RUNNING,
+            OneState.SAVE, OneState.SUSPENDED, OneState.RESUME, OneState.RUNNING,
+            OneState.SHUTDOWN, OneState.EPILOG, OneState.DONE,
+        ]
+        for s in path:
+            lt.to(s)
+        assert lt.is_final
+        assert not lt.is_active
+
+    def test_illegal_transition_rejected(self):
+        lt, _ = tracker()
+        with pytest.raises(LifecycleError):
+            lt.to(OneState.RUNNING)  # PENDING -> RUNNING skips stages
+
+    def test_done_is_terminal(self):
+        lt, _ = tracker()
+        for s in [OneState.PROLOG, OneState.BOOT, OneState.RUNNING,
+                  OneState.SHUTDOWN, OneState.EPILOG, OneState.DONE]:
+            lt.to(s)
+        for s in OneState:
+            with pytest.raises(LifecycleError):
+                lt.to(s)
+
+    def test_failed_can_resubmit(self):
+        lt, _ = tracker()
+        lt.to(OneState.PROLOG)
+        lt.to(OneState.FAILED)
+        lt.to(OneState.PENDING)
+        assert lt.state == OneState.PENDING
+
+    def test_history_timestamps(self):
+        lt, t = tracker()
+        t["now"] = 2.0
+        lt.to(OneState.PROLOG)
+        t["now"] = 5.0
+        lt.to(OneState.BOOT)
+        assert lt.time_entered(OneState.PROLOG) == 2.0
+        assert lt.time_entered(OneState.BOOT) == 5.0
+        assert lt.time_entered(OneState.DONE) is None
+
+    def test_every_transition_target_is_a_known_state(self):
+        for src, targets in TRANSITIONS.items():
+            assert isinstance(src, OneState)
+            for t in targets:
+                assert t in TRANSITIONS
+
+    def test_every_active_state_can_eventually_finish(self):
+        """From any active state, DONE or FAILED is reachable (no traps)."""
+        for start in ACTIVE_STATES:
+            seen = set()
+            frontier = {start}
+            while frontier:
+                s = frontier.pop()
+                seen.add(s)
+                frontier |= TRANSITIONS[s] - seen
+            assert OneState.DONE in seen or OneState.FAILED in seen, start

@@ -1,0 +1,74 @@
+"""Property-based exploration of the lifecycle DFA."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.common.errors import LifecycleError
+from repro.one.lifecycle import (
+    ACTIVE_STATES,
+    FINAL_STATES,
+    LifecycleTracker,
+    OneState,
+    TRANSITIONS,
+)
+
+
+def walk(choices):
+    """Drive a tracker with a list of choice indices; returns it."""
+    t = {"now": 0.0}
+    lt = LifecycleTracker(lambda: t["now"])
+    for c in choices:
+        targets = sorted(TRANSITIONS[lt.state], key=lambda s: s.value)
+        if not targets:
+            break
+        t["now"] += 1.0
+        lt.to(targets[c % len(targets)])
+    return lt
+
+
+class TestDfaProperties:
+    @given(st.lists(st.integers(min_value=0, max_value=10), max_size=40))
+    @settings(max_examples=100, deadline=None)
+    def test_random_walks_never_reach_illegal_states(self, choices):
+        lt = walk(choices)
+        # every visited state was reached through a declared transition
+        for (t0, a), (t1, b) in zip(lt.history, lt.history[1:]):
+            assert b in TRANSITIONS[a]
+            assert t1 >= t0
+
+    @given(st.lists(st.integers(min_value=0, max_value=10), max_size=40))
+    @settings(max_examples=100, deadline=None)
+    def test_active_final_flags_consistent(self, choices):
+        lt = walk(choices)
+        assert lt.is_active == (lt.state in ACTIVE_STATES)
+        assert lt.is_final == (lt.state in FINAL_STATES)
+        if lt.is_final:
+            for s in OneState:
+                with pytest.raises(LifecycleError):
+                    lt.to(s)
+
+    @given(st.lists(st.integers(min_value=0, max_value=10), min_size=1,
+                    max_size=40))
+    @settings(max_examples=100, deadline=None)
+    def test_history_is_append_only_and_timestamps_monotone(self, choices):
+        lt = walk(choices)
+        times = [t for t, _ in lt.history]
+        assert times == sorted(times)
+        assert lt.history[0][1] is OneState.PENDING
+        assert lt.history[-1][1] is lt.state
+
+    @given(st.lists(st.integers(min_value=0, max_value=10), max_size=40))
+    @settings(max_examples=100, deadline=None)
+    def test_listeners_see_every_transition(self, choices):
+        t = {"now": 0.0}
+        lt = LifecycleTracker(lambda: t["now"])
+        seen = []
+        lt.listeners.append(lambda old, new: seen.append((old, new)))
+        for c in choices:
+            targets = sorted(TRANSITIONS[lt.state], key=lambda s: s.value)
+            if not targets:
+                break
+            lt.to(targets[c % len(targets)])
+        assert len(seen) == len(lt.history) - 1
+        for old, new in seen:
+            assert new in TRANSITIONS[old]

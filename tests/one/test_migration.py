@@ -1,0 +1,179 @@
+import pytest
+
+from repro.common.calibration import Calibration, MigrationModel
+from repro.common.errors import LifecycleError, MigrationError
+from repro.common.units import GiB, MiB
+from repro.hardware import Cluster
+from repro.one import OneState, OpenNebula, VmTemplate
+from repro.one.migration import precopy_migrate, postcopy_migrate
+from repro.virt import DiskImage, Kvm
+
+
+def cloud_with_running_vm(dirty_rate=0.0, memory=1 * GiB, n_hosts=4):
+    cluster = Cluster(n_hosts)
+    cloud = OpenNebula(cluster)
+    for name in cluster.host_names[1:]:
+        cloud.add_host(name)
+    cloud.register_image(DiskImage("img", size=1 * GiB))
+    tpl = VmTemplate(name="t", vcpus=1, memory=memory, image="img",
+                     dirty_rate=dirty_rate)
+    vm = cloud.instantiate(tpl)
+    cluster.run()
+    assert vm.state == OneState.RUNNING
+    return cluster, cloud, vm
+
+
+def other_host(cluster, cloud, vm):
+    for rec in cloud.host_pool:
+        if rec.host.name != vm.host_name:
+            return rec.host.name
+    raise AssertionError("no other host")
+
+
+class TestPrecopy:
+    def test_idle_vm_two_rounds(self):
+        cluster, cloud, vm = cloud_with_running_vm(dirty_rate=0.0)
+        dst = other_host(cluster, cloud, vm)
+        p = cluster.engine.process(cloud.live_migrate(vm, dst, "precopy"))
+        result = cluster.run(p)
+        assert result.kind == "precopy"
+        assert result.converged
+        assert vm.state == OneState.RUNNING
+        assert vm.host_name == dst
+        # idle guest: round 1 moves all RAM, nothing dirtied, tiny stop-copy
+        assert result.rounds == 1
+        assert result.downtime < 0.5
+
+    def test_downtime_much_smaller_than_total(self):
+        cluster, cloud, vm = cloud_with_running_vm(dirty_rate=20 * MiB)
+        dst = other_host(cluster, cloud, vm)
+        p = cluster.engine.process(cloud.live_migrate(vm, dst, "precopy"))
+        result = cluster.run(p)
+        assert result.downtime < result.total_time / 5
+
+    def test_dirtier_guest_more_rounds_and_bytes(self):
+        def migrate(rate):
+            cluster, cloud, vm = cloud_with_running_vm(dirty_rate=rate)
+            dst = other_host(cluster, cloud, vm)
+            p = cluster.engine.process(cloud.live_migrate(vm, dst, "precopy"))
+            return cluster.run(p)
+
+        calm = migrate(5 * MiB)
+        busy = migrate(60 * MiB)
+        assert busy.rounds >= calm.rounds
+        assert busy.bytes_transferred > calm.bytes_transferred
+
+    def test_non_convergent_guest_hits_round_cap_or_stops(self):
+        # dirty faster than the ~112 MB/s effective link
+        cluster, cloud, vm = cloud_with_running_vm(dirty_rate=400 * MiB)
+        dst = other_host(cluster, cloud, vm)
+        p = cluster.engine.process(cloud.live_migrate(vm, dst, "precopy"))
+        result = cluster.run(p)
+        # still completes (stop-and-copy forces it) but reports non-convergence
+        assert vm.host_name == dst
+        assert not result.converged
+
+    def test_memory_accounting_moves(self):
+        cluster, cloud, vm = cloud_with_running_vm()
+        src = vm.host_name
+        dst = other_host(cluster, cloud, vm)
+        p = cluster.engine.process(cloud.live_migrate(vm, dst, "precopy"))
+        cluster.run(p)
+        assert cluster.host(src).memory_used == 0
+        assert cluster.host(dst).memory_used == vm.domain.memory
+
+    def test_placement_history_records_migration(self):
+        cluster, cloud, vm = cloud_with_running_vm()
+        dst = other_host(cluster, cloud, vm)
+        p = cluster.engine.process(cloud.live_migrate(vm, dst, "precopy"))
+        cluster.run(p)
+        assert vm.placements[-1].reason == "migrate"
+        assert vm.placements[-1].host == dst
+        assert vm.placements[-2].end is not None
+
+    def test_log_records_figures_8_to_10_events(self):
+        """The web UI shows: submitted -> migrating -> successful."""
+        cluster, cloud, vm = cloud_with_running_vm()
+        dst = other_host(cluster, cloud, vm)
+        p = cluster.engine.process(cloud.live_migrate(vm, dst, "precopy"))
+        cluster.run(p)
+        kinds = [r.kind for r in cloud.log.records(source="one.migration")]
+        assert kinds[0] == "migrate_start"
+        assert kinds[-1] == "migrate_done"
+
+    def test_migrate_requires_running(self):
+        cluster, cloud, vm = cloud_with_running_vm()
+        cluster.engine.process(cloud.shutdown_vm(vm))
+        cluster.run()
+        with pytest.raises(LifecycleError):
+            cloud.live_migrate(vm, "node2")
+
+    def test_migrate_to_same_host_rejected(self):
+        cluster, cloud, vm = cloud_with_running_vm()
+        hv = cloud.host_record(vm.host_name).hypervisor
+        with pytest.raises(MigrationError):
+            next(precopy_migrate(cluster, vm.domain, hv, hv))
+
+    def test_migrate_to_full_host_rejected(self):
+        cluster, cloud, vm = cloud_with_running_vm()
+        dst = other_host(cluster, cloud, vm)
+        dst_host = cluster.host(dst)
+        dst_host.allocate_memory(dst_host.memory_free)  # fill it
+        hv_src = cloud.host_record(vm.host_name).hypervisor
+        hv_dst = cloud.host_record(dst).hypervisor
+        with pytest.raises(MigrationError):
+            next(precopy_migrate(cluster, vm.domain, hv_src, hv_dst))
+
+
+class TestPostcopy:
+    def test_postcopy_downtime_tiny_and_constant(self):
+        cluster, cloud, vm = cloud_with_running_vm(dirty_rate=60 * MiB)
+        dst = other_host(cluster, cloud, vm)
+        p = cluster.engine.process(cloud.live_migrate(vm, dst, "postcopy"))
+        result = cluster.run(p)
+        assert result.kind == "postcopy"
+        assert result.downtime < 0.5
+        assert result.degradation_time > 0
+        assert vm.host_name == dst
+
+    def test_postcopy_beats_precopy_downtime_for_dirty_guest(self):
+        def run(kind):
+            cluster, cloud, vm = cloud_with_running_vm(dirty_rate=100 * MiB)
+            dst = other_host(cluster, cloud, vm)
+            p = cluster.engine.process(cloud.live_migrate(vm, dst, kind))
+            return cluster.run(p)
+
+        pre = run("precopy")
+        post = run("postcopy")
+        assert post.downtime < pre.downtime
+
+    def test_postcopy_total_bytes_is_single_pass(self):
+        cluster, cloud, vm = cloud_with_running_vm(dirty_rate=100 * MiB)
+        dst = other_host(cluster, cloud, vm)
+        p = cluster.engine.process(cloud.live_migrate(vm, dst, "postcopy"))
+        result = cluster.run(p)
+        inflate = 1.0 / cluster.cal.migration.link_efficiency
+        assert result.bytes_transferred < (vm.domain.memory + 16 * MiB) * inflate
+
+
+class TestMigrationKnobs:
+    def test_unknown_kind_rejected(self):
+        cluster, cloud, vm = cloud_with_running_vm()
+        with pytest.raises(Exception):
+            cloud.live_migrate(vm, other_host(cluster, cloud, vm), kind="warp")
+
+    def test_round_cap_bounds_rounds(self):
+        cal = Calibration(migration=MigrationModel(max_precopy_rounds=3))
+        cluster = Cluster(3, cal=cal)
+        cloud = OpenNebula(cluster)
+        for name in cluster.host_names[1:]:
+            cloud.add_host(name)
+        cloud.register_image(DiskImage("img", size=1 * GiB))
+        tpl = VmTemplate(name="t", vcpus=1, memory=1 * GiB, image="img",
+                         dirty_rate=400 * MiB)
+        vm = cloud.instantiate(tpl)
+        cluster.run()
+        dst = [n for n in cluster.host_names[1:] if n != vm.host_name][0]
+        p = cluster.engine.process(cloud.live_migrate(vm, dst, "precopy"))
+        result = cluster.run(p)
+        assert result.rounds <= 3

@@ -1,0 +1,235 @@
+import pytest
+
+from repro.common.errors import ConfigError, PlacementError
+from repro.common.units import GiB, MiB
+from repro.hardware import Cluster
+from repro.one import (
+    CapacityManager,
+    MonitoringService,
+    OneState,
+    OpenNebula,
+    Role,
+    ServiceManager,
+    ServiceTemplate,
+    VmTemplate,
+    free_memory_at_least,
+    host_name_in,
+    rank_free_memory,
+)
+from repro.virt import DiskImage
+
+
+def make_cloud(n_hosts=4, **kw):
+    cluster = Cluster(n_hosts)
+    cloud = OpenNebula(cluster, **kw)
+    for name in cluster.host_names[1:]:
+        cloud.add_host(name)
+    cloud.register_image(DiskImage("img", size=1 * GiB))
+    return cluster, cloud
+
+
+def tpl(**kw):
+    d = dict(name="t", vcpus=1, memory=256 * MiB, image="img")
+    d.update(kw)
+    return VmTemplate(**d)
+
+
+class TestCapacityManager:
+    def test_unknown_policy(self):
+        with pytest.raises(ConfigError):
+            CapacityManager("roulette")
+
+    def test_requirement_filters_hosts(self):
+        cluster, cloud = make_cloud()
+        t = tpl(requirements=(host_name_in("node3"),))
+        vm = cloud.instantiate(t)
+        cluster.run()
+        assert vm.host_name == "node3"
+
+    def test_unsatisfiable_requirement(self):
+        cluster, cloud = make_cloud()
+        t = tpl(requirements=(host_name_in("ghost"),))
+        vm = cloud.instantiate(t)
+        cluster.run(until=20)
+        assert vm.state is OneState.PENDING
+
+    def test_free_memory_requirement(self):
+        cluster, cloud = make_cloud()
+        # require 100 GiB headroom: impossible on 8 GiB hosts
+        t = tpl(requirements=(free_memory_at_least(100 * GiB),))
+        vm = cloud.instantiate(t)
+        cluster.run(until=20)
+        assert vm.state is OneState.PENDING
+
+    def test_template_rank_overrides_policy(self):
+        cluster, cloud = make_cloud(placement_policy="packing")
+        # pre-load node1 so it has the least free memory
+        cluster.host("node1").allocate_memory(4 * GiB)
+        t = tpl(rank=rank_free_memory)
+        vm = cloud.instantiate(t)
+        cluster.run()
+        assert vm.host_name in ("node2", "node3")
+
+    def test_dead_host_skipped(self):
+        cluster, cloud = make_cloud()
+        for name in ("node1", "node2"):
+            cluster.host(name).alive = False
+        vm = cloud.instantiate(tpl())
+        cluster.run()
+        assert vm.host_name == "node3"
+
+    def test_no_host_raises_placement_error_directly(self):
+        cluster, cloud = make_cloud()
+        cm = CapacityManager()
+        vm = cloud.instantiate(tpl(memory=10**15))
+        with pytest.raises(PlacementError):
+            cm.select_host(vm, cloud.host_pool)
+
+
+class TestServiceManager:
+    def web_db_template(self):
+        db = Role("db", tpl(name="db", memory=512 * MiB))
+        web = Role("web", tpl(name="web"), cardinality=2, depends_on=("db",))
+        return ServiceTemplate("shop", roles=[web, db])
+
+    def test_boot_order_respects_dependencies(self):
+        st = self.web_db_template()
+        order = [r.name for r in st.boot_order()]
+        assert order.index("db") < order.index("web")
+
+    def test_cycle_detected(self):
+        a = Role("a", tpl(), depends_on=("b",))
+        b = Role("b", tpl(), depends_on=("a",))
+        with pytest.raises(ConfigError):
+            ServiceTemplate("bad", roles=[a, b]).boot_order()
+
+    def test_deploy_brings_up_all_roles(self):
+        cluster, cloud = make_cloud()
+        mgr = ServiceManager(cloud)
+        p = cluster.engine.process(mgr.deploy(self.web_db_template()))
+        service = cluster.run(p)
+        assert service.healthy
+        assert len(service.vms_by_role["web"]) == 2
+        assert len(service.vms_by_role["db"]) == 1
+
+    def test_db_running_before_web_boots(self):
+        cluster, cloud = make_cloud()
+        mgr = ServiceManager(cloud)
+        p = cluster.engine.process(mgr.deploy(self.web_db_template()))
+        cluster.run(p)
+        db_vm = mgr.services["shop"].vms_by_role["db"][0]
+        web_vm = mgr.services["shop"].vms_by_role["web"][0]
+        db_running = db_vm.lifecycle.time_entered(OneState.RUNNING)
+        web_prolog = web_vm.lifecycle.time_entered(OneState.PROLOG)
+        assert db_running <= web_prolog
+
+    def test_context_directory_delivered(self):
+        cluster, cloud = make_cloud()
+        mgr = ServiceManager(cloud)
+        p = cluster.engine.process(mgr.deploy(self.web_db_template()))
+        service = cluster.run(p)
+        web_vm = service.vms_by_role["web"][0]
+        assert web_vm.context["service"] == "shop"
+        assert web_vm.context["roles"]["db"] == service.role_ips("db")
+
+    def test_teardown_shuts_all_down(self):
+        cluster, cloud = make_cloud()
+        mgr = ServiceManager(cloud)
+        p = cluster.engine.process(mgr.deploy(self.web_db_template()))
+        service = cluster.run(p)
+        p2 = cluster.engine.process(mgr.teardown("shop"))
+        cluster.run(p2)
+        assert all(vm.state is OneState.DONE for vm in service.vms)
+        assert "shop" not in mgr.services
+
+    def test_double_deploy_rejected(self):
+        cluster, cloud = make_cloud()
+        mgr = ServiceManager(cloud)
+        p = cluster.engine.process(mgr.deploy(self.web_db_template()))
+        cluster.run(p)
+        with pytest.raises(ConfigError):
+            mgr.deploy(self.web_db_template())
+
+    def test_teardown_unknown_service(self):
+        _, cloud = make_cloud()
+        mgr = ServiceManager(cloud)
+        with pytest.raises(ConfigError):
+            mgr.teardown("nope")
+
+    def test_bad_cardinality(self):
+        with pytest.raises(ConfigError):
+            Role("r", tpl(), cardinality=0)
+
+
+class TestMonitoring:
+    def test_poll_populates_history(self):
+        cluster, cloud = make_cloud()
+        mon = MonitoringService(cloud, period=10)
+        cloud.instantiate(tpl())
+        cluster.run()
+        p = cluster.engine.process(mon.run(sweeps=3))
+        cluster.run(p)
+        for rec in cloud.host_pool:
+            assert len(mon.history[rec.host.name]) == 3
+
+    def test_snapshot_lists_all_hosts(self):
+        cluster, cloud = make_cloud()
+        mon = MonitoringService(cloud)
+        vm = cloud.instantiate(tpl())
+        cluster.run()
+        p = cluster.engine.process(mon.poll_once())
+        cluster.run(p)
+        snap = mon.snapshot()
+        for name in cluster.host_names[1:]:
+            assert name in snap
+        assert "VMS" in snap
+
+    def test_vm_table_shows_state_and_ip(self):
+        cluster, cloud = make_cloud()
+        vm = cloud.instantiate(tpl())
+        cluster.run()
+        mon = MonitoringService(cloud)
+        table = mon.vm_table()
+        assert "RUNNING" in table
+        assert vm.context["ip"] in table
+
+    def test_latest_none_before_poll(self):
+        _, cloud = make_cloud()
+        mon = MonitoringService(cloud)
+        assert mon.latest("node1") is None
+
+
+class TestIntervalUtilisation:
+    def test_interval_util_reflects_recent_load(self):
+        from repro.common.units import GHz
+
+        cluster, cloud = make_cloud()
+        mon = MonitoringService(cloud, period=10)
+        host = cluster.host("node1")
+
+        def core_burner():
+            # 8 x 1 s chunks: work *completes* inside the sweep window
+            # (the busy ledger is credited at chunk completion)
+            for _ in range(8):
+                yield cluster.engine.process(host.compute(host.cpu_hz))
+
+        def burn():
+            yield cluster.engine.timeout(0.0)
+            for _ in range(host.cores):
+                cluster.engine.process(core_burner())
+
+        def flow():
+            yield cluster.engine.process(mon.poll_once())
+            yield cluster.engine.process(burn())
+            yield cluster.engine.timeout(10.0)
+            yield cluster.engine.process(mon.poll_once())
+
+        cluster.run(cluster.engine.process(flow()))
+        assert mon.interval_util["node1"] > 0.7
+        assert mon.interval_util.get("node2", 0.0) < 0.1
+
+    def test_no_interval_before_second_sweep(self):
+        cluster, cloud = make_cloud()
+        mon = MonitoringService(cloud)
+        cluster.run(cluster.engine.process(mon.poll_once()))
+        assert mon.interval_util == {}

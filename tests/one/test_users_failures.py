@@ -1,0 +1,224 @@
+import pytest
+
+from repro.common.errors import AuthError, ConfigError
+from repro.common.units import GiB, MiB
+from repro.hardware import Cluster
+from repro.one import (
+    AclRule,
+    AclService,
+    OneState,
+    OpenNebula,
+    UserPool,
+    VmTemplate,
+)
+from repro.virt import DiskImage, KvmVirtio, VirtualMachine, WorkKind
+
+
+def make_cloud(n_hosts=4, **kw):
+    cluster = Cluster(n_hosts)
+    cloud = OpenNebula(cluster, **kw)
+    for name in cluster.host_names[1:]:
+        cloud.add_host(name)
+    cloud.register_image(DiskImage("img", size=1 * GiB))
+    return cluster, cloud
+
+
+def tpl(**kw):
+    d = dict(name="t", vcpus=1, memory=512 * MiB, image="img")
+    d.update(kw)
+    return VmTemplate(**d)
+
+
+class TestUserPool:
+    def test_oneadmin_exists(self):
+        pool = UserPool()
+        assert pool.get("oneadmin").group == "oneadmin"
+
+    def test_create_and_duplicate(self):
+        pool = UserPool()
+        pool.create("kuan")
+        with pytest.raises(ConfigError):
+            pool.create("kuan")
+
+    def test_unknown_user(self):
+        with pytest.raises(AuthError):
+            UserPool().get("ghost")
+
+    def test_negative_quota_rejected(self):
+        pool = UserPool()
+        with pytest.raises(ConfigError):
+            pool.create("x", quota_vms=-1)
+
+
+class TestAcl:
+    def test_users_manage_own_only(self):
+        pool = UserPool()
+        pool.create("alice")
+        pool.create("bob")
+        acl = AclService(pool)
+        assert acl.allowed("alice", "manage", "alice")
+        assert not acl.allowed("alice", "manage", "bob")
+        assert acl.allowed("oneadmin", "manage", "bob")
+
+    def test_admin_action_restricted(self):
+        pool = UserPool()
+        pool.create("alice")
+        acl = AclService(pool)
+        assert not acl.allowed("alice", "admin", "alice")
+        assert acl.allowed("oneadmin", "admin", "alice")
+
+    def test_custom_rule(self):
+        pool = UserPool()
+        pool.create("op", group="operators")
+        acl = AclService(pool)
+        assert not acl.allowed("op", "admin", "someone")
+        acl.add_rule(AclRule("@operators", "admin", "*"))
+        assert acl.allowed("op", "admin", "someone")
+
+    def test_require_raises(self):
+        pool = UserPool()
+        pool.create("alice")
+        pool.create("bob")
+        acl = AclService(pool)
+        with pytest.raises(AuthError):
+            acl.require("alice", "manage", "bob")
+
+    def test_bad_rule_validation(self):
+        with pytest.raises(ConfigError):
+            AclRule("x", "fly")
+        with pytest.raises(ConfigError):
+            AclRule("x", "use", scope="everywhere")
+
+
+class TestQuotas:
+    def test_vm_quota_enforced(self):
+        cluster, cloud = make_cloud()
+        cloud.users.create("kuan", quota_vms=2)
+        cloud.instantiate(tpl(), owner="kuan")
+        cloud.instantiate(tpl(), owner="kuan")
+        with pytest.raises(AuthError, match="VM quota"):
+            cloud.instantiate(tpl(), owner="kuan")
+
+    def test_memory_quota_enforced(self):
+        cluster, cloud = make_cloud()
+        cloud.users.create("kuan", quota_memory=1 * GiB)
+        cloud.instantiate(tpl(memory=768 * MiB), owner="kuan")
+        with pytest.raises(AuthError, match="memory quota"):
+            cloud.instantiate(tpl(memory=512 * MiB), owner="kuan")
+
+    def test_quota_frees_after_shutdown(self):
+        cluster, cloud = make_cloud()
+        cloud.users.create("kuan", quota_vms=1)
+        vm = cloud.instantiate(tpl(), owner="kuan")
+        cluster.run()
+        cluster.run(cluster.engine.process(cloud.shutdown_vm(vm)))
+        cloud.instantiate(tpl(), owner="kuan")  # fits again
+
+    def test_unknown_owner_rejected(self):
+        _, cloud = make_cloud()
+        with pytest.raises(AuthError):
+            cloud.instantiate(tpl(), owner="ghost")
+
+    def test_oneadmin_unlimited(self):
+        cluster, cloud = make_cloud()
+        for _ in range(5):
+            cloud.instantiate(tpl())
+        cluster.run()
+
+    def test_manage_check_on_shutdown(self):
+        cluster, cloud = make_cloud()
+        cloud.users.create("alice")
+        cloud.users.create("bob")
+        vm = cloud.instantiate(tpl(), owner="alice")
+        cluster.run()
+        with pytest.raises(AuthError):
+            cloud.shutdown_vm(vm, as_user="bob")
+        cluster.run(cluster.engine.process(cloud.shutdown_vm(vm, as_user="alice")))
+        assert vm.state is OneState.DONE
+
+
+class TestHostFailure:
+    def test_vms_resubmitted_and_redeployed(self):
+        cluster, cloud = make_cloud(5)
+        vms = [cloud.instantiate(tpl()) for _ in range(3)]
+        cluster.run()
+        victim_host = vms[0].host_name
+        affected = cloud.fail_host(victim_host)
+        assert vms[0] in affected
+        cluster.run()
+        # every affected VM is RUNNING again, elsewhere
+        for vm in affected:
+            assert vm.state is OneState.RUNNING
+            assert vm.host_name != victim_host
+        # the crash is visible in the history
+        states = [s for _, s in affected[0].lifecycle.history]
+        assert OneState.FAILED in states
+
+    def test_memory_ledger_consistent_after_failure(self):
+        cluster, cloud = make_cloud(5)
+        vm = cloud.instantiate(tpl())
+        cluster.run()
+        rec = cloud.host_record(vm.host_name)
+        cloud.fail_host(vm.host_name)
+        assert rec.host.memory_used == 0
+
+    def test_no_resubmit_leaves_failed(self):
+        cluster, cloud = make_cloud(5)
+        vm = cloud.instantiate(tpl())
+        cluster.run()
+        cloud.fail_host(vm.host_name, resubmit=False)
+        cluster.run()
+        assert vm.state is OneState.FAILED
+
+    def test_dead_host_not_chosen_again(self):
+        cluster, cloud = make_cloud(4)
+        vm = cloud.instantiate(tpl())
+        cluster.run()
+        dead = vm.host_name
+        cloud.fail_host(dead)
+        cluster.run()
+        for v in cloud.vm_pool.values():
+            assert v.host_name != dead
+
+
+class TestVirtioMode:
+    def test_virtio_io_between_para_and_full(self):
+        from repro.common.units import GHz
+        from repro.virt import Kvm, XenPv
+
+        def io_time(hv_cls):
+            cluster = Cluster(1)
+            hv = hv_cls(cluster.hosts[0])
+            vm = VirtualMachine("g", vcpus=1, memory=256 * MiB,
+                                image=DiskImage("i", size=1 * GiB))
+            hv.define(vm)
+            hv.start(vm)
+            p = cluster.engine.process(vm.run_work(5 * GHz, WorkKind.IO))
+            cluster.run(p)
+            return cluster.now
+
+        para, virtio, full = io_time(XenPv), io_time(KvmVirtio), io_time(Kvm)
+        assert para <= virtio < full
+
+    def test_virtio_cpu_matches_kvm(self):
+        from repro.common.units import GHz
+        from repro.virt import Kvm
+
+        def cpu_time(hv_cls):
+            cluster = Cluster(1)
+            hv = hv_cls(cluster.hosts[0])
+            vm = VirtualMachine("g", vcpus=1, memory=256 * MiB,
+                                image=DiskImage("i", size=1 * GiB))
+            hv.define(vm)
+            hv.start(vm)
+            p = cluster.engine.process(vm.run_work(5 * GHz, WorkKind.CPU))
+            cluster.run(p)
+            return cluster.now
+
+        assert cpu_time(KvmVirtio) == cpu_time(Kvm)
+
+    def test_cloud_can_enrol_virtio_hosts(self):
+        cluster = Cluster(3)
+        cloud = OpenNebula(cluster, hypervisor="kvm-virtio")
+        rec = cloud.add_host("node1")
+        assert rec.hypervisor.mode == "virtio"

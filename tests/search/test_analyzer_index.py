@@ -1,0 +1,129 @@
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.common.errors import SearchError
+from repro.search import (
+    Document,
+    InvertedIndex,
+    analyze,
+    analyze_terms,
+    strip_plural,
+)
+
+
+class TestAnalyzer:
+    def test_lowercase_tokens(self):
+        assert analyze_terms("Hello WORLD") == ["hello", "world"]
+
+    def test_stopwords_dropped(self):
+        assert analyze_terms("the cat and the hat") == ["cat", "hat"]
+
+    def test_positions_preserved_across_stopwords(self):
+        terms = analyze("the nobody song")
+        # 'the'(0) dropped, nobody at 1, song at 2
+        assert terms == [("nobody", 1), ("song", 2)]
+
+    def test_plural_stemming(self):
+        assert analyze_terms("videos") == ["video"]
+        assert analyze_terms("ladies") == ["lady"]
+        assert analyze_terms("classes") == ["class"]  # sses -> ss rule
+        assert analyze_terms("boss") == ["boss"]
+
+    def test_stem_disabled(self):
+        assert analyze_terms("videos", stem=False) == ["videos"]
+
+    def test_numbers_and_apostrophes(self):
+        assert analyze_terms("top-10 can't stop") == ["top", "10", "can't", "stop"]
+
+    def test_strip_plural_short_words(self):
+        assert strip_plural("is") == "is"
+        assert strip_plural("gas") == "gas"
+
+    @given(st.text(max_size=200))
+    def test_analyze_never_crashes_and_terms_are_clean(self, text):
+        for term, pos in analyze(text):
+            assert term == term.lower()
+            assert pos >= 0
+            assert term not in ("the", "and")
+
+
+def doc(doc_id, title, desc="", **stored):
+    return Document(doc_id, {"title": title, "description": desc}, stored)
+
+
+class TestInvertedIndex:
+    def test_add_and_postings(self):
+        idx = InvertedIndex()
+        idx.add(doc("v1", "Nobody Song", "a song about nobody"))
+        idx.finalize()
+        assert idx.doc_count == 1
+        assert idx.doc_frequency("nobody") == 1
+        posts = idx.postings["nobody"]
+        assert {p.field for p in posts} == {"title", "description"}
+
+    def test_tf_counted(self):
+        idx = InvertedIndex()
+        idx.add(doc("v1", "cloud cloud cloud"))
+        (p,) = [p for p in idx.postings["cloud"] if p.field == "title"]
+        assert p.tf == 3
+        assert len(p.positions) == 3
+
+    def test_duplicate_doc_rejected(self):
+        idx = InvertedIndex()
+        idx.add(doc("v1", "a b"))
+        with pytest.raises(SearchError):
+            idx.add(doc("v1", "c d"))
+
+    def test_empty_doc_rejected(self):
+        with pytest.raises(SearchError):
+            Document("x", {})
+        with pytest.raises(SearchError):
+            Document("", {"title": "y"})
+
+    def test_merge(self):
+        a, b = InvertedIndex(), InvertedIndex()
+        a.add(doc("v1", "alpha"))
+        b.add(doc("v2", "alpha beta"))
+        a.merge(b)
+        a.finalize()
+        assert a.doc_count == 2
+        assert a.doc_frequency("alpha") == 2
+
+    def test_merge_duplicate_rejected(self):
+        a, b = InvertedIndex(), InvertedIndex()
+        a.add(doc("v1", "x"))
+        b.add(doc("v1", "y"))
+        with pytest.raises(SearchError):
+            a.merge(b)
+
+    def test_serialization_roundtrip(self):
+        idx = InvertedIndex()
+        idx.add(doc("v1", "Nobody Song", "the nobody video", views=42))
+        idx.add(doc("v2", "Cloud talk", "clouds everywhere"))
+        idx.finalize()
+        data = idx.to_bytes()
+        back = InvertedIndex.from_bytes(data)
+        assert back.doc_count == 2
+        assert back.docs["v1"].stored["views"] == 42
+        assert back.postings.keys() == idx.postings.keys()
+        assert back.field_lengths == idx.field_lengths
+
+    def test_corrupt_bytes_rejected(self):
+        with pytest.raises(SearchError):
+            InvertedIndex.from_bytes(b"\xff\xfenot json")
+
+    def test_terms_sorted(self):
+        idx = InvertedIndex()
+        idx.add(doc("v1", "zebra apple mango"))
+        assert idx.terms() == sorted(idx.terms())
+
+    @given(st.lists(st.text(alphabet="abc ", min_size=1, max_size=30), min_size=1,
+                    max_size=8, unique=True))
+    def test_property_roundtrip_arbitrary_titles(self, titles):
+        idx = InvertedIndex()
+        for i, t in enumerate(titles):
+            idx.add(Document(f"d{i}", {"title": t}))
+        idx.finalize()
+        back = InvertedIndex.from_bytes(idx.to_bytes())
+        assert back.doc_count == idx.doc_count
+        assert back.terms() == idx.terms()

@@ -1,0 +1,222 @@
+import pytest
+
+from repro.common.errors import SearchError
+from repro.common.units import KiB
+from repro.hardware import Cluster
+from repro.hdfs import Hdfs
+from repro.search import (
+    Document,
+    Page,
+    SearchEngine,
+    StaticSite,
+    build_index_mapreduce,
+    build_index_sequential,
+    crawl,
+    doc_to_line,
+    line_to_doc,
+    load_index,
+    save_index,
+    write_crawl_segment,
+)
+
+
+def corpus(n=20):
+    docs = []
+    words = ["cloud", "video", "nobody", "song", "cat", "concert", "parody",
+             "kvm", "hadoop", "nutch"]
+    for i in range(n):
+        w1, w2, w3 = words[i % 10], words[(i * 3 + 1) % 10], words[(i * 7 + 2) % 10]
+        docs.append(Document(
+            f"v{i}",
+            {"title": f"{w1} {w2} show {i}",
+             "description": f"a video about {w1} and {w3}",
+             "tags": w2},
+            {"views": i * 10},
+        ))
+    return docs
+
+
+def heavy_corpus(n=300, desc_words=150):
+    words = ["cloud", "video", "nobody", "song", "cat", "concert", "parody",
+             "kvm", "hadoop", "nutch", "stream", "music", "girl", "wonder"]
+    docs = []
+    for i in range(n):
+        desc = " ".join(words[(i + j) % len(words)] for j in range(desc_words))
+        docs.append(Document(
+            f"v{i}", {"title": f"{words[i % 14]} show {i}", "description": desc}))
+    return docs
+
+
+def make_env(n_hosts=5, block_size=2 * KiB):
+    cluster = Cluster(n_hosts)
+    fs = Hdfs(cluster, block_size=block_size, replication=2)
+    return cluster, fs
+
+
+class TestSegmentSerialization:
+    def test_doc_line_roundtrip(self):
+        d = corpus(1)[0]
+        back = line_to_doc(doc_to_line(d))
+        assert back.doc_id == d.doc_id
+        assert back.fields == d.fields
+        assert back.stored == d.stored
+
+    def test_corrupt_line(self):
+        with pytest.raises(SearchError):
+            line_to_doc("{not json")
+
+
+class TestIndexBuilders:
+    def test_mapreduce_and_sequential_agree(self):
+        cluster, fs = make_env()
+        docs = corpus(20)
+        cluster.run(cluster.engine.process(write_crawl_segment(fs, docs, "/seg/0")))
+        mr_index, job = cluster.run(cluster.engine.process(
+            build_index_mapreduce(fs, ["/seg/0"])))
+        seq_index, dur = cluster.run(cluster.engine.process(
+            build_index_sequential(fs, ["/seg/0"])))
+        assert mr_index.doc_count == seq_index.doc_count == 20
+        assert mr_index.terms() == seq_index.terms()
+        for term in mr_index.terms():
+            assert mr_index.doc_frequency(term) == seq_index.doc_frequency(term)
+
+    def test_mapreduce_build_produces_searchable_index(self):
+        cluster, fs = make_env()
+        docs = corpus(10)
+        cluster.run(cluster.engine.process(write_crawl_segment(fs, docs, "/seg/0")))
+        index, job = cluster.run(cluster.engine.process(
+            build_index_mapreduce(fs, ["/seg/0"])))
+        from repro.search import execute
+        hits = execute(index, "nobody")
+        assert hits
+        assert job.duration > 0
+
+    def test_mapreduce_faster_than_sequential_on_large_corpus(self):
+        """C2: the distributed build shortens index construction at scale.
+
+        Analysis CPU is cranked up so the (test-sized) corpus behaves like a
+        CPU-bound web-scale crawl; the bench (E09) sweeps real sizes.
+        """
+        from repro.common.calibration import Calibration, HadoopModel
+        cal = Calibration(hadoop=HadoopModel(
+            index_cpu_per_byte=2e-5, task_launch_overhead=0.05))
+        cluster = Cluster(8, cal=cal)
+        fs = Hdfs(cluster, block_size=64 * KiB, replication=2)
+        docs = heavy_corpus(300)
+        cluster.run(cluster.engine.process(write_crawl_segment(fs, docs, "/seg/0")))
+        _, job = cluster.run(cluster.engine.process(
+            build_index_mapreduce(fs, ["/seg/0"], num_reduces=4)))
+        _, seq_dur = cluster.run(cluster.engine.process(
+            build_index_sequential(fs, ["/seg/0"])))
+        assert job.duration < seq_dur
+
+    def test_sequential_wins_on_tiny_corpus(self):
+        """The honest flip side: task-launch overhead dominates tiny inputs."""
+        cluster, fs = make_env(8, block_size=4 * KiB)
+        docs = corpus(40)
+        cluster.run(cluster.engine.process(write_crawl_segment(fs, docs, "/seg/0")))
+        _, job = cluster.run(cluster.engine.process(
+            build_index_mapreduce(fs, ["/seg/0"], num_reduces=4)))
+        _, seq_dur = cluster.run(cluster.engine.process(
+            build_index_sequential(fs, ["/seg/0"])))
+        assert seq_dur < job.duration
+
+    def test_save_load_roundtrip_through_hdfs(self):
+        cluster, fs = make_env()
+        docs = corpus(5)
+        cluster.run(cluster.engine.process(write_crawl_segment(fs, docs, "/seg/0")))
+        index, _ = cluster.run(cluster.engine.process(
+            build_index_mapreduce(fs, ["/seg/0"])))
+        cluster.run(cluster.engine.process(save_index(fs, index, "/idx/0")))
+        loaded = cluster.run(cluster.engine.process(load_index(fs, "/idx/0")))
+        assert loaded.doc_count == 5
+        assert loaded.terms() == index.terms()
+
+
+def make_site(docs):
+    pages = {"/": Page("/", None, tuple(f"/video/{d.doc_id}" for d in docs))}
+    for d in docs:
+        pages[f"/video/{d.doc_id}"] = Page(f"/video/{d.doc_id}", d)
+    return StaticSite(pages, ["/"])
+
+
+class TestCrawler:
+    def test_crawl_collects_all_documents(self):
+        cluster = Cluster(1)
+        docs = corpus(7)
+        result = cluster.run(cluster.engine.process(
+            crawl(cluster.engine, make_site(docs))))
+        assert len(result.documents) == 7
+        assert result.pages_fetched == 8  # home + 7 videos
+        assert result.frontier_exhausted
+        assert result.duration > 0
+
+    def test_max_pages_bound(self):
+        cluster = Cluster(1)
+        docs = corpus(7)
+        result = cluster.run(cluster.engine.process(
+            crawl(cluster.engine, make_site(docs), max_pages=3)))
+        assert result.pages_fetched == 3
+        assert not result.frontier_exhausted
+
+    def test_cycle_safe(self):
+        cluster = Cluster(1)
+        pages = {
+            "/a": Page("/a", None, ("/b",)),
+            "/b": Page("/b", None, ("/a",)),
+        }
+        result = cluster.run(cluster.engine.process(
+            crawl(cluster.engine, StaticSite(pages, ["/a"]))))
+        assert result.pages_fetched == 2
+
+    def test_bad_max_pages(self):
+        cluster = Cluster(1)
+        with pytest.raises(SearchError):
+            crawl(cluster.engine, make_site(corpus(1)), max_pages=0)
+
+
+class TestSearchEngineFacade:
+    def test_refresh_then_search(self):
+        cluster, fs = make_env()
+        se = SearchEngine(fs)
+        docs = corpus(12)
+        n, dur = cluster.run(cluster.engine.process(se.refresh(make_site(docs))))
+        assert n == 12
+        hits = cluster.run(cluster.engine.process(se.search("nobody")))
+        assert hits
+        assert se.index.doc_count == 12
+
+    def test_incremental_refresh_only_indexes_new(self):
+        cluster, fs = make_env()
+        se = SearchEngine(fs)
+        docs = corpus(5)
+        cluster.run(cluster.engine.process(se.refresh(make_site(docs))))
+        # second crawl with 3 extra docs
+        more = docs + corpus(8)[5:]
+        n, _ = cluster.run(cluster.engine.process(se.refresh(make_site(more))))
+        assert n == 3
+        assert se.index.doc_count == 8
+
+    def test_refresh_with_nothing_new_is_cheap(self):
+        cluster, fs = make_env()
+        se = SearchEngine(fs)
+        docs = corpus(4)
+        cluster.run(cluster.engine.process(se.refresh(make_site(docs))))
+        n, dur = cluster.run(cluster.engine.process(se.refresh(make_site(docs))))
+        assert (n, dur) == (0, 0.0)
+
+    def test_segments_persisted_in_hdfs(self):
+        cluster, fs = make_env()
+        se = SearchEngine(fs)
+        cluster.run(cluster.engine.process(se.refresh(make_site(corpus(4)))))
+        client = fs.client()
+        assert client.listdir("/nutch/segments")
+        assert client.listdir("/nutch/index")
+
+    def test_search_now_matches_search(self):
+        cluster, fs = make_env()
+        se = SearchEngine(fs)
+        cluster.run(cluster.engine.process(se.refresh(make_site(corpus(6)))))
+        slow = cluster.run(cluster.engine.process(se.search("cloud")))
+        fast = se.search_now("cloud")
+        assert [h.doc_id for h in slow] == [h.doc_id for h in fast]

@@ -1,0 +1,138 @@
+import pytest
+
+from repro.search import (
+    Document,
+    InvertedIndex,
+    execute,
+    idf,
+    parse_query,
+)
+
+
+def build_corpus():
+    idx = InvertedIndex()
+    docs = [
+        ("v1", "Nobody - Wonder Girls MV", "the hit song nobody by wonder girls",
+         "kpop nobody"),
+        ("v2", "Cloud computing lecture", "introduction to cloud IaaS and PaaS",
+         "cloud lecture"),
+        ("v3", "Nobody parody", "a funny parody of nobody", "parody"),
+        ("v4", "Cat video", "a cat does cat things", "cat cute"),
+        ("v5", "Wonder Girls concert", "live concert footage", "kpop live"),
+    ]
+    for doc_id, title, desc, tags in docs:
+        idx.add(Document(doc_id, {"title": title, "description": desc, "tags": tags}))
+    idx.finalize()
+    return idx
+
+
+@pytest.fixture(scope="module")
+def idx():
+    return build_corpus()
+
+
+class TestParser:
+    def test_bare_terms(self):
+        q = parse_query("nobody song")
+        assert len(q.clauses) == 2
+        assert not q.clauses[0].phrase
+
+    def test_phrase(self):
+        q = parse_query('"wonder girls"')
+        assert q.clauses[0].phrase
+        assert q.clauses[0].terms == ["wonder", "girl"]
+
+    def test_field_restriction(self):
+        q = parse_query("title:nobody")
+        assert q.clauses[0].field_name == "title"
+
+    def test_required_and_prohibited(self):
+        q = parse_query("+nobody -parody")
+        assert q.clauses[0].required
+        assert q.clauses[1].prohibited
+
+    def test_stopword_only_query_is_empty(self):
+        assert parse_query("the and of").is_empty
+
+    def test_empty_string(self):
+        assert parse_query("").is_empty
+
+
+class TestSearch:
+    def test_figure_18_nobody_query(self, idx):
+        """The paper demos searching for 'nobody' (Figure 18)."""
+        hits = execute(idx, "nobody")
+        ids = [h.doc_id for h in hits]
+        assert set(ids) == {"v1", "v3"}
+        assert all(h.score > 0 for h in hits)
+
+    def test_title_match_outranks_description_only(self, idx):
+        # v2 has 'cloud' in title+desc+tags; make a title-only vs desc-only pair
+        idx2 = InvertedIndex()
+        idx2.add(Document("a", {"title": "cloud", "description": "x"}))
+        idx2.add(Document("b", {"title": "x", "description": "cloud"}))
+        idx2.finalize()
+        hits = execute(idx2, "cloud")
+        assert [h.doc_id for h in hits] == ["a", "b"]
+
+    def test_multi_term_coord_rewards_fuller_matches(self, idx):
+        hits = execute(idx, "wonder girls nobody")
+        assert hits[0].doc_id == "v1"  # matches all three terms
+
+    def test_phrase_query_requires_adjacency(self, idx):
+        hits = execute(idx, '"wonder girls"')
+        ids = {h.doc_id for h in hits}
+        assert ids == {"v1", "v5"}
+
+    def test_phrase_no_match_when_words_apart(self):
+        idx2 = InvertedIndex()
+        idx2.add(Document("a", {"title": "wonder about the girls"}))
+        idx2.finalize()
+        # 'about' is not a stopword, so positions are 0 and 3: no phrase hit
+        assert execute(idx2, '"wonder girls"') == []
+
+    def test_field_restricted_search(self, idx):
+        hits = execute(idx, "tags:kpop")
+        assert {h.doc_id for h in hits} == {"v1", "v5"}
+
+    def test_prohibited_term_excludes(self, idx):
+        hits = execute(idx, "nobody -parody")
+        assert {h.doc_id for h in hits} == {"v1"}
+
+    def test_required_term_filters(self, idx):
+        hits = execute(idx, "+girls nobody")
+        # must contain 'girls'; 'v3' (nobody parody) drops out
+        assert {h.doc_id for h in hits} == {"v1", "v5"}
+
+    def test_limit(self, idx):
+        assert len(execute(idx, "nobody cloud cat wonder", limit=2)) == 2
+
+    def test_no_hits(self, idx):
+        assert execute(idx, "zzzxqwy") == []
+
+    def test_deterministic_tie_break(self):
+        idx2 = InvertedIndex()
+        idx2.add(Document("b", {"title": "same words"}))
+        idx2.add(Document("a", {"title": "same words"}))
+        idx2.finalize()
+        hits = execute(idx2, "same")
+        assert [h.doc_id for h in hits] == ["a", "b"]
+
+    def test_snippet_and_title_populated(self, idx):
+        (hit, *_) = execute(idx, "cat")
+        assert hit.title == "Cat video"
+        assert "cat" in hit.snippet
+
+    def test_stemming_bridges_query_and_doc(self, idx):
+        hits = execute(idx, "girl")  # docs say 'girls'
+        assert any(h.doc_id == "v1" for h in hits)
+
+
+class TestScoring:
+    def test_idf_decreases_with_frequency(self, idx):
+        rare = idf(idx, "parody")
+        common = idf(idx, "nobody")
+        assert rare > common
+
+    def test_idf_of_absent_term_is_max(self, idx):
+        assert idf(idx, "zzz") >= idf(idx, "nobody")

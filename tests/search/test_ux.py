@@ -1,0 +1,174 @@
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.common.errors import SearchError
+from repro.common.units import KiB
+from repro.hardware import Cluster
+from repro.hdfs import Hdfs
+from repro.search import (
+    Document,
+    InvertedIndex,
+    Page,
+    SearchEngine,
+    StaticSite,
+    highlight,
+    more_like_this,
+    paginate,
+    suggest,
+)
+from repro.search.ux import _edit_distance
+
+
+def build_index(n=25):
+    idx = InvertedIndex()
+    words = ["cloud", "video", "nobody", "song", "cat", "wonder", "girl"]
+    for i in range(n):
+        idx.add(Document(f"v{i}", {
+            "title": f"{words[i % 7]} {words[(i + 2) % 7]} episode {i}",
+            "description": f"about {words[i % 7]} things",
+        }))
+    idx.finalize()
+    return idx
+
+
+class TestHighlight:
+    def test_wraps_matching_words(self):
+        out = highlight("The Nobody Song is great", "nobody song")
+        assert out == "The <b>Nobody</b> <b>Song</b> is great"
+
+    def test_stem_match(self):
+        out = highlight("many videos here", "video")
+        assert "<b>videos</b>" in out
+
+    def test_no_terms_no_change(self):
+        text = "hello world"
+        assert highlight(text, "the and") == text
+
+    def test_custom_markers(self):
+        out = highlight("cat", "cat", pre="[", post="]")
+        assert out == "[cat]"
+
+    @given(st.text(max_size=80).filter(lambda s: "\x01" not in s and "\x02" not in s))
+    def test_strip_markers_restores_text(self, text):
+        out = highlight(text, "cloud video", pre="\x01", post="\x02")
+        assert out.replace("\x01", "").replace("\x02", "") == text
+
+
+class TestPagination:
+    def test_pages_partition_results(self):
+        idx = build_index(25)
+        seen = []
+        page_num = 1
+        while True:
+            page = paginate(idx, "cloud video nobody song cat wonder girl",
+                            page=page_num, per_page=7)
+            seen.extend(h.doc_id for h in page.hits)
+            if not page.has_next:
+                break
+            page_num += 1
+        assert len(seen) == len(set(seen)) == 25
+        assert page.total_pages == 4
+
+    def test_page_flags(self):
+        idx = build_index(10)
+        p1 = paginate(idx, "cloud video nobody song cat wonder girl",
+                      page=1, per_page=4)
+        assert not p1.has_prev and p1.has_next
+        last = paginate(idx, "cloud video nobody song cat wonder girl",
+                        page=p1.total_pages, per_page=4)
+        assert last.has_prev and not last.has_next
+
+    def test_empty_results(self):
+        idx = build_index(5)
+        page = paginate(idx, "zzzz", page=1, per_page=10)
+        assert page.hits == []
+        assert page.total_pages == 1
+
+    def test_bad_page(self):
+        idx = build_index(5)
+        with pytest.raises(SearchError):
+            paginate(idx, "cloud", page=0)
+
+
+class TestSuggest:
+    def test_corrects_typo(self):
+        idx = build_index()
+        assert suggest(idx, "nobdy") == "nobody"
+
+    def test_known_terms_untouched(self):
+        idx = build_index()
+        assert suggest(idx, "nobody cloud") is None
+
+    def test_mixed_query_partial_correction(self):
+        idx = build_index()
+        assert suggest(idx, "wondr video") == "wonder video"
+
+    def test_hopeless_typo_gives_nothing(self):
+        idx = build_index()
+        assert suggest(idx, "xyzzyqq") is None
+
+    def test_edit_distance(self):
+        assert _edit_distance("cloud", "cloud") == 0
+        assert _edit_distance("cloud", "clod") == 1
+        assert _edit_distance("abc", "xyz") == 3
+        assert _edit_distance("a", "abcdefgh", cap=2) > 2
+
+
+class TestMoreLikeThis:
+    def test_related_share_terms(self):
+        idx = build_index(21)  # v0, v7, v14 share 'cloud' titles
+        related = more_like_this(idx, "v0", limit=3)
+        ids = {h.doc_id for h in related}
+        assert "v0" not in ids
+        assert ids & {"v7", "v14"}
+
+    def test_unknown_doc(self):
+        idx = build_index(3)
+        with pytest.raises(SearchError):
+            more_like_this(idx, "ghost")
+
+
+class TestPeriodicRefresh:
+    def make_engine(self):
+        cluster = Cluster(5)
+        fs = Hdfs(cluster, block_size=2 * KiB, replication=2)
+        return cluster, SearchEngine(fs)
+
+    def make_site(self, docs):
+        pages = {"/": Page("/", None, tuple(f"/v/{d.doc_id}" for d in docs))}
+        for d in docs:
+            pages[f"/v/{d.doc_id}"] = Page(f"/v/{d.doc_id}", d)
+        return StaticSite(pages, ["/"])
+
+    def test_refresher_picks_up_new_docs(self):
+        cluster, se = self.make_engine()
+        docs = [Document("v0", {"title": "cloud intro"})]
+        site_pages = self.make_site(docs)
+        se.start_periodic_refresh(site_pages, interval=50)
+        cluster.run(until=120)
+        assert se.index.doc_count == 1
+        se.stop_periodic_refresh()
+        cluster.run()
+
+    def test_stop_allows_drain(self):
+        cluster, se = self.make_engine()
+        se.start_periodic_refresh(self.make_site([]), interval=10)
+        cluster.run(until=25)
+        se.stop_periodic_refresh()
+        cluster.run()  # must terminate
+        assert se.refresh_count >= 1
+
+    def test_bad_interval(self):
+        _, se = self.make_engine()
+        with pytest.raises(SearchError):
+            se.start_periodic_refresh(self.make_site([]), interval=0)
+
+    def test_idempotent_start(self):
+        cluster, se = self.make_engine()
+        site = self.make_site([])
+        se.start_periodic_refresh(site, interval=10)
+        proc = se._refresher
+        se.start_periodic_refresh(site, interval=10)
+        assert se._refresher is proc
+        se.stop_periodic_refresh()
+        cluster.run()

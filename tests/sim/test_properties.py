@@ -1,0 +1,126 @@
+"""Property-based tests of the event kernel's core invariants."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.sim import Container, Engine, Resource, Store
+
+
+@st.composite
+def process_specs(draw):
+    """A random set of processes: (start_delay, work_items)."""
+    n = draw(st.integers(min_value=1, max_value=8))
+    specs = []
+    for _ in range(n):
+        start = draw(st.floats(min_value=0, max_value=10, allow_nan=False))
+        work = draw(st.lists(
+            st.floats(min_value=0, max_value=5, allow_nan=False),
+            min_size=1, max_size=5))
+        specs.append((start, work))
+    return specs
+
+
+class TestKernelProperties:
+    @given(process_specs())
+    @settings(max_examples=60, deadline=None)
+    def test_time_never_goes_backwards(self, specs):
+        engine = Engine()
+        observed = []
+
+        def proc(start, work):
+            yield engine.timeout(start)
+            for w in work:
+                observed.append(engine.now)
+                yield engine.timeout(w)
+            observed.append(engine.now)
+
+        for start, work in specs:
+            engine.process(proc(start, work))
+        engine.run()
+        assert observed == sorted(observed)
+        assert engine.now == max(observed)
+
+    @given(process_specs())
+    @settings(max_examples=60, deadline=None)
+    def test_identical_runs_identical_traces(self, specs):
+        def run_once():
+            engine = Engine()
+            trace = []
+
+            def proc(i, start, work):
+                yield engine.timeout(start)
+                for w in work:
+                    trace.append((round(engine.now, 9), i))
+                    yield engine.timeout(w)
+
+            for i, (start, work) in enumerate(specs):
+                engine.process(proc(i, start, work))
+            engine.run()
+            return trace
+
+        assert run_once() == run_once()
+
+    @given(st.integers(min_value=1, max_value=5),
+           st.lists(st.floats(min_value=0.1, max_value=3), min_size=1,
+                    max_size=12))
+    @settings(max_examples=40, deadline=None)
+    def test_resource_work_conservation(self, capacity, durations):
+        """Total busy time is conserved; makespan bounded by capacity."""
+        engine = Engine()
+        resource = Resource(engine, capacity=capacity)
+        finished = []
+
+        def worker(d):
+            with resource.request() as req:
+                yield req
+                yield engine.timeout(d)
+            finished.append(d)
+
+        for d in durations:
+            engine.process(worker(d))
+        engine.run()
+        assert sorted(finished) == sorted(durations)
+        total = sum(durations)
+        # perfect packing lower bound and serial upper bound
+        assert engine.now >= max(max(durations), total / capacity) - 1e-9
+        assert engine.now <= total + 1e-9
+
+    @given(st.lists(st.integers(min_value=1, max_value=20), min_size=1,
+                    max_size=15))
+    @settings(max_examples=40, deadline=None)
+    def test_container_conserves_quantity(self, amounts):
+        engine = Engine()
+        tank = Container(engine, capacity=10**9, init=0)
+
+        def producer():
+            for a in amounts:
+                yield tank.put(a)
+
+        def consumer():
+            for a in amounts:
+                yield tank.get(a)
+
+        engine.process(producer())
+        engine.process(consumer())
+        engine.run()
+        assert tank.level == 0
+
+    @given(st.lists(st.integers(), min_size=1, max_size=20))
+    @settings(max_examples=40, deadline=None)
+    def test_store_is_fifo(self, items):
+        engine = Engine()
+        store = Store(engine)
+        got = []
+
+        def producer():
+            for item in items:
+                yield store.put(item)
+
+        def consumer():
+            for _ in items:
+                v = yield store.get()
+                got.append(v)
+
+        engine.process(producer())
+        engine.process(consumer())
+        engine.run()
+        assert got == items

@@ -1,0 +1,206 @@
+import pytest
+
+from repro.common.errors import SimulationError
+from repro.sim import Container, Engine, Resource, Store
+
+
+@pytest.fixture
+def eng():
+    return Engine()
+
+
+class TestResource:
+    def test_capacity_enforced(self, eng):
+        res = Resource(eng, capacity=2)
+        times = []
+
+        def user(i):
+            with res.request() as req:
+                yield req
+                yield eng.timeout(10)
+                times.append((i, eng.now))
+
+        for i in range(4):
+            eng.process(user(i))
+        eng.run()
+        # two at t=10, two queued behind them finish at t=20
+        assert [t for _, t in times] == [10, 10, 20, 20]
+
+    def test_fifo_grant_order(self, eng):
+        res = Resource(eng, capacity=1)
+        order = []
+
+        def user(i):
+            with res.request() as req:
+                yield req
+                order.append(i)
+                yield eng.timeout(1)
+
+        for i in range(5):
+            eng.process(user(i))
+        eng.run()
+        assert order == [0, 1, 2, 3, 4]
+
+    def test_release_of_queued_request_cancels(self, eng):
+        res = Resource(eng, capacity=1)
+        got = []
+
+        def holder():
+            with res.request() as req:
+                yield req
+                yield eng.timeout(5)
+
+        def impatient():
+            req = res.request()
+            result = yield req | eng.timeout(1)
+            if req not in result:
+                res.release(req)  # gave up
+                got.append("gave_up")
+            else:  # pragma: no cover
+                got.append("got_it")
+
+        def third():
+            yield eng.timeout(2)
+            with res.request() as req:
+                yield req
+                got.append(("third", eng.now))
+
+        eng.process(holder())
+        eng.process(impatient())
+        eng.process(third())
+        eng.run()
+        assert got == ["gave_up", ("third", 5)]
+
+    def test_counts(self, eng):
+        res = Resource(eng, capacity=1)
+
+        def u():
+            with res.request() as req:
+                yield req
+                assert res.count == 1
+                yield eng.timeout(1)
+
+        eng.process(u())
+        eng.process(u())
+        eng.run(until=0.5)
+        assert res.count == 1
+        assert res.queue_length == 1
+        eng.run()
+        assert res.count == 0
+
+    def test_bad_capacity(self, eng):
+        with pytest.raises(SimulationError):
+            Resource(eng, capacity=0)
+
+
+class TestContainer:
+    def test_get_blocks_until_put(self, eng):
+        tank = Container(eng, capacity=100, init=0)
+        log = []
+
+        def consumer():
+            yield tank.get(30)
+            log.append(("got", eng.now))
+
+        def producer():
+            yield eng.timeout(4)
+            yield tank.put(50)
+
+        eng.process(consumer())
+        eng.process(producer())
+        eng.run()
+        assert log == [("got", 4)]
+        assert tank.level == 20
+
+    def test_put_blocks_when_full(self, eng):
+        tank = Container(eng, capacity=10, init=10)
+        log = []
+
+        def producer():
+            yield tank.put(5)
+            log.append(("put", eng.now))
+
+        def consumer():
+            yield eng.timeout(3)
+            yield tank.get(7)
+
+        eng.process(producer())
+        eng.process(consumer())
+        eng.run()
+        assert log == [("put", 3)]
+        assert tank.level == 8
+
+    def test_init_validation(self, eng):
+        with pytest.raises(SimulationError):
+            Container(eng, capacity=5, init=9)
+        with pytest.raises(SimulationError):
+            Container(eng, capacity=0)
+
+    def test_zero_amount_rejected(self, eng):
+        tank = Container(eng, capacity=5, init=1)
+        with pytest.raises(SimulationError):
+            tank.get(0)
+        with pytest.raises(SimulationError):
+            tank.put(-1)
+
+    def test_cancel_pending_get(self, eng):
+        tank = Container(eng, capacity=10, init=0)
+
+        def proc():
+            get = tank.get(5)
+            res = yield get | eng.timeout(1)
+            assert get not in res
+            tank.cancel(get)
+            yield tank.put(3)  # fits regardless of the dead get
+
+        eng.run(eng.process(proc()))
+        assert tank.level == 3
+
+
+class TestStore:
+    def test_fifo_items(self, eng):
+        store = Store(eng)
+        got = []
+
+        def producer():
+            for i in range(3):
+                yield store.put(i)
+                yield eng.timeout(1)
+
+        def consumer():
+            for _ in range(3):
+                item = yield store.get()
+                got.append((item, eng.now))
+
+        eng.process(producer())
+        eng.process(consumer())
+        eng.run()
+        assert [i for i, _ in got] == [0, 1, 2]
+
+    def test_capacity_blocks_producer(self, eng):
+        store = Store(eng, capacity=1)
+        done = []
+
+        def producer():
+            yield store.put("a")
+            yield store.put("b")
+            done.append(eng.now)
+
+        def consumer():
+            yield eng.timeout(5)
+            yield store.get()
+
+        eng.process(producer())
+        eng.process(consumer())
+        eng.run()
+        assert done == [5]
+
+    def test_len(self, eng):
+        store = Store(eng)
+
+        def proc():
+            yield store.put("x")
+            yield store.put("y")
+
+        eng.run(eng.process(proc()))
+        assert len(store) == 2

@@ -1,0 +1,97 @@
+import pytest
+
+from repro.common.errors import StreamingError
+from repro.common.units import Mbps
+from repro.hardware import Cluster
+from repro.video import (
+    R_360P,
+    R_480P,
+    R_720P,
+    StreamingServer,
+    VideoFile,
+    adaptive_play,
+    probe_bandwidth,
+    select_rendition,
+)
+
+
+def ladder(duration=60.0):
+    def rung(name, res, rate):
+        return VideoFile(
+            name=f"m-{name}.flv", container="flv", vcodec="h264",
+            acodec="aac", duration=duration, resolution=res, fps=25.0,
+            bitrate=rate, content_id="m",
+        )
+
+    return {
+        "720p": rung("720p", R_720P, 4 * Mbps),
+        "480p": rung("480p", R_480P, 2 * Mbps),
+        "360p": rung("360p", R_360P, 1 * Mbps),
+    }
+
+
+def make_env(client_mbps):
+    cluster = Cluster(1)
+    cluster.add_host("client", nic_rate=client_mbps * Mbps)
+    return cluster, StreamingServer(cluster, "node0")
+
+
+class TestSelection:
+    def test_fast_client_gets_720p(self):
+        assert select_rendition(ladder(), 10 * Mbps) == "720p"
+
+    def test_mid_client_gets_480p(self):
+        assert select_rendition(ladder(), 3 * Mbps) == "480p"
+
+    def test_slow_client_falls_back_to_lowest(self):
+        assert select_rendition(ladder(), 0.2 * Mbps) == "360p"
+
+    def test_safety_factor_matters(self):
+        # 4.2 Mb/s media rate at bw 5 Mb/s: fits without safety, not with 0.8
+        assert select_rendition(ladder(), 5 * Mbps, safety=1.0) == "720p"
+        assert select_rendition(ladder(), 5 * Mbps, safety=0.8) == "480p"
+
+    def test_empty_ladder_rejected(self):
+        with pytest.raises(StreamingError):
+            select_rendition({}, 1 * Mbps)
+
+
+class TestProbe:
+    def test_probe_close_to_nic_rate(self):
+        cluster, server = make_env(8)
+        bw = cluster.run(cluster.engine.process(
+            probe_bandwidth(server, "client")))
+        assert bw == pytest.approx(8 * Mbps, rel=0.1)
+
+
+class TestAdaptivePlay:
+    def run_for(self, client_mbps):
+        cluster, server = make_env(client_mbps)
+        quality, report = cluster.run(cluster.engine.process(
+            adaptive_play(server, "client", ladder(duration=30.0))))
+        return quality, report
+
+    def test_fast_client_plays_720p_smoothly(self):
+        quality, report = self.run_for(16)
+        assert quality == "720p"
+        assert report.smooth
+
+    def test_slow_client_downshifts_and_stays_smooth(self):
+        quality, report = self.run_for(2)
+        assert quality == "360p"
+        assert report.smooth
+
+    def test_mid_client(self):
+        quality, report = self.run_for(4)
+        assert quality == "480p"
+        assert report.smooth
+
+    def test_abr_prevents_stalls_vs_fixed_720p(self):
+        from repro.video import PlaybackSession
+
+        cluster, server = make_env(2)
+        fixed = cluster.run(cluster.engine.process(
+            PlaybackSession(server, "client", ladder(30.0)["720p"]).run()))
+        _, adaptive = self.run_for(2)
+        assert fixed.rebuffer_count > 0
+        assert adaptive.rebuffer_count == 0

@@ -1,0 +1,91 @@
+import pytest
+
+from repro.common.errors import StreamingError
+from repro.common.units import MiB, Mbps
+from repro.hardware import Cluster
+from repro.hdfs import Hdfs
+from repro.video import R_720P, ReplicaStreamer, VideoFile
+
+
+def movie(duration=30.0):
+    return VideoFile(
+        name="m.flv", container="flv", vcodec="h264", acodec="aac",
+        duration=duration, resolution=R_720P, fps=25.0, bitrate=2 * Mbps,
+    )
+
+
+def make_env(replication=3, n_hosts=7):
+    cluster = Cluster(n_hosts)
+    fs = Hdfs(cluster, replication=replication, block_size=64 * MiB)
+    vid = movie()
+    cluster.run(cluster.engine.process(
+        fs.client("node1").write_synthetic("/pub/m.flv", vid.size)))
+    return cluster, fs, vid
+
+
+class TestReplicaSelection:
+    def test_client_local_replica_preferred(self):
+        cluster, fs, vid = make_env()
+        rs = ReplicaStreamer(fs, "/pub/m.flv")
+        holders = rs.replica_holders()
+        assert rs.pick_server(holders[0]) == holders[0]
+
+    def test_least_loaded_chosen_for_remote_client(self):
+        cluster, fs, vid = make_env()
+        rs = ReplicaStreamer(fs, "/pub/m.flv")
+        holders = rs.replica_holders()
+        outsider = next(h for h in cluster.host_names if h not in holders)
+        rs.active_sessions[holders[0]] = 5
+        pick = rs.pick_server(outsider)
+        assert pick in holders
+        assert pick != holders[0]
+
+    def test_sessions_balance_across_replicas(self):
+        cluster, fs, vid = make_env()
+        rs = ReplicaStreamer(fs, "/pub/m.flv")
+        holders = set(rs.replica_holders())
+        outsiders = [h for h in cluster.host_names if h not in holders][:2]
+        procs = [
+            cluster.engine.process(
+                rs.open_session(outsiders[i % len(outsiders)], vid,
+                                watch_plan=[(0.0, 5.0)]))
+            for i in range(6)
+        ]
+        done = cluster.engine.run(cluster.engine.all_of(procs))
+        served_by = [done[p][0] for p in procs]
+        # more than one replica did work
+        assert len(set(served_by)) >= 2
+        assert sum(rs.sessions_served.values()) == 6
+        assert all(v == 0 for v in rs.active_sessions.values())
+
+    def test_playback_report_returned(self):
+        cluster, fs, vid = make_env()
+        rs = ReplicaStreamer(fs, "/pub/m.flv")
+        host, report = cluster.run(cluster.engine.process(
+            rs.open_session("node1", vid, watch_plan=[(0.0, 10.0)])))
+        assert report.watched_seconds == pytest.approx(10.0, abs=0.5)
+        assert host in rs.replica_holders()
+
+    def test_dead_replicas_excluded(self):
+        cluster, fs, vid = make_env()
+        rs = ReplicaStreamer(fs, "/pub/m.flv")
+        holders = rs.replica_holders()
+        victim = holders[0]
+        fs.kill_datanode(victim)
+        fs.namenode.dead_datanodes.add(victim)
+        assert victim not in rs.replica_holders()
+        assert rs.pick_server("node1") != victim
+
+    def test_all_replicas_dead(self):
+        cluster, fs, vid = make_env(replication=1)
+        rs = ReplicaStreamer(fs, "/pub/m.flv")
+        (only,) = rs.replica_holders()
+        fs.kill_datanode(only)
+        fs.namenode.dead_datanodes.add(only)
+        with pytest.raises(StreamingError):
+            rs.pick_server("node1")
+
+    def test_missing_file(self):
+        cluster, fs, _ = make_env()
+        with pytest.raises(Exception):
+            ReplicaStreamer(fs, "/nope")

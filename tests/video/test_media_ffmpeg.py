@@ -1,0 +1,198 @@
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.common.calibration import Calibration
+from repro.common.errors import MediaError, TranscodeError
+from repro.common.units import Mbps
+from repro.hardware import Cluster
+from repro.video import (
+    FFmpeg,
+    R_360P,
+    R_720P,
+    Resolution,
+    VideoFile,
+)
+
+
+def clip(duration=120.0, name="upload.avi", container="avi", vcodec="mpeg4",
+         bitrate=4 * Mbps, **kw):
+    return VideoFile(
+        name=name, container=container, vcodec=vcodec, acodec="mp3",
+        duration=duration, resolution=R_720P, fps=25.0, bitrate=bitrate, **kw
+    )
+
+
+class TestVideoFile:
+    def test_size_scales_with_duration_and_bitrate(self):
+        short = clip(duration=60)
+        long = clip(duration=120)
+        assert long.size == pytest.approx(2 * short.size, rel=0.01)
+
+    def test_gop_count(self):
+        v = clip(duration=10.0)  # gop 2s
+        assert v.gop_count == 5
+
+    def test_partial_last_gop(self):
+        v = clip(duration=9.5)
+        assert v.gop_count == 5
+
+    def test_container_codec_compatibility(self):
+        with pytest.raises(MediaError):
+            clip(container="webm", vcodec="h264")
+
+    def test_unknown_codec(self):
+        with pytest.raises(MediaError):
+            clip(vcodec="av1")
+
+    def test_byte_offset_monotone(self):
+        v = clip()
+        assert v.byte_offset_of(0) == 0
+        assert v.byte_offset_of(v.duration) == v.size
+        assert v.byte_offset_of(30) < v.byte_offset_of(60)
+
+    def test_byte_offset_out_of_range(self):
+        with pytest.raises(MediaError):
+            clip().byte_offset_of(1e9)
+
+    def test_bad_resolution(self):
+        with pytest.raises(MediaError):
+            Resolution(0, 100)
+
+    def test_content_id_defaults_to_name(self):
+        v = clip(name="x.avi")
+        assert v.content_id == "x.avi"
+
+
+class TestFFmpegCosts:
+    def setup_method(self):
+        self.ff = FFmpeg(Calibration())
+
+    def test_probe_fields(self):
+        info = self.ff.probe(clip())
+        assert info["vcodec"] == "mpeg4"
+        assert info["resolution"] == "1280x720"
+        assert info["gops"] == 60
+
+    def test_h264_encode_costlier_than_mpeg4(self):
+        src = clip()
+        h264 = self.ff.transcode_cycles(src, "h264", R_720P)
+        mpeg4 = self.ff.transcode_cycles(src, "mpeg4", R_720P)
+        assert h264 > mpeg4
+
+    def test_downscale_cheaper(self):
+        src = clip()
+        big = self.ff.transcode_cycles(src, "h264", R_720P)
+        small = self.ff.transcode_cycles(src, "h264", R_360P)
+        assert small < big
+
+
+class TestTranscodeProcess:
+    def test_transcode_produces_target_format(self):
+        cluster = Cluster(1)
+        ff = FFmpeg(cluster.cal)
+        src = clip()
+        p = cluster.engine.process(
+            ff.transcode(cluster.hosts[0], src, vcodec="h264", container="flv"))
+        out = cluster.run(p)
+        assert out.vcodec == "h264"
+        assert out.container == "flv"
+        assert out.duration == src.duration
+        assert out.content_id == src.content_id
+        assert cluster.now > 0
+
+    def test_longer_clip_takes_longer(self):
+        def t(duration):
+            cluster = Cluster(1)
+            ff = FFmpeg(cluster.cal)
+            p = cluster.engine.process(
+                ff.transcode(cluster.hosts[0], clip(duration=duration),
+                             vcodec="h264", container="flv"))
+            cluster.run(p)
+            return cluster.now
+
+        assert t(240) > t(60)
+
+    def test_incompatible_target_rejected(self):
+        cluster = Cluster(1)
+        ff = FFmpeg(cluster.cal)
+        with pytest.raises(TranscodeError):
+            ff.transcode(cluster.hosts[0], clip(), vcodec="h264", container="webm")
+
+
+class TestSplitConcat:
+    def setup_method(self):
+        self.ff = FFmpeg(Calibration())
+
+    def test_split_partitions_gops(self):
+        src = clip(duration=60)  # 30 gops
+        segs = self.ff.split(src, 4)
+        assert len(segs) == 4
+        assert segs[0].gop_start == 0
+        assert segs[-1].gop_end == src.gop_end
+        for a, b in zip(segs, segs[1:]):
+            assert a.gop_end == b.gop_start
+
+    def test_split_durations_sum(self):
+        src = clip(duration=61.0)  # partial last gop
+        segs = self.ff.split(src, 5)
+        assert sum(s.duration for s in segs) == pytest.approx(src.duration)
+
+    def test_concat_restores_original_geometry(self):
+        src = clip(duration=60)
+        merged = self.ff.concat(self.ff.split(src, 6))
+        assert merged.duration == pytest.approx(src.duration)
+        assert merged.gop_start == src.gop_start
+        assert merged.gop_end == src.gop_end
+        assert merged.content_id == src.content_id
+
+    def test_concat_detects_gap(self):
+        src = clip(duration=60)
+        segs = self.ff.split(src, 4)
+        with pytest.raises(TranscodeError, match="gap"):
+            self.ff.concat([segs[0], segs[2], segs[3]])
+
+    def test_concat_detects_duplicate(self):
+        src = clip(duration=60)
+        segs = self.ff.split(src, 4)
+        with pytest.raises(TranscodeError, match="overlap"):
+            self.ff.concat(segs + [segs[1]])
+
+    def test_concat_rejects_mixed_content(self):
+        a = self.ff.split(clip(name="a.avi"), 2)
+        b = self.ff.split(clip(name="b.avi"), 2)
+        with pytest.raises(TranscodeError, match="contents"):
+            self.ff.concat([a[0], b[1]])
+
+    def test_concat_rejects_mixed_codecs(self):
+        src = clip(duration=60)
+        segs = self.ff.split(src, 2)
+        import dataclasses
+        other = dataclasses.replace(segs[1], vcodec="flv1")
+        with pytest.raises(TranscodeError, match="disagree"):
+            self.ff.concat([segs[0], other])
+
+    def test_concat_handles_out_of_order_input(self):
+        src = clip(duration=60)
+        segs = self.ff.split(src, 3)
+        merged = self.ff.concat([segs[2], segs[0], segs[1]])
+        assert merged.duration == pytest.approx(src.duration)
+
+    def test_too_many_segments(self):
+        with pytest.raises(TranscodeError):
+            self.ff.split(clip(duration=4), 10)  # only 2 gops
+
+    def test_empty_concat(self):
+        with pytest.raises(TranscodeError):
+            self.ff.concat([])
+
+    @given(st.integers(min_value=1, max_value=30),
+           st.floats(min_value=10.0, max_value=600.0))
+    def test_property_split_concat_roundtrip(self, n, duration):
+        src = clip(duration=duration)
+        if n > src.gop_count:
+            return
+        segs = self.ff.split(src, n)
+        merged = self.ff.concat(segs)
+        assert merged.gop_count == src.gop_count
+        assert merged.duration == pytest.approx(src.duration)
+        assert sum(s.duration for s in segs) == pytest.approx(src.duration)

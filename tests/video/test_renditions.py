@@ -1,0 +1,97 @@
+import pytest
+
+from repro.common.calibration import Calibration
+from repro.common.errors import TranscodeError
+from repro.common.units import Mbps
+from repro.hardware import Cluster
+from repro.video import (
+    DEFAULT_LADDER,
+    DistributedTranscoder,
+    FFmpeg,
+    R_720P,
+    Thumbnail,
+    VideoFile,
+    extract_thumbnail,
+    make_renditions,
+)
+
+
+def clip(duration=120.0):
+    return VideoFile(
+        name="up.avi", container="avi", vcodec="mpeg4", acodec="mp3",
+        duration=duration, resolution=R_720P, fps=25.0, bitrate=4 * Mbps,
+    )
+
+
+def make_tx(n_hosts=5):
+    cluster = Cluster(n_hosts)
+    return cluster, DistributedTranscoder(cluster, cluster.host_names[1:],
+                                          ingest_host="node0")
+
+
+class TestLadder:
+    def test_all_rungs_produced(self):
+        cluster, tx = make_tx()
+        reports = cluster.run(cluster.engine.process(
+            make_renditions(tx, clip())))
+        assert set(reports) == {"720p", "480p", "360p"}
+        for rung in DEFAULT_LADDER:
+            out = reports[rung.name].output
+            assert out.resolution == rung.resolution
+            assert out.bitrate == rung.bitrate
+            assert out.vcodec == "h264"
+            assert out.duration == pytest.approx(clip().duration)
+
+    def test_lower_rungs_smaller(self):
+        cluster, tx = make_tx()
+        reports = cluster.run(cluster.engine.process(
+            make_renditions(tx, clip())))
+        assert (reports["360p"].output.size
+                < reports["480p"].output.size
+                < reports["720p"].output.size)
+
+    def test_full_ladder_slower_than_single_rung(self):
+        def total_time(ladder):
+            cluster, tx = make_tx()
+            cluster.run(cluster.engine.process(
+                make_renditions(tx, clip(), ladder)))
+            return cluster.now
+
+        assert total_time(DEFAULT_LADDER) > total_time(DEFAULT_LADDER[:1])
+
+    def test_empty_ladder_rejected(self):
+        cluster, tx = make_tx()
+        with pytest.raises(TranscodeError):
+            make_renditions(tx, clip(), ())
+
+
+class TestThumbnail:
+    def test_extract(self):
+        cluster = Cluster(1)
+        ff = FFmpeg(cluster.cal)
+        t = cluster.run(cluster.engine.process(
+            extract_thumbnail(ff, cluster.hosts[0], clip(), at_time=30.0)))
+        assert isinstance(t, Thumbnail)
+        assert (t.width, t.height) == (320, 180)
+        assert t.size > 0
+        assert t.name.endswith(".jpg")
+        assert cluster.now > 0
+
+    def test_out_of_range_time(self):
+        cluster = Cluster(1)
+        ff = FFmpeg(Calibration())
+        with pytest.raises(TranscodeError):
+            extract_thumbnail(ff, cluster.hosts[0], clip(), at_time=1e9)
+
+    def test_thumbnail_cheap_compared_to_transcode(self):
+        cluster = Cluster(1)
+        ff = FFmpeg(cluster.cal)
+        cluster.run(cluster.engine.process(
+            extract_thumbnail(ff, cluster.hosts[0], clip(), at_time=5.0)))
+        thumb_time = cluster.now
+        cluster2 = Cluster(1)
+        ff2 = FFmpeg(cluster2.cal)
+        cluster2.run(cluster2.engine.process(
+            ff2.transcode(cluster2.hosts[0], clip(), vcodec="h264",
+                          container="flv")))
+        assert thumb_time < cluster2.now / 10

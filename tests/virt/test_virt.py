@@ -1,0 +1,253 @@
+import pytest
+
+from repro.common.errors import ConfigError, DriverError, LifecycleError
+from repro.common.units import GHz, MiB
+from repro.hardware import Cluster
+from repro.virt import (
+    BareMetal,
+    DirtyPageModel,
+    DiskImage,
+    Emulator,
+    ImageStore,
+    Kvm,
+    VirtualMachine,
+    VmState,
+    WorkKind,
+    XenPv,
+    make_hypervisor,
+)
+
+
+IMG = DiskImage("ubuntu-10.04", size=2048 * MiB)
+
+
+def make_vm(name="vm0", memory=512 * MiB):
+    return VirtualMachine(name, vcpus=1, memory=memory, image=IMG)
+
+
+@pytest.fixture
+def cluster():
+    return Cluster(2)
+
+
+class TestDiskImage:
+    def test_valid(self):
+        img = DiskImage("x", size=100, fmt="raw")
+        assert img.fmt == "raw"
+
+    def test_bad_size(self):
+        with pytest.raises(ConfigError):
+            DiskImage("x", size=0)
+
+    def test_bad_format(self):
+        with pytest.raises(ConfigError):
+            DiskImage("x", size=1, fmt="vmdk")
+
+
+class TestImageStore:
+    def test_register_and_get(self, cluster):
+        store = ImageStore(cluster, "node0")
+        store.register(IMG)
+        assert store.get("ubuntu-10.04") is IMG
+        assert "ubuntu-10.04" in store
+        assert store.list_images() == [IMG]
+
+    def test_duplicate_rejected(self, cluster):
+        store = ImageStore(cluster, "node0")
+        store.register(IMG)
+        with pytest.raises(DriverError):
+            store.register(IMG)
+
+    def test_missing_image(self, cluster):
+        store = ImageStore(cluster, "node0")
+        with pytest.raises(DriverError):
+            store.get("nope")
+
+    def test_unknown_host(self, cluster):
+        with pytest.raises(ConfigError):
+            ImageStore(cluster, "ghost")
+
+    def test_clone_costs_transfer_plus_write(self, cluster):
+        store = ImageStore(cluster, "node0")
+        store.register(IMG)
+        p = cluster.engine.process(store.clone_to("ubuntu-10.04", "node1"))
+        img = cluster.run(p)
+        assert img is IMG
+        cal = cluster.cal
+        expected = (
+            IMG.size / cal.nic_rate
+            + cal.net_latency
+            + cal.disk_seek_time
+            + IMG.size / cal.disk_write_rate
+        )
+        assert cluster.now == pytest.approx(expected, rel=1e-3)
+
+
+class TestLifecycle:
+    def test_define_start_stop(self, cluster):
+        hv = Kvm(cluster.hosts[0])
+        vm = make_vm()
+        hv.define(vm)
+        assert vm.state == VmState.DEFINED
+        assert cluster.hosts[0].memory_used == vm.memory
+        hv.start(vm)
+        assert vm.state == VmState.RUNNING
+        hv.shutdown(vm)
+        hv.undefine(vm)
+        assert cluster.hosts[0].memory_used == 0
+        assert vm.hypervisor is None
+
+    def test_double_define_rejected(self, cluster):
+        hv = Kvm(cluster.hosts[0])
+        vm = make_vm()
+        hv.define(vm)
+        with pytest.raises(LifecycleError):
+            hv.define(vm)
+
+    def test_define_on_two_hosts_rejected(self, cluster):
+        hv0, hv1 = Kvm(cluster.hosts[0]), Kvm(cluster.hosts[1])
+        vm = make_vm()
+        hv0.define(vm)
+        with pytest.raises(LifecycleError):
+            hv1.define(vm)
+
+    def test_pause_resume(self, cluster):
+        hv = Kvm(cluster.hosts[0])
+        vm = make_vm()
+        hv.define(vm)
+        hv.start(vm)
+        hv.pause(vm)
+        assert vm.state == VmState.PAUSED
+        hv.resume(vm)
+        assert vm.state == VmState.RUNNING
+
+    def test_undefine_running_rejected(self, cluster):
+        hv = Kvm(cluster.hosts[0])
+        vm = make_vm()
+        hv.define(vm)
+        hv.start(vm)
+        with pytest.raises(LifecycleError):
+            hv.undefine(vm)
+
+    def test_bad_state_transitions(self, cluster):
+        hv = Kvm(cluster.hosts[0])
+        vm = make_vm()
+        hv.define(vm)
+        with pytest.raises(LifecycleError):
+            hv.pause(vm)  # not running
+        with pytest.raises(LifecycleError):
+            hv.resume(vm)
+
+    def test_eject_adopt_moves_memory_accounting(self, cluster):
+        hv0, hv1 = Kvm(cluster.hosts[0]), Kvm(cluster.hosts[1])
+        vm = make_vm()
+        hv0.define(vm)
+        hv0.start(vm)
+        hv0.eject(vm)
+        assert cluster.hosts[0].memory_used == 0
+        hv1.adopt(vm, VmState.RUNNING)
+        assert cluster.hosts[1].memory_used == vm.memory
+        assert vm.host_name == "node1"
+
+    def test_memory_capacity_enforced(self, cluster):
+        hv = Kvm(cluster.hosts[0])
+        big = make_vm("big", memory=cluster.hosts[0].memory + 1)
+        with pytest.raises(Exception):
+            hv.define(big)
+
+    def test_foreign_vm_operations_rejected(self, cluster):
+        hv0, hv1 = Kvm(cluster.hosts[0]), Kvm(cluster.hosts[1])
+        vm = make_vm()
+        hv0.define(vm)
+        with pytest.raises(LifecycleError):
+            hv1.start(vm)
+
+    def test_bad_vm_shape(self):
+        with pytest.raises(LifecycleError):
+            VirtualMachine("bad", vcpus=0, memory=1, image=IMG)
+
+
+class TestOverheads:
+    def run_work(self, hv_cls, kind, cycles=1 * GHz):
+        cluster = Cluster(1)
+        # Make exits negligible irrelevant by using a big batch.
+        host = cluster.hosts[0]
+        hv = hv_cls(host)
+        vm = make_vm()
+        hv.define(vm)
+        hv.start(vm)
+        p = cluster.engine.process(vm.run_work(cycles, kind))
+        cluster.run(p)
+        return cluster.now
+
+    def test_ordering_cpu(self):
+        bare = self.run_work(BareMetal, WorkKind.CPU)
+        para = self.run_work(XenPv, WorkKind.CPU)
+        full = self.run_work(Kvm, WorkKind.CPU)
+        emul = self.run_work(Emulator, WorkKind.CPU)
+        assert bare < para < full < emul
+
+    def test_ordering_io(self):
+        bare = self.run_work(BareMetal, WorkKind.IO)
+        para = self.run_work(XenPv, WorkKind.IO)
+        full = self.run_work(Kvm, WorkKind.IO)
+        assert bare < para < full
+
+    def test_io_penalty_exceeds_cpu_penalty_for_full_virt(self):
+        cpu_ratio = self.run_work(Kvm, WorkKind.CPU) / self.run_work(BareMetal, WorkKind.CPU)
+        io_ratio = self.run_work(Kvm, WorkKind.IO) / self.run_work(BareMetal, WorkKind.IO)
+        assert io_ratio > cpu_ratio
+
+    def test_work_requires_running_state(self, cluster):
+        hv = Kvm(cluster.hosts[0])
+        vm = make_vm()
+        hv.define(vm)
+        with pytest.raises(LifecycleError):
+            vm.run_work(100)
+
+    def test_factory(self, cluster):
+        assert isinstance(make_hypervisor("kvm", cluster.hosts[0]), Kvm)
+        assert isinstance(make_hypervisor("xen", cluster.hosts[1]), XenPv)
+        with pytest.raises(LifecycleError):
+            make_hypervisor("vmware", cluster.hosts[0])
+
+    def test_memory_committed(self, cluster):
+        hv = Kvm(cluster.hosts[0])
+        for i in range(3):
+            vm = make_vm(f"vm{i}", memory=100 * MiB)
+            hv.define(vm)
+        assert hv.memory_committed() == 300 * MiB
+
+
+class TestDirtyPageModel:
+    def test_dirtying_is_rate_bound_for_short_rounds(self):
+        m = DirtyPageModel(memory=1024 * MiB, dirty_rate=100 * MiB, wws_fraction=0.25)
+        assert m.dirtied_during(1.0) == pytest.approx(100 * MiB)
+
+    def test_dirtying_saturates_near_wws(self):
+        m = DirtyPageModel(memory=1024 * MiB, dirty_rate=100 * MiB, wws_fraction=0.1)
+        long_round = m.dirtied_during(1000.0)
+        assert long_round < 1024 * MiB
+        assert long_round <= m.memory
+
+    def test_never_exceeds_memory(self):
+        m = DirtyPageModel(memory=64 * MiB, dirty_rate=10**12, wws_fraction=1.0)
+        assert m.dirtied_during(100.0) <= 64 * MiB
+
+    def test_zero_time_zero_dirty(self):
+        m = DirtyPageModel(memory=64 * MiB, dirty_rate=100)
+        assert m.dirtied_during(0.0) == 0.0
+
+    def test_pages_rounds_up(self):
+        m = DirtyPageModel(memory=64 * MiB, dirty_rate=0)
+        assert m.pages(1) == 1
+        assert m.pages(4096) == 1
+        assert m.pages(4097) == 2
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            DirtyPageModel(memory=0, dirty_rate=1)
+        with pytest.raises(ConfigError):
+            DirtyPageModel(memory=1, dirty_rate=-1)
+        with pytest.raises(ConfigError):
+            DirtyPageModel(memory=1, dirty_rate=1, wws_fraction=2.0)

@@ -1,0 +1,178 @@
+import pytest
+
+from repro.common.errors import AuthError, HttpError, WebError
+from repro.hardware import Cluster
+from repro.web import (
+    ApachePrefork,
+    AuthService,
+    Database,
+    Lighttpd,
+    Request,
+    Response,
+)
+
+
+def make_auth():
+    t = {"now": 0.0}
+    return AuthService(Database(), clock=lambda: t["now"])
+
+
+class TestRegistration:
+    def test_register_verify_login_logout(self):
+        auth = make_auth()
+        uid = auth.register("kuan", "secret99", "Kuan-Lung", "kuan@thu.edu.tw")
+        # not verified yet -> login refused
+        with pytest.raises(AuthError, match="not verified"):
+            auth.login("kuan", "secret99")
+        email, token = auth.outbox[-1]
+        assert email == "kuan@thu.edu.tw"
+        assert auth.verify_email(token) == uid
+        session = auth.login("kuan", "secret99")
+        assert auth.current_user(session.token)["username"] == "kuan"
+        auth.logout(session.token)
+        assert auth.current_user(session.token) is None
+
+    def test_duplicate_username_and_email(self):
+        auth = make_auth()
+        auth.register("kuan", "secret99", "K", "a@b.c")
+        with pytest.raises(AuthError, match="taken"):
+            auth.register("kuan", "other999", "K2", "x@y.z")
+        with pytest.raises(AuthError, match="already registered"):
+            auth.register("other", "other999", "K2", "a@b.c")
+
+    def test_weak_password(self):
+        with pytest.raises(AuthError):
+            make_auth().register("u1", "abc", "U", "u@x.y")
+
+    def test_bad_username(self):
+        with pytest.raises(AuthError):
+            make_auth().register("bad name!", "secret99", "U", "u@x.y")
+
+    def test_bad_email(self):
+        with pytest.raises(AuthError):
+            make_auth().register("user1", "secret99", "U", "nope")
+
+    def test_wrong_password_indistinguishable(self):
+        auth = make_auth()
+        auth.register("kuan", "secret99", "K", "a@b.c")
+        auth.verify_email(auth.outbox[-1][1])
+        with pytest.raises(AuthError) as e1:
+            auth.login("kuan", "wrong999")
+        with pytest.raises(AuthError) as e2:
+            auth.login("ghost", "whatever")
+        assert str(e1.value) == str(e2.value)
+
+    def test_token_single_use(self):
+        auth = make_auth()
+        auth.register("kuan", "secret99", "K", "a@b.c")
+        _, token = auth.outbox[-1]
+        auth.verify_email(token)
+        with pytest.raises(AuthError):
+            auth.verify_email(token)
+
+    def test_blocked_user_cannot_login(self):
+        auth = make_auth()
+        uid = auth.register("kuan", "secret99", "K", "a@b.c")
+        auth.verify_email(auth.outbox[-1][1])
+        auth.db.table("users").update(uid, blocked=True)
+        with pytest.raises(AuthError, match="blocked"):
+            auth.login("kuan", "secret99")
+
+    def test_require_user(self):
+        auth = make_auth()
+        with pytest.raises(AuthError):
+            auth.require_user(None)
+        with pytest.raises(AuthError):
+            auth.require_user("bogus")
+
+    def test_logout_unknown_session(self):
+        with pytest.raises(AuthError):
+            make_auth().logout("nope")
+
+
+def ok_handler(request):
+    def _h():
+        yield request  # placeholder; replaced below
+    raise AssertionError("not used directly")
+
+
+class TestWebServer:
+    def make_server(self, cls=Lighttpd, **kw):
+        cluster = Cluster(2)
+        server = cls(cluster, "node0", **kw) if kw else cls(cluster, "node0")
+
+        def hello(request):
+            def _h():
+                yield cluster.engine.timeout(0.001)
+                return Response(body={"hello": request.params.get("name", "world")})
+
+            return _h()
+
+        server.route("GET", "/hello", hello)
+        return cluster, server
+
+    def test_request_response_roundtrip(self):
+        cluster, server = self.make_server()
+        req = Request("GET", "/hello", params={"name": "voc"}, client_host="node1")
+        resp = cluster.run(cluster.engine.process(server.handle(req)))
+        assert resp.ok
+        assert resp.body == {"hello": "voc"}
+        assert server.stats.requests == 1
+        assert server.stats.bytes_sent > 0
+
+    def test_404_for_unknown_route(self):
+        cluster, server = self.make_server()
+        req = Request("GET", "/nope", client_host="node1")
+        resp = cluster.run(cluster.engine.process(server.handle(req)))
+        assert resp.status == 404
+        assert server.stats.errors == 1
+
+    def test_bad_method_rejected(self):
+        with pytest.raises(HttpError):
+            Request("DELETE", "/x")
+
+    def test_unknown_host_rejected(self):
+        cluster = Cluster(1)
+        with pytest.raises(WebError):
+            Lighttpd(cluster, "ghost")
+
+    def test_lighttpd_footprint_smaller_than_apache(self):
+        cluster, lighttpd = self.make_server(Lighttpd)
+        cluster2, apache = self.make_server(ApachePrefork)
+
+        def hammer(cluster, server, n=20):
+            procs = [
+                cluster.engine.process(server.handle(
+                    Request("GET", "/hello", client_host="node1")))
+                for _ in range(n)
+            ]
+            cluster.engine.run(cluster.engine.all_of(procs))
+
+        hammer(cluster, lighttpd)
+        hammer(cluster2, apache)
+        assert lighttpd.memory_footprint() < apache.memory_footprint()
+        assert lighttpd.stats.cpu_seconds < apache.stats.cpu_seconds
+
+    def test_connection_cap_queues_requests(self):
+        cluster = Cluster(2)
+        server = ApachePrefork(cluster, "node0", workers=2)
+        order = []
+
+        def slow(request):
+            def _h():
+                yield cluster.engine.timeout(1.0)
+                order.append(cluster.engine.now)
+                return Response()
+
+            return _h()
+
+        server.route("GET", "/slow", slow)
+        procs = [
+            cluster.engine.process(server.handle(
+                Request("GET", "/slow", client_host="node1")))
+            for _ in range(4)
+        ]
+        cluster.engine.run(cluster.engine.all_of(procs))
+        # two waves of two
+        assert order[1] - order[0] < 0.5
+        assert order[2] - order[0] >= 1.0

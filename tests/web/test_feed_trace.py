@@ -1,0 +1,87 @@
+import json
+
+import pytest
+
+from repro.common.events import EventLog
+from repro.common.trace import to_chrome_trace
+from repro.web import render_feed
+
+from tests.web.test_portal import make_portal, publish_video, register_and_login
+
+
+class TestRssFeed:
+    def test_feed_route_lists_recent(self):
+        cluster, portal = make_portal()
+        session = register_and_login(cluster, portal)
+        vid = publish_video(cluster, portal, session, title="Nobody <MV>")
+        resp = cluster.run(cluster.engine.process(
+            portal.request("GET", "/feed")))
+        assert resp.ok
+        xml = resp.body["xml"]
+        assert xml.startswith('<?xml version="1.0"')
+        assert "<rss version=\"2.0\">" in xml
+        assert f"/video?id={vid}" in xml
+        # XML-escaped title
+        assert "Nobody &lt;MV&gt;" in xml
+        assert resp.body["items"] == 1
+        assert resp.body_bytes == len(xml.encode())
+
+    def test_removed_videos_absent(self):
+        cluster, portal = make_portal()
+        session = register_and_login(cluster, portal, "admin")
+        vid = publish_video(cluster, portal, session)
+        cluster.run(cluster.engine.process(portal.request(
+            "POST", "/delete", session=session, params={"id": vid})))
+        resp = cluster.run(cluster.engine.process(
+            portal.request("GET", "/feed")))
+        assert resp.body["items"] == 0
+
+    def test_render_feed_limit(self):
+        videos = [{"id": i, "title": f"v{i}", "description": ""}
+                  for i in range(30)]
+        xml = render_feed(videos, limit=5)
+        assert xml.count("<item>") == 5
+
+    def test_feed_is_parseable_xml(self):
+        import xml.etree.ElementTree as ET
+
+        xml = render_feed([{"id": 1, "title": 'a "quoted" & <odd> title',
+                            "description": "d&d"}])
+        root = ET.fromstring(xml)
+        assert root.tag == "rss"
+        items = root.findall("./channel/item")
+        assert items[0].find("title").text == 'a "quoted" & <odd> title'
+
+
+class TestChromeTrace:
+    def test_trace_structure(self):
+        t = {"now": 0.0}
+        log = EventLog(clock=lambda: t["now"])
+        log.emit("one.core", "vm_state", "vm-0 RUNNING", vm="vm-0")
+        t["now"] = 2.5
+        log.emit("hdfs", "block_written", "blk-0", size=1024)
+        doc = json.loads(to_chrome_trace(log))
+        events = doc["traceEvents"]
+        instants = [e for e in events if e["ph"] == "i"]
+        assert len(instants) == 2
+        assert instants[0]["ts"] == 0.0
+        assert instants[1]["ts"] == 2_500_000.0
+        assert instants[1]["args"]["size"] == 1024
+        # distinct sources get distinct threads, with name metadata
+        names = {e["args"]["name"] for e in events if e["ph"] == "M"}
+        assert {"one.core", "hdfs"} <= names
+
+    def test_non_jsonable_data_reprd(self):
+        log = EventLog()
+        log.emit("s", "k", "m", payload=object())
+        doc = json.loads(to_chrome_trace(log))
+        (ev,) = [e for e in doc["traceEvents"] if e["ph"] == "i"]
+        assert "object" in ev["args"]["payload"]
+
+    def test_whole_simulation_trace(self):
+        cluster, portal = make_portal()
+        session = register_and_login(cluster, portal)
+        publish_video(cluster, portal, session)
+        doc = json.loads(to_chrome_trace(cluster.log))
+        kinds = {e["name"] for e in doc["traceEvents"] if e["ph"] == "i"}
+        assert "video_published" in kinds

@@ -1,0 +1,183 @@
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.common.errors import DatabaseError
+from repro.web import Column, Database, QueryStats
+
+
+def users_table(db=None):
+    db = db or Database()
+    return db.create_table(
+        "users",
+        [
+            Column("id", "int"),
+            Column("name", "str", unique=True),
+            Column("age", "int", nullable=True),
+            Column("active", "bool"),
+        ],
+    )
+
+
+class TestSchema:
+    def test_unknown_column_type(self):
+        with pytest.raises(DatabaseError):
+            Column("x", "json")
+
+    def test_missing_primary_key(self):
+        with pytest.raises(DatabaseError):
+            Database().create_table("t", [Column("a")], primary_key="id")
+
+    def test_duplicate_table(self):
+        db = Database()
+        users_table(db)
+        with pytest.raises(DatabaseError):
+            users_table(db)
+
+    def test_table_lookup(self):
+        db = Database()
+        t = users_table(db)
+        assert db.table("users") is t
+        assert "users" in db
+        with pytest.raises(DatabaseError):
+            db.table("ghost")
+
+
+class TestCrud:
+    def test_auto_increment(self):
+        t = users_table()
+        a = t.insert(name="ann", active=True)
+        b = t.insert(name="bob", active=False)
+        assert (a, b) == (1, 2)
+
+    def test_explicit_pk_respected(self):
+        t = users_table()
+        t.insert(id=10, name="x", active=True)
+        assert t.insert(name="y", active=True) == 11
+
+    def test_type_checked(self):
+        t = users_table()
+        with pytest.raises(DatabaseError):
+            t.insert(name=5, active=True)
+        with pytest.raises(DatabaseError):
+            t.insert(name="ok", active="yes")
+
+    def test_not_null(self):
+        t = users_table()
+        with pytest.raises(DatabaseError):
+            t.insert(name=None, active=True)
+        t.insert(name="ok", active=True, age=None)  # nullable
+
+    def test_unique_enforced_on_insert_and_update(self):
+        t = users_table()
+        t.insert(name="ann", active=True)
+        t.insert(name="bob", active=True)
+        with pytest.raises(DatabaseError):
+            t.insert(name="ann", active=False)
+        with pytest.raises(DatabaseError):
+            t.update(2, name="ann")
+        t.update(2, name="bobby")
+
+    def test_duplicate_pk(self):
+        t = users_table()
+        t.insert(id=1, name="a", active=True)
+        with pytest.raises(DatabaseError):
+            t.insert(id=1, name="b", active=True)
+
+    def test_get_and_isolation(self):
+        t = users_table()
+        pk = t.insert(name="ann", active=True)
+        row = t.get(pk)
+        row["name"] = "mutated"
+        assert t.get(pk)["name"] == "ann"  # copies, not references
+
+    def test_update_and_delete(self):
+        t = users_table()
+        pk = t.insert(name="ann", active=True)
+        assert t.update(pk, age=30)
+        assert t.get(pk)["age"] == 30
+        assert t.delete(pk)
+        assert t.get(pk) is None
+        assert not t.delete(pk)
+        assert not t.update(pk, age=1)
+
+    def test_unknown_column_rejected(self):
+        t = users_table()
+        with pytest.raises(DatabaseError):
+            t.insert(name="x", active=True, ghost=1)
+        pk = t.insert(name="x", active=True)
+        with pytest.raises(DatabaseError):
+            t.update(pk, ghost=2)
+
+
+class TestSelect:
+    def make_filled(self):
+        t = users_table()
+        for i, (name, age, active) in enumerate(
+            [("ann", 30, True), ("bob", 25, True), ("cat", 35, False)]
+        ):
+            t.insert(name=name, age=age, active=active)
+        return t
+
+    def test_full_scan(self):
+        t = self.make_filled()
+        assert len(t.select()) == 3
+
+    def test_where_dict(self):
+        t = self.make_filled()
+        rows = t.select({"active": True})
+        assert {r["name"] for r in rows} == {"ann", "bob"}
+
+    def test_where_callable(self):
+        t = self.make_filled()
+        rows = t.select(lambda r: r["age"] > 28)
+        assert {r["name"] for r in rows} == {"ann", "cat"}
+
+    def test_order_and_limit(self):
+        t = self.make_filled()
+        rows = t.select(order_by="age", descending=True, limit=2)
+        assert [r["name"] for r in rows] == ["cat", "ann"]
+
+    def test_order_by_unknown(self):
+        t = self.make_filled()
+        with pytest.raises(DatabaseError):
+            t.select(order_by="ghost")
+
+    def test_index_used_for_unique_column(self):
+        t = self.make_filled()
+        stats = QueryStats()
+        rows = t.select({"name": "bob"}, stats=stats)
+        assert rows[0]["age"] == 25
+        assert stats.used_index
+        assert stats.rows_scanned == 1
+
+    def test_scan_counts_all_rows_without_index(self):
+        t = self.make_filled()
+        stats = QueryStats()
+        t.select({"age": 25}, stats=stats)
+        assert not stats.used_index
+        assert stats.rows_scanned == 3
+
+    def test_secondary_index_after_data(self):
+        t = self.make_filled()
+        t.create_index("age")
+        stats = QueryStats()
+        rows = t.select({"age": 35}, stats=stats)
+        assert rows[0]["name"] == "cat"
+        assert stats.used_index
+
+    def test_count(self):
+        t = self.make_filled()
+        assert t.count() == 3
+        assert t.count({"active": False}) == 1
+
+    @given(st.lists(st.integers(min_value=0, max_value=100), min_size=1, max_size=30))
+    def test_property_index_equals_scan(self, ages):
+        t = Database().create_table(
+            "t", [Column("id", "int"), Column("age", "int")])
+        for a in ages:
+            t.insert(age=a)
+        t.create_index("age")
+        target = ages[0]
+        with_index = t.select({"age": target})
+        brute = [r for r in t.select() if r["age"] == target]
+        assert sorted(r["id"] for r in with_index) == sorted(r["id"] for r in brute)

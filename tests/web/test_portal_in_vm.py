@@ -1,0 +1,75 @@
+"""The paper's actual deployment: the web tier runs inside an IaaS guest,
+so virtualization overhead (claim C3) shows up in page service times."""
+
+import pytest
+
+from repro.common.errors import WebError
+from repro.common.units import GiB, MiB
+from repro.hardware import Cluster
+from repro.hdfs import Hdfs
+from repro.virt import DiskImage, Kvm, VirtualMachine, XenPv, make_hypervisor
+from repro.web import VideoPortal
+
+
+def make_portal(hypervisor_kind=None):
+    """Portal whose web tier optionally runs in a guest on `node1`."""
+    cluster = Cluster(6)
+    fs = Hdfs(cluster, namenode_host="node0",
+              datanode_hosts=cluster.host_names[1:], block_size=16 * MiB,
+              replication=2)
+    guest = None
+    if hypervisor_kind is not None:
+        hv = make_hypervisor(hypervisor_kind, cluster.host("node1"))
+        guest = VirtualMachine("web-vm", vcpus=2, memory=1 * GiB,
+                               image=DiskImage("ubuntu", size=1 * GiB))
+        hv.define(guest)
+        hv.start(guest)
+    portal = VideoPortal(cluster, fs, web_host="node1",
+                         transcode_workers=cluster.host_names[2:],
+                         guest_vm=guest)
+    return cluster, portal
+
+
+def page_time(cluster, portal, n=40):
+    t0 = cluster.now
+    for _ in range(n):
+        resp = cluster.run(cluster.engine.process(portal.request("GET", "/")))
+        assert resp.ok
+    return cluster.now - t0
+
+
+class TestPortalInVm:
+    def test_unplaced_guest_rejected(self):
+        cluster = Cluster(6)
+        fs = Hdfs(cluster, namenode_host="node0",
+                  datanode_hosts=cluster.host_names[1:], replication=2)
+        stray = VirtualMachine("stray", vcpus=1, memory=256 * MiB,
+                               image=DiskImage("i", size=1 * GiB))
+        with pytest.raises(WebError):
+            VideoPortal(cluster, fs, web_host="node1",
+                        transcode_workers=cluster.host_names[2:],
+                        guest_vm=stray)
+
+    def test_portal_works_inside_guest(self):
+        cluster, portal = make_portal("kvm")
+        resp = cluster.run(cluster.engine.process(portal.request(
+            "POST", "/register",
+            params={"username": "kuan", "password": "secret99",
+                    "email": "k@x.y"})))
+        assert resp.ok
+        assert portal.guest_vm.cpu_seconds_run > 0
+
+    def test_c3_overhead_ordering_at_page_level(self):
+        """bare < Xen PV < KVM page times: C3 expressed in the SaaS layer."""
+        times = {}
+        for kind in (None, "xen", "kvm"):
+            cluster, portal = make_portal(kind)
+            times[kind] = page_time(cluster, portal)
+        assert times[None] < times["xen"] < times["kvm"]
+
+    def test_guest_pause_falls_back_to_host(self):
+        """A paused guest (e.g. mid-migration) doesn't break the portal."""
+        cluster, portal = make_portal("kvm")
+        portal.guest_vm.hypervisor.pause(portal.guest_vm)
+        resp = cluster.run(cluster.engine.process(portal.request("GET", "/")))
+        assert resp.ok

@@ -1,0 +1,96 @@
+import pytest
+
+from repro.common.errors import WebError
+from repro.web import Response, render_page
+
+from tests.web.test_portal import make_portal, register_and_login, publish_video
+
+
+def run(cluster, gen):
+    return cluster.run(cluster.engine.process(gen))
+
+
+@pytest.fixture(scope="module")
+def portal_with_video():
+    cluster, portal = make_portal()
+    session = register_and_login(cluster, portal)
+    vid = publish_video(cluster, portal, session, title="Nobody MV")
+    run(cluster, portal.refresh_search_index())
+    return cluster, portal, session, vid
+
+
+class TestRenderPages:
+    def test_home(self, portal_with_video):
+        cluster, portal, _, _ = portal_with_video
+        resp = run(cluster, portal.request("GET", "/"))
+        page = render_page(resp)
+        assert "VOC" in page
+        assert "Nobody MV" in page
+        assert "search" in page.lower()
+
+    def test_search_results(self, portal_with_video):
+        cluster, portal, _, vid = portal_with_video
+        resp = run(cluster, portal.request("GET", "/search",
+                                           params={"q": "nobody"}))
+        page = render_page(resp)
+        assert "FIGURE 18" in page
+        assert f"/video?id={vid}" in page
+
+    def test_search_no_results_with_suggestion(self, portal_with_video):
+        cluster, portal, _, _ = portal_with_video
+        resp = run(cluster, portal.request("GET", "/search",
+                                           params={"q": "nobdy"}))
+        page = render_page(resp)
+        assert "no videos found" in page
+        assert "did you mean" in page
+
+    def test_player_page(self, portal_with_video):
+        cluster, portal, _, vid = portal_with_video
+        resp = run(cluster, portal.request("GET", "/video",
+                                           params={"id": vid}))
+        page = render_page(resp)
+        assert "FIGURE 23" in page
+        assert "h264/flv" in page
+        assert "drag to seek" in page
+        assert "facebook" in page
+
+    def test_auth_pages(self, portal_with_video):
+        cluster, portal, session, _ = portal_with_video
+        resp = run(cluster, portal.request(
+            "POST", "/register",
+            params={"username": "newbie", "password": "secret99",
+                    "email": "n@x.y"}))
+        assert "FIGURE 19" in render_page(resp)
+        _, token = portal.auth.outbox[-1]
+        run(cluster, portal.request("POST", "/verify", params={"token": token}))
+        resp = run(cluster, portal.request(
+            "POST", "/login",
+            params={"username": "newbie", "password": "secret99"}))
+        assert "welcome back, newbie" in render_page(resp)
+        resp = run(cluster, portal.request("POST", "/logout",
+                                           session=resp.set_session))
+        assert "FIGURE 21" in render_page(resp)
+
+    def test_my_videos(self, portal_with_video):
+        cluster, portal, session, _ = portal_with_video
+        resp = run(cluster, portal.request("GET", "/my_videos", session=session))
+        page = render_page(resp)
+        assert "MY VIDEOS" in page
+        assert "(edit) (delete)" in page
+
+    def test_error_page(self):
+        page = render_page(Response(status=404, body={"error": "no video 9"}))
+        assert "HTTP 404" in page
+        assert "no video 9" in page
+
+    def test_unknown_page_rejected(self):
+        with pytest.raises(WebError):
+            render_page(Response(body={"page": "mystery"}))
+
+    def test_boxes_are_rectangular(self, portal_with_video):
+        cluster, portal, _, _ = portal_with_video
+        resp = run(cluster, portal.request("GET", "/"))
+        lines = render_page(resp).splitlines()
+        assert len({len(l) for l in lines}) == 1  # constant width
+        assert lines[0].startswith("+--")
+        assert lines[-1].startswith("+--")
