@@ -16,9 +16,11 @@ The package mirrors the paper's stack:
   progressive streaming + player
 * :mod:`repro.fusehdfs`   -- FUSE bridge mounting HDFS
 * :mod:`repro.web`        -- Lighttpd/MySQL analogues + the VOC portal
+* :mod:`repro.chaos`      -- seeded fault injection + recovery reporting
 * :func:`repro.build_video_cloud` -- the whole Figure 14 stack in one call
 """
 
+from .chaos import ChaosMonkey, ChaosReport
 from .common.calibration import Calibration, DEFAULT_CALIBRATION
 from .hardware import Cluster
 from .stack import VideoCloud, build_video_cloud
@@ -27,6 +29,8 @@ __version__ = "1.0.0"
 
 __all__ = [
     "Calibration",
+    "ChaosMonkey",
+    "ChaosReport",
     "Cluster",
     "DEFAULT_CALIBRATION",
     "VideoCloud",

@@ -1,0 +1,29 @@
+"""Chaos engineering for the video cloud: seeded fault injection +
+recovery observation (the robustness counterpart of the paper's
+fault-tolerance claims)."""
+
+from .monkey import ChaosMonkey
+from .report import ChaosReport, FaultRecord, RecoveryRecord
+from .scenarios import (
+    DiskSlowdown,
+    HostCrash,
+    LinkCut,
+    LinkDegradation,
+    NetworkPartition,
+    Scenario,
+    VmKill,
+)
+
+__all__ = [
+    "ChaosMonkey",
+    "ChaosReport",
+    "DiskSlowdown",
+    "FaultRecord",
+    "HostCrash",
+    "LinkCut",
+    "LinkDegradation",
+    "NetworkPartition",
+    "RecoveryRecord",
+    "Scenario",
+    "VmKill",
+]

@@ -1,0 +1,267 @@
+"""The chaos monkey: seeded fault injection against a running stack.
+
+The monkey owns the *injection* primitives (crash a host, cut a link,
+partition the fabric, slow a disk, kill a VM) and the *observation*
+helpers (watchers that poll a recovery predicate and record time-to-
+recovery in a :class:`~repro.chaos.report.ChaosReport`).  Scenarios from
+:mod:`repro.chaos.scenarios` compose the primitives on the timeline;
+``unleash`` runs any number of them concurrently.
+
+All randomness flows through one labelled child stream of the cluster's
+root RNG, so a chaos run is bit-reproducible from the cluster seed.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Generator, Iterable, Sequence
+
+from ..common.errors import ConfigError
+from ..common.rng import RngStream
+from ..hardware import Cluster
+from ..one.lifecycle import OneState
+from .report import ChaosReport
+from .scenarios import (
+    DiskSlowdown,
+    HostCrash,
+    LinkCut,
+    LinkDegradation,
+)
+
+#: default watcher cadence / give-up horizon, seconds
+WATCH_PERIOD = 1.0
+WATCH_TIMEOUT = 600.0
+
+
+class ChaosMonkey:
+    """Injects faults into a cluster (and optionally its cloud/fs/portal)."""
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        *,
+        cloud=None,
+        fs=None,
+        portal=None,
+        rng: RngStream | None = None,
+        report: ChaosReport | None = None,
+    ) -> None:
+        self.cluster = cluster
+        self.engine = cluster.engine
+        self.log = cluster.log
+        self.cloud = cloud
+        self.fs = fs
+        self.portal = portal
+        self.rng = rng or cluster.rng.child("chaos")
+        self.report = report or ChaosReport()
+
+    # -- injection primitives ---------------------------------------------------
+
+    def crash_host(self, name: str) -> None:
+        """Whole-host crash: NIC dark, resident services cascade down."""
+        host = self.cluster.host(name)
+        self.report.record_fault(self.engine.now, "host_crash", name)
+        self.log.emit("chaos", "chaos_host_crash", f"crashing host {name}", host=name)
+        host.fail()
+
+    def recover_host(self, name: str) -> None:
+        host = self.cluster.host(name)
+        self.report.record_fault(self.engine.now, "host_recover", name)
+        self.log.emit("chaos", "chaos_host_recover", f"rebooting host {name}", host=name)
+        host.recover()
+
+    def cut_link(self, name: str) -> None:
+        self.report.record_fault(self.engine.now, "link_cut", name)
+        self.log.emit("chaos", "chaos_link_cut", f"cutting link of {name}", host=name)
+        self.cluster.network.cut(name)
+
+    def restore_link(self, name: str) -> None:
+        self.report.record_fault(self.engine.now, "link_restore", name)
+        self.log.emit("chaos", "chaos_link_restore", f"restoring link of {name}",
+                      host=name)
+        self.cluster.network.restore(name)
+
+    def partition(self, isolated: list[str]) -> None:
+        self.report.record_fault(
+            self.engine.now, "partition", ",".join(sorted(isolated)))
+        self.log.emit("chaos", "chaos_partition",
+                      f"partitioning {sorted(isolated)} from the rest",
+                      isolated=sorted(isolated))
+        self.cluster.network.partition(isolated)
+
+    def heal_partition(self) -> None:
+        self.report.record_fault(self.engine.now, "partition_heal", "*")
+        self.log.emit("chaos", "chaos_partition_heal", "healing partition")
+        self.cluster.network.heal_partition()
+
+    def degrade_link(self, name: str, factor: float) -> None:
+        self.report.record_fault(
+            self.engine.now, "link_degradation", name, f"factor={factor}")
+        self.log.emit("chaos", "chaos_link_degraded",
+                      f"{name} NIC throttled to {factor:.0%}", host=name,
+                      factor=factor)
+        self.cluster.network.set_link_factor(name, factor)
+
+    def slow_disk(self, name: str, factor: float) -> None:
+        self.report.record_fault(
+            self.engine.now, "disk_slowdown", name, f"factor={factor}")
+        self.log.emit("chaos", "chaos_disk_slow",
+                      f"{name} disk slowed {factor:.1f}x", host=name, factor=factor)
+        self.cluster.host(name).disk.set_slowdown(factor)
+
+    def restore_disk(self, name: str) -> None:
+        self.report.record_fault(self.engine.now, "disk_restore", name)
+        self.log.emit("chaos", "chaos_disk_restore", f"{name} disk nominal",
+                      host=name)
+        self.cluster.host(name).disk.set_slowdown(1.0)
+
+    def kill_vm(self, vm_name: str) -> None:
+        """Kill one VM through the cloud controller; watch its resurrection."""
+        if self.cloud is None:
+            raise ConfigError("kill_vm needs a cloud controller")
+        for vm in self.cloud.vm_pool.values():
+            if vm.name == vm_name:
+                break
+        else:
+            raise ConfigError(f"no VM named {vm_name!r}")
+        t0 = self.engine.now
+        self.report.record_fault(t0, "vm_kill", vm_name)
+        self.log.emit("chaos", "chaos_vm_kill", f"killing VM {vm_name}", vm=vm_name)
+        self.cloud.kill_vm(vm, resubmit=True, reason="chaos vm kill")
+        self.watch_vm(vm, since=t0)
+
+    # -- scenario execution ----------------------------------------------------------
+
+    def unleash(self, scenarios: Iterable) -> "Generator | object":
+        """Run all *scenarios* concurrently; the process returns the report."""
+        scenario_list = list(scenarios)
+
+        def _run():
+            procs = [
+                self.engine.process(s.run(self), name=f"chaos-{s.kind}")
+                for s in scenario_list
+            ]
+            for p in procs:
+                yield p
+            return self.report
+
+        return self.engine.process(_run(), name="chaos-monkey")
+
+    # -- scenario generation -----------------------------------------------------------
+
+    def random_scenarios(
+        self,
+        n: int,
+        *,
+        horizon: float,
+        hosts: Sequence[str] | None = None,
+        kinds: Sequence[str] = ("host_crash", "link_cut",
+                                "disk_slowdown", "link_degradation"),
+        recover: bool = True,
+    ) -> list:
+        """*n* seeded scenarios spread over ``[0, horizon)`` seconds."""
+        if n < 0 or horizon <= 0:
+            raise ConfigError("need n >= 0 and horizon > 0")
+        pool = list(hosts) if hosts is not None else self.cluster.host_names
+        out = []
+        for _ in range(n):
+            kind = self.rng.choice(list(kinds))
+            host = self.rng.choice(pool)
+            at = self.rng.uniform(0.0, horizon)
+            dur = self.rng.uniform(0.1 * horizon, 0.5 * horizon) if recover else None
+            if kind == "host_crash":
+                out.append(HostCrash(host, at, recover_after=dur))
+            elif kind == "link_cut":
+                out.append(LinkCut(host, at, restore_after=dur))
+            elif kind == "disk_slowdown":
+                out.append(DiskSlowdown(
+                    host, self.rng.uniform(2.0, 10.0), at, restore_after=dur))
+            elif kind == "link_degradation":
+                out.append(LinkDegradation(
+                    host, self.rng.uniform(0.1, 0.9), at, restore_after=dur))
+            else:
+                raise ConfigError(f"unknown scenario kind {kind!r}")
+        return sorted(out, key=lambda s: s.at)
+
+    def scenarios_from_fault_model(
+        self, fault, hosts: Sequence[str], *, horizon: float,
+    ) -> list:
+        """TaskTracker-crash scenarios from a MapReduce FaultModel.
+
+        One crash draw per host over the horizon (the satellite wiring for
+        ``FaultModel.tracker_crash_rate``): hosts that lose the draw get a
+        HostCrash at a uniform time, taking their tracker down with them.
+        """
+        out = []
+        for host in hosts:
+            if fault.tracker_crashes(self.rng):
+                out.append(HostCrash(host, self.rng.uniform(0.0, horizon)))
+        return sorted(out, key=lambda s: s.at)
+
+    # -- recovery watchers ---------------------------------------------------------------
+
+    def watch(
+        self,
+        layer: str,
+        target: str,
+        predicate: Callable[[], bool],
+        *,
+        since: float | None = None,
+        period: float = WATCH_PERIOD,
+        timeout: float = WATCH_TIMEOUT,
+    ):
+        """Spawn a watcher: record a recovery when *predicate* turns true.
+
+        Watchers are armed, not instant: nothing is evaluated before
+        *since* (the injection time -- default now), so a watcher armed
+        ahead of a scheduled fault cannot mistake the healthy pre-fault
+        state for a recovery.  From there it is two-phase: first wait for
+        the fault to *manifest* (predicate goes false -- e.g. HDFS only
+        notices a dead DataNode after the heartbeat timeout), then wait
+        for it to heal.  Gives up after *timeout* seconds past *since*,
+        logging ``watch_timeout`` instead of recording.
+        """
+        t0 = self.engine.now if since is None else since
+        deadline = t0 + timeout
+
+        def _watch():
+            if self.engine.now < t0:    # armed for a future injection
+                yield self.engine.timeout(t0 - self.engine.now)
+            while predicate():          # fault not visible at this layer yet
+                if self.engine.now >= deadline:
+                    self.log.emit("chaos", "watch_timeout",
+                                  f"{layer}/{target} never degraded",
+                                  layer=layer, target=target)
+                    return None
+                yield self.engine.timeout(period)
+            while not predicate():
+                if self.engine.now >= deadline:
+                    self.log.emit("chaos", "watch_timeout",
+                                  f"{layer}/{target} never recovered",
+                                  layer=layer, target=target)
+                    return None
+                yield self.engine.timeout(period)
+            now = self.engine.now
+            self.log.emit("chaos", "recovered",
+                          f"{layer}/{target} recovered after {now - t0:.1f} s",
+                          layer=layer, target=target, ttr=now - t0)
+            return self.report.record_recovery(layer, target, t0, now)
+
+        return self.engine.process(_watch(), name=f"chaos-watch-{layer}-{target}")
+
+    def watch_hdfs(self, *, since: float | None = None, **kw):
+        """Watch for HDFS returning to full replication with no missing blocks."""
+        if self.fs is None:
+            raise ConfigError("watch_hdfs needs an Hdfs instance")
+        nn = self.fs.namenode
+
+        def healthy() -> bool:
+            return (nn.under_replicated_count() == 0
+                    and not nn.missing_blocks())
+
+        return self.watch("hdfs", "replication", healthy, since=since, **kw)
+
+    def watch_vm(self, vm, *, since: float | None = None, **kw):
+        """Watch one OneVm until it is RUNNING again."""
+        return self.watch(
+            "iaas", vm.name, lambda: vm.state is OneState.RUNNING,
+            since=since, **kw)

@@ -1,0 +1,98 @@
+"""Chaos run bookkeeping: injected faults, observed recoveries, MTTR.
+
+Every fault the monkey injects appends a :class:`FaultRecord`; every layer
+that heals (HDFS back to full replication, a VM back to RUNNING, a
+transcode segment failed over) appends a :class:`RecoveryRecord`.  The
+report turns the paper's qualitative "the cloud survives failures" into
+numbers: mean time to recovery per layer, worst case, totals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..common.tables import format_table
+
+
+@dataclass(frozen=True)
+class FaultRecord:
+    """One injected fault."""
+
+    time: float
+    kind: str        # host_crash | vm_kill | link_cut | partition | ...
+    target: str
+    detail: str = ""
+
+
+@dataclass(frozen=True)
+class RecoveryRecord:
+    """One observed recovery, attributed to a stack layer."""
+
+    layer: str       # iaas | hdfs | video | network | web
+    target: str
+    injected_at: float
+    recovered_at: float
+
+    @property
+    def ttr(self) -> float:
+        """Time to recovery, seconds."""
+        return self.recovered_at - self.injected_at
+
+
+@dataclass
+class ChaosReport:
+    """Accumulates faults and recoveries over one chaos run."""
+
+    faults: list[FaultRecord] = field(default_factory=list)
+    recoveries: list[RecoveryRecord] = field(default_factory=list)
+
+    def record_fault(self, time: float, kind: str, target: str,
+                     detail: str = "") -> FaultRecord:
+        rec = FaultRecord(time, kind, target, detail)
+        self.faults.append(rec)
+        return rec
+
+    def record_recovery(self, layer: str, target: str,
+                        injected_at: float, recovered_at: float) -> RecoveryRecord:
+        rec = RecoveryRecord(layer, target, injected_at, recovered_at)
+        self.recoveries.append(rec)
+        return rec
+
+    # -- metrics --------------------------------------------------------------
+
+    def mttr(self, layer: str | None = None) -> float | None:
+        """Mean time to recovery, optionally for one layer; None if no data."""
+        recs = [r for r in self.recoveries if layer is None or r.layer == layer]
+        if not recs:
+            return None
+        return sum(r.ttr for r in recs) / len(recs)
+
+    def mttr_by_layer(self) -> dict[str, float]:
+        out: dict[str, float] = {}
+        for layer in sorted({r.layer for r in self.recoveries}):
+            out[layer] = self.mttr(layer)  # type: ignore[assignment]
+        return out
+
+    def fault_counts(self) -> dict[str, int]:
+        out: dict[str, int] = {}
+        for f in self.faults:
+            out[f.kind] = out.get(f.kind, 0) + 1
+        return out
+
+    def summary(self) -> str:
+        """The post-mortem table: per-layer recovery statistics."""
+        rows: list[list[Any]] = []
+        for layer in sorted({r.layer for r in self.recoveries}):
+            recs = [r for r in self.recoveries if r.layer == layer]
+            ttrs = [r.ttr for r in recs]
+            rows.append([
+                layer, len(recs),
+                f"{sum(ttrs) / len(ttrs):.2f}",
+                f"{min(ttrs):.2f}", f"{max(ttrs):.2f}",
+            ])
+        table = format_table(
+            ["LAYER", "RECOVERIES", "MTTR", "MIN", "MAX"], rows,
+            title=f"chaos report ({len(self.faults)} faults injected)",
+        )
+        return table

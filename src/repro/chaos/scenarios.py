@@ -1,0 +1,167 @@
+"""Composable chaos scenarios.
+
+Each scenario is a frozen dataclass describing one fault (and optionally
+its undo) on the simulation timeline.  ``run(monkey)`` is a process
+generator the :class:`~repro.chaos.monkey.ChaosMonkey` schedules; scenarios
+only ever act through the monkey's primitives, so every injection is
+logged and counted uniformly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generator, TYPE_CHECKING
+
+from ..common.errors import ConfigError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .monkey import ChaosMonkey
+
+
+def _check_at(at: float) -> None:
+    if at < 0:
+        raise ConfigError(f"scenario start time must be >= 0, got {at}")
+
+
+@dataclass(frozen=True)
+class HostCrash:
+    """Whole-host crash at *at*; optional reboot *recover_after* s later."""
+
+    host: str
+    at: float
+    recover_after: float | None = None
+
+    kind = "host_crash"
+
+    def __post_init__(self) -> None:
+        _check_at(self.at)
+        if self.recover_after is not None and self.recover_after <= 0:
+            raise ConfigError("recover_after must be > 0")
+
+    def run(self, monkey: "ChaosMonkey") -> Generator:
+        yield monkey.engine.timeout(self.at)
+        monkey.crash_host(self.host)
+        if self.recover_after is not None:
+            yield monkey.engine.timeout(self.recover_after)
+            monkey.recover_host(self.host)
+
+
+@dataclass(frozen=True)
+class VmKill:
+    """Kill one VM by name at *at* (OpenNebula resubmits it)."""
+
+    vm_name: str
+    at: float
+
+    kind = "vm_kill"
+
+    def __post_init__(self) -> None:
+        _check_at(self.at)
+
+    def run(self, monkey: "ChaosMonkey") -> Generator:
+        yield monkey.engine.timeout(self.at)
+        monkey.kill_vm(self.vm_name)
+
+
+@dataclass(frozen=True)
+class LinkCut:
+    """Unplug one host's NIC at *at*; optionally replug *restore_after* later."""
+
+    host: str
+    at: float
+    restore_after: float | None = None
+
+    kind = "link_cut"
+
+    def __post_init__(self) -> None:
+        _check_at(self.at)
+        if self.restore_after is not None and self.restore_after <= 0:
+            raise ConfigError("restore_after must be > 0")
+
+    def run(self, monkey: "ChaosMonkey") -> Generator:
+        yield monkey.engine.timeout(self.at)
+        monkey.cut_link(self.host)
+        if self.restore_after is not None:
+            yield monkey.engine.timeout(self.restore_after)
+            monkey.restore_link(self.host)
+
+
+@dataclass(frozen=True)
+class NetworkPartition:
+    """Split *isolated* hosts from the rest at *at*; heal after *heal_after*."""
+
+    isolated: tuple[str, ...]
+    at: float
+    heal_after: float | None = None
+
+    kind = "partition"
+
+    def __post_init__(self) -> None:
+        _check_at(self.at)
+        if not self.isolated:
+            raise ConfigError("partition needs at least one isolated host")
+        if self.heal_after is not None and self.heal_after <= 0:
+            raise ConfigError("heal_after must be > 0")
+
+    def run(self, monkey: "ChaosMonkey") -> Generator:
+        yield monkey.engine.timeout(self.at)
+        monkey.partition(list(self.isolated))
+        if self.heal_after is not None:
+            yield monkey.engine.timeout(self.heal_after)
+            monkey.heal_partition()
+
+
+@dataclass(frozen=True)
+class LinkDegradation:
+    """Throttle a host's NIC to *factor* x nominal between *at* and restore."""
+
+    host: str
+    factor: float
+    at: float
+    restore_after: float | None = None
+
+    kind = "link_degradation"
+
+    def __post_init__(self) -> None:
+        _check_at(self.at)
+        if not 0.0 < self.factor < 1.0:
+            raise ConfigError("degradation factor must be in (0, 1)")
+        if self.restore_after is not None and self.restore_after <= 0:
+            raise ConfigError("restore_after must be > 0")
+
+    def run(self, monkey: "ChaosMonkey") -> Generator:
+        yield monkey.engine.timeout(self.at)
+        monkey.degrade_link(self.host, self.factor)
+        if self.restore_after is not None:
+            yield monkey.engine.timeout(self.restore_after)
+            monkey.restore_link(self.host)
+
+
+@dataclass(frozen=True)
+class DiskSlowdown:
+    """Multiply a host's disk I/O latency by *factor* (a failing spindle)."""
+
+    host: str
+    factor: float
+    at: float
+    restore_after: float | None = None
+
+    kind = "disk_slowdown"
+
+    def __post_init__(self) -> None:
+        _check_at(self.at)
+        if self.factor < 1.0:
+            raise ConfigError("disk slowdown factor must be >= 1.0")
+        if self.restore_after is not None and self.restore_after <= 0:
+            raise ConfigError("restore_after must be > 0")
+
+    def run(self, monkey: "ChaosMonkey") -> Generator:
+        yield monkey.engine.timeout(self.at)
+        monkey.slow_disk(self.host, self.factor)
+        if self.restore_after is not None:
+            yield monkey.engine.timeout(self.restore_after)
+            monkey.restore_disk(self.host)
+
+
+Scenario = (HostCrash | VmKill | LinkCut | NetworkPartition
+            | LinkDegradation | DiskSlowdown)

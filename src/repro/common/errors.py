@@ -40,6 +40,14 @@ class MigrationError(ReproError):
     """Live migration could not start or complete."""
 
 
+class FaultInjectionError(ReproError):
+    """An injected fault (chaos engineering) made the operation fail."""
+
+
+class PartitionError(ReproError):
+    """A transfer crossed a cut or partitioned network link."""
+
+
 class HdfsError(ReproError):
     """Base for distributed-filesystem errors."""
 
@@ -91,9 +99,11 @@ class WebError(ReproError):
 class HttpError(WebError):
     """Carries an HTTP status code for the web-server model."""
 
-    def __init__(self, status: int, message: str = "") -> None:
+    def __init__(self, status: int, message: str = "",
+                 *, retry_after: float | None = None) -> None:
         super().__init__(message or f"HTTP {status}")
         self.status = status
+        self.retry_after = retry_after
 
 
 class AuthError(WebError):

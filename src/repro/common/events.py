@@ -75,6 +75,14 @@ class EventLog:
             out.append(r)
         return out
 
+    def count(self, *, source: str | None = None, kind: str | None = None) -> int:
+        """Number of records matching the filters."""
+        return len(self.records(source=source, kind=kind))
+
+    def between(self, start: float, end: float) -> list[LogRecord]:
+        """Records with ``start <= time < end`` (a bounded chaos window)."""
+        return [r for r in self._records if start <= r.time < end]
+
     def last(self, kind: str) -> LogRecord | None:
         """Most recent record of *kind*, or None."""
         for r in reversed(self._records):

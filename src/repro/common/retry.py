@@ -1,0 +1,82 @@
+"""Capped exponential backoff for simulated operations.
+
+Recovery paths across the stack (transcode-segment failover, chaos
+scenarios, clients talking to a degraded service) share one retry
+discipline: attempt, back off exponentially from ``base_delay`` up to
+``max_delay``, give up after ``max_attempts``.  Delays burn *simulated*
+time, so retried flows contend realistically with everything else on the
+engine, and the whole schedule stays deterministic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Generator
+
+from .errors import ConfigError, ReproError
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How many times to try and how long to wait between tries."""
+
+    max_attempts: int = 4
+    base_delay: float = 0.5
+    multiplier: float = 2.0
+    max_delay: float = 30.0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ConfigError("max_attempts must be >= 1")
+        if self.base_delay < 0 or self.max_delay < 0:
+            raise ConfigError("retry delays must be >= 0")
+        if self.multiplier < 1.0:
+            raise ConfigError("multiplier must be >= 1.0")
+
+    def delay(self, retry_index: int) -> float:
+        """Backoff before retry number *retry_index* (0-based), capped."""
+        if retry_index < 0:
+            raise ConfigError(f"negative retry index {retry_index}")
+        return min(self.base_delay * self.multiplier ** retry_index, self.max_delay)
+
+
+#: retries only fire on simulated failures, never programming errors
+DEFAULT_RETRY_ON: tuple[type[BaseException], ...] = (ReproError,)
+
+
+def retry_process(
+    engine,
+    make_attempt: Callable[[int], Generator],
+    *,
+    policy: RetryPolicy | None = None,
+    retry_on: tuple[type[BaseException], ...] = DEFAULT_RETRY_ON,
+    on_retry: Callable[[int, BaseException], None] | None = None,
+) -> Generator:
+    """Process: run ``make_attempt(k)`` until one attempt succeeds.
+
+    *make_attempt* is called with the 0-based attempt number and must
+    return a fresh process generator each time.  Exceptions in *retry_on*
+    trigger a backoff and a new attempt; anything else (and the final
+    failure once attempts are exhausted) propagates to the caller.
+    *on_retry(next_attempt, exc)* is invoked before each backoff -- use it
+    to log or to rotate to a different target host.
+    """
+    pol = policy or RetryPolicy()
+
+    def _run():
+        attempt = 0
+        while True:
+            try:
+                result = yield engine.process(make_attempt(attempt))
+                return result
+            except retry_on as exc:
+                attempt += 1
+                if attempt >= pol.max_attempts:
+                    raise
+                if on_retry is not None:
+                    on_retry(attempt, exc)
+                delay = pol.delay(attempt - 1)
+                if delay > 0:
+                    yield engine.timeout(delay)
+
+    return _run()

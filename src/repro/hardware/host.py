@@ -9,11 +9,11 @@ cost.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Generator
+from typing import TYPE_CHECKING, Callable, Generator
 
 from ..common.calibration import Calibration
-from ..common.errors import CapacityError
-from ..sim import Engine, Resource
+from ..common.errors import CapacityError, ConfigError
+from ..sim import Engine, Event, Resource
 
 if TYPE_CHECKING:  # pragma: no cover
     from .network import Network
@@ -28,6 +28,7 @@ class Disk:
         self._spindle = Resource(engine, capacity=1)
         self.bytes_read = 0
         self.bytes_written = 0
+        self.slowdown = 1.0  # >1.0 under an injected degradation
 
     def read(self, nbytes: int) -> Generator:
         """Process: sequential read of *nbytes*."""
@@ -42,11 +43,18 @@ class Disk:
             raise CapacityError(f"negative I/O size: {nbytes}")
         with self._spindle.request() as req:
             yield req
-            yield self.engine.timeout(self.cal.disk_seek_time + nbytes / rate)
+            duration = (self.cal.disk_seek_time + nbytes / rate) * self.slowdown
+            yield self.engine.timeout(duration)
         if is_write:
             self.bytes_written += nbytes
         else:
             self.bytes_read += nbytes
+
+    def set_slowdown(self, factor: float) -> None:
+        """Scale future I/O durations (1.0 restores nominal speed)."""
+        if factor < 1.0:
+            raise ConfigError(f"disk slowdown factor must be >= 1.0, got {factor}")
+        self.slowdown = factor
 
     @property
     def queue_length(self) -> int:
@@ -86,6 +94,59 @@ class PhysicalHost:
         self._mem_used = 0
         self._busy_core_seconds = 0.0
         self.alive = True
+        self._fail_listeners: list[Callable[["PhysicalHost"], None]] = []
+        self._recover_listeners: list[Callable[["PhysicalHost"], None]] = []
+        self._failure_watchers: list[Event] = []
+
+    # -- failure / recovery -------------------------------------------------------
+
+    def on_fail(self, fn: Callable[["PhysicalHost"], None]) -> None:
+        """Call *fn(host)* whenever this host crashes (services cascade here)."""
+        self._fail_listeners.append(fn)
+
+    def on_recover(self, fn: Callable[["PhysicalHost"], None]) -> None:
+        """Call *fn(host)* whenever this host comes back up."""
+        self._recover_listeners.append(fn)
+
+    def failure_event(self) -> Event:
+        """Event that succeeds the instant this host dies.
+
+        Already-dead hosts return an already-succeeded event, so racing
+        ``any_of([work, host.failure_event()])`` is safe at any time.
+        """
+        ev = Event(self.engine)
+        if not self.alive:
+            ev.succeed(self)
+        else:
+            self._failure_watchers.append(ev)
+        return ev
+
+    def fail(self) -> None:
+        """Crash the whole host: NIC goes dark, watchers fire, services cascade.
+
+        Idempotent; recovery is explicit via :meth:`recover`.
+        """
+        if not self.alive:
+            return
+        self.alive = False
+        if self.network is not None:
+            self.network.cut(self.name)
+        watchers, self._failure_watchers = self._failure_watchers, []
+        for ev in watchers:
+            if not ev.triggered:
+                ev.succeed(self)
+        for fn in list(self._fail_listeners):
+            fn(self)
+
+    def recover(self) -> None:
+        """Bring the host back: restore the NIC and notify recovery listeners."""
+        if self.alive:
+            return
+        self.alive = True
+        if self.network is not None:
+            self.network.restore(self.name)
+        for fn in list(self._recover_listeners):
+            fn(self)
 
     # -- memory ledger ---------------------------------------------------------
 

@@ -15,9 +15,10 @@ Loopback transfers (src == dst) bypass the NIC at memory-copy speed.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Callable, Iterable
 
 from ..common.calibration import Calibration
-from ..common.errors import SimulationError
+from ..common.errors import PartitionError, SimulationError
 from ..sim import Engine, Event
 from .host import PhysicalHost
 
@@ -58,6 +59,9 @@ class Network:
         self._last_update = 0.0
         self._timer_token = 0
         self.bytes_delivered = 0.0
+        self._cut: set[str] = set()
+        self._partition: set[str] | None = None
+        self._base_rate: dict[str, float] = {}
 
     # -- topology -----------------------------------------------------------------
 
@@ -69,6 +73,7 @@ class Network:
         self._links[f"{host.name}:up"] = _Link(rate)
         self._links[f"{host.name}:down"] = _Link(rate)
         self._hosts[host.name] = host
+        self._base_rate[host.name] = rate
         host.network = self
 
     def host(self, name: str) -> PhysicalHost:
@@ -77,6 +82,82 @@ class Network:
     @property
     def host_names(self) -> list[str]:
         return list(self._hosts)
+
+    # -- fault injection ----------------------------------------------------------
+
+    def reachable(self, src: str, dst: str) -> bool:
+        """Whether a new flow src -> dst would currently get through."""
+        if src == dst:
+            return True
+        if src in self._cut or dst in self._cut:
+            return False
+        if self._partition is not None and (src in self._partition) != (dst in self._partition):
+            return False
+        return True
+
+    def cut(self, host: str) -> None:
+        """Unplug *host* from the switch; its in-flight flows fail immediately."""
+        if host not in self._hosts:
+            raise SimulationError(f"cut of unknown host {host}")
+        if host in self._cut:
+            return
+        self._cut.add(host)
+        self._fail_flows(
+            lambda f: f.src == host or f.dst == host,
+            f"link to {host} was cut",
+        )
+
+    def restore(self, host: str) -> None:
+        """Plug *host* back in at full NIC rate (clears any degradation too)."""
+        if host not in self._hosts:
+            raise SimulationError(f"restore of unknown host {host}")
+        self._cut.discard(host)
+        self.set_link_factor(host, 1.0)
+
+    def link_factor(self, host: str) -> float:
+        """Current capacity fraction of *host*'s links (1.0 = nominal)."""
+        return self._links[f"{host}:up"].capacity / self._base_rate[host]
+
+    def set_link_factor(self, host: str, factor: float) -> None:
+        """Degrade (or restore) *host*'s NIC to ``factor`` x nominal rate."""
+        if host not in self._hosts:
+            raise SimulationError(f"degrade of unknown host {host}")
+        if not 0.0 < factor <= 1.0:
+            raise SimulationError(f"link factor must be in (0, 1], got {factor}")
+        capacity = self._base_rate[host] * factor
+        self._advance()
+        self._links[f"{host}:up"].capacity = capacity
+        self._links[f"{host}:down"].capacity = capacity
+        self._recompute_and_schedule()
+
+    def partition(self, isolated: Iterable[str]) -> None:
+        """Split the fabric: *isolated* hosts can only reach each other."""
+        group = set(isolated)
+        unknown = group - set(self._hosts)
+        if unknown:
+            raise SimulationError(f"partition of unknown hosts {sorted(unknown)}")
+        self._partition = group
+        self._fail_flows(
+            lambda f: (f.src in group) != (f.dst in group),
+            "network partitioned",
+        )
+
+    def heal_partition(self) -> None:
+        """Rejoin the two sides of a partition (new flows only; failed stay failed)."""
+        self._partition = None
+
+    def _fail_flows(self, pred: Callable[[Flow], bool], reason: str) -> None:
+        """Kill every in-flight flow matching *pred* with a PartitionError."""
+        self._advance()
+        victims = [f for f in self._flows if pred(f)]
+        for f in victims:
+            self._flows.discard(f)
+            for lname in f.links:
+                self._links[lname].flows.discard(f)
+            f.done.fail(PartitionError(f"{f.src}->{f.dst}: {reason}"))
+            # nobody may be waiting yet; defused failures still raise in waiters
+            f.done.defuse()
+        self._recompute_and_schedule()
 
     # -- transfers ------------------------------------------------------------------
 
@@ -100,6 +181,15 @@ class Network:
                 done.succeed(dur)
 
             self.engine.process(_loop(), name=f"loopback:{src}")
+            return done
+
+        if not self.reachable(src, dst):
+            def _drop():
+                yield self.engine.timeout(self.cal.net_latency)
+                done.fail(PartitionError(f"{src}->{dst}: unreachable"))
+                done.defuse()
+
+            self.engine.process(_drop(), name=f"xfer-drop:{src}->{dst}")
             return done
 
         if nbytes == 0:

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Generator
 
-from ..common.errors import HdfsError
+from ..common.errors import HdfsError, PartitionError
 from .block import split_into_blocks
 from .namenode import INode
 
@@ -53,9 +53,37 @@ class HdfsClient:
                 targets = nn.add_block(path, block, self.host_name)
                 # Client streams to the first DataNode; it forwards down the
                 # pipeline while writing (store_block overlaps the hops).
-                first, rest = targets[0], targets[1:]
-                yield fs.cluster.network.transfer(self.host_name, first, block.length)
-                yield engine.process(fs.datanode(first).store_block(block, rest))
+                # If a pipeline node dies mid-write, rebuild the pipeline from
+                # the survivors and re-stream (DFSClient pipeline recovery).
+                while True:
+                    first, rest = targets[0], targets[1:]
+                    try:
+                        yield fs.cluster.network.transfer(
+                            self.host_name, first, block.length)
+                        yield engine.process(
+                            fs.datanode(first).store_block(block, rest))
+                    except (HdfsError, PartitionError) as exc:
+                        survivors = [
+                            t for t in targets
+                            if fs.datanodes[t].alive
+                            and t not in nn.dead_datanodes
+                            and fs.cluster.network.reachable(self.host_name, t)
+                        ]
+                        if not survivors or survivors == targets:
+                            raise
+                        fs.cluster.log.emit(
+                            "hdfs.client", "pipeline_recovered",
+                            f"{path}: pipeline {targets} -> {survivors} "
+                            f"after {type(exc).__name__}",
+                            path=path, block=str(block.block_id),
+                            survivors=list(survivors),
+                        )
+                        targets = survivors
+                        continue
+                    break
+                if len(targets) < repl:
+                    # short pipeline: let the replication monitor top it up
+                    nn.under_replicated.append(block.block_id)
             nn.complete_file(path)
             return nn.get_file(path)
 

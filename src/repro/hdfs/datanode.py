@@ -31,6 +31,7 @@ class DataNode:
         self.alive = True
         self._heartbeat_proc: Process | None = None
         self._hb_stop = False
+        self._hb_interval: float | None = None
         self._scanner_proc: Process | None = None
         self._scan_stop = False
 
@@ -60,6 +61,10 @@ class DataNode:
                 forward = engine.process(
                     fs.datanode(nxt).receive_from(self.name, block, pipeline[1:])
                 )
+                # joined below -- but if this node dies mid-write we raise
+                # before the join, and an orphaned failure must not crash
+                # the engine (the client handles it via pipeline recovery)
+                forward.defuse()
             yield engine.process(self.host.disk.write(block.length))
             if not self.alive:
                 raise HdfsError(f"datanode {self.name} died mid-write")
@@ -114,6 +119,7 @@ class DataNode:
         if self._heartbeat_proc is not None and self._heartbeat_proc.is_alive:
             return
         self._hb_stop = False
+        self._hb_interval = interval
         engine = self.host.engine
 
         def _beat():
@@ -191,3 +197,22 @@ class DataNode:
         self.alive = False
         self.stop_heartbeats()
         self.stop_block_scanner()
+
+    def fail(self) -> None:
+        """Chaos-layer alias for :meth:`kill`."""
+        self.kill()
+
+    def recover(self) -> None:
+        """Node comes back with its disk intact: re-register and re-report.
+
+        Local replicas survive a crash-reboot, so the NameNode gets a
+        blockReceived for each -- they count toward replication again.
+        """
+        if self.alive:
+            return
+        self.alive = True
+        self.namenode.heartbeat(self.name)
+        for block in self.blocks.values():
+            self.namenode.block_received(self.name, block)
+        if self._hb_interval is not None:
+            self.start_heartbeats(self._hb_interval)

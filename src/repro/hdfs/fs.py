@@ -58,6 +58,10 @@ class Hdfs:
             dn = DataNode(cluster.host(name), self.namenode)
             self.datanodes[name] = dn
             self.namenode.register_datanode(name)
+            # a whole-host crash (chaos layer) takes its DataNode with it
+            host = cluster.host(name)
+            host.on_fail(lambda h, dn=dn: dn.kill())
+            host.on_recover(lambda h, dn=dn: dn.recover())
 
     # -- access -------------------------------------------------------------------
 

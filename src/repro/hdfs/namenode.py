@@ -17,6 +17,7 @@ from ..common.errors import (
     FileAlreadyExists,
     FileNotFoundInHdfs,
     HdfsError,
+    PartitionError,
     ReplicationError,
 )
 from ..sim import Interrupt, Process
@@ -229,7 +230,7 @@ class NameNode:
                         return
                     self.check_datanodes(dn_timeout)
                     work, self.under_replicated = self.under_replicated, []
-                    procs = []
+                    started = []
                     for block_id in work:
                         inode = self.namespace.get(self.block_owner.get(block_id, ""))
                         if inode is None:
@@ -238,9 +239,15 @@ class NameNode:
                             continue
                         if not self.locations(block_id):
                             continue  # unrecoverable; surfaced via metrics
-                        procs.append(engine.process(self.rereplicate_one(block_id)))
-                    for p in procs:
-                        yield p
+                        started.append(
+                            (block_id, engine.process(self.rereplicate_one(block_id)))
+                        )
+                    for block_id, p in started:
+                        try:
+                            yield p
+                        except (HdfsError, PartitionError, ReplicationError):
+                            # a node died mid-copy; try again next period
+                            self.under_replicated.append(block_id)
             except Interrupt:
                 pass
 

@@ -21,17 +21,27 @@ class FaultModel:
     map_failure_rate: float = 0.0
     reduce_failure_rate: float = 0.0
     max_attempts: int = 4
+    #: per-heartbeat probability that a whole TaskTracker crashes; drawn by
+    #: the chaos layer (ChaosMonkey.scenarios_from_fault_model)
+    tracker_crash_rate: float = 0.0
 
     def __post_init__(self) -> None:
-        for rate in (self.map_failure_rate, self.reduce_failure_rate):
+        for rate in (self.map_failure_rate, self.reduce_failure_rate,
+                     self.tracker_crash_rate):
             if not 0.0 <= rate < 1.0:
                 raise ConfigError(f"failure rate {rate} outside [0, 1)")
         if self.max_attempts < 1:
             raise ConfigError("max_attempts must be >= 1")
 
     def attempt_fails(self, rng: RngStream, kind: str) -> bool:
+        if kind not in ("map", "reduce"):
+            raise ConfigError(f"unknown attempt kind {kind!r}")
         rate = self.map_failure_rate if kind == "map" else self.reduce_failure_rate
         return rate > 0 and rng.uniform() < rate
+
+    def tracker_crashes(self, rng: RngStream) -> bool:
+        """One crash draw for one tracker (used per chaos horizon window)."""
+        return self.tracker_crash_rate > 0 and rng.uniform() < self.tracker_crash_rate
 
 
 class TaskAttemptFailed(MapReduceError):

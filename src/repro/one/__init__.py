@@ -4,6 +4,7 @@ live migration, multi-VM services, monitoring, EC2 façade."""
 from .cli import CloudShell
 from .core import HostRecord, OpenNebula
 from .econe import EconeApi, INSTANCE_TYPES, InstanceDescription
+from .ft import FaultToleranceHook
 from .hooks import Hook, HookManager, HookRecord
 from .lifecycle import ACTIVE_STATES, FINAL_STATES, LifecycleTracker, OneState, TRANSITIONS
 from .migration import MigrationResult, postcopy_migrate, precopy_migrate
@@ -40,6 +41,7 @@ __all__ = [
     "DeployedService",
     "EconeApi",
     "FINAL_STATES",
+    "FaultToleranceHook",
     "Hook",
     "HookManager",
     "HookRecord",

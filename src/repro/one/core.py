@@ -96,6 +96,7 @@ class OpenNebula:
         self.vm_pool: dict[int, OneVm] = {}
         self._pending: list[OneVm] = []
         self._dispatch_scheduled = False
+        self._dispatch_stopped = False
         self._next_ip = 2  # 192.168.122.2 onwards; .1 is the gateway
 
     # -- host pool -----------------------------------------------------------
@@ -164,8 +165,17 @@ class OpenNebula:
 
     # -- dispatch (the scheduler tick) -----------------------------------------------
 
+    def stop_scheduler(self) -> None:
+        """Stop the dispatch retry loop so the engine can drain.
+
+        A VM the capacity manager can never place (e.g. after chaos took
+        out most of the host pool) keeps the retry tick alive forever;
+        once stopped, such VMs simply stay PENDING.
+        """
+        self._dispatch_stopped = True
+
     def _schedule_dispatch(self) -> None:
-        if self._dispatch_scheduled:
+        if self._dispatch_scheduled or self._dispatch_stopped:
             return
         self._dispatch_scheduled = True
 
@@ -204,6 +214,31 @@ class OpenNebula:
 
     # -- lifecycle flows -----------------------------------------------------------
 
+    def kill_vm(self, one_vm: OneVm, *, resubmit: bool = True,
+                reason: str = "killed") -> None:
+        """Hard-kill one VM (chaos injection / host crash cleanup).
+
+        The domain is ejected from its hypervisor, the record transitions to
+        FAILED, and with *resubmit* it re-enters PENDING so the capacity
+        manager redeploys it on the next dispatch tick.
+        """
+        if not one_vm.lifecycle.is_active:
+            raise LifecycleError(f"{one_vm.name}: cannot kill in {one_vm.state.name}")
+        if one_vm.host_name is not None:
+            rec = self.host_record(one_vm.host_name)
+            if one_vm.domain is not None and one_vm.domain.hypervisor is rec.hypervisor:
+                rec.hypervisor.eject(one_vm.domain)
+                one_vm.domain = None
+        one_vm.lifecycle.to(OneState.FAILED)
+        one_vm.end_placement()
+        self.log.emit("one.core", "vm_failed",
+                      f"{one_vm.name} FAILED: {reason}",
+                      vm=one_vm.name, reason=reason)
+        if resubmit:
+            one_vm.lifecycle.to(OneState.PENDING)
+            self._pending.append(one_vm)
+            self._schedule_dispatch()
+
     def fail_host(self, name: str, *, resubmit: bool = True) -> list[OneVm]:
         """Simulate a host crash.
 
@@ -219,22 +254,10 @@ class OpenNebula:
             if vm.host_name == name and vm.lifecycle.is_active
         ]
         for one_vm in affected:
-            if one_vm.domain is not None and one_vm.domain.hypervisor is rec.hypervisor:
-                rec.hypervisor.eject(one_vm.domain)
-                one_vm.domain = None
-            one_vm.lifecycle.to(OneState.FAILED)
-            one_vm.end_placement()
-            self.log.emit("one.core", "vm_failed",
-                          f"{one_vm.name} FAILED: host {name} crashed",
-                          vm=one_vm.name, host=name)
-            if resubmit:
-                one_vm.lifecycle.to(OneState.PENDING)
-                self._pending.append(one_vm)
+            self.kill_vm(one_vm, resubmit=resubmit, reason=f"host {name} crashed")
         self.log.emit("one.core", "host_failed",
                       f"host {name} crashed ({len(affected)} VMs affected, "
                       f"resubmit={resubmit})", host=name, vms=len(affected))
-        if resubmit and affected:
-            self._schedule_dispatch()
         return affected
 
     def _make_domain(self, one_vm: OneVm) -> VirtualMachine:
@@ -258,6 +281,11 @@ class OpenNebula:
                           vm=one_vm.name, state="prolog", host=host_name)
             image = self.image_store.get(tpl.image)
             yield self.engine.process(self.tm.prolog(image, host_name))
+            if one_vm.state is not OneState.PROLOG:
+                # repossessed while staging (host crash -> FAILED/resubmitted)
+                rec.reserved_memory -= tpl.memory
+                rec.reserved_vms -= 1
+                return
 
             one_vm.lifecycle.to(OneState.BOOT)
             self.log.emit("one.core", "vm_state", f"{one_vm.name} BOOT",
@@ -269,6 +297,13 @@ class OpenNebula:
             rec.reserved_vms -= 1
             reservation_held = False
             yield self.engine.process(rec.vmm.deploy(domain))
+            if one_vm.state is not OneState.BOOT:
+                # repossessed mid-boot; free the stray domain if still ours
+                if domain.hypervisor is rec.hypervisor:
+                    rec.hypervisor.eject(domain)
+                if one_vm.domain is domain:
+                    one_vm.domain = None
+                return
 
             # contextualization: deliver network identity & template context
             one_vm.context.setdefault("ip", f"192.168.122.{self._next_ip}")
@@ -283,10 +318,13 @@ class OpenNebula:
             if reservation_held:
                 rec.reserved_memory -= tpl.memory
                 rec.reserved_vms -= 1
-            one_vm.lifecycle.to(OneState.FAILED)
-            one_vm.end_placement()
-            self.log.emit("one.core", "vm_failed", f"{one_vm.name} FAILED: {exc}",
-                          vm=one_vm.name, error=str(exc))
+            if one_vm.state in (OneState.PROLOG, OneState.BOOT):
+                one_vm.lifecycle.to(OneState.FAILED)
+                one_vm.end_placement()
+                self.log.emit("one.core", "vm_failed", f"{one_vm.name} FAILED: {exc}",
+                              vm=one_vm.name, error=str(exc))
+            # else: the VM was repossessed externally (e.g. fail_host already
+            # moved it to FAILED/PENDING); nothing left for this flow to own
 
     def shutdown_vm(self, one_vm: OneVm, *, as_user: str | None = None) -> Generator:
         """Process: clean shutdown -> epilog -> DONE."""

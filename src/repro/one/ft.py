@@ -1,0 +1,130 @@
+"""Host-failure fault-tolerance hook (OpenNebula's ``host_error`` hook).
+
+Real OpenNebula ships a hook that watches host monitoring, declares a host
+in ERROR after missed probes, and resubmits its VMs elsewhere -- the
+"proactive fault tolerance" the paper cites as its availability story.
+:class:`FaultToleranceHook` reproduces that loop on top of
+:class:`~repro.one.monitoring.MonitoringService`: each sweep it compares
+``alive`` flags against its known-down set, fails newly-dead hosts through
+:meth:`OpenNebula.fail_host` (which resubmits the lost VMs), and tracks
+each VM until the capacity manager brings it back to RUNNING.
+
+The hook reports recoveries to an optional *report* object exposing
+``record_recovery(layer, target, injected_at, recovered_at)`` -- the chaos
+layer's :class:`~repro.chaos.ChaosReport` fits, but the hook does not
+depend on it.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from ..sim import Interrupt, Process
+from .lifecycle import OneState
+from .core import OpenNebula
+from .monitoring import MonitoringService
+from .vm import OneVm
+
+#: how long a resubmitted VM may take to reach RUNNING before we give up
+RESTORE_TIMEOUT = 600.0
+#: how often the restore watcher re-checks the VM state
+RESTORE_POLL = 1.0
+
+
+class FaultToleranceHook:
+    """Detect dead hosts via monitoring and resurrect their VMs."""
+
+    def __init__(
+        self,
+        cloud: OpenNebula,
+        monitoring: MonitoringService | None = None,
+        *,
+        period: float | None = None,
+        report=None,
+    ) -> None:
+        self.cloud = cloud
+        self.monitoring = monitoring or MonitoringService(cloud, period=period or 5.0)
+        self.period = period if period is not None else self.monitoring.period
+        self.report = report
+        self.down: set[str] = set()
+        self.restored: list[str] = []
+        self._proc: Process | None = None
+        self._stop = False
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def start(self) -> None:
+        """Begin the monitoring loop (idempotent)."""
+        if self._proc is not None and self._proc.is_alive:
+            return
+        self._stop = False
+        engine = self.cloud.engine
+
+        def _loop():
+            try:
+                while not self._stop:
+                    yield engine.timeout(self.period)
+                    if self._stop:
+                        return
+                    samples = yield engine.process(self.monitoring.poll_once())
+                    self._scan(samples)
+            except Interrupt:
+                pass
+
+        self._proc = engine.process(_loop(), name="one-ft-hook")
+
+    def stop(self) -> None:
+        self._stop = True
+        proc = self._proc
+        self._proc = None
+        if proc is not None and proc.is_alive and proc.started:
+            proc.interrupt("stop")
+
+    # -- detection ------------------------------------------------------------
+
+    def _scan(self, samples) -> None:
+        for m in samples:
+            if not m.alive and m.host not in self.down:
+                self.down.add(m.host)
+                self._on_host_down(m.host)
+            elif m.alive and m.host in self.down:
+                self.down.discard(m.host)
+                self.cloud.log.emit(
+                    "one.ft", "ft_host_recovered",
+                    f"host {m.host} is back in the pool", host=m.host,
+                )
+
+    def _on_host_down(self, name: str) -> None:
+        t0 = self.cloud.engine.now
+        self.cloud.log.emit(
+            "one.ft", "ft_host_failed",
+            f"host {name} declared dead; resubmitting its VMs", host=name,
+        )
+        affected = self.cloud.fail_host(name, resubmit=True)
+        for vm in affected:
+            self.cloud.engine.process(
+                self._await_restore(vm, t0), name=f"ft-restore-{vm.name}"
+            )
+
+    def _await_restore(self, vm: OneVm, t0: float) -> Generator:
+        engine = self.cloud.engine
+        deadline = t0 + RESTORE_TIMEOUT
+        while vm.state is not OneState.RUNNING:
+            if vm.state is OneState.DONE or engine.now >= deadline:
+                self.cloud.log.emit(
+                    "one.ft", "ft_restore_failed",
+                    f"{vm.name} not restored (state {vm.state.value})",
+                    vm=vm.name, state=vm.state.value,
+                )
+                return
+            yield engine.timeout(RESTORE_POLL)
+        now = engine.now
+        self.restored.append(vm.name)
+        self.cloud.log.emit(
+            "one.ft", "ft_vm_restored",
+            f"{vm.name} RUNNING again on {vm.host_name} "
+            f"({now - t0:.1f} s after host failure)",
+            vm=vm.name, host=vm.host_name, ttr=now - t0,
+        )
+        if self.report is not None:
+            self.report.record_recovery("iaas", vm.name, t0, now)

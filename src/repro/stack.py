@@ -19,12 +19,21 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from .chaos import ChaosMonkey
 from .common.calibration import Calibration
 from .common.errors import ConfigError
 from .common.units import GiB, MiB
 from .hardware import Cluster
 from .hdfs import Hdfs
-from .one import OpenNebula, Role, ServiceManager, ServiceTemplate, VmTemplate
+from .one import (
+    FaultToleranceHook,
+    MonitoringService,
+    OpenNebula,
+    Role,
+    ServiceManager,
+    ServiceTemplate,
+    VmTemplate,
+)
 from .virt import DiskImage
 from .web import VideoPortal
 
@@ -38,6 +47,9 @@ class VideoCloud:
     services: ServiceManager
     fs: Hdfs
     portal: VideoPortal
+    monitoring: MonitoringService | None = None
+    ft: FaultToleranceHook | None = None
+    chaos: ChaosMonkey | None = None
 
     @property
     def engine(self):
@@ -45,6 +57,15 @@ class VideoCloud:
 
     def run(self, until=None):
         return self.cluster.run(until)
+
+    def stop_background(self) -> None:
+        """Stop every periodic loop so the engine can drain to idle."""
+        if self.ft is not None:
+            self.ft.stop()
+        self.fs.stop()
+        # chaos can leave VMs that will never place again; without this the
+        # dispatch retry tick keeps the engine alive forever
+        self.cloud.stop_scheduler()
 
 
 def build_video_cloud(
@@ -56,6 +77,7 @@ def build_video_cloud(
     replication: int = 2,
     block_size: int = 32 * MiB,
     deploy_vms: bool = True,
+    fault_tolerance: bool = False,
 ) -> VideoCloud:
     """Stand the whole paper stack up; returns once everything is RUNNING.
 
@@ -64,6 +86,13 @@ def build_video_cloud(
     With ``deploy_vms`` the IaaS layer first boots one guest per compute
     host (drains simulated time for image staging + boot, as on the real
     testbed); disable it for benches that only need the upper layers.
+
+    With ``fault_tolerance`` the stack also gets its failure machinery:
+    HDFS heartbeats + replication monitor are started, a MonitoringService
+    polls the host pool, the OpenNebula FT hook resurrects VMs of dead
+    hosts, and a seeded ChaosMonkey (sharing the hook's report) is handed
+    back for fault injection.  Call ``stop_background()`` afterwards so
+    the engine can drain.
     """
     if n_hosts < 4:
         raise ConfigError("the full stack needs at least 4 hosts")
@@ -96,5 +125,15 @@ def build_video_cloud(
     portal = VideoPortal(
         cluster, fs, web_host=compute[0], transcode_workers=compute[1:] or compute,
     )
+    monitoring = None
+    ft = None
+    chaos = None
+    if fault_tolerance:
+        fs.start()
+        monitoring = MonitoringService(cloud, period=cluster.cal.hadoop.heartbeat_interval)
+        chaos = ChaosMonkey(cluster, cloud=cloud, fs=fs, portal=portal)
+        ft = FaultToleranceHook(cloud, monitoring, report=chaos.report)
+        ft.start()
     return VideoCloud(cluster=cluster, cloud=cloud, services=services,
-                      fs=fs, portal=portal)
+                      fs=fs, portal=portal, monitoring=monitoring,
+                      ft=ft, chaos=chaos)

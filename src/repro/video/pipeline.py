@@ -25,7 +25,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Generator
 
-from ..common.errors import TranscodeError
+from ..common.errors import FaultInjectionError, PartitionError, TranscodeError
+from ..common.retry import RetryPolicy, retry_process
 from ..hardware import Cluster
 from .ffmpeg import FFmpeg
 from .media import Resolution, VideoFile
@@ -52,6 +53,7 @@ class DistributedTranscoder:
         worker_hosts: list[str],
         *,
         ingest_host: str | None = None,
+        retry: RetryPolicy | None = None,
     ) -> None:
         if not worker_hosts:
             raise TranscodeError("need at least one worker host")
@@ -64,6 +66,9 @@ class DistributedTranscoder:
         if self.ingest not in cluster.host_names:
             raise TranscodeError(f"ingest host {self.ingest} not in cluster")
         self.ffmpeg = FFmpeg(cluster.cal)
+        # Segment failover: a dead worker's segments are retried on the next
+        # live worker with capped exponential backoff.
+        self.retry = retry or RetryPolicy(max_attempts=4, base_delay=0.5, max_delay=8.0)
 
     # -- baseline ---------------------------------------------------------------
 
@@ -115,27 +120,71 @@ class DistributedTranscoder:
             segments = yield engine.process(self.ffmpeg.run_split(ingest, src, n))
             stages["split"] = engine.now - t0
 
-            # 2-4. per-segment: scatter -> convert -> gather, all overlapped
-            def handle(segment: VideoFile, worker_name: str):
+            # 2-4. per-segment: scatter -> convert -> gather, all overlapped.
+            # A worker that dies mid-segment (chaos layer) fails the attempt
+            # with FaultInjectionError; the segment fails over to the next
+            # live worker under the transcoder's RetryPolicy.
+            def attempt(segment: VideoFile, worker_name: str):
                 worker = self.cluster.host(worker_name)
+                if not worker.alive:
+                    raise FaultInjectionError(f"worker {worker_name} is down")
                 if worker_name != ingest.name:
                     yield network.transfer(ingest.name, worker_name, segment.size)
                     yield engine.process(worker.disk.write(segment.size))
-                out_seg = yield engine.process(
+                conv = engine.process(
                     self.ffmpeg.transcode(
                         worker, segment, vcodec=vcodec, container=container,
                         resolution=resolution, bitrate=bitrate,
                         name=f"{segment.name}.conv",
                     )
                 )
+                death = worker.failure_event()
+                yield engine.any_of([conv, death])
+                if not conv.triggered:
+                    conv.defuse()  # abandoned; must not crash the engine later
+                    raise FaultInjectionError(
+                        f"worker {worker_name} died converting {segment.name}")
+                out_seg = conv.value
                 if worker_name != ingest.name:
                     yield network.transfer(worker_name, ingest.name, out_seg.size)
                     yield engine.process(ingest.disk.write(out_seg.size))
                 return out_seg
 
+            def handle(segment: VideoFile, home: int):
+                def pick(k: int) -> str:
+                    rotation = [self.workers[(home + j) % len(self.workers)]
+                                for j in range(len(self.workers))]
+                    alive = [w for w in rotation if self.cluster.host(w).alive]
+                    if not alive:
+                        raise TranscodeError("no live transcode workers")
+                    return alive[k % len(alive)]
+
+                def on_retry(k: int, exc: BaseException) -> None:
+                    self.cluster.log.emit(
+                        "video.pipeline", "segment_failover",
+                        f"{segment.name}: attempt {k} after {exc}",
+                        segment=segment.name, attempt=k, error=str(exc),
+                    )
+
+                def _h():
+                    try:
+                        out_seg = yield engine.process(retry_process(
+                            engine,
+                            lambda k: attempt(segment, pick(k)),
+                            policy=self.retry,
+                            retry_on=(FaultInjectionError, PartitionError),
+                            on_retry=on_retry,
+                        ))
+                    except (FaultInjectionError, PartitionError) as exc:
+                        raise TranscodeError(
+                            f"{segment.name}: failover retries exhausted") from exc
+                    return out_seg
+
+                return _h()
+
             t1 = engine.now
             procs = [
-                engine.process(handle(seg, self.workers[i % len(self.workers)]))
+                engine.process(handle(seg, i))
                 for i, seg in enumerate(segments)
             ]
             done = yield engine.all_of(procs)

@@ -20,7 +20,13 @@ from __future__ import annotations
 
 from typing import Any, Generator
 
-from ..common.errors import AuthError, HttpError, WebError
+from ..common.errors import (
+    AuthError,
+    HttpError,
+    ReplicationError,
+    SafeModeError,
+    WebError,
+)
 from ..fusehdfs import HdfsMount
 from ..hardware import Cluster
 from ..hdfs import Hdfs
@@ -59,6 +65,8 @@ class VideoPortal:
 
     UPLOAD_MOUNT = "/var/www/uploads"
     PUBLISH_ROOT = "/published"
+    #: Retry-After seconds handed out with graceful-degradation 503s
+    RETRY_AFTER = 15.0
 
     def __init__(
         self,
@@ -106,6 +114,9 @@ class VideoPortal:
             self.server = ApachePrefork(cluster, web_host)
         else:
             raise WebError(f"unknown server kind {server_kind!r}")
+
+        #: optional SafeModeController; attach_safemode() wires it in
+        self.safemode = None
 
         self._create_tables()
         self._register_routes()
@@ -179,6 +190,38 @@ class VideoPortal:
     def _charge_db(self, stats: QueryStats) -> Generator:
         # database work is I/O-heavy: full virtualization hurts it most
         return self._guest_work(self._db_cost(stats), WorkKind.IO)
+
+    # -- graceful degradation ---------------------------------------------------------
+
+    def attach_safemode(self, controller) -> None:
+        """Wire in a :class:`~repro.hdfs.admin.SafeModeController` so the
+        portal can refuse uploads with a 503 while the NameNode recovers."""
+        self.safemode = controller
+
+    def degraded_reason(self) -> str | None:
+        """Why write traffic should be refused right now, or None if healthy.
+
+        The portal sheds *writes* (uploads) when the storage tier cannot
+        durably accept them: NameNode in safe mode, or fewer live DataNodes
+        than the replication factor.  Reads keep working.
+        """
+        if self.safemode is not None and self.safemode.active:
+            return "namenode in safe mode"
+        live = len(self.fs.namenode.live_datanodes())
+        if live < self.fs.replication:
+            return (f"only {live} live datanodes for "
+                    f"replication factor {self.fs.replication}")
+        return None
+
+    def _refuse_degraded(self) -> None:
+        reason = self.degraded_reason()
+        if reason is not None:
+            self.cluster.log.emit(
+                "web.portal", "portal_degraded",
+                f"upload refused: {reason}", reason=reason,
+            )
+            raise HttpError(503, f"service degraded: {reason}",
+                            retry_after=self.RETRY_AFTER)
 
     # -- account flows (Figures 19-21) ------------------------------------------------
 
@@ -364,6 +407,7 @@ class VideoPortal:
     def _handle_upload(self, request: Request) -> Generator:
         def _h():
             yield self.engine.process(self._php())
+            self._refuse_degraded()
             p = request.params
             try:
                 media = p["media"]
@@ -378,6 +422,14 @@ class VideoPortal:
                 raise HttpError(400, f"missing field {exc}") from None
             except AuthError as exc:
                 raise HttpError(403, str(exc)) from None
+            except (SafeModeError, ReplicationError) as exc:
+                # the storage tier degraded mid-upload: shed gracefully
+                self.cluster.log.emit(
+                    "web.portal", "portal_degraded",
+                    f"upload aborted: {exc}", reason=str(exc),
+                )
+                raise HttpError(503, f"service degraded: {exc}",
+                                retry_after=self.RETRY_AFTER) from exc
             return Response(body={
                 "page": "upload",
                 "video_id": video_id,

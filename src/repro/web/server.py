@@ -40,6 +40,7 @@ class Response:
     body: dict[str, Any] = field(default_factory=dict)
     body_bytes: int = 8 * 1024        # size on the wire
     set_session: str | None = None
+    headers: dict[str, str] = field(default_factory=dict)
 
     @property
     def ok(self) -> bool:
@@ -107,6 +108,8 @@ class WebServer:
                     response = yield self.engine.process(handler(request))
                 except HttpError as exc:
                     response = Response(status=exc.status, body={"error": str(exc)})
+                    if exc.retry_after is not None:
+                        response.headers["Retry-After"] = str(int(exc.retry_after))
                 self.stats.requests += 1
                 if not response.ok:
                     self.stats.errors += 1

@@ -1,0 +1,105 @@
+"""FaultToleranceHook: dead-host detection and VM resurrection."""
+
+import pytest
+
+from repro import build_video_cloud
+from repro.chaos import HostCrash, VmKill
+from repro.one import OneState
+
+
+@pytest.fixture()
+def stack():
+    vc = build_video_cloud(5, seed=3, fault_tolerance=True)
+    yield vc
+    vc.stop_background()
+    vc.cluster.run()
+
+
+def vm_on(vc, host):
+    return next(vm for vm in vc.cloud.vm_pool.values()
+                if vm.state is OneState.RUNNING and vm.host_name == host)
+
+
+class TestVmResurrection:
+    def test_crashed_hosts_vm_redeployed_elsewhere(self, stack):
+        vc = stack
+        victim_vm = vm_on(vc, "node2")
+        t0 = vc.engine.now
+        vc.chaos.unleash([HostCrash("node2", at=1.0)])
+        vc.cluster.run(t0 + 120.0)
+        assert "node2" in vc.ft.down
+        assert victim_vm.name in vc.ft.restored
+        assert victim_vm.state is OneState.RUNNING
+        assert victim_vm.host_name != "node2"
+        assert vc.cluster.log.records(source="one.ft", kind="ft_host_failed")
+        assert vc.cluster.log.records(source="one.ft", kind="ft_vm_restored")
+
+    def test_recovery_recorded_in_chaos_report(self, stack):
+        vc = stack
+        t0 = vc.engine.now
+        vc.chaos.unleash([HostCrash("node3", at=1.0)])
+        vc.cluster.run(t0 + 120.0)
+        iaas = [r for r in vc.chaos.report.recoveries if r.layer == "iaas"]
+        assert len(iaas) == 1
+        assert iaas[0].ttr > 0
+        assert vc.chaos.report.mttr("iaas") > 0
+
+    def test_rebooted_host_rejoins_pool(self, stack):
+        vc = stack
+        t0 = vc.engine.now
+        vc.chaos.unleash([HostCrash("node2", at=1.0, recover_after=60.0)])
+        vc.cluster.run(t0 + 150.0)
+        assert "node2" not in vc.ft.down
+        assert vc.cluster.log.records(source="one.ft", kind="ft_host_recovered")
+
+    def test_vm_kill_resubmitted_and_watched(self, stack):
+        vc = stack
+        victim_vm = vm_on(vc, "node4")
+        t0 = vc.engine.now
+        vc.chaos.unleash([VmKill(victim_vm.name, at=1.0)])
+        vc.cluster.run(t0 + 120.0)
+        assert victim_vm.state is OneState.RUNNING
+        iaas = [r for r in vc.chaos.report.recoveries
+                if r.layer == "iaas" and r.target == victim_vm.name]
+        assert len(iaas) == 1 and iaas[0].ttr > 0
+
+    def test_all_vms_running_after_double_failure(self, stack):
+        vc = stack
+        t0 = vc.engine.now
+        vc.chaos.unleash([
+            HostCrash("node2", at=1.0),
+            HostCrash("node4", at=10.0),
+        ])
+        vc.cluster.run(t0 + 300.0)
+        states = {vm.name: vm.state for vm in vc.cloud.vm_pool.values()}
+        assert all(s is OneState.RUNNING for s in states.values()), states
+        hosts = {vm.host_name for vm in vc.cloud.vm_pool.values()}
+        assert "node2" not in hosts and "node4" not in hosts
+        assert len(vc.ft.restored) == 2
+
+
+class TestHookLifecycle:
+    def test_start_is_idempotent(self, stack):
+        vc = stack
+        proc = vc.ft._proc
+        vc.ft.start()
+        assert vc.ft._proc is proc
+
+    def test_stop_lets_engine_drain(self):
+        vc = build_video_cloud(5, seed=3, fault_tolerance=True)
+        vc.stop_background()
+        vc.cluster.run()  # would never return if the loops kept ticking
+
+    def test_drain_with_unplaceable_vm(self):
+        """Catastrophic loss leaves a VM nothing can host; stop_background
+        must still let the engine drain (the dispatch retry tick would
+        otherwise run forever)."""
+        vc = build_video_cloud(6, seed=7, fault_tolerance=True)
+        t0 = vc.engine.now
+        vc.chaos.unleash([
+            HostCrash(h, at=1.0) for h in ("node2", "node3", "node4", "node5")])
+        vc.cluster.run(t0 + 60.0)
+        vc.stop_background()
+        vc.cluster.run()
+        states = {vm.state for vm in vc.cloud.vm_pool.values()}
+        assert OneState.PENDING in states  # the one that never fit

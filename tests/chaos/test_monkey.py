@@ -1,0 +1,218 @@
+"""ChaosMonkey unit tests: primitives, scenarios, watchers, reporting."""
+
+import pytest
+
+from repro.chaos import (
+    ChaosMonkey,
+    ChaosReport,
+    DiskSlowdown,
+    HostCrash,
+    LinkCut,
+    LinkDegradation,
+    NetworkPartition,
+    VmKill,
+)
+from repro.common.errors import ConfigError
+from repro.hardware import Cluster
+from repro.mapreduce import FaultModel
+
+
+def make_monkey(n_hosts=4, seed=0):
+    cluster = Cluster(n_hosts, seed=seed)
+    return cluster, ChaosMonkey(cluster)
+
+
+class TestScenarioValidation:
+    def test_negative_start_time(self):
+        with pytest.raises(ConfigError):
+            HostCrash("node1", at=-1.0)
+
+    def test_nonpositive_recovery_delays(self):
+        with pytest.raises(ConfigError):
+            HostCrash("node1", at=0.0, recover_after=0.0)
+        with pytest.raises(ConfigError):
+            LinkCut("node1", at=0.0, restore_after=-5.0)
+
+    def test_degradation_factor_bounds(self):
+        with pytest.raises(ConfigError):
+            LinkDegradation("node1", factor=1.5, at=0.0)
+        with pytest.raises(ConfigError):
+            DiskSlowdown("node1", factor=0.5, at=0.0)
+
+    def test_empty_partition(self):
+        with pytest.raises(ConfigError):
+            NetworkPartition(isolated=(), at=0.0)
+
+
+class TestUnleash:
+    def test_host_crash_and_reboot_on_schedule(self):
+        cluster, monkey = make_monkey()
+        host = cluster.host("node1")
+        run = monkey.unleash([HostCrash("node1", at=5.0, recover_after=10.0)])
+
+        def probe():
+            yield cluster.engine.timeout(6.0)
+            assert not host.alive
+            yield cluster.engine.timeout(10.0)  # t = 16 > 5 + 10
+            assert host.alive
+
+        p = cluster.engine.process(probe())
+        report = cluster.run(run)
+        cluster.run(p)
+        assert report is monkey.report
+        assert report.fault_counts() == {"host_crash": 1, "host_recover": 1}
+        assert [f.time for f in report.faults] == pytest.approx([5.0, 15.0])
+
+    def test_concurrent_scenarios(self):
+        cluster, monkey = make_monkey()
+        report = cluster.run(monkey.unleash([
+            LinkCut("node1", at=2.0, restore_after=3.0),
+            DiskSlowdown("node2", 4.0, at=1.0, restore_after=2.0),
+            NetworkPartition(("node3",), at=4.0, heal_after=1.0),
+        ]))
+        kinds = report.fault_counts()
+        assert kinds["link_cut"] == 1 and kinds["link_restore"] == 1
+        assert kinds["disk_slowdown"] == 1 and kinds["disk_restore"] == 1
+        assert kinds["partition"] == 1 and kinds["partition_heal"] == 1
+        # everything was undone
+        assert cluster.network.reachable("node0", "node1")
+        assert cluster.network.reachable("node0", "node3")
+        assert cluster.host("node2").disk.slowdown == 1.0
+
+    def test_degradation_applied_then_restored(self):
+        cluster, monkey = make_monkey()
+        run = monkey.unleash([
+            LinkDegradation("node1", factor=0.25, at=1.0, restore_after=4.0)])
+
+        def probe():
+            yield cluster.engine.timeout(2.0)
+            assert cluster.network.link_factor("node1") == pytest.approx(0.25)
+
+        p = cluster.engine.process(probe())
+        cluster.run(run)
+        cluster.run(p)
+        assert cluster.network.link_factor("node1") == pytest.approx(1.0)
+
+    def test_every_injection_is_logged_under_chaos_source(self):
+        cluster, monkey = make_monkey()
+        cluster.run(monkey.unleash([HostCrash("node1", at=0.5)]))
+        assert cluster.log.records(source="chaos", kind="chaos_host_crash")
+
+    def test_kill_vm_requires_cloud(self):
+        cluster, monkey = make_monkey()
+        with pytest.raises(ConfigError, match="cloud"):
+            monkey.kill_vm("ghost-vm")
+
+
+class TestScenarioGeneration:
+    def test_random_scenarios_sorted_and_seeded(self):
+        cluster1, m1 = make_monkey(seed=42)
+        cluster2, m2 = make_monkey(seed=42)
+        s1 = m1.random_scenarios(10, horizon=100.0)
+        s2 = m2.random_scenarios(10, horizon=100.0)
+        assert s1 == s2  # bit-reproducible from the cluster seed
+        assert [s.at for s in s1] == sorted(s.at for s in s1)
+        assert all(0 <= s.at < 100.0 for s in s1)
+        cluster3, m3 = make_monkey(seed=43)
+        assert m3.random_scenarios(10, horizon=100.0) != s1
+
+    def test_random_scenarios_validation(self):
+        _, monkey = make_monkey()
+        with pytest.raises(ConfigError):
+            monkey.random_scenarios(-1, horizon=10.0)
+        with pytest.raises(ConfigError):
+            monkey.random_scenarios(3, horizon=0.0)
+        with pytest.raises(ConfigError):
+            monkey.random_scenarios(3, horizon=10.0, kinds=("meteor_strike",))
+
+    def test_scenarios_from_fault_model(self):
+        _, monkey = make_monkey()
+        none = monkey.scenarios_from_fault_model(
+            FaultModel(), ["node1", "node2"], horizon=50.0)
+        assert none == []
+        _, eager = make_monkey(seed=5)
+        crashes = eager.scenarios_from_fault_model(
+            FaultModel(tracker_crash_rate=0.999), ["node1", "node2", "node3"],
+            horizon=50.0)
+        assert len(crashes) == 3
+        assert all(isinstance(s, HostCrash) for s in crashes)
+        assert [s.at for s in crashes] == sorted(s.at for s in crashes)
+
+
+class TestWatchers:
+    def test_watch_records_positive_ttr(self):
+        cluster, monkey = make_monkey()
+        state = {"ok": True}
+
+        def fault():
+            yield cluster.engine.timeout(9.5)
+            state["ok"] = False
+            yield cluster.engine.timeout(7.0)
+            state["ok"] = True
+
+        cluster.engine.process(fault())
+        w = monkey.watch("test", "thing", lambda: state["ok"], since=8.0)
+        rec = cluster.run(w)
+        assert rec is not None
+        assert rec.layer == "test"
+        assert rec.injected_at == 8.0
+        assert rec.ttr > 0
+        assert rec.recovered_at >= 16.5
+
+    def test_armed_watcher_ignores_healthy_prefault_state(self):
+        """A watcher armed for a future fault must not see the healthy
+        pre-fault state (or pre-fault flapping) as an instant recovery."""
+        cluster, monkey = make_monkey()
+        state = {"ok": True}
+
+        def flap():  # transient unrelated degradation before the fault
+            yield cluster.engine.timeout(2.0)
+            state["ok"] = False
+            yield cluster.engine.timeout(1.0)
+            state["ok"] = True
+            # the real fault
+            yield cluster.engine.timeout(17.0)  # t = 20
+            state["ok"] = False
+            yield cluster.engine.timeout(5.0)   # t = 25
+            state["ok"] = True
+
+        cluster.engine.process(flap())
+        rec = cluster.run(monkey.watch("test", "thing", lambda: state["ok"],
+                                       since=19.0))
+        assert rec.ttr > 0
+        assert rec.recovered_at >= 25.0
+
+    def test_watch_timeout_records_nothing(self):
+        cluster, monkey = make_monkey()
+
+        def fault():
+            yield cluster.engine.timeout(1.0)
+
+        cluster.engine.process(fault())
+        rec = cluster.run(monkey.watch(
+            "test", "thing", lambda: False, timeout=5.0))
+        assert rec is None
+        assert monkey.report.recoveries == []
+        assert cluster.log.records(source="chaos", kind="watch_timeout")
+
+
+class TestReport:
+    def test_mttr_math(self):
+        r = ChaosReport()
+        r.record_recovery("hdfs", "replication", 10.0, 40.0)
+        r.record_recovery("iaas", "vm-1", 10.0, 80.0)
+        r.record_recovery("iaas", "vm-2", 10.0, 100.0)
+        assert r.mttr("hdfs") == pytest.approx(30.0)
+        assert r.mttr("iaas") == pytest.approx(80.0)
+        assert r.mttr() == pytest.approx(63.333333)
+        assert r.mttr("video") is None
+        assert r.mttr_by_layer() == {
+            "hdfs": pytest.approx(30.0), "iaas": pytest.approx(80.0)}
+
+    def test_summary_table(self):
+        r = ChaosReport()
+        r.record_fault(1.0, "host_crash", "node1")
+        r.record_recovery("iaas", "vm-1", 1.0, 31.0)
+        text = r.summary()
+        assert "chaos report (1 faults injected)" in text
+        assert "iaas" in text and "30.00" in text

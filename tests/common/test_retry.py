@@ -1,0 +1,124 @@
+import pytest
+
+from repro.common.errors import ConfigError, FaultInjectionError, TranscodeError
+from repro.common.retry import DEFAULT_RETRY_ON, RetryPolicy, retry_process
+from repro.sim import Engine
+
+
+class TestRetryPolicy:
+    def test_defaults(self):
+        pol = RetryPolicy()
+        assert pol.max_attempts == 4
+        assert pol.delay(0) == 0.5
+        assert pol.delay(1) == 1.0
+        assert pol.delay(2) == 2.0
+
+    def test_delay_is_capped(self):
+        pol = RetryPolicy(base_delay=1.0, multiplier=10.0, max_delay=25.0)
+        assert pol.delay(0) == 1.0
+        assert pol.delay(1) == 10.0
+        assert pol.delay(2) == 25.0
+        assert pol.delay(9) == 25.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ConfigError):
+            RetryPolicy(base_delay=-1.0)
+        with pytest.raises(ConfigError):
+            RetryPolicy(multiplier=0.5)
+        with pytest.raises(ConfigError):
+            RetryPolicy(max_delay=-0.5)
+        with pytest.raises(ConfigError):
+            RetryPolicy().delay(-1)
+
+    def test_default_retry_on_is_repro_errors(self):
+        assert issubclass(FaultInjectionError, DEFAULT_RETRY_ON)
+
+
+class TestRetryProcess:
+    def run_retry(self, make_attempt, **kw):
+        engine = Engine()
+        p = engine.process(retry_process(engine, make_attempt, **kw))
+        return engine, engine.run(until=p)
+
+    def test_first_attempt_success_no_delay(self):
+        def make_attempt(i):
+            def _a():
+                yield self.engine.timeout(1.0)
+                return "ok"
+            return _a()
+
+        self.engine = Engine()
+        p = self.engine.process(retry_process(self.engine, make_attempt))
+        assert self.engine.run(until=p) == "ok"
+        assert self.engine.now == pytest.approx(1.0)
+
+    def test_retries_until_success_with_backoff(self):
+        engine = Engine()
+        seen = []
+
+        def make_attempt(i):
+            def _a():
+                yield engine.timeout(1.0)
+                seen.append(i)
+                if i < 2:
+                    raise FaultInjectionError(f"attempt {i} fails")
+                return "finally"
+            return _a()
+
+        p = engine.process(retry_process(
+            engine, make_attempt, policy=RetryPolicy(base_delay=0.5)))
+        assert engine.run(until=p) == "finally"
+        assert seen == [0, 1, 2]
+        # 3 attempts x 1 s + backoff 0.5 + 1.0
+        assert engine.now == pytest.approx(4.5)
+
+    def test_exhaustion_reraises_last_error(self):
+        engine = Engine()
+
+        def make_attempt(i):
+            def _a():
+                yield engine.timeout(0.1)
+                raise FaultInjectionError(f"attempt {i}")
+            return _a()
+
+        p = engine.process(retry_process(
+            engine, make_attempt, policy=RetryPolicy(max_attempts=2)))
+        with pytest.raises(FaultInjectionError, match="attempt 1"):
+            engine.run(until=p)
+
+    def test_unlisted_exception_not_retried(self):
+        engine = Engine()
+        calls = []
+
+        def make_attempt(i):
+            def _a():
+                calls.append(i)
+                yield engine.timeout(0.1)
+                raise TranscodeError("not retryable here")
+            return _a()
+
+        p = engine.process(retry_process(
+            engine, make_attempt, retry_on=(FaultInjectionError,)))
+        with pytest.raises(TranscodeError):
+            engine.run(until=p)
+        assert calls == [0]
+
+    def test_on_retry_callback_sees_attempt_and_error(self):
+        engine = Engine()
+        notes = []
+
+        def make_attempt(i):
+            def _a():
+                yield engine.timeout(0.1)
+                if i == 0:
+                    raise FaultInjectionError("boom")
+                return i
+            return _a()
+
+        p = engine.process(retry_process(
+            engine, make_attempt,
+            on_retry=lambda attempt, exc: notes.append((attempt, str(exc)))))
+        assert engine.run(until=p) == 1
+        assert notes == [(1, "boom")]

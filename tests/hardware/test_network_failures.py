@@ -1,0 +1,200 @@
+"""Network fault injection: link cuts, partitions, degradation, host crashes."""
+
+import pytest
+
+from repro.common.calibration import Calibration
+from repro.common.errors import PartitionError, SimulationError
+from repro.hardware import Cluster
+
+RATE = Calibration().nic_rate
+LAT = Calibration().net_latency
+
+
+class TestLinkCut:
+    def test_new_transfer_to_cut_host_fails(self):
+        c = Cluster(3)
+        c.network.cut("node1")
+        ev = c.network.transfer("node0", "node1", RATE)
+        with pytest.raises(PartitionError):
+            c.run(ev)
+        assert c.engine.now == pytest.approx(LAT)  # fails fast, not after 1 s
+
+    def test_inflight_flow_fails_immediately(self):
+        c = Cluster(3)
+        ev = c.network.transfer("node0", "node1", 10 * RATE)  # would take 10 s
+
+        def chaos():
+            yield c.engine.timeout(2.0)
+            c.network.cut("node1")
+
+        c.engine.process(chaos())
+        with pytest.raises(PartitionError):
+            c.run(ev)
+        assert c.engine.now == pytest.approx(2.0)
+
+    def test_unaffected_flow_speeds_up_after_cut(self):
+        """Cutting one of two senders returns the shared downlink to the other."""
+        c = Cluster(3)
+        victim = c.network.transfer("node1", "node0", 10 * RATE)
+        victim.defuse()
+        survivor = c.network.transfer("node2", "node0", 2 * RATE)
+
+        def chaos():
+            yield c.engine.timeout(1.0)
+            c.network.cut("node1")
+
+        c.engine.process(chaos())
+        c.run(survivor)
+        # 1 s at half rate (0.5 done) + 1.5 s at full rate, plus latency
+        assert c.engine.now == pytest.approx(2.5 + LAT, rel=1e-6)
+
+    def test_restore_makes_host_reachable_again(self):
+        c = Cluster(2)
+        c.network.cut("node1")
+        assert not c.network.reachable("node0", "node1")
+        c.network.restore("node1")
+        assert c.network.reachable("node0", "node1")
+        t = c.run(c.network.transfer("node0", "node1", RATE))
+        assert t == pytest.approx(1.0 + LAT, rel=1e-6)
+
+    def test_cut_is_idempotent_and_validated(self):
+        c = Cluster(2)
+        c.network.cut("node1")
+        c.network.cut("node1")  # no-op, no error
+        with pytest.raises(SimulationError):
+            c.network.cut("ghost")
+        with pytest.raises(SimulationError):
+            c.network.restore("ghost")
+
+
+class TestPartition:
+    def test_cross_partition_unreachable_within_ok(self):
+        c = Cluster(4)
+        c.network.partition(["node2", "node3"])
+        assert not c.network.reachable("node0", "node2")
+        assert not c.network.reachable("node3", "node1")
+        assert c.network.reachable("node0", "node1")
+        assert c.network.reachable("node2", "node3")
+
+    def test_inflight_cross_flows_fail_others_survive(self):
+        c = Cluster(4)
+        cross = c.network.transfer("node0", "node2", 10 * RATE)
+        inside = c.network.transfer("node0", "node1", 2 * RATE)
+
+        def chaos():
+            yield c.engine.timeout(1.0)
+            c.network.partition(["node2", "node3"])
+
+        c.engine.process(chaos())
+        with pytest.raises(PartitionError):
+            c.run(cross)
+        c.run(inside)
+        # both flows shared node0's uplink for 1 s, then inside ran alone
+        assert c.engine.now == pytest.approx(2.5 + LAT, rel=1e-6)
+
+    def test_heal_reconnects(self):
+        c = Cluster(3)
+        c.network.partition(["node2"])
+        c.network.heal_partition()
+        assert c.network.reachable("node0", "node2")
+        t = c.run(c.network.transfer("node0", "node2", RATE))
+        assert t == pytest.approx(1.0 + LAT, rel=1e-6)
+
+    def test_unknown_hosts_rejected(self):
+        c = Cluster(2)
+        with pytest.raises(SimulationError):
+            c.network.partition(["node0", "ghost"])
+
+    def test_loopback_survives_everything(self):
+        c = Cluster(2)
+        c.network.cut("node1")
+        c.network.partition(["node1"])
+        assert c.network.reachable("node1", "node1")
+
+
+class TestLinkDegradation:
+    def test_degraded_link_slows_transfer(self):
+        c = Cluster(2)
+        c.network.set_link_factor("node1", 0.5)
+        assert c.network.link_factor("node1") == pytest.approx(0.5)
+        t = c.run(c.network.transfer("node0", "node1", RATE))
+        assert t == pytest.approx(2.0 + LAT, rel=1e-6)
+
+    def test_midflight_degradation_stretches_completion(self):
+        c = Cluster(2)
+        ev = c.network.transfer("node0", "node1", 2 * RATE)  # 2 s nominal
+
+        def chaos():
+            yield c.engine.timeout(1.0)
+            c.network.set_link_factor("node1", 0.25)
+
+        c.engine.process(chaos())
+        c.run(ev)
+        # 1 s at full rate + 4 s for the remaining half at quarter rate
+        assert c.engine.now == pytest.approx(5.0 + LAT, rel=1e-6)
+
+    def test_restore_clears_degradation(self):
+        c = Cluster(2)
+        c.network.set_link_factor("node1", 0.1)
+        c.network.restore("node1")
+        assert c.network.link_factor("node1") == pytest.approx(1.0)
+
+    def test_factor_validated(self):
+        c = Cluster(2)
+        with pytest.raises(SimulationError):
+            c.network.set_link_factor("node1", 0.0)
+        with pytest.raises(SimulationError):
+            c.network.set_link_factor("node1", 1.5)
+
+
+class TestHostFailure:
+    def test_fail_cuts_link_and_notifies_listeners(self):
+        c = Cluster(3)
+        host = c.host("node1")
+        downs, ups = [], []
+        host.on_fail(lambda h: downs.append(h.name))
+        host.on_recover(lambda h: ups.append(h.name))
+        host.fail()
+        assert not host.alive
+        assert downs == ["node1"]
+        assert not c.network.reachable("node0", "node1")
+        host.recover()
+        assert host.alive
+        assert ups == ["node1"]
+        assert c.network.reachable("node0", "node1")
+
+    def test_fail_is_idempotent(self):
+        c = Cluster(2)
+        host = c.host("node1")
+        count = []
+        host.on_fail(lambda h: count.append(1))
+        host.fail()
+        host.fail()
+        assert count == [1]
+
+    def test_failure_event_triggers_waiters(self):
+        c = Cluster(2)
+        host = c.host("node1")
+        ev = host.failure_event()
+        assert not ev.triggered
+
+        def chaos():
+            yield c.engine.timeout(3.0)
+            host.fail()
+
+        c.engine.process(chaos())
+        c.run(ev)
+        assert c.engine.now == pytest.approx(3.0)
+        # after death, new watchers get an already-triggered event
+        assert host.failure_event().triggered
+
+    def test_disk_slowdown_scales_io(self):
+        c = Cluster(1)
+        c.run(c.engine.process(c.host("node0").disk.write(100 * 1024 * 1024)))
+        base = c.engine.now
+        c2 = Cluster(1)
+        c2.host("node0").disk.set_slowdown(3.0)
+        c2.run(c2.engine.process(c2.host("node0").disk.write(100 * 1024 * 1024)))
+        assert c2.engine.now == pytest.approx(3.0 * base, rel=1e-6)
+        with pytest.raises(Exception):
+            c2.host("node0").disk.set_slowdown(0.5)

@@ -1,0 +1,112 @@
+"""DataNode failure racing an in-flight write pipeline (chaos satellite).
+
+The client must notice the dead pipeline stage mid-block, rebuild the
+pipeline from the survivors, finish the file under-replicated, and let
+the NameNode's replication monitor heal it back to full replication.
+"""
+
+import pytest
+
+from repro.common.errors import HdfsError, PartitionError
+from repro.common.units import MiB
+from repro.hardware import Cluster
+from repro.hdfs import Hdfs
+
+
+def make_fs(n_hosts=5, seed=0, **kw):
+    cluster = Cluster(n_hosts, seed=seed)
+    kw.setdefault("block_size", 8 * MiB)
+    kw.setdefault("replication", 2)
+    return cluster, Hdfs(cluster, **kw)
+
+
+def kill_later(cluster, fs, victim, at):
+    def _chaos():
+        yield cluster.engine.timeout(at)
+        fs.datanodes[victim].fail()
+    cluster.engine.process(_chaos())
+
+
+class TestPipelineFailure:
+    def test_write_survives_datanode_crash_midstream(self):
+        cluster, fs = make_fs()
+        client = fs.client("node1")
+        write = cluster.engine.process(
+            client.write_synthetic("/mv.avi", 64 * MiB))
+        # every pipeline includes 2 of 4 datanodes; node2 dies mid-write
+        kill_later(cluster, fs, "node2", at=1.0)
+        inode = cluster.run(write)
+        assert inode.length == 64 * MiB
+        recoveries = cluster.log.records(source="hdfs.client",
+                                         kind="pipeline_recovered")
+        assert recoveries  # at least one block had its pipeline rebuilt
+        # blocks finished on a shortened pipeline are flagged for repair
+        assert fs.namenode.under_replicated_count() > 0
+
+    def test_every_block_keeps_a_live_replica(self):
+        cluster, fs = make_fs()
+        client = fs.client("node1")
+        write = cluster.engine.process(
+            client.write_synthetic("/mv.avi", 64 * MiB))
+        kill_later(cluster, fs, "node2", at=1.0)
+        inode = cluster.run(write)
+        for block in inode.blocks:
+            locs = fs.namenode.locations(block.block_id)
+            assert any(fs.datanodes[d].alive for d in locs), \
+                f"block {block.block_id} lost every live replica"
+
+    def test_monitor_restores_full_replication(self):
+        cluster, fs = make_fs()
+        fs.start()
+        client = fs.client("node1")
+        write = cluster.engine.process(
+            client.write_synthetic("/mv.avi", 64 * MiB))
+        kill_later(cluster, fs, "node2", at=1.0)
+        inode = cluster.run(write)
+        # run past the heartbeat timeout + a few monitor periods
+        cluster.run(cluster.engine.now + 120.0)
+        fs.stop()
+        cluster.run()
+        assert fs.namenode.under_replicated_count() == 0
+        assert not fs.namenode.missing_blocks()
+        for block in inode.blocks:
+            live = {d for d in fs.namenode.locations(block.block_id)
+                    if fs.datanodes[d].alive}
+            assert len(live) >= fs.replication
+
+    def test_all_targets_dead_raises(self):
+        cluster, fs = make_fs(4, replication=3)  # pipeline = all 3 datanodes
+        client = fs.client("node1")
+        write = cluster.engine.process(
+            client.write_synthetic("/mv.avi", 32 * MiB))
+        for victim in ("node2", "node3"):
+            kill_later(cluster, fs, victim, at=1.0)
+        # node1 hosts both the client and the last replica; killing the other
+        # two leaves a 1-node pipeline, which still succeeds...
+        inode = cluster.run(write)
+        assert inode.length == 32 * MiB
+        # ...but killing every datanode mid-write is fatal
+        cluster2, fs2 = make_fs(4, replication=3)
+        client2 = fs2.client("node0")  # client off-datanode
+        write2 = cluster2.engine.process(
+            client2.write_synthetic("/mv2.avi", 32 * MiB))
+        for victim in ("node1", "node2", "node3"):
+            kill_later(cluster2, fs2, victim, at=1.0)
+        with pytest.raises((HdfsError, PartitionError)):
+            cluster2.run(write2)
+
+    def test_datanode_recover_reports_blocks_back(self):
+        cluster, fs = make_fs()
+        fs.start()
+        client = fs.client("node1")
+        inode = cluster.run(cluster.engine.process(
+            client.write_synthetic("/mv.avi", 32 * MiB)))
+        victim = next(iter(fs.namenode.locations(inode.blocks[0].block_id)))
+        fs.datanodes[victim].fail()
+        cluster.run(cluster.engine.now + 60.0)  # declared dead
+        assert victim in fs.namenode.dead_datanodes
+        fs.datanodes[victim].recover()
+        cluster.run(cluster.engine.now + 10.0)
+        fs.stop()
+        cluster.run()
+        assert victim not in fs.namenode.dead_datanodes

@@ -1,0 +1,46 @@
+"""FaultModel hardening: kind validation + tracker crash draws (satellite)."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.common.rng import RngStream
+from repro.mapreduce import FaultModel
+
+
+class TestKindValidation:
+    def test_unknown_kind_rejected(self):
+        fault = FaultModel(map_failure_rate=0.5)
+        rng = RngStream(0)
+        with pytest.raises(ConfigError, match="unknown attempt kind"):
+            fault.attempt_fails(rng, "shuffle")
+        with pytest.raises(ConfigError):
+            fault.attempt_fails(rng, "MAP")  # case-sensitive, like Hadoop conf
+
+    def test_known_kinds_accepted(self):
+        fault = FaultModel()
+        rng = RngStream(0)
+        assert fault.attempt_fails(rng, "map") is False
+        assert fault.attempt_fails(rng, "reduce") is False
+
+
+class TestTrackerCrashRate:
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            FaultModel(tracker_crash_rate=-0.1)
+        with pytest.raises(ConfigError):
+            FaultModel(tracker_crash_rate=1.0)
+        assert FaultModel(tracker_crash_rate=0.5).tracker_crash_rate == 0.5
+
+    def test_zero_rate_never_crashes(self):
+        fault = FaultModel()
+        rng = RngStream(1)
+        assert not any(fault.tracker_crashes(rng) for _ in range(100))
+
+    def test_draws_match_rate_and_are_seeded(self):
+        fault = FaultModel(tracker_crash_rate=0.3)
+        draws = [fault.tracker_crashes(RngStream(7).child(str(i)))
+                 for i in range(500)]
+        assert 0.2 < sum(draws) / len(draws) < 0.4
+        again = [fault.tracker_crashes(RngStream(7).child(str(i)))
+                 for i in range(500)]
+        assert draws == again  # same seed, same crashes

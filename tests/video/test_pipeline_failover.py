@@ -1,0 +1,98 @@
+"""Transcode-segment failover: worker crashes mid-conversion (chaos layer)."""
+
+import pytest
+
+from repro.common.errors import TranscodeError
+from repro.common.retry import RetryPolicy
+from repro.common.units import Mbps
+from repro.hardware import Cluster
+from repro.video import DistributedTranscoder, R_720P, VideoFile
+
+
+def clip(duration=600.0, name="upload.avi"):
+    return VideoFile(
+        name=name, container="avi", vcodec="mpeg4", acodec="mp3",
+        duration=duration, resolution=R_720P, fps=25.0, bitrate=4 * Mbps,
+    )
+
+
+def make_transcoder(n_hosts=5, **kw):
+    cluster = Cluster(n_hosts)
+    tx = DistributedTranscoder(
+        cluster, cluster.host_names[1:], ingest_host="node0", **kw)
+    return cluster, tx
+
+
+def crash_later(cluster, host, at):
+    def _chaos():
+        yield cluster.engine.timeout(at)
+        cluster.host(host).fail()
+    cluster.engine.process(_chaos())
+
+
+class TestSegmentFailover:
+    def test_worker_crash_midconvert_still_completes(self):
+        cluster, tx = make_transcoder()
+        src = clip()
+        conv = cluster.engine.process(
+            tx.convert_distributed(src, vcodec="h264", container="flv"))
+        # let split+scatter finish, then kill a worker mid-transcode
+        crash_later(cluster, "node2", at=30.0)
+        report = cluster.run(conv)
+        assert report.output.vcodec == "h264"
+        assert report.output.duration == pytest.approx(src.duration)
+        assert report.output.content_id == src.content_id
+        failovers = cluster.log.records(source="video.pipeline",
+                                        kind="segment_failover")
+        assert failovers  # the dead worker's segment was retried elsewhere
+
+    def test_output_matches_healthy_run(self):
+        src = clip()
+        healthy_cluster, healthy_tx = make_transcoder()
+        healthy = healthy_cluster.run(healthy_cluster.engine.process(
+            healthy_tx.convert_distributed(src, vcodec="h264", container="flv")))
+        cluster, tx = make_transcoder()
+        conv = cluster.engine.process(
+            tx.convert_distributed(src, vcodec="h264", container="flv"))
+        crash_later(cluster, "node3", at=30.0)
+        survived = cluster.run(conv)
+        assert survived.output.vcodec == healthy.output.vcodec
+        assert survived.output.duration == pytest.approx(healthy.output.duration)
+        assert survived.output.gop_count == healthy.output.gop_count
+        # the crashed run paid for the failover
+        assert survived.total_time > healthy.total_time
+
+    def test_two_of_four_workers_die(self):
+        cluster, tx = make_transcoder()
+        src = clip()
+        conv = cluster.engine.process(
+            tx.convert_distributed(src, vcodec="h264", container="flv"))
+        crash_later(cluster, "node2", at=25.0)
+        crash_later(cluster, "node4", at=35.0)
+        report = cluster.run(conv)
+        assert report.output.duration == pytest.approx(src.duration)
+
+    def test_all_workers_dead_raises_transcode_error(self):
+        cluster, tx = make_transcoder(4)
+        src = clip(duration=300.0)
+        conv = cluster.engine.process(
+            tx.convert_distributed(src, vcodec="h264", container="flv"))
+        for i, host in enumerate(("node1", "node2", "node3")):
+            crash_later(cluster, host, at=20.0 + i)
+        with pytest.raises(TranscodeError):
+            cluster.run(conv)
+
+    def test_retries_exhausted_raises_transcode_error(self):
+        # a 1-attempt policy cannot absorb any failure
+        cluster, tx = make_transcoder(
+            retry=RetryPolicy(max_attempts=1, base_delay=0.1))
+        src = clip()
+        conv = cluster.engine.process(
+            tx.convert_distributed(src, vcodec="h264", container="flv"))
+        crash_later(cluster, "node2", at=30.0)
+        with pytest.raises(TranscodeError, match="retries exhausted"):
+            cluster.run(conv)
+
+    def test_custom_retry_policy_is_used(self):
+        cluster, tx = make_transcoder(retry=RetryPolicy(max_attempts=6))
+        assert tx.retry.max_attempts == 6

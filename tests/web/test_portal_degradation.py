@@ -1,0 +1,106 @@
+"""Portal graceful degradation: bounded 503s while the storage tier heals."""
+
+import pytest
+
+from repro.common.units import MiB, Mbps
+from repro.hardware import Cluster
+from repro.hdfs import Hdfs
+from repro.hdfs.admin import SafeModeController
+from repro.video import R_720P, VideoFile
+from repro.web import VideoPortal
+
+
+def make_portal(n_hosts=6):
+    cluster = Cluster(n_hosts)
+    fs = Hdfs(cluster, namenode_host="node0",
+              datanode_hosts=cluster.host_names[1:], block_size=16 * MiB,
+              replication=2)
+    portal = VideoPortal(
+        cluster, fs, web_host="node1",
+        transcode_workers=cluster.host_names[2:],
+    )
+    return cluster, fs, portal
+
+
+def upload_clip(duration=60.0):
+    return VideoFile(
+        name="clip.avi", container="avi", vcodec="mpeg4", acodec="mp3",
+        duration=duration, resolution=R_720P, fps=25.0, bitrate=4 * Mbps,
+    )
+
+
+def login(cluster, portal, username="kuan"):
+    cluster.run(cluster.engine.process(portal.request(
+        "POST", "/register",
+        params={"username": username, "password": "secret99",
+                "email": f"{username}@thu.edu.tw"})))
+    _, token = portal.auth.outbox[-1]
+    cluster.run(cluster.engine.process(portal.request(
+        "POST", "/verify", params={"token": token})))
+    r = cluster.run(cluster.engine.process(portal.request(
+        "POST", "/login",
+        params={"username": username, "password": "secret99"})))
+    return r.set_session
+
+
+def try_upload(cluster, portal, session):
+    return cluster.run(cluster.engine.process(portal.request(
+        "POST", "/upload", session=session,
+        params={"title": "mv", "media": upload_clip()})))
+
+
+class TestSafeModeDegradation:
+    def test_upload_refused_503_with_retry_after(self):
+        cluster, fs, portal = make_portal()
+        session = login(cluster, portal)
+        safemode = SafeModeController(fs)
+        portal.attach_safemode(safemode)
+        safemode.enter()
+        r = try_upload(cluster, portal, session)
+        assert r.status == 503
+        assert r.headers["Retry-After"] == str(int(portal.RETRY_AFTER))
+        assert portal.degraded_reason() == "namenode in safe mode"
+        assert cluster.log.records(source="web.portal", kind="portal_degraded")
+
+    def test_reads_keep_working_while_degraded(self):
+        cluster, fs, portal = make_portal()
+        session = login(cluster, portal)
+        video_id = try_upload(cluster, portal, session).body["video_id"]
+        safemode = SafeModeController(fs)
+        portal.attach_safemode(safemode)
+        safemode.enter()
+        r = cluster.run(cluster.engine.process(
+            portal.request("GET", "/video", params={"id": video_id})))
+        assert r.ok  # degradation sheds writes only
+
+    def test_upload_succeeds_after_safemode_exit(self):
+        cluster, fs, portal = make_portal()
+        session = login(cluster, portal)
+        safemode = SafeModeController(fs)
+        portal.attach_safemode(safemode)
+        safemode.enter()
+        assert try_upload(cluster, portal, session).status == 503
+        # block reports from every datanode lift safe mode
+        for dn in fs.datanodes:
+            safemode.report(dn)
+        assert not safemode.active
+        r = try_upload(cluster, portal, session)
+        assert r.ok, r.body
+
+
+class TestReplicationDegradation:
+    def test_too_few_live_datanodes_means_503(self):
+        cluster, fs, portal = make_portal()
+        session = login(cluster, portal)
+        for victim in cluster.host_names[2:]:
+            fs.namenode.dead_datanodes.add(victim)  # only node1 left, repl=2
+        r = try_upload(cluster, portal, session)
+        assert r.status == 503
+        assert "Retry-After" in r.headers
+        assert "live datanodes" in r.body["error"]
+
+    def test_healthy_portal_not_degraded(self):
+        cluster, fs, portal = make_portal()
+        assert portal.degraded_reason() is None
+        session = login(cluster, portal)
+        assert try_upload(cluster, portal, session).ok
