@@ -11,7 +11,10 @@ Run:  pytest benchmarks/ --benchmark-only -s
 
 from __future__ import annotations
 
+import json
+
 from repro.common.tables import format_table
+from repro.obs import ClusterMetrics
 
 
 def run(cluster, gen):
@@ -25,3 +28,28 @@ def show(capsys, title: str, headers, rows) -> None:
         print()
         print(format_table(headers, rows, title=title))
         print()
+
+
+def show_json(capsys, tag: str, payload) -> None:
+    """Print one machine-readable result block.
+
+    Regression tooling greps for ``### BENCH_JSON <tag>`` and diffs the
+    JSON payload (typically percentile summaries) across commits.
+    """
+    with capsys.disabled():
+        print(f"### BENCH_JSON {tag} {json.dumps(payload, sort_keys=True)}")
+
+
+def metrics_report(cluster) -> ClusterMetrics:
+    """Snapshot a cluster's registry for percentile reporting."""
+    return ClusterMetrics.from_registry(cluster.metrics)
+
+
+def percentile_row(summary) -> list[str]:
+    """A table row [count, p50 ms, p95 ms, p99 ms] from a HistogramSummary."""
+    return [
+        summary.count,
+        f"{summary.p50 * 1000:.1f}",
+        f"{summary.p95 * 1000:.1f}",
+        f"{summary.p99 * 1000:.1f}",
+    ]

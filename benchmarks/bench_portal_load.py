@@ -14,7 +14,7 @@ from repro.hardware import Cluster
 from repro.hdfs import Hdfs
 from repro.web import VideoPortal
 
-from _util import run, show
+from _util import metrics_report, percentile_row, run, show, show_json
 
 
 def build_loaded_portal(n_videos=6, n_clients=4):
@@ -48,6 +48,26 @@ def test_e03_mixed_workload_latencies(benchmark, capsys):
          ["action", "count", "mean ms", "p50 ms", "p95 ms"], rows)
     assert report.errors == 0
     assert report.events == 120
+
+    # server-side view: the web tier's own histograms, per route pattern
+    obs = metrics_report(cluster)
+    route_rows = []
+    for summary in sorted(obs.histogram_children("web_request_seconds"),
+                          key=lambda s: s.labels):
+        route = dict(summary.labels)["route"]
+        route_rows.append([route, *percentile_row(summary)])
+    aggregate = obs.percentiles("web_request_seconds")
+    route_rows.append(["(all routes)", *percentile_row(aggregate)])
+    show(capsys, "E03: server-side latency from web_request_seconds",
+         ["route", "count", "p50 ms", "p95 ms", "p99 ms"], route_rows)
+    show_json(capsys, "e03_portal_load", {
+        "aggregate": aggregate.to_json(),
+        "routes": [s.to_json() for s in sorted(
+            obs.histogram_children("web_request_seconds"),
+            key=lambda s: s.labels)],
+    })
+    assert aggregate.count >= report.events
+    assert aggregate.p50 <= aggregate.p95 <= aggregate.p99
     # watch includes actual streaming, so it dwarfs page serves
     assert report.stat("watch").mean > report.stat("browse").mean
     # page serves stay interactive

@@ -12,7 +12,7 @@ from repro.common.units import Mbps
 from repro.hardware import Cluster
 from repro.video import DistributedTranscoder, R_480P, R_720P, VideoFile
 
-from _util import run, show
+from _util import metrics_report, percentile_row, run, show, show_json
 
 
 def clip(duration, name="upload.avi"):
@@ -93,6 +93,39 @@ def test_e08_segments_per_worker_ablation(benchmark, capsys):
          ["segments", "total s"], rows)
     benchmark.pedantic(convert, args=(300.0, 4),
                        kwargs={"n_segments": 8}, rounds=3, iterations=1)
+
+
+def test_e08_stage_percentiles(benchmark, capsys):
+    """Stage-latency distributions from the transcoder's own histograms."""
+    cluster = Cluster(5)
+    tx = DistributedTranscoder(cluster, cluster.host_names[1:],
+                               ingest_host="node0")
+    for duration in (60.0, 300.0, 600.0, 1800.0):
+        run(cluster, tx.convert_distributed(
+            clip(duration), vcodec="h264", container="flv"))
+
+    obs = metrics_report(cluster)
+    rows = []
+    for stage in ("split", "convert", "merge"):
+        summary = obs.histogram("transcode_stage_seconds", stage=stage)
+        rows.append([stage, *percentile_row(summary)])
+    total = obs.histogram("transcode_seconds", mode="distributed")
+    rows.append(["(total)", *percentile_row(total)])
+    show(capsys, "E08e: stage latency percentiles over 4 conversions",
+         ["stage", "count", "p50 ms", "p95 ms", "p99 ms"], rows)
+    show_json(capsys, "e08_transcode_stages", {
+        "stages": {stage: obs.histogram(
+            "transcode_stage_seconds", stage=stage).to_json()
+            for stage in ("split", "convert", "merge")},
+        "total": total.to_json(),
+        "segments": obs.counter("transcode_segments_total"),
+    })
+    assert total.count == 4
+    assert obs.counter("transcode_segments_total") == 16  # 4 runs x 4 workers
+    # convert dominates split/merge for long-form content
+    assert obs.histogram("transcode_stage_seconds", stage="convert").p50 > \
+        obs.histogram("transcode_stage_seconds", stage="merge").p50
+    benchmark.pedantic(convert, args=(120.0, 4), rounds=2, iterations=1)
 
 
 def test_e08_downscale_target(benchmark, capsys):

@@ -97,13 +97,21 @@ class WebError(ReproError):
 
 
 class HttpError(WebError):
-    """Carries an HTTP status code for the web-server model."""
+    """Carries an HTTP status code (plus response headers) for the web model.
+
+    *headers* are copied verbatim onto the error response; *retry_after*
+    is a convenience that becomes a ``Retry-After`` header.
+    """
 
     def __init__(self, status: int, message: str = "",
-                 *, retry_after: float | None = None) -> None:
+                 *, retry_after: float | None = None,
+                 headers: dict[str, str] | None = None) -> None:
         super().__init__(message or f"HTTP {status}")
         self.status = status
         self.retry_after = retry_after
+        self.headers: dict[str, str] = dict(headers or {})
+        if retry_after is not None:
+            self.headers.setdefault("Retry-After", str(int(retry_after)))
 
 
 class AuthError(WebError):

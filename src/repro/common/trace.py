@@ -1,26 +1,42 @@
-"""Chrome-trace export of the event log.
+"""Chrome-trace export of the event log and the span tree.
 
-Dump a simulation's :class:`~repro.common.events.EventLog` in the Trace
-Event Format understood by ``chrome://tracing`` / Perfetto, with one row
-per component.  Useful for eyeballing cross-layer timing (a migration
-riding over an HDFS write, say) without adding any instrumentation.
+Dump a simulation's :class:`~repro.common.events.EventLog` -- and, when a
+:class:`~repro.obs.Tracer` is passed, its span tree -- in the Trace Event
+Format understood by ``chrome://tracing`` / Perfetto.  Log records become
+instant events; spans become nested ``ph: "B"/"E"`` duration pairs, so
+one upload renders as a flame: portal request -> FUSE write -> HDFS
+pipeline -> transcode fan-out -> publish.
+
+Perfetto requires B/E events on one thread row to be properly nested, but
+a simulation runs sibling spans concurrently (the transcode fan-out).
+Spans are therefore assigned to *lanes*: a span lands on its parent's
+lane when it still nests there, otherwise on the first lane where every
+already-placed span is either disjoint or fully enclosing/enclosed --
+so every lane is a valid flame and parallelism shows up as extra rows.
 """
 
 from __future__ import annotations
 
 import json
+from typing import TYPE_CHECKING
 
 from .events import EventLog
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..obs.spans import Span, Tracer
 
 #: microseconds per simulated second in the emitted trace
 _SCALE = 1_000_000
 
 
-def to_chrome_trace(log: EventLog, *, process_name: str = "repro") -> str:
-    """Serialize *log* as a Trace Event Format JSON string.
+def to_chrome_trace(log: EventLog, *, tracer: "Tracer | None" = None,
+                    process_name: str = "repro") -> str:
+    """Serialize *log* (and optionally *tracer*) as Trace Event JSON.
 
-    Every record becomes an instant event (`ph: "i"`) on its source's
+    Every log record becomes an instant event (`ph: "i"`) on its source's
     thread; sources are mapped to stable thread ids in first-seen order.
+    Spans from *tracer* are emitted as balanced ``B``/``E`` pairs on lane
+    threads appended after the log threads.
     """
     tids: dict[str, int] = {}
     events: list[dict] = [{
@@ -44,8 +60,104 @@ def to_chrome_trace(log: EventLog, *, process_name: str = "repro") -> str:
             "name": "thread_name", "ph": "M", "pid": 1, "tid": tid,
             "args": {"name": source},
         })
+    if tracer is not None:
+        events.extend(_span_events(tracer, first_tid=len(tids) + 1))
     return json.dumps({"traceEvents": events, "displayTimeUnit": "ms"},
                       sort_keys=True)
+
+
+def _span_events(tracer: "Tracer", first_tid: int) -> list[dict]:
+    """Balanced B/E pairs for every finished span, grouped into lanes."""
+    spans = [s for s in tracer if s.finished]
+    if not spans:
+        return []
+    lane_of = _assign_lanes(tracer, spans)
+    n_lanes = max(lane_of.values()) + 1
+
+    # Per lane, order events by rebuilding the nesting forest and walking
+    # it depth-first -- guarantees every E closes the most recent open B
+    # even for zero-duration spans.
+    events: list[dict] = []
+    lane_names: dict[int, str] = {}
+    for lane in range(n_lanes):
+        members = sorted(
+            (s for s in spans if lane_of[s.span_id] == lane),
+            key=lambda s: (s.start, -s.duration, s.span_id),
+        )
+        lane_names[lane] = f"trace:{members[0].source or 'spans'}"
+        stack: list["Span"] = []
+        tid = first_tid + lane
+        for span in members:
+            while stack and not _encloses(stack[-1], span):
+                events.append(_end_event(stack.pop(), tid))
+            events.append(_begin_event(span, tid))
+            stack.append(span)
+        while stack:
+            events.append(_end_event(stack.pop(), tid))
+    for lane, name in lane_names.items():
+        events.append({
+            "name": "thread_name", "ph": "M", "pid": 1,
+            "tid": first_tid + lane, "args": {"name": name},
+        })
+    return events
+
+
+def _assign_lanes(tracer: "Tracer", spans: list["Span"]) -> dict[int, int]:
+    """Greedy lane assignment keeping each lane properly nested."""
+    lanes: list[list["Span"]] = []
+    lane_of: dict[int, int] = {}
+    for span in sorted(spans, key=lambda s: (s.start, -s.duration, s.span_id)):
+        preferred: list[int] = []
+        if span.parent_id is not None and span.parent_id in lane_of:
+            preferred.append(lane_of[span.parent_id])
+        preferred.extend(i for i in range(len(lanes)) if i not in preferred)
+        placed = None
+        for i in preferred:
+            if all(_compatible(other, span) for other in lanes[i]):
+                placed = i
+                break
+        if placed is None:
+            lanes.append([])
+            placed = len(lanes) - 1
+        lanes[placed].append(span)
+        lane_of[span.span_id] = placed
+    return lane_of
+
+
+def _encloses(outer: "Span", inner: "Span") -> bool:
+    return outer.start <= inner.start and inner.end <= outer.end
+
+
+def _compatible(a: "Span", b: "Span") -> bool:
+    """True when *a* and *b* can share a lane: disjoint or strictly nested."""
+    if a.end <= b.start or b.end <= a.start:
+        return True
+    return _encloses(a, b) or _encloses(b, a)
+
+
+def _begin_event(span: "Span", tid: int) -> dict:
+    return {
+        "name": span.name,
+        "cat": span.source or "span",
+        "ph": "B",
+        "pid": 1,
+        "tid": tid,
+        "ts": round(span.start * _SCALE, 3),
+        "args": {"span_id": span.span_id,
+                 "parent_id": span.parent_id,
+                 "status": span.status,
+                 **_jsonable(span.labels)},
+    }
+
+
+def _end_event(span: "Span", tid: int) -> dict:
+    return {
+        "name": span.name,
+        "ph": "E",
+        "pid": 1,
+        "tid": tid,
+        "ts": round(span.end * _SCALE, 3),
+    }
 
 
 def _jsonable(data: dict) -> dict:

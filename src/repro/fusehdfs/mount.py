@@ -29,6 +29,10 @@ class HdfsMount:
         self.client: HdfsClient = fs.client(host_name)
         self.mount_point = mount_point
         self.hdfs_root = hdfs_root.rstrip("/")
+        self.tracer = fs.cluster.tracer
+        self._m_ops = fs.cluster.metrics.counter(
+            "fuse_ops_total", "operations crossing the FUSE boundary",
+            labels=("op",))
 
     # -- path translation -----------------------------------------------------
 
@@ -53,6 +57,7 @@ class HdfsMount:
         """Process: create a file through the mount."""
         path = self.to_hdfs_path(local_path)
         engine = self.fs.engine
+        self._m_ops.labels(op="write").inc()
 
         def _op():
             yield engine.timeout(FUSE_OP_COST)
@@ -61,12 +66,13 @@ class HdfsMount:
             )
             return inode
 
-        return _op()
+        return self.tracer.trace("fuse.write", _op(), source="fuse", path=path)
 
     def write_sized(self, local_path: str, length: int, replication: int | None = None) -> Generator:
         """Process: create a synthetic (sized) file through the mount."""
         path = self.to_hdfs_path(local_path)
         engine = self.fs.engine
+        self._m_ops.labels(op="write").inc()
 
         def _op():
             yield engine.timeout(FUSE_OP_COST)
@@ -75,28 +81,32 @@ class HdfsMount:
             )
             return inode
 
-        return _op()
+        return self.tracer.trace("fuse.write", _op(), source="fuse", path=path)
 
     def read(self, local_path: str) -> Generator:
         """Process: read a file through the mount."""
         path = self.to_hdfs_path(local_path)
         engine = self.fs.engine
+        self._m_ops.labels(op="read").inc()
 
         def _op():
             yield engine.timeout(FUSE_OP_COST)
             data = yield engine.process(self.client.read_file(path))
             return data
 
-        return _op()
+        return self.tracer.trace("fuse.read", _op(), source="fuse", path=path)
 
     def exists(self, local_path: str) -> bool:
+        self._m_ops.labels(op="exists").inc()
         return self.client.exists(self.to_hdfs_path(local_path))
 
     def stat(self, local_path: str) -> INode:
+        self._m_ops.labels(op="stat").inc()
         return self.client.stat(self.to_hdfs_path(local_path))
 
     def listdir(self, local_dir: str) -> list[str]:
         """Local paths of entries under *local_dir*."""
+        self._m_ops.labels(op="listdir").inc()
         if local_dir == self.mount_point:
             hdfs_prefix = self.hdfs_root or "/"
         else:
@@ -104,4 +114,5 @@ class HdfsMount:
         return [self.to_local_path(p) for p in self.client.listdir(hdfs_prefix)]
 
     def remove(self, local_path: str) -> None:
+        self._m_ops.labels(op="remove").inc()
         self.client.delete(self.to_hdfs_path(local_path))

@@ -12,6 +12,7 @@ from ..common.errors import ConfigError
 from ..common.events import EventLog
 from ..common.ids import IdFactory
 from ..common.rng import RngStream
+from ..obs import MetricsRegistry, Tracer
 from ..sim import Engine
 from .host import PhysicalHost
 from .network import Network
@@ -35,6 +36,8 @@ class Cluster:
         self.rng = RngStream(seed, "cluster")
         self.ids = IdFactory()
         self.log = EventLog(clock=lambda: self.engine.now)
+        self.metrics = MetricsRegistry()
+        self.tracer = Tracer(clock=lambda: self.engine.now)
         self.network = Network(self.engine, self.cal)
         self.hosts: list[PhysicalHost] = []
         for i in range(n_hosts):

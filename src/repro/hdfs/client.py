@@ -43,8 +43,17 @@ class HdfsClient:
         nn = fs.namenode
         engine = fs.engine
         repl = replication if replication is not None else fs.replication
+        metrics = fs.cluster.metrics
+        m_seconds = metrics.histogram(
+            "hdfs_write_seconds", "client write latency, open to close")
+        m_bytes = metrics.counter(
+            "hdfs_bytes_written_total", "payload bytes written by clients")
+        m_recover = metrics.counter(
+            "hdfs_pipeline_recoveries_total",
+            "write pipelines rebuilt after a DataNode loss")
 
         def _flow():
+            t0 = engine.now
             yield engine.timeout(RPC_COST)
             nn.create_file(path, repl)
             blocks = split_into_blocks(nn.next_block_id, data, length, fs.block_size)
@@ -78,6 +87,7 @@ class HdfsClient:
                             path=path, block=str(block.block_id),
                             survivors=list(survivors),
                         )
+                        m_recover.inc()
                         targets = survivors
                         continue
                     break
@@ -85,9 +95,12 @@ class HdfsClient:
                     # short pipeline: let the replication monitor top it up
                     nn.under_replicated.append(block.block_id)
             nn.complete_file(path)
+            m_bytes.inc(length)
+            m_seconds.observe(engine.now - t0)
             return nn.get_file(path)
 
-        return _flow()
+        return fs.cluster.tracer.trace(
+            "hdfs.write", _flow(), source="hdfs", path=path, bytes=length)
 
     # -- reads ------------------------------------------------------------------
 
@@ -96,8 +109,14 @@ class HdfsClient:
         fs = self.fs
         nn = fs.namenode
         engine = fs.engine
+        metrics = fs.cluster.metrics
+        m_seconds = metrics.histogram(
+            "hdfs_read_seconds", "client read latency, open to last block")
+        m_bytes = metrics.counter(
+            "hdfs_bytes_read_total", "payload bytes read by clients")
 
         def _flow():
+            t0 = engine.now
             yield engine.timeout(RPC_COST)
             inode = nn.get_file(path)
             chunks: list[bytes] = []
@@ -130,11 +149,14 @@ class HdfsClient:
                     synthetic = True
                 else:
                     chunks.append(got.payload)
+            m_bytes.inc(inode.length)
+            m_seconds.observe(engine.now - t0)
             if synthetic:
                 return inode.length
             return b"".join(chunks)
 
-        return _flow()
+        return fs.cluster.tracer.trace(
+            "hdfs.read", _flow(), source="hdfs", path=path)
 
     def preferred_block_host(self, path: str, block_index: int) -> str:
         """Where block *block_index* of *path* should be read from (locality)."""

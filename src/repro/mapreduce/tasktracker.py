@@ -51,6 +51,18 @@ class TaskTracker:
     def name(self) -> str:
         return self.host.name
 
+    def _task_metrics(self):
+        metrics = self.fs.cluster.metrics
+        return (
+            metrics.histogram(
+                "mapreduce_task_seconds",
+                "task attempt wall time, launch to spill",
+                labels=("kind",)),
+            metrics.counter(
+                "mapreduce_task_failures_total",
+                "attempts killed by the fault model", labels=("kind",)),
+        )
+
     # -- map side --------------------------------------------------------------
 
     def run_map(
@@ -70,10 +82,12 @@ class TaskTracker:
         """
         engine = self.host.engine
         had = self.cal.hadoop
+        m_seconds, m_failures = self._task_metrics()
 
         def _attempt():
             from .jobtracker import MapOutput  # local import to avoid cycle
 
+            t0 = engine.now
             yield engine.timeout(had.task_launch_overhead * self.slowdown)
             local = self.name in split.hosts
             if local:
@@ -93,6 +107,7 @@ class TaskTracker:
                 # die halfway through the scan
                 yield engine.process(self.host.compute_seconds(
                     cpu_per_byte * split.length * self.slowdown / 2))
+                m_failures.labels(kind="map").inc()
                 raise TaskAttemptFailed(
                     f"map attempt for split {split.split_id} died on {self.name}")
             yield engine.process(
@@ -143,11 +158,14 @@ class TaskTracker:
             spill = sum(sizes.values())
             if spill:
                 yield engine.process(self.host.disk.write(spill))
+            m_seconds.labels(kind="map").observe(engine.now - t0)
             return MapOutput(
                 host=self.name, partitions=dict(partitions), sizes=sizes
             )
 
-        return _attempt()
+        return self.fs.cluster.tracer.trace(
+            "mapreduce.map", _attempt(), source="mapreduce",
+            split=split.split_id, host=self.name)
 
     # -- reduce side -------------------------------------------------------------
 
@@ -165,8 +183,10 @@ class TaskTracker:
         engine = self.host.engine
         had = self.cal.hadoop
         fs = self.fs
+        m_seconds, m_failures = self._task_metrics()
 
         def _attempt():
+            t0 = engine.now
             yield engine.timeout(had.task_launch_overhead * self.slowdown)
             # shuffle: fetch this reducer's partition from every map host,
             # concurrently (the copier threads of real Hadoop)
@@ -185,6 +205,7 @@ class TaskTracker:
             counters.shuffle_bytes += total_bytes
 
             if fault_rng is not None and fault.attempt_fails(fault_rng, "reduce"):
+                m_failures.labels(kind="reduce").inc()
                 raise TaskAttemptFailed(
                     f"reduce {reduce_index} attempt died on {self.name}")
             # merge-sort cost + reduce scan cost
@@ -218,6 +239,9 @@ class TaskTracker:
                         part_path, data, replication=job.output_replication
                     )
                 )
+            m_seconds.labels(kind="reduce").observe(engine.now - t0)
             return part_path, output
 
-        return _attempt()
+        return self.fs.cluster.tracer.trace(
+            "mapreduce.reduce", _attempt(), source="mapreduce",
+            reduce_index=reduce_index, host=self.name)

@@ -1,0 +1,33 @@
+"""Cross-layer observability: metrics registry + span tracing.
+
+Every :class:`~repro.hardware.Cluster` owns one
+:class:`~repro.obs.metrics.MetricsRegistry` and one
+:class:`~repro.obs.spans.Tracer`; layers instrument themselves through
+those shared handles, the portal exposes them at ``/metrics`` and
+``/healthz``, and :func:`~repro.common.trace.to_chrome_trace` renders the
+span tree as nested Perfetto duration events.
+"""
+
+from .metrics import (
+    Counter,
+    DEFAULT_BUCKETS,
+    Gauge,
+    Histogram,
+    Metric,
+    MetricsRegistry,
+)
+from .report import ClusterMetrics, HistogramSummary
+from .spans import Span, Tracer
+
+__all__ = [
+    "ClusterMetrics",
+    "Counter",
+    "DEFAULT_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "HistogramSummary",
+    "Metric",
+    "MetricsRegistry",
+    "Span",
+    "Tracer",
+]

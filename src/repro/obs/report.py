@@ -1,0 +1,149 @@
+"""ClusterMetrics: a frozen snapshot of a registry for benches and tests.
+
+Benchmarks should not poke at live instruments; they take one
+:class:`ClusterMetrics` snapshot at the end of a run and read counters
+and latency-percentile summaries from it.  ``to_json()`` gives the
+machine-readable block the bench harness prints, so regression tooling
+can diff p50/p95/p99 across commits instead of eyeballing tables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from ..common.errors import ConfigError
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+
+
+@dataclass(frozen=True)
+class HistogramSummary:
+    """Latency percentiles of one histogram child."""
+
+    name: str
+    labels: tuple[tuple[str, str], ...]
+    count: int
+    total: float
+    mean: float
+    p50: float
+    p95: float
+    p99: float
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "name": self.name, "labels": dict(self.labels),
+            "count": self.count, "total": round(self.total, 6),
+            "mean": round(self.mean, 6), "p50": round(self.p50, 6),
+            "p95": round(self.p95, 6), "p99": round(self.p99, 6),
+        }
+
+
+def _summarize(name: str, labels: tuple[tuple[str, str], ...],
+               samples: list[float]) -> HistogramSummary:
+    h = Histogram(name or "aggregate")
+    for s in samples:
+        h.observe(s)
+    return HistogramSummary(
+        name=name, labels=labels, count=h.count, total=h.sum, mean=h.mean,
+        p50=h.percentile(50), p95=h.percentile(95), p99=h.percentile(99),
+    )
+
+
+class ClusterMetrics:
+    """Read-only report over one registry snapshot."""
+
+    def __init__(self, counters: dict, gauges: dict, histograms: dict) -> None:
+        # each dict: (name, labels-tuple) -> value / HistogramSummary
+        self._counters = counters
+        self._gauges = gauges
+        self._histograms = histograms
+        self._samples: dict[tuple, list[float]] = {}
+
+    @classmethod
+    def from_registry(cls, registry: MetricsRegistry) -> "ClusterMetrics":
+        counters: dict = {}
+        gauges: dict = {}
+        histograms: dict = {}
+        samples: dict = {}
+        for family in registry.families():
+            for child in family.children():
+                key = (family.name,
+                       tuple(zip(family.labelnames, child.labelvalues)))
+                if isinstance(child, Histogram):
+                    histograms[key] = _summarize(
+                        family.name, key[1], child.samples)
+                    samples[key] = list(child.samples)
+                elif isinstance(child, Counter):
+                    counters[key] = child.value
+                elif isinstance(child, Gauge):
+                    gauges[key] = child.value
+        report = cls(counters, gauges, histograms)
+        report._samples = samples
+        return report
+
+    # -- lookups ---------------------------------------------------------------
+
+    @staticmethod
+    def _key(name: str, labels: dict[str, str]) -> tuple:
+        return (name, tuple(sorted((k, str(v)) for k, v in labels.items())))
+
+    def _find(self, table: dict, name: str, labels: dict[str, str]):
+        want = dict((k, str(v)) for k, v in labels.items())
+        matches = [
+            v for (n, lbls), v in table.items()
+            if n == name and dict(lbls) == want
+        ]
+        if not matches:
+            raise ConfigError(
+                f"no metric {name!r} with labels {want} in this report")
+        return matches[0]
+
+    def counter(self, name: str, **labels: str) -> float:
+        return self._find(self._counters, name, labels)
+
+    def gauge(self, name: str, **labels: str) -> float:
+        return self._find(self._gauges, name, labels)
+
+    def histogram(self, name: str, **labels: str) -> HistogramSummary:
+        return self._find(self._histograms, name, labels)
+
+    def percentiles(self, name: str, **labels: str) -> HistogramSummary:
+        """Summary over *all* children of a family matching the label subset.
+
+        ``percentiles("web_request_seconds")`` merges every route's samples
+        into one request-latency distribution.
+        """
+        want = dict((k, str(v)) for k, v in labels.items())
+        merged: list[float] = []
+        found = False
+        for (n, lbls), samples in self._samples.items():
+            if n != name:
+                continue
+            as_dict = dict(lbls)
+            if all(as_dict.get(k) == v for k, v in want.items()):
+                merged.extend(samples)
+                found = True
+        if not found:
+            raise ConfigError(f"no histogram {name!r} matching {want}")
+        return _summarize(name, tuple(sorted(want.items())), merged)
+
+    def histogram_children(self, name: str) -> list[HistogramSummary]:
+        return [v for (n, _), v in self._histograms.items() if n == name]
+
+    # -- export ------------------------------------------------------------------
+
+    def to_json(self) -> dict[str, Any]:
+        def label_key(name: str, lbls: tuple) -> str:
+            if not lbls:
+                return name
+            inner = ",".join(f'{k}="{v}"' for k, v in lbls)
+            return f"{name}{{{inner}}}"
+
+        return {
+            "counters": {label_key(n, l): v
+                         for (n, l), v in sorted(self._counters.items())},
+            "gauges": {label_key(n, l): v
+                       for (n, l), v in sorted(self._gauges.items())},
+            "histograms": {label_key(n, l): s.to_json()
+                           for (n, l), s in sorted(self._histograms.items())},
+        }

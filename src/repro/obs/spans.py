@@ -1,0 +1,188 @@
+"""Span-based tracing for generator processes.
+
+A :class:`Span` is one timed operation with a parent; a :class:`Tracer`
+records every span of a simulation and tracks the *current* span so
+nesting is captured automatically: when a layer builds a sub-operation
+(portal handler -> FUSE write -> HDFS pipeline -> transcode fan-out), the
+child generator is constructed synchronously inside the parent's frame,
+and that is exactly when the tracer's current span is the parent.
+
+The subtlety is that the discrete-event kernel interleaves many processes
+on one Python thread.  :meth:`Tracer.trace` therefore wraps a generator
+so the span is pushed as current *around every resume* and popped at
+every suspension -- a span is "current" only while its frames are
+actually executing, never while the process sits suspended and unrelated
+processes run.  The wrapper forwards ``send``/``throw``/``close`` into
+the wrapped generator, so simulated failures still raise inside model
+code and its ``try/except`` recovery paths keep working under tracing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Generator, Iterator
+
+from ..common.errors import ConfigError
+
+
+@dataclass
+class Span:
+    """One timed operation in the trace tree."""
+
+    name: str
+    span_id: int
+    parent_id: int | None
+    source: str                         # layer, e.g. "web", "hdfs", "video"
+    start: float
+    end: float | None = None
+    status: str = "ok"                  # "ok" | exception class name | "cancelled"
+    labels: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def finished(self) -> bool:
+        return self.end is not None
+
+    @property
+    def duration(self) -> float:
+        if self.end is None:
+            raise ConfigError(f"span {self.name!r} has not finished")
+        return self.end - self.start
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        dur = f"{self.duration:.6f}s" if self.finished else "open"
+        return f"<span {self.span_id} {self.source}:{self.name} {dur}>"
+
+
+class Tracer:
+    """Records spans; owns the current-span stack of one simulation."""
+
+    def __init__(self, clock: Callable[[], float] | None = None) -> None:
+        self._clock = clock or (lambda: 0.0)
+        self._spans: list[Span] = []
+        self._stack: list[Span] = []
+        self._next_id = 1
+
+    def bind_clock(self, clock: Callable[[], float]) -> None:
+        self._clock = clock
+
+    # -- manual span control ---------------------------------------------------
+
+    @property
+    def current(self) -> Span | None:
+        """The span whose frames are executing right now, if any."""
+        return self._stack[-1] if self._stack else None
+
+    def start_span(self, name: str, *, source: str = "",
+                   parent: Span | None = None, **labels: Any) -> Span:
+        """Open a span; parent defaults to the current span."""
+        if parent is None:
+            parent = self.current
+        span = Span(
+            name=name, span_id=self._next_id,
+            parent_id=parent.span_id if parent is not None else None,
+            source=source or (parent.source if parent else ""),
+            start=self._clock(), labels=dict(labels),
+        )
+        self._next_id += 1
+        self._spans.append(span)
+        return span
+
+    def end_span(self, span: Span, *, status: str = "ok") -> Span:
+        if span.finished:
+            raise ConfigError(f"span {span.name!r} already finished")
+        span.end = self._clock()
+        span.status = status
+        return span
+
+    # -- the generator wrapper -------------------------------------------------
+
+    def trace(self, name: str, gen: Generator, *, source: str = "",
+              **labels: Any) -> Generator:
+        """Wrap process generator *gen* in a span named *name*.
+
+        Returns a generator usable anywhere *gen* was (``engine.process``,
+        ``yield from``, ...).  The span opens when the wrapper is built --
+        i.e. inside the caller's frame, so the caller's span becomes the
+        parent -- and closes when the generator returns, raises, or is
+        closed.  Exceptions thrown into the wrapper (failed simulation
+        events) are forwarded into *gen* so its handlers still run.
+        """
+        if not hasattr(gen, "send"):
+            raise ConfigError(f"trace({name!r}) needs a generator, got {gen!r}")
+        span = self.start_span(name, source=source, **labels)
+
+        def _run():
+            sent: Any = None
+            to_throw: BaseException | None = None
+            while True:
+                self._stack.append(span)
+                try:
+                    if to_throw is not None:
+                        exc, to_throw = to_throw, None
+                        item = gen.throw(exc)
+                    else:
+                        item = gen.send(sent)
+                except StopIteration as stop:
+                    self.end_span(span)
+                    return stop.value
+                except BaseException as exc:
+                    self.end_span(span, status=type(exc).__name__)
+                    raise
+                finally:
+                    self._stack.pop()
+                try:
+                    sent = yield item
+                except GeneratorExit:
+                    gen.close()
+                    if not span.finished:
+                        self.end_span(span, status="cancelled")
+                    raise
+                except BaseException as exc:
+                    to_throw = exc
+                    sent = None
+
+        return _run()
+
+    # -- queries ----------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._spans)
+
+    def __iter__(self) -> Iterator[Span]:
+        return iter(self._spans)
+
+    def spans(self, *, name: str | None = None, source: str | None = None,
+              finished_only: bool = False) -> list[Span]:
+        out = []
+        for s in self._spans:
+            if name is not None and s.name != name:
+                continue
+            if source is not None and s.source != source:
+                continue
+            if finished_only and not s.finished:
+                continue
+            out.append(s)
+        return out
+
+    def get(self, span_id: int) -> Span:
+        for s in self._spans:
+            if s.span_id == span_id:
+                return s
+        raise ConfigError(f"no span with id {span_id}")
+
+    def roots(self) -> list[Span]:
+        return [s for s in self._spans if s.parent_id is None]
+
+    def children(self, span: Span) -> list[Span]:
+        return [s for s in self._spans if s.parent_id == span.span_id]
+
+    def subtree(self, span: Span) -> list[Span]:
+        """*span* plus all descendants, depth-first in start order."""
+        out = [span]
+        for child in sorted(self.children(span), key=lambda s: (s.start, s.span_id)):
+            out.extend(self.subtree(child))
+        return out
+
+    def clear(self) -> None:
+        self._spans.clear()
+        self._stack.clear()

@@ -3,7 +3,16 @@ live migration, multi-VM services, monitoring, EC2 façade."""
 
 from .cli import CloudShell
 from .core import HostRecord, OpenNebula
-from .econe import EconeApi, INSTANCE_TYPES, InstanceDescription
+from .econe import (
+    DescribeInstancesResult,
+    EconeApi,
+    ImageDescription,
+    INSTANCE_TYPES,
+    InstanceDescription,
+    KeyPairInfo,
+    Reservation,
+    TagDescription,
+)
 from .ft import FaultToleranceHook
 from .hooks import Hook, HookManager, HookRecord
 from .lifecycle import ACTIVE_STATES, FINAL_STATES, LifecycleTracker, OneState, TRANSITIONS
@@ -39,6 +48,7 @@ __all__ = [
     "CapacityManager",
     "CloudShell",
     "DeployedService",
+    "DescribeInstancesResult",
     "EconeApi",
     "FINAL_STATES",
     "FaultToleranceHook",
@@ -47,7 +57,9 @@ __all__ = [
     "HookRecord",
     "HostRecord",
     "INSTANCE_TYPES",
+    "ImageDescription",
     "InstanceDescription",
+    "KeyPairInfo",
     "LifecycleTracker",
     "MigrationResult",
     "MonitoringService",
@@ -55,10 +67,12 @@ __all__ = [
     "OneVm",
     "OpenNebula",
     "PlacementRecord",
+    "Reservation",
     "Role",
     "ServiceManager",
     "ServiceTemplate",
     "TRANSITIONS",
+    "TagDescription",
     "VmTemplate",
     "free_memory_at_least",
     "host_facts",

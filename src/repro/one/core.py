@@ -99,6 +99,20 @@ class OpenNebula:
         self._dispatch_stopped = False
         self._next_ip = 2  # 192.168.122.2 onwards; .1 is the gateway
 
+        self.tracer = cluster.tracer
+        metrics = cluster.metrics
+        self._m_dispatch = metrics.counter(
+            "one_dispatch_total", "VMs handed to a deploy flow")
+        self._m_no_place = metrics.counter(
+            "one_placement_failures_total",
+            "dispatch ticks where a VM found no host")
+        self._m_pending = metrics.gauge(
+            "one_pending_vms", "VMs waiting in the PENDING queue")
+        self._m_deploy_seconds = metrics.histogram(
+            "one_deploy_seconds", "PROLOG to RUNNING wall time")
+        self._m_migration_seconds = metrics.histogram(
+            "one_migration_seconds", "migration wall time", labels=("kind",))
+
     # -- host pool -----------------------------------------------------------
 
     def add_host(self, name: str, *, hypervisor: str | None = None) -> HostRecord:
@@ -150,6 +164,7 @@ class OpenNebula:
                        owner=owner)
         self.vm_pool[vm_id] = one_vm
         self._pending.append(one_vm)
+        self._m_pending.set(len(self._pending))
         self.log.emit("one.core", "vm_submitted", f"{vm_name} submitted (PENDING)", vm=vm_name)
         self._schedule_dispatch()
         return one_vm
@@ -197,6 +212,7 @@ class OpenNebula:
                 rec = self.capacity.select_host(one_vm, self.host_pool)
             except PlacementError as exc:
                 self.log.emit("one.sched", "no_placement", str(exc), vm=one_vm.name)
+                self._m_no_place.inc()
                 still_pending.append(one_vm)
                 continue
             # Reserve capacity at dispatch, like the real core: the domain
@@ -205,9 +221,15 @@ class OpenNebula:
             # the same "emptiest" host.
             rec.reserved_memory += one_vm.template.memory
             rec.reserved_vms += 1
-            self.engine.process(self._deploy_flow(one_vm, rec), name=f"deploy-{one_vm.name}")
+            self.engine.process(
+                self.tracer.trace(
+                    "one.deploy", self._deploy_flow(one_vm, rec),
+                    source="one", vm=one_vm.name, host=rec.host.name),
+                name=f"deploy-{one_vm.name}")
             placed.append(one_vm)
+            self._m_dispatch.inc()
         self._pending = still_pending
+        self._m_pending.set(len(still_pending))
         if still_pending:
             self._schedule_dispatch()  # retry later
         return placed
@@ -237,6 +259,7 @@ class OpenNebula:
         if resubmit:
             one_vm.lifecycle.to(OneState.PENDING)
             self._pending.append(one_vm)
+            self._m_pending.set(len(self._pending))
             self._schedule_dispatch()
 
     def fail_host(self, name: str, *, resubmit: bool = True) -> list[OneVm]:
@@ -274,6 +297,7 @@ class OpenNebula:
         host_name = rec.host.name
         tpl = one_vm.template
         reservation_held = True
+        t0 = self.engine.now
         try:
             one_vm.lifecycle.to(OneState.PROLOG)
             one_vm.record_placement(host_name, "deploy")
@@ -311,6 +335,7 @@ class OpenNebula:
             one_vm.context.setdefault("gateway", "192.168.122.1")
 
             one_vm.lifecycle.to(OneState.RUNNING)
+            self._m_deploy_seconds.observe(self.engine.now - t0)
             self.log.emit("one.core", "vm_state", f"{one_vm.name} RUNNING on {host_name}",
                           vm=one_vm.name, state="running", host=host_name,
                           ip=one_vm.context["ip"])
@@ -419,6 +444,7 @@ class OpenNebula:
                           f"{one_vm.name} cold-migrated to {dst_host} "
                           f"in {total:.1f} s (VM down throughout)",
                           vm=one_vm.name, total=total)
+            self._m_migration_seconds.labels(kind="cold").observe(total)
             return MigrationResult(
                 kind="cold", vm=one_vm.name, src=src_rec.host.name,
                 dst=dst_host, total_time=total, downtime=total,
@@ -426,7 +452,9 @@ class OpenNebula:
                 rounds=0, converged=True,
             )
 
-        return _flow()
+        return self.tracer.trace(
+            "one.migrate", _flow(), source="one",
+            vm=one_vm.name, kind="cold", dst=dst_host)
 
     def live_migrate(self, one_vm: OneVm, dst_host: str, kind: str = "precopy",
                      *, as_user: str | None = None) -> Generator:
@@ -442,6 +470,7 @@ class OpenNebula:
         migrate = precopy_migrate if kind == "precopy" else postcopy_migrate
 
         def _flow():
+            t0 = self.engine.now
             one_vm.lifecycle.to(OneState.MIGRATE)
             self.log.emit("one.core", "vm_state",
                           f"{one_vm.name} MIGRATE {src_rec.host.name} -> {dst_host}",
@@ -452,8 +481,12 @@ class OpenNebula:
             )
             one_vm.record_placement(dst_host, "migrate")
             one_vm.lifecycle.to(OneState.RUNNING)
+            self._m_migration_seconds.labels(kind=kind).observe(
+                self.engine.now - t0)
             self.log.emit("one.core", "vm_state", f"{one_vm.name} RUNNING on {dst_host}",
                           vm=one_vm.name, state="running", host=dst_host)
             return result
 
-        return _flow()
+        return self.tracer.trace(
+            "one.migrate", _flow(), source="one",
+            vm=one_vm.name, kind=kind, dst=dst_host)

@@ -34,6 +34,7 @@ from .one import (
     ServiceTemplate,
     VmTemplate,
 )
+from .one.lifecycle import OneState
 from .virt import DiskImage
 from .web import VideoPortal
 
@@ -125,6 +126,17 @@ def build_video_cloud(
     portal = VideoPortal(
         cluster, fs, web_host=compute[0], transcode_workers=compute[1:] or compute,
     )
+
+    def _scheduler_health() -> str | None:
+        dead = [r.host.name for r in cloud.host_pool if not r.host.alive]
+        pending = len(cloud.vms_in_state(OneState.PENDING))
+        if dead:
+            return f"{len(dead)} compute host(s) down: {', '.join(sorted(dead))}"
+        if pending:
+            return f"{pending} VM(s) stuck PENDING"
+        return None
+
+    portal.add_health_provider("scheduler", _scheduler_health)
     monitoring = None
     ft = None
     chaos = None

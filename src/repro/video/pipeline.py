@@ -69,6 +69,16 @@ class DistributedTranscoder:
         # Segment failover: a dead worker's segments are retried on the next
         # live worker with capped exponential backoff.
         self.retry = retry or RetryPolicy(max_attempts=4, base_delay=0.5, max_delay=8.0)
+        self.tracer = cluster.tracer
+        metrics = cluster.metrics
+        self._m_seconds = metrics.histogram(
+            "transcode_seconds", "whole-conversion wall time", labels=("mode",))
+        self._m_stage = metrics.histogram(
+            "transcode_stage_seconds", "per-stage wall time", labels=("stage",))
+        self._m_segments = metrics.counter(
+            "transcode_segments_total", "segments converted")
+        self._m_failovers = metrics.counter(
+            "transcode_failovers_total", "segments retried on another worker")
 
     # -- baseline ---------------------------------------------------------------
 
@@ -90,12 +100,15 @@ class DistributedTranscoder:
                 )
             )
             total = engine.now - t0
+            self._m_seconds.labels(mode="single").observe(total)
             return ConversionReport(
                 output=out, total_time=total, mode="single",
                 stage_times={"convert": total},
             )
 
-        return _run()
+        return self.tracer.trace(
+            "transcode.convert", _run(), source="transcode",
+            mode="single", video=src.name)
 
     # -- the Figure 16 pipeline ------------------------------------------------------
 
@@ -119,6 +132,7 @@ class DistributedTranscoder:
             # 1. split at keyframes on the ingest host
             segments = yield engine.process(self.ffmpeg.run_split(ingest, src, n))
             stages["split"] = engine.now - t0
+            self._m_stage.labels(stage="split").observe(stages["split"])
 
             # 2-4. per-segment: scatter -> convert -> gather, all overlapped.
             # A worker that dies mid-segment (chaos layer) fails the attempt
@@ -165,6 +179,7 @@ class DistributedTranscoder:
                         f"{segment.name}: attempt {k} after {exc}",
                         segment=segment.name, attempt=k, error=str(exc),
                     )
+                    self._m_failovers.inc()
 
                 def _h():
                     try:
@@ -178,9 +193,12 @@ class DistributedTranscoder:
                     except (FaultInjectionError, PartitionError) as exc:
                         raise TranscodeError(
                             f"{segment.name}: failover retries exhausted") from exc
+                    self._m_segments.inc()
                     return out_seg
 
-                return _h()
+                return self.tracer.trace(
+                    "transcode.segment", _h(), source="transcode",
+                    segment=segment.name)
 
             t1 = engine.now
             procs = [
@@ -190,6 +208,7 @@ class DistributedTranscoder:
             done = yield engine.all_of(procs)
             converted = [done[p] for p in procs]
             stages["convert"] = engine.now - t1
+            self._m_stage.labels(stage="convert").observe(stages["convert"])
 
             # 5. merge on the ingest host
             t2 = engine.now
@@ -197,8 +216,10 @@ class DistributedTranscoder:
                 self.ffmpeg.run_concat(ingest, converted, name=f"{src.content_id}.out")
             )
             stages["merge"] = engine.now - t2
+            self._m_stage.labels(stage="merge").observe(stages["merge"])
 
             total = engine.now - t0
+            self._m_seconds.labels(mode="distributed").observe(total)
             self.cluster.log.emit(
                 "video.pipeline", "conversion_done",
                 f"{src.name}: {n} segments over {len(self.workers)} workers "
@@ -210,4 +231,6 @@ class DistributedTranscoder:
                 workers=len(self.workers), stage_times=stages, segments=n,
             )
 
-        return _run()
+        return self.tracer.trace(
+            "transcode.convert", _run(), source="transcode",
+            mode="distributed", video=src.name, segments=n)

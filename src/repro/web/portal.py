@@ -117,6 +117,18 @@ class VideoPortal:
 
         #: optional SafeModeController; attach_safemode() wires it in
         self.safemode = None
+        self.tracer = cluster.tracer
+        self.metrics = cluster.metrics
+        self._m_uploads = self.metrics.counter(
+            "portal_uploads_total", "video uploads", labels=("outcome",))
+        self._m_upload_seconds = self.metrics.histogram(
+            "portal_upload_seconds", "upload -> published latency")
+        #: layer name -> callable returning a degraded reason or None;
+        #: rendered by /healthz (stack.py adds a scheduler probe)
+        self.health_providers: dict[str, Any] = {}
+        self.add_health_provider("web", lambda: None)
+        self.add_health_provider("hdfs", self.degraded_reason)
+        self.add_health_provider("transcode", self._transcode_health)
 
         self._create_tables()
         self._register_routes()
@@ -220,8 +232,67 @@ class VideoPortal:
                 "web.portal", "portal_degraded",
                 f"upload refused: {reason}", reason=reason,
             )
+            self.metrics.counter(
+                "portal_degraded_total", "writes shed with a 503").inc()
             raise HttpError(503, f"service degraded: {reason}",
                             retry_after=self.RETRY_AFTER)
+
+    # -- observability (the redesigned API surface) ---------------------------------
+
+    def add_health_provider(self, layer: str, probe) -> None:
+        """Register a per-layer probe: returns a degraded reason or None."""
+        self.health_providers[layer] = probe
+
+    def _transcode_health(self) -> str | None:
+        live = [w for w in self.transcoder.workers
+                if self.cluster.host(w).alive]
+        if not live:
+            return "no live transcode workers"
+        return None
+
+    def _handle_metrics(self, request: Request) -> Generator:
+        def _h():
+            # serving /metrics is cheap: no PHP, one registry walk
+            yield self.engine.process(self._guest_work(
+                self.cluster.cal.web.php_page_cpu / 10, WorkKind.CPU))
+            text = self.metrics.render_prometheus()
+            return Response(
+                body={"page": "metrics", "text": text},
+                body_bytes=len(text.encode("utf-8")),
+                headers={"Content-Type": "text/plain; version=0.0.4"},
+            )
+
+        return _h()
+
+    def _handle_healthz(self, request: Request) -> Generator:
+        def _h():
+            yield self.engine.process(self._guest_work(
+                self.cluster.cal.web.php_page_cpu / 10, WorkKind.CPU))
+            layers = {}
+            degraded = []
+            for layer, probe in sorted(self.health_providers.items()):
+                reason = probe()
+                layers[layer] = {
+                    "status": "ok" if reason is None else "degraded",
+                    "reason": reason,
+                }
+                if reason is not None:
+                    degraded.append(layer)
+            # "health" not "status": the uniform error body owns "status"
+            body = {
+                "page": "healthz",
+                "health": "degraded" if degraded else "ok",
+                "degraded_layers": degraded,
+                "layers": layers,
+            }
+            if degraded:
+                return Response.json_error(
+                    f"degraded: {', '.join(degraded)}", status=503,
+                    headers={"Retry-After": str(int(self.RETRY_AFTER))},
+                    **body)
+            return Response.json_ok(body)
+
+        return _h()
 
     # -- account flows (Figures 19-21) ------------------------------------------------
 
@@ -361,6 +432,7 @@ class VideoPortal:
         """
 
         def _flow():
+            t0 = self.engine.now
             user = self.auth.require_user(session_token)
             if not user["verified"] or user["blocked"]:
                 raise AuthError("account cannot upload")
@@ -373,10 +445,13 @@ class VideoPortal:
             # raw upload lands in HDFS through the mounted folder
             raw_path = f"{self.UPLOAD_MOUNT}/raw/video-{video_id}.{media.container}"
             yield self.engine.process(self.mount.write_sized(raw_path, media.size))
-            # distributed conversion into the whole quality ladder (Fig. 16)
-            reports = yield self.engine.process(
-                make_renditions(self.transcoder, media, self.ladder)
-            )
+            # distributed conversion into the whole quality ladder (Fig. 16);
+            # the span wrapper also keeps the transcode spans parented here
+            reports = yield self.engine.process(self.tracer.trace(
+                "portal.renditions",
+                make_renditions(self.transcoder, media, self.ladder),
+                rungs=len(self.ladder),
+            ))
             client = self.fs.client(self.web_host)
             published: dict[str, VideoFile] = {}
             default_path = None
@@ -397,12 +472,15 @@ class VideoPortal:
             self._renditions[video_id] = published
             self.cluster.log.emit(
                 "web.portal", "video_published",
-                f"video {video_id} '{title}' published at /video?id={video_id}",
+                f"video {video_id} '{title}' published at /video/{video_id}",
                 video=video_id, title=title,
             )
+            self._m_uploads.labels(outcome="published").inc()
+            self._m_upload_seconds.observe(self.engine.now - t0)
             return video_id
 
-        return _flow()
+        return self.tracer.trace("portal.upload", _flow(), source="web",
+                                 title=title)
 
     def _handle_upload(self, request: Request) -> Generator:
         def _h():
@@ -428,12 +506,15 @@ class VideoPortal:
                     "web.portal", "portal_degraded",
                     f"upload aborted: {exc}", reason=str(exc),
                 )
+                self._m_uploads.labels(outcome="degraded").inc()
+                self.metrics.counter(
+                    "portal_degraded_total", "writes shed with a 503").inc()
                 raise HttpError(503, f"service degraded: {exc}",
                                 retry_after=self.RETRY_AFTER) from exc
-            return Response(body={
+            return Response.json_ok({
                 "page": "upload",
                 "video_id": video_id,
-                "link": f"/video?id={video_id}",   # the dynamic video link
+                "link": f"/video/{video_id}",   # the dynamic video link
             })
 
         return _h()
@@ -749,23 +830,41 @@ class VideoPortal:
     # -- routing --------------------------------------------------------------------------
 
     def _register_routes(self) -> None:
+        """The portal's REST surface.
+
+        Canonical routes use path parameters; the query-param paths the
+        paper's PHP pages used stay registered as aliases for one release
+        (they serve identically but report under the canonical route label
+        in ``web_requests_total``).
+        """
         self.server.route("GET", "/", self._handle_home)
         self.server.route("GET", "/search", self._handle_search)
+        self.server.route("GET", "/metrics", self._handle_metrics)
+        self.server.route("GET", "/healthz", self._handle_healthz)
         self.server.route("POST", "/register", self._handle_register)
         self.server.route("POST", "/verify", self._handle_verify)
         self.server.route("POST", "/login", self._handle_login)
         self.server.route("POST", "/logout", self._handle_logout)
         self.server.route("POST", "/upload", self._handle_upload)
-        self.server.route("GET", "/video", self._handle_video_page)
+        self.server.route("GET", "/video/<id>", self._handle_video_page,
+                          aliases=("/video",))
         self.server.route("GET", "/feed", self._handle_feed)
         self.server.route("GET", "/my_videos", self._handle_my_videos)
-        self.server.route("POST", "/edit", self._handle_edit)
-        self.server.route("POST", "/delete", self._handle_delete)
-        self.server.route("POST", "/comment", self._handle_comment)
-        self.server.route("POST", "/flag", self._handle_flag)
+        self.server.route("POST", "/video/<id>/edit", self._handle_edit,
+                          aliases=("/edit",))
+        self.server.route("POST", "/video/<id>/delete", self._handle_delete,
+                          aliases=("/delete",))
+        self.server.route("POST", "/video/<id>/comment", self._handle_comment,
+                          aliases=("/comment",))
+        self.server.route("POST", "/video/<id>/flag", self._handle_flag,
+                          aliases=("/flag",))
         self.server.route("GET", "/admin", self._handle_admin)
-        self.server.route("POST", "/admin/remove", self._handle_admin_remove)
-        self.server.route("POST", "/admin/block", self._handle_admin_block)
+        self.server.route("POST", "/admin/video/<id>/remove",
+                          self._handle_admin_remove,
+                          aliases=("/admin/remove",))
+        self.server.route("POST", "/admin/user/<user_id>/block",
+                          self._handle_admin_block,
+                          aliases=("/admin/block",))
 
     def request(self, method: str, path: str, *, params: dict | None = None,
                 session: str | None = None, client_host: str | None = None) -> Generator:

@@ -5,6 +5,15 @@ and CPU resource to obtain the same efficiency" (Section IV).  Both models
 serve the same handlers; they differ in per-request CPU overhead,
 per-connection memory, and concurrency structure (event loop vs a worker
 pool), which is exactly what bench E13 measures.
+
+Routing supports path parameters (``/video/<id>``): a segment written as
+``<name>`` matches any single path segment and lands in
+``request.params[name]`` as a string.  Handlers can be registered with
+:meth:`WebServer.route`, or with the decorator forms ``@server.get(...)``
+and ``@server.post(...)``.  Every request is timed into the cluster's
+metrics registry (``web_requests_total`` / ``web_request_seconds``,
+labelled by route *pattern*, never raw path) and wrapped in a
+``web.request`` span so cross-layer traces start at the front door.
 """
 
 from __future__ import annotations
@@ -46,10 +55,86 @@ class Response:
     def ok(self) -> bool:
         return 200 <= self.status < 300
 
+    # -- uniform construction (the whole API returns these shapes) -----------
+
+    @classmethod
+    def json_ok(cls, body: dict[str, Any] | None = None, *, status: int = 200,
+                headers: dict[str, str] | None = None,
+                **extra: Any) -> "Response":
+        """A success response; keyword extras merge into the body."""
+        if not 200 <= status < 300:
+            raise WebError(f"json_ok with non-2xx status {status}")
+        merged = dict(body or {})
+        merged.update(extra)
+        return cls(status=status, body=merged, headers=dict(headers or {}))
+
+    @classmethod
+    def json_error(cls, message: str, *, status: int,
+                   headers: dict[str, str] | None = None,
+                   **extra: Any) -> "Response":
+        """The one error shape every endpoint returns:
+        ``{"error": message, "status": status, ...extra}``."""
+        if status < 400:
+            raise WebError(f"json_error with non-error status {status}")
+        body = {"error": message, "status": status}
+        body.update(extra)
+        return cls(status=status, body=body, headers=dict(headers or {}))
+
+    @classmethod
+    def from_http_error(cls, exc: HttpError) -> "Response":
+        return cls.json_error(str(exc), status=exc.status,
+                              headers=dict(exc.headers))
+
 
 #: a handler is a *generator function* (request) -> yields sim events,
 #: returns a Response
 Handler = Callable[[Request], Generator]
+
+
+@dataclass(frozen=True)
+class Route:
+    """One compiled route pattern."""
+
+    method: str
+    pattern: str
+    handler: Handler
+    segments: tuple[str, ...]          # literal text or "<name>"
+    param_names: tuple[str, ...]
+    alias_of: str | None = None        # deprecated path kept for one release
+
+    def match(self, path: str) -> dict[str, str] | None:
+        parts = tuple(p for p in path.split("/") if p != "")
+        want = tuple(p for p in self.segments if p != "")
+        if len(parts) != len(want):
+            return None
+        params: dict[str, str] = {}
+        for got, seg in zip(parts, want):
+            if seg.startswith("<") and seg.endswith(">"):
+                params[seg[1:-1]] = got
+            elif got != seg:
+                return None
+        return params
+
+
+def compile_route(method: str, pattern: str, handler: Handler,
+                  alias_of: str | None = None) -> Route:
+    if not pattern.startswith("/"):
+        raise WebError(f"route pattern {pattern!r} must start with '/'")
+    segments = tuple(pattern.split("/"))
+    names = []
+    for seg in segments:
+        if seg.startswith("<") and seg.endswith(">"):
+            name = seg[1:-1]
+            if not name.isidentifier():
+                raise WebError(f"bad path parameter {seg!r} in {pattern!r}")
+            if name in names:
+                raise WebError(f"duplicate path parameter {seg!r} in {pattern!r}")
+            names.append(name)
+        elif "<" in seg or ">" in seg:
+            raise WebError(f"malformed segment {seg!r} in {pattern!r}")
+    return Route(method=method, pattern=pattern, handler=handler,
+                 segments=segments, param_names=tuple(names),
+                 alias_of=alias_of)
 
 
 @dataclass
@@ -80,19 +165,81 @@ class WebServer:
         self.cluster = cluster
         self.host = cluster.host(host_name)
         self.engine = cluster.engine
-        self.routes: dict[tuple[str, str], Handler] = {}
+        self.tracer = cluster.tracer
+        self.routes: dict[tuple[str, str], Route] = {}   # exact-path fast table
+        self.patterns: list[Route] = []                  # parameterised routes
         self.stats = ServerStats()
         self._conns = Resource(self.engine, capacity=self.max_connections)
+        metrics = cluster.metrics
+        self._m_requests = metrics.counter(
+            "web_requests_total", "HTTP requests served",
+            labels=("method", "route", "status"))
+        self._m_latency = metrics.histogram(
+            "web_request_seconds", "end-to-end request latency",
+            labels=("route",))
+        self._m_conns = metrics.gauge(
+            "web_connections", "connections currently held", labels=("host",))
+        self._m_bytes = metrics.counter(
+            "web_bytes_sent_total", "response bytes shipped to clients")
 
-    def route(self, method: str, path: str, handler: Handler) -> None:
-        self.routes[(method, path)] = handler
+    # -- registration ----------------------------------------------------------
+
+    def route(self, method: str, pattern: str, handler: Handler,
+              *, aliases: tuple[str, ...] = (),
+              alias_of: str | None = None) -> Route:
+        """Register *handler* at *pattern* (may contain ``<name>`` segments).
+
+        *aliases* registers the same handler at additional (legacy) paths;
+        they match normally but are tagged with the canonical pattern so
+        callers can tell deprecated traffic apart in the metrics.
+        """
+        compiled = compile_route(method, pattern, handler, alias_of=alias_of)
+        if compiled.param_names:
+            self.patterns.append(compiled)
+        else:
+            self.routes[(method, pattern)] = compiled
+        for alias in aliases:
+            self.route(method, alias, handler, alias_of=pattern)
+        return compiled
+
+    def get(self, pattern: str, *, aliases: tuple[str, ...] = ()):
+        """Decorator form: ``@server.get("/video/<id>")``."""
+        def _register(handler: Handler) -> Handler:
+            self.route("GET", pattern, handler, aliases=aliases)
+            return handler
+        return _register
+
+    def post(self, pattern: str, *, aliases: tuple[str, ...] = ()):
+        """Decorator form: ``@server.post("/upload")``."""
+        def _register(handler: Handler) -> Handler:
+            self.route("POST", pattern, handler, aliases=aliases)
+            return handler
+        return _register
+
+    def resolve(self, method: str, path: str) -> tuple[Route, dict[str, str]]:
+        """The matching route + extracted path params, or HttpError(404)."""
+        exact = self.routes.get((method, path))
+        if exact is not None:
+            return exact, {}
+        for route in self.patterns:
+            if route.method != method:
+                continue
+            params = route.match(path)
+            if params is not None:
+                return route, params
+        raise HttpError(404, f"no route {method} {path}")
+
+    # -- serving ------------------------------------------------------------------
 
     def handle(self, request: Request) -> Generator:
         """Process: serve one request end-to-end; returns the Response."""
 
         def _serve():
+            t0 = self.engine.now
+            route_label = request.path
             with self._conns.request() as slot:
                 yield slot
+                self._m_conns.labels(host=self.host.name).set(self._conns.count)
                 self.stats.peak_connections = max(
                     self.stats.peak_connections, self._conns.count
                 )
@@ -101,15 +248,23 @@ class WebServer:
                     self.host.compute_seconds(self.request_cpu)
                 )
                 self.stats.cpu_seconds += self.request_cpu
-                handler = self.routes.get((request.method, request.path))
                 try:
-                    if handler is None:
-                        raise HttpError(404, f"no route {request.method} {request.path}")
-                    response = yield self.engine.process(handler(request))
+                    try:
+                        route, path_params = self.resolve(
+                            request.method, request.path)
+                    except HttpError:
+                        # unmatched paths share one label (bounded cardinality)
+                        route_label = "<unmatched>"
+                        raise
+                    route_label = route.alias_of or route.pattern
+                    for name, value in path_params.items():
+                        request.params.setdefault(name, value)
+                    response = yield self.engine.process(self.tracer.trace(
+                        "web.request", route.handler(request), source="web",
+                        route=route_label, method=request.method,
+                    ))
                 except HttpError as exc:
-                    response = Response(status=exc.status, body={"error": str(exc)})
-                    if exc.retry_after is not None:
-                        response.headers["Retry-After"] = str(int(exc.retry_after))
+                    response = Response.from_http_error(exc)
                 self.stats.requests += 1
                 if not response.ok:
                     self.stats.errors += 1
@@ -119,7 +274,14 @@ class WebServer:
                         self.host.name, request.client_host, response.body_bytes
                     )
                 self.stats.bytes_sent += response.body_bytes
-                return response
+                self._m_bytes.inc(response.body_bytes)
+            self._m_conns.labels(host=self.host.name).set(self._conns.count)
+            self._m_requests.labels(
+                method=request.method, route=route_label,
+                status=str(response.status)).inc()
+            self._m_latency.labels(route=route_label).observe(
+                self.engine.now - t0)
+            return response
 
         return _serve()
 

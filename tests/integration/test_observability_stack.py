@@ -1,0 +1,137 @@
+"""Cross-layer observability over the full stack: one upload, every layer.
+
+Drives a real upload through the deployed cloud, then checks that the
+single ``/metrics`` scrape covers the web, storage, transcode, and
+scheduler tiers, that ``/healthz`` sees every layer, and that the Chrome
+trace export nests the upload flow portal -> FUSE -> HDFS -> transcode.
+"""
+
+import json
+
+import pytest
+
+from repro import build_video_cloud
+from repro.common.trace import to_chrome_trace
+from repro.common.units import Mbps
+from repro.video import R_720P, VideoFile
+
+
+@pytest.fixture(scope="module")
+def stack():
+    vc = build_video_cloud(6, seed=7)
+    cluster, portal = vc.cluster, vc.portal
+    cluster.run(cluster.engine.process(portal.request(
+        "POST", "/register",
+        params={"username": "kuan", "password": "secret99",
+                "email": "kuan@thu.edu.tw"})))
+    _, token = portal.auth.outbox[-1]
+    cluster.run(cluster.engine.process(portal.request(
+        "POST", "/verify", params={"token": token})))
+    session = cluster.run(cluster.engine.process(portal.request(
+        "POST", "/login",
+        params={"username": "kuan", "password": "secret99"}))).set_session
+    media = VideoFile(
+        name="mv.avi", container="avi", vcodec="mpeg4", acodec="mp3",
+        duration=120.0, resolution=R_720P, fps=25.0, bitrate=4 * Mbps)
+    r = cluster.run(cluster.engine.process(portal.request(
+        "POST", "/upload", session=session,
+        params={"title": "Nobody", "tags": "kpop", "description": "mv",
+                "media": media})))
+    assert r.ok, r.body
+    return vc
+
+
+def scrape(vc):
+    r = vc.cluster.run(vc.cluster.engine.process(
+        vc.portal.request("GET", "/metrics")))
+    assert r.ok
+    return r.body["text"]
+
+
+class TestMetricsAcrossLayers:
+    def test_one_scrape_covers_every_tier(self, stack):
+        text = scrape(stack)
+        for family in (
+            "web_requests_total",       # web tier
+            "web_request_seconds",
+            "portal_uploads_total",     # application tier
+            "fuse_ops_total",           # mount glue
+            "hdfs_bytes_written_total",  # storage tier
+            "hdfs_write_seconds",
+            "transcode_seconds",        # transcode tier
+            "transcode_segments_total",
+            "one_dispatch_total",       # IaaS scheduler tier
+            "one_deploy_seconds",
+        ):
+            assert f"# TYPE {family} " in text, family
+
+    def test_upload_counted_once_per_layer(self, stack):
+        text = scrape(stack)
+        assert 'portal_uploads_total{outcome="published"} 1' in text
+        # the scheduler deployed the 5 service VMs during build
+        assert "one_dispatch_total 5" in text
+
+    def test_healthz_sees_all_four_layers(self, stack):
+        vc = stack
+        r = vc.cluster.run(vc.cluster.engine.process(
+            vc.portal.request("GET", "/healthz")))
+        assert r.ok, r.body
+        assert r.body["health"] == "ok"
+        assert set(r.body["layers"]) == {
+            "web", "hdfs", "transcode", "scheduler"}
+
+
+class TestUploadTrace:
+    def test_chrome_trace_nests_the_upload_flow(self, stack):
+        vc = stack
+        blob = json.loads(to_chrome_trace(vc.cluster.log,
+                                          tracer=vc.cluster.tracer))
+        begins = {e["args"]["span_id"]: e
+                  for e in blob["traceEvents"] if e["ph"] == "B"}
+        by_name = {}
+        for e in begins.values():
+            by_name.setdefault(e["name"], []).append(e)
+
+        # the upload request chains web.request -> portal.upload
+        upload = by_name["portal.upload"][0]
+        parent = begins[upload["args"]["parent_id"]]
+        assert parent["name"] == "web.request"
+        assert parent["args"]["route"] == "/upload"
+
+        # descendants of the upload span cross the layer boundaries
+        def ancestors(event):
+            while event["args"]["parent_id"] is not None:
+                event = begins[event["args"]["parent_id"]]
+                yield event
+
+        upload_id = upload["args"]["span_id"]
+
+        def under_upload(name):
+            return [e for e in by_name.get(name, ())
+                    if any(a["args"]["span_id"] == upload_id
+                           for a in ancestors(e))]
+
+        assert under_upload("fuse.write")
+        assert under_upload("hdfs.write")
+        convert = under_upload("transcode.convert")
+        assert convert
+        assert under_upload("transcode.segment")
+
+        # B/E events balance per lane, so Perfetto renders a clean flame
+        by_tid = {}
+        for e in blob["traceEvents"]:
+            if e["ph"] in ("B", "E"):
+                by_tid.setdefault(e["tid"], []).append(e)
+        assert by_tid
+        for evs in by_tid.values():
+            evs.sort(key=lambda e: (e["ts"], 0 if e["ph"] == "E" else 1))
+            depth = 0
+            for e in evs:
+                depth += 1 if e["ph"] == "B" else -1
+                assert depth >= 0
+            assert depth == 0
+
+    def test_scheduler_spans_recorded_during_deploy(self, stack):
+        spans = stack.cluster.tracer.spans(name="one.deploy", source="one")
+        assert len(spans) == 5
+        assert all(s.finished and s.status == "ok" for s in spans)

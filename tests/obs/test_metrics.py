@@ -1,0 +1,252 @@
+import math
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.obs import (
+    ClusterMetrics,
+    Counter,
+    DEFAULT_BUCKETS,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+
+
+class TestCounter:
+    def test_inc(self):
+        c = Counter("requests_total")
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+
+    def test_negative_rejected(self):
+        c = Counter("requests_total")
+        with pytest.raises(ConfigError):
+            c.inc(-1)
+
+    def test_labelled_family_requires_labels(self):
+        c = Counter("requests_total", labelnames=("route",))
+        with pytest.raises(ConfigError):
+            c.inc()
+        c.labels(route="/").inc()
+        assert c.labels(route="/").value == 1
+
+    def test_label_mismatch_rejected(self):
+        c = Counter("requests_total", labelnames=("route",))
+        with pytest.raises(ConfigError):
+            c.labels(method="GET")
+        with pytest.raises(ConfigError):
+            c.labels(route="/", method="GET")
+
+    def test_children_are_stable(self):
+        c = Counter("requests_total", labelnames=("route",))
+        a = c.labels(route="/a")
+        b = c.labels(route="/b")
+        a.inc()
+        assert c.labels(route="/a") is a
+        assert b.value == 0
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        g = Gauge("pending")
+        g.set(5)
+        g.inc()
+        g.dec(2)
+        assert g.value == 4
+
+
+class TestHistogramPercentiles:
+    def test_empty(self):
+        h = Histogram("latency")
+        assert h.percentile(50) == 0.0
+        assert h.mean == 0.0
+        assert h.count == 0
+
+    def test_single_sample(self):
+        h = Histogram("latency")
+        h.observe(0.25)
+        for p in (0, 50, 99, 100):
+            assert h.percentile(p) == 0.25
+
+    def test_known_distribution(self):
+        # 1..100: p50 interpolates between ranks 49 and 50 (0-indexed)
+        h = Histogram("latency")
+        for v in range(1, 101):
+            h.observe(float(v))
+        assert h.percentile(0) == 1.0
+        assert h.percentile(100) == 100.0
+        assert h.percentile(50) == pytest.approx(50.5)
+        assert h.percentile(95) == pytest.approx(95.05)
+        assert h.percentile(99) == pytest.approx(99.01)
+        assert h.mean == pytest.approx(50.5)
+
+    def test_interpolation_between_ranks(self):
+        h = Histogram("latency")
+        for v in (1.0, 2.0, 3.0, 4.0):
+            h.observe(v)
+        # rank = 0.5 * 3 = 1.5 -> halfway between 2 and 3
+        assert h.percentile(50) == pytest.approx(2.5)
+        assert h.percentile(25) == pytest.approx(1.75)
+
+    def test_order_independent(self):
+        a, b = Histogram("x"), Histogram("x")
+        for v in (5.0, 1.0, 3.0):
+            a.observe(v)
+        for v in (1.0, 3.0, 5.0):
+            b.observe(v)
+        assert a.percentile(50) == b.percentile(50) == 3.0
+
+    def test_out_of_range_rejected(self):
+        h = Histogram("latency")
+        with pytest.raises(ConfigError):
+            h.percentile(101)
+        with pytest.raises(ConfigError):
+            h.percentile(-1)
+
+    def test_bucket_counts_cumulative(self):
+        h = Histogram("latency", buckets=(0.1, 1.0, 10.0))
+        for v in (0.05, 0.5, 0.5, 5.0, 50.0):
+            h.observe(v)
+        counts = dict(h.bucket_counts())
+        assert counts[0.1] == 1
+        assert counts[1.0] == 3
+        assert counts[10.0] == 4
+        assert counts[math.inf] == 5
+
+    def test_unsorted_buckets_rejected(self):
+        with pytest.raises(ConfigError):
+            Histogram("latency", buckets=(1.0, 0.1))
+
+    def test_default_buckets_end_with_inf(self):
+        assert DEFAULT_BUCKETS[-1] == math.inf
+
+
+class TestRegistry:
+    def test_get_or_create_shares_families(self):
+        reg = MetricsRegistry()
+        a = reg.counter("uploads_total", "help")
+        b = reg.counter("uploads_total")
+        assert a is b
+        a.inc()
+        assert reg.get("uploads_total").value == 1
+
+    def test_kind_conflict_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(ConfigError):
+            reg.gauge("x")
+
+    def test_label_conflict_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("x", labels=("route",))
+        with pytest.raises(ConfigError):
+            reg.counter("x", labels=("method",))
+
+    def test_bad_name_rejected(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ConfigError):
+            reg.counter("bad name!")
+
+    def test_contains(self):
+        reg = MetricsRegistry()
+        reg.gauge("pending")
+        assert "pending" in reg
+        assert "missing" not in reg
+        with pytest.raises(ConfigError):
+            reg.get("missing")
+
+
+class TestPrometheusRendering:
+    def test_counter_and_gauge_lines(self):
+        reg = MetricsRegistry()
+        reg.counter("ops_total", "operations", labels=("op",)) \
+            .labels(op="read").inc(3)
+        reg.gauge("pending", "queue depth").set(2)
+        text = reg.render_prometheus()
+        assert "# HELP ops_total operations" in text
+        assert "# TYPE ops_total counter" in text
+        assert 'ops_total{op="read"} 3' in text
+        assert "# TYPE pending gauge" in text
+        assert "pending 2" in text
+        assert text.endswith("\n")
+
+    def test_histogram_exposition(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("lat_seconds", "latency", buckets=(0.1, 1.0))
+        h.observe(0.05)
+        h.observe(0.5)
+        text = reg.render_prometheus()
+        assert 'lat_seconds_bucket{le="0.1"} 1' in text
+        assert 'lat_seconds_bucket{le="1"} 2' in text
+        assert 'lat_seconds_bucket{le="+Inf"} 2' in text
+        assert "lat_seconds_sum 0.55" in text
+        assert "lat_seconds_count 2" in text
+
+    def test_label_escaping(self):
+        reg = MetricsRegistry()
+        reg.counter("x", labels=("path",)).labels(path='a"b\\c\nd').inc()
+        text = reg.render_prometheus()
+        assert 'path="a\\"b\\\\c\\nd"' in text
+
+    def test_deterministic_output(self):
+        def build():
+            reg = MetricsRegistry()
+            reg.counter("b_total").inc(2)
+            reg.histogram("a_seconds").observe(0.3)
+            reg.gauge("c").set(1)
+            return reg.render_prometheus()
+
+        assert build() == build()
+
+
+class TestClusterMetricsReport:
+    def make_registry(self):
+        reg = MetricsRegistry()
+        reg.counter("uploads_total", labels=("outcome",)) \
+            .labels(outcome="published").inc(3)
+        lat = reg.histogram("req_seconds", labels=("route",))
+        for v in (0.1, 0.2, 0.3):
+            lat.labels(route="/a").observe(v)
+        for v in (1.0, 2.0):
+            lat.labels(route="/b").observe(v)
+        reg.gauge("pending").set(7)
+        return reg
+
+    def test_counter_and_gauge_lookup(self):
+        obs = ClusterMetrics.from_registry(self.make_registry())
+        assert obs.counter("uploads_total", outcome="published") == 3
+        assert obs.gauge("pending") == 7
+        with pytest.raises(ConfigError):
+            obs.counter("uploads_total", outcome="missing")
+
+    def test_histogram_summary(self):
+        obs = ClusterMetrics.from_registry(self.make_registry())
+        s = obs.histogram("req_seconds", route="/a")
+        assert s.count == 3
+        assert s.p50 == pytest.approx(0.2)
+
+    def test_percentiles_merge_children(self):
+        obs = ClusterMetrics.from_registry(self.make_registry())
+        merged = obs.percentiles("req_seconds")
+        assert merged.count == 5
+        assert merged.p50 == pytest.approx(0.3)
+        with pytest.raises(ConfigError):
+            obs.percentiles("missing_seconds")
+
+    def test_snapshot_is_frozen_in_time(self):
+        reg = self.make_registry()
+        obs = ClusterMetrics.from_registry(reg)
+        reg.get("uploads_total").labels(outcome="published").inc(10)
+        assert obs.counter("uploads_total", outcome="published") == 3
+
+    def test_to_json_shape(self):
+        obs = ClusterMetrics.from_registry(self.make_registry())
+        blob = obs.to_json()
+        assert blob["counters"]['uploads_total{outcome="published"}'] == 3
+        assert blob["gauges"]["pending"] == 7
+        route_a = blob["histograms"]['req_seconds{route="/a"}']
+        assert route_a["count"] == 3
+        assert set(route_a) == {
+            "name", "labels", "count", "total", "mean", "p50", "p95", "p99"}

@@ -1,0 +1,249 @@
+import json
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.common.events import EventLog
+from repro.common.trace import to_chrome_trace
+from repro.obs import Span, Tracer
+from repro.sim import Engine
+
+
+@pytest.fixture
+def engine():
+    return Engine()
+
+
+@pytest.fixture
+def tracer(engine):
+    return Tracer(clock=lambda: engine.now)
+
+
+class TestManualSpans:
+    def test_start_end(self, engine, tracer):
+        span = tracer.start_span("op", source="web")
+        engine.run(engine.timeout(2.0))
+        tracer.end_span(span)
+        assert span.finished
+        assert span.duration == pytest.approx(2.0)
+        assert span.status == "ok"
+
+    def test_parent_defaults_to_none_outside_trace(self, tracer):
+        span = tracer.start_span("op")
+        assert span.parent_id is None
+        assert tracer.roots() == [span]
+
+    def test_double_end_rejected(self, tracer):
+        span = tracer.start_span("op")
+        tracer.end_span(span)
+        with pytest.raises(ConfigError):
+            tracer.end_span(span)
+
+    def test_duration_requires_finish(self, tracer):
+        span = tracer.start_span("op")
+        with pytest.raises(ConfigError):
+            span.duration
+
+
+class TestTraceWrapper:
+    def test_needs_a_generator(self, tracer):
+        with pytest.raises(ConfigError):
+            tracer.trace("op", lambda: None)
+
+    def test_return_value_passes_through(self, engine, tracer):
+        def flow():
+            yield engine.timeout(1.0)
+            return 42
+
+        p = engine.process(tracer.trace("op", flow(), source="test"))
+        assert engine.run(p) == 42
+        (span,) = tracer.spans(name="op")
+        assert span.duration == pytest.approx(1.0)
+
+    def test_nesting_across_process_boundaries(self, engine, tracer):
+        def inner():
+            yield engine.timeout(1.0)
+
+        def outer():
+            # child generator built inside the parent's executing frame
+            yield engine.process(tracer.trace("inner", inner()))
+
+        engine.run(engine.process(tracer.trace("outer", outer(), source="a")))
+        (o,) = tracer.spans(name="outer")
+        (i,) = tracer.spans(name="inner")
+        assert i.parent_id == o.span_id
+        assert i.source == "a"  # inherited from the parent span
+        assert tracer.children(o) == [i]
+        assert [s.name for s in tracer.subtree(o)] == ["outer", "inner"]
+
+    def test_concurrent_processes_do_not_misparent(self, engine, tracer):
+        """Span context must not leak between interleaved processes."""
+        def leaf(delay):
+            yield engine.timeout(delay)
+
+        def worker(name, delay):
+            yield engine.timeout(delay)  # suspend before building the child
+            yield engine.process(tracer.trace(f"{name}.leaf", leaf(delay)))
+
+        a = engine.process(tracer.trace("a", worker("a", 1.0)))
+        b = engine.process(tracer.trace("b", worker("b", 1.5)))
+        engine.run(engine.all_of([a, b]))
+        (sa,) = tracer.spans(name="a")
+        (sb,) = tracer.spans(name="b")
+        (la,) = tracer.spans(name="a.leaf")
+        (lb,) = tracer.spans(name="b.leaf")
+        assert la.parent_id == sa.span_id
+        assert lb.parent_id == sb.span_id
+
+    def test_exception_sets_status_and_propagates(self, engine, tracer):
+        class Boom(RuntimeError):
+            pass
+
+        def flow():
+            yield engine.timeout(1.0)
+            raise Boom("dead")
+
+        p = engine.process(tracer.trace("op", flow()))
+        with pytest.raises(Boom):
+            engine.run(p)
+        (span,) = tracer.spans(name="op")
+        assert span.finished
+        assert span.status == "Boom"
+
+    def test_thrown_exception_reaches_inner_handler(self, engine, tracer):
+        """Failures injected by the kernel must still hit model try/except."""
+        def flow():
+            evt = engine.event()
+
+            def _failer():
+                yield engine.timeout(1.0)
+                evt.fail(RuntimeError("injected"))
+
+            engine.process(_failer())
+            try:
+                yield evt
+            except RuntimeError:
+                yield engine.timeout(1.0)
+                return "recovered"
+            return "unreachable"
+
+        p = engine.process(tracer.trace("op", flow()))
+        assert engine.run(p) == "recovered"
+        (span,) = tracer.spans(name="op")
+        assert span.status == "ok"
+        assert span.duration == pytest.approx(2.0)
+
+    def test_labels_recorded(self, engine, tracer):
+        def flow():
+            yield engine.timeout(0.1)
+
+        engine.run(engine.process(
+            tracer.trace("op", flow(), source="web", route="/x", n=3)))
+        (span,) = tracer.spans(name="op")
+        assert span.labels == {"route": "/x", "n": 3}
+
+    def test_queries(self, engine, tracer):
+        def flow():
+            yield engine.timeout(0.1)
+
+        engine.run(engine.process(tracer.trace("op", flow(), source="web")))
+        assert len(tracer) == 1
+        assert tracer.spans(source="web")
+        assert tracer.spans(source="hdfs") == []
+        span = next(iter(tracer))
+        assert tracer.get(span.span_id) is span
+        with pytest.raises(ConfigError):
+            tracer.get(999)
+        tracer.clear()
+        assert len(tracer) == 0
+
+
+class TestChromeTraceExport:
+    def run_upload_like_tree(self, engine, tracer):
+        """outer -> (writer, two parallel converts) like a portal upload."""
+        def leaf(delay):
+            yield engine.timeout(delay)
+
+        def outer():
+            yield engine.process(tracer.trace("write", leaf(1.0),
+                                              source="hdfs"))
+            procs = [
+                engine.process(tracer.trace("convert", leaf(2.0),
+                                            source="transcode", seg=i))
+                for i in range(2)
+            ]
+            yield engine.all_of(procs)
+
+        engine.run(engine.process(
+            tracer.trace("upload", outer(), source="web")))
+
+    def test_nested_begin_end_events(self, engine, tracer):
+        log = EventLog(clock=lambda: engine.now)
+        self.run_upload_like_tree(engine, tracer)
+        blob = json.loads(to_chrome_trace(log, tracer=tracer))
+        events = blob["traceEvents"]
+        spans = [e for e in events if e["ph"] in ("B", "E")]
+        assert spans, "expected B/E duration events"
+
+        # per tid, B/E must balance like parentheses
+        by_tid = {}
+        for e in spans:
+            by_tid.setdefault(e["tid"], []).append(e)
+        for tid, evs in by_tid.items():
+            evs.sort(key=lambda e: (e["ts"], 0 if e["ph"] == "E" else 1))
+            depth = 0
+            for e in evs:
+                depth += 1 if e["ph"] == "B" else -1
+                assert depth >= 0, f"unbalanced events on tid {tid}"
+            assert depth == 0
+
+        # the B events carry the span tree: upload is the convert's ancestor
+        begins = {e["args"]["span_id"]: e for e in spans if e["ph"] == "B"}
+        upload = next(e for e in begins.values() if e["name"] == "upload")
+        write = next(e for e in begins.values() if e["name"] == "write")
+        converts = [e for e in begins.values() if e["name"] == "convert"]
+        assert len(converts) == 2
+        assert write["args"]["parent_id"] == upload["args"]["span_id"]
+        assert all(c["args"]["parent_id"] == upload["args"]["span_id"]
+                   for c in converts)
+        # the upload span's B comes before its children's on the timeline
+        assert upload["ts"] <= min(write["ts"], *[c["ts"] for c in converts])
+
+    def test_parallel_siblings_get_separate_lanes(self, engine, tracer):
+        def leaf(delay):
+            yield engine.timeout(delay)
+
+        def outer():
+            # staggered overlap: [0, 2] and [1, 3] can never nest
+            first = engine.process(
+                tracer.trace("convert", leaf(2.0), source="transcode", seg=0))
+            yield engine.timeout(1.0)
+            second = engine.process(
+                tracer.trace("convert", leaf(2.0), source="transcode", seg=1))
+            yield engine.all_of([first, second])
+
+        engine.run(engine.process(
+            tracer.trace("upload", outer(), source="web")))
+        log = EventLog(clock=lambda: engine.now)
+        blob = json.loads(to_chrome_trace(log, tracer=tracer))
+        begins = [e for e in blob["traceEvents"] if e["ph"] == "B"]
+        conv_tids = {e["tid"] for e in begins if e["name"] == "convert"}
+        assert len(conv_tids) == 2
+
+    def test_unfinished_spans_are_skipped(self, engine, tracer):
+        tracer.start_span("open", source="web")
+        log = EventLog(clock=lambda: engine.now)
+        blob = json.loads(to_chrome_trace(log, tracer=tracer))
+        assert not [e for e in blob["traceEvents"] if e["ph"] in ("B", "E")]
+
+    def test_log_records_still_emitted_as_instants(self, engine, tracer):
+        log = EventLog(clock=lambda: engine.now)
+        log.emit("web.portal", "hello", "hi there")
+        self.run_upload_like_tree(engine, tracer)
+        blob = json.loads(to_chrome_trace(log, tracer=tracer))
+        instants = [e for e in blob["traceEvents"] if e["ph"] == "i"]
+        assert len(instants) == 1
+        # span lanes are appended after log-source threads
+        span_tids = {e["tid"] for e in blob["traceEvents"]
+                     if e["ph"] in ("B", "E")}
+        assert min(span_tids) > instants[0]["tid"]

@@ -3,7 +3,16 @@ import pytest
 from repro.common.errors import ConfigError
 from repro.common.units import GiB
 from repro.hardware import Cluster
-from repro.one import EconeApi, OneState, OpenNebula
+from repro.one import (
+    DescribeInstancesResult,
+    EconeApi,
+    ImageDescription,
+    KeyPairInfo,
+    OneState,
+    OpenNebula,
+    Reservation,
+    TagDescription,
+)
 from repro.virt import DiskImage
 
 
@@ -19,19 +28,23 @@ def make_api(n_hosts=4):
 class TestRunInstances:
     def test_run_and_describe(self):
         cluster, cloud, api = make_api()
-        ids = api.run_instances("ami-video", "m1.small", count=2)
-        assert len(ids) == 2
+        res = api.run_instances("ami-video", "m1.small", count=2)
+        assert isinstance(res, Reservation)
+        assert res.reservation_id.startswith("r-")
+        assert len(res.instance_ids) == 2
         cluster.run()
-        desc = api.describe_instances()
-        assert all(d.state == "running" for d in desc)
-        assert all(d.private_ip for d in desc)
-        assert {d.instance_id for d in desc} == set(ids)
+        page = api.describe_instances()
+        assert isinstance(page, DescribeInstancesResult)
+        assert page.next_token is None
+        assert all(d.state == "running" for d in page.instances)
+        assert all(d.private_ip for d in page.instances)
+        assert {d.instance_id for d in page.instances} == set(res.instance_ids)
 
     def test_pending_before_dispatch(self):
         cluster, cloud, api = make_api()
         api.run_instances("ami-video")
-        desc = api.describe_instances()
-        assert desc[0].state == "pending"
+        page = api.describe_instances()
+        assert page.instances[0].state == "pending"
 
     def test_unknown_type_rejected(self):
         _, _, api = make_api()
@@ -45,30 +58,139 @@ class TestRunInstances:
 
     def test_instance_type_shapes(self):
         cluster, cloud, api = make_api()
-        (iid,) = api.run_instances("ami-video", "m1.large")
+        (iid,) = api.run_instances("ami-video", "m1.large").instance_ids
         cluster.run()
         vm = api._vm(iid)
         assert vm.template.vcpus == 2
 
 
+class TestDescribeFilters:
+    def test_filter_by_state(self):
+        cluster, cloud, api = make_api()
+        res = api.run_instances("ami-video", count=2)
+        cluster.run()
+        p = cluster.engine.process(
+            api.terminate_instances(res.instance_ids[0]))
+        cluster.run(p)
+        running = api.describe_instances({"state": "running"})
+        assert [d.instance_id for d in running.instances] == [
+            res.instance_ids[1]]
+        gone = api.describe_instances({"state": "terminated"})
+        assert [d.instance_id for d in gone.instances] == [
+            res.instance_ids[0]]
+
+    def test_filter_by_type_and_image(self):
+        cluster, cloud, api = make_api()
+        cloud.register_image(DiskImage("ami-other", size=1 * GiB))
+        small = api.run_instances("ami-video", "m1.small")
+        large = api.run_instances("ami-other", "m1.large")
+        cluster.run()
+        by_type = api.describe_instances({"instance-type": "m1.large"})
+        assert {d.instance_id for d in by_type} == set(large.instance_ids)
+        by_image = api.describe_instances({"image-id": "ami-video"})
+        assert {d.instance_id for d in by_image} == set(small.instance_ids)
+
+    def test_filter_accepts_alternatives(self):
+        cluster, cloud, api = make_api()
+        api.run_instances("ami-video", "m1.small")
+        api.run_instances("ami-video", "m1.large")
+        api.run_instances("ami-video", "c1.medium")
+        cluster.run()
+        page = api.describe_instances(
+            {"instance-type": ["m1.small", "c1.medium"]})
+        assert {d.instance_type for d in page} == {"m1.small", "c1.medium"}
+
+    def test_filter_by_tag(self):
+        cluster, cloud, api = make_api()
+        res = api.run_instances("ami-video", count=3)
+        web, db, spare = res.instance_ids
+        api.create_tags(web, role="web")
+        api.create_tags(db, role="db")
+        cluster.run()
+        page = api.describe_instances({"tag:role": "web"})
+        assert [d.instance_id for d in page] == [web]
+        none = api.describe_instances({"tag:role": "cache"})
+        assert len(none) == 0
+
+    def test_unknown_filter_rejected(self):
+        _, _, api = make_api()
+        api.run_instances("ami-video")
+        with pytest.raises(ConfigError):
+            api.describe_instances({"flavour": "m1.small"})
+
+    def test_pagination_walks_all_rows(self):
+        cluster, cloud, api = make_api()
+        res = api.run_instances("ami-video", count=5)
+        cluster.run()
+        seen, token = [], None
+        pages = 0
+        while True:
+            page = api.describe_instances(max_results=2, next_token=token)
+            assert len(page) <= 2
+            seen.extend(d.instance_id for d in page)
+            pages += 1
+            if page.next_token is None:
+                break
+            token = page.next_token
+        assert pages == 3
+        assert seen == sorted(res.instance_ids)
+        assert len(set(seen)) == 5
+
+    def test_pagination_composes_with_filters(self):
+        cluster, cloud, api = make_api()
+        api.run_instances("ami-video", "m1.small", count=3)
+        api.run_instances("ami-video", "c1.medium", count=2)
+        cluster.run()
+        first = api.describe_instances(
+            {"instance-type": "m1.small"}, max_results=2)
+        assert len(first) == 2 and first.next_token is not None
+        rest = api.describe_instances(
+            {"instance-type": "m1.small"}, max_results=2,
+            next_token=first.next_token)
+        assert len(rest) == 1 and rest.next_token is None
+        assert all(d.instance_type == "m1.small"
+                   for d in (*first, *rest))
+
+    def test_bad_token_rejected(self):
+        _, _, api = make_api()
+        api.run_instances("ami-video")
+        with pytest.raises(ConfigError):
+            api.describe_instances(next_token="not-a-number")
+        with pytest.raises(ConfigError):
+            api.describe_instances(next_token="99")
+        with pytest.raises(ConfigError):
+            api.describe_instances(max_results=0)
+
+    def test_rows_are_frozen(self):
+        cluster, cloud, api = make_api()
+        api.run_instances("ami-video")
+        page = api.describe_instances()
+        with pytest.raises(AttributeError):
+            page.instances[0].state = "hacked"
+        with pytest.raises(AttributeError):
+            page.next_token = "1"
+
+
 class TestTerminateAndMigrate:
     def test_terminate(self):
         cluster, cloud, api = make_api()
-        ids = api.run_instances("ami-video", count=2)
+        res = api.run_instances("ami-video", count=2)
         cluster.run()
-        p = cluster.engine.process(api.terminate_instances(*ids))
+        p = cluster.engine.process(
+            api.terminate_instances(*res.instance_ids))
         cluster.run(p)
-        assert all(d.state == "terminated" for d in api.describe_instances())
+        assert all(d.state == "terminated"
+                   for d in api.describe_instances())
 
     def test_migrate_instance_moves_host(self):
         cluster, cloud, api = make_api()
-        (iid,) = api.run_instances("ami-video")
+        (iid,) = api.run_instances("ami-video").instance_ids
         cluster.run()
-        src = api.describe_instances()[0].host
+        src = api.describe_instances().instances[0].host
         dst = [n for n in cluster.host_names[1:] if n != src][0]
         p = cluster.engine.process(api.migrate_instance(iid, dst))
         result = cluster.run(p)
-        assert api.describe_instances()[0].host == dst
+        assert api.describe_instances().instances[0].host == dst
         assert result.downtime >= 0
 
     def test_unknown_instance(self):
@@ -80,22 +202,25 @@ class TestTerminateAndMigrate:
 class TestKeypairsImagesTags:
     def test_keypair_lifecycle(self):
         _, _, api = make_api()
-        material = api.create_key_pair("deploy")
-        assert "deploy" in material
-        assert api.describe_key_pairs() == ["deploy"]
+        kp = api.create_key_pair("deploy")
+        assert isinstance(kp, KeyPairInfo)
+        assert "deploy" in kp.material
+        assert kp.fingerprint
+        assert [k.name for k in api.describe_key_pairs()] == ["deploy"]
         with pytest.raises(ConfigError):
             api.create_key_pair("deploy")
         api.delete_key_pair("deploy")
-        assert api.describe_key_pairs() == []
+        assert api.describe_key_pairs() == ()
         with pytest.raises(ConfigError):
             api.delete_key_pair("deploy")
 
     def test_launch_with_key_injects_context(self):
         cluster, cloud, api = make_api()
         api.create_key_pair("deploy")
-        (iid,) = api.run_instances("ami-video", key_name="deploy")
+        res = api.run_instances("ami-video", key_name="deploy")
+        assert res.key_name == "deploy"
         cluster.run()
-        vm = api._vm(iid)
+        vm = api._vm(res.instance_ids[0])
         assert vm.context["ssh_key"] == "deploy"
 
     def test_launch_with_unknown_key_rejected(self):
@@ -106,32 +231,46 @@ class TestKeypairsImagesTags:
     def test_describe_images(self):
         _, _, api = make_api()
         images = api.describe_images()
-        assert images[0]["image_id"] == "ami-video"
-        assert images[0]["format"] == "qcow2"
+        assert isinstance(images[0], ImageDescription)
+        assert images[0].image_id == "ami-video"
+        assert images[0].format == "qcow2"
 
     def test_tags(self):
         cluster, cloud, api = make_api()
-        (iid,) = api.run_instances("ami-video")
+        (iid,) = api.run_instances("ami-video").instance_ids
         api.create_tags(iid, role="web", env="prod")
         api.create_tags(iid, env="staging")
-        assert api.describe_tags(iid) == {"role": "web", "env": "staging"}
+        assert api.describe_tags(iid) == (
+            TagDescription(iid, "env", "staging"),
+            TagDescription(iid, "role", "web"),
+        )
         with pytest.raises(ConfigError):
             api.create_tags("i-ffffffff", x="y")
 
+    def test_describe_all_tags(self):
+        cluster, cloud, api = make_api()
+        res = api.run_instances("ami-video", count=2)
+        a, b = res.instance_ids
+        api.create_tags(a, role="web")
+        api.create_tags(b, role="db")
+        rows = api.describe_tags()
+        assert {(t.instance_id, t.value) for t in rows} == {
+            (a, "web"), (b, "db")}
+
     def test_reboot(self):
         cluster, cloud, api = make_api()
-        (iid,) = api.run_instances("ami-video")
+        (iid,) = api.run_instances("ami-video").instance_ids
         cluster.run()
-        host_before = api.describe_instances()[0].host
+        host_before = api.describe_instances().instances[0].host
         t0 = cluster.now
         cluster.run(cluster.engine.process(api.reboot_instances(iid)))
         assert cluster.now - t0 > 10  # shutdown + boot time passed
-        desc = api.describe_instances()[0]
+        desc = api.describe_instances().instances[0]
         assert desc.state == "running"
         assert desc.host == host_before
 
     def test_reboot_pending_rejected(self):
         cluster, cloud, api = make_api()
-        (iid,) = api.run_instances("ami-video")
+        (iid,) = api.run_instances("ami-video").instance_ids
         with pytest.raises(ConfigError):
             cluster.run(cluster.engine.process(api.reboot_instances(iid)))

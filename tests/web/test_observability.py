@@ -1,0 +1,237 @@
+"""The redesigned portal API surface: routing, /metrics, /healthz."""
+
+import pytest
+
+from repro.common.errors import HttpError, WebError
+from repro.common.units import MiB, Mbps
+from repro.hardware import Cluster
+from repro.hdfs import Hdfs
+from repro.video import R_720P, VideoFile
+from repro.web import Lighttpd, Request, Response, VideoPortal
+
+
+def make_portal(n_hosts=6):
+    cluster = Cluster(n_hosts)
+    fs = Hdfs(cluster, namenode_host="node0",
+              datanode_hosts=cluster.host_names[1:], block_size=16 * MiB,
+              replication=2)
+    portal = VideoPortal(cluster, fs, web_host="node1",
+                         transcode_workers=cluster.host_names[2:])
+    return cluster, portal
+
+
+def request(cluster, portal, method, path, **kw):
+    return cluster.run(cluster.engine.process(
+        portal.request(method, path, **kw)))
+
+
+def register_and_login(cluster, portal, username="kuan"):
+    request(cluster, portal, "POST", "/register",
+            params={"username": username, "password": "secret99",
+                    "email": f"{username}@thu.edu.tw"})
+    _, token = portal.auth.outbox[-1]
+    request(cluster, portal, "POST", "/verify", params={"token": token})
+    r = request(cluster, portal, "POST", "/login",
+                params={"username": username, "password": "secret99"})
+    return r.set_session
+
+
+def publish_video(cluster, portal, session, title="Nobody MV"):
+    media = VideoFile(
+        name="clip.avi", container="avi", vcodec="mpeg4", acodec="mp3",
+        duration=30.0, resolution=R_720P, fps=25.0, bitrate=4 * Mbps)
+    r = request(cluster, portal, "POST", "/upload", session=session,
+                params={"title": title, "description": "d", "tags": "t",
+                        "media": media})
+    assert r.ok, r.body
+    return r.body["video_id"]
+
+
+class TestResponseShapes:
+    def test_json_ok_merges_extras(self):
+        r = Response.json_ok({"page": "x"}, n=3)
+        assert r.ok
+        assert r.body == {"page": "x", "n": 3}
+
+    def test_json_ok_rejects_error_status(self):
+        with pytest.raises(WebError):
+            Response.json_ok(status=500)
+
+    def test_json_error_uniform_body(self):
+        r = Response.json_error("boom", status=503, hint="later")
+        assert r.status == 503
+        assert r.body == {"error": "boom", "status": 503, "hint": "later"}
+
+    def test_json_error_rejects_success_status(self):
+        with pytest.raises(WebError):
+            Response.json_error("fine", status=200)
+
+    def test_http_error_headers_reach_the_response(self):
+        exc = HttpError(503, "degraded", retry_after=30.0,
+                        headers={"X-Layer": "hdfs"})
+        r = Response.from_http_error(exc)
+        assert r.status == 503
+        assert r.headers["Retry-After"] == "30"
+        assert r.headers["X-Layer"] == "hdfs"
+        assert r.body["error"].startswith("degraded")
+
+
+class TestRouting:
+    def make_server(self):
+        cluster = Cluster(2)
+        return cluster, Lighttpd(cluster, "node0")
+
+    def test_path_params_land_in_request_params(self):
+        cluster, server = self.make_server()
+
+        def handler(req):
+            yield cluster.engine.timeout(0)
+            return Response.json_ok(vid=req.params["id"])
+
+        server.route("GET", "/video/<id>", handler)
+        r = cluster.run(cluster.engine.process(
+            server.handle(Request("GET", "/video/42"))))
+        assert r.body["vid"] == "42"
+
+    def test_decorator_forms(self):
+        cluster, server = self.make_server()
+
+        @server.get("/video/<id>")
+        def _page(req):
+            yield cluster.engine.timeout(0)
+            return Response.json_ok(page="video")
+
+        @server.post("/video/<id>/comment")
+        def _comment(req):
+            yield cluster.engine.timeout(0)
+            return Response.json_ok(page="comment")
+
+        route, params = server.resolve("GET", "/video/7")
+        assert route.pattern == "/video/<id>"
+        assert params == {"id": "7"}
+        route, params = server.resolve("POST", "/video/7/comment")
+        assert params == {"id": "7"}
+
+    def test_explicit_query_param_wins_over_path_param(self):
+        cluster, server = self.make_server()
+
+        def handler(req):
+            yield cluster.engine.timeout(0)
+            return Response.json_ok(vid=req.params["id"])
+
+        server.route("GET", "/video/<id>", handler)
+        req = Request("GET", "/video/42", params={"id": "explicit"})
+        r = cluster.run(cluster.engine.process(server.handle(req)))
+        assert r.body["vid"] == "explicit"
+
+    def test_unmatched_path_is_404_with_bounded_label(self):
+        cluster, server = self.make_server()
+        r = cluster.run(cluster.engine.process(
+            server.handle(Request("GET", "/nope/1"))))
+        assert r.status == 404
+        assert cluster.metrics.get("web_requests_total").labels(
+            method="GET", route="<unmatched>", status="404").value == 1
+
+    def test_alias_reports_under_canonical_label(self):
+        cluster, server = self.make_server()
+
+        def handler(req):
+            yield cluster.engine.timeout(0)
+            return Response.json_ok()
+
+        server.route("GET", "/video/<id>", handler, aliases=("/video",))
+        cluster.run(cluster.engine.process(
+            server.handle(Request("GET", "/video", params={"id": "1"}))))
+        cluster.run(cluster.engine.process(
+            server.handle(Request("GET", "/video/1"))))
+        counter = cluster.metrics.get("web_requests_total")
+        assert counter.labels(
+            method="GET", route="/video/<id>", status="200").value == 2
+
+    def test_malformed_patterns_rejected(self):
+        cluster, server = self.make_server()
+
+        def handler(req):
+            yield cluster.engine.timeout(0)
+
+        with pytest.raises(WebError):
+            server.route("GET", "no-slash", handler)
+        with pytest.raises(WebError):
+            server.route("GET", "/video/<id", handler)
+        with pytest.raises(WebError):
+            server.route("GET", "/video/<bad name>", handler)
+        with pytest.raises(WebError):
+            server.route("GET", "/pair/<id>/<id>", handler)
+
+
+class TestPortalRoutes:
+    def test_canonical_video_page_and_alias(self):
+        cluster, portal = make_portal()
+        session = register_and_login(cluster, portal)
+        vid = publish_video(cluster, portal, session)
+        canonical = request(cluster, portal, "GET", f"/video/{vid}")
+        legacy = request(cluster, portal, "GET", "/video",
+                         params={"id": vid})
+        assert canonical.ok and legacy.ok
+        assert canonical.body["video"]["id"] == legacy.body["video"]["id"]
+
+    def test_comment_via_path_param(self):
+        cluster, portal = make_portal()
+        session = register_and_login(cluster, portal)
+        vid = publish_video(cluster, portal, session)
+        r = request(cluster, portal, "POST", f"/video/{vid}/comment",
+                    session=session, params={"text": "great"})
+        assert r.ok, r.body
+
+
+class TestMetricsEndpoint:
+    def test_prometheus_text_covers_the_layers(self):
+        cluster, portal = make_portal()
+        session = register_and_login(cluster, portal)
+        publish_video(cluster, portal, session)
+        r = request(cluster, portal, "GET", "/metrics")
+        assert r.ok
+        assert r.headers["Content-Type"].startswith("text/plain")
+        text = r.body["text"]
+        assert "# TYPE web_request_seconds histogram" in text
+        assert "hdfs_bytes_written_total" in text
+        assert "transcode_seconds_bucket" in text
+        assert 'portal_uploads_total{outcome="published"} 1' in text
+        assert r.body_bytes == len(text.encode("utf-8"))
+
+    def test_scraping_metrics_counts_itself(self):
+        cluster, portal = make_portal()
+        request(cluster, portal, "GET", "/metrics")
+        second = request(cluster, portal, "GET", "/metrics")
+        assert 'route="/metrics"' in second.body["text"]
+
+
+class TestHealthz:
+    def test_healthy_stack(self):
+        cluster, portal = make_portal()
+        r = request(cluster, portal, "GET", "/healthz")
+        assert r.ok
+        assert r.body["health"] == "ok"
+        assert r.body["degraded_layers"] == []
+        assert set(r.body["layers"]) >= {"web", "hdfs", "transcode"}
+
+    def test_degraded_storage_reports_503_with_retry_after(self):
+        cluster, portal = make_portal()
+        # drop live datanodes below the replication factor
+        for victim in list(portal.fs.datanodes)[1:]:
+            portal.fs.namenode.dead_datanodes.add(victim)
+        r = request(cluster, portal, "GET", "/healthz")
+        assert r.status == 503
+        assert "hdfs" in r.body["degraded_layers"]
+        assert r.body["layers"]["hdfs"]["status"] == "degraded"
+        assert r.headers["Retry-After"]
+        # uniform error shape even on the health endpoint
+        assert r.body["health"] == "degraded"
+        assert "error" in r.body
+
+    def test_custom_probe_shows_up(self):
+        cluster, portal = make_portal()
+        portal.add_health_provider("cache", lambda: "cold start")
+        r = request(cluster, portal, "GET", "/healthz")
+        assert r.status == 503
+        assert r.body["layers"]["cache"]["reason"] == "cold start"
