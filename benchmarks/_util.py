@@ -13,8 +13,13 @@ from __future__ import annotations
 
 import json
 
+from repro.analysis import ALL_CHECKS, ANALYZER_VERSION
 from repro.common.tables import format_table
 from repro.obs import ClusterMetrics
+
+#: emitted once per pytest run, ahead of the first payload, so every
+#: BENCH_JSON capture records which invariant set the tree passed
+_analyzer_header_emitted = False
 
 
 def run(cluster, gen):
@@ -34,9 +39,18 @@ def show_json(capsys, tag: str, payload) -> None:
     """Print one machine-readable result block.
 
     Regression tooling greps for ``### BENCH_JSON <tag>`` and diffs the
-    JSON payload (typically percentile summaries) across commits.
+    JSON payload (typically percentile summaries) across commits.  The
+    first block of a run is preceded by an ``analyzer`` header naming
+    the invariant-checker version and rule count the tree passed, so
+    archived bench numbers stay attributable to an invariant set.
     """
+    global _analyzer_header_emitted
     with capsys.disabled():
+        if not _analyzer_header_emitted:
+            _analyzer_header_emitted = True
+            header = {"analyzer_version": ANALYZER_VERSION,
+                      "rule_count": len(ALL_CHECKS)}
+            print(f"### BENCH_JSON analyzer {json.dumps(header, sort_keys=True)}")
         print(f"### BENCH_JSON {tag} {json.dumps(payload, sort_keys=True)}")
 
 

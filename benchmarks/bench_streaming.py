@@ -9,7 +9,7 @@ import pytest
 
 from repro.common.units import Mbps
 from repro.hardware import Cluster
-from repro.video import PlaybackSession, R_720P, StreamingServer, VideoFile
+from repro.video import R_720P, PlaybackSession, StreamingServer, VideoFile
 
 from _util import run, show
 

@@ -10,7 +10,7 @@ import pytest
 
 from repro.common.units import Mbps
 from repro.hardware import Cluster
-from repro.video import DistributedTranscoder, R_480P, R_720P, VideoFile
+from repro.video import R_480P, R_720P, DistributedTranscoder, VideoFile
 
 from _util import metrics_report, percentile_row, run, show, show_json
 

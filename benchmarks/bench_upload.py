@@ -7,7 +7,7 @@ dynamic link works immediately after publishing.
 
 import pytest
 
-from repro.common.units import MiB, Mbps
+from repro.common.units import Mbps, MiB
 from repro.hardware import Cluster
 from repro.hdfs import Hdfs
 from repro.video import R_720P, VideoFile

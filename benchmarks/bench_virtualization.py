@@ -12,8 +12,8 @@ import pytest
 from repro.common.units import GHz, MiB
 from repro.hardware import Cluster
 from repro.virt import (
-    DiskImage,
     HYPERVISOR_TYPES,
+    DiskImage,
     VirtualMachine,
     WorkKind,
     make_hypervisor,

@@ -11,7 +11,7 @@ Run:  python examples/cluster_operations.py
 
 from repro.common.errors import AuthError
 from repro.common.tables import format_table
-from repro.common.units import GiB, MiB, Mbps
+from repro.common.units import GiB, Mbps, MiB
 from repro.hardware import Cluster
 from repro.hdfs import Hdfs, balancer, decommission, fsck, utilisations
 from repro.one import MonitoringService, OpenNebula, VmTemplate

@@ -12,7 +12,7 @@ Run:  python examples/parallel_transcoding.py
 from repro.common.tables import format_table
 from repro.common.units import Mbps
 from repro.hardware import Cluster
-from repro.video import DistributedTranscoder, R_720P, VideoFile
+from repro.video import R_720P, DistributedTranscoder, VideoFile
 
 
 def clip(duration):

@@ -21,7 +21,7 @@ The package mirrors the paper's stack:
 """
 
 from .chaos import ChaosMonkey, ChaosReport
-from .common.calibration import Calibration, DEFAULT_CALIBRATION
+from .common.calibration import DEFAULT_CALIBRATION, Calibration
 from .hardware import Cluster
 from .stack import VideoCloud, build_video_cloud
 

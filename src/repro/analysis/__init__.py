@@ -1,0 +1,60 @@
+"""Static analysis of the repro source tree.
+
+An AST-based invariant checker for determinism, layering and
+observability hygiene.  Run it as a CLI::
+
+    python -m repro.analysis src            # text report, exit 1 on findings
+    python -m repro.analysis src --format json
+
+or programmatically::
+
+    from repro.analysis import analyze_paths
+    findings = analyze_paths(["src"])
+
+The rules (DET01/DET02, ARCH01/ARCH02, ERR01, OBS01/OBS02, API01) are
+documented in :mod:`repro.analysis.checks`; the layering DAG lives in
+:mod:`repro.analysis.layering`.  A whole-program pass also runs inside
+the tier-1 test suite (``tests/analysis/test_codebase_invariants.py``)
+so a violating commit fails fast.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from .checks import ALL_CHECKS
+from .core import (
+    ANALYZER_VERSION,
+    Check,
+    Finding,
+    ModuleInfo,
+    load_modules,
+    run_checks,
+)
+from .layering import ALLOWED_IMPORTS
+
+__all__ = [
+    "ALL_CHECKS",
+    "ALLOWED_IMPORTS",
+    "ANALYZER_VERSION",
+    "Check",
+    "Finding",
+    "ModuleInfo",
+    "analyze_paths",
+    "load_modules",
+    "rule_ids",
+    "run_checks",
+]
+
+
+def rule_ids() -> list[str]:
+    """The active rule ids, in reporting order."""
+    return [check.rule for check in ALL_CHECKS]
+
+
+def analyze_paths(paths: Sequence[str],
+                  rules: "Sequence[str] | None" = None) -> list[Finding]:
+    """Run the (optionally filtered) check suite over *paths*."""
+    checks = ALL_CHECKS if rules is None else tuple(
+        c for c in ALL_CHECKS if c.rule in set(rules))
+    return run_checks(load_modules(paths), checks)

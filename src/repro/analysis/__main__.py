@@ -1,0 +1,72 @@
+"""CLI entry point: ``python -m repro.analysis [paths] [options]``.
+
+Exit status: 0 when the tree is clean, 1 when any unsuppressed finding
+remains, 2 on usage errors -- so CI can gate on it directly.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Sequence
+
+from . import ALL_CHECKS, ANALYZER_VERSION, analyze_paths, rule_ids
+
+
+def main(argv: "Sequence[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="AST-based invariant checker for the repro tree "
+                    f"(analyzer {ANALYZER_VERSION}, "
+                    f"{len(ALL_CHECKS)} rules)",
+    )
+    parser.add_argument("paths", nargs="*", default=["src"],
+                        help="files or directories to analyze (default: src)")
+    parser.add_argument("--format", choices=("text", "json"), default="text",
+                        help="report format")
+    parser.add_argument("--rules", default=None,
+                        help="comma-separated rule ids to run (default: all)")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the active rules and exit")
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for check in ALL_CHECKS:
+            print(f"{check.rule}  {check.description}")
+        return 0
+
+    rules = None
+    if args.rules:
+        rules = [r.strip() for r in args.rules.split(",") if r.strip()]
+        unknown = set(rules) - set(rule_ids())
+        if unknown:
+            print(f"unknown rule(s): {', '.join(sorted(unknown))}",
+                  file=sys.stderr)
+            return 2
+
+    try:
+        findings = analyze_paths(args.paths, rules=rules)
+    except (OSError, SyntaxError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.format == "json":
+        print(json.dumps({
+            "analyzer_version": ANALYZER_VERSION,
+            "rules": rule_ids() if rules is None else rules,
+            "count": len(findings),
+            "findings": [f.to_dict() for f in findings],
+        }, indent=2, sort_keys=True))
+    else:
+        for f in findings:
+            print(f.format())
+        noun = "finding" if len(findings) == 1 else "findings"
+        print(f"{len(findings)} {noun} "
+              f"({len(ALL_CHECKS if rules is None else rules)} rules, "
+              f"analyzer {ANALYZER_VERSION})")
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,595 @@
+"""The concrete invariant checks.
+
+Rule ids are stable and documented in the README ("Invariants & static
+analysis"); suppress one occurrence with a trailing
+``# repro: allow[RULE]`` comment.
+
+Determinism
+    DET01  no wall-clock sources (``time``/``datetime``) outside the
+           allowlist -- simulated code takes time from ``engine.now``
+    DET02  no ``random`` stdlib / raw ``numpy.random`` globals -- all
+           randomness routes through :mod:`repro.common.rng`
+
+Architecture
+    ARCH01 the inter-package import graph must respect the layering
+           table in :mod:`repro.analysis.layering`
+    ARCH02 no ``from X import *``; no module-level import cycles
+
+Errors
+    ERR01  raised repro-defined exceptions derive from the
+           :mod:`repro.common.errors` hierarchy; no bare generic
+           builtins (``ValueError``, ``RuntimeError``, ...)
+
+Observability
+    OBS01  metric names and label keys are static string literals
+           (bounded cardinality) and ``.labels()`` takes explicit
+           keyword arguments only
+    OBS02  spans open/close in one place: ``tracer.span(...)`` only as
+           a ``with`` context, ``tracer.trace(...)`` for generators;
+           no manual ``start_span``/``end_span`` outside ``repro.obs``
+
+API
+    API01  public functions/methods in ``repro.*`` carry full type
+           annotations (parameters and return)
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator, Sequence
+
+from .core import Check, Finding, ModuleInfo
+from .layering import ALLOWED_IMPORTS
+
+# -- shared import resolution -------------------------------------------------
+
+
+def _resolve_relative(mod: ModuleInfo, node: ast.ImportFrom) -> str | None:
+    """Absolute dotted target of a relative ``from ... import``."""
+    if mod.module is None:
+        return None
+    pkg_parts = mod.module.split(".")
+    if not mod.is_init:
+        pkg_parts = pkg_parts[:-1]
+    cut = len(pkg_parts) - (node.level - 1)
+    if cut < 0:
+        return None
+    anchor = pkg_parts[:cut]
+    if node.module:
+        anchor = anchor + node.module.split(".")
+    return ".".join(anchor) if anchor else None
+
+
+def _iter_import_nodes(
+    tree: ast.Module, *, module_level_only: bool,
+) -> Iterator["ast.Import | ast.ImportFrom"]:
+    """Import statements, optionally skipping function-local ones.
+
+    Function-local imports run lazily, so they are the accepted escape
+    hatch for breaking import-time cycles -- the cycle check must not
+    descend into function bodies.
+    """
+    if not module_level_only:
+        for node in ast.walk(tree):
+            if isinstance(node, (ast.Import, ast.ImportFrom)):
+                yield node
+        return
+    stack: list[ast.AST] = [tree]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.Import, ast.ImportFrom)):
+            yield node
+            continue
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            continue
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def iter_repro_imports(
+    mod: ModuleInfo, *, include_type_checking: bool = False,
+    module_level_only: bool = False,
+) -> Iterator[tuple[ast.stmt, str]]:
+    """Yield ``(node, dotted_target)`` for every repro-internal import.
+
+    ``from pkg import name`` yields both ``pkg`` and ``pkg.name`` so
+    callers can match whichever resolves to a real module.
+    """
+    for node in _iter_import_nodes(mod.tree,
+                                   module_level_only=module_level_only):
+        if not include_type_checking and mod.in_type_checking(node):
+            continue
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == "repro" or alias.name.startswith("repro."):
+                    yield node, alias.name
+            continue
+        base = node.module if node.level == 0 else _resolve_relative(mod, node)
+        if base is None or not (base == "repro" or base.startswith("repro.")):
+            continue
+        yield node, base
+        for alias in node.names:
+            if alias.name != "*":
+                yield node, f"{base}.{alias.name}"
+
+
+def _dotted(node: ast.expr) -> str | None:
+    """Flatten ``a.b.c`` attribute chains to a dotted string."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _symbol_table(mod: ModuleInfo) -> dict[str, str]:
+    """Best-effort map of local names to fully qualified dotted names."""
+    table: dict[str, str] = {}
+    for node in mod.tree.body:
+        if isinstance(node, ast.ClassDef) and mod.module:
+            table[node.name] = f"{mod.module}.{node.name}"
+    for node in ast.walk(mod.tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                table[alias.asname or alias.name.split(".")[0]] = (
+                    alias.name if alias.asname else alias.name.split(".")[0])
+        elif isinstance(node, ast.ImportFrom):
+            base = (node.module if node.level == 0
+                    else _resolve_relative(mod, node))
+            if base is None:
+                continue
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                table[alias.asname or alias.name] = f"{base}.{alias.name}"
+    return table
+
+
+def _is_allowlisted(mod: ModuleInfo, allow: Sequence[str]) -> bool:
+    return any(entry in mod.relpath for entry in allow)
+
+
+# -- DET: determinism ---------------------------------------------------------
+
+_WALL_CLOCK_MODULES = ("time", "datetime")
+_WALL_CLOCK_CALLS = frozenset({
+    "time", "monotonic", "perf_counter", "process_time", "time_ns",
+    "monotonic_ns", "perf_counter_ns", "now", "utcnow", "today", "sleep",
+})
+
+
+class WallClockCheck(Check):
+    """DET01: simulated code must take time from the engine clock."""
+
+    rule = "DET01"
+    description = ("no wall-clock sources (time/datetime) outside "
+                   "sim/core.py, common/rng.py and benchmarks/")
+    allowlist = ("repro/sim/core.py", "repro/common/rng.py", "benchmarks/")
+
+    def check_module(self, mod: ModuleInfo) -> Iterable[Finding]:
+        if _is_allowlisted(mod, self.allowlist):
+            return
+        for node in ast.walk(mod.tree):
+            if mod.in_type_checking(node):
+                continue
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    root = alias.name.split(".")[0]
+                    if root in _WALL_CLOCK_MODULES:
+                        yield self.finding(
+                            mod, node,
+                            f"import of wall-clock module {root!r}; simulated "
+                            f"code must read time from the engine clock "
+                            f"(engine.now)")
+            elif isinstance(node, ast.ImportFrom) and node.level == 0:
+                root = (node.module or "").split(".")[0]
+                if root in _WALL_CLOCK_MODULES:
+                    yield self.finding(
+                        mod, node,
+                        f"import from wall-clock module {root!r}; simulated "
+                        f"code must read time from the engine clock "
+                        f"(engine.now)")
+            elif isinstance(node, ast.Call):
+                dotted = _dotted(node.func)
+                if dotted is None:
+                    continue
+                parts = dotted.split(".")
+                if (len(parts) >= 2 and parts[0] in _WALL_CLOCK_MODULES
+                        and parts[-1] in _WALL_CLOCK_CALLS):
+                    yield self.finding(
+                        mod, node,
+                        f"wall-clock call {dotted}(); use the simulation "
+                        f"clock instead")
+
+
+class UnseededRandomCheck(Check):
+    """DET02: all randomness routes through repro.common.rng."""
+
+    rule = "DET02"
+    description = ("no stdlib random / raw numpy.random globals -- use "
+                   "repro.common.rng.RngStream")
+    allowlist = ("repro/common/rng.py", "benchmarks/")
+
+    def check_module(self, mod: ModuleInfo) -> Iterable[Finding]:
+        if _is_allowlisted(mod, self.allowlist):
+            return
+        for node in ast.walk(mod.tree):
+            if mod.in_type_checking(node):
+                continue
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "random" or alias.name == "numpy.random":
+                        yield self.finding(
+                            mod, node,
+                            f"import of {alias.name!r}; derive a seeded "
+                            f"stream from repro.common.rng instead")
+            elif isinstance(node, ast.ImportFrom) and node.level == 0:
+                if node.module in ("random", "numpy.random"):
+                    yield self.finding(
+                        mod, node,
+                        f"import from {node.module!r}; derive a seeded "
+                        f"stream from repro.common.rng instead")
+                elif node.module == "numpy" and any(
+                        a.name == "random" for a in node.names):
+                    yield self.finding(
+                        mod, node,
+                        "import of numpy.random; derive a seeded stream "
+                        "from repro.common.rng instead")
+            elif isinstance(node, ast.Attribute) and node.attr == "random":
+                if isinstance(node.value, ast.Name) \
+                        and node.value.id in ("np", "numpy"):
+                    yield self.finding(
+                        mod, node,
+                        "raw numpy.random access; unseeded globals break "
+                        "bit-reproducible runs -- use repro.common.rng")
+
+
+# -- ARCH: layering and import hygiene ---------------------------------------
+
+
+class LayeringCheck(Check):
+    """ARCH01: the import graph must respect the layering DAG."""
+
+    rule = "ARCH01"
+    description = "inter-package imports must follow analysis.layering"
+
+    def check_program(self, mods: Sequence[ModuleInfo]) -> Iterable[Finding]:
+        for mod in mods:
+            pkg = mod.package
+            if pkg is None:
+                continue
+            allowed = ALLOWED_IMPORTS.get(pkg)
+            seen: set[tuple[int, str]] = set()
+            for node, target in iter_repro_imports(mod):
+                segs = target.split(".")
+                if len(segs) < 2:
+                    continue
+                tgt_pkg = segs[1]
+                if tgt_pkg == pkg or tgt_pkg not in ALLOWED_IMPORTS:
+                    continue
+                if (node.lineno, tgt_pkg) in seen:
+                    continue
+                seen.add((node.lineno, tgt_pkg))
+                if allowed is None:
+                    yield self.finding(
+                        mod, node,
+                        f"package {pkg!r} is not in the layering table "
+                        f"(analysis/layering.py); add it before importing "
+                        f"repro.{tgt_pkg}")
+                elif tgt_pkg not in allowed:
+                    yield self.finding(
+                        mod, node,
+                        f"layering violation: {pkg!r} may not import "
+                        f"repro.{tgt_pkg} (allowed: "
+                        f"{', '.join(sorted(allowed)) or 'nothing'})")
+
+
+class ImportHygieneCheck(Check):
+    """ARCH02: no star imports, no module-level import cycles."""
+
+    rule = "ARCH02"
+    description = "no `from X import *`; no circular imports"
+
+    def check_module(self, mod: ModuleInfo) -> Iterable[Finding]:
+        for node in ast.walk(mod.tree):
+            if isinstance(node, ast.ImportFrom) \
+                    and any(a.name == "*" for a in node.names):
+                yield self.finding(
+                    mod, node,
+                    "star import hides the dependency surface; import "
+                    "names explicitly")
+
+    def check_program(self, mods: Sequence[ModuleInfo]) -> Iterable[Finding]:
+        index = {m.module: m for m in mods if m.module}
+        graph: dict[str, set[str]] = {name: set() for name in index}
+        for mod in mods:
+            if mod.module is None:
+                continue
+            for _node, target in iter_repro_imports(mod,
+                                                    module_level_only=True):
+                if target in index and target != mod.module:
+                    graph[mod.module].add(target)
+        for cycle in _cycles(graph):
+            first = index[cycle[0]]
+            yield self.finding(
+                first, 1,
+                "circular import: " + " -> ".join(cycle + [cycle[0]]))
+
+
+def _cycles(graph: dict[str, set[str]]) -> list[list[str]]:
+    """Strongly connected components with more than one node, sorted."""
+    idx: dict[str, int] = {}
+    low: dict[str, int] = {}
+    on_stack: set[str] = set()
+    stack: list[str] = []
+    sccs: list[list[str]] = []
+    counter = [0]
+
+    def strongconnect(v: str) -> None:
+        work = [(v, iter(sorted(graph[v])))]
+        idx[v] = low[v] = counter[0]
+        counter[0] += 1
+        stack.append(v)
+        on_stack.add(v)
+        while work:
+            node, it = work[-1]
+            advanced = False
+            for w in it:
+                if w not in idx:
+                    idx[w] = low[w] = counter[0]
+                    counter[0] += 1
+                    stack.append(w)
+                    on_stack.add(w)
+                    work.append((w, iter(sorted(graph[w]))))
+                    advanced = True
+                    break
+                if w in on_stack:
+                    low[node] = min(low[node], idx[w])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                low[parent] = min(low[parent], low[node])
+            if low[node] == idx[node]:
+                comp: list[str] = []
+                while True:
+                    w = stack.pop()
+                    on_stack.discard(w)
+                    comp.append(w)
+                    if w == node:
+                        break
+                if len(comp) > 1:
+                    sccs.append(sorted(comp))
+
+    for v in sorted(graph):
+        if v not in idx:
+            strongconnect(v)
+    return sorted(sccs)
+
+
+# -- ERR: exception hierarchy -------------------------------------------------
+
+_ERRORS_MODULE = "repro.common.errors"
+_BANNED_BUILTIN_RAISES = frozenset({
+    "Exception", "BaseException", "ValueError", "TypeError", "RuntimeError",
+    "KeyError", "IndexError", "AttributeError", "OSError", "IOError",
+})
+
+
+class ExceptionHierarchyCheck(Check):
+    """ERR01: raised repro exceptions derive from repro.common.errors."""
+
+    rule = "ERR01"
+    description = ("raise classes from the repro.common.errors hierarchy, "
+                   "not ad-hoc or generic builtin exceptions")
+
+    def check_program(self, mods: Sequence[ModuleInfo]) -> Iterable[Finding]:
+        classes: dict[str, list[str]] = {}
+        for mod in mods:
+            if mod.module is None:
+                continue
+            table = _symbol_table(mod)
+            for node in mod.tree.body:
+                if not isinstance(node, ast.ClassDef):
+                    continue
+                bases = []
+                for base in node.bases:
+                    dotted = _dotted(base)
+                    if dotted is None:
+                        continue
+                    head, _, rest = dotted.partition(".")
+                    resolved = table.get(head, head)
+                    bases.append(f"{resolved}.{rest}" if rest else resolved)
+                classes[f"{mod.module}.{node.name}"] = bases
+
+        def in_hierarchy(qualname: str, seen: frozenset[str]) -> bool:
+            if qualname.startswith(_ERRORS_MODULE + "."):
+                return True
+            if qualname in seen:
+                return False
+            return any(
+                in_hierarchy(base, seen | {qualname})
+                for base in classes.get(qualname, ()))
+
+        for mod in mods:
+            if mod.module is None:
+                continue
+            table = _symbol_table(mod)
+            for node in ast.walk(mod.tree):
+                if not isinstance(node, ast.Raise) or node.exc is None:
+                    continue
+                target = node.exc.func \
+                    if isinstance(node.exc, ast.Call) else node.exc
+                dotted = _dotted(target)
+                if dotted is None:
+                    continue
+                head, _, rest = dotted.partition(".")
+                resolved = table.get(head, head)
+                qualname = f"{resolved}.{rest}" if rest else resolved
+                if qualname in _BANNED_BUILTIN_RAISES:
+                    yield self.finding(
+                        mod, node,
+                        f"raise of generic builtin {qualname}; use a class "
+                        f"from repro.common.errors")
+                elif qualname in classes \
+                        and not in_hierarchy(qualname, frozenset()):
+                    yield self.finding(
+                        mod, node,
+                        f"{qualname} is raised but does not derive from "
+                        f"the repro.common.errors hierarchy")
+
+
+# -- OBS: observability hygiene ----------------------------------------------
+
+_METRIC_FACTORIES = frozenset({"counter", "gauge", "histogram"})
+
+
+class MetricLabelCheck(Check):
+    """OBS01: metric names/label keys are static; cardinality is bounded."""
+
+    rule = "OBS01"
+    description = ("metric names and label keys must be static string "
+                   "literals; .labels() takes explicit keywords only")
+
+    def check_module(self, mod: ModuleInfo) -> Iterable[Finding]:
+        for node in ast.walk(mod.tree):
+            if not isinstance(node, ast.Call) \
+                    or not isinstance(node.func, ast.Attribute):
+                continue
+            attr = node.func.attr
+            if attr in _METRIC_FACTORIES:
+                yield from self._check_factory(mod, node)
+            elif attr == "labels":
+                yield from self._check_labels_call(mod, node)
+
+    def _check_factory(self, mod: ModuleInfo,
+                       node: ast.Call) -> Iterable[Finding]:
+        name_arg = node.args[0] if node.args else next(
+            (kw.value for kw in node.keywords if kw.arg == "name"), None)
+        if name_arg is not None and not _is_str_literal(name_arg):
+            yield self.finding(
+                mod, node,
+                "metric name must be a static string literal (dynamic "
+                "names create unbounded families)")
+        labels_arg = node.args[2] if len(node.args) > 2 else next(
+            (kw.value for kw in node.keywords if kw.arg == "labels"), None)
+        if labels_arg is None:
+            return
+        if not isinstance(labels_arg, (ast.Tuple, ast.List)) or not all(
+                _is_str_literal(el) for el in labels_arg.elts):
+            yield self.finding(
+                mod, node,
+                "metric label keys must be a tuple of static string "
+                "literals (bounded cardinality)")
+
+    def _check_labels_call(self, mod: ModuleInfo,
+                           node: ast.Call) -> Iterable[Finding]:
+        if node.args:
+            yield self.finding(
+                mod, node,
+                ".labels() takes label keys as explicit keywords, not "
+                "positionally")
+        for kw in node.keywords:
+            if kw.arg is None:
+                yield self.finding(
+                    mod, node,
+                    ".labels(**dynamic) hides the label keys; spell them "
+                    "as static keywords")
+
+
+class SpanDisciplineCheck(Check):
+    """OBS02: spans are closed where they are opened."""
+
+    rule = "OBS02"
+    description = ("tracer.span(...) only as a `with` context; "
+                   "start_span/end_span stay inside repro.obs")
+    allowlist = ("repro/obs/",)
+
+    def check_module(self, mod: ModuleInfo) -> Iterable[Finding]:
+        with_contexts: set[int] = set()
+        for node in ast.walk(mod.tree):
+            if isinstance(node, ast.With):
+                for item in node.items:
+                    with_contexts.add(id(item.context_expr))
+        allowed = _is_allowlisted(mod, self.allowlist)
+        for node in ast.walk(mod.tree):
+            if not isinstance(node, ast.Call) \
+                    or not isinstance(node.func, ast.Attribute):
+                continue
+            attr = node.func.attr
+            if attr in ("start_span", "end_span") and not allowed:
+                yield self.finding(
+                    mod, node,
+                    f"manual {attr}() outside repro.obs risks an unclosed "
+                    f"span; use tracer.span(...) as a context manager or "
+                    f"tracer.trace(...) for generators")
+            elif attr == "span" and id(node) not in with_contexts:
+                yield self.finding(
+                    mod, node,
+                    "tracer.span(...) must be entered with a `with` "
+                    "statement so the span always closes")
+
+
+# -- API: annotations ---------------------------------------------------------
+
+
+class PublicAnnotationCheck(Check):
+    """API01: public repro functions carry full type annotations."""
+
+    rule = "API01"
+    description = ("public functions/methods in repro.* annotate every "
+                   "parameter and the return type")
+
+    def check_module(self, mod: ModuleInfo) -> Iterable[Finding]:
+        if mod.module is None:
+            return
+        for node in mod.tree.body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield from self._check_def(mod, node, in_class=False)
+            elif isinstance(node, ast.ClassDef) \
+                    and not node.name.startswith("_"):
+                for sub in node.body:
+                    if isinstance(sub, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                        yield from self._check_def(mod, sub, in_class=True)
+
+    def _check_def(self, mod: ModuleInfo, node: ast.stmt,
+                   in_class: bool) -> Iterable[Finding]:
+        if node.name.startswith("_") and node.name != "__init__":
+            return
+        args = node.args
+        params = args.posonlyargs + args.args + args.kwonlyargs
+        if in_class and params and params[0].arg in ("self", "cls"):
+            params = params[1:]
+        missing = [a.arg for a in params if a.annotation is None]
+        if args.vararg is not None and args.vararg.annotation is None:
+            missing.append("*" + args.vararg.arg)
+        if args.kwarg is not None and args.kwarg.annotation is None:
+            missing.append("**" + args.kwarg.arg)
+        if node.returns is None:
+            missing.append("return")
+        if missing:
+            yield self.finding(
+                mod, node,
+                f"public {'method' if in_class else 'function'} "
+                f"{node.name}() is missing annotations for: "
+                f"{', '.join(missing)}")
+
+
+def _is_str_literal(node: ast.expr) -> bool:
+    return isinstance(node, ast.Constant) and isinstance(node.value, str)
+
+
+#: every active check, in reporting order
+ALL_CHECKS: tuple[Check, ...] = (
+    WallClockCheck(),
+    UnseededRandomCheck(),
+    LayeringCheck(),
+    ImportHygieneCheck(),
+    ExceptionHierarchyCheck(),
+    MetricLabelCheck(),
+    SpanDisciplineCheck(),
+    PublicAnnotationCheck(),
+)

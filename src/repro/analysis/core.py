@@ -1,0 +1,208 @@
+"""The AST-walker framework behind ``python -m repro.analysis``.
+
+The reproduction's headline numbers are only credible if the simulated
+cluster stays deterministic and its layers stay honestly separated.
+Those properties are *invariants of the source tree*, so they are
+enforced the same way type errors are: statically, on every run of the
+test suite and CI, by the checks in :mod:`repro.analysis.checks`.
+
+This module owns the machinery the checks share:
+
+* :class:`Finding` -- one rule violation (file, line, rule id, severity,
+  message);
+* :class:`ModuleInfo` -- a parsed source file plus the metadata every
+  check needs (module name, owning ``repro`` subpackage, the set of
+  lines guarded by ``if TYPE_CHECKING:``, per-line suppressions);
+* :class:`Check` -- the base class: per-file checks override
+  :meth:`Check.check_module`, whole-program checks (layering, import
+  cycles, exception hierarchy) override :meth:`Check.check_program`;
+* :func:`run_checks` -- collects findings over a module set and drops
+  the ones suppressed with a ``# repro: allow[RULE]`` comment on the
+  offending line.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Iterator, Sequence
+
+#: bump when a rule is added/removed or its semantics change; benches
+#: record this so every BENCH_JSON block names the invariant set it ran
+#: under.
+ANALYZER_VERSION = "1.0.0"
+
+_ALLOW_RE = re.compile(r"#\s*repro:\s*allow\[([A-Za-z0-9_,\s]+)\]")
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation, anchored to a source line."""
+
+    path: str
+    line: int
+    rule: str
+    message: str
+    severity: str = "error"
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line}: {self.rule} {self.message}"
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "rule": self.rule,
+            "severity": self.severity,
+            "message": self.message,
+        }
+
+
+class ModuleInfo:
+    """One parsed source file plus everything the checks ask about it."""
+
+    def __init__(self, relpath: str, source: str) -> None:
+        self.relpath = relpath.replace("\\", "/")
+        self.source = source
+        self.tree = ast.parse(source, filename=relpath)
+        self.module = _module_name(self.relpath)
+        self.package = _subpackage(self.module)
+        self.is_init = self.relpath.endswith("__init__.py")
+        self._suppressed = _suppressions(source)
+        self.type_checking_lines = _type_checking_lines(self.tree)
+
+    @classmethod
+    def from_file(cls, path: "Path | str") -> "ModuleInfo":
+        p = Path(path)
+        try:
+            rel = p.resolve().relative_to(Path.cwd())
+        except ValueError:
+            rel = p
+        return cls(str(rel), p.read_text(encoding="utf-8"))
+
+    def allows(self, rule: str, line: int) -> bool:
+        """True when *line* carries a ``# repro: allow[rule]`` comment."""
+        return rule in self._suppressed.get(line, ())
+
+    def in_type_checking(self, node: ast.AST) -> bool:
+        """True when *node* sits inside an ``if TYPE_CHECKING:`` block."""
+        return getattr(node, "lineno", 0) in self.type_checking_lines
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<ModuleInfo {self.relpath} ({self.module or 'non-repro'})>"
+
+
+class Check:
+    """Base class for one rule.
+
+    Subclasses set ``rule``/``description`` and override one (or both)
+    of the hooks.  ``check_module`` runs once per file; ``check_program``
+    runs once over the whole module set, for rules that need the global
+    import graph or class hierarchy.
+    """
+
+    rule = "XXX00"
+    description = ""
+    severity = "error"
+
+    def check_module(self, mod: ModuleInfo) -> Iterable[Finding]:
+        return ()
+
+    def check_program(self, mods: Sequence[ModuleInfo]) -> Iterable[Finding]:
+        return ()
+
+    def finding(self, mod: ModuleInfo, node: "ast.AST | int",
+                message: str) -> Finding:
+        line = node if isinstance(node, int) else getattr(node, "lineno", 1)
+        return Finding(mod.relpath, line, self.rule, message, self.severity)
+
+
+def iter_source_files(paths: Sequence["Path | str"]) -> Iterator[Path]:
+    """Every ``*.py`` under *paths* (files are taken as-is), sorted."""
+    out: list[Path] = []
+    for p in paths:
+        p = Path(p)
+        if p.is_dir():
+            out.extend(sorted(p.rglob("*.py")))
+        else:
+            out.append(p)
+    return iter(out)
+
+
+def load_modules(paths: Sequence["Path | str"]) -> list[ModuleInfo]:
+    """Parse every python file under *paths* into :class:`ModuleInfo`."""
+    return [ModuleInfo.from_file(p) for p in iter_source_files(paths)]
+
+
+def run_checks(modules: Sequence[ModuleInfo],
+               checks: Sequence[Check]) -> list[Finding]:
+    """All unsuppressed findings over *modules*, sorted by location."""
+    by_path = {m.relpath: m for m in modules}
+    findings: list[Finding] = []
+    for check in checks:
+        for mod in modules:
+            findings.extend(check.check_module(mod))
+        findings.extend(check.check_program(modules))
+    kept = []
+    for f in findings:
+        mod = by_path.get(f.path)
+        if mod is not None and mod.allows(f.rule, f.line):
+            continue
+        kept.append(f)
+    return sorted(set(kept))
+
+
+# -- metadata helpers ---------------------------------------------------------
+
+
+def _module_name(relpath: str) -> str | None:
+    """Dotted module name for paths inside a ``repro`` package tree."""
+    parts = Path(relpath).with_suffix("").parts
+    if "repro" not in parts:
+        return None
+    parts = parts[parts.index("repro"):]
+    if parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts)
+
+
+def _subpackage(module: str | None) -> str | None:
+    """The top-level ``repro`` subpackage a module belongs to.
+
+    ``repro.hdfs.placement`` -> ``hdfs``; top-level modules such as
+    ``repro.stack`` map to their own name so the layering table can
+    address them individually.
+    """
+    if module is None or not module.startswith("repro"):
+        return None
+    segs = module.split(".")
+    return segs[1] if len(segs) > 1 else None
+
+
+def _suppressions(source: str) -> dict[int, frozenset[str]]:
+    out: dict[int, frozenset[str]] = {}
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        m = _ALLOW_RE.search(line)
+        if m:
+            rules = frozenset(r.strip() for r in m.group(1).split(",") if r.strip())
+            out[lineno] = rules
+    return out
+
+
+def _type_checking_lines(tree: ast.Module) -> frozenset[int]:
+    """Line numbers covered by ``if TYPE_CHECKING:`` bodies."""
+    lines: set[int] = set()
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.If):
+            continue
+        test = node.test
+        name = test.id if isinstance(test, ast.Name) else (
+            test.attr if isinstance(test, ast.Attribute) else None)
+        if name != "TYPE_CHECKING":
+            continue
+        for sub in node.body:
+            end = getattr(sub, "end_lineno", sub.lineno)
+            lines.update(range(sub.lineno, end + 1))
+    return frozenset(lines)

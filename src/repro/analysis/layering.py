@@ -1,0 +1,71 @@
+"""The layering DAG: the single source of truth for ARCH01.
+
+Each key is a top-level ``repro`` subpackage (or top-level module); the
+value is the set of subpackages it may import from.  The table encodes
+the stack of the paper, bottom-up::
+
+    common                          pure utilities, errors, rng, units
+    sim, obs                        event kernel; metrics + tracing
+    hardware                        hosts, disks, network, cluster
+    virt                            hypervisor, images, dirty-page model
+    drivers                         ONE's im/tm/vmm driver shims
+    hdfs                            namenode / datanodes / placement
+    one                             OpenNebula core, scheduler, FT, CLI
+    mapreduce                       jobtracker / tasktrackers over HDFS
+    fusehdfs, video, search         the PaaS/SaaS middle tier
+    web                             portal, auth, feed, mini-DB, server
+    chaos                           fault injection over the whole stack
+    stack, bench                    top-level assembly and workloads
+
+``analysis`` (this package) sits outside the runtime stack and may only
+reach ``common``.  Imports guarded by ``if TYPE_CHECKING:`` are ignored
+-- they never execute, so they cannot create runtime layering cycles.
+
+Adding an edge here is an architectural decision: keep the graph a DAG
+(ARCH02 independently rejects module-level cycles) and keep lower
+layers ignorant of higher ones.
+"""
+
+from __future__ import annotations
+
+ALLOWED_IMPORTS: dict[str, frozenset[str]] = {
+    "common": frozenset(),
+    "sim": frozenset({"common"}),
+    "obs": frozenset({"common"}),
+    "analysis": frozenset({"common"}),
+    "hardware": frozenset({"common", "sim", "obs"}),
+    "virt": frozenset({"common", "sim", "obs", "hardware"}),
+    "drivers": frozenset({"common", "sim", "obs", "hardware", "virt"}),
+    "hdfs": frozenset({"common", "sim", "obs", "hardware"}),
+    "one": frozenset({
+        "common", "sim", "obs", "hardware", "virt", "drivers", "hdfs",
+    }),
+    "mapreduce": frozenset({"common", "sim", "obs", "hardware", "hdfs"}),
+    "fusehdfs": frozenset({"common", "sim", "obs", "hardware", "hdfs"}),
+    "video": frozenset({"common", "sim", "obs", "hardware", "hdfs"}),
+    "search": frozenset({
+        "common", "sim", "obs", "hardware", "hdfs", "mapreduce",
+    }),
+    "web": frozenset({
+        "common", "sim", "obs", "hardware", "virt", "hdfs",
+        "fusehdfs", "video", "search",
+    }),
+    "chaos": frozenset({
+        "common", "sim", "obs", "hardware", "virt", "drivers",
+        "hdfs", "one", "mapreduce", "web",
+    }),
+    "stack": frozenset({
+        "common", "sim", "obs", "hardware", "virt", "drivers", "hdfs",
+        "one", "mapreduce", "fusehdfs", "video", "search", "web", "chaos",
+    }),
+    "bench": frozenset({
+        "common", "sim", "obs", "hardware", "virt", "drivers", "hdfs",
+        "one", "mapreduce", "fusehdfs", "video", "search", "web", "chaos",
+        "stack",
+    }),
+}
+
+
+def allowed_for(package: str) -> frozenset[str] | None:
+    """The allowed import set for *package*, or None when unknown."""
+    return ALLOWED_IMPORTS.get(package)

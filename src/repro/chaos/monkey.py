@@ -13,13 +13,20 @@ root RNG, so a chaos run is bit-reproducible from the cluster seed.
 
 from __future__ import annotations
 
-from typing import Callable, Generator, Iterable, Sequence
+from typing import TYPE_CHECKING, Any, Callable, Generator, Iterable, Sequence
 
 from ..common.errors import ConfigError
 from ..common.rng import RngStream
 from ..hardware import Cluster
 from ..one.lifecycle import OneState
 from .report import ChaosReport
+
+if TYPE_CHECKING:  # pragma: no cover - annotations only
+    from ..hdfs import Hdfs
+    from ..mapreduce import FaultModel
+    from ..one import OneVm, OpenNebula
+    from ..sim import Process
+    from ..web import VideoPortal
 from .scenarios import (
     DiskSlowdown,
     HostCrash,
@@ -39,9 +46,9 @@ class ChaosMonkey:
         self,
         cluster: Cluster,
         *,
-        cloud=None,
-        fs=None,
-        portal=None,
+        cloud: OpenNebula | None = None,
+        fs: Hdfs | None = None,
+        portal: VideoPortal | None = None,
         rng: RngStream | None = None,
         report: ChaosReport | None = None,
     ) -> None:
@@ -183,7 +190,7 @@ class ChaosMonkey:
         return sorted(out, key=lambda s: s.at)
 
     def scenarios_from_fault_model(
-        self, fault, hosts: Sequence[str], *, horizon: float,
+        self, fault: FaultModel, hosts: Sequence[str], *, horizon: float,
     ) -> list:
         """TaskTracker-crash scenarios from a MapReduce FaultModel.
 
@@ -208,7 +215,7 @@ class ChaosMonkey:
         since: float | None = None,
         period: float = WATCH_PERIOD,
         timeout: float = WATCH_TIMEOUT,
-    ):
+    ) -> Process:
         """Spawn a watcher: record a recovery when *predicate* turns true.
 
         Watchers are armed, not instant: nothing is evaluated before
@@ -248,7 +255,8 @@ class ChaosMonkey:
 
         return self.engine.process(_watch(), name=f"chaos-watch-{layer}-{target}")
 
-    def watch_hdfs(self, *, since: float | None = None, **kw):
+    def watch_hdfs(self, *, since: float | None = None,
+                   **kw: Any) -> Process:
         """Watch for HDFS returning to full replication with no missing blocks."""
         if self.fs is None:
             raise ConfigError("watch_hdfs needs an Hdfs instance")
@@ -260,7 +268,8 @@ class ChaosMonkey:
 
         return self.watch("hdfs", "replication", healthy, since=since, **kw)
 
-    def watch_vm(self, vm, *, since: float | None = None, **kw):
+    def watch_vm(self, vm: OneVm, *, since: float | None = None,
+                 **kw: Any) -> Process:
         """Watch one OneVm until it is RUNNING again."""
         return self.watch(
             "iaas", vm.name, lambda: vm.state is OneState.RUNNING,

@@ -10,7 +10,7 @@ logged and counted uniformly.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Generator, TYPE_CHECKING
+from typing import TYPE_CHECKING, Generator
 
 from ..common.errors import ConfigError
 

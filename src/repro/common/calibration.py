@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from .units import GHz, Gbps, MB, MiB, MS, US
+from .units import MB, MS, US, Gbps, GHz, MiB
 
 
 @dataclass(frozen=True)

@@ -11,9 +11,12 @@ engine, and the whole schedule stays deterministic.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Generator
+from typing import TYPE_CHECKING, Callable, Generator
 
 from .errors import ConfigError, ReproError
+
+if TYPE_CHECKING:  # pragma: no cover - annotations only
+    from ..sim import Engine
 
 
 @dataclass(frozen=True)
@@ -45,7 +48,7 @@ DEFAULT_RETRY_ON: tuple[type[BaseException], ...] = (ReproError,)
 
 
 def retry_process(
-    engine,
+    engine: Engine,
     make_attempt: Callable[[int], Generator],
     *,
     policy: RetryPolicy | None = None,

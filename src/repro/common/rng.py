@@ -12,6 +12,8 @@ placement stream is independent of the transcoder's noise stream.
 
 from __future__ import annotations
 
+from typing import Any, Iterable
+
 import numpy as np
 
 
@@ -48,7 +50,8 @@ class RngStream:
         """Integer in [low, high) like ``Generator.integers``."""
         return int(self._gen.integers(low, high))
 
-    def choice(self, seq, k: int | None = None, replace: bool = True):
+    def choice(self, seq: Iterable[Any], k: int | None = None,
+               replace: bool = True) -> Any:
         """Choose one element (k=None) or a list of k elements from *seq*."""
         seq = list(seq)
         if k is None:

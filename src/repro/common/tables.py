@@ -51,6 +51,7 @@ def format_table(
     return "\n".join(out)
 
 
-def print_table(headers, rows, **kw) -> None:  # pragma: no cover - I/O shim
+def print_table(headers: Sequence[str], rows: Iterable[Sequence[Any]],
+                **kw: Any) -> None:  # pragma: no cover - I/O shim
     print(format_table(headers, rows, **kw))
     print()

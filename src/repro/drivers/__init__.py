@@ -1,7 +1,7 @@
 """libvirt-like driver layer: VMM, Transfer and Information drivers."""
 
 from .base import CallTrace, DriverCall
-from .im import HostMetrics, InformationDriver, POLL_COST
+from .im import POLL_COST, HostMetrics, InformationDriver
 from .tm import SNAPSHOT_COST, TransferDriver
 from .vmm import VmmDriver
 

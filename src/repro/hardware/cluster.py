@@ -7,13 +7,15 @@ joins them -- the simulated equivalent of the paper's rack of KVM servers.
 
 from __future__ import annotations
 
-from ..common.calibration import Calibration, DEFAULT_CALIBRATION
+from typing import Any
+
+from ..common.calibration import DEFAULT_CALIBRATION, Calibration
 from ..common.errors import ConfigError
 from ..common.events import EventLog
 from ..common.ids import IdFactory
 from ..common.rng import RngStream
 from ..obs import MetricsRegistry, Tracer
-from ..sim import Engine
+from ..sim import Engine, Event
 from .host import PhysicalHost
 from .network import Network
 
@@ -74,7 +76,7 @@ class Cluster:
     def host_names(self) -> list[str]:
         return [h.name for h in self.hosts]
 
-    def run(self, until=None):
+    def run(self, until: float | Event | None = None) -> Any:
         """Convenience passthrough to the engine."""
         return self.engine.run(until)
 

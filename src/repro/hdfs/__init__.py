@@ -11,7 +11,7 @@ from .admin import (
     utilisations,
 )
 from .block import Block, BlockId, split_into_blocks
-from .client import HdfsClient, RPC_COST
+from .client import RPC_COST, HdfsClient
 from .datanode import DataNode
 from .fs import Hdfs
 from .journal import (

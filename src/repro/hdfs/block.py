@@ -12,6 +12,7 @@ stay memory-bounded.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Callable
 
 from ..common.errors import HdfsError
 
@@ -48,7 +49,7 @@ class Block:
 
 
 def split_into_blocks(
-    next_id, data: bytes | None, length: int, block_size: int
+    next_id: Callable[[], int], data: bytes | None, length: int, block_size: int
 ) -> list[Block]:
     """Cut a file into blocks of *block_size* (the last one may be short).
 

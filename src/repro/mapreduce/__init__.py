@@ -1,6 +1,6 @@
 """MapReduce analogue: JobTracker/TaskTrackers over HDFS, real user code."""
 
-from .faults import FaultModel, NO_FAULTS, TaskAttemptFailed
+from .faults import NO_FAULTS, FaultModel, TaskAttemptFailed
 from .job import Counters, JobResult, MapReduceJob, partition_for, record_size
 from .jobtracker import JobQueue, JobTracker, MapOutput
 from .library import grep_job, synthetic_scan_job, tokenize, word_count_job

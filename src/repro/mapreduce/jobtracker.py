@@ -25,7 +25,8 @@ from typing import Any, Generator
 from ..common.errors import MapReduceError, TaskFailedError
 from ..common.rng import RngStream
 from ..hdfs import Hdfs
-from .faults import FaultModel, NO_FAULTS, TaskAttemptFailed
+from ..sim import Event
+from .faults import NO_FAULTS, FaultModel, TaskAttemptFailed
 from .job import Counters, JobResult, MapReduceJob
 from .split import InputSplit, compute_splits
 from .tasktracker import TaskTracker
@@ -248,7 +249,7 @@ class JobQueue:
         self._queue: list[tuple[MapReduceJob, Any]] = []
         self._draining = False
 
-    def submit(self, job: MapReduceJob):
+    def submit(self, job: MapReduceJob) -> Event:
         """Enqueue *job*; returns an event that fires with its JobResult."""
         engine = self.jobtracker.engine
         done = engine.event()

@@ -13,11 +13,11 @@ from collections import defaultdict
 from typing import TYPE_CHECKING, Any, Generator
 
 from ..common.calibration import Calibration
+from ..common.errors import MapReduceError
+from ..common.rng import RngStream
 from ..hardware import PhysicalHost
 from ..hdfs import Hdfs
-from ..common.rng import RngStream
-from ..common.errors import MapReduceError
-from .faults import FaultModel, NO_FAULTS, TaskAttemptFailed
+from .faults import NO_FAULTS, FaultModel, TaskAttemptFailed
 from .job import Counters, MapReduceJob, partition_for, record_size
 from .split import InputSplit
 

@@ -9,8 +9,8 @@ span tree as nested Perfetto duration events.
 """
 
 from .metrics import (
-    Counter,
     DEFAULT_BUCKETS,
+    Counter,
     Gauge,
     Histogram,
     Metric,

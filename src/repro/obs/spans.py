@@ -19,6 +19,7 @@ code and its ``try/except`` recovery paths keep working under tracing.
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Any, Callable, Generator, Iterator
 
@@ -93,6 +94,29 @@ class Tracer:
         span.end = self._clock()
         span.status = status
         return span
+
+    @contextmanager
+    def span(self, name: str, *, source: str = "",
+             **labels: Any) -> Iterator[Span]:
+        """Context-managed span for synchronous (non-yielding) sections.
+
+        The static analyzer (OBS02) enforces that this is always entered
+        with a ``with`` statement -- a span opened here cannot leak, even
+        when the body raises.  Simulation processes that ``yield`` must
+        use :meth:`trace` instead, so the span is only "current" while
+        its frames actually execute.
+        """
+        span = self.start_span(name, source=source, **labels)
+        self._stack.append(span)
+        try:
+            yield span
+        except BaseException as exc:
+            self.end_span(span, status=type(exc).__name__)
+            raise
+        else:
+            self.end_span(span)
+        finally:
+            self._stack.pop()
 
     # -- the generator wrapper -------------------------------------------------
 

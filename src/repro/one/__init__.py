@@ -4,10 +4,10 @@ live migration, multi-VM services, monitoring, EC2 façade."""
 from .cli import CloudShell
 from .core import HostRecord, OpenNebula
 from .econe import (
+    INSTANCE_TYPES,
     DescribeInstancesResult,
     EconeApi,
     ImageDescription,
-    INSTANCE_TYPES,
     InstanceDescription,
     KeyPairInfo,
     Reservation,
@@ -15,25 +15,31 @@ from .econe import (
 )
 from .ft import FaultToleranceHook
 from .hooks import Hook, HookManager, HookRecord
-from .lifecycle import ACTIVE_STATES, FINAL_STATES, LifecycleTracker, OneState, TRANSITIONS
+from .lifecycle import (
+    ACTIVE_STATES,
+    FINAL_STATES,
+    TRANSITIONS,
+    LifecycleTracker,
+    OneState,
+)
 from .migration import MigrationResult, postcopy_migrate, precopy_migrate
 from .monitoring import MonitoringService
 from .scheduler import CapacityManager, host_facts
 from .service import DeployedService, Role, ServiceManager, ServiceTemplate
-from .users import (
-    ACTIONS,
-    AclRule,
-    AclService,
-    CloudUser,
-    DEFAULT_RULES,
-    UserPool,
-)
 from .template import (
     VmTemplate,
     free_memory_at_least,
     host_name_in,
     rank_free_cpu,
     rank_free_memory,
+)
+from .users import (
+    ACTIONS,
+    DEFAULT_RULES,
+    AclRule,
+    AclService,
+    CloudUser,
+    UserPool,
 )
 from .vm import OneVm, PlacementRecord
 

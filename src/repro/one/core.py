@@ -32,7 +32,7 @@ from ..virt import (
     make_hypervisor,
 )
 from .lifecycle import OneState
-from .migration import MigrationResult, precopy_migrate, postcopy_migrate
+from .migration import MigrationResult, postcopy_migrate, precopy_migrate
 from .scheduler import CapacityManager
 from .template import VmTemplate
 from .users import AclService, UserPool

@@ -303,7 +303,8 @@ class EconeApi:
 
         return _flow()
 
-    def migrate_instance(self, instance_id: str, dst_host: str, kind: str = "precopy"):
+    def migrate_instance(self, instance_id: str, dst_host: str,
+                         kind: str = "precopy") -> Generator:
         """Process: the web UI's "live migrate" button (Figures 8-10)."""
         return self.cloud.live_migrate(self._vm(instance_id), dst_host, kind)
 

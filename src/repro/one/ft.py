@@ -17,11 +17,11 @@ depend on it.
 
 from __future__ import annotations
 
-from typing import Generator
+from typing import Generator, Protocol
 
 from ..sim import Interrupt, Process
-from .lifecycle import OneState
 from .core import OpenNebula
+from .lifecycle import OneState
 from .monitoring import MonitoringService
 from .vm import OneVm
 
@@ -29,6 +29,13 @@ from .vm import OneVm
 RESTORE_TIMEOUT = 600.0
 #: how often the restore watcher re-checks the VM state
 RESTORE_POLL = 1.0
+
+
+class RecoveryReporter(Protocol):
+    """Anything that can accept a recovery record (ChaosReport fits)."""
+
+    def record_recovery(self, layer: str, target: str,
+                        injected_at: float, recovered_at: float) -> object: ...
 
 
 class FaultToleranceHook:
@@ -40,7 +47,7 @@ class FaultToleranceHook:
         monitoring: MonitoringService | None = None,
         *,
         period: float | None = None,
-        report=None,
+        report: RecoveryReporter | None = None,
     ) -> None:
         self.cloud = cloud
         self.monitoring = monitoring or MonitoringService(cloud, period=period or 5.0)

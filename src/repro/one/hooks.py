@@ -10,7 +10,7 @@ register on a target state (or ``"*"``) and run when any VM enters it.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, TYPE_CHECKING
+from typing import TYPE_CHECKING, Callable
 
 from ..common.errors import ConfigError
 from .lifecycle import OneState

@@ -12,6 +12,7 @@ through the same DFA the real core enforces.
 from __future__ import annotations
 
 import enum
+from typing import Callable
 
 from ..common.errors import LifecycleError
 
@@ -78,7 +79,7 @@ FINAL_STATES = frozenset({OneState.DONE})
 class LifecycleTracker:
     """Holds the current state of one VM and its full transition history."""
 
-    def __init__(self, clock) -> None:
+    def __init__(self, clock: Callable[[], float]) -> None:
         self._clock = clock
         self.state = OneState.PENDING
         self.history: list[tuple[float, OneState]] = [(clock(), OneState.PENDING)]

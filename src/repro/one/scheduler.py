@@ -19,7 +19,7 @@ A template's own ``rank`` expression overrides the policy for its VMs.
 
 from __future__ import annotations
 
-from typing import Any, TYPE_CHECKING
+from typing import TYPE_CHECKING, Any
 
 from ..common.errors import ConfigError, PlacementError
 

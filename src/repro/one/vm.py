@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any
+from typing import Any, Callable
 
 from ..virt import VirtualMachine
 from .lifecycle import LifecycleTracker, OneState
@@ -23,7 +23,8 @@ class PlacementRecord:
 class OneVm:
     """What `onevm show` would print: state, host, history, context."""
 
-    def __init__(self, vm_id: int, name: str, template: VmTemplate, clock,
+    def __init__(self, vm_id: int, name: str, template: VmTemplate,
+                 clock: Callable[[], float],
                  owner: str = "oneadmin") -> None:
         self.id = vm_id
         self.name = name

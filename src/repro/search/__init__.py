@@ -2,7 +2,7 @@
 sequential + MapReduce index builders, query execution."""
 
 from .analyzer import STOPWORDS, analyze, analyze_terms, strip_plural
-from .crawler import CrawlResult, FETCH_COST, Page, Site, StaticSite, crawl
+from .crawler import FETCH_COST, CrawlResult, Page, Site, StaticSite, crawl
 from .engine import QUERY_COST, SearchEngine
 from .index import Document, InvertedIndex, Posting
 from .indexer import (

@@ -18,6 +18,7 @@ e.g. live-migrating a VM while an upload converts.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Any
 
 from .chaos import ChaosMonkey
 from .common.calibration import Calibration
@@ -35,6 +36,7 @@ from .one import (
     VmTemplate,
 )
 from .one.lifecycle import OneState
+from .sim import Engine, Event
 from .virt import DiskImage
 from .web import VideoPortal
 
@@ -53,10 +55,10 @@ class VideoCloud:
     chaos: ChaosMonkey | None = None
 
     @property
-    def engine(self):
+    def engine(self) -> Engine:
         return self.cluster.engine
 
-    def run(self, until=None):
+    def run(self, until: float | Event | None = None) -> Any:
         return self.cluster.run(until)
 
     def stop_background(self) -> None:

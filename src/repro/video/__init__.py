@@ -6,24 +6,24 @@ from .cdn import ReplicaStreamer
 from .ffmpeg import FFmpeg
 from .media import (
     AUDIO_CODECS,
-    CONTAINERS,
     CONTAINER_CODECS,
     CONTAINER_OVERHEAD,
+    CONTAINERS,
     R_1080P,
     R_360P,
     R_480P,
     R_720P,
-    Resolution,
     STANDARD_RESOLUTIONS,
     VIDEO_CODECS,
+    Resolution,
     VideoFile,
 )
 from .pipeline import ConversionReport, DistributedTranscoder
 from .renditions import (
     DEFAULT_LADDER,
     LADDER_BY_NAME,
-    Rendition,
     THUMB_RESOLUTION,
+    Rendition,
     Thumbnail,
     extract_thumbnail,
     make_renditions,

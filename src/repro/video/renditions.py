@@ -13,6 +13,7 @@ from typing import Generator
 
 from ..common.errors import TranscodeError
 from ..common.units import Mbps
+from ..hardware import PhysicalHost
 from .ffmpeg import FFmpeg
 from .media import R_360P, R_480P, R_720P, Resolution, VideoFile
 from .pipeline import ConversionReport, DistributedTranscoder
@@ -94,7 +95,8 @@ _JPEG_BYTES_PER_PIXEL = 0.15
 THUMB_RESOLUTION = Resolution(320, 180)
 
 
-def extract_thumbnail(ffmpeg: FFmpeg, host, src: VideoFile, at_time: float) -> Generator:
+def extract_thumbnail(ffmpeg: FFmpeg, host: PhysicalHost, src: VideoFile,
+                      at_time: float) -> Generator:
     """Process: seek to *at_time*, decode one GOP, scale, JPEG-encode.
 
     Returns a :class:`Thumbnail`.

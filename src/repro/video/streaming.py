@@ -15,6 +15,7 @@ from typing import Generator
 
 from ..common.errors import StreamingError
 from ..hardware import Cluster
+from ..sim import Event
 from .media import VideoFile
 
 
@@ -51,7 +52,7 @@ class StreamingServer:
         self.cluster = cluster
         self.host_name = host_name
 
-    def stream_range(self, client_host: str, nbytes: float):
+    def stream_range(self, client_host: str, nbytes: float) -> Event:
         """One range-request transfer to the client; returns the flow event."""
         return self.cluster.network.transfer(self.host_name, client_host, nbytes)
 

@@ -2,9 +2,9 @@
 
 from .dirty import DirtyPageModel
 from .hypervisor import (
+    HYPERVISOR_TYPES,
     BareMetal,
     Emulator,
-    HYPERVISOR_TYPES,
     Hypervisor,
     Kvm,
     KvmVirtio,

@@ -17,7 +17,6 @@ The model here is the standard analytic one used by migration simulators:
 from __future__ import annotations
 
 import math
-
 from dataclasses import dataclass
 
 from ..common.errors import ConfigError

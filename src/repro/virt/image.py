@@ -10,6 +10,7 @@ exactly the "prolog" stage of the OpenNebula VM lifecycle.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Generator
 
 from ..common.errors import ConfigError, DriverError
 from ..hardware import Cluster
@@ -59,7 +60,7 @@ class ImageStore:
     def list_images(self) -> list[DiskImage]:
         return sorted(self._images.values(), key=lambda i: i.name)
 
-    def clone_to(self, image_name: str, dst_host: str):
+    def clone_to(self, image_name: str, dst_host: str) -> Generator:
         """Process: copy a master image to *dst_host* (network + disk write)."""
         image = self.get(image_name)
         cluster = self.cluster

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import hashlib
 from dataclasses import dataclass
+from typing import Callable
 
 from ..common.errors import AuthError
 from ..common.ids import IdFactory
@@ -32,7 +33,7 @@ class AuthService:
 
     MIN_PASSWORD_LEN = 6
 
-    def __init__(self, db: Database, clock) -> None:
+    def __init__(self, db: Database, clock: Callable[[], float]) -> None:
         self.db = db
         self.clock = clock
         self.ids = IdFactory()

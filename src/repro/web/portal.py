@@ -18,7 +18,7 @@ Wires every substrate together the way Figure 14 draws it:
 
 from __future__ import annotations
 
-from typing import Any, Generator
+from typing import TYPE_CHECKING, Any, Callable, Generator
 
 from ..common.errors import (
     AuthError,
@@ -41,11 +41,11 @@ from ..search import (
 )
 from ..video import (
     DEFAULT_LADDER,
+    LADDER_BY_NAME,
+    R_720P,
     DistributedTranscoder,
     FFmpeg,
-    LADDER_BY_NAME,
     PlaybackSession,
-    R_720P,
     Rendition,
     StreamingServer,
     Thumbnail,
@@ -58,6 +58,9 @@ from .auth import AuthService
 from .feed import render_feed
 from .minidb import Column, Database, QueryStats
 from .server import ApachePrefork, Lighttpd, Request, Response, WebServer
+
+if TYPE_CHECKING:  # pragma: no cover - annotations only
+    from ..hdfs.admin import SafeModeController
 
 
 class VideoPortal:
@@ -205,7 +208,7 @@ class VideoPortal:
 
     # -- graceful degradation ---------------------------------------------------------
 
-    def attach_safemode(self, controller) -> None:
+    def attach_safemode(self, controller: SafeModeController) -> None:
         """Wire in a :class:`~repro.hdfs.admin.SafeModeController` so the
         portal can refuse uploads with a 503 while the NameNode recovers."""
         self.safemode = controller
@@ -239,7 +242,8 @@ class VideoPortal:
 
     # -- observability (the redesigned API surface) ---------------------------------
 
-    def add_health_provider(self, layer: str, probe) -> None:
+    def add_health_provider(self, layer: str,
+                            probe: Callable[[], "str | None"]) -> None:
         """Register a per-layer probe: returns a degraded reason or None."""
         self.health_providers[layer] = probe
 
@@ -386,8 +390,9 @@ class VideoPortal:
             if page_num < 1 or not 1 <= per_page <= 100:
                 raise HttpError(400, "page must be >= 1, per_page in [1, 100]")
             yield self.engine.timeout(0.01)  # query cost (index in memory)
-            result_page = paginate(self.search.index, q, page=page_num,
-                                   per_page=per_page)
+            with self.tracer.span("search.query", source="search", query=q):
+                result_page = paginate(self.search.index, q, page=page_num,
+                                       per_page=per_page)
             results = []
             for hit in result_page.hits:
                 vid = int(hit.doc_id.removeprefix("video-"))

@@ -202,14 +202,16 @@ class WebServer:
             self.route(method, alias, handler, alias_of=pattern)
         return compiled
 
-    def get(self, pattern: str, *, aliases: tuple[str, ...] = ()):
+    def get(self, pattern: str, *, aliases: tuple[str, ...] = (),
+            ) -> Callable[[Handler], Handler]:
         """Decorator form: ``@server.get("/video/<id>")``."""
         def _register(handler: Handler) -> Handler:
             self.route("GET", pattern, handler, aliases=aliases)
             return handler
         return _register
 
-    def post(self, pattern: str, *, aliases: tuple[str, ...] = ()):
+    def post(self, pattern: str, *, aliases: tuple[str, ...] = (),
+             ) -> Callable[[Handler], Handler]:
         """Decorator form: ``@server.post("/upload")``."""
         def _register(handler: Handler) -> Handler:
             self.route("POST", pattern, handler, aliases=aliases)

@@ -1,0 +1,477 @@
+"""Per-rule fixture tests for the invariant checker.
+
+Each rule gets three kinds of fixture: a violating snippet that must be
+flagged, a conforming (or allowlisted) snippet that must stay clean, and
+a suppressed violation (``# repro: allow[RULE]``) that must be dropped.
+Fixtures are built as in-memory :class:`ModuleInfo` objects with
+synthetic paths, so the tests stay independent of the real tree.
+"""
+
+from __future__ import annotations
+
+import textwrap
+
+from repro.analysis import ALL_CHECKS, Finding, ModuleInfo, rule_ids, run_checks
+from repro.analysis.checks import (
+    ExceptionHierarchyCheck,
+    ImportHygieneCheck,
+    LayeringCheck,
+    MetricLabelCheck,
+    PublicAnnotationCheck,
+    SpanDisciplineCheck,
+    UnseededRandomCheck,
+    WallClockCheck,
+)
+
+
+def mod(relpath: str, source: str) -> ModuleInfo:
+    return ModuleInfo(relpath, textwrap.dedent(source))
+
+
+def check(rule_check, *mods: ModuleInfo) -> list[Finding]:
+    return run_checks(list(mods), [rule_check])
+
+
+# -- framework ----------------------------------------------------------------
+
+
+def test_rule_registry_is_complete():
+    assert rule_ids() == [
+        "DET01", "DET02", "ARCH01", "ARCH02",
+        "ERR01", "OBS01", "OBS02", "API01",
+    ]
+    assert len(ALL_CHECKS) == 8
+    assert all(c.description for c in ALL_CHECKS)
+
+
+def test_finding_format_and_dict():
+    f = Finding("src/repro/web/x.py", 12, "DET01", "wall clock")
+    assert f.format() == "src/repro/web/x.py:12: DET01 wall clock"
+    assert f.to_dict() == {
+        "path": "src/repro/web/x.py", "line": 12, "rule": "DET01",
+        "severity": "error", "message": "wall clock",
+    }
+
+
+def test_suppression_comment_accepts_multiple_rules():
+    m = mod("src/repro/web/x.py", "import time, random  # repro: allow[DET01, DET02]\n")
+    assert check(WallClockCheck(), m) == []
+    assert check(UnseededRandomCheck(), m) == []
+
+
+def test_suppression_is_per_line_and_per_rule():
+    m = mod(
+        "src/repro/web/x.py",
+        """\
+        import time  # repro: allow[DET02]
+        import time
+        """,
+    )
+    flagged = check(WallClockCheck(), m)
+    # a DET02 allow does not silence DET01, and line 2 has no comment
+    assert [f.line for f in flagged] == [1, 2]
+
+
+# -- DET01: wall clock --------------------------------------------------------
+
+
+def test_det01_flags_time_import_and_calls():
+    m = mod(
+        "src/repro/web/clock.py",
+        """\
+        import time
+
+
+        def wait() -> None:
+            time.sleep(1.0)
+        """,
+    )
+    flagged = check(WallClockCheck(), m)
+    assert [f.line for f in flagged] == [1, 5]
+    assert all(f.rule == "DET01" for f in flagged)
+
+
+def test_det01_flags_datetime_from_import():
+    m = mod("src/repro/video/meta.py", "from datetime import datetime\n")
+    assert [f.rule for f in check(WallClockCheck(), m)] == ["DET01"]
+
+
+def test_det01_allowlists_sim_core_rng_and_benchmarks():
+    for path in ("src/repro/sim/core.py", "src/repro/common/rng.py",
+                 "benchmarks/bench_clock.py"):
+        assert check(WallClockCheck(), mod(path, "import time\n")) == []
+
+
+def test_det01_suppression():
+    m = mod("src/repro/web/clock.py", "import time  # repro: allow[DET01]\n")
+    assert check(WallClockCheck(), m) == []
+
+
+# -- DET02: unseeded randomness -----------------------------------------------
+
+
+def test_det02_flags_stdlib_random():
+    m = mod("src/repro/hdfs/pick.py", "import random\n")
+    assert [f.rule for f in check(UnseededRandomCheck(), m)] == ["DET02"]
+
+
+def test_det02_flags_numpy_random_attribute():
+    m = mod(
+        "src/repro/hdfs/pick.py",
+        """\
+        import numpy as np
+
+
+        def draw() -> float:
+            return np.random.uniform()
+        """,
+    )
+    flagged = check(UnseededRandomCheck(), m)
+    assert [f.line for f in flagged] == [5]
+
+
+def test_det02_clean_for_rng_stream_users():
+    m = mod(
+        "src/repro/hdfs/pick.py",
+        "from repro.common.rng import RngStream\n",
+    )
+    assert check(UnseededRandomCheck(), m) == []
+
+
+def test_det02_allowlists_rng_module():
+    m = mod("src/repro/common/rng.py", "import random\n")
+    assert check(UnseededRandomCheck(), m) == []
+
+
+# -- ARCH01: layering ---------------------------------------------------------
+
+
+def test_arch01_flags_upward_import():
+    m = mod("src/repro/hdfs/evil.py", "from repro.web import VideoPortal\n")
+    flagged = check(LayeringCheck(), m)
+    assert [f.rule for f in flagged] == ["ARCH01"]
+    assert "layering violation" in flagged[0].message
+
+
+def test_arch01_resolves_relative_imports():
+    m = mod("src/repro/hdfs/evil.py", "from ..web import VideoPortal\n")
+    assert [f.rule for f in check(LayeringCheck(), m)] == ["ARCH01"]
+
+
+def test_arch01_allows_downward_import():
+    m = mod("src/repro/hdfs/fine.py", "from ..common.errors import ConfigError\n")
+    assert check(LayeringCheck(), m) == []
+
+
+def test_arch01_ignores_type_checking_imports():
+    m = mod(
+        "src/repro/hdfs/hints.py",
+        """\
+        from typing import TYPE_CHECKING
+
+        if TYPE_CHECKING:
+            from ..web import VideoPortal
+        """,
+    )
+    assert check(LayeringCheck(), m) == []
+
+
+def test_arch01_unknown_package_must_be_registered():
+    m = mod("src/repro/newpkg/x.py", "from repro.common import rng\n")
+    flagged = check(LayeringCheck(), m)
+    assert [f.rule for f in flagged] == ["ARCH01"]
+    assert "layering table" in flagged[0].message
+
+
+# -- ARCH02: import hygiene ---------------------------------------------------
+
+
+def test_arch02_flags_star_import():
+    m = mod("src/repro/web/glob.py", "from repro.common.errors import *\n")
+    flagged = check(ImportHygieneCheck(), m)
+    assert [f.rule for f in flagged] == ["ARCH02"]
+    assert "star import" in flagged[0].message
+
+
+def test_arch02_flags_module_level_cycle():
+    a = mod("src/repro/hdfs/a.py", "from .b import thing\n")
+    b = mod("src/repro/hdfs/b.py", "from .a import other\n")
+    flagged = check(ImportHygieneCheck(), a, b)
+    assert [f.rule for f in flagged] == ["ARCH02"]
+    assert "circular import" in flagged[0].message
+    assert "repro.hdfs.a" in flagged[0].message
+    assert "repro.hdfs.b" in flagged[0].message
+
+
+def test_arch02_function_local_import_breaks_cycle():
+    a = mod("src/repro/hdfs/a.py", "from .b import thing\n")
+    b = mod(
+        "src/repro/hdfs/b.py",
+        """\
+        def lazy() -> object:
+            from .a import other
+            return other
+        """,
+    )
+    assert check(ImportHygieneCheck(), a, b) == []
+
+
+# -- ERR01: exception hierarchy -----------------------------------------------
+
+
+def test_err01_flags_ad_hoc_exception_class():
+    m = mod(
+        "src/repro/video/bad.py",
+        """\
+        class BadError(Exception):
+            pass
+
+
+        def f() -> None:
+            raise BadError("boom")
+        """,
+    )
+    flagged = check(ExceptionHierarchyCheck(), m)
+    assert [f.line for f in flagged] == [6]
+    assert "does not derive" in flagged[0].message
+
+
+def test_err01_accepts_errors_hierarchy_subclass():
+    m = mod(
+        "src/repro/video/good.py",
+        """\
+        from repro.common.errors import MediaError
+
+
+        class TranscodeStall(MediaError):
+            pass
+
+
+        def f() -> None:
+            raise TranscodeStall("stalled")
+        """,
+    )
+    assert check(ExceptionHierarchyCheck(), m) == []
+
+
+def test_err01_flags_generic_builtin_raise():
+    m = mod(
+        "src/repro/video/bad.py",
+        """\
+        def f() -> None:
+            raise ValueError("boom")
+        """,
+    )
+    flagged = check(ExceptionHierarchyCheck(), m)
+    assert [f.rule for f in flagged] == ["ERR01"]
+    assert "ValueError" in flagged[0].message
+
+
+def test_err01_allows_not_implemented_and_bare_reraise():
+    m = mod(
+        "src/repro/video/ok.py",
+        """\
+        def abstract() -> None:
+            raise NotImplementedError
+
+
+        def passthrough() -> None:
+            try:
+                abstract()
+            except NotImplementedError:
+                raise
+        """,
+    )
+    assert check(ExceptionHierarchyCheck(), m) == []
+
+
+# -- OBS01: metric hygiene ----------------------------------------------------
+
+
+def test_obs01_flags_dynamic_metric_name():
+    m = mod(
+        "src/repro/web/m.py",
+        """\
+        def setup(metrics: object, suffix: str) -> None:
+            metrics.counter(f"reqs_{suffix}", "per-tenant counter")
+        """,
+    )
+    flagged = check(MetricLabelCheck(), m)
+    assert [f.rule for f in flagged] == ["OBS01"]
+    assert "static string literal" in flagged[0].message
+
+
+def test_obs01_flags_dynamic_label_keys():
+    m = mod(
+        "src/repro/web/m.py",
+        """\
+        def setup(metrics: object, keys: tuple) -> None:
+            metrics.counter("reqs_total", "requests", labels=keys)
+        """,
+    )
+    assert [f.rule for f in check(MetricLabelCheck(), m)] == ["OBS01"]
+
+
+def test_obs01_flags_positional_and_splat_labels_calls():
+    m = mod(
+        "src/repro/web/m.py",
+        """\
+        def bump(gauge: object, extra: dict) -> None:
+            gauge.labels("node0").set(1)
+            gauge.labels(**extra).set(2)
+        """,
+    )
+    flagged = check(MetricLabelCheck(), m)
+    assert [f.line for f in flagged] == [2, 3]
+
+
+def test_obs01_clean_static_metrics():
+    m = mod(
+        "src/repro/web/m.py",
+        """\
+        def setup(metrics: object) -> None:
+            c = metrics.counter("reqs_total", "requests", labels=("route",))
+            c.labels(route="/video").inc()
+        """,
+    )
+    assert check(MetricLabelCheck(), m) == []
+
+
+# -- OBS02: span discipline ---------------------------------------------------
+
+
+def test_obs02_flags_span_without_with():
+    m = mod(
+        "src/repro/web/t.py",
+        """\
+        def f(tracer: object) -> None:
+            tracer.span("handler")
+        """,
+    )
+    flagged = check(SpanDisciplineCheck(), m)
+    assert [f.rule for f in flagged] == ["OBS02"]
+    assert "`with`" in flagged[0].message
+
+
+def test_obs02_accepts_with_span():
+    m = mod(
+        "src/repro/web/t.py",
+        """\
+        def f(tracer: object) -> None:
+            with tracer.span("handler"):
+                pass
+            with tracer.span("other") as span:
+                span.labels["x"] = 1
+        """,
+    )
+    assert check(SpanDisciplineCheck(), m) == []
+
+
+def test_obs02_flags_manual_span_control_outside_obs():
+    m = mod(
+        "src/repro/web/t.py",
+        """\
+        def f(tracer: object) -> None:
+            s = tracer.start_span("handler")
+            tracer.end_span(s)
+        """,
+    )
+    flagged = check(SpanDisciplineCheck(), m)
+    assert [f.line for f in flagged] == [2, 3]
+
+
+def test_obs02_allows_manual_span_control_inside_obs():
+    m = mod(
+        "src/repro/obs/custom.py",
+        """\
+        def f(tracer: object) -> None:
+            s = tracer.start_span("internal")
+            tracer.end_span(s)
+        """,
+    )
+    assert check(SpanDisciplineCheck(), m) == []
+
+
+# -- API01: annotations -------------------------------------------------------
+
+
+def test_api01_flags_unannotated_public_function():
+    m = mod(
+        "src/repro/video/api.py",
+        """\
+        def encode(path):
+            return path
+        """,
+    )
+    flagged = check(PublicAnnotationCheck(), m)
+    assert [f.rule for f in flagged] == ["API01"]
+    assert "path" in flagged[0].message and "return" in flagged[0].message
+
+
+def test_api01_flags_unannotated_public_method():
+    m = mod(
+        "src/repro/video/api.py",
+        """\
+        class Encoder:
+            def run(self, clip):
+                return clip
+        """,
+    )
+    flagged = check(PublicAnnotationCheck(), m)
+    assert [f.line for f in flagged] == [2]
+    assert "clip" in flagged[0].message
+
+
+def test_api01_skips_private_names_and_nested_defs():
+    m = mod(
+        "src/repro/video/api.py",
+        """\
+        def _helper(x):
+            return x
+
+
+        class _Internal:
+            def run(self, clip):
+                return clip
+
+
+        def public() -> None:
+            def inner(y):
+                return y
+            inner(1)
+        """,
+    )
+    assert check(PublicAnnotationCheck(), m) == []
+
+
+def test_api01_requires_init_annotations():
+    m = mod(
+        "src/repro/video/api.py",
+        """\
+        class Encoder:
+            def __init__(self, preset):
+                self.preset = preset
+        """,
+    )
+    flagged = check(PublicAnnotationCheck(), m)
+    assert [f.rule for f in flagged] == ["API01"]
+
+
+def test_api01_accepts_fully_annotated_code():
+    m = mod(
+        "src/repro/video/api.py",
+        """\
+        class Encoder:
+            def __init__(self, preset: str) -> None:
+                self.preset = preset
+
+            def run(self, clip: str, *extra: str, **opts: int) -> str:
+                return clip
+        """,
+    )
+    assert check(PublicAnnotationCheck(), m) == []
+
+
+def test_api01_ignores_non_repro_files():
+    m = mod("tools/script.py", "def loose(x):\n    return x\n")
+    assert check(PublicAnnotationCheck(), m) == []

@@ -1,0 +1,79 @@
+"""The tier-1 gate: the real source tree passes every invariant check.
+
+This is the pytest wiring of ``python -m repro.analysis src`` -- a
+violating commit fails the suite with the exact findings in the assertion
+message.  The CLI exit-code contract (0 clean / 1 findings / 2 usage
+error) is exercised here too, against throwaway fixture trees.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.analysis import ANALYZER_VERSION, analyze_paths, rule_ids
+from repro.analysis.__main__ import main
+
+REPO = Path(__file__).resolve().parents[2]
+
+
+def test_source_tree_has_no_violations():
+    findings = analyze_paths([str(REPO / "src")])
+    assert findings == [], (
+        "invariant violations in src/ (fix them or add a targeted "
+        "`# repro: allow[RULE]`):\n"
+        + "\n".join(f.format() for f in findings)
+    )
+
+
+def test_benchmarks_have_no_violations():
+    findings = analyze_paths([str(REPO / "benchmarks")])
+    assert findings == [], "\n".join(f.format() for f in findings)
+
+
+def test_cli_exits_zero_on_clean_tree(tmp_path, capsys):
+    clean = tmp_path / "clean.py"
+    clean.write_text("def f(x: int) -> int:\n    return x\n")
+    assert main([str(clean)]) == 0
+    out = capsys.readouterr().out
+    assert f"0 findings (8 rules, analyzer {ANALYZER_VERSION})" in out
+
+
+def test_cli_exits_nonzero_on_violation(tmp_path, capsys):
+    bad = tmp_path / "bad.py"
+    bad.write_text("import random\n")
+    assert main([str(bad)]) == 1
+    out = capsys.readouterr().out
+    assert "DET02" in out
+
+
+def test_cli_json_report(tmp_path, capsys):
+    bad = tmp_path / "bad.py"
+    bad.write_text("import random\nimport time\n")
+    assert main([str(bad), "--format", "json"]) == 1
+    report = json.loads(capsys.readouterr().out)
+    assert report["analyzer_version"] == ANALYZER_VERSION
+    assert report["rules"] == rule_ids()
+    assert report["count"] == 2
+    assert sorted(f["rule"] for f in report["findings"]) == ["DET01", "DET02"]
+    assert all(f["severity"] == "error" for f in report["findings"])
+
+
+def test_cli_rule_filter(tmp_path, capsys):
+    bad = tmp_path / "bad.py"
+    bad.write_text("import random\nimport time\n")
+    assert main([str(bad), "--rules", "DET01"]) == 1
+    out = capsys.readouterr().out
+    assert "DET01" in out and "DET02" not in out
+
+
+def test_cli_rejects_unknown_rule(tmp_path, capsys):
+    assert main([str(tmp_path), "--rules", "NOPE99"]) == 2
+    assert "unknown rule" in capsys.readouterr().err
+
+
+def test_cli_list_rules(capsys):
+    assert main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rule in rule_ids():
+        assert rule in out

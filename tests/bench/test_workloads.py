@@ -1,7 +1,5 @@
 import pytest
 
-from repro.common.errors import ConfigError
-from repro.common.units import MiB
 from repro.bench import (
     LatencyStats,
     PortalDriver,
@@ -9,6 +7,8 @@ from repro.bench import (
     TrafficModel,
     VideoCatalog,
 )
+from repro.common.errors import ConfigError
+from repro.common.units import MiB
 from repro.hardware import Cluster
 from repro.hdfs import Hdfs
 from repro.web import VideoPortal

@@ -1,0 +1,94 @@
+"""Determinism smoke tests: the dynamic counterpart of DET01/DET02.
+
+The static analyzer proves no code *reads* the wall clock or unseeded
+randomness; these tests prove the property that enforcement buys -- a
+seeded chaos run replays bit-identically: same scenarios, same event
+log (every record, in order), same fault timeline, same MTTR report.
+"""
+
+from __future__ import annotations
+
+from repro.chaos import ChaosMonkey
+from repro.common.rng import RngStream
+from repro.hardware import Cluster
+from repro.hdfs.placement import PlacementPolicy
+
+
+def _chaos_run(seed: int):
+    """One seeded chaos storm over a bare cluster, watchers included."""
+    cluster = Cluster(6, seed=seed)
+    monkey = ChaosMonkey(cluster)
+    scenarios = monkey.random_scenarios(8, horizon=120.0)
+    for s in scenarios:
+        if s.kind == "host_crash":
+            host = cluster.host(s.host)
+            monkey.watch("hardware", s.host, lambda h=host: h.alive, since=s.at)
+    run = monkey.unleash(scenarios)
+    report = cluster.run(run)
+    cluster.run()   # drain remaining watchers / recovery timers
+
+    log = [
+        (r.time, r.source, r.kind, r.message, sorted(r.data.items()))
+        for r in cluster.log
+    ]
+    scenario_sig = [
+        (s.kind, getattr(s, "host", getattr(s, "vm_name", "")), s.at)
+        for s in scenarios
+    ]
+    faults = [(f.time, f.kind, f.target, f.detail) for f in report.faults]
+    recoveries = [
+        (r.layer, r.target, r.injected_at, r.recovered_at)
+        for r in report.recoveries
+    ]
+    return {
+        "scenarios": scenario_sig,
+        "log": log,
+        "faults": faults,
+        "recoveries": recoveries,
+        "mttr": report.mttr_by_layer(),
+        "end": cluster.engine.now,
+    }
+
+
+def test_chaos_run_is_bit_identical_under_fixed_seed():
+    first = _chaos_run(21)
+    second = _chaos_run(21)
+    assert first["scenarios"] == second["scenarios"]
+    assert first["faults"] == second["faults"]
+    assert first["recoveries"] == second["recoveries"]
+    assert first["mttr"] == second["mttr"]
+    assert first["end"] == second["end"]
+    # the strongest form: the full event log, record for record
+    assert first["log"] == second["log"]
+
+
+def test_chaos_run_varies_with_seed():
+    assert _chaos_run(21)["log"] != _chaos_run(22)["log"]
+
+
+def test_placement_choices_are_bit_identical_under_seed():
+    def draws(seed: int) -> list[list[str]]:
+        policy = PlacementPolicy(RngStream(seed, "hdfs").child("placement"))
+        nodes = [f"node{i}" for i in range(8)]
+        out = []
+        for i in range(50):
+            out.append(policy.choose_targets(3, nodes,
+                                             writer_host=f"node{i % 8}"))
+            out.append([policy.choose_rereplication_target(
+                nodes, {f"node{i % 8}"})])
+        return out
+
+    assert draws(11) == draws(11)
+    assert draws(11) != draws(12)
+
+
+def test_random_scenarios_are_bit_identical_under_seed():
+    def storm(seed: int):
+        monkey = ChaosMonkey(Cluster(4, seed=seed))
+        return [
+            (s.kind, s.host, s.at) for s in
+            monkey.random_scenarios(12, horizon=300.0)
+        ]
+
+    assert storm(5) == storm(5)
+    assert storm(5) != storm(6)

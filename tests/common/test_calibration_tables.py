@@ -8,7 +8,7 @@ careless recalibration cannot silently invert a paper claim.
 
 import pytest
 
-from repro.common.calibration import Calibration, DEFAULT_CALIBRATION
+from repro.common.calibration import DEFAULT_CALIBRATION, Calibration
 from repro.common.tables import format_table
 
 

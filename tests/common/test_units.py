@@ -1,6 +1,6 @@
 from repro.common.units import (
-    GiB,
     Gbps,
+    GiB,
     KiB,
     MiB,
     fmt_bytes,

@@ -2,9 +2,9 @@ import pytest
 
 from repro.common.errors import HdfsError
 from repro.common.units import MiB
+from repro.fusehdfs import HdfsMount
 from repro.hardware import Cluster
 from repro.hdfs import Hdfs
-from repro.fusehdfs import HdfsMount
 
 
 def make_mount(hdfs_root="/uploads"):

@@ -7,14 +7,14 @@ CPU) that a layered simulator with separate clocks could never show.
 
 import pytest
 
-from repro.common.units import GiB, MiB, Mbps
+from repro.common.units import GiB, Mbps, MiB
 from repro.hardware import Cluster
-from repro.hdfs import Hdfs, checkpoint, attach_journal, restart_namenode
+from repro.hdfs import Hdfs, attach_journal, checkpoint, restart_namenode
 from repro.one import OpenNebula, VmTemplate
 from repro.video import (
+    R_720P,
     DistributedTranscoder,
     PlaybackSession,
-    R_720P,
     StreamingServer,
     VideoFile,
 )

@@ -4,9 +4,9 @@ import pytest
 
 from repro.common.errors import ConfigError
 from repro.obs import (
+    DEFAULT_BUCKETS,
     ClusterMetrics,
     Counter,
-    DEFAULT_BUCKETS,
     Gauge,
     Histogram,
     MetricsRegistry,

@@ -3,9 +3,9 @@ import pytest
 from repro.common.errors import LifecycleError
 from repro.one.lifecycle import (
     ACTIVE_STATES,
+    TRANSITIONS,
     LifecycleTracker,
     OneState,
-    TRANSITIONS,
 )
 
 

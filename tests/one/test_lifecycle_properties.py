@@ -7,9 +7,9 @@ from repro.common.errors import LifecycleError
 from repro.one.lifecycle import (
     ACTIVE_STATES,
     FINAL_STATES,
+    TRANSITIONS,
     LifecycleTracker,
     OneState,
-    TRANSITIONS,
 )
 
 

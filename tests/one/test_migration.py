@@ -5,7 +5,7 @@ from repro.common.errors import LifecycleError, MigrationError
 from repro.common.units import GiB, MiB
 from repro.hardware import Cluster
 from repro.one import OneState, OpenNebula, VmTemplate
-from repro.one.migration import precopy_migrate, postcopy_migrate
+from repro.one.migration import postcopy_migrate, precopy_migrate
 from repro.virt import DiskImage, Kvm
 
 

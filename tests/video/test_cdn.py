@@ -1,7 +1,7 @@
 import pytest
 
 from repro.common.errors import StreamingError
-from repro.common.units import MiB, Mbps
+from repro.common.units import Mbps, MiB
 from repro.hardware import Cluster
 from repro.hdfs import Hdfs
 from repro.video import R_720P, ReplicaStreamer, VideoFile

@@ -6,9 +6,9 @@ from repro.common.errors import MediaError, TranscodeError
 from repro.common.units import Mbps
 from repro.hardware import Cluster
 from repro.video import (
-    FFmpeg,
     R_360P,
     R_720P,
+    FFmpeg,
     Resolution,
     VideoFile,
 )

@@ -6,7 +6,7 @@ from repro.common.errors import TranscodeError
 from repro.common.retry import RetryPolicy
 from repro.common.units import Mbps
 from repro.hardware import Cluster
-from repro.video import DistributedTranscoder, R_720P, VideoFile
+from repro.video import R_720P, DistributedTranscoder, VideoFile
 
 
 def clip(duration=600.0, name="upload.avi"):

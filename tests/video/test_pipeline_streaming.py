@@ -4,9 +4,9 @@ from repro.common.errors import StreamingError, TranscodeError
 from repro.common.units import Mbps
 from repro.hardware import Cluster
 from repro.video import (
+    R_720P,
     DistributedTranscoder,
     PlaybackSession,
-    R_720P,
     StreamingServer,
     VideoFile,
 )

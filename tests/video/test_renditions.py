@@ -6,9 +6,9 @@ from repro.common.units import Mbps
 from repro.hardware import Cluster
 from repro.video import (
     DEFAULT_LADDER,
+    R_720P,
     DistributedTranscoder,
     FFmpeg,
-    R_720P,
     Thumbnail,
     VideoFile,
     extract_thumbnail,

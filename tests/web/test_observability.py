@@ -3,7 +3,7 @@
 import pytest
 
 from repro.common.errors import HttpError, WebError
-from repro.common.units import MiB, Mbps
+from repro.common.units import Mbps, MiB
 from repro.hardware import Cluster
 from repro.hdfs import Hdfs
 from repro.video import R_720P, VideoFile

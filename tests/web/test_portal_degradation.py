@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.common.units import MiB, Mbps
+from repro.common.units import Mbps, MiB
 from repro.hardware import Cluster
 from repro.hdfs import Hdfs
 from repro.hdfs.admin import SafeModeController

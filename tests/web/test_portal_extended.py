@@ -4,7 +4,7 @@ multi-rendition playback, related videos."""
 import pytest
 
 from repro.common.errors import WebError
-from repro.common.units import MiB, Mbps
+from repro.common.units import Mbps, MiB
 from repro.hardware import Cluster
 from repro.hdfs import Hdfs
 from repro.video import R_720P, VideoFile

@@ -3,7 +3,7 @@ import pytest
 from repro.common.errors import WebError
 from repro.web import Response, render_page
 
-from tests.web.test_portal import make_portal, register_and_login, publish_video
+from tests.web.test_portal import make_portal, publish_video, register_and_login
 
 
 def run(cluster, gen):
