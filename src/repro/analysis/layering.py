@@ -6,6 +6,7 @@ the stack of the paper, bottom-up::
 
     common                          pure utilities, errors, rng, units
     sim, obs                        event kernel; metrics + tracing
+    resilience                      deadlines, breakers, rate limits, admission
     hardware                        hosts, disks, network, cluster
     virt                            hypervisor, images, dirty-page model
     drivers                         ONE's im/tm/vmm driver shims
@@ -33,35 +34,40 @@ ALLOWED_IMPORTS: dict[str, frozenset[str]] = {
     "sim": frozenset({"common"}),
     "obs": frozenset({"common"}),
     "analysis": frozenset({"common"}),
+    "resilience": frozenset({"common", "sim", "obs"}),
     "hardware": frozenset({"common", "sim", "obs"}),
     "virt": frozenset({"common", "sim", "obs", "hardware"}),
     "drivers": frozenset({"common", "sim", "obs", "hardware", "virt"}),
-    "hdfs": frozenset({"common", "sim", "obs", "hardware"}),
+    "hdfs": frozenset({"common", "sim", "obs", "resilience", "hardware"}),
     "one": frozenset({
-        "common", "sim", "obs", "hardware", "virt", "drivers", "hdfs",
+        "common", "sim", "obs", "resilience", "hardware", "virt", "drivers",
+        "hdfs",
     }),
-    "mapreduce": frozenset({"common", "sim", "obs", "hardware", "hdfs"}),
+    "mapreduce": frozenset({
+        "common", "sim", "obs", "resilience", "hardware", "hdfs",
+    }),
     "fusehdfs": frozenset({"common", "sim", "obs", "hardware", "hdfs"}),
     "video": frozenset({"common", "sim", "obs", "hardware", "hdfs"}),
     "search": frozenset({
         "common", "sim", "obs", "hardware", "hdfs", "mapreduce",
     }),
     "web": frozenset({
-        "common", "sim", "obs", "hardware", "virt", "hdfs",
+        "common", "sim", "obs", "resilience", "hardware", "virt", "hdfs",
         "fusehdfs", "video", "search",
     }),
     "chaos": frozenset({
-        "common", "sim", "obs", "hardware", "virt", "drivers",
+        "common", "sim", "obs", "resilience", "hardware", "virt", "drivers",
         "hdfs", "one", "mapreduce", "web",
     }),
     "stack": frozenset({
-        "common", "sim", "obs", "hardware", "virt", "drivers", "hdfs",
-        "one", "mapreduce", "fusehdfs", "video", "search", "web", "chaos",
+        "common", "sim", "obs", "resilience", "hardware", "virt", "drivers",
+        "hdfs", "one", "mapreduce", "fusehdfs", "video", "search", "web",
+        "chaos",
     }),
     "bench": frozenset({
-        "common", "sim", "obs", "hardware", "virt", "drivers", "hdfs",
-        "one", "mapreduce", "fusehdfs", "video", "search", "web", "chaos",
-        "stack",
+        "common", "sim", "obs", "resilience", "hardware", "virt", "drivers",
+        "hdfs", "one", "mapreduce", "fusehdfs", "video", "search", "web",
+        "chaos", "stack",
     }),
 }
 

@@ -3,13 +3,14 @@ recovery observation (the robustness counterpart of the paper's
 fault-tolerance claims)."""
 
 from .monkey import ChaosMonkey
-from .report import ChaosReport, FaultRecord, RecoveryRecord
+from .report import ChaosReport, FaultRecord, RecoveryRecord, StormStats
 from .scenarios import (
     DiskSlowdown,
     HostCrash,
     LinkCut,
     LinkDegradation,
     NetworkPartition,
+    OverloadStorm,
     Scenario,
     VmKill,
 )
@@ -23,7 +24,9 @@ __all__ = [
     "LinkCut",
     "LinkDegradation",
     "NetworkPartition",
+    "OverloadStorm",
     "RecoveryRecord",
     "Scenario",
+    "StormStats",
     "VmKill",
 ]

@@ -15,11 +15,11 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Any, Callable, Generator, Iterable, Sequence
 
-from ..common.errors import ConfigError
+from ..common.errors import ConfigError, ReproError
 from ..common.rng import RngStream
 from ..hardware import Cluster
 from ..one.lifecycle import OneState
-from .report import ChaosReport
+from .report import ChaosReport, StormStats
 
 if TYPE_CHECKING:  # pragma: no cover - annotations only
     from ..hdfs import Hdfs
@@ -135,6 +135,105 @@ class ChaosMonkey:
         self.log.emit("chaos", "chaos_vm_kill", f"killing VM {vm_name}", vm=vm_name)
         self.cloud.kill_vm(vm, resubmit=True, reason="chaos vm kill")
         self.watch_vm(vm, since=t0)
+
+    # -- overload storms ---------------------------------------------------------
+
+    def overload_storm(
+        self,
+        *,
+        duration: float,
+        rate: float,
+        mix: dict[str, float] | None = None,
+        request_factories: dict[str, Callable[[], Generator]] | None = None,
+        name: str = "storm",
+    ) -> Process:
+        """Drive seeded mixed-class portal traffic at *rate* req/s.
+
+        Saturation *is* a fault: the storm offers open-loop Poisson traffic
+        (arrivals do not wait for responses, like real clients) classed by
+        *mix* weights, fires each request through *request_factories*, and
+        accounts every outcome in a :class:`~repro.chaos.report.StormStats`
+        (completed / rejected-by-overload-control / failed).  The process
+        returns the stats once the last in-flight request finishes.
+
+        Default factories hit ``GET /`` (playback class) and
+        ``GET /search``; pass your own to add upload or transcode work.
+        All draws come from a child stream labelled by *name*, so repeated
+        storms are bit-reproducible from the cluster seed.
+        """
+        if self.portal is None:
+            raise ConfigError("overload_storm needs a portal")
+        if duration <= 0 or rate <= 0:
+            raise ConfigError("overload_storm needs duration > 0 and rate > 0")
+        portal = self.portal
+        factories = request_factories or {
+            "playback": lambda: portal.request("GET", "/"),
+            "search": lambda: portal.request(
+                "GET", "/search", params={"q": "video"}),
+        }
+        weights = dict(mix) if mix is not None else {k: 1.0 for k in factories}
+        unknown = sorted(set(weights) - set(factories))
+        if unknown:
+            raise ConfigError(f"storm mix classes without factories: {unknown}")
+        total = sum(weights.values())
+        if total <= 0 or any(w < 0 for w in weights.values()):
+            raise ConfigError("storm mix weights must be >= 0 and sum > 0")
+        kinds = sorted(weights)
+        rng = self.rng.child(f"storm-{name}")
+        stats = StormStats()
+
+        def _pick() -> str:
+            draw = rng.uniform(0.0, total)
+            acc = 0.0
+            for kind in kinds:
+                acc += weights[kind]
+                if draw < acc:
+                    return kind
+            return kinds[-1]
+
+        def _one(kind: str) -> Generator:
+            t0 = self.engine.now
+            try:
+                response = yield self.engine.process(factories[kind]())
+            except ReproError:
+                # refusals come back as 429/503/504 Responses; anything that
+                # *raises* is a real failure, not graceful degradation
+                stats.record(kind, 0, self.engine.now - t0)
+                return None
+            stats.record(kind, response.status, self.engine.now - t0)
+            return None
+
+        def _drive() -> Generator:
+            self.report.record_fault(
+                self.engine.now, "overload_storm", name,
+                f"rate={rate}, duration={duration}")
+            self.log.emit("chaos", "chaos_storm_start",
+                          f"storm {name}: {rate:.0f} req/s for {duration:.0f} s",
+                          storm=name, rate=rate, duration=duration)
+            end = self.engine.now + duration
+            in_flight = []
+            while True:
+                gap = rng.exponential(1.0 / rate)
+                if self.engine.now + gap >= end:
+                    break
+                yield self.engine.timeout(gap)
+                kind = _pick()
+                in_flight.append(self.engine.process(
+                    _one(kind), name=f"storm-req-{kind}"))
+            if self.engine.now < end:
+                yield self.engine.timeout(end - self.engine.now)
+            if in_flight:
+                yield self.engine.all_of(in_flight)
+            stats.duration = duration
+            self.report.record_storm(stats)
+            self.log.emit("chaos", "chaos_storm_end",
+                          f"storm {name}: {sum(stats.offered.values())} offered, "
+                          f"{sum(stats.completed.values())} completed, "
+                          f"{sum(stats.rejected.values())} rejected",
+                          storm=name)
+            return stats
+
+        return self.engine.process(_drive(), name=f"chaos-storm-{name}")
 
     # -- scenario execution ----------------------------------------------------------
 

@@ -41,11 +41,79 @@ class RecoveryRecord:
 
 
 @dataclass
+class StormStats:
+    """Outcome accounting for one overload storm, per traffic class.
+
+    Every offered request lands in exactly one bucket: *completed* (2xx),
+    *rejected* (the overload regime refused it: 429 rate-limited, 503
+    shed, 504 deadline), or *failed* (anything else).  ``goodput`` is
+    completed work per second -- the number the admission controller is
+    supposed to protect for high-priority classes.
+    """
+
+    duration: float = 0.0
+    offered: dict[str, int] = field(default_factory=dict)
+    completed: dict[str, int] = field(default_factory=dict)
+    rejected: dict[str, int] = field(default_factory=dict)
+    failed: dict[str, int] = field(default_factory=dict)
+    latency_sum: dict[str, float] = field(default_factory=dict)
+
+    def _bump(self, bucket: dict[str, int], kind: str) -> None:
+        bucket[kind] = bucket.get(kind, 0) + 1
+
+    def record(self, kind: str, status: int, latency: float) -> None:
+        """File one finished request under its outcome bucket."""
+        self._bump(self.offered, kind)
+        if 200 <= status < 300:
+            self._bump(self.completed, kind)
+            self.latency_sum[kind] = self.latency_sum.get(kind, 0.0) + latency
+        elif status in (429, 503, 504):
+            self._bump(self.rejected, kind)
+        else:
+            self._bump(self.failed, kind)
+
+    def goodput(self, kind: str) -> float:
+        """Completed requests of *kind* per second over the storm."""
+        if self.duration <= 0:
+            return 0.0
+        return self.completed.get(kind, 0) / self.duration
+
+    def mean_latency(self, kind: str) -> float | None:
+        done = self.completed.get(kind, 0)
+        if not done:
+            return None
+        return self.latency_sum.get(kind, 0.0) / done
+
+    def summary(self) -> str:
+        rows: list[list[Any]] = []
+        for kind in sorted(self.offered):
+            lat = self.mean_latency(kind)
+            rows.append([
+                kind, self.offered[kind],
+                self.completed.get(kind, 0),
+                self.rejected.get(kind, 0),
+                self.failed.get(kind, 0),
+                f"{self.goodput(kind):.2f}",
+                f"{lat:.3f}" if lat is not None else "-",
+            ])
+        return format_table(
+            ["CLASS", "OFFERED", "DONE", "REJECTED", "FAILED",
+             "GOODPUT/S", "MEAN LAT"],
+            rows, title=f"overload storm ({self.duration:.0f} s)",
+        )
+
+
+@dataclass
 class ChaosReport:
     """Accumulates faults and recoveries over one chaos run."""
 
     faults: list[FaultRecord] = field(default_factory=list)
     recoveries: list[RecoveryRecord] = field(default_factory=list)
+    storms: list[StormStats] = field(default_factory=list)
+
+    def record_storm(self, stats: StormStats) -> StormStats:
+        self.storms.append(stats)
+        return stats
 
     def record_fault(self, time: float, kind: str, target: str,
                      detail: str = "") -> FaultRecord:

@@ -163,5 +163,38 @@ class DiskSlowdown:
             monkey.restore_disk(self.host)
 
 
+@dataclass(frozen=True)
+class OverloadStorm:
+    """Saturate the portal with *rate* req/s of mixed traffic at *at*.
+
+    Saturation is modelled as a first-class fault: the monkey's
+    ``overload_storm`` primitive drives open-loop seeded traffic and the
+    run's :class:`~repro.chaos.report.StormStats` lands in the report.
+    *mix* is optional ``((class, weight), ...)`` pairs; classes must have
+    request factories (the monkey's defaults cover playback and search).
+    """
+
+    at: float
+    duration: float
+    rate: float
+    mix: tuple[tuple[str, float], ...] | None = None
+    name: str = "storm"
+
+    kind = "overload_storm"
+
+    def __post_init__(self) -> None:
+        _check_at(self.at)
+        if self.duration <= 0 or self.rate <= 0:
+            raise ConfigError("overload storm needs duration > 0 and rate > 0")
+
+    def run(self, monkey: "ChaosMonkey") -> Generator:
+        yield monkey.engine.timeout(self.at)
+        stats = yield monkey.overload_storm(
+            duration=self.duration, rate=self.rate,
+            mix=dict(self.mix) if self.mix is not None else None,
+            name=self.name)
+        return stats
+
+
 Scenario = (HostCrash | VmKill | LinkCut | NetworkPartition
-            | LinkDegradation | DiskSlowdown)
+            | LinkDegradation | DiskSlowdown | OverloadStorm)

@@ -44,6 +44,34 @@ class FaultInjectionError(ReproError):
     """An injected fault (chaos engineering) made the operation fail."""
 
 
+class DeadlineExceeded(ReproError):
+    """A request/operation outlived its time budget (:mod:`repro.resilience`)."""
+
+
+class OverloadError(ReproError):
+    """Base for saturation-regime refusals: work shed instead of queued."""
+
+
+class CircuitOpenError(OverloadError):
+    """A circuit breaker is open: the downstream dependency is ejected."""
+
+
+class AdmissionShedError(OverloadError):
+    """An admission controller shed this work (queue full, cheaper class)."""
+
+
+class RateLimitError(OverloadError):
+    """A token bucket refused the request; carries the advertised wait.
+
+    *retry_after* is the simulated seconds until the bucket can serve a
+    request of the same cost again.
+    """
+
+    def __init__(self, message: str = "", *, retry_after: float = 0.0) -> None:
+        super().__init__(message or "rate limited")
+        self.retry_after = retry_after
+
+
 class PartitionError(ReproError):
     """A transfer crossed a cut or partitioned network link."""
 
@@ -100,7 +128,9 @@ class HttpError(WebError):
     """Carries an HTTP status code (plus response headers) for the web model.
 
     *headers* are copied verbatim onto the error response; *retry_after*
-    is a convenience that becomes a ``Retry-After`` header.
+    becomes a ``Retry-After`` header when the error is rendered into a
+    response (the single formatting code path lives in
+    ``repro.web.server.Response.json_error``).
     """
 
     def __init__(self, status: int, message: str = "",
@@ -110,8 +140,6 @@ class HttpError(WebError):
         self.status = status
         self.retry_after = retry_after
         self.headers: dict[str, str] = dict(headers or {})
-        if retry_after is not None:
-            self.headers.setdefault("Retry-After", str(int(retry_after)))
 
 
 class AuthError(WebError):

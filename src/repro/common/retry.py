@@ -6,6 +6,17 @@ discipline: attempt, back off exponentially from ``base_delay`` up to
 ``max_delay``, give up after ``max_attempts``.  Delays burn *simulated*
 time, so retried flows contend realistically with everything else on the
 engine, and the whole schedule stays deterministic.
+
+The discipline is budget-aware.  With an ``rng`` the backoff uses *full
+jitter* (``uniform(0, capped_delay)`` from a seeded
+:class:`~repro.common.rng.RngStream` -- DET02-clean) so synchronized
+failures do not retry in lockstep.  With a ``deadline`` the loop never
+sleeps past the caller's budget and never starts an attempt after it
+expires -- retries stop when the work is no longer wanted, which is what
+keeps a brief brown-out from snowballing into a retry storm.  With a
+``breaker`` every attempt is gated through a
+:class:`~repro.resilience.CircuitBreaker` and outcomes are reported back
+to it.
 """
 
 from __future__ import annotations
@@ -13,10 +24,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable, Generator
 
-from .errors import ConfigError, ReproError
+from .errors import ConfigError, DeadlineExceeded, OverloadError, ReproError
 
 if TYPE_CHECKING:  # pragma: no cover - annotations only
+    from ..resilience import CircuitBreaker, Deadline
     from ..sim import Engine
+    from .rng import RngStream
 
 
 @dataclass(frozen=True)
@@ -36,15 +49,27 @@ class RetryPolicy:
         if self.multiplier < 1.0:
             raise ConfigError("multiplier must be >= 1.0")
 
-    def delay(self, retry_index: int) -> float:
-        """Backoff before retry number *retry_index* (0-based), capped."""
+    def delay(self, retry_index: int, rng: "RngStream | None" = None) -> float:
+        """Backoff before retry number *retry_index* (0-based), capped.
+
+        With *rng*, applies full jitter: a seeded uniform draw over
+        ``[0, capped_delay]``.
+        """
         if retry_index < 0:
             raise ConfigError(f"negative retry index {retry_index}")
-        return min(self.base_delay * self.multiplier ** retry_index, self.max_delay)
+        capped = min(self.base_delay * self.multiplier ** retry_index,
+                     self.max_delay)
+        if rng is not None:
+            return rng.uniform(0.0, capped)
+        return capped
 
 
 #: retries only fire on simulated failures, never programming errors
 DEFAULT_RETRY_ON: tuple[type[BaseException], ...] = (ReproError,)
+
+#: never retried even when matched by *retry_on*: these mean "stop",
+#: not "try again" -- retrying them is exactly the retry-storm anti-pattern
+NEVER_RETRY: tuple[type[BaseException], ...] = (DeadlineExceeded, OverloadError)
 
 
 def retry_process(
@@ -54,6 +79,9 @@ def retry_process(
     policy: RetryPolicy | None = None,
     retry_on: tuple[type[BaseException], ...] = DEFAULT_RETRY_ON,
     on_retry: Callable[[int, BaseException], None] | None = None,
+    rng: "RngStream | None" = None,
+    deadline: "Deadline | None" = None,
+    breaker: "CircuitBreaker | None" = None,
 ) -> Generator:
     """Process: run ``make_attempt(k)`` until one attempt succeeds.
 
@@ -63,23 +91,43 @@ def retry_process(
     failure once attempts are exhausted) propagates to the caller.
     *on_retry(next_attempt, exc)* is invoked before each backoff -- use it
     to log or to rotate to a different target host.
+
+    *rng* enables full-jitter backoff; *deadline* caps cumulative sleep at
+    the caller's budget (the last error is re-raised rather than sleeping
+    into an expired deadline); *breaker* gates every attempt and hears
+    about its outcome.  :class:`DeadlineExceeded` and
+    :class:`OverloadError` raised *inside* an attempt always propagate --
+    budget and shedding signals must never be retried against.
     """
     pol = policy or RetryPolicy()
 
     def _run():
         attempt = 0
         while True:
+            if deadline is not None:
+                deadline.check(f"retry attempt {attempt}")
+            if breaker is not None:
+                breaker.check(f"retry attempt {attempt}")
             try:
                 result = yield engine.process(make_attempt(attempt))
-                return result
+            except NEVER_RETRY:
+                raise
             except retry_on as exc:
+                if breaker is not None:
+                    breaker.record_failure()
                 attempt += 1
                 if attempt >= pol.max_attempts:
                     raise
+                delay = pol.delay(attempt - 1, rng)
+                if deadline is not None and delay >= deadline.remaining():
+                    raise  # no budget left to back off and try again
                 if on_retry is not None:
                     on_retry(attempt, exc)
-                delay = pol.delay(attempt - 1)
                 if delay > 0:
                     yield engine.timeout(delay)
+            else:
+                if breaker is not None:
+                    breaker.record_success()
+                return result
 
     return _run()

@@ -15,6 +15,7 @@ from .block import split_into_blocks
 from .namenode import INode
 
 if TYPE_CHECKING:  # pragma: no cover
+    from ..resilience import Deadline
     from .fs import Hdfs
 
 #: fixed cost of one client<->NameNode metadata RPC, seconds
@@ -22,7 +23,14 @@ RPC_COST = 0.002
 
 
 class HdfsClient:
-    """Filesystem operations from the point of view of one host."""
+    """Filesystem operations from the point of view of one host.
+
+    Reads and writes are overload-aware: every outcome is reported into the
+    per-DataNode circuit breakers on the :class:`~repro.hdfs.fs.Hdfs`
+    instance, replica selection skips nodes whose breaker is open, and an
+    optional :class:`~repro.resilience.Deadline` stops multi-block
+    operations once the caller's budget is spent.
+    """
 
     def __init__(self, fs: "Hdfs", host_name: str) -> None:
         self.fs = fs
@@ -30,15 +38,19 @@ class HdfsClient:
 
     # -- writes ---------------------------------------------------------------
 
-    def write_file(self, path: str, data: bytes, replication: int | None = None) -> Generator:
+    def write_file(self, path: str, data: bytes, replication: int | None = None,
+                   *, deadline: "Deadline | None" = None) -> Generator:
         """Process: create *path* with real content *data*."""
-        return self._write(path, data, len(data), replication)
+        return self._write(path, data, len(data), replication, deadline)
 
-    def write_synthetic(self, path: str, length: int, replication: int | None = None) -> Generator:
+    def write_synthetic(self, path: str, length: int, replication: int | None = None,
+                        *, deadline: "Deadline | None" = None) -> Generator:
         """Process: create *path* as *length* synthetic bytes (timing only)."""
-        return self._write(path, None, length, replication)
+        return self._write(path, None, length, replication, deadline)
 
-    def _write(self, path: str, data: bytes | None, length: int, replication: int | None) -> Generator:
+    def _write(self, path: str, data: bytes | None, length: int,
+               replication: int | None,
+               deadline: "Deadline | None" = None) -> Generator:
         fs = self.fs
         nn = fs.namenode
         engine = fs.engine
@@ -58,6 +70,8 @@ class HdfsClient:
             nn.create_file(path, repl)
             blocks = split_into_blocks(nn.next_block_id, data, length, fs.block_size)
             for block in blocks:
+                if deadline is not None:
+                    deadline.check(f"writing {path}")
                 yield engine.timeout(RPC_COST)
                 targets = nn.add_block(path, block, self.host_name)
                 # Client streams to the first DataNode; it forwards down the
@@ -78,6 +92,9 @@ class HdfsClient:
                             and t not in nn.dead_datanodes
                             and fs.cluster.network.reachable(self.host_name, t)
                         ]
+                        for lost in targets:
+                            if lost not in survivors:
+                                fs.breaker(lost).record_failure()
                         if not survivors or survivors == targets:
                             raise
                         fs.cluster.log.emit(
@@ -90,6 +107,7 @@ class HdfsClient:
                         m_recover.inc()
                         targets = survivors
                         continue
+                    fs.breaker(first).record_success()
                     break
                 if len(targets) < repl:
                     # short pipeline: let the replication monitor top it up
@@ -104,7 +122,20 @@ class HdfsClient:
 
     # -- reads ------------------------------------------------------------------
 
-    def read_file(self, path: str) -> Generator:
+    def _pick_replica(self, locs: set[str]) -> str:
+        """Replica choice: local first, then name order -- but replicas whose
+        circuit breaker refuses traffic are passed over.  When *every*
+        replica is ejected the plain preference order applies anyway (a
+        forced probe beats certain failure)."""
+        ordered = ([self.host_name] if self.host_name in locs else []) + \
+            [n for n in sorted(locs) if n != self.host_name]
+        for name in ordered:
+            if self.fs.breaker(name).allow():
+                return name
+        return ordered[0]
+
+    def read_file(self, path: str, *,
+                  deadline: "Deadline | None" = None) -> Generator:
         """Process: read all blocks; returns bytes (real) or total length (synthetic)."""
         fs = self.fs
         nn = fs.namenode
@@ -122,6 +153,8 @@ class HdfsClient:
             chunks: list[bytes] = []
             synthetic = False
             for block in inode.blocks:
+                if deadline is not None:
+                    deadline.check(f"reading {path}")
                 # try replicas in preference order; a checksum failure on
                 # one replica (reported to the NameNode by the DataNode)
                 # falls through to the next -- real DFSClient behaviour
@@ -132,15 +165,16 @@ class HdfsClient:
                     if not locs:
                         raise last_error or HdfsError(
                             f"{path}: {block.block_id} has no live replica")
-                    src = (self.host_name if self.host_name in locs
-                           else sorted(locs)[0])
+                    src = self._pick_replica(locs)
                     try:
                         got = yield engine.process(
                             fs.datanode(src).serve_block(
                                 block.block_id, self.host_name)
                         )
+                        fs.breaker(src).record_success()
                     except HdfsError as exc:
                         last_error = exc
+                        fs.breaker(src).record_failure()
                         # corrupt replicas are dropped from the block map by
                         # report_corrupt; a dead node needs manual exclusion
                         if src in nn.locations(block.block_id):

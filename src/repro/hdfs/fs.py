@@ -8,6 +8,7 @@ from __future__ import annotations
 
 from ..common.errors import ConfigError
 from ..hardware import Cluster
+from ..resilience import CircuitBreaker
 from .client import HdfsClient
 from .datanode import DataNode
 from .namenode import NameNode
@@ -53,6 +54,10 @@ class Hdfs:
             )
 
         self.namenode = NameNode(self, PlacementPolicy(cluster.rng.child("hdfs")))
+        #: per-DataNode circuit breakers: clients eject a node that keeps
+        #: failing reads/writes instead of queueing on it (lazy, see breaker())
+        self._breakers: dict[str, CircuitBreaker] = {}
+        self._breaker_rng = cluster.rng.child("hdfs-breakers")
         self.datanodes: dict[str, DataNode] = {}
         for name in dn_hosts:
             dn = DataNode(cluster.host(name), self.namenode)
@@ -74,6 +79,26 @@ class Hdfs:
     def client(self, host_name: str | None = None) -> HdfsClient:
         """A client running on *host_name* (default: the NameNode host)."""
         return HdfsClient(self, host_name or self.namenode_host)
+
+    def breaker(self, datanode_name: str) -> CircuitBreaker:
+        """The shared circuit breaker guarding one DataNode.
+
+        All clients report outcomes into (and consult) the same breaker, so
+        one client's failures spare every other client the timeout.  Probe
+        scheduling is jittered from the cluster seed.
+        """
+        self.datanode(datanode_name)  # validate
+        found = self._breakers.get(datanode_name)
+        if found is None:
+            cal = self.cluster.cal.hadoop
+            found = CircuitBreaker(
+                f"datanode:{datanode_name}", lambda: self.engine.now,
+                failure_threshold=3,
+                recovery_timeout=cal.heartbeat_interval * 2,
+                rng=self._breaker_rng,
+                metrics=self.cluster.metrics)
+            self._breakers[datanode_name] = found
+        return found
 
     # -- background services -----------------------------------------------------------
 

@@ -20,9 +20,9 @@ strictly in submission order.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Generator
+from typing import Any, Callable, Generator
 
-from ..common.errors import MapReduceError, TaskFailedError
+from ..common.errors import AdmissionShedError, MapReduceError, TaskFailedError
 from ..common.rng import RngStream
 from ..hdfs import Hdfs
 from ..sim import Event
@@ -73,6 +73,18 @@ class JobTracker:
                         slowdown=slowdowns.get(h, 1.0))
             for h in hosts
         ]
+        #: overload signal (installed by a bounded JobQueue): when it says
+        #: True, speculative duplicates -- the cheapest work on offer -- are
+        #: suppressed so the slots drain real backlog instead
+        self._pressure: Callable[[], bool] | None = None
+        self.speculation_suppressed = 0
+        self._m_spec_suppressed = fs.cluster.metrics.counter(
+            "mapred_speculation_suppressed_total",
+            "speculative attempts skipped under job-queue pressure")
+
+    def set_pressure_signal(self, signal: Callable[[], bool]) -> None:
+        """Install an overload signal consulted before speculating."""
+        self._pressure = signal
 
     def submit(self, job: MapReduceJob) -> Generator:
         """Process: run *job* to completion; returns a JobResult.
@@ -236,40 +248,70 @@ class JobTracker:
         ]
         if not candidates:
             return None
+        if self._pressure is not None and self._pressure():
+            self.speculation_suppressed += 1
+            self._m_spec_suppressed.inc()
+            return None
         _, sid = min(candidates)
         by_id = {s.split_id: s for s in splits}
         return by_id[sid]
 
 
 class JobQueue:
-    """Hadoop's default FIFO scheduler: one job at a time, in order."""
+    """Hadoop's default FIFO scheduler: one job at a time, in order.
 
-    def __init__(self, jobtracker: JobTracker) -> None:
+    With *max_queued_jobs* the queue is bounded: a submission that would
+    exceed the bound is refused immediately (the returned event fails with
+    :class:`~repro.common.errors.AdmissionShedError`) instead of growing an
+    unbounded backlog, and the JobTracker suppresses speculative duplicates
+    while real jobs are waiting.
+    """
+
+    def __init__(self, jobtracker: JobTracker, *,
+                 max_queued_jobs: int | None = None) -> None:
+        if max_queued_jobs is not None and max_queued_jobs < 1:
+            raise MapReduceError("max_queued_jobs must be >= 1")
         self.jobtracker = jobtracker
+        self.max_queued_jobs = max_queued_jobs
+        self.shed_jobs = 0
+        #: jobs waiting behind the one currently running (never contains it)
         self._queue: list[tuple[MapReduceJob, Any]] = []
-        self._draining = False
+        self._current: tuple[MapReduceJob, Any] | None = None
+        self._m_shed = jobtracker.fs.cluster.metrics.counter(
+            "mapred_jobs_shed_total",
+            "jobs refused because the FIFO queue was full")
+        if max_queued_jobs is not None:
+            jobtracker.set_pressure_signal(lambda: bool(self._queue))
 
     def submit(self, job: MapReduceJob) -> Event:
         """Enqueue *job*; returns an event that fires with its JobResult."""
         engine = self.jobtracker.engine
         done = engine.event()
+        if (self.max_queued_jobs is not None and self._current is not None
+                and len(self._queue) >= self.max_queued_jobs):
+            self.shed_jobs += 1
+            self._m_shed.inc()
+            done.fail(AdmissionShedError(
+                f"job {job.name} shed: queue full "
+                f"({self.max_queued_jobs} waiting)"))
+            return done
         self._queue.append((job, done))
-        if not self._draining:
-            self._draining = True
+        if self._current is None:
+            self._current = self._queue.pop(0)
             engine.process(self._drain(), name="jobqueue-drain")
         return done
 
     def _drain(self) -> Generator:
         engine = self.jobtracker.engine
-        while self._queue:
-            job, done = self._queue.pop(0)
+        while self._current is not None:
+            job, done = self._current
             try:
                 result = yield engine.process(self.jobtracker.submit(job))
             except Exception as exc:  # noqa: BLE001 - any job failure
                 done.fail(exc)
-                continue
-            done.succeed(result)
-        self._draining = False
+            else:
+                done.succeed(result)
+            self._current = self._queue.pop(0) if self._queue else None
 
 
 def _take_best(pending: list[InputSplit], tracker_host: str) -> InputSplit | None:

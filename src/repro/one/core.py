@@ -74,6 +74,7 @@ class OpenNebula:
         hypervisor: str = "kvm",
         tm_strategy: str = "ssh",
         placement_policy: str = "striping",
+        placement_headroom: float = 0.0,
         sched_interval: float = 5.0,
     ) -> None:
         self.cluster = cluster
@@ -87,7 +88,8 @@ class OpenNebula:
         self.trace = CallTrace(self.engine)
         self.image_store = ImageStore(cluster, front)
         self.tm = TransferDriver(self.image_store, self.trace, strategy=tm_strategy)
-        self.capacity = CapacityManager(placement_policy)
+        self.capacity = CapacityManager(placement_policy,
+                                        headroom=placement_headroom)
         self.sched_interval = sched_interval
 
         self.users = UserPool()

@@ -46,16 +46,27 @@ def host_facts(record: "HostRecord") -> dict[str, Any]:
 
 
 class CapacityManager:
-    """Filter + rank placement."""
+    """Filter + rank placement.
+
+    *headroom* is the overload-control knob: a fraction of each host's
+    total memory kept free even when a placement would otherwise fit.
+    Rejecting the marginal VM while the pool still has slack is what keeps
+    a saturated cloud from oversubscribing its way into thrashing.
+    """
 
     POLICIES = ("packing", "striping", "load_aware")
 
-    def __init__(self, policy: str = "striping") -> None:
+    def __init__(self, policy: str = "striping", *,
+                 headroom: float = 0.0) -> None:
         if policy not in self.POLICIES:
             raise ConfigError(
                 f"unknown placement policy {policy!r}; choose from {self.POLICIES}"
             )
+        if not 0.0 <= headroom < 1.0:
+            raise ConfigError(
+                f"placement headroom must be in [0, 1), got {headroom}")
         self.policy = policy
+        self.headroom = headroom
 
     # -- ranking -------------------------------------------------------------
 
@@ -78,6 +89,10 @@ class CapacityManager:
             if not facts["alive"]:
                 continue
             if facts["mem_free"] < tpl.memory:
+                continue
+            if (self.headroom > 0.0
+                    and facts["mem_free"] - tpl.memory
+                    < self.headroom * facts["mem_total"]):
                 continue
             if any(not req(facts) for req in tpl.requirements):
                 continue

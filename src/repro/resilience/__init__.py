@@ -1,0 +1,32 @@
+"""Overload control primitives shared by every layer.
+
+The retry-storm / metastable-failure literature says saturation, not
+failure, is what kills distributed systems: unbounded queues plus naive
+retries turn a brief hot spot into a sustained outage.  This package
+makes saturation a first-class, graceful, observable regime:
+
+* :class:`Deadline` -- a time budget minted at the edge and threaded
+  through the call chain, so work stops when it is no longer wanted;
+* :class:`CircuitBreaker` -- per-dependency ejection with seeded probe
+  scheduling (closed / open / half-open);
+* :class:`TokenBucket` -- non-blocking rate limiting with an honest
+  ``Retry-After``;
+* :class:`AdmissionController` -- bounded priority queues with
+  cheapest-first shedding (``playback > search > upload > transcode``).
+
+Everything reports through :mod:`repro.obs` and burns only simulated
+time, so overload runs are bit-reproducible from the cluster seed.
+"""
+
+from .admission import DEFAULT_PRIORITIES, AdmissionController
+from .breaker import CircuitBreaker
+from .deadline import Deadline
+from .ratelimit import TokenBucket
+
+__all__ = [
+    "AdmissionController",
+    "CircuitBreaker",
+    "DEFAULT_PRIORITIES",
+    "Deadline",
+    "TokenBucket",
+]

@@ -1,0 +1,173 @@
+"""Admission control: bounded priority queues with cheapest-first shedding.
+
+The controller fronts a service with ``capacity`` concurrent slots and a
+*bounded* wait queue.  Work is classed by priority -- the portal's order
+is ``playback > search > upload > transcode`` -- and when the queue is
+full, the **cheapest** (lowest-priority) queued work is shed to make room
+for more valuable arrivals.  Shedding is a synchronous refusal
+(:class:`~repro.common.errors.AdmissionShedError` delivered through the
+waiter's event), so under saturation the system degrades into a bounded,
+observable regime instead of growing an unbounded backlog.
+
+Usage from a process::
+
+    ticket = admission.enter("search")
+    try:
+        yield ticket                  # admitted (maybe after queueing)
+    except AdmissionShedError:
+        ...return 429...
+    try:
+        ...do the work...
+    finally:
+        admission.leave("search")
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING
+
+from ..common.errors import AdmissionShedError, ConfigError
+
+if TYPE_CHECKING:  # pragma: no cover - annotations only
+    from ..obs import MetricsRegistry
+    from ..sim import Engine, Event
+
+#: the portal's priority order, most important first
+DEFAULT_PRIORITIES: tuple[str, ...] = ("playback", "search", "upload",
+                                       "transcode")
+
+
+class AdmissionController:
+    """Bounded concurrency + bounded priority wait queue + shedding."""
+
+    def __init__(
+        self,
+        engine: "Engine",
+        *,
+        capacity: int,
+        queue_capacity: int,
+        priorities: tuple[str, ...] = DEFAULT_PRIORITIES,
+        name: str = "admission",
+        metrics: "MetricsRegistry | None" = None,
+    ) -> None:
+        if capacity < 1:
+            raise ConfigError("admission capacity must be >= 1")
+        if queue_capacity < 0:
+            raise ConfigError("queue capacity must be >= 0")
+        if not priorities:
+            raise ConfigError("need at least one priority class")
+        self.engine = engine
+        self.name = name
+        self.capacity = capacity
+        self.queue_capacity = queue_capacity
+        self.priorities = tuple(priorities)
+        self._rank = {kind: i for i, kind in enumerate(self.priorities)}
+        self.active = 0
+        self._queues: dict[str, deque[Event]] = {
+            kind: deque() for kind in self.priorities}
+        self.shed_counts: dict[str, int] = {k: 0 for k in self.priorities}
+
+        self._m_admitted = self._m_shed = self._m_active = self._m_queued = None
+        if metrics is not None:
+            self._m_admitted = metrics.counter(
+                "admission_admitted_total", "work admitted past the controller",
+                labels=("kind",))
+            self._m_shed = metrics.counter(
+                "admission_shed_total",
+                "work shed by the admission controller", labels=("kind",))
+            self._m_active = metrics.gauge(
+                "admission_active", "work currently holding a slot")
+            self._m_queued = metrics.gauge(
+                "admission_queued", "work waiting for a slot", labels=("kind",))
+
+    # -- introspection -------------------------------------------------------
+
+    def rank(self, kind: str) -> int:
+        """Priority rank of *kind* (0 = most important)."""
+        try:
+            return self._rank[kind]
+        except KeyError:
+            raise ConfigError(
+                f"unknown admission class {kind!r}; "
+                f"choose from {self.priorities}") from None
+
+    @property
+    def queued(self) -> int:
+        return sum(len(q) for q in self._queues.values())
+
+    # -- the front door ------------------------------------------------------
+
+    def enter(self, kind: str) -> "Event":
+        """A ticket event: succeeds when a slot is granted, fails with
+        :class:`AdmissionShedError` when this work (or no queue space)
+        is shed.  Yield it before doing the work; pair with :meth:`leave`."""
+        self.rank(kind)  # validate
+        ticket = self.engine.event()
+        if self.active < self.capacity:
+            self._grant(kind, ticket)
+            return ticket
+        if self.queued < self.queue_capacity:
+            self._queues[kind].append(ticket)
+            self._sync_gauges()
+            return ticket
+        victim_kind = self._cheapest_queued_below(self.rank(kind))
+        if victim_kind is None:
+            # incoming is itself the cheapest work on offer: shed it
+            self._shed(kind, ticket)
+            return ticket
+        # shed the newest arrival of the cheapest queued class, take its spot
+        self._shed(victim_kind, self._queues[victim_kind].pop())
+        self._queues[kind].append(ticket)
+        self._sync_gauges()
+        return ticket
+
+    def leave(self, kind: str) -> None:
+        """Release a slot granted by :meth:`enter`; promotes queued work."""
+        self.rank(kind)  # validate
+        if self.active <= 0:
+            raise ConfigError(f"{self.name}: leave() without a matching enter()")
+        self.active -= 1
+        if self._m_active is not None:
+            self._m_active.set(self.active)
+        for queued_kind in self.priorities:     # highest priority first
+            queue = self._queues[queued_kind]
+            if queue:
+                self._grant(queued_kind, queue.popleft())
+                break
+        self._sync_gauges()
+
+    # -- internals -----------------------------------------------------------
+
+    def _grant(self, kind: str, ticket: "Event") -> None:
+        self.active += 1
+        ticket.succeed()
+        if self._m_admitted is not None:
+            self._m_admitted.labels(kind=kind).inc()
+            self._m_active.set(self.active)
+
+    def _shed(self, kind: str, ticket: "Event") -> None:
+        self.shed_counts[kind] += 1
+        if self._m_shed is not None:
+            self._m_shed.labels(kind=kind).inc()
+        ticket.fail(AdmissionShedError(
+            f"{self.name}: {kind} shed (capacity {self.capacity}, "
+            f"queue {self.queue_capacity} full)"))
+
+    def _cheapest_queued_below(self, rank: int) -> str | None:
+        """The lowest-priority class with queued work cheaper than *rank*."""
+        for kind in reversed(self.priorities):
+            if self._rank[kind] <= rank:
+                return None
+            if self._queues[kind]:
+                return kind
+        return None
+
+    def _sync_gauges(self) -> None:
+        if self._m_queued is not None:
+            for kind, queue in self._queues.items():
+                self._m_queued.labels(kind=kind).set(len(queue))
+
+    def __repr__(self) -> str:
+        return (f"AdmissionController({self.name!r}, active={self.active}/"
+                f"{self.capacity}, queued={self.queued}/{self.queue_capacity})")

@@ -1,0 +1,162 @@
+"""Circuit breaker: eject a misbehaving dependency instead of queueing on it.
+
+Classic three-state machine (Nygard's *Release It!* / the Hystrix model):
+
+* **closed** -- traffic flows; consecutive failures are counted;
+* **open** -- after ``failure_threshold`` consecutive failures every call
+  is refused (:class:`~repro.common.errors.CircuitOpenError`) until a
+  probe slot opens ``recovery_timeout`` seconds later;
+* **half-open** -- a bounded number of probe calls are let through; one
+  failure re-trips to open, ``success_threshold`` successes re-close.
+
+Probe scheduling is *seeded*: the reopen delay is jittered from an
+:class:`~repro.common.rng.RngStream` so a fleet of breakers tripped by
+the same fault does not retry in lockstep (no thundering herd), yet the
+whole schedule is reproducible from the run's seed.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable
+
+from ..common.errors import CircuitOpenError, ConfigError
+
+if TYPE_CHECKING:  # pragma: no cover - annotations only
+    from ..common.rng import RngStream
+    from ..obs import MetricsRegistry
+
+#: state -> value reported by the ``breaker_state`` gauge
+STATE_VALUES = {"closed": 0.0, "half_open": 1.0, "open": 2.0}
+
+
+class CircuitBreaker:
+    """Per-dependency failure isolation with seeded probe scheduling."""
+
+    def __init__(
+        self,
+        name: str,
+        clock: Callable[[], float],
+        *,
+        failure_threshold: int = 5,
+        recovery_timeout: float = 30.0,
+        success_threshold: int = 1,
+        probe_jitter: float = 0.1,
+        rng: "RngStream | None" = None,
+        metrics: "MetricsRegistry | None" = None,
+    ) -> None:
+        if failure_threshold < 1 or success_threshold < 1:
+            raise ConfigError("breaker thresholds must be >= 1")
+        if recovery_timeout <= 0:
+            raise ConfigError("recovery_timeout must be > 0")
+        if probe_jitter < 0:
+            raise ConfigError("probe_jitter must be >= 0")
+        self.name = name
+        self.clock = clock
+        self.failure_threshold = failure_threshold
+        self.recovery_timeout = recovery_timeout
+        self.success_threshold = success_threshold
+        self.probe_jitter = probe_jitter
+        self.rng = rng
+
+        self.state = "closed"
+        self.consecutive_failures = 0
+        self.consecutive_successes = 0
+        self.opened_at: float | None = None
+        self.probe_at: float | None = None
+        self.rejections = 0
+        self._probe_in_flight = False
+
+        self._m_state = self._m_transitions = self._m_rejections = None
+        if metrics is not None:
+            self._m_state = metrics.gauge(
+                "breaker_state",
+                "circuit state: 0 closed, 1 half-open, 2 open",
+                labels=("breaker",))
+            self._m_transitions = metrics.counter(
+                "breaker_transitions_total", "circuit state changes",
+                labels=("breaker", "to"))
+            self._m_rejections = metrics.counter(
+                "breaker_rejections_total",
+                "calls refused while the circuit was open",
+                labels=("breaker",))
+            self._m_state.labels(breaker=self.name).set(0.0)
+
+    # -- gatekeeping ---------------------------------------------------------
+
+    def allow(self) -> bool:
+        """May a call proceed right now?
+
+        Half-open admits exactly one probe at a time: a True answer claims
+        the probe slot, which frees again when its outcome is recorded.
+        """
+        if self.state == "closed":
+            return True
+        if self.state == "open":
+            if self.probe_at is not None and self.clock() >= self.probe_at:
+                self._transition("half_open")
+                self._probe_in_flight = True
+                return True
+            return False
+        if self._probe_in_flight:
+            return False
+        self._probe_in_flight = True
+        return True
+
+    def check(self, doing: str = "") -> None:
+        """Raise :class:`CircuitOpenError` unless :meth:`allow` says go."""
+        if not self.allow():
+            self.rejections += 1
+            if self._m_rejections is not None:
+                self._m_rejections.labels(breaker=self.name).inc()
+            what = f" for {doing}" if doing else ""
+            raise CircuitOpenError(
+                f"breaker {self.name!r} is {self.state}{what}; "
+                f"next probe at t={self.probe_at}")
+
+    # -- outcome reporting ---------------------------------------------------
+
+    def record_success(self) -> None:
+        if self.state == "half_open":
+            self._probe_in_flight = False
+            self.consecutive_successes += 1
+            if self.consecutive_successes >= self.success_threshold:
+                self._transition("closed")
+            return
+        self.consecutive_failures = 0
+
+    def record_failure(self) -> None:
+        if self.state == "half_open":
+            self._trip()
+            return
+        if self.state == "open":
+            return
+        self.consecutive_failures += 1
+        if self.consecutive_failures >= self.failure_threshold:
+            self._trip()
+
+    # -- internals -----------------------------------------------------------
+
+    def _trip(self) -> None:
+        self.opened_at = self.clock()
+        delay = self.recovery_timeout
+        if self.rng is not None and self.probe_jitter > 0:
+            delay *= self.rng.uniform(1.0, 1.0 + self.probe_jitter)
+        self.probe_at = self.opened_at + delay
+        self._transition("open")
+
+    def _transition(self, to: str) -> None:
+        self.state = to
+        if to == "closed":
+            self.opened_at = self.probe_at = None
+        if to in ("closed", "open"):
+            self._probe_in_flight = False
+        if to in ("closed", "half_open"):
+            self.consecutive_failures = 0
+            self.consecutive_successes = 0
+        if self._m_state is not None:
+            self._m_state.labels(breaker=self.name).set(STATE_VALUES[to])
+            self._m_transitions.labels(breaker=self.name, to=to).inc()
+
+    def __repr__(self) -> str:
+        return (f"CircuitBreaker({self.name!r}, state={self.state}, "
+                f"failures={self.consecutive_failures})")

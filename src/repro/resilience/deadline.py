@@ -1,0 +1,73 @@
+"""Deadlines: time budgets threaded through call chains.
+
+A :class:`Deadline` is minted once at the edge of the system (the portal
+stamps one onto every request) and handed *down* the call chain -- HDFS
+writes, transcode fan-outs, retries -- so every layer can answer "is it
+still worth doing this?" against the same budget.  Budgets burn
+*simulated* seconds (the clock is ``engine.now``, per DET01), so a run is
+bit-reproducible.
+
+The two idioms::
+
+    deadline = Deadline.after(engine, 5.0)      # 5 s budget from now
+    ...
+    deadline.check("hdfs write")                # raise if already spent
+    wait = min(backoff, deadline.remaining())   # never sleep past it
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable
+
+from ..common.errors import ConfigError, DeadlineExceeded
+
+if TYPE_CHECKING:  # pragma: no cover - annotations only
+    from ..sim import Engine
+
+
+class Deadline:
+    """An absolute expiry on the simulation clock."""
+
+    __slots__ = ("clock", "expires_at", "label")
+
+    def __init__(self, clock: Callable[[], float], expires_at: float,
+                 *, label: str = "request") -> None:
+        self.clock = clock
+        self.expires_at = float(expires_at)
+        self.label = label
+
+    @classmethod
+    def after(cls, engine: "Engine", budget: float,
+              *, label: str = "request") -> "Deadline":
+        """A deadline *budget* simulated seconds from now."""
+        if budget <= 0:
+            raise ConfigError(f"deadline budget must be > 0, got {budget}")
+        return cls(lambda: engine.now, engine.now + budget, label=label)
+
+    def remaining(self) -> float:
+        """Seconds of budget left (never negative)."""
+        return max(0.0, self.expires_at - self.clock())
+
+    @property
+    def expired(self) -> bool:
+        return self.clock() >= self.expires_at
+
+    def check(self, doing: str = "") -> None:
+        """Raise :class:`DeadlineExceeded` if the budget is spent."""
+        if self.expired:
+            what = f" while {doing}" if doing else ""
+            raise DeadlineExceeded(
+                f"{self.label}: deadline exceeded{what} "
+                f"(expired at t={self.expires_at:.3f})")
+
+    def child(self, budget: float, *, label: str | None = None) -> "Deadline":
+        """A sub-deadline: *budget* from now, but never past the parent."""
+        if budget <= 0:
+            raise ConfigError(f"deadline budget must be > 0, got {budget}")
+        return Deadline(
+            self.clock, min(self.expires_at, self.clock() + budget),
+            label=label or self.label)
+
+    def __repr__(self) -> str:
+        return (f"Deadline({self.label!r}, expires_at={self.expires_at:.3f}, "
+                f"remaining={self.remaining():.3f})")

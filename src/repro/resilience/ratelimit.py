@@ -1,0 +1,94 @@
+"""Token-bucket rate limiting.
+
+The bucket holds up to ``capacity`` tokens and refills continuously at
+``rate`` tokens per simulated second; a request costs one (or more)
+tokens.  Refill is computed lazily from the clock, so the bucket adds no
+events of its own to the schedule and stays exact under any interleaving.
+
+``try_acquire`` never blocks: overload control *refuses* cheap and early
+(HTTP 429 + ``Retry-After``) rather than queueing, which is the whole
+point -- unbounded queues are how brief saturation becomes a sustained
+outage.  :meth:`retry_after` gives the honest wait to advertise.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable
+
+from ..common.errors import ConfigError, RateLimitError
+
+if TYPE_CHECKING:  # pragma: no cover - annotations only
+    from ..obs import MetricsRegistry
+
+
+class TokenBucket:
+    """A continuously refilling token bucket on the simulation clock."""
+
+    def __init__(
+        self,
+        name: str,
+        clock: Callable[[], float],
+        *,
+        rate: float,
+        capacity: float,
+        metrics: "MetricsRegistry | None" = None,
+    ) -> None:
+        if rate <= 0:
+            raise ConfigError(f"token rate must be > 0, got {rate}")
+        if capacity <= 0:
+            raise ConfigError(f"bucket capacity must be > 0, got {capacity}")
+        self.name = name
+        self.clock = clock
+        self.rate = float(rate)
+        self.capacity = float(capacity)
+        self.tokens = float(capacity)          # starts full (burst allowance)
+        self.refused = 0
+        self._last_refill = clock()
+        self._m_refused = None
+        if metrics is not None:
+            self._m_refused = metrics.counter(
+                "ratelimit_refusals_total",
+                "requests refused by a token bucket", labels=("bucket",))
+
+    def _refill(self) -> None:
+        now = self.clock()
+        if now > self._last_refill:
+            self.tokens = min(self.capacity,
+                              self.tokens + (now - self._last_refill) * self.rate)
+            self._last_refill = now
+
+    def available(self) -> float:
+        """Tokens on hand right now (after lazy refill)."""
+        self._refill()
+        return self.tokens
+
+    def try_acquire(self, cost: float = 1.0) -> bool:
+        """Take *cost* tokens if the bucket holds them; never waits."""
+        if cost <= 0:
+            raise ConfigError(f"token cost must be > 0, got {cost}")
+        self._refill()
+        if self.tokens >= cost:
+            self.tokens -= cost
+            return True
+        self.refused += 1
+        if self._m_refused is not None:
+            self._m_refused.labels(bucket=self.name).inc()
+        return False
+
+    def retry_after(self, cost: float = 1.0) -> float:
+        """Seconds until *cost* tokens will be on hand (0 if already there)."""
+        self._refill()
+        deficit = cost - self.tokens
+        return max(0.0, deficit / self.rate)
+
+    def acquire_or_raise(self, cost: float = 1.0, doing: str = "") -> None:
+        """:meth:`try_acquire` that raises :class:`RateLimitError` on refusal."""
+        if not self.try_acquire(cost):
+            what = f" for {doing}" if doing else ""
+            raise RateLimitError(
+                f"bucket {self.name!r} empty{what}",
+                retry_after=self.retry_after(cost))
+
+    def __repr__(self) -> str:
+        return (f"TokenBucket({self.name!r}, rate={self.rate}, "
+                f"capacity={self.capacity}, tokens={self.tokens:.2f})")

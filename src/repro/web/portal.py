@@ -27,6 +27,7 @@ from ..common.errors import (
     SafeModeError,
     WebError,
 )
+from ..resilience import DEFAULT_PRIORITIES, AdmissionController, Deadline
 from ..fusehdfs import HdfsMount
 from ..hardware import Cluster
 from ..hdfs import Hdfs
@@ -240,6 +241,46 @@ class VideoPortal:
             raise HttpError(503, f"service degraded: {reason}",
                             retry_after=self.RETRY_AFTER)
 
+    # -- overload control -------------------------------------------------------------
+
+    #: route pattern -> admission class; everything else is "search"
+    ROUTE_CLASSES: dict[str, str] = {
+        "/": "playback",
+        "/video/<id>": "playback",
+        "/search": "search",
+        "/upload": "upload",
+    }
+
+    def enable_overload_control(
+        self,
+        *,
+        capacity: int = 32,
+        queue_capacity: int = 64,
+        request_budget: float = 10.0,
+        rate_limits: dict[tuple[str, str], float] | None = None,
+    ) -> AdmissionController:
+        """Turn on the portal's overload regime.
+
+        Installs an :class:`~repro.resilience.AdmissionController` with the
+        paper workload's priority order (``playback > search > upload >
+        transcode``), stamps a *request_budget*-second
+        :class:`~repro.resilience.Deadline` onto every request, and
+        attaches per-route token buckets for *rate_limits* (``{(method,
+        pattern): requests_per_second}``).  Excess traffic is refused with
+        429/503 + ``Retry-After`` instead of queueing without bound.
+        """
+        controller = AdmissionController(
+            self.engine, capacity=capacity, queue_capacity=queue_capacity,
+            priorities=DEFAULT_PRIORITIES, name="portal",
+            metrics=self.metrics)
+        self.server.use_admission(controller, dict(self.ROUTE_CLASSES),
+                                  default="search")
+        self.server.request_budget = request_budget
+        self.server.shed_retry_after = self.RETRY_AFTER
+        for (method, pattern), rate in (rate_limits or {}).items():
+            self.server.limit_route(method, pattern, rate=rate)
+        return controller
+
     # -- observability (the redesigned API surface) ---------------------------------
 
     def add_health_provider(self, layer: str,
@@ -292,8 +333,7 @@ class VideoPortal:
             if degraded:
                 return Response.json_error(
                     f"degraded: {', '.join(degraded)}", status=503,
-                    headers={"Retry-After": str(int(self.RETRY_AFTER))},
-                    **body)
+                    retry_after=self.RETRY_AFTER, **body)
             return Response.json_ok(body)
 
         return _h()
@@ -428,13 +468,21 @@ class VideoPortal:
         description: str,
         tags: str,
         media: VideoFile,
+        deadline: Deadline | None = None,
     ) -> Generator:
         """Process: the full Figure 16 + 22 flow.
 
         Store the raw upload through the FUSE mount into HDFS, register the
         row, convert in parallel to the player format (H.264 720p FLV), and
-        publish.  Returns the video id.
+        publish.  Returns the video id.  With a *deadline* the flow checks
+        its budget before each expensive stage and stops
+        (:class:`~repro.common.errors.DeadlineExceeded`) once the caller no
+        longer wants the result.
         """
+
+        def _check(stage: str) -> None:
+            if deadline is not None:
+                deadline.check(stage)
 
         def _flow():
             t0 = self.engine.now
@@ -448,10 +496,12 @@ class VideoPortal:
                 views=0, upload_time=self.engine.now, hdfs_path=None,
             )
             # raw upload lands in HDFS through the mounted folder
+            _check("raw upload to HDFS")
             raw_path = f"{self.UPLOAD_MOUNT}/raw/video-{video_id}.{media.container}"
             yield self.engine.process(self.mount.write_sized(raw_path, media.size))
             # distributed conversion into the whole quality ladder (Fig. 16);
             # the span wrapper also keeps the transcode spans parented here
+            _check("transcode fan-out")
             reports = yield self.engine.process(self.tracer.trace(
                 "portal.renditions",
                 make_renditions(self.transcoder, media, self.ladder),
@@ -461,6 +511,7 @@ class VideoPortal:
             published: dict[str, VideoFile] = {}
             default_path = None
             for rung in self.ladder:
+                _check(f"publishing {rung.name} rendition")
                 out = reports[rung.name].output.with_name(
                     f"video-{video_id}-{rung.name}.flv")
                 path = f"{self.PUBLISH_ROOT}/video-{video_id}-{rung.name}.flv"
@@ -499,6 +550,7 @@ class VideoPortal:
                         request.session_id or "",
                         title=p["title"], description=p.get("description", ""),
                         tags=p.get("tags", ""), media=media,
+                        deadline=request.deadline,
                     )
                 )
             except KeyError as exc:

@@ -18,12 +18,29 @@ labelled by route *pattern*, never raw path) and wrapped in a
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Any, Callable, Generator
 
-from ..common.errors import HttpError, WebError
+from ..common.errors import (
+    AdmissionShedError,
+    DeadlineExceeded,
+    HttpError,
+    OverloadError,
+    WebError,
+)
 from ..hardware import Cluster
+from ..resilience import AdmissionController, Deadline, TokenBucket
 from ..sim import Resource
+
+
+def format_retry_after(seconds: float) -> str:
+    """THE ``Retry-After`` value format: whole seconds, rounded up.
+
+    Every 429/503/504 the stack emits goes through this one function (via
+    :meth:`Response.json_error`), so clients always see the same shape.
+    """
+    return str(max(0, math.ceil(seconds)))
 
 
 @dataclass
@@ -35,6 +52,9 @@ class Request:
     params: dict[str, Any] = field(default_factory=dict)
     client_host: str = ""
     session_id: str | None = None
+    #: time budget for serving this request; the server stamps one on
+    #: when overload control is enabled and the client did not set one
+    deadline: Deadline | None = None
 
     def __post_init__(self) -> None:
         if self.method not in ("GET", "POST"):
@@ -71,19 +91,29 @@ class Response:
     @classmethod
     def json_error(cls, message: str, *, status: int,
                    headers: dict[str, str] | None = None,
+                   retry_after: float | None = None,
                    **extra: Any) -> "Response":
         """The one error shape every endpoint returns:
-        ``{"error": message, "status": status, ...extra}``."""
+        ``{"error": message, "status": status, ...extra}``.
+
+        *retry_after* is the single code path that formats a
+        ``Retry-After`` header -- graceful-degradation 503s, rate-limit
+        429s, and deadline 504s all come through here.
+        """
         if status < 400:
             raise WebError(f"json_error with non-error status {status}")
         body = {"error": message, "status": status}
         body.update(extra)
-        return cls(status=status, body=body, headers=dict(headers or {}))
+        merged = dict(headers or {})
+        if retry_after is not None:
+            merged.setdefault("Retry-After", format_retry_after(retry_after))
+        return cls(status=status, body=body, headers=merged)
 
     @classmethod
     def from_http_error(cls, exc: HttpError) -> "Response":
         return cls.json_error(str(exc), status=exc.status,
-                              headers=dict(exc.headers))
+                              headers=dict(exc.headers),
+                              retry_after=exc.retry_after)
 
 
 #: a handler is a *generator function* (request) -> yields sim events,
@@ -141,6 +171,7 @@ def compile_route(method: str, pattern: str, handler: Handler,
 class ServerStats:
     requests: int = 0
     errors: int = 0
+    shed: int = 0                     # refused by overload control (429/503)
     bytes_sent: int = 0
     peak_connections: int = 0
     cpu_seconds: float = 0.0
@@ -181,6 +212,46 @@ class WebServer:
             "web_connections", "connections currently held", labels=("host",))
         self._m_bytes = metrics.counter(
             "web_bytes_sent_total", "response bytes shipped to clients")
+        self._m_rate_limited = metrics.counter(
+            "web_rate_limited_total",
+            "requests refused 429 by a per-route token bucket",
+            labels=("route",))
+        self._m_deadline_remaining = metrics.histogram(
+            "web_deadline_remaining_seconds",
+            "request budget left when the response shipped")
+        #: overload control (all optional; see enable_* / limit_route)
+        self.rate_limits: dict[tuple[str, str], TokenBucket] = {}
+        self.admission: AdmissionController | None = None
+        self.route_class: dict[str, str] = {}
+        self.default_class: str = "search"
+        self.request_budget: float | None = None
+        self.shed_retry_after: float = 5.0
+
+    # -- overload control -------------------------------------------------------
+
+    def limit_route(self, method: str, pattern: str, *, rate: float,
+                    burst: float | None = None) -> TokenBucket:
+        """Attach a token bucket to one route: excess traffic gets 429 +
+        ``Retry-After`` instead of a queue slot.  *burst* defaults to one
+        second's worth of tokens."""
+        bucket = TokenBucket(
+            f"{method} {pattern}", lambda: self.engine.now,
+            rate=rate, capacity=burst if burst is not None else max(1.0, rate),
+            metrics=self.cluster.metrics)
+        self.rate_limits[(method, pattern)] = bucket
+        return bucket
+
+    def use_admission(self, controller: AdmissionController,
+                      route_class: dict[str, str] | None = None,
+                      *, default: str = "search") -> None:
+        """Gate requests through *controller*; *route_class* maps route
+        patterns to its priority classes (unlisted routes get *default*)."""
+        controller.rank(default)  # validate
+        for kind in (route_class or {}).values():
+            controller.rank(kind)
+        self.admission = controller
+        self.route_class = dict(route_class or {})
+        self.default_class = default
 
     # -- registration ----------------------------------------------------------
 
@@ -234,58 +305,144 @@ class WebServer:
     # -- serving ------------------------------------------------------------------
 
     def handle(self, request: Request) -> Generator:
-        """Process: serve one request end-to-end; returns the Response."""
+        """Process: serve one request end-to-end; returns the Response.
+
+        Overload control happens at the front door, *before* a connection
+        slot is taken: a route's token bucket can refuse with 429, and the
+        admission controller can shed with 503 -- both carry ``Retry-After``
+        and cost the server (almost) nothing, which is the point.
+        """
 
         def _serve():
             t0 = self.engine.now
             route_label = request.path
-            with self._conns.request() as slot:
-                yield slot
-                self._m_conns.labels(host=self.host.name).set(self._conns.count)
-                self.stats.peak_connections = max(
-                    self.stats.peak_connections, self._conns.count
-                )
-                # server front-end overhead (parse, route, I/O multiplexing)
-                yield self.engine.process(
-                    self.host.compute_seconds(self.request_cpu)
-                )
-                self.stats.cpu_seconds += self.request_cpu
-                try:
-                    try:
-                        route, path_params = self.resolve(
-                            request.method, request.path)
-                    except HttpError:
-                        # unmatched paths share one label (bounded cardinality)
-                        route_label = "<unmatched>"
-                        raise
-                    route_label = route.alias_of or route.pattern
-                    for name, value in path_params.items():
-                        request.params.setdefault(name, value)
-                    response = yield self.engine.process(self.tracer.trace(
-                        "web.request", route.handler(request), source="web",
-                        route=route_label, method=request.method,
-                    ))
-                except HttpError as exc:
-                    response = Response.from_http_error(exc)
-                self.stats.requests += 1
-                if not response.ok:
-                    self.stats.errors += 1
-                # ship the response body to the client
-                if request.client_host and request.client_host != self.host.name:
-                    yield self.cluster.network.transfer(
-                        self.host.name, request.client_host, response.body_bytes
-                    )
-                self.stats.bytes_sent += response.body_bytes
-                self._m_bytes.inc(response.body_bytes)
-            self._m_conns.labels(host=self.host.name).set(self._conns.count)
+            # cheap pre-resolution so shedding decisions know the route;
+            # unmatched paths fall through to the normal 404 path below
+            route: Route | None = None
+            try:
+                route, _ = self.resolve(request.method, request.path)
+            except HttpError:
+                pass
+            if route is not None:
+                if self.request_budget is not None and request.deadline is None:
+                    request.deadline = Deadline.after(
+                        self.engine, self.request_budget,
+                        label=f"{request.method} {route.alias_of or route.pattern}")
+                shed = yield from self._front_door(request, route)
+                if shed is not None:
+                    return self._finish_shed(request, shed, t0,
+                                             route.alias_of or route.pattern)
+            kind = self._admitted_kind(route)
+            try:
+                response, route_label = yield from self._serve_inner(
+                    request, t0, route_label)
+            finally:
+                if kind is not None:
+                    self.admission.leave(kind)
             self._m_requests.labels(
                 method=request.method, route=route_label,
                 status=str(response.status)).inc()
             self._m_latency.labels(route=route_label).observe(
                 self.engine.now - t0)
+            if request.deadline is not None:
+                self._m_deadline_remaining.observe(request.deadline.remaining())
             return response
 
         return _serve()
+
+    def _front_door(self, request: Request, route: Route) -> Generator:
+        """Overload gate: returns a shed Response, or None when admitted."""
+        pattern = route.alias_of or route.pattern
+        bucket = self.rate_limits.get((route.method, route.pattern)) \
+            or self.rate_limits.get((route.method, pattern))
+        if bucket is not None and not bucket.try_acquire():
+            self._m_rate_limited.labels(route=pattern).inc()
+            return Response.json_error(
+                f"rate limited: {request.method} {pattern}", status=429,
+                retry_after=bucket.retry_after())
+        if self.admission is not None:
+            kind = self.route_class.get(pattern, self.default_class)
+            try:
+                yield self.admission.enter(kind)
+            except AdmissionShedError as exc:
+                return Response.json_error(
+                    str(exc), status=503, retry_after=self.shed_retry_after)
+        return None
+
+    def _admitted_kind(self, route: Route | None) -> str | None:
+        """The admission class holding a slot for *route* (None = no slot)."""
+        if self.admission is None or route is None:
+            return None
+        return self.route_class.get(route.alias_of or route.pattern,
+                                    self.default_class)
+
+    def _finish_shed(self, request: Request, response: Response,
+                     t0: float, route_label: str) -> Response:
+        """Account a refused request (no connection slot was ever held)."""
+        self.stats.requests += 1
+        self.stats.errors += 1
+        self.stats.shed += 1
+        self._m_requests.labels(
+            method=request.method, route=route_label,
+            status=str(response.status)).inc()
+        self._m_latency.labels(route=route_label).observe(self.engine.now - t0)
+        return response
+
+    def _serve_inner(self, request: Request, t0: float,
+                     route_label: str) -> Generator:
+        """The classic serve path: connection slot, CPU, handler, ship."""
+        with self._conns.request() as slot:
+            yield slot
+            self._m_conns.labels(host=self.host.name).set(self._conns.count)
+            self.stats.peak_connections = max(
+                self.stats.peak_connections, self._conns.count
+            )
+            # server front-end overhead (parse, route, I/O multiplexing)
+            yield self.engine.process(
+                self.host.compute_seconds(self.request_cpu)
+            )
+            self.stats.cpu_seconds += self.request_cpu
+            try:
+                try:
+                    route, path_params = self.resolve(
+                        request.method, request.path)
+                except HttpError:
+                    # unmatched paths share one label (bounded cardinality)
+                    route_label = "<unmatched>"
+                    raise
+                route_label = route.alias_of or route.pattern
+                for name, value in path_params.items():
+                    request.params.setdefault(name, value)
+                if request.deadline is not None:
+                    request.deadline.check(f"serving {route_label}")
+                response = yield self.engine.process(self.tracer.trace(
+                    "web.request", route.handler(request), source="web",
+                    route=route_label, method=request.method,
+                ))
+            except DeadlineExceeded as exc:
+                response = Response.json_error(str(exc), status=504)
+                self.stats.shed += 1
+            except OverloadError as exc:
+                # a downstream layer (breaker, bucket, queue) refused
+                response = Response.json_error(
+                    str(exc), status=503,
+                    retry_after=getattr(exc, "retry_after", None)
+                    or self.shed_retry_after)
+                self.stats.shed += 1
+            except HttpError as exc:
+                response = Response.from_http_error(exc)
+            self.stats.requests += 1
+            if not response.ok:
+                self.stats.errors += 1
+            # ship the response body to the client
+            if request.client_host and request.client_host != self.host.name:
+                yield self.cluster.network.transfer(
+                    self.host.name, request.client_host, response.body_bytes
+                )
+            self.stats.bytes_sent += response.body_bytes
+            self._m_bytes.inc(response.body_bytes)
+        self._m_conns.labels(host=self.host.name).set(self._conns.count)
+        return response, route_label
 
     def memory_footprint(self) -> int:
         return self.stats.memory_footprint(self.conn_memory, self.base_memory)

@@ -1,0 +1,139 @@
+"""Overload storms: saturation as a first-class, reproducible fault."""
+
+import pytest
+
+from repro.chaos import ChaosMonkey, OverloadStorm, StormStats
+from repro.common.errors import ConfigError
+from repro.common.units import MiB
+from repro.hardware import Cluster
+from repro.hdfs import Hdfs
+from repro.web import VideoPortal
+
+
+def make_stack(seed=0, overload=True, **overload_kw):
+    cluster = Cluster(6, seed=seed)
+    fs = Hdfs(cluster, namenode_host="node0",
+              datanode_hosts=cluster.host_names[1:], block_size=16 * MiB,
+              replication=2)
+    portal = VideoPortal(cluster, fs, web_host="node1",
+                         transcode_workers=cluster.host_names[2:])
+    if overload:
+        overload_kw.setdefault("capacity", 4)
+        overload_kw.setdefault("queue_capacity", 4)
+        portal.enable_overload_control(**overload_kw)
+    monkey = ChaosMonkey(cluster, fs=fs, portal=portal)
+    return cluster, portal, monkey
+
+
+class TestStormStats:
+    def test_every_offer_lands_in_exactly_one_bucket(self):
+        s = StormStats(duration=10.0)
+        s.record("playback", 200, 0.1)
+        s.record("playback", 429, 0.0)
+        s.record("playback", 503, 0.0)
+        s.record("search", 504, 0.0)
+        s.record("search", 500, 0.2)
+        s.record("search", 0, 1.0)       # raised, not a graceful refusal
+        assert s.offered == {"playback": 3, "search": 3}
+        assert s.completed == {"playback": 1}
+        assert s.rejected == {"playback": 2, "search": 1}
+        assert s.failed == {"search": 2}
+
+    def test_goodput_and_mean_latency(self):
+        s = StormStats(duration=5.0)
+        s.record("playback", 200, 0.2)
+        s.record("playback", 200, 0.4)
+        assert s.goodput("playback") == pytest.approx(0.4)
+        assert s.goodput("search") == 0.0
+        assert s.mean_latency("playback") == pytest.approx(0.3)
+        assert s.mean_latency("search") is None
+
+    def test_summary_renders_a_table(self):
+        s = StormStats(duration=5.0)
+        s.record("playback", 200, 0.2)
+        out = s.summary()
+        assert "GOODPUT/S" in out
+        assert "playback" in out
+
+
+class TestOverloadStormPrimitive:
+    def test_storm_accounts_every_request(self):
+        cluster, _, monkey = make_stack(
+            rate_limits={("GET", "/search"): 2.0})
+        stats = cluster.run(monkey.overload_storm(duration=20.0, rate=10.0))
+        offered = sum(stats.offered.values())
+        assert offered > 0
+        settled = (sum(stats.completed.values())
+                   + sum(stats.rejected.values())
+                   + sum(stats.failed.values()))
+        assert settled == offered
+        # the tight search bucket must have refused some of the flood
+        assert stats.rejected.get("search", 0) > 0
+        assert stats.duration == 20.0
+
+    def test_storm_lands_in_the_report(self):
+        cluster, _, monkey = make_stack()
+        cluster.run(monkey.overload_storm(duration=5.0, rate=4.0))
+        assert len(monkey.report.storms) == 1
+        assert monkey.report.fault_counts()["overload_storm"] == 1
+
+    def test_same_seed_same_storm(self):
+        def run_once():
+            cluster, _, monkey = make_stack(
+                seed=7, capacity=2, queue_capacity=2,
+                rate_limits={("GET", "/search"): 3.0})
+            return cluster.run(
+                monkey.overload_storm(duration=15.0, rate=12.0))
+
+        a, b = run_once(), run_once()
+        assert a.offered == b.offered
+        assert a.completed == b.completed
+        assert a.rejected == b.rejected
+        assert a.failed == b.failed
+
+    def test_different_seed_different_arrivals(self):
+        def run_once(seed):
+            cluster, _, monkey = make_stack(seed=seed)
+            return cluster.run(
+                monkey.overload_storm(duration=15.0, rate=12.0))
+
+        assert run_once(1).offered != run_once(2).offered
+
+    def test_mix_weights_skew_the_classes(self):
+        cluster, _, monkey = make_stack()
+        stats = cluster.run(monkey.overload_storm(
+            duration=20.0, rate=10.0, mix={"playback": 9.0, "search": 1.0}))
+        assert stats.offered.get("playback", 0) > stats.offered.get("search", 0)
+
+    def test_validation(self):
+        cluster, _, monkey = make_stack()
+        with pytest.raises(ConfigError):
+            cluster.run(monkey.overload_storm(duration=0.0, rate=5.0))
+        with pytest.raises(ConfigError):
+            cluster.run(monkey.overload_storm(duration=5.0, rate=0.0))
+        with pytest.raises(ConfigError, match="without factories"):
+            cluster.run(monkey.overload_storm(
+                duration=5.0, rate=5.0, mix={"upload": 1.0}))
+        bare = ChaosMonkey(Cluster(2))
+        with pytest.raises(ConfigError, match="needs a portal"):
+            bare.overload_storm(duration=5.0, rate=5.0)
+
+
+class TestOverloadStormScenario:
+    def test_scheduled_storm_via_unleash(self):
+        cluster, _, monkey = make_stack()
+        report = cluster.run(monkey.unleash([
+            OverloadStorm(at=3.0, duration=10.0, rate=8.0),
+        ]))
+        assert len(report.storms) == 1
+        storm_faults = [f for f in report.faults
+                        if f.kind == "overload_storm"]
+        assert storm_faults[0].time == pytest.approx(3.0)
+
+    def test_scenario_validation(self):
+        with pytest.raises(ConfigError):
+            OverloadStorm(at=-1.0, duration=5.0, rate=5.0)
+        with pytest.raises(ConfigError):
+            OverloadStorm(at=0.0, duration=0.0, rate=5.0)
+        with pytest.raises(ConfigError):
+            OverloadStorm(at=0.0, duration=5.0, rate=-1.0)

@@ -122,3 +122,148 @@ class TestRetryProcess:
             on_retry=lambda attempt, exc: notes.append((attempt, str(exc)))))
         assert engine.run(until=p) == 1
         assert notes == [(1, "boom")]
+
+
+class TestBudgetAwareRetry:
+    def test_full_jitter_draws_from_seeded_stream(self):
+        from repro.common.rng import RngStream
+
+        pol = RetryPolicy(base_delay=2.0, multiplier=2.0, max_delay=30.0)
+        draws_a = [pol.delay(i, RngStream(7, "retry")) for i in range(4)]
+        draws_b = [pol.delay(i, RngStream(7, "retry")) for i in range(4)]
+        assert draws_a == draws_b                       # DET02: seeded
+        for i, d in enumerate(draws_a):
+            assert 0.0 <= d <= pol.delay(i)             # full jitter range
+        assert draws_a != [pol.delay(i) for i in range(4)]
+
+    def test_deadline_caps_cumulative_sleep(self):
+        from repro.resilience import Deadline
+
+        engine = Engine()
+        calls = []
+
+        def make_attempt(i):
+            def _a():
+                calls.append(i)
+                yield engine.timeout(1.0)
+                raise FaultInjectionError("always")
+            return _a()
+
+        # budget 2.5 s: attempt 0 (1 s) + backoff 1 s + attempt 1 (1 s).
+        # The next 2 s backoff would sleep past the remaining budget, so
+        # the loop re-raises immediately instead of backing off again.
+        deadline = Deadline.after(engine, 2.5)
+        p = engine.process(retry_process(
+            engine, make_attempt,
+            policy=RetryPolicy(max_attempts=10, base_delay=1.0),
+            deadline=deadline))
+        with pytest.raises(FaultInjectionError):
+            engine.run(until=p)
+        assert calls == [0, 1]
+        # failure surfaces the moment attempt 1 ends: no backoff was slept
+        assert engine.now == pytest.approx(3.0)
+
+    def test_expired_deadline_blocks_the_next_attempt(self):
+        from repro.common.errors import DeadlineExceeded
+        from repro.resilience import Deadline
+
+        engine = Engine()
+        calls = []
+
+        def make_attempt(i):
+            def _a():
+                calls.append(i)
+                yield engine.timeout(3.0)
+                raise FaultInjectionError("slow failure")
+            return _a()
+
+        deadline = Deadline.after(engine, 2.0)
+        p = engine.process(retry_process(
+            engine, make_attempt,
+            policy=RetryPolicy(max_attempts=5, base_delay=0.0),
+            deadline=deadline))
+        # the first attempt outlives the budget; the loop must not start
+        # attempt 1 -- backoff 0 would otherwise allow it
+        with pytest.raises(FaultInjectionError):
+            engine.run(until=p)
+        assert calls == [0]
+
+    def test_deadline_exceeded_inside_attempt_never_retried(self):
+        from repro.common.errors import DeadlineExceeded
+
+        engine = Engine()
+        calls = []
+
+        def make_attempt(i):
+            def _a():
+                calls.append(i)
+                yield engine.timeout(0.1)
+                raise DeadlineExceeded("budget spent downstream")
+            return _a()
+
+        p = engine.process(retry_process(engine, make_attempt))
+        with pytest.raises(DeadlineExceeded):
+            engine.run(until=p)
+        assert calls == [0]
+
+    def test_overload_error_inside_attempt_never_retried(self):
+        from repro.common.errors import AdmissionShedError
+
+        engine = Engine()
+        calls = []
+
+        def make_attempt(i):
+            def _a():
+                calls.append(i)
+                yield engine.timeout(0.1)
+                raise AdmissionShedError("shed downstream")
+            return _a()
+
+        p = engine.process(retry_process(engine, make_attempt))
+        with pytest.raises(AdmissionShedError):
+            engine.run(until=p)
+        assert calls == [0]
+
+    def test_breaker_gates_attempts_and_hears_outcomes(self):
+        from repro.common.errors import CircuitOpenError
+        from repro.resilience import CircuitBreaker
+
+        engine = Engine()
+        breaker = CircuitBreaker("dep", lambda: engine.now,
+                                 failure_threshold=2, recovery_timeout=60.0)
+        calls = []
+
+        def make_attempt(i):
+            def _a():
+                calls.append(i)
+                yield engine.timeout(0.1)
+                raise FaultInjectionError("down")
+            return _a()
+
+        p = engine.process(retry_process(
+            engine, make_attempt,
+            policy=RetryPolicy(max_attempts=10, base_delay=0.1),
+            breaker=breaker))
+        # two failures trip the breaker; the third attempt is refused at
+        # the gate without running
+        with pytest.raises(CircuitOpenError):
+            engine.run(until=p)
+        assert calls == [0, 1]
+        assert breaker.state == "open"
+
+    def test_breaker_records_success(self):
+        from repro.resilience import CircuitBreaker
+
+        engine = Engine()
+        breaker = CircuitBreaker("dep", lambda: engine.now)
+        breaker.record_failure()
+
+        def make_attempt(i):
+            def _a():
+                yield engine.timeout(0.1)
+                return "ok"
+            return _a()
+
+        p = engine.process(retry_process(engine, make_attempt, breaker=breaker))
+        assert engine.run(until=p) == "ok"
+        assert breaker.consecutive_failures == 0

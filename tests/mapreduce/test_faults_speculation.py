@@ -138,3 +138,49 @@ class TestJobQueue:
         ev2 = jq.submit(grep_job(["/in"], "kvm"))
         r2 = cluster.run(until=ev2)
         assert r2.output == {"kvm": 200}
+
+
+class TestBoundedJobQueue:
+    def test_overflow_is_shed_immediately(self):
+        from repro.common.errors import AdmissionShedError
+
+        cluster, fs = make_env()
+        jq = JobQueue(JobTracker(fs), max_queued_jobs=1)
+        running = jq.submit(word_count_job(["/in"]))
+        queued = jq.submit(grep_job(["/in", ], "cloud"))
+        shed = jq.submit(grep_job(["/in"], "kvm"))
+        with pytest.raises(AdmissionShedError, match="queue full"):
+            cluster.run(until=shed)
+        assert jq.shed_jobs == 1
+        # the admitted jobs still complete normally
+        assert cluster.run(until=queued).output == {"cloud": 200}
+        assert running.value.output == EXPECTED
+
+    def test_unbounded_by_default(self):
+        cluster, fs = make_env()
+        jq = JobQueue(JobTracker(fs))
+        events = [jq.submit(grep_job(["/in"], "kvm")) for _ in range(5)]
+        for ev in events:
+            assert cluster.run(until=ev).output == {"kvm": 200}
+        assert jq.shed_jobs == 0
+
+    def test_validation(self):
+        from repro.common.errors import MapReduceError
+
+        cluster, fs = make_env()
+        with pytest.raises(MapReduceError):
+            JobQueue(JobTracker(fs), max_queued_jobs=0)
+
+    def test_pressure_suppresses_speculation(self):
+        cluster, fs = make_env(6)
+        slow = sorted(fs.datanodes)[0]
+        jt = JobTracker(fs, speculative=True, slowdowns={slow: 40.0})
+        jq = JobQueue(jt, max_queued_jobs=4)
+        first = jq.submit(word_count_job(["/in"]))
+        waiting = jq.submit(grep_job(["/in"], "cloud"))   # queue pressure
+        r1 = cluster.run(until=first)
+        # with a job waiting, idle slots drain backlog instead of
+        # duplicating stragglers
+        assert r1.counters.speculative_attempts == 0
+        assert jt.speculation_suppressed > 0
+        assert cluster.run(until=waiting).output == {"cloud": 200}

@@ -86,6 +86,39 @@ class TestCapacityManager:
             cm.select_host(vm, cloud.host_pool)
 
 
+class TestPlacementHeadroom:
+    def test_marginal_vm_fits_without_headroom(self):
+        cluster, cloud = make_cloud()
+        vm = cloud.instantiate(tpl(memory=7 * GiB))
+        cluster.run()
+        assert vm.state is OneState.RUNNING
+
+    def test_headroom_rejects_the_marginal_vm(self):
+        # 25% headroom on 8 GiB hosts keeps 2 GiB free: the same 7 GiB VM
+        # that fits above is refused and stays PENDING
+        cluster, cloud = make_cloud(placement_headroom=0.25)
+        vm = cloud.instantiate(tpl(memory=7 * GiB))
+        cluster.run(until=20)
+        assert vm.state is OneState.PENDING
+
+    def test_pool_fills_only_to_the_headroom_line(self):
+        # 50% headroom -> 4 GiB usable per 8 GiB host; 2 GiB VMs pack two
+        # per host across 3 compute hosts, so the seventh never places
+        cluster, cloud = make_cloud(placement_headroom=0.5)
+        vms = [cloud.instantiate(tpl(name=f"vm{i}", memory=2 * GiB))
+               for i in range(7)]
+        cluster.run(until=120)
+        states = [vm.state for vm in vms]
+        assert states.count(OneState.RUNNING) == 6
+        assert states.count(OneState.PENDING) == 1
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            CapacityManager(headroom=1.0)
+        with pytest.raises(ConfigError):
+            CapacityManager(headroom=-0.1)
+
+
 class TestServiceManager:
     def web_db_template(self):
         db = Role("db", tpl(name="db", memory=512 * MiB))

@@ -1,0 +1,148 @@
+import pytest
+
+from repro.common.errors import AdmissionShedError, ConfigError
+from repro.resilience import DEFAULT_PRIORITIES, AdmissionController
+from repro.sim import Engine
+
+
+def make_controller(engine=None, capacity=1, queue_capacity=2, **kw):
+    engine = engine or Engine()
+    return engine, AdmissionController(
+        engine, capacity=capacity, queue_capacity=queue_capacity, **kw)
+
+
+def spawn_entrant(engine, admission, kind, outcomes, hold=None):
+    """A process that enters, optionally holds for *hold* s, and leaves."""
+
+    def _run():
+        try:
+            yield admission.enter(kind)
+        except AdmissionShedError:
+            outcomes.append((kind, "shed"))
+            return None
+        outcomes.append((kind, "admitted"))
+        if hold is not None:
+            yield engine.timeout(hold)
+            admission.leave(kind)
+        return None
+
+    return engine.process(_run())
+
+
+class TestAdmission:
+    def test_default_priorities_match_the_portal(self):
+        assert DEFAULT_PRIORITIES == ("playback", "search", "upload",
+                                      "transcode")
+
+    def test_immediate_grant_under_capacity(self):
+        engine, adm = make_controller(capacity=2)
+        outcomes = []
+        spawn_entrant(engine, adm, "playback", outcomes)
+        spawn_entrant(engine, adm, "search", outcomes)
+        engine.run()
+        assert outcomes == [("playback", "admitted"), ("search", "admitted")]
+        assert adm.active == 2
+
+    def test_queueing_and_promotion_in_priority_order(self):
+        engine, adm = make_controller(capacity=1, queue_capacity=3)
+        outcomes = []
+        spawn_entrant(engine, adm, "playback", outcomes, hold=1.0)
+        # three waiters arrive while the slot is busy, lowest priority first
+        spawn_entrant(engine, adm, "transcode", outcomes, hold=1.0)
+        spawn_entrant(engine, adm, "upload", outcomes, hold=1.0)
+        spawn_entrant(engine, adm, "search", outcomes, hold=1.0)
+        engine.run()
+        # promotions happen highest-priority first, not FIFO
+        assert outcomes == [
+            ("playback", "admitted"),
+            ("search", "admitted"),
+            ("upload", "admitted"),
+            ("transcode", "admitted"),
+        ]
+
+    def test_full_queue_sheds_the_cheapest_queued_class(self):
+        engine, adm = make_controller(capacity=1, queue_capacity=2)
+        outcomes = []
+        spawn_entrant(engine, adm, "playback", outcomes, hold=10.0)
+        spawn_entrant(engine, adm, "transcode", outcomes, hold=1.0)
+        spawn_entrant(engine, adm, "upload", outcomes, hold=1.0)
+        # queue now full [transcode, upload]; a playback arrival evicts
+        # the cheapest queued work (transcode), not the newest
+        spawn_entrant(engine, adm, "playback", outcomes, hold=1.0)
+        engine.run()
+        assert ("transcode", "shed") in outcomes
+        assert outcomes.count(("playback", "admitted")) == 2
+        assert ("upload", "admitted") in outcomes
+        assert adm.shed_counts["transcode"] == 1
+
+    def test_incoming_cheapest_is_shed_itself(self):
+        engine, adm = make_controller(capacity=1, queue_capacity=1)
+        outcomes = []
+        spawn_entrant(engine, adm, "playback", outcomes, hold=10.0)
+        spawn_entrant(engine, adm, "search", outcomes, hold=1.0)   # queued
+        # transcode arrives with the queue full of more valuable work
+        spawn_entrant(engine, adm, "transcode", outcomes)
+        engine.run()
+        assert ("transcode", "shed") in outcomes
+        assert adm.shed_counts["transcode"] == 1
+
+    def test_equal_priority_arrival_is_shed_not_the_queue(self):
+        engine, adm = make_controller(capacity=1, queue_capacity=1)
+        outcomes = []
+        spawn_entrant(engine, adm, "search", outcomes, hold=10.0)
+        spawn_entrant(engine, adm, "search", outcomes, hold=1.0)   # queued
+        spawn_entrant(engine, adm, "search", outcomes)             # shed
+        engine.run()
+        assert outcomes.count(("search", "shed")) == 1
+
+    def test_sheds_the_newest_arrival_of_the_victim_class(self):
+        engine, adm = make_controller(capacity=1, queue_capacity=2)
+        order = []
+        outcomes = []
+        spawn_entrant(engine, adm, "playback", outcomes, hold=10.0)
+
+        def tagged(tag):
+            def _run():
+                try:
+                    yield adm.enter("upload")
+                except AdmissionShedError:
+                    order.append((tag, "shed"))
+                    return None
+                order.append((tag, "admitted"))
+                return None
+            return engine.process(_run())
+
+        tagged("older")
+        tagged("newer")
+        spawn_entrant(engine, adm, "search", outcomes)   # evicts newest upload
+        engine.run()
+        assert ("newer", "shed") in order
+        assert ("older", "shed") not in order
+
+    def test_zero_queue_capacity_is_pure_admission(self):
+        engine, adm = make_controller(capacity=1, queue_capacity=0)
+        outcomes = []
+        spawn_entrant(engine, adm, "playback", outcomes, hold=1.0)
+        spawn_entrant(engine, adm, "playback", outcomes)
+        engine.run()
+        assert ("playback", "shed") in outcomes
+
+    def test_leave_requires_matching_enter(self):
+        _, adm = make_controller()
+        with pytest.raises(ConfigError):
+            adm.leave("playback")
+
+    def test_unknown_class_is_rejected(self):
+        _, adm = make_controller()
+        with pytest.raises(ConfigError, match="unknown admission class"):
+            adm.enter("mystery")
+
+    def test_validation(self):
+        engine = Engine()
+        with pytest.raises(ConfigError):
+            AdmissionController(engine, capacity=0, queue_capacity=1)
+        with pytest.raises(ConfigError):
+            AdmissionController(engine, capacity=1, queue_capacity=-1)
+        with pytest.raises(ConfigError):
+            AdmissionController(engine, capacity=1, queue_capacity=1,
+                                priorities=())

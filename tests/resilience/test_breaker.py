@@ -1,0 +1,145 @@
+import pytest
+
+from repro.common.errors import CircuitOpenError, ConfigError
+from repro.common.rng import RngStream
+from repro.obs import MetricsRegistry
+from repro.resilience import CircuitBreaker
+from repro.sim import Engine
+
+
+def make_breaker(engine=None, **kw):
+    engine = engine or Engine()
+    kw.setdefault("failure_threshold", 3)
+    kw.setdefault("recovery_timeout", 10.0)
+    return engine, CircuitBreaker("dep", lambda: engine.now, **kw)
+
+
+def advance(engine, dt):
+    engine.run(until=engine.timeout(dt))
+
+
+class TestStateMachine:
+    def test_starts_closed_and_allows(self):
+        _, b = make_breaker()
+        assert b.state == "closed"
+        assert b.allow()
+        b.check()  # no raise
+
+    def test_closed_to_open_after_consecutive_failures(self):
+        _, b = make_breaker(failure_threshold=3)
+        b.record_failure()
+        b.record_failure()
+        assert b.state == "closed"
+        b.record_failure()
+        assert b.state == "open"
+        assert not b.allow()
+        with pytest.raises(CircuitOpenError, match="dep"):
+            b.check("read block")
+
+    def test_success_resets_the_failure_streak(self):
+        _, b = make_breaker(failure_threshold=3)
+        b.record_failure()
+        b.record_failure()
+        b.record_success()
+        b.record_failure()
+        b.record_failure()
+        assert b.state == "closed"
+
+    def test_open_to_half_open_after_recovery_timeout(self):
+        engine, b = make_breaker(recovery_timeout=10.0)
+        for _ in range(3):
+            b.record_failure()
+        assert b.state == "open"
+        advance(engine, 9.0)
+        assert not b.allow()
+        advance(engine, 1.0)
+        assert b.allow()                 # the probe slot
+        assert b.state == "half_open"
+
+    def test_half_open_admits_exactly_one_probe(self):
+        engine, b = make_breaker()
+        for _ in range(3):
+            b.record_failure()
+        advance(engine, 10.0)
+        assert b.allow()                 # transitions to half-open
+        # a second caller before the probe's outcome is refused
+        assert not b.allow()
+
+    def test_half_open_success_closes(self):
+        engine, b = make_breaker()
+        for _ in range(3):
+            b.record_failure()
+        advance(engine, 10.0)
+        assert b.allow()
+        b.record_success()
+        assert b.state == "closed"
+        assert b.probe_at is None
+        assert b.allow()
+
+    def test_half_open_failure_re_trips(self):
+        engine, b = make_breaker(recovery_timeout=10.0)
+        for _ in range(3):
+            b.record_failure()
+        advance(engine, 10.0)
+        assert b.allow()
+        b.record_failure()               # the probe failed
+        assert b.state == "open"
+        assert not b.allow()
+        # the re-trip re-arms the full recovery timeout
+        assert b.probe_at == pytest.approx(engine.now + 10.0)
+        advance(engine, 10.0)
+        assert b.allow()
+        b.record_success()
+        assert b.state == "closed"
+
+    def test_success_threshold_needs_n_probes(self):
+        engine, b = make_breaker(success_threshold=2)
+        for _ in range(3):
+            b.record_failure()
+        advance(engine, 10.0)
+        assert b.allow()
+        b.record_success()
+        assert b.state == "half_open"
+        assert b.allow()                 # next probe slot opens
+        b.record_success()
+        assert b.state == "closed"
+
+
+class TestJitterAndMetrics:
+    def test_seeded_probe_jitter_is_reproducible(self):
+        def probe_time(seed):
+            engine = Engine()
+            b = CircuitBreaker(
+                "dep", lambda: engine.now, failure_threshold=1,
+                recovery_timeout=10.0, probe_jitter=0.5,
+                rng=RngStream(seed, "breaker"))
+            b.record_failure()
+            return b.probe_at
+
+        assert probe_time(42) == probe_time(42)
+        assert 10.0 <= probe_time(42) <= 15.0
+        assert probe_time(42) != probe_time(43)
+
+    def test_metrics_track_state_and_rejections(self):
+        engine = Engine()
+        metrics = MetricsRegistry()
+        b = CircuitBreaker("dep", lambda: engine.now, failure_threshold=1,
+                           recovery_timeout=5.0, metrics=metrics)
+        state = metrics.gauge(
+            "breaker_state", "circuit state: 0 closed, 1 half-open, 2 open",
+            labels=("breaker",))
+        assert state.labels(breaker="dep").value == 0.0
+        b.record_failure()
+        assert state.labels(breaker="dep").value == 2.0
+        with pytest.raises(CircuitOpenError):
+            b.check()
+        assert b.rejections == 1
+
+    def test_validation(self):
+        engine = Engine()
+        with pytest.raises(ConfigError):
+            CircuitBreaker("x", lambda: engine.now, failure_threshold=0)
+        with pytest.raises(ConfigError):
+            CircuitBreaker("x", lambda: engine.now, recovery_timeout=0.0)
+        with pytest.raises(ConfigError):
+            CircuitBreaker("x", lambda: engine.now, probe_jitter=-0.1)

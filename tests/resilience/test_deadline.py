@@ -1,0 +1,58 @@
+import pytest
+
+from repro.common.errors import ConfigError, DeadlineExceeded
+from repro.resilience import Deadline
+from repro.sim import Engine
+
+
+class TestDeadline:
+    def test_remaining_burns_with_the_clock(self):
+        engine = Engine()
+        d = Deadline.after(engine, 5.0)
+        assert d.remaining() == pytest.approx(5.0)
+        engine.run(until=engine.timeout(2.0))
+        assert d.remaining() == pytest.approx(3.0)
+        assert not d.expired
+
+    def test_expires_and_check_raises(self):
+        engine = Engine()
+        d = Deadline.after(engine, 1.0, label="upload")
+        engine.run(until=engine.timeout(1.0))
+        assert d.expired
+        assert d.remaining() == 0.0
+        with pytest.raises(DeadlineExceeded, match="upload"):
+            d.check("writing block")
+
+    def test_check_mentions_the_stage(self):
+        engine = Engine()
+        d = Deadline.after(engine, 0.5)
+        engine.run(until=engine.timeout(1.0))
+        with pytest.raises(DeadlineExceeded, match="writing block"):
+            d.check("writing block")
+
+    def test_remaining_never_negative(self):
+        engine = Engine()
+        d = Deadline.after(engine, 1.0)
+        engine.run(until=engine.timeout(10.0))
+        assert d.remaining() == 0.0
+
+    def test_budget_must_be_positive(self):
+        engine = Engine()
+        with pytest.raises(ConfigError):
+            Deadline.after(engine, 0.0)
+        with pytest.raises(ConfigError):
+            Deadline.after(engine, -1.0)
+
+    def test_child_is_capped_at_parent(self):
+        engine = Engine()
+        parent = Deadline.after(engine, 2.0)
+        child = parent.child(10.0)
+        assert child.expires_at == parent.expires_at
+        tight = parent.child(0.5, label="sub")
+        assert tight.expires_at == pytest.approx(0.5)
+        assert tight.label == "sub"
+
+    def test_child_keeps_parent_label_by_default(self):
+        engine = Engine()
+        parent = Deadline.after(engine, 2.0, label="req")
+        assert parent.child(1.0).label == "req"

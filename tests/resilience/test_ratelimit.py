@@ -1,0 +1,88 @@
+import pytest
+
+from repro.common.errors import ConfigError, RateLimitError
+from repro.resilience import TokenBucket
+from repro.sim import Engine
+
+
+def make_bucket(**kw):
+    engine = Engine()
+    kw.setdefault("rate", 10.0)
+    kw.setdefault("capacity", 5.0)
+    return engine, TokenBucket("route", lambda: engine.now, **kw)
+
+
+def advance(engine, dt):
+    engine.run(until=engine.timeout(dt))
+
+
+class TestBurstAndRefill:
+    def test_starts_full_and_absorbs_a_burst(self):
+        _, bucket = make_bucket(capacity=5.0)
+        for _ in range(5):
+            assert bucket.try_acquire()
+        assert not bucket.try_acquire()
+        assert bucket.refused == 1
+
+    def test_refills_continuously_at_rate(self):
+        engine, bucket = make_bucket(rate=10.0, capacity=5.0)
+        for _ in range(5):
+            bucket.try_acquire()
+        advance(engine, 0.1)             # 1 token back
+        assert bucket.try_acquire()
+        assert not bucket.try_acquire()
+
+    def test_refill_is_capped_at_capacity(self):
+        engine, bucket = make_bucket(rate=10.0, capacity=5.0)
+        advance(engine, 100.0)
+        assert bucket.available() == pytest.approx(5.0)
+
+    def test_fractional_tokens_accumulate(self):
+        engine, bucket = make_bucket(rate=10.0, capacity=5.0)
+        for _ in range(5):
+            bucket.try_acquire()
+        advance(engine, 0.05)            # half a token: not enough
+        assert not bucket.try_acquire()
+        advance(engine, 0.05)            # the other half
+        assert bucket.try_acquire()
+
+    def test_multi_token_cost(self):
+        _, bucket = make_bucket(capacity=5.0)
+        assert bucket.try_acquire(cost=5.0)
+        assert not bucket.try_acquire(cost=0.5)
+
+    def test_exact_boundary_acquires(self):
+        engine, bucket = make_bucket(rate=1.0, capacity=1.0)
+        assert bucket.try_acquire()
+        advance(engine, 1.0)
+        assert bucket.try_acquire()
+
+
+class TestRetryAfter:
+    def test_zero_when_tokens_on_hand(self):
+        _, bucket = make_bucket()
+        assert bucket.retry_after() == 0.0
+
+    def test_honest_wait_for_the_deficit(self):
+        engine, bucket = make_bucket(rate=10.0, capacity=5.0)
+        for _ in range(5):
+            bucket.try_acquire()
+        assert bucket.retry_after() == pytest.approx(0.1)
+        assert bucket.retry_after(cost=5.0) == pytest.approx(0.5)
+
+    def test_acquire_or_raise_carries_retry_after(self):
+        _, bucket = make_bucket(rate=2.0, capacity=1.0)
+        bucket.try_acquire()
+        with pytest.raises(RateLimitError) as exc_info:
+            bucket.acquire_or_raise(doing="GET /")
+        assert exc_info.value.retry_after == pytest.approx(0.5)
+
+    def test_validation(self):
+        engine = Engine()
+        with pytest.raises(ConfigError):
+            TokenBucket("x", lambda: engine.now, rate=0.0, capacity=1.0)
+        with pytest.raises(ConfigError):
+            TokenBucket("x", lambda: engine.now, rate=1.0, capacity=0.0)
+        _, bucket = make_bucket()
+        with pytest.raises(ConfigError):
+            bucket.try_acquire(cost=0.0)

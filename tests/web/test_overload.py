@@ -1,0 +1,178 @@
+"""End-to-end overload control at the portal's front door."""
+
+import pytest
+
+from repro.common.units import MiB
+from repro.hardware import Cluster
+from repro.hdfs import Hdfs
+from repro.resilience import Deadline
+from repro.web import VideoPortal
+from repro.web.server import format_retry_after
+
+
+def make_portal(n_hosts=6, **overload_kw):
+    cluster = Cluster(n_hosts)
+    fs = Hdfs(cluster, namenode_host="node0",
+              datanode_hosts=cluster.host_names[1:], block_size=16 * MiB,
+              replication=2)
+    portal = VideoPortal(
+        cluster, fs, web_host="node1",
+        transcode_workers=cluster.host_names[2:],
+    )
+    controller = portal.enable_overload_control(**overload_kw)
+    return cluster, portal, controller
+
+
+def fire(cluster, portal, method, path, **kw):
+    return cluster.run(cluster.engine.process(
+        portal.request(method, path, **kw)))
+
+
+class TestRetryAfterFormat:
+    def test_whole_seconds_rounded_up(self):
+        assert format_retry_after(0.0) == "0"
+        assert format_retry_after(0.2) == "1"
+        assert format_retry_after(15.0) == "15"
+        assert format_retry_after(15.4) == "16"
+        assert format_retry_after(-3.0) == "0"
+
+
+class TestRateLimiting:
+    def test_burst_past_the_bucket_gets_429_with_retry_after(self):
+        cluster, portal, _ = make_portal(
+            rate_limits={("GET", "/search"): 2.0})
+        statuses = []
+        for _ in range(5):
+            r = fire(cluster, portal, "GET", "/search", params={"q": "x"})
+            statuses.append(r.status)
+        assert statuses.count(429) == 3          # burst of 2, then refusals
+        refused = [r for r in [fire(cluster, portal, "GET", "/search",
+                                    params={"q": "x"})] if r.status == 429]
+        assert refused
+        assert float(refused[0].headers["Retry-After"]) >= 0
+        assert portal.server.stats.shed >= 3
+
+    def test_unlimited_routes_unaffected(self):
+        cluster, portal, _ = make_portal(
+            rate_limits={("GET", "/search"): 1.0})
+        for _ in range(5):
+            r = fire(cluster, portal, "GET", "/")
+            assert r.ok
+
+    def test_bucket_refills_with_simulated_time(self):
+        cluster, portal, _ = make_portal(
+            rate_limits={("GET", "/search"): 1.0})
+        assert fire(cluster, portal, "GET", "/search",
+                    params={"q": "x"}).ok
+        assert fire(cluster, portal, "GET", "/search",
+                    params={"q": "x"}).status == 429
+        cluster.engine.run(until=cluster.engine.timeout(2.0))
+        assert fire(cluster, portal, "GET", "/search",
+                    params={"q": "x"}).ok
+
+
+class TestDeadlines:
+    def test_requests_get_a_stamped_deadline(self):
+        import dataclasses
+
+        cluster, portal, _ = make_portal(request_budget=10.0)
+        seen = {}
+        original = portal._handle_home
+
+        def spy(request):
+            seen["deadline"] = request.deadline
+            return original(request)
+
+        route = portal.server.routes[("GET", "/")]
+        portal.server.routes[("GET", "/")] = dataclasses.replace(
+            route, handler=spy)
+        r = fire(cluster, portal, "GET", "/")
+        assert r.ok
+        assert isinstance(seen["deadline"], Deadline)
+        assert seen["deadline"].remaining() > 0
+
+    def test_expired_deadline_is_a_504(self):
+        cluster, portal, _ = make_portal(request_budget=5.0)
+        from repro.web.server import Request
+
+        req = Request(method="GET", path="/",
+                      deadline=Deadline.after(cluster.engine, 0.001))
+        cluster.engine.run(until=cluster.engine.timeout(1.0))
+        r = cluster.run(cluster.engine.process(portal.server.handle(req)))
+        assert r.status == 504
+        assert "deadline" in r.body["error"]
+
+
+class TestAdmissionShedding:
+    def test_saturation_returns_503_with_retry_after(self):
+        cluster, portal, controller = make_portal(
+            capacity=1, queue_capacity=0)
+        engine = cluster.engine
+        responses = []
+
+        def client(path):
+            def _run():
+                resp = yield engine.process(portal.request("GET", path))
+                responses.append(resp)
+            return engine.process(_run())
+
+        for _ in range(4):
+            client("/")
+        cluster.run()
+        statuses = sorted(r.status for r in responses)
+        assert 200 in statuses
+        assert 503 in statuses
+        shed = [r for r in responses if r.status == 503]
+        assert shed[0].headers["Retry-After"] == format_retry_after(
+            portal.RETRY_AFTER)
+        assert controller.shed_counts["playback"] >= 1
+
+    def test_playback_outranks_upload_in_the_queue(self):
+        cluster, portal, controller = make_portal(
+            capacity=1, queue_capacity=1)
+        engine = cluster.engine
+        outcomes = []
+
+        def client(tag, method, path, **kw):
+            def _run():
+                resp = yield engine.process(
+                    portal.request(method, path, **kw))
+                outcomes.append((tag, resp.status))
+            return engine.process(_run())
+
+        client("first", "GET", "/")           # takes the slot
+        client("upload", "POST", "/upload")   # queued (class upload)
+        client("playback", "GET", "/")        # evicts the queued upload
+        cluster.run()
+        by_tag = dict(outcomes)
+        assert by_tag["upload"] == 503
+        assert by_tag["playback"] == 200
+        assert controller.shed_counts["upload"] == 1
+
+    def test_no_overload_control_means_no_shedding(self):
+        cluster = Cluster(6)
+        fs = Hdfs(cluster, namenode_host="node0",
+                  datanode_hosts=cluster.host_names[1:],
+                  block_size=16 * MiB, replication=2)
+        portal = VideoPortal(cluster, fs, web_host="node1",
+                             transcode_workers=cluster.host_names[2:])
+        for _ in range(10):
+            r = fire(cluster, portal, "GET", "/")
+            assert r.ok
+        assert portal.server.stats.shed == 0
+
+    def test_metrics_account_shed_work(self):
+        cluster, portal, _ = make_portal(
+            rate_limits={("GET", "/search"): 1.0})
+        fire(cluster, portal, "GET", "/search", params={"q": "x"})
+        fire(cluster, portal, "GET", "/search", params={"q": "x"})
+        rate_limited = cluster.metrics.counter(
+            "web_rate_limited_total",
+            "requests refused 429 by a per-route token bucket",
+            labels=("route",))
+        assert rate_limited.labels(route="/search").value == 1.0
+        requests = cluster.metrics.counter(
+            "web_requests_total", "HTTP requests served",
+            labels=("method", "route", "status"))
+        assert requests.labels(
+            method="GET", route="/search", status="429").value == 1.0
