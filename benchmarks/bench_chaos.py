@@ -15,7 +15,7 @@ from repro import build_video_cloud
 from repro.chaos import HostCrash
 from repro.common.units import MiB
 
-from _util import run, show
+from _util import run, show, show_json
 
 SETTLE = 400.0
 
@@ -66,5 +66,11 @@ def test_echaos_recovery_vs_cluster_size(benchmark, capsys):
         2.0 * min(r["iaas"] for r in results.values())
     assert max(r["hdfs"] for r in results.values()) < \
         2.0 * min(r["hdfs"] for r in results.values())
+
+    show_json(capsys, "e_chaos", {
+        "mttr_by_cluster_size": {
+            str(n): {layer: round(v, 3) for layer, v in mttr.items()}
+            for n, mttr in results.items()},
+    })
 
     benchmark.pedantic(crash_once, args=(4,), rounds=2, iterations=1)

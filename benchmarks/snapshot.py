@@ -1,0 +1,77 @@
+"""Snapshot machine-readable bench results into committed JSON files.
+
+Runs the smoke bench suites and harvests their ``### BENCH_JSON <tag>``
+blocks (see :func:`_util.show_json`) into ``BENCH_<suite>.json`` at the
+repository root, one file per suite, so regression tooling can diff the
+simulated numbers across commits without re-running the benches.
+
+Usage::
+
+    python benchmarks/snapshot.py              # all suites
+    python benchmarks/snapshot.py reconcile    # just one
+
+The script is plain stdlib on purpose: it shells out to pytest exactly
+the way CI does, so a snapshot is always produced by the same command
+path whose output it archives.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import re
+import subprocess
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+
+#: suites with machine-readable blocks worth archiving at the root
+SUITES = {
+    "reconcile": "bench_reconcile.py",
+    "chaos": "bench_chaos.py",
+    "overload": "bench_overload.py",
+}
+
+_LINE = re.compile(r"^### BENCH_JSON (\S+) (.+)$")
+
+
+def collect(bench_file: str) -> dict:
+    """Run one bench file and return its BENCH_JSON blocks by tag."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(ROOT / "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else "")
+    cmd = [sys.executable, "-m", "pytest",
+           str(ROOT / "benchmarks" / bench_file),
+           "--benchmark-only", "-q", "-s", "-p", "no:cacheprovider"]
+    proc = subprocess.run(cmd, capture_output=True, text=True,
+                          env=env, cwd=ROOT)
+    if proc.returncode != 0:
+        sys.stderr.write(proc.stdout[-4000:] + proc.stderr[-2000:])
+        raise SystemExit(f"{bench_file} failed (exit {proc.returncode})")
+    blocks = {}
+    for line in proc.stdout.splitlines():
+        m = _LINE.match(line.strip())
+        if m:
+            blocks[m.group(1)] = json.loads(m.group(2))
+    if not blocks:
+        raise SystemExit(f"{bench_file} emitted no BENCH_JSON blocks")
+    return blocks
+
+
+def main(argv: list[str] | None = None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("suites", nargs="*", choices=[*SUITES, []],
+                        default=list(SUITES),
+                        help="suites to snapshot (default: all)")
+    args = parser.parse_args(argv)
+    for suite in args.suites:
+        blocks = collect(SUITES[suite])
+        out = ROOT / f"BENCH_{suite}.json"
+        out.write_text(json.dumps(blocks, indent=2, sort_keys=True) + "\n")
+        print(f"wrote {out.relative_to(ROOT)} ({len(blocks)} blocks)")
+
+
+if __name__ == "__main__":
+    main()

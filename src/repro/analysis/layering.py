@@ -16,6 +16,7 @@ the stack of the paper, bottom-up::
     fusehdfs, video, search         the PaaS/SaaS middle tier
     web                             portal, auth, feed, mini-DB, server
     chaos                           fault injection over the whole stack
+    reconcile                       self-healing control plane over all layers
     stack, bench                    top-level assembly and workloads
 
 ``analysis`` (this package) sits outside the runtime stack and may only
@@ -59,15 +60,22 @@ ALLOWED_IMPORTS: dict[str, frozenset[str]] = {
         "common", "sim", "obs", "resilience", "hardware", "virt", "drivers",
         "hdfs", "one", "mapreduce", "web",
     }),
+    # the control plane observes and acts on every managed layer, but the
+    # layers (and chaos) never import it back -- the loop closes at runtime
+    # through adapters, not through the import graph
+    "reconcile": frozenset({
+        "common", "sim", "obs", "resilience", "hardware", "virt", "drivers",
+        "hdfs", "one", "mapreduce", "fusehdfs", "video", "search", "web",
+    }),
     "stack": frozenset({
         "common", "sim", "obs", "resilience", "hardware", "virt", "drivers",
         "hdfs", "one", "mapreduce", "fusehdfs", "video", "search", "web",
-        "chaos",
+        "chaos", "reconcile",
     }),
     "bench": frozenset({
         "common", "sim", "obs", "resilience", "hardware", "virt", "drivers",
         "hdfs", "one", "mapreduce", "fusehdfs", "video", "search", "web",
-        "chaos", "stack",
+        "chaos", "reconcile", "stack",
     }),
 }
 

@@ -11,6 +11,7 @@ from .scenarios import (
     LinkDegradation,
     NetworkPartition,
     OverloadStorm,
+    ReconcileStorm,
     Scenario,
     VmKill,
 )
@@ -25,6 +26,7 @@ __all__ = [
     "LinkDegradation",
     "NetworkPartition",
     "OverloadStorm",
+    "ReconcileStorm",
     "RecoveryRecord",
     "Scenario",
     "StormStats",

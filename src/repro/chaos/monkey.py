@@ -60,6 +60,10 @@ class ChaosMonkey:
         self.portal = portal
         self.rng = rng or cluster.rng.child("chaos")
         self.report = report or ChaosReport()
+        #: extra storm request classes (kind -> factory) merged over the
+        #: built-in playback/search defaults, so declarative scenarios
+        #: (which carry only a mix) can reference heavier traffic too
+        self.request_factories: dict[str, Callable[[], Generator]] = {}
 
     # -- injection primitives ---------------------------------------------------
 
@@ -166,11 +170,14 @@ class ChaosMonkey:
         if duration <= 0 or rate <= 0:
             raise ConfigError("overload_storm needs duration > 0 and rate > 0")
         portal = self.portal
-        factories = request_factories or {
-            "playback": lambda: portal.request("GET", "/"),
-            "search": lambda: portal.request(
-                "GET", "/search", params={"q": "video"}),
-        }
+        factories = request_factories
+        if factories is None:
+            factories = {
+                "playback": lambda: portal.request("GET", "/"),
+                "search": lambda: portal.request(
+                    "GET", "/search", params={"q": "video"}),
+            }
+            factories.update(self.request_factories)
         weights = dict(mix) if mix is not None else {k: 1.0 for k in factories}
         unknown = sorted(set(weights) - set(factories))
         if unknown:

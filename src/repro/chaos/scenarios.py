@@ -196,5 +196,70 @@ class OverloadStorm:
         return stats
 
 
+@dataclass(frozen=True)
+class ReconcileStorm:
+    """Compound failure for the self-healing control plane.
+
+    Overlaps a host crash, a network partition and two overload bursts
+    on one timeline -- the workload the reconciler must converge through
+    without operator help.  Composes the existing primitives (each child
+    scenario's ``at`` becomes an offset from this storm's start), so the
+    report still counts every injection individually.
+    """
+
+    crash: str                              # host that dies
+    isolated: tuple[str, ...]               # hosts cut off by the partition
+    at: float = 0.0
+    crash_recover_after: float | None = 300.0
+    partition_delay: float = 45.0
+    heal_after: float = 90.0
+    storm_delay: float = 15.0
+    storm_duration: float = 60.0
+    storm_rate: float = 30.0
+    storm_gap: float = 120.0                # idle time between the two bursts
+    storm_mix: tuple[tuple[str, float], ...] | None = None
+    name: str = "reconcile-storm"
+
+    kind = "reconcile_storm"
+
+    def __post_init__(self) -> None:
+        _check_at(self.at)
+        if not self.isolated:
+            raise ConfigError("reconcile storm needs isolated hosts")
+        if self.crash in self.isolated:
+            raise ConfigError("crash host cannot also be partitioned")
+        if self.storm_duration <= 0 or self.storm_rate <= 0:
+            raise ConfigError("storm needs duration > 0 and rate > 0")
+        if self.storm_gap < 0:
+            raise ConfigError("storm_gap must be >= 0")
+
+    def children(self) -> tuple["Scenario", ...]:
+        """The primitive scenarios this storm runs concurrently."""
+        return (
+            HostCrash(host=self.crash, at=0.0,
+                      recover_after=self.crash_recover_after),
+            NetworkPartition(isolated=self.isolated, at=self.partition_delay,
+                             heal_after=self.heal_after),
+            OverloadStorm(at=self.storm_delay, duration=self.storm_duration,
+                          rate=self.storm_rate, mix=self.storm_mix,
+                          name=f"{self.name}-burst1"),
+            OverloadStorm(
+                at=self.storm_delay + self.storm_duration + self.storm_gap,
+                duration=self.storm_duration, rate=self.storm_rate,
+                mix=self.storm_mix, name=f"{self.name}-burst2"),
+        )
+
+    def run(self, monkey: "ChaosMonkey") -> Generator:
+        yield monkey.engine.timeout(self.at)
+        engine = monkey.engine
+        procs = [
+            engine.process(child.run(monkey),
+                           name=f"{self.name}-{child.kind}-{i}")
+            for i, child in enumerate(self.children())
+        ]
+        yield engine.all_of(procs)
+
+
 Scenario = (HostCrash | VmKill | LinkCut | NetworkPartition
-            | LinkDegradation | DiskSlowdown | OverloadStorm)
+            | LinkDegradation | DiskSlowdown | OverloadStorm
+            | ReconcileStorm)

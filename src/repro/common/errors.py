@@ -104,6 +104,10 @@ class TaskFailedError(MapReduceError):
     """A map or reduce attempt exhausted its retries."""
 
 
+class ReconcileError(ReproError):
+    """Invalid fleet spec or reconciler state transition."""
+
+
 class SearchError(ReproError):
     """Indexing or query-parsing failure in the search engine."""
 

@@ -29,6 +29,9 @@ class DataNode:
         self.blocks: dict[BlockId, Block] = {}
         self.corrupted: set[BlockId] = set()
         self.alive = True
+        #: set when the node leaves the pool for good (decommission /
+        #: hard removal): a host reboot must not resurrect it
+        self.retired = False
         self._heartbeat_proc: Process | None = None
         self._hb_stop = False
         self._hb_interval: float | None = None
@@ -208,7 +211,7 @@ class DataNode:
         Local replicas survive a crash-reboot, so the NameNode gets a
         blockReceived for each -- they count toward replication again.
         """
-        if self.alive:
+        if self.alive or self.retired:
             return
         self.alive = True
         self.namenode.heartbeat(self.name)

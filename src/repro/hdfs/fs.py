@@ -59,14 +59,87 @@ class Hdfs:
         self._breakers: dict[str, CircuitBreaker] = {}
         self._breaker_rng = cluster.rng.child("hdfs-breakers")
         self.datanodes: dict[str, DataNode] = {}
+        self._started = False
+        self._scan_period: float | None = None
         for name in dn_hosts:
-            dn = DataNode(cluster.host(name), self.namenode)
-            self.datanodes[name] = dn
-            self.namenode.register_datanode(name)
-            # a whole-host crash (chaos layer) takes its DataNode with it
-            host = cluster.host(name)
-            host.on_fail(lambda h, dn=dn: dn.kill())
-            host.on_recover(lambda h, dn=dn: dn.recover())
+            self._enrol_datanode(name)
+
+    def _enrol_datanode(self, name: str) -> DataNode:
+        dn = DataNode(self.cluster.host(name), self.namenode)
+        self.datanodes[name] = dn
+        self.namenode.register_datanode(name)
+        # a whole-host crash (chaos layer) takes its DataNode with it
+        host = self.cluster.host(name)
+        host.on_fail(lambda h, dn=dn: dn.kill())
+        host.on_recover(lambda h, dn=dn: dn.recover())
+        return dn
+
+    def add_datanode(self, name: str) -> DataNode:
+        """Grow the pool: enrol a DataNode on *name* at runtime.
+
+        If the instance is already started the new node begins
+        heart-beating (and scanning, if scanners are on) immediately --
+        this is the reconciler's scale-up path.
+        """
+        if name not in self.cluster.host_names:
+            raise ConfigError(f"datanode host {name} not in cluster")
+        if name in self.datanodes:
+            raise ConfigError(f"host {name} already runs a datanode")
+        if name == self.namenode_host:
+            raise ConfigError("the namenode host does not run a datanode")
+        dn = self._enrol_datanode(name)
+        if self._started:
+            cal = self.cluster.cal.hadoop
+            dn.start_heartbeats(cal.heartbeat_interval)
+            if self._scan_period is not None:
+                dn.start_block_scanner(self._scan_period)
+        self.cluster.log.emit("hdfs", "datanode_added",
+                              f"datanode {name} joined", datanode=name)
+        return dn
+
+    def start_decommission(self, name: str) -> None:
+        """Begin draining the DataNode on *name* (reconciler scale-down)."""
+        self.datanode(name)  # validate
+        self.namenode.start_decommission(name)
+
+    def finish_decommission(self, name: str) -> bool:
+        """If *name* has fully drained, remove it from the pool.
+
+        Returns True when the node is gone, False while blocks it holds
+        still need more replicas elsewhere.
+        """
+        dn = self.datanodes.get(name)
+        if dn is None:
+            return True
+        if not self.namenode.decommission_complete(name):
+            return False
+        dn.stop_heartbeats()
+        dn.stop_block_scanner()
+        dn.alive = False
+        dn.retired = True
+        self.namenode.finish_decommission(name)
+        del self.datanodes[name]
+        self._breakers.pop(name, None)
+        self.cluster.log.emit("hdfs", "datanode_removed",
+                              f"datanode {name} decommissioned", datanode=name)
+        return True
+
+    def drop_datanode(self, name: str) -> None:
+        """Hard-remove a DataNode without draining.
+
+        The replacement path for a node that is already dead: its blocks
+        are unreachable anyway, so the replication monitor (not a drain)
+        restores redundancy while the pool slot is refilled elsewhere.
+        """
+        dn = self.datanodes.pop(name, None)
+        if dn is None:
+            return
+        dn.kill()
+        dn.retired = True
+        self.namenode.finish_decommission(name)
+        self._breakers.pop(name, None)
+        self.cluster.log.emit("hdfs", "datanode_dropped",
+                              f"datanode {name} hard-removed", datanode=name)
 
     # -- access -------------------------------------------------------------------
 
@@ -105,6 +178,8 @@ class Hdfs:
     def start(self, *, scan_period: float | None = None) -> None:
         """Start heartbeats + the replication monitor (+ block scanners)."""
         cal = self.cluster.cal.hadoop
+        self._started = True
+        self._scan_period = scan_period
         for dn in self.datanodes.values():
             dn.start_heartbeats(cal.heartbeat_interval)
             if scan_period is not None:
@@ -115,6 +190,7 @@ class Hdfs:
 
     def stop(self) -> None:
         """Stop all background processes so the engine can drain."""
+        self._started = False
         for dn in self.datanodes.values():
             dn.stop_heartbeats()
             dn.stop_block_scanner()

@@ -54,6 +54,9 @@ class NameNode:
         self.block_owner: dict[BlockId, str] = {}   # block -> file path
         self.last_heartbeat: dict[str, float] = {}
         self.dead_datanodes: set[str] = set()
+        #: nodes draining out of the pool: still serving reads, never a
+        #: placement target, and their blocks are queued for re-replication
+        self.decommissioning: set[str] = set()
         self.under_replicated: list[BlockId] = []
         self._monitor_proc: Process | None = None
         self._monitor_stop = False
@@ -74,6 +77,53 @@ class NameNode:
     def live_datanodes(self) -> list[str]:
         return [d for d in self.last_heartbeat if d not in self.dead_datanodes]
 
+    def placement_candidates(self) -> list[str]:
+        """Live DataNodes eligible to receive new replicas."""
+        return [d for d in self.live_datanodes() if d not in self.decommissioning]
+
+    # -- decommission ------------------------------------------------------------
+
+    def start_decommission(self, name: str) -> None:
+        """Begin draining *name*: queue every block it holds for re-copy."""
+        if name not in self.last_heartbeat:
+            raise HdfsError(f"unknown datanode {name}")
+        if name in self.decommissioning:
+            return
+        self.decommissioning.add(name)
+        for block_id, holders in self.block_map.items():
+            if name in holders:
+                self.under_replicated.append(block_id)
+        self.fs.cluster.log.emit(
+            "hdfs.namenode", "decommission_started",
+            f"datanode {name} draining", datanode=name,
+        )
+
+    def decommission_complete(self, name: str) -> bool:
+        """True once every block *name* holds is safe without it."""
+        if name not in self.decommissioning:
+            return name not in self.last_heartbeat
+        for block_id, holders in self.block_map.items():
+            if name not in holders:
+                continue
+            path = self.block_owner.get(block_id)
+            inode = self.namespace.get(path) if path else None
+            want = inode.replication if inode else 1
+            if len(self.effective_locations(block_id)) < want:
+                return False
+        return True
+
+    def finish_decommission(self, name: str) -> None:
+        """Drop a drained node from the pool entirely."""
+        self.decommissioning.discard(name)
+        self.dead_datanodes.discard(name)
+        self.last_heartbeat.pop(name, None)
+        for holders in self.block_map.values():
+            holders.discard(name)
+        self.fs.cluster.log.emit(
+            "hdfs.namenode", "decommission_finished",
+            f"datanode {name} left the pool", datanode=name,
+        )
+
     # -- namespace ops (metadata only, instantaneous) ------------------------------
 
     def next_block_id(self) -> int:
@@ -84,7 +134,7 @@ class NameNode:
         _validate_path(path)
         if path in self.namespace:
             raise FileAlreadyExists(path)
-        live = len(self.live_datanodes())
+        live = len(self.placement_candidates())
         if replication > live:
             raise ReplicationError(
                 f"replication {replication} > {live} live datanodes"
@@ -99,7 +149,7 @@ class NameNode:
         if inode.complete:
             raise HdfsError(f"{path}: file is complete (HDFS files are immutable)")
         targets = self.placement.choose_targets(
-            inode.replication, self.live_datanodes(), writer_host
+            inode.replication, self.placement_candidates(), writer_host
         )
         inode.blocks.append(block)
         self.block_map[block.block_id] = set()
@@ -140,6 +190,10 @@ class NameNode:
     def locations(self, block_id: BlockId) -> set[str]:
         live = set(self.live_datanodes())
         return self.block_map.get(block_id, set()) & live
+
+    def effective_locations(self, block_id: BlockId) -> set[str]:
+        """Replicas that count toward safety: live and not draining away."""
+        return self.locations(block_id) - self.decommissioning
 
     def _inode(self, path: str) -> INode:
         try:
@@ -200,7 +254,7 @@ class NameNode:
                 raise ReplicationError(f"{block_id}: all replicas lost")
             src = sorted(holders)[0]
             target = self.placement.choose_rereplication_target(
-                self.live_datanodes(), holders
+                self.placement_candidates(), holders
             )
             src_dn = fs.datanode(src)
             block = src_dn.blocks[block_id]
@@ -235,7 +289,8 @@ class NameNode:
                         inode = self.namespace.get(self.block_owner.get(block_id, ""))
                         if inode is None:
                             continue
-                        if len(self.locations(block_id)) >= inode.replication:
+                        if (len(self.effective_locations(block_id))
+                                >= inode.replication):
                             continue
                         if not self.locations(block_id):
                             continue  # unrecoverable; surfaced via metrics

@@ -86,6 +86,44 @@ class JobTracker:
         """Install an overload signal consulted before speculating."""
         self._pressure = signal
 
+    # -- tracker pool membership (reconciler scale paths) ----------------------
+
+    def live_trackers(self) -> list[TaskTracker]:
+        """Trackers whose hosts are currently up."""
+        return [t for t in self.trackers if t.host.alive]
+
+    def add_tracker(self, host_name: str, *, map_slots: int = 2,
+                    reduce_slots: int = 2, slowdown: float = 1.0) -> TaskTracker:
+        """Enrol a new TaskTracker on *host_name* at runtime."""
+        if host_name not in self.fs.cluster.host_names:
+            raise MapReduceError(f"tracker host {host_name} not in cluster")
+        if any(t.name == host_name for t in self.trackers):
+            raise MapReduceError(f"host {host_name} already runs a tracker")
+        tracker = TaskTracker(self.fs.cluster.host(host_name), self.fs,
+                              map_slots=map_slots, reduce_slots=reduce_slots,
+                              slowdown=slowdown)
+        self.trackers.append(tracker)
+        self.fs.cluster.log.emit("mapred.jobtracker", "tracker_added",
+                                 f"tracker {host_name} joined",
+                                 tracker=host_name)
+        return tracker
+
+    def remove_tracker(self, host_name: str) -> None:
+        """Drop the tracker on *host_name* from the pool.
+
+        Running jobs keep whatever attempts are in flight; the tracker
+        simply receives no further work.  At least one tracker must remain.
+        """
+        matches = [t for t in self.trackers if t.name == host_name]
+        if not matches:
+            raise MapReduceError(f"no tracker on host {host_name}")
+        if len(self.trackers) == 1:
+            raise MapReduceError("cannot remove the last tracker")
+        self.trackers.remove(matches[0])
+        self.fs.cluster.log.emit("mapred.jobtracker", "tracker_removed",
+                                 f"tracker {host_name} left",
+                                 tracker=host_name)
+
     def submit(self, job: MapReduceJob) -> Generator:
         """Process: run *job* to completion; returns a JobResult.
 

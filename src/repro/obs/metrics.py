@@ -262,6 +262,43 @@ class MetricsRegistry:
     def families(self) -> list[Metric]:
         return [self._metrics[n] for n in sorted(self._metrics)]
 
+    # -- aggregation (control-loop signals) -----------------------------------
+
+    def family_total(self, name: str, default: float = 0.0) -> float:
+        """Sum of a counter/gauge family across all label children.
+
+        The autoscaler's view of e.g. ``admission_queued``: one number for
+        the whole family, *default* when the family does not exist yet
+        (nothing instrumented has run).
+        """
+        if name not in self._metrics:
+            return default
+        family = self.get(name)
+        if isinstance(family, Histogram):
+            raise ConfigError(
+                f"{name} is a histogram; use family_percentile()")
+        return sum(child.value for child in family.children())
+
+    def family_percentile(self, name: str, p: float,
+                          default: float = 0.0) -> float:
+        """Exact percentile over a histogram family's pooled samples.
+
+        Pools every label child's observations (e.g. all routes of
+        ``web_request_seconds``) so control loops see one latency number;
+        *default* when the family is missing or empty.
+        """
+        if name not in self._metrics:
+            return default
+        family = self.get(name)
+        if not isinstance(family, Histogram):
+            raise ConfigError(f"{name} is a {family.kind}, not a histogram")
+        pooled = Histogram(name, buckets=family.buckets)
+        for child in family.children():
+            pooled.samples.extend(child.samples)
+        if not pooled.samples:
+            return default
+        return pooled.percentile(p)
+
     # -- exposition ----------------------------------------------------------
 
     def render_prometheus(self) -> str:

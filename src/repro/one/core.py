@@ -55,6 +55,10 @@ class HostRecord:
     im: InformationDriver
     reserved_memory: int = 0
     reserved_vms: int = 0
+    #: cordoned hosts are excluded from placement (kept out of the
+    #: candidate set by the capacity manager) but keep running their
+    #: current VMs -- the reconciler quarantines flapping hosts this way
+    cordoned: bool = False
 
 
 class OpenNebula:
@@ -140,6 +144,29 @@ class OpenNebula:
             if rec.host.name == name:
                 return rec
         raise ConfigError(f"host {name} not enrolled")
+
+    def cordon_host(self, name: str) -> None:
+        """Exclude *name* from placement without touching its running VMs.
+
+        The reconciler cordons hosts whose members keep failing (flapping
+        hardware) so the capacity manager stops feeding them fresh VMs.
+        """
+        rec = self.host_record(name)
+        if rec.cordoned:
+            return
+        rec.cordoned = True
+        self.log.emit("one.core", "host_cordoned",
+                      f"host {name} cordoned (no new placements)", host=name)
+
+    def uncordon_host(self, name: str) -> None:
+        """Return a cordoned host to the placement candidate set."""
+        rec = self.host_record(name)
+        if not rec.cordoned:
+            return
+        rec.cordoned = False
+        self.log.emit("one.core", "host_uncordoned",
+                      f"host {name} back in the placement pool", host=name)
+        self._schedule_dispatch()
 
     # -- image management ------------------------------------------------------
 
@@ -263,6 +290,27 @@ class OpenNebula:
             self._pending.append(one_vm)
             self._m_pending.set(len(self._pending))
             self._schedule_dispatch()
+
+    def retire_vm(self, one_vm: OneVm, *, reason: str = "retired") -> None:
+        """Remove a VM from the fleet without resubmitting it.
+
+        Scale-down path for the reconciler: a PENDING VM is simply moved
+        to DONE and dropped from the dispatch queue; an active VM is
+        hard-killed with ``resubmit=False`` so the capacity manager never
+        brings it back.  DONE/FAILED records are left untouched.
+        """
+        if one_vm.state is OneState.PENDING:
+            one_vm.lifecycle.to(OneState.DONE)
+            if one_vm in self._pending:
+                self._pending.remove(one_vm)
+                self._m_pending.set(len(self._pending))
+            self.log.emit("one.core", "vm_retired",
+                          f"{one_vm.name} retired while PENDING: {reason}",
+                          vm=one_vm.name, reason=reason)
+            return
+        if not one_vm.lifecycle.is_active:
+            return
+        self.kill_vm(one_vm, resubmit=False, reason=reason)
 
     def fail_host(self, name: str, *, resubmit: bool = True) -> list[OneVm]:
         """Simulate a host crash.

@@ -8,21 +8,32 @@ utilisation and VM information.
 
 from __future__ import annotations
 
-from collections import defaultdict
-from typing import Generator
+from collections import deque
+from typing import Deque, Generator
 
+from ..common.errors import ConfigError
 from ..common.tables import format_table
 from ..drivers import HostMetrics
 from .core import OpenNebula
 
 
 class MonitoringService:
-    """Periodic host polling + history."""
+    """Periodic host polling + history.
 
-    def __init__(self, cloud: OpenNebula, period: float = 10.0) -> None:
+    ``history`` is a per-host ring buffer of the last *history_limit*
+    sweeps.  The reconciler polls continuously for the lifetime of the
+    cluster, so an unbounded list would grow without limit; the dashboard
+    and the control loops only ever look at the recent tail anyway.
+    """
+
+    def __init__(self, cloud: OpenNebula, period: float = 10.0,
+                 *, history_limit: int = 256) -> None:
+        if history_limit < 1:
+            raise ConfigError(f"history_limit must be >= 1, got {history_limit}")
         self.cloud = cloud
         self.period = period
-        self.history: dict[str, list[HostMetrics]] = defaultdict(list)
+        self.history_limit = history_limit
+        self.history: dict[str, Deque[HostMetrics]] = {}
         # snapshots for interval (between-sweeps) CPU utilisation, the
         # "current load" number the Figure 7 dashboard shows
         self._busy_snapshot: dict[str, tuple[float, float]] = {}
@@ -35,7 +46,11 @@ class MonitoringService:
             samples = []
             for rec in self.cloud.host_pool:
                 m = yield self.cloud.engine.process(rec.im.poll())
-                self.history[m.host].append(m)
+                series = self.history.get(m.host)
+                if series is None:
+                    series = self.history[m.host] = deque(
+                        maxlen=self.history_limit)
+                series.append(m)
                 samples.append(m)
                 host = rec.host
                 prev = self._busy_snapshot.get(host.name)

@@ -88,6 +88,8 @@ class CapacityManager:
             facts = host_facts(rec)
             if not facts["alive"]:
                 continue
+            if rec.cordoned:
+                continue
             if facts["mem_free"] < tpl.memory:
                 continue
             if (self.headroom > 0.0

@@ -1,0 +1,568 @@
+"""The reconciler: one control loop driving observed state to the spec.
+
+Every sweep the loop re-observes each pool through its adapter and acts
+on the diff, in a fixed order so runs are bit-reproducible:
+
+1. finish pending (draining) removals;
+2. condemn members that stayed unhealthy (or hung in ``starting``) past
+   the pool's :class:`~repro.reconcile.spec.HealthPolicy`, remove them,
+   and note their hosts (a host that keeps eating members is cordoned);
+3. advance the rolling-upgrade state machine (surge one member at the
+   new version, gate on ``ready_sweeps``, drain old members one at a
+   time, roll back the moment a new-version member goes unhealthy);
+4. fix the member count -- scale down surplus, or add replacements and
+   scale-ups at the target version, under exponential backoff and the
+   crash-loop budget;
+5. score convergence for the :class:`ConvergenceReport`.
+
+Autoscalers run before the pool loop and rewrite the spec's replica
+counts; everything downstream just sees a new desired state -- scaling
+is not a special case, it is merely a spec change.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterable
+
+from ..common.errors import ReconcileError, ReproError
+from ..hardware import Cluster
+from ..sim import Interrupt, Process
+from .autoscaler import Autoscaler
+from .pools import MemberStatus, PoolAdapter
+from .spec import FleetSpec, PoolSpec
+
+if TYPE_CHECKING:  # pragma: no cover - annotations only
+    from ..one import MonitoringService, OpenNebula
+
+#: every kind an Action can carry (determinism tests pin this vocabulary)
+ACTION_KINDS = (
+    "spec_applied", "replace", "add", "remove", "scale_up", "scale_down",
+    "upgrade_start", "upgrade_member", "upgrade_done", "rollback",
+    "give_up", "cordon", "uncordon",
+)
+
+
+@dataclass(frozen=True)
+class Action:
+    """One convergent step the reconciler took."""
+
+    time: float
+    pool: str
+    kind: str
+    member: str = ""
+    detail: str = ""
+
+
+class ActionLog:
+    """Ordered record of everything the reconciler did."""
+
+    def __init__(self, cluster: Cluster) -> None:
+        self._cluster = cluster
+        self.actions: list[Action] = []
+        self._m_actions = cluster.metrics.counter(
+            "reconcile_actions_total", "actions issued by the reconciler",
+            labels=("kind",))
+
+    def record(self, pool: str, kind: str, member: str = "",
+               detail: str = "") -> Action:
+        if kind not in ACTION_KINDS:
+            raise ReconcileError(f"unknown action kind {kind!r}")
+        action = Action(time=self._cluster.engine.now, pool=pool, kind=kind,
+                        member=member, detail=detail)
+        self.actions.append(action)
+        self._m_actions.labels(kind=kind).inc()
+        self._cluster.log.emit(
+            "reconcile", f"reconcile_{kind}",
+            f"[{pool}] {kind}" + (f" {member}" if member else "")
+            + (f": {detail}" if detail else ""),
+            pool=pool, member=member, detail=detail)
+        return action
+
+    def by_kind(self, kind: str) -> list[Action]:
+        return [a for a in self.actions if a.kind == kind]
+
+    def counts(self) -> dict[str, int]:
+        out: dict[str, int] = {}
+        for a in self.actions:
+            out[a.kind] = out.get(a.kind, 0) + 1
+        return out
+
+    def signature(self) -> tuple[tuple[float, str, str, str, str], ...]:
+        """Bit-comparable identity of the whole log (determinism tests)."""
+        return tuple((a.time, a.pool, a.kind, a.member, a.detail)
+                     for a in self.actions)
+
+    def __len__(self) -> int:
+        return len(self.actions)
+
+
+@dataclass
+class DivergenceEpisode:
+    """One excursion of a pool away from its spec."""
+
+    pool: str
+    started: float
+    converged: float | None = None
+
+    @property
+    def duration(self) -> float | None:
+        if self.converged is None:
+            return None
+        return self.converged - self.started
+
+
+class ConvergenceReport:
+    """Per-pool divergence episodes + convergence-time statistics."""
+
+    def __init__(self) -> None:
+        self.episodes: list[DivergenceEpisode] = []
+        self._open: dict[str, DivergenceEpisode] = {}
+
+    def note(self, pool: str, converged: bool, now: float) -> None:
+        """Record this sweep's convergence verdict for *pool*."""
+        episode = self._open.get(pool)
+        if not converged and episode is None:
+            episode = DivergenceEpisode(pool=pool, started=now)
+            self._open[pool] = episode
+            self.episodes.append(episode)
+        elif converged and episode is not None:
+            episode.converged = now
+            del self._open[pool]
+
+    def closed(self) -> list[DivergenceEpisode]:
+        return [e for e in self.episodes if e.converged is not None]
+
+    def open_pools(self) -> list[str]:
+        return sorted(self._open)
+
+    def convergence_times(self) -> list[float]:
+        return [e.duration for e in self.closed() if e.duration is not None]
+
+    def mean_convergence_time(self) -> float:
+        times = self.convergence_times()
+        return sum(times) / len(times) if times else 0.0
+
+    def max_convergence_time(self) -> float:
+        times = self.convergence_times()
+        return max(times) if times else 0.0
+
+    def signature(self) -> tuple[tuple[str, float, float | None], ...]:
+        return tuple((e.pool, e.started, e.converged) for e in self.episodes)
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "episodes": len(self.episodes),
+            "unconverged_pools": self.open_pools(),
+            "mean_convergence_s": round(self.mean_convergence_time(), 3),
+            "max_convergence_s": round(self.max_convergence_time(), 3),
+        }
+
+
+@dataclass
+class _PoolState:
+    """Mutable per-pool bookkeeping between sweeps."""
+
+    streak: dict[str, int] = field(default_factory=dict)
+    starting_since: dict[str, float] = field(default_factory=dict)
+    pending: dict[str, bool] = field(default_factory=dict)  # name -> drain
+    backoff: float = 0.0
+    backoff_until: float = 0.0
+    replace_count: int = 0
+    gave_up: bool = False
+    upgrade_active: bool = False
+    ready_streak: int = 0
+    last_good: str = ""
+    bad_versions: set[str] = field(default_factory=set)
+
+
+class Reconciler:
+    """Drives every pool in a :class:`FleetSpec` toward its desired state."""
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        spec: FleetSpec,
+        adapters: dict[str, PoolAdapter],
+        *,
+        autoscalers: Iterable[Autoscaler] = (),
+        period: float = 5.0,
+        monitoring: "MonitoringService | None" = None,
+        cloud: "OpenNebula | None" = None,
+        cordon_after: int = 3,
+        cordon_probation: float = 120.0,
+    ) -> None:
+        if period <= 0:
+            raise ReconcileError("reconciler period must be > 0")
+        self.cluster = cluster
+        self.engine = cluster.engine
+        self.adapters = dict(adapters)
+        self.autoscalers = list(autoscalers)
+        self.period = period
+        self.monitoring = monitoring
+        self.cloud = cloud
+        self.cordon_after = cordon_after
+        self.cordon_probation = cordon_probation
+        self.actions = ActionLog(cluster)
+        self.report = ConvergenceReport()
+        self.sweeps = 0
+        self._state: dict[str, _PoolState] = {}
+        self._host_failures: dict[str, int] = {}
+        self._cordoned_until: dict[str, float] = {}
+        self._proc: Process | None = None
+        self._stop = False
+        metrics = cluster.metrics
+        self._m_members = metrics.gauge(
+            "reconcile_members", "observed members by phase",
+            labels=("pool", "phase"))
+        self._m_converged = metrics.gauge(
+            "reconcile_converged", "1 when a pool matches its spec",
+            labels=("pool",))
+        self._m_convergence = metrics.histogram(
+            "reconcile_convergence_seconds",
+            "divergence episode durations")
+        self._m_sweeps = metrics.counter(
+            "reconcile_sweeps_total", "reconciler sweeps executed")
+        self.spec: FleetSpec = spec  # set for type; apply() validates
+        self._applied = False
+        self.apply(spec)
+
+    # -- spec management ------------------------------------------------------
+
+    def apply(self, spec: FleetSpec) -> None:
+        """Install a new desired state.
+
+        Give-up and version bans are reset only for pools whose spec
+        actually changed (or that had given up): the operator speaking
+        about one pool must not un-ban a version another pool rolled
+        back from.
+        """
+        for pool in spec.pools:
+            if pool.name not in self.adapters:
+                raise ReconcileError(f"no adapter for pool {pool.name!r}")
+        previous = self.spec if self._applied else None
+        self.spec = spec
+        self._applied = True
+        for pool in spec.pools:
+            st = self._state.get(pool.name)
+            if st is None:
+                st = self._state[pool.name] = _PoolState(last_good=pool.version)
+                self._adopt_unversioned(pool, st)
+            else:
+                prev = None
+                if previous is not None:
+                    try:
+                        prev = previous.pool(pool.name)
+                    except ReconcileError:
+                        prev = None
+                if prev == pool and not st.gave_up:
+                    continue        # unchanged pool: keep its state
+                st.gave_up = False
+                st.replace_count = 0
+                st.bad_versions.discard(pool.version)
+            self.actions.record(
+                pool.name, "spec_applied",
+                detail=f"replicas={pool.replicas} version={pool.version}")
+
+    def _adopt_unversioned(self, pool: PoolSpec, st: _PoolState) -> None:
+        """Stamp pre-existing (unversioned) members with the spec version,
+        so the first sweep does not read them as an upgrade in progress."""
+        adapter = self.adapters[pool.name]
+        adopt = getattr(adapter, "adopt", None)
+        for m in adapter.members():
+            if m.version:
+                continue
+            if adopt is not None:
+                adopt(m.name, pool.version)
+            else:
+                versions = getattr(adapter, "versions", None)
+                if versions is not None:
+                    versions[m.name] = pool.version
+
+    def _target_version(self, pool: PoolSpec, st: _PoolState) -> str:
+        if pool.version in st.bad_versions:
+            return st.last_good
+        return pool.version
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def start(self) -> None:
+        """Begin the sweep loop (idempotent)."""
+        if self._proc is not None and self._proc.is_alive:
+            return
+        self._stop = False
+        engine = self.engine
+
+        def _loop():
+            try:
+                while not self._stop:
+                    yield engine.timeout(self.period)
+                    if self._stop:
+                        return
+                    if self.monitoring is not None:
+                        yield engine.process(self.monitoring.poll_once())
+                    self.sweep()
+            except Interrupt:
+                pass
+
+        self._proc = engine.process(_loop(), name="reconciler")
+
+    def stop(self) -> None:
+        self._stop = True
+        proc = self._proc
+        self._proc = None
+        if proc is not None and proc.is_alive and proc.started:
+            proc.interrupt("stop")
+
+    # -- one sweep ------------------------------------------------------------
+
+    def sweep(self) -> None:
+        """Diff desired vs observed for every pool and act on it."""
+        now = self.engine.now
+        self.sweeps += 1
+        self._m_sweeps.inc()
+        for scaler in self.autoscalers:
+            pool = self.spec.pool(scaler.policy.pool)
+            want = scaler.evaluate(now, pool.replicas)
+            clamped = max(pool.min_replicas, min(pool.max_replicas, want))
+            if clamped != pool.replicas:
+                self.spec = self.spec.with_replicas(pool.name, clamped)
+                kind = "scale_up" if clamped > pool.replicas else "scale_down"
+                self.actions.record(
+                    pool.name, kind,
+                    detail=f"{pool.replicas}->{clamped} "
+                           f"signal={scaler.last_value:.3f}")
+        self._sweep_cordons(now)
+        for pool in self.spec.pools:
+            self._reconcile_pool(pool, now)
+
+    def _reconcile_pool(self, pool: PoolSpec, now: float) -> None:
+        st = self._state[pool.name]
+        adapter = self.adapters[pool.name]
+        target = self._target_version(pool, st)
+
+        # 1. finish removals still draining from earlier sweeps
+        for name in sorted(st.pending):
+            if adapter.remove_member(name, drain=st.pending[name]):
+                del st.pending[name]
+
+        # 2. health: update streaks, condemn, replace-remove
+        members = adapter.members()
+        # the pre-action verdict: a divergence episode opens the moment a
+        # mismatch is *observed*, even if this very sweep repairs it
+        self.report.note(
+            pool.name, self._verdict(pool, st, members, target), now)
+        self._update_streaks(pool, st, members, now)
+        condemned = sorted(
+            (m for m in members
+             if m.phase != "stopping"
+             and st.streak.get(m.name, 0) >= pool.health.unhealthy_after),
+            key=lambda m: m.name)
+        for m in condemned:
+            if st.gave_up:
+                break
+            if not adapter.remove_member(m.name, drain=False):
+                st.pending[m.name] = False
+            st.streak.pop(m.name, None)
+            st.starting_since.pop(m.name, None)
+            self.actions.record(pool.name, "replace", member=m.name,
+                                detail=m.reason or m.phase)
+            st.replace_count += 1
+            if m.host is not None:
+                self._note_host_failure(m.host, now)
+            if st.replace_count >= pool.health.crashloop_budget:
+                st.gave_up = True
+                self.actions.record(
+                    pool.name, "give_up",
+                    detail=f"{st.replace_count} replacements without "
+                           f"convergence (budget "
+                           f"{pool.health.crashloop_budget})")
+        if condemned and not st.gave_up:
+            # crash-loop backoff: first replacement is immediate, then
+            # the re-adds wait base, 2*base, ... up to backoff_max
+            st.backoff_until = max(st.backoff_until, now + st.backoff)
+            st.backoff = (pool.health.backoff_base if st.backoff == 0
+                          else min(pool.health.backoff_max, st.backoff * 2))
+
+        # 3. rolling upgrade
+        members = adapter.members()
+        active = [m for m in members if m.phase != "stopping"]
+        self._advance_upgrade(pool, st, adapter, active, now)
+
+        # 4. count: scale down surplus / add up to desired (+ surge)
+        members = adapter.members()
+        active = [m for m in members if m.phase != "stopping"]
+        old_left = [m for m in active if m.version != target]
+        desired = pool.replicas + (1 if st.upgrade_active and old_left else 0)
+        if len(active) > desired:
+            # drop off-version members first, then non-ready, then the
+            # highest names -- deterministic and upgrade-friendly
+            victims = sorted(
+                active,
+                key=lambda m: (m.version == target, m.phase == "ready",
+                               m.name))
+            for m in victims[:len(active) - desired]:
+                if not adapter.remove_member(m.name, drain=True):
+                    st.pending[m.name] = True
+                self.actions.record(pool.name, "remove", member=m.name,
+                                    detail="surplus")
+        elif (len(active) < desired and not st.gave_up
+                and now >= st.backoff_until):
+            for _ in range(desired - len(active)):
+                name = adapter.add_member(target)
+                if name is None:
+                    self.cluster.log.emit(
+                        "reconcile", "reconcile_no_capacity",
+                        f"[{pool.name}] no room for another member",
+                        pool=pool.name)
+                    break
+                self.actions.record(pool.name, "add", member=name,
+                                    detail=f"version={target}")
+
+        # 5. convergence verdict + metrics
+        members = adapter.members()
+        converged = self._verdict(pool, st, members, target)
+        before = set(self.report.open_pools())
+        self.report.note(pool.name, converged, now)
+        if converged and pool.name in before:
+            closed = [e for e in self.report.episodes
+                      if e.pool == pool.name and e.converged == now]
+            for e in closed:
+                if e.duration is not None:
+                    self._m_convergence.observe(e.duration)
+        if converged:
+            st.backoff = 0.0
+            st.backoff_until = 0.0
+            st.replace_count = 0
+            st.gave_up = False
+        self._m_converged.labels(pool=pool.name).set(1.0 if converged else 0.0)
+        for phase in ("ready", "starting", "unhealthy", "stopping"):
+            self._m_members.labels(pool=pool.name, phase=phase).set(
+                sum(1 for m in members if m.phase == phase))
+
+    def _verdict(self, pool: PoolSpec, st: _PoolState,
+                 members: list[MemberStatus], target: str) -> bool:
+        active = [m for m in members if m.phase != "stopping"]
+        return (not st.upgrade_active
+                and not st.pending
+                and len(active) == pool.replicas
+                and all(m.phase == "ready" for m in active)
+                and all(m.version == target for m in active))
+
+    # -- health bookkeeping ---------------------------------------------------
+
+    def _update_streaks(self, pool: PoolSpec, st: _PoolState,
+                        members: list[MemberStatus], now: float) -> None:
+        seen = set()
+        for m in members:
+            seen.add(m.name)
+            if m.phase == "unhealthy":
+                st.streak[m.name] = st.streak.get(m.name, 0) + 1
+                st.starting_since.pop(m.name, None)
+            elif m.phase == "starting":
+                since = st.starting_since.setdefault(m.name, now)
+                if now - since > pool.health.hung_after:
+                    st.streak[m.name] = max(
+                        st.streak.get(m.name, 0) + 1,
+                        pool.health.unhealthy_after)
+            else:
+                st.streak.pop(m.name, None)
+                st.starting_since.pop(m.name, None)
+        for name in list(st.streak):
+            if name not in seen:
+                del st.streak[name]
+        for name in list(st.starting_since):
+            if name not in seen:
+                del st.starting_since[name]
+
+    # -- rolling upgrades -----------------------------------------------------
+
+    def _advance_upgrade(self, pool: PoolSpec, st: _PoolState,
+                         adapter: PoolAdapter, active: list[MemberStatus],
+                         now: float) -> None:
+        target = self._target_version(pool, st)
+        new = [m for m in active if m.version == target]
+        old = [m for m in active if m.version != target]
+
+        if not st.upgrade_active:
+            if (old and target == pool.version
+                    and len(active) == pool.replicas
+                    and all(m.phase == "ready" for m in active)
+                    and not st.pending and not st.gave_up):
+                st.upgrade_active = True
+                st.ready_streak = 0
+                self.actions.record(
+                    pool.name, "upgrade_start",
+                    detail=f"{old[0].version or 'unversioned'}->{target} "
+                           f"({len(old)} members)")
+                name = adapter.add_member(target)
+                if name is not None:
+                    self.actions.record(pool.name, "upgrade_member",
+                                        member=name, detail="surge")
+            return
+
+        # active upgrade: watch the new-version members like a hawk
+        if any(m.phase == "unhealthy" for m in new) or (not new and old):
+            st.bad_versions.add(pool.version)
+            st.upgrade_active = False
+            st.ready_streak = 0
+            self.actions.record(
+                pool.name, "rollback",
+                detail=f"{pool.version} regressed; back to {st.last_good}")
+            for m in sorted(new, key=lambda m: m.name):
+                if not adapter.remove_member(m.name, drain=False):
+                    st.pending[m.name] = False
+                self.actions.record(pool.name, "remove", member=m.name,
+                                    detail=f"bad version {pool.version}")
+            return
+        if not all(m.phase == "ready" for m in new):
+            st.ready_streak = 0           # still booting; gate stays shut
+            return
+        st.ready_streak += 1
+        if st.ready_streak < pool.health.ready_sweeps or st.pending:
+            return
+        if old:
+            victim = sorted(old, key=lambda m: m.name)[0]
+            if not adapter.remove_member(victim.name, drain=True):
+                st.pending[victim.name] = True
+            self.actions.record(pool.name, "upgrade_member",
+                                member=victim.name, detail="drain old")
+            st.ready_streak = 0
+            return
+        st.upgrade_active = False
+        st.last_good = target
+        self.actions.record(pool.name, "upgrade_done",
+                            detail=f"all members at {target}")
+
+    # -- host quarantine ------------------------------------------------------
+
+    def _note_host_failure(self, host: str, now: float) -> None:
+        if self.cloud is None:
+            return
+        self._host_failures[host] = self._host_failures.get(host, 0) + 1
+        if self._host_failures[host] < self.cordon_after:
+            return
+        if host in self._cordoned_until:
+            return
+        try:
+            self.cloud.cordon_host(host)
+        except ReproError:
+            # hosts outside the compute pool (e.g. the front-end) cannot
+            # be cordoned; just keep counting
+            return
+        self._cordoned_until[host] = now + self.cordon_probation
+        self.actions.record(
+            "fleet", "cordon", member=host,
+            detail=f"{self._host_failures[host]} member failures")
+
+    def _sweep_cordons(self, now: float) -> None:
+        for host in sorted(self._cordoned_until):
+            if now < self._cordoned_until[host]:
+                continue
+            if not self.cluster.host(host).alive:
+                continue             # probation extends while it is down
+            self.cloud.uncordon_host(host)
+            del self._cordoned_until[host]
+            self._host_failures[host] = 0
+            self.actions.record("fleet", "uncordon", member=host,
+                                detail="probation served")

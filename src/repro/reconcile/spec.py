@@ -1,0 +1,111 @@
+"""Declarative fleet specification: what the cluster *should* look like.
+
+Specs are frozen; "changing the spec" always means constructing a new
+one (:meth:`FleetSpec.with_replicas` / :meth:`FleetSpec.with_version`)
+and handing it to :meth:`~repro.reconcile.Reconciler.apply`.  That keeps
+the reconciler's view of desired state immutable between sweeps, which
+is what makes convergence reasoning (and the determinism tests) simple.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from ..common.errors import ReconcileError
+
+
+@dataclass(frozen=True)
+class HealthPolicy:
+    """Per-pool health and replacement policy.
+
+    *unhealthy_after* consecutive unhealthy sweeps condemn a member;
+    *hung_after* seconds stuck in the ``starting`` phase count as
+    unhealthy too (a VM that never reaches RUNNING, a DataNode that
+    never heartbeats).  Replacement adds back off exponentially from
+    *backoff_base* up to *backoff_max*, and after *crashloop_budget*
+    replacements without ever converging the reconciler gives up on the
+    pool until a new spec is applied -- a poison spec must not thrash
+    the cluster forever.  *ready_sweeps* gates rolling upgrades: a new-
+    version member must stay ready that many sweeps before the next old
+    member is drained.
+    """
+
+    unhealthy_after: int = 2
+    hung_after: float = 120.0
+    backoff_base: float = 5.0
+    backoff_max: float = 160.0
+    crashloop_budget: int = 5
+    ready_sweeps: int = 2
+
+    def __post_init__(self) -> None:
+        if self.unhealthy_after < 1:
+            raise ReconcileError("unhealthy_after must be >= 1")
+        if self.hung_after <= 0:
+            raise ReconcileError("hung_after must be > 0")
+        if self.backoff_base <= 0 or self.backoff_max < self.backoff_base:
+            raise ReconcileError(
+                "need 0 < backoff_base <= backoff_max, got "
+                f"{self.backoff_base}/{self.backoff_max}")
+        if self.crashloop_budget < 1:
+            raise ReconcileError("crashloop_budget must be >= 1")
+        if self.ready_sweeps < 1:
+            raise ReconcileError("ready_sweeps must be >= 1")
+
+
+@dataclass(frozen=True)
+class PoolSpec:
+    """Desired state of one member pool."""
+
+    name: str
+    replicas: int
+    version: str = "v1"
+    health: HealthPolicy = HealthPolicy()
+    min_replicas: int = 1
+    max_replicas: int = 16
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ReconcileError("pool name must be non-empty")
+        if self.min_replicas < 0 or self.max_replicas < self.min_replicas:
+            raise ReconcileError(
+                f"pool {self.name}: need 0 <= min_replicas <= max_replicas")
+        if not self.min_replicas <= self.replicas <= self.max_replicas:
+            raise ReconcileError(
+                f"pool {self.name}: replicas {self.replicas} outside "
+                f"[{self.min_replicas}, {self.max_replicas}]")
+        if not self.version:
+            raise ReconcileError(f"pool {self.name}: version must be non-empty")
+
+
+@dataclass(frozen=True)
+class FleetSpec:
+    """Desired state of the whole fleet: a tuple of pools."""
+
+    pools: tuple[PoolSpec, ...]
+
+    def __post_init__(self) -> None:
+        if not self.pools:
+            raise ReconcileError("a fleet spec needs at least one pool")
+        names = [p.name for p in self.pools]
+        if len(set(names)) != len(names):
+            raise ReconcileError(f"duplicate pool names in spec: {names}")
+
+    def pool(self, name: str) -> PoolSpec:
+        for p in self.pools:
+            if p.name == name:
+                return p
+        raise ReconcileError(f"no pool {name!r} in spec")
+
+    def _replaced(self, pool: PoolSpec) -> "FleetSpec":
+        return FleetSpec(tuple(
+            pool if p.name == pool.name else p for p in self.pools))
+
+    def with_replicas(self, name: str, replicas: int) -> "FleetSpec":
+        """A copy with pool *name* resized (clamped to its min/max)."""
+        p = self.pool(name)
+        clamped = max(p.min_replicas, min(p.max_replicas, replicas))
+        return self._replaced(replace(p, replicas=clamped))
+
+    def with_version(self, name: str, version: str) -> "FleetSpec":
+        """A copy with pool *name* targeting a new member *version*."""
+        return self._replaced(replace(self.pool(name), version=version))

@@ -96,6 +96,11 @@ class AdmissionController:
     def queued(self) -> int:
         return sum(len(q) for q in self._queues.values())
 
+    @property
+    def utilisation(self) -> float:
+        """Fraction of concurrency slots in use (autoscaler input)."""
+        return self.active / self.capacity
+
     # -- the front door ------------------------------------------------------
 
     def enter(self, kind: str) -> "Event":

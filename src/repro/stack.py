@@ -36,9 +36,22 @@ from .one import (
     VmTemplate,
 )
 from .one.lifecycle import OneState
+from .reconcile import (
+    AutoscalePolicy,
+    Autoscaler,
+    DataNodePoolAdapter,
+    FleetSpec,
+    HealthPolicy,
+    PoolSpec,
+    Reconciler,
+    TranscodePoolAdapter,
+    WebReplicaPoolAdapter,
+    queue_depth_signal,
+    shed_rate_signal,
+)
 from .sim import Engine, Event
 from .virt import DiskImage
-from .web import VideoPortal
+from .web import LoadBalancer, VideoPortal
 
 
 @dataclass
@@ -53,6 +66,8 @@ class VideoCloud:
     monitoring: MonitoringService | None = None
     ft: FaultToleranceHook | None = None
     chaos: ChaosMonkey | None = None
+    lb: LoadBalancer | None = None
+    reconciler: Reconciler | None = None
 
     @property
     def engine(self) -> Engine:
@@ -63,6 +78,8 @@ class VideoCloud:
 
     def stop_background(self) -> None:
         """Stop every periodic loop so the engine can drain to idle."""
+        if self.reconciler is not None:
+            self.reconciler.stop()
         if self.ft is not None:
             self.ft.stop()
         self.fs.stop()
@@ -151,3 +168,101 @@ def build_video_cloud(
     return VideoCloud(cluster=cluster, cloud=cloud, services=services,
                       fs=fs, portal=portal, monitoring=monitoring,
                       ft=ft, chaos=chaos)
+
+
+def build_reconciled_cloud(
+    n_hosts: int = 8,
+    *,
+    seed: int = 0,
+    cal: Calibration | None = None,
+    web_replicas: int = 2,
+    datanodes: int | None = None,
+    transcode_pool: int = 2,
+    replication: int = 2,
+    reconcile_period: float = 5.0,
+    autoscale: bool = True,
+    admission_capacity: int = 16,
+) -> VideoCloud:
+    """The self-healing variant: the fault-tolerant stack plus the
+    closed-loop control plane of :mod:`repro.reconcile`.
+
+    On top of :func:`build_video_cloud` (``fault_tolerance=True``,
+    ``deploy_vms=False``) this stands up a :class:`~repro.web.LoadBalancer`
+    in front of the portal, declares a :class:`~repro.reconcile.FleetSpec`
+    with three pools (web replicas, HDFS DataNodes, transcode workers),
+    and starts a :class:`~repro.reconcile.Reconciler` that converges the
+    observed fleet onto the spec each *reconcile_period* -- replacing dead
+    members, scaling on admission-controller pressure (*autoscale*), and
+    rolling upgrades when the spec's version moves.  Only some hosts are
+    seeded into each pool so the reconciler has headroom to scale and to
+    place replacements.
+    """
+    if n_hosts < 6:
+        raise ConfigError("the reconciled stack needs at least 6 hosts")
+    vc = build_video_cloud(
+        n_hosts, seed=seed, cal=cal, replication=replication,
+        deploy_vms=False, fault_tolerance=True,
+    )
+    cluster, cloud, fs, portal = vc.cluster, vc.cloud, vc.fs, vc.portal
+    compute = cluster.host_names[1:]
+    # no per-request budget: bulk uploads legitimately run long, and the
+    # autoscaler (not a deadline) is the pressure-relief mechanism here
+    portal.enable_overload_control(capacity=admission_capacity,
+                                   request_budget=None)
+
+    # the web tier moves behind a load balancer; the primary server
+    # becomes backend #1 and the reconciler grows the pool from there
+    lb = LoadBalancer(cluster)
+    lb.add_backend(portal.web_host, portal.server)
+    portal.frontend = lb
+
+    # trim the transcode pool to its declared size (build_video_cloud
+    # seeds every compute host); the reconciler owns it from here on
+    del portal.transcoder.workers[transcode_pool:]
+
+    n_dn = (datanodes if datanodes is not None
+            else max(replication, len(compute) - 2))
+    if not replication <= n_dn <= len(compute):
+        raise ConfigError(
+            f"datanodes {n_dn} outside [{replication}, {len(compute)}]")
+    for name in list(fs.datanodes)[n_dn:]:
+        fs.drop_datanode(name)
+
+    spec = FleetSpec(pools=(
+        PoolSpec(name="web", replicas=web_replicas, version="v1",
+                 min_replicas=1, max_replicas=len(compute),
+                 health=HealthPolicy(unhealthy_after=2,
+                                     hung_after=12 * reconcile_period,
+                                     backoff_base=reconcile_period)),
+        PoolSpec(name="datanodes", replicas=n_dn, version="v1",
+                 min_replicas=replication, max_replicas=len(compute)),
+        PoolSpec(name="transcode", replicas=transcode_pool, version="v1",
+                 min_replicas=1, max_replicas=len(compute)),
+    ))
+    adapters = {
+        "web": WebReplicaPoolAdapter(portal, lb, "web", compute),
+        "datanodes": DataNodePoolAdapter(fs, "datanodes", compute),
+        "transcode": TranscodePoolAdapter(portal, "transcode", compute),
+    }
+    autoscalers = []
+    if autoscale:
+        engine = cluster.engine
+        autoscalers = [
+            Autoscaler(AutoscalePolicy(pool="web", high=8.0, low=1.0,
+                                       up_after=2, down_after=6,
+                                       cooldown=6 * reconcile_period),
+                       queue_depth_signal(cluster.metrics)),
+            Autoscaler(AutoscalePolicy(pool="transcode", high=0.5, low=0.05,
+                                       up_after=2, down_after=6,
+                                       cooldown=6 * reconcile_period),
+                       shed_rate_signal(cluster.metrics,
+                                        lambda: engine.now)),
+        ]
+    reconciler = Reconciler(
+        cluster, spec, adapters, autoscalers=autoscalers,
+        period=reconcile_period, cloud=cloud,
+    )
+    reconciler.start()
+    vc.lb = lb
+    vc.reconciler = reconciler
+    return vc

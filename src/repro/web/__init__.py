@@ -2,6 +2,7 @@
 
 from .auth import AuthService, Session, hash_password
 from .feed import render_feed
+from .loadbalancer import LoadBalancer
 from .minidb import Column, Database, QueryStats, Table
 from .portal import VideoPortal
 from .render import render_page
@@ -22,6 +23,7 @@ __all__ = [
     "Database",
     "Handler",
     "Lighttpd",
+    "LoadBalancer",
     "QueryStats",
     "Request",
     "Response",

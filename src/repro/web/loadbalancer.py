@@ -1,0 +1,105 @@
+"""A health-gated round-robin load balancer over portal replicas.
+
+The paper serves the portal from a single Lighttpd; the reconciler grows
+that into a *pool* of identical replicas (each a :class:`WebServer`
+sharing the primary's route tables).  This front door spreads requests
+round-robin over the replicas whose hosts are up, so losing one replica
+degrades capacity instead of availability -- and gives the reconciler a
+place to add and drain members during rolling upgrades.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from ..common.errors import WebError
+from ..hardware import Cluster
+from .server import Request, Response, WebServer
+
+
+class LoadBalancer:
+    """Round-robin dispatch over named, health-gated backends."""
+
+    def __init__(self, cluster: Cluster, name: str = "lb") -> None:
+        self.cluster = cluster
+        self.engine = cluster.engine
+        self.name = name
+        #: backend name -> server, in registration order (dicts preserve it)
+        self.backends: dict[str, WebServer] = {}
+        #: backends registered but not yet taking traffic (upgrade surge)
+        self.draining: set[str] = set()
+        self._rr = 0
+        self._m_requests = cluster.metrics.counter(
+            "lb_requests_total", "requests dispatched by the load balancer",
+            labels=("backend",))
+        self._m_no_backend = cluster.metrics.counter(
+            "lb_no_backend_total",
+            "requests refused because no healthy backend was up")
+        self._m_backends = cluster.metrics.gauge(
+            "lb_backends", "registered backends", labels=("state",))
+
+    # -- membership ----------------------------------------------------------
+
+    def add_backend(self, name: str, server: WebServer) -> None:
+        if name in self.backends:
+            raise WebError(f"{self.name}: backend {name} already registered")
+        self.backends[name] = server
+        self._sync_gauges()
+        self.cluster.log.emit("web.lb", "backend_added",
+                              f"{self.name}: backend {name} joined "
+                              f"(host {server.host.name})", backend=name)
+
+    def remove_backend(self, name: str) -> WebServer:
+        try:
+            server = self.backends.pop(name)
+        except KeyError:
+            raise WebError(f"{self.name}: no backend {name}") from None
+        self.draining.discard(name)
+        self._sync_gauges()
+        self.cluster.log.emit("web.lb", "backend_removed",
+                              f"{self.name}: backend {name} left", backend=name)
+        return server
+
+    def drain(self, name: str) -> None:
+        """Stop sending *name* new requests (in-flight ones finish)."""
+        if name not in self.backends:
+            raise WebError(f"{self.name}: no backend {name}")
+        self.draining.add(name)
+        self._sync_gauges()
+
+    def undrain(self, name: str) -> None:
+        if name not in self.backends:
+            raise WebError(f"{self.name}: no backend {name}")
+        self.draining.discard(name)
+        self._sync_gauges()
+
+    def healthy_backends(self) -> list[str]:
+        """Backends eligible for traffic: host up, not draining."""
+        return [n for n, s in self.backends.items()
+                if s.host.alive and n not in self.draining]
+
+    def _sync_gauges(self) -> None:
+        healthy = len(self.healthy_backends())
+        self._m_backends.labels(state="healthy").set(healthy)
+        self._m_backends.labels(state="total").set(len(self.backends))
+
+    # -- dispatch ------------------------------------------------------------
+
+    def handle(self, request: Request) -> Generator:
+        """Process: pick the next healthy backend and serve through it."""
+
+        def _dispatch():
+            healthy = self.healthy_backends()
+            if not healthy:
+                self._m_no_backend.inc()
+                return Response.json_error(
+                    f"{self.name}: no healthy backend", status=503,
+                    retry_after=5.0)
+            name = healthy[self._rr % len(healthy)]
+            self._rr += 1
+            self._m_requests.labels(backend=name).inc()
+            response = yield self.engine.process(
+                self.backends[name].handle(request))
+            return response
+
+        return _dispatch()

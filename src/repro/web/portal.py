@@ -121,6 +121,9 @@ class VideoPortal:
 
         #: optional SafeModeController; attach_safemode() wires it in
         self.safemode = None
+        #: optional front door (e.g. a LoadBalancer) that requests enter
+        #: through instead of hitting the primary server directly
+        self.frontend: object | None = None
         self.tracer = cluster.tracer
         self.metrics = cluster.metrics
         self._m_uploads = self.metrics.counter(
@@ -280,6 +283,32 @@ class VideoPortal:
         for (method, pattern), rate in (rate_limits or {}).items():
             self.server.limit_route(method, pattern, rate=rate)
         return controller
+
+    # -- replica pool (the reconciler's web scale-out path) ---------------------------
+
+    def build_replica(self, host_name: str) -> WebServer:
+        """A fresh web server on *host_name* serving this portal's routes.
+
+        The replica shares the primary's route tables, admission
+        controller, rate-limit buckets, and request budget, so every
+        member of the pool enforces the same overload regime and serves
+        against the same database/HDFS state.  Register the result with a
+        :class:`~repro.web.loadbalancer.LoadBalancer`.
+        """
+        replica: WebServer
+        if isinstance(self.server, ApachePrefork):
+            replica = ApachePrefork(self.cluster, host_name)
+        else:
+            replica = Lighttpd(self.cluster, host_name)
+        replica.routes = self.server.routes
+        replica.patterns = self.server.patterns
+        replica.rate_limits = self.server.rate_limits
+        replica.admission = self.server.admission
+        replica.route_class = self.server.route_class
+        replica.default_class = self.server.default_class
+        replica.request_budget = self.server.request_budget
+        replica.shed_retry_after = self.server.shed_retry_after
+        return replica
 
     # -- observability (the redesigned API surface) ---------------------------------
 
@@ -930,7 +959,8 @@ class VideoPortal:
             method=method, path=path, params=params or {},
             client_host=client_host or self.web_host, session_id=session,
         )
-        return self.server.handle(req)
+        door = self.frontend if self.frontend is not None else self.server
+        return door.handle(req)
 
     # -- the crawler's view (the portal is a Site) --------------------------------------------
 

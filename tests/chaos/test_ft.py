@@ -5,6 +5,7 @@ import pytest
 from repro import build_video_cloud
 from repro.chaos import HostCrash, VmKill
 from repro.one import OneState
+from repro.one.ft import RESTORE_TIMEOUT
 
 
 @pytest.fixture()
@@ -76,6 +77,61 @@ class TestVmResurrection:
         hosts = {vm.host_name for vm in vc.cloud.vm_pool.values()}
         assert "node2" not in hosts and "node4" not in hosts
         assert len(vc.ft.restored) == 2
+
+
+class TestRestoreGiveUp:
+    """A VM that never comes back must not be tracked (or counted) forever."""
+
+    def _strand_vms(self, vc):
+        """Crash all compute hosts but node1: some resubmitted VMs can
+        never place again and stay PENDING past the restore deadline."""
+        t0 = vc.engine.now
+        vc.chaos.unleash([
+            HostCrash(h, at=1.0) for h in ("node2", "node3", "node4", "node5")])
+        vc.cluster.run(t0 + RESTORE_TIMEOUT + 30.0)
+
+    def test_restore_timeout_gives_up_without_false_recovery(self):
+        vc = build_video_cloud(6, seed=7, fault_tolerance=True)
+        self._strand_vms(vc)
+        failed = vc.cluster.log.records(source="one.ft", kind="ft_restore_failed")
+        assert failed, "hook never gave up on the unplaceable VM"
+        stranded = {r.data["vm"] for r in failed}
+        # gave-up VMs are not claimed as restored, by the hook or the report
+        assert not stranded & set(vc.ft.restored)
+        assert not stranded & {
+            r.target for r in vc.chaos.report.recoveries if r.layer == "iaas"}
+        for vm in vc.cloud.vm_pool.values():
+            if vm.name in stranded:
+                assert vm.state is not OneState.RUNNING
+        # tracking stopped: nothing keeps polling, so the engine drains
+        vc.stop_background()
+        vc.cluster.run()
+
+    def test_host_failure_handled_again_after_give_up(self):
+        vc = build_video_cloud(6, seed=7, fault_tolerance=True)
+        self._strand_vms(vc)
+        down_events = [
+            r for r in vc.cluster.log.records(source="one.ft",
+                                              kind="ft_host_failed")
+            if r.data["host"] == "node2"]
+        assert len(down_events) == 1
+        # the host reboots, rejoins, then dies a second time: the hook
+        # must treat that as a fresh failure, not stale give-up state
+        t0 = vc.engine.now
+        vc.chaos.recover_host("node2")
+        vc.cluster.run(t0 + 60.0)
+        assert "node2" not in vc.ft.down
+        t1 = vc.engine.now
+        vc.chaos.unleash([HostCrash("node2", at=1.0)])
+        vc.cluster.run(t1 + 60.0)
+        assert "node2" in vc.ft.down
+        down_events = [
+            r for r in vc.cluster.log.records(source="one.ft",
+                                              kind="ft_host_failed")
+            if r.data["host"] == "node2"]
+        assert len(down_events) == 2
+        vc.stop_background()
+        vc.cluster.run()
 
 
 class TestHookLifecycle:

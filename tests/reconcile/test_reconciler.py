@@ -1,0 +1,332 @@
+"""Reconciler core loop: replace, backoff, crash-loop, scale, upgrades.
+
+Driven against an in-memory fake adapter so each behaviour is isolated
+from the real substrates (those are covered in test_pools.py and the
+chaos integration tests).
+"""
+
+import pytest
+
+from repro.common.errors import ReconcileError
+from repro.hardware import Cluster
+from repro.reconcile import (
+    AutoscalePolicy,
+    Autoscaler,
+    FleetSpec,
+    HealthPolicy,
+    MemberStatus,
+    PoolSpec,
+    Reconciler,
+)
+
+
+class FakeAdapter:
+    """In-memory pool: members are (version, phase) pairs."""
+
+    def __init__(self):
+        self.state = {}
+        self.counter = 0
+        self.added = []
+        self.removed = []
+        self.bad_versions = set()   # adds at these versions come up unhealthy
+        self.refuse_adds = False
+
+    def members(self):
+        return [MemberStatus(name=n, version=v, phase=p)
+                for n, (v, p) in sorted(self.state.items())]
+
+    def add_member(self, version):
+        if self.refuse_adds:
+            return None
+        self.counter += 1
+        name = f"m{self.counter}"
+        phase = "unhealthy" if version in self.bad_versions else "ready"
+        self.state[name] = (version, phase)
+        self.added.append(name)
+        return name
+
+    def remove_member(self, name, *, drain):
+        self.state.pop(name, None)
+        self.removed.append((name, drain))
+        return True
+
+    def set_phase(self, name, phase):
+        v, _ = self.state[name]
+        self.state[name] = (v, phase)
+
+
+def make(replicas=2, *, health=None, autoscalers=(), period=5.0, **pool_kw):
+    cluster = Cluster(2, seed=0)
+    adapter = FakeAdapter()
+    pool_kw.setdefault("min_replicas", 0)
+    spec = FleetSpec(pools=(
+        PoolSpec(name="web", replicas=replicas,
+                 health=health or HealthPolicy(), **pool_kw),))
+    rec = Reconciler(cluster, spec, {"web": adapter},
+                     autoscalers=autoscalers, period=period)
+    return cluster, adapter, rec
+
+
+def kinds(rec):
+    return [a.kind for a in rec.actions.actions]
+
+
+class TestConstruction:
+    def test_every_pool_needs_an_adapter(self):
+        cluster = Cluster(2, seed=0)
+        spec = FleetSpec(pools=(PoolSpec(name="web", replicas=1),))
+        with pytest.raises(ReconcileError):
+            Reconciler(cluster, spec, {})
+
+    def test_period_must_be_positive(self):
+        cluster = Cluster(2, seed=0)
+        spec = FleetSpec(pools=(PoolSpec(name="web", replicas=1),))
+        with pytest.raises(ReconcileError):
+            Reconciler(cluster, spec, {"web": FakeAdapter()}, period=0.0)
+
+    def test_start_is_idempotent_and_stop_drains(self):
+        cluster, _, rec = make()
+        rec.start()
+        proc = rec._proc
+        rec.start()
+        assert rec._proc is proc
+        cluster.run(until=20.0)
+        rec.stop()
+        cluster.run()           # hangs forever if the loop keeps ticking
+
+
+class TestScaleToSpec:
+    def test_empty_pool_filled_to_replicas(self):
+        _, adapter, rec = make(replicas=3)
+        rec.sweep()
+        assert len(adapter.state) == 3
+        assert kinds(rec).count("add") == 3
+        rec.sweep()
+        assert rec.report.open_pools() == []    # converged
+
+    def test_surplus_removed_with_drain(self):
+        _, adapter, rec = make(replicas=1)
+        rec.sweep()
+        adapter.add_member("v1")                # an extra appears
+        adapter.add_member("v1")
+        rec.sweep()
+        assert len(adapter.state) == 1
+        assert all(drain for _, drain in adapter.removed)
+
+    def test_scale_down_prefers_non_ready_victims(self):
+        _, adapter, rec = make(replicas=2)
+        rec.sweep()
+        adapter.add_member("v1")
+        sick = adapter.added[-1]
+        adapter.set_phase(sick, "unhealthy")
+        rec.sweep()
+        assert (sick, True) in adapter.removed
+
+    def test_no_room_is_not_fatal(self):
+        cluster, adapter, rec = make(replicas=2)
+        adapter.refuse_adds = True
+        rec.sweep()
+        assert len(adapter.state) == 0
+        assert cluster.log.records(source="reconcile",
+                                   kind="reconcile_no_capacity")
+
+
+class TestReplacement:
+    def test_unhealthy_member_replaced_after_streak(self):
+        _, adapter, rec = make(replicas=2)
+        rec.sweep()
+        victim = adapter.added[0]
+        adapter.set_phase(victim, "unhealthy")
+        rec.sweep()                             # streak 1: not yet
+        assert victim in adapter.state
+        rec.sweep()                             # streak 2: condemned
+        assert victim not in adapter.state
+        assert (victim, False) in adapter.removed
+        assert "replace" in kinds(rec)
+        assert len(adapter.state) == 2          # replacement added
+
+    def test_recovery_resets_the_streak(self):
+        _, adapter, rec = make(replicas=2)
+        rec.sweep()
+        victim = adapter.added[0]
+        adapter.set_phase(victim, "unhealthy")
+        rec.sweep()
+        adapter.set_phase(victim, "ready")      # it came back
+        rec.sweep()
+        rec.sweep()
+        assert victim in adapter.state
+        assert "replace" not in kinds(rec)
+
+    def test_member_hung_in_starting_is_condemned(self):
+        cluster, adapter, rec = make(
+            replicas=1, health=HealthPolicy(hung_after=30.0))
+        rec.start()
+        cluster.run(until=6.0)                  # first sweep adds m1
+        adapter.set_phase(adapter.added[0], "starting")
+        cluster.run(until=60.0)                 # > hung_after in starting
+        assert ("m1", False) in adapter.removed
+        assert "replace" in kinds(rec)
+        rec.stop()
+        cluster.run()
+
+    def test_replacement_backoff_grows(self):
+        cluster, adapter, rec = make(
+            replicas=1,
+            health=HealthPolicy(unhealthy_after=1, backoff_base=20.0,
+                                backoff_max=160.0, crashloop_budget=100))
+        adapter.bad_versions.add("v1")          # every member is sick
+        rec.start()
+        cluster.run(until=200.0)
+        adds = [a.time for a in rec.actions.by_kind("add")]
+        gaps = [b - a for a, b in zip(adds, adds[1:])]
+        assert gaps, "expected repeated replacement attempts"
+        # first gap is one sweep (no backoff yet), then 20 s, 40 s, ...
+        assert gaps[1] >= 20.0
+        assert gaps[2] >= 40.0
+        rec.stop()
+        cluster.run()
+
+
+class TestCrashLoop:
+    def _crashloop(self):
+        cluster, adapter, rec = make(
+            replicas=1,
+            health=HealthPolicy(unhealthy_after=1, backoff_base=1.0,
+                                backoff_max=1.0, crashloop_budget=3))
+        adapter.bad_versions.add("v1")
+        rec.start()
+        cluster.run(until=100.0)
+        return cluster, adapter, rec
+
+    def test_budget_exhaustion_gives_up(self):
+        cluster, adapter, rec = self._crashloop()
+        assert "give_up" in kinds(rec)
+        assert rec.actions.counts()["replace"] == 3
+        adds_after = [a for a in rec.actions.by_kind("add")
+                      if a.time > rec.actions.by_kind("give_up")[0].time]
+        assert not adds_after                   # no more thrash
+        rec.stop()
+        cluster.run()
+
+    def test_new_spec_resets_the_budget(self):
+        cluster, adapter, rec = self._crashloop()
+        adapter.bad_versions.clear()            # v1 is "fixed" now
+        rec.apply(rec.spec)
+        cluster.run(until=cluster.engine.now + 30.0)
+        assert len(adapter.state) == 1
+        assert rec.report.open_pools() == []
+        rec.stop()
+        cluster.run()
+
+
+class TestRollingUpgrade:
+    def _upgraded(self, *, bad_v2=False):
+        cluster, adapter, rec = make(
+            replicas=2, health=HealthPolicy(ready_sweeps=2))
+        rec.sweep()                             # fill the pool at v1
+        rec.sweep()                             # converge
+        if bad_v2:
+            adapter.bad_versions.add("v2")
+        rec.apply(rec.spec.with_version("web", "v2"))
+        return cluster, adapter, rec
+
+    def test_upgrade_surges_then_drains_old(self):
+        _, adapter, rec = self._upgraded()
+        rec.sweep()
+        assert "upgrade_start" in kinds(rec)
+        versions = [v for v, _ in adapter.state.values()]
+        assert versions.count("v2") == 1        # the surge member
+        assert len(adapter.state) == 3          # desired + 1 during upgrade
+        for _ in range(12):
+            rec.sweep()
+        assert "upgrade_done" in kinds(rec)
+        assert [v for v, _ in adapter.state.values()] == ["v2", "v2"]
+        assert len(adapter.state) == 2
+        # old members were drained, not killed
+        drained = [n for n, drain in adapter.removed if drain]
+        assert len(drained) == 2
+
+    def test_ready_gate_blocks_drain(self):
+        _, adapter, rec = self._upgraded()
+        rec.sweep()                             # surge added
+        surge = adapter.added[-1]
+        adapter.set_phase(surge, "starting")    # never becomes ready
+        for _ in range(6):
+            rec.sweep()
+        assert not [n for n, drain in adapter.removed if drain]
+
+    def test_regression_rolls_back(self):
+        _, adapter, rec = self._upgraded(bad_v2=True)
+        rec.sweep()                             # surge comes up unhealthy
+        rec.sweep()
+        assert "rollback" in kinds(rec)
+        assert all(v == "v1" for v, _ in adapter.state.values())
+        for _ in range(4):
+            rec.sweep()
+        # v2 is banned: no second attempt, pool stays converged on v1
+        assert kinds(rec).count("upgrade_start") == 1
+        assert kinds(rec).count("rollback") == 1
+        assert len(adapter.state) == 2
+        assert rec.report.open_pools() == []
+
+
+class TestAutoscalerIntegration:
+    def test_signal_pressure_rewrites_the_spec(self):
+        box = {"v": 100.0}
+        policy = AutoscalePolicy(pool="web", high=10.0, low=1.0,
+                                 up_after=2, down_after=4, cooldown=0.0)
+        cluster = Cluster(2, seed=0)
+        adapter = FakeAdapter()
+        spec = FleetSpec(pools=(
+            PoolSpec(name="web", replicas=2, min_replicas=1, max_replicas=4),))
+        rec = Reconciler(cluster, spec, {"web": adapter},
+                         autoscalers=[Autoscaler(policy, lambda: box["v"])])
+        rec.sweep()
+        rec.sweep()
+        assert rec.spec.pool("web").replicas == 3
+        assert "scale_up" in kinds(rec)
+        assert len(adapter.state) == 3          # reconciled immediately
+        box["v"] = 0.0
+        for _ in range(8):
+            rec.sweep()
+        assert rec.spec.pool("web").replicas < 3
+        assert "scale_down" in kinds(rec)
+
+    def test_scaling_clamped_to_pool_bounds(self):
+        policy = AutoscalePolicy(pool="web", high=10.0, low=1.0,
+                                 up_after=1, cooldown=0.0)
+        cluster = Cluster(2, seed=0)
+        adapter = FakeAdapter()
+        spec = FleetSpec(pools=(
+            PoolSpec(name="web", replicas=2, min_replicas=1, max_replicas=2),))
+        rec = Reconciler(cluster, spec, {"web": adapter},
+                         autoscalers=[Autoscaler(policy, lambda: 100.0)])
+        for _ in range(4):
+            rec.sweep()
+        assert rec.spec.pool("web").replicas == 2   # clamped at max
+
+
+class TestConvergenceReport:
+    def test_episode_opens_and_closes(self):
+        _, adapter, rec = make(replicas=2)
+        rec.sweep()                             # diverged (empty) -> filled
+        rec.sweep()                             # converged
+        assert len(rec.report.episodes) == 1
+        assert rec.report.episodes[0].converged is not None
+        assert rec.report.mean_convergence_time() >= 0.0
+        victim = adapter.added[0]
+        adapter.set_phase(victim, "unhealthy")
+        rec.sweep()
+        rec.sweep()                             # replaced
+        rec.sweep()
+        assert len(rec.report.episodes) == 2
+        assert rec.report.open_pools() == []
+
+    def test_signature_is_stable(self):
+        _, _, rec = make(replicas=2)
+        rec.sweep()
+        rec.sweep()
+        assert rec.report.signature() == rec.report.signature()
+        d = rec.report.as_dict()
+        assert set(d) == {"episodes", "unconverged_pools",
+                          "mean_convergence_s", "max_convergence_s"}

@@ -1,0 +1,71 @@
+"""FleetSpec / PoolSpec / HealthPolicy validation and copy-on-write."""
+
+import pytest
+
+from repro.common.errors import ReconcileError
+from repro.reconcile import FleetSpec, HealthPolicy, PoolSpec
+
+
+class TestHealthPolicy:
+    def test_defaults_are_valid(self):
+        HealthPolicy()
+
+    @pytest.mark.parametrize("kwargs", [
+        {"unhealthy_after": 0},
+        {"hung_after": 0.0},
+        {"backoff_base": 0.0},
+        {"backoff_base": 10.0, "backoff_max": 5.0},
+        {"crashloop_budget": 0},
+        {"ready_sweeps": 0},
+    ])
+    def test_rejects_bad_values(self, kwargs):
+        with pytest.raises(ReconcileError):
+            HealthPolicy(**kwargs)
+
+
+class TestPoolSpec:
+    def test_replicas_must_fit_bounds(self):
+        with pytest.raises(ReconcileError):
+            PoolSpec(name="web", replicas=20, max_replicas=16)
+        with pytest.raises(ReconcileError):
+            PoolSpec(name="web", replicas=0, min_replicas=1)
+
+    def test_rejects_empty_name_and_version(self):
+        with pytest.raises(ReconcileError):
+            PoolSpec(name="", replicas=1)
+        with pytest.raises(ReconcileError):
+            PoolSpec(name="web", replicas=1, version="")
+
+    def test_rejects_inverted_bounds(self):
+        with pytest.raises(ReconcileError):
+            PoolSpec(name="web", replicas=2, min_replicas=4, max_replicas=2)
+
+
+class TestFleetSpec:
+    def test_needs_pools_and_unique_names(self):
+        with pytest.raises(ReconcileError):
+            FleetSpec(pools=())
+        p = PoolSpec(name="web", replicas=1)
+        with pytest.raises(ReconcileError):
+            FleetSpec(pools=(p, p))
+
+    def test_pool_lookup(self):
+        spec = FleetSpec(pools=(PoolSpec(name="web", replicas=2),))
+        assert spec.pool("web").replicas == 2
+        with pytest.raises(ReconcileError):
+            spec.pool("nope")
+
+    def test_with_replicas_returns_new_clamped_spec(self):
+        spec = FleetSpec(pools=(
+            PoolSpec(name="web", replicas=2, min_replicas=1, max_replicas=4),))
+        grown = spec.with_replicas("web", 99)
+        assert grown.pool("web").replicas == 4      # clamped to max
+        assert spec.pool("web").replicas == 2       # original untouched
+        shrunk = spec.with_replicas("web", 0)
+        assert shrunk.pool("web").replicas == 1     # clamped to min
+
+    def test_with_version(self):
+        spec = FleetSpec(pools=(PoolSpec(name="web", replicas=2),))
+        v2 = spec.with_version("web", "v2")
+        assert v2.pool("web").version == "v2"
+        assert spec.pool("web").version == "v1"
