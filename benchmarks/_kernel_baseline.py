@@ -1,0 +1,278 @@
+"""Frozen copy of the pre-fast-path discrete-event kernel.
+
+This is the reference implementation ``bench_kernel.py`` races the live
+``repro.sim`` kernel against: the original heap keyed by
+``(time, priority, seq)``, no ``__slots__``, no Timeout recycling, no
+bucketed same-timestamp dispatch.  It is deliberately self-contained (it
+does not import from ``repro``) so that future kernel work cannot
+accidentally speed it up -- the speedup ratio recorded in
+``BENCH_kernel.json`` stays comparable across machines and sessions.
+
+Do not modify this file except to fix an outright bug that breaks the
+benchmark; it is a measurement baseline, not living code.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable
+
+URGENT = 0
+NORMAL = 1
+
+
+class SimulationError(Exception):
+    """Local stand-in for repro.common.errors.SimulationError."""
+
+
+class Event:
+    def __init__(self, engine: "Engine") -> None:
+        self.engine = engine
+        self.callbacks: list[Callable[[Event], None]] | None = []
+        self._value: Any = _PENDING
+        self._ok: bool | None = None
+        self._defused = False
+
+    @property
+    def triggered(self) -> bool:
+        return self._value is not _PENDING
+
+    @property
+    def processed(self) -> bool:
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        if self._ok is None:
+            raise SimulationError("event value not yet available")
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        if self._value is _PENDING:
+            raise SimulationError("event value not yet available")
+        return self._value
+
+    def succeed(self, value: Any = None) -> "Event":
+        if self.triggered:
+            raise SimulationError(f"{self!r} already triggered")
+        self._ok = True
+        self._value = value
+        self.engine._schedule(self, NORMAL)
+        return self
+
+    def fail(self, exc: BaseException) -> "Event":
+        if not isinstance(exc, BaseException):
+            raise SimulationError("Event.fail() needs an exception instance")
+        if self.triggered:
+            raise SimulationError(f"{self!r} already triggered")
+        self._ok = False
+        self._value = exc
+        self.engine._schedule(self, NORMAL)
+        return self
+
+    def defuse(self) -> None:
+        self._defused = True
+
+
+_PENDING = object()
+
+
+class Timeout(Event):
+    def __init__(self, engine: "Engine", delay: float, value: Any = None) -> None:
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay: {delay}")
+        super().__init__(engine)
+        self.delay = delay
+        self._ok = True
+        self._value = value
+        engine._schedule(self, NORMAL, delay)
+
+
+class Initialize(Event):
+    def __init__(self, engine: "Engine", process: "Process") -> None:
+        super().__init__(engine)
+        self._ok = True
+        self._value = None
+        self.callbacks.append(process._resume)
+        engine._schedule(self, URGENT)
+
+
+class Process(Event):
+    def __init__(self, engine: "Engine", generator: Generator,
+                 name: str | None = None) -> None:
+        if not hasattr(generator, "throw"):
+            raise SimulationError(f"{generator!r} is not a generator")
+        super().__init__(engine)
+        self._generator = generator
+        self.name = name or getattr(generator, "__name__", "process")
+        self._target: Event | None = Initialize(engine, self)
+
+    @property
+    def is_alive(self) -> bool:
+        return not self.triggered
+
+    def _resume(self, event: Event) -> None:
+        self.engine._active = self
+        while True:
+            try:
+                if event._ok:
+                    next_target = self._generator.send(event._value)
+                else:
+                    event._defused = True
+                    next_target = self._generator.throw(event._value)
+            except StopIteration as stop:
+                self._target = None
+                self.succeed(stop.value)
+                break
+            except BaseException as exc:
+                self._target = None
+                self.fail(exc)
+                break
+
+            if not isinstance(next_target, Event):
+                self._target = None
+                self.fail(SimulationError(
+                    f"process {self.name!r} yielded a non-event: "
+                    f"{next_target!r}"))
+                break
+
+            self._target = next_target
+            if next_target.callbacks is not None:
+                next_target.callbacks.append(self._resume)
+                break
+            event = next_target
+        self.engine._active = None
+
+
+class Condition(Event):
+    def __init__(self, engine: "Engine", events: Iterable[Event]) -> None:
+        super().__init__(engine)
+        self.events = list(events)
+        self._done = 0
+        if not self.events:
+            self.succeed(self._collect())
+            return
+        for ev in self.events:
+            if ev.callbacks is None:
+                self._on_event(ev)
+            else:
+                ev.callbacks.append(self._on_event)
+
+    def _on_event(self, ev: Event) -> None:
+        if self.triggered:
+            if not ev._ok:
+                ev._defused = True
+            return
+        if not ev._ok:
+            ev._defused = True
+            self.fail(ev._value)
+            return
+        self._done += 1
+        if self._check():
+            self.succeed(self._collect())
+
+    def _collect(self) -> dict:
+        return {ev: ev._value for ev in self.events
+                if ev.callbacks is None and ev._ok}
+
+    def _check(self) -> bool:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class AllOf(Condition):
+    def _check(self) -> bool:
+        return self._done == len(self.events)
+
+
+class AnyOf(Condition):
+    def _check(self) -> bool:
+        return self._done >= 1
+
+
+class Engine:
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._queue: list[tuple[float, int, int, Event]] = []
+        self._seq = 0
+        self._active: Process | None = None
+        self.events_dispatched = 0
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    @property
+    def active_process(self) -> Process | None:
+        return self._active
+
+    def event(self) -> Event:
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator,
+                name: str | None = None) -> Process:
+        return Process(self, generator, name)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    def _schedule(self, event: Event, priority: int,
+                  delay: float = 0.0) -> None:
+        heapq.heappush(self._queue,
+                       (self._now + delay, priority, self._seq, event))
+        self._seq += 1
+
+    def peek(self) -> float:
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def step(self) -> None:
+        if not self._queue:
+            raise SimulationError("step() on an empty schedule")
+        self._now, _, _, event = heapq.heappop(self._queue)
+        self.events_dispatched += 1
+        callbacks, event.callbacks = event.callbacks, None
+        for cb in callbacks:
+            cb(event)
+        if not event._ok and not event._defused:
+            raise event._value
+
+    def run(self, until: "float | Event | None" = None) -> Any:
+        stop_event: Event | None = None
+        deadline: float | None = None
+        if isinstance(until, Event):
+            stop_event = until
+            if stop_event.callbacks is None:
+                return stop_event._value
+        elif until is not None:
+            deadline = float(until)
+            if deadline < self._now:
+                raise SimulationError(
+                    f"run(until={deadline}) is in the past (now={self._now})")
+
+        while self._queue:
+            if stop_event is not None and stop_event.triggered \
+                    and stop_event.processed:
+                break
+            if deadline is not None and self._queue[0][0] > deadline:
+                break
+            self.step()
+            if stop_event is not None and stop_event.processed:
+                break
+
+        if deadline is not None:
+            self._now = max(self._now, deadline)
+        if stop_event is not None:
+            if not stop_event.triggered:
+                raise SimulationError(
+                    "run() ran out of events before `until` triggered")
+            if not stop_event._ok:
+                stop_event._defused = True
+                raise stop_event._value
+            return stop_event._value
+        return None

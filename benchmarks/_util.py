@@ -1,25 +1,19 @@
-"""Shared helpers for the benchmark harness.
+"""Pytest glue for the benchmark harness.
 
-Every bench regenerates one experiment from DESIGN.md's per-experiment
-index.  The *simulated* results (the numbers that correspond to what the
-paper shows) are printed as tables; pytest-benchmark additionally measures
-the wall-clock cost of simulating a representative kernel so regressions
-in the simulator itself are visible.
+The result shape and serialisation live in :mod:`repro.bench.harness`
+(:class:`~repro.bench.BenchResult` published through one ``emit`` call);
+this module only routes that output around pytest's capture and keeps the
+couple of cluster helpers the bench files share.
 
 Run:  pytest benchmarks/ --benchmark-only -s
 """
 
 from __future__ import annotations
 
-import json
-
-from repro.analysis import ALL_CHECKS, ANALYZER_VERSION
-from repro.common.tables import format_table
+from repro.bench.harness import BenchResult, emit
 from repro.obs import ClusterMetrics
 
-#: emitted once per pytest run, ahead of the first payload, so every
-#: BENCH_JSON capture records which invariant set the tree passed
-_analyzer_header_emitted = False
+__all__ = ["BenchResult", "metrics_report", "percentile_row", "publish", "run"]
 
 
 def run(cluster, gen):
@@ -27,31 +21,10 @@ def run(cluster, gen):
     return cluster.run(cluster.engine.process(gen))
 
 
-def show(capsys, title: str, headers, rows) -> None:
-    """Print a result table past pytest's capture."""
+def publish(capsys, result: BenchResult) -> None:
+    """Publish one BenchResult past pytest's capture."""
     with capsys.disabled():
-        print()
-        print(format_table(headers, rows, title=title))
-        print()
-
-
-def show_json(capsys, tag: str, payload) -> None:
-    """Print one machine-readable result block.
-
-    Regression tooling greps for ``### BENCH_JSON <tag>`` and diffs the
-    JSON payload (typically percentile summaries) across commits.  The
-    first block of a run is preceded by an ``analyzer`` header naming
-    the invariant-checker version and rule count the tree passed, so
-    archived bench numbers stay attributable to an invariant set.
-    """
-    global _analyzer_header_emitted
-    with capsys.disabled():
-        if not _analyzer_header_emitted:
-            _analyzer_header_emitted = True
-            header = {"analyzer_version": ANALYZER_VERSION,
-                      "rule_count": len(ALL_CHECKS)}
-            print(f"### BENCH_JSON analyzer {json.dumps(header, sort_keys=True)}")
-        print(f"### BENCH_JSON {tag} {json.dumps(payload, sort_keys=True)}")
+        emit(result)
 
 
 def metrics_report(cluster) -> ClusterMetrics:

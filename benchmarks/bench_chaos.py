@@ -15,12 +15,14 @@ from repro import build_video_cloud
 from repro.chaos import HostCrash
 from repro.common.units import MiB
 
-from _util import run, show, show_json
+from repro.bench import KernelRate
+
+from _util import BenchResult, publish, run
 
 SETTLE = 400.0
 
 
-def crash_once(n_hosts, *, seed=7):
+def crash_once(n_hosts, *, seed=7, rate=None):
     vc = build_video_cloud(n_hosts, seed=seed, fault_tolerance=True)
     cluster, chaos = vc.cluster, vc.chaos
     run(cluster, vc.fs.client("node1").write_synthetic("/mv.avi", 96 * MiB))
@@ -32,7 +34,12 @@ def crash_once(n_hosts, *, seed=7):
     t0 = cluster.engine.now
     chaos.unleash([HostCrash(victim, at=1.0)])
     chaos.watch_hdfs(since=t0 + 1.0)
-    cluster.run(t0 + SETTLE)
+    measure = rate.measure(cluster.engine) if rate is not None else None
+    if measure is not None:
+        with measure:
+            cluster.run(t0 + SETTLE)
+    else:
+        cluster.run(t0 + SETTLE)
     vc.stop_background()
     cluster.run()
     assert vc.fs.namenode.under_replicated_count() == 0
@@ -44,16 +51,15 @@ def crash_once(n_hosts, *, seed=7):
 def test_echaos_recovery_vs_cluster_size(benchmark, capsys):
     rows = []
     results = {}
+    rate = KernelRate()
     for n in (4, 6, 8, 10):
-        report = crash_once(n)
+        report = crash_once(n, rate=rate)
         results[n] = report.mttr_by_layer()
         rows.append([
             n, n - 1,
             f"{results[n]['iaas']:.1f}",
             f"{results[n]['hdfs']:.1f}",
         ])
-    show(capsys, "E-chaos: host-crash recovery time vs cluster size",
-         ["hosts", "VMs", "iaas TTR s", "hdfs TTR s"], rows)
 
     for n, mttr in results.items():
         # detection delays put a floor under recovery; the watcher horizon
@@ -67,10 +73,16 @@ def test_echaos_recovery_vs_cluster_size(benchmark, capsys):
     assert max(r["hdfs"] for r in results.values()) < \
         2.0 * min(r["hdfs"] for r in results.values())
 
-    show_json(capsys, "e_chaos", {
-        "mttr_by_cluster_size": {
+    result = BenchResult(
+        "e_chaos",
+        params={"cluster_sizes": [4, 6, 8, 10], "settle_s": SETTLE},
+        metrics={"mttr_by_cluster_size": {
             str(n): {layer: round(v, 3) for layer, v in mttr.items()}
-            for n, mttr in results.items()},
-    })
+            for n, mttr in results.items()}},
+        seed=7,
+        events_per_sec=rate.events_per_sec,
+    ).table("E-chaos: host-crash recovery time vs cluster size",
+            ["hosts", "VMs", "iaas TTR s", "hdfs TTR s"], rows)
+    publish(capsys, result)
 
     benchmark.pedantic(crash_once, args=(4,), rounds=2, iterations=1)

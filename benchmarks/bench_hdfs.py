@@ -12,7 +12,7 @@ from repro.common.units import MB, MiB
 from repro.hardware import Cluster
 from repro.hdfs import Hdfs
 
-from _util import run, show
+from _util import BenchResult, publish, run
 
 FILE = 256 * MiB
 
@@ -56,10 +56,18 @@ def test_e06_throughput_vs_cluster_size(benchmark, capsys):
             n, f"{wt:.1f}", f"{n_files * FILE / wt / MB:.0f}",
             f"{rt:.1f}", f"{n_files * FILE / rt / MB:.0f}",
         ])
-    show(capsys,
-         "E06: 8x256 MiB concurrent writes+reads, clients on DataNodes (repl 2)",
-         ["datanodes", "write s", "agg write MB/s", "read s",
-          "agg read MB/s"], rows)
+    publish(capsys, BenchResult(
+        "e06_throughput_scaling",
+        params={"datanodes": [2, 4, 8], "files": n_files,
+                "file_mib": 256, "replication": 2},
+        metrics={"write_s": {str(n): round(w, 3)
+                             for n, (w, _) in times.items()},
+                 "read_s": {str(n): round(r, 3)
+                            for n, (_, r) in times.items()}},
+    ).table(
+        "E06: 8x256 MiB concurrent writes+reads, clients on DataNodes (repl 2)",
+        ["datanodes", "write s", "agg write MB/s", "read s",
+         "agg read MB/s"], rows))
     # aggregate bandwidth grows with the cluster
     assert times[8][0] < times[2][0]
     assert times[8][1] < times[2][1]
@@ -69,14 +77,20 @@ def test_e06_throughput_vs_cluster_size(benchmark, capsys):
 
 def test_e06_replication_factor_ablation(benchmark, capsys):
     rows = []
+    write_s = {}
     prev = 0.0
     for repl in (1, 2, 3):
         wt, _ = write_read_time(6, replication=repl)
+        write_s[str(repl)] = round(wt, 3)
         rows.append([repl, f"{wt:.1f}", f"{4 * FILE * repl / MiB:.0f}"])
         assert wt >= prev * 0.95  # more replicas never meaningfully faster
         prev = wt
-    show(capsys, "E06b: replication-factor ablation (6 DataNodes)",
-         ["replication", "write s", "MiB stored"], rows)
+    publish(capsys, BenchResult(
+        "e06b_replication_ablation",
+        params={"datanodes": 6, "replication": [1, 2, 3]},
+        metrics={"write_s_by_repl": write_s},
+    ).table("E06b: replication-factor ablation (6 DataNodes)",
+            ["replication", "write s", "MiB stored"], rows))
     benchmark.pedantic(write_read_time, args=(6, 3),
                        kwargs={"n_files": 1}, rounds=3, iterations=1)
 
@@ -108,9 +122,14 @@ def recovery_time():
 
 def test_e06_failure_recovery(benchmark, capsys):
     healed, dt, copies = recovery_time()
-    show(capsys, "E06c: DataNode failure -> re-replication (128 MiB, repl 3)",
-         ["healed", "detection+recovery s", "blocks re-replicated"],
-         [[("yes" if healed else "NO"), f"{dt:.1f}", copies]])
+    publish(capsys, BenchResult(
+        "e06c_failure_recovery",
+        params={"file_mib": 128, "replication": 3},
+        metrics={"healed": healed, "recovery_s": round(dt, 3),
+                 "blocks_rereplicated": copies},
+    ).table("E06c: DataNode failure -> re-replication (128 MiB, repl 3)",
+            ["healed", "detection+recovery s", "blocks re-replicated"],
+            [[("yes" if healed else "NO"), f"{dt:.1f}", copies]]))
     assert healed
     assert copies >= 4  # 128 MiB / 32 MiB blocks
     benchmark.pedantic(recovery_time, rounds=2, iterations=1)
@@ -127,9 +146,14 @@ def test_e06_read_locality(benchmark, capsys):
 
     local = read_time("node1")
     remote = read_time("node5")
-    show(capsys, "E06d: read locality (256 MiB, single replica on node1)",
-         ["reader", "read s"],
-         [["node1 (local)", f"{local:.1f}"], ["node5 (remote)", f"{remote:.1f}"]])
+    publish(capsys, BenchResult(
+        "e06d_read_locality",
+        params={"file_mib": 256, "replication": 1},
+        metrics={"local_s": round(local, 3), "remote_s": round(remote, 3)},
+    ).table("E06d: read locality (256 MiB, single replica on node1)",
+            ["reader", "read s"],
+            [["node1 (local)", f"{local:.1f}"],
+             ["node5 (remote)", f"{remote:.1f}"]]))
     assert local < remote
     benchmark.pedantic(read_time, args=("node1",), rounds=3, iterations=1)
 
@@ -151,13 +175,21 @@ def test_e06_balancer_and_decommission(benchmark, capsys):
     spread_after = max(after.values()) - min(after.values())
     moved = run(cluster, decommission(fs, "node2"))
     health = fsck(fs)
-    show(capsys, "E06e: balancer + decommission (10x32 MiB, repl 1)",
-         ["metric", "value"],
-         [["utilisation spread before", f"{spread_before * 100:.1f}%"],
-          ["utilisation spread after", f"{spread_after * 100:.1f}%"],
-          ["balancer moves", report.moves],
-          ["decommission blocks moved", moved],
-          ["post-ops fsck", health.summary().split(" -- ")[-1]]])
+    publish(capsys, BenchResult(
+        "e06e_balancer_decommission",
+        params={"files": 10, "file_mib": 32, "replication": 1},
+        metrics={"spread_before": round(spread_before, 4),
+                 "spread_after": round(spread_after, 4),
+                 "balancer_moves": report.moves,
+                 "decommission_moves": moved,
+                 "healthy": health.healthy},
+    ).table("E06e: balancer + decommission (10x32 MiB, repl 1)",
+            ["metric", "value"],
+            [["utilisation spread before", f"{spread_before * 100:.1f}%"],
+             ["utilisation spread after", f"{spread_after * 100:.1f}%"],
+             ["balancer moves", report.moves],
+             ["decommission blocks moved", moved],
+             ["post-ops fsck", health.summary().split(" -- ")[-1]]]))
     assert spread_after < spread_before
     assert health.healthy
 

@@ -1,0 +1,203 @@
+"""E-kernel: the discrete-event kernel fast path (PR 7 tentpole).
+
+Races the live ``repro.sim`` kernel against the frozen pre-change
+baseline (:mod:`_kernel_baseline`) on identical seeded storms:
+
+* the **headline session storm** -- 10k sessions beating on a shared
+  1-second grid, each beat scheduling a zero-delay follow-up sample.
+  That is the shape of bench_overload/bench_chaos load (heartbeats,
+  breaker probes, retry floods), written in each kernel's native idiom:
+  generator processes on the baseline, ``call_later`` chains on the
+  fast path;
+* a random-offset **process storm** (256 generators x 60 timeouts) --
+  the fast path's worst case (singleton buckets), kept honest here:
+  it must stay at least at parity;
+* an equal-timestamp **burst** whose firing log must be bit-identical
+  across kernels and across runs: the fast path changes throughput,
+  never ordering.
+
+Publishes the ``kernel`` BENCH_JSON block (events/sec for both kernels
+plus the cProfile digest) that ``snapshot.py`` archives into
+``BENCH_kernel.json`` and the CI ``bench-kernel`` job gates on.
+"""
+
+import random
+
+import pytest
+
+from repro import sim
+from repro.bench import KernelRate
+from repro.obs import profile_call
+
+import _kernel_baseline as baseline
+from _util import BenchResult, publish
+
+SEED = 123
+SESSIONS = 10_000
+ROUNDS = 20
+N_PROCS = 256
+N_STEPS = 60
+REPEATS = 7
+
+
+def _drain_rate(eng, repeats=1):
+    """Wall-clock events/sec for one full drain of *eng* (pre-scheduled)."""
+    rate = KernelRate()
+    with rate.measure(eng):
+        eng.run()
+    return rate.events_per_sec
+
+
+def session_storm_baseline(n=SESSIONS, rounds=ROUNDS):
+    """Old idiom: every session is a generator process yielding timeouts."""
+    eng = baseline.Engine()
+
+    def beat():
+        for _ in range(rounds):
+            yield eng.timeout(1.0)
+            yield eng.timeout(0.0)
+
+    for _ in range(n):
+        eng.process(beat())
+    return eng
+
+
+def session_storm_fast(n=SESSIONS, rounds=ROUNDS):
+    """New idiom: the same beat/sample cadence as ``call_later`` chains."""
+    eng = sim.Engine()
+
+    def make():
+        left = [rounds]
+
+        def sample():
+            if left[0]:
+                eng.call_later(1.0, tick)
+
+        def tick():
+            left[0] -= 1
+            eng.call_later(0.0, sample)
+
+        return tick
+
+    for _ in range(n):
+        eng.call_later(1.0, make())
+    return eng
+
+
+def storm_plans(seed=SEED, n_procs=N_PROCS, n_steps=N_STEPS):
+    rng = random.Random(seed)
+    return [[rng.random() * 10.0 for _ in range(n_steps)]
+            for _ in range(n_procs)]
+
+
+def process_storm(mod, plans):
+    """Random-offset generator storm, identical on either kernel."""
+    eng = mod.Engine()
+
+    def worker(plan):
+        for d in plan:
+            yield eng.timeout(d)
+
+    for plan in plans:
+        eng.process(worker(plan))
+    return eng
+
+
+def best_rate(make_engine, repeats=REPEATS):
+    return max(_drain_rate(make_engine()) for _ in range(repeats))
+
+
+def paired_speedup(make_baseline, make_fast, repeats=REPEATS):
+    """Median speedup over back-to-back (baseline, fast) drain pairs.
+
+    Machine speed drifts on a seconds scale; measuring the two kernels
+    adjacently makes each ratio mostly self-normalising, and the median
+    over pairs shrugs off the odd slow window that a best-of-N estimate
+    amplifies.  Returns ``(speedup, baseline_eps, fast_eps)`` with the
+    rates taken from the median pair.
+    """
+    pairs = []
+    for _ in range(repeats):
+        b = _drain_rate(make_baseline())
+        f = _drain_rate(make_fast())
+        pairs.append((f / b, b, f))
+    pairs.sort()
+    return pairs[len(pairs) // 2]
+
+
+def burst_log(mod, n_procs=48, rounds=6):
+    """Firing log of an equal-timestamp burst: everything lands at t=0.
+
+    Initialize events are URGENT and the zero-delay timeouts NORMAL, so
+    this interleaves both priorities inside one ``(time, priority)``
+    bucket run -- the exact case the batched dispatch must keep in the
+    old ``(time, priority, seq)`` order.
+    """
+    eng = mod.Engine()
+    log = []
+
+    def worker(i):
+        for r in range(rounds):
+            log.append((eng.now, i, r))
+            yield eng.timeout(0.0)
+
+    for i in range(n_procs):
+        eng.process(worker(i))
+    eng.run()
+    return log
+
+
+def test_kernel_storm_speedup(benchmark, capsys):
+    speedup, baseline_eps, fast_eps = paired_speedup(
+        session_storm_baseline, session_storm_fast)
+
+    plans = storm_plans()
+    proc_base = best_rate(lambda: process_storm(baseline, plans))
+    proc_fast = best_rate(lambda: process_storm(sim, plans))
+
+    profile_eng = session_storm_fast()
+    _, report = profile_call(profile_eng.run)
+
+    publish(capsys, BenchResult(
+        "kernel",
+        params={"sessions": SESSIONS, "rounds": ROUNDS,
+                "procs": N_PROCS, "steps": N_STEPS, "repeats": REPEATS},
+        metrics={
+            "baseline_events_per_sec": round(baseline_eps, 1),
+            "speedup": round(speedup, 2),
+            "process_storm_events_per_sec": round(proc_fast, 1),
+            "process_storm_baseline_events_per_sec": round(proc_base, 1),
+            "profile": report.as_dict(limit=8),
+        },
+        seed=SEED,
+        events_per_sec=fast_eps,
+    ).table("E-kernel: session storm, fast path vs frozen baseline",
+            ["workload", "kernel", "events/sec"],
+            [["session storm", "baseline (heap+seq)", f"{baseline_eps:,.0f}"],
+             ["session storm", "fast path (buckets+timers)",
+              f"{fast_eps:,.0f}"],
+             ["session storm", "speedup", f"{speedup:.2f}x"],
+             ["process storm", "baseline", f"{proc_base:,.0f}"],
+             ["process storm", "fast path", f"{proc_fast:,.0f}"]])
+     .table("E-kernel: hot functions of the fast-path session storm",
+            ["function", "calls", "tottime s", "cumtime s"],
+            [[h.function, h.calls, f"{h.tottime:.4f}", f"{h.cumtime:.4f}"]
+             for h in report.top(8)]))
+
+    # the CI gate compares the archived ratio; in-test we assert floors
+    # loose enough for noisy shared runners
+    assert speedup >= 3.0, f"kernel fast path regressed: {speedup:.2f}x"
+    assert proc_fast >= proc_base * 0.7, \
+        f"process-storm parity lost: {proc_fast / proc_base:.2f}x"
+    benchmark.pedantic(
+        lambda: _drain_rate(session_storm_fast(2000, 10)),
+        rounds=3, iterations=1)
+
+
+def test_kernel_burst_ordering_matches_baseline(benchmark, capsys):
+    """Bit-identical firing order across kernels, twice over (determinism)."""
+    old = burst_log(baseline)
+    new = burst_log(sim)
+    assert old == new
+    assert burst_log(sim) == new
+    benchmark.pedantic(burst_log, args=(sim,), rounds=3, iterations=1)

@@ -12,7 +12,7 @@ from repro.hardware import Cluster
 from repro.hdfs import Hdfs
 from repro.mapreduce import JobTracker, word_count_job
 
-from _util import run, show
+from _util import BenchResult, publish, run
 
 PARAGRAPH = (
     "cloud services have been regarded as the significant trend of technical "
@@ -53,8 +53,13 @@ def test_e07_scaling_with_trackers(benchmark, capsys):
             f"{base / result.duration:.2f}x",
             f"{result.counters.locality_rate * 100:.0f}%",
         ])
-    show(capsys, "E07: word count over 1 MiB real text vs TaskTrackers",
-         ["trackers", "maps", "duration s", "speedup", "locality"], rows)
+    publish(capsys, BenchResult(
+        "e07_tracker_scaling",
+        params={"corpus_kib": 1024, "trackers": [1, 2, 4, 8]},
+        metrics={"duration_s": {str(n): round(d, 3)
+                                for n, d in durations.items()}},
+    ).table("E07: word count over 1 MiB real text vs TaskTrackers",
+            ["trackers", "maps", "duration s", "speedup", "locality"], rows))
     assert durations[8] < durations[1]
     benchmark.pedantic(run_wordcount, args=(2,),
                        kwargs={"corpus_kib": 64}, rounds=3, iterations=1)
@@ -63,10 +68,16 @@ def test_e07_scaling_with_trackers(benchmark, capsys):
 def test_e07_combiner_ablation(benchmark, capsys):
     with_c = run_wordcount(4, use_combiner=True)
     without = run_wordcount(4, use_combiner=False)
-    show(capsys, "E07b: combiner ablation (512 KiB corpus, 4 trackers)",
-         ["combiner", "shuffle bytes", "duration s"],
-         [["on", with_c.counters.shuffle_bytes, f"{with_c.duration:.1f}"],
-          ["off", without.counters.shuffle_bytes, f"{without.duration:.1f}"]])
+    publish(capsys, BenchResult(
+        "e07b_combiner_ablation",
+        params={"corpus_kib": 512, "trackers": 4},
+        metrics={"shuffle_bytes_on": with_c.counters.shuffle_bytes,
+                 "shuffle_bytes_off": without.counters.shuffle_bytes},
+    ).table("E07b: combiner ablation (512 KiB corpus, 4 trackers)",
+            ["combiner", "shuffle bytes", "duration s"],
+            [["on", with_c.counters.shuffle_bytes, f"{with_c.duration:.1f}"],
+             ["off", without.counters.shuffle_bytes,
+              f"{without.duration:.1f}"]]))
     assert with_c.counters.shuffle_bytes < without.counters.shuffle_bytes
     assert with_c.output == without.output
     benchmark.pedantic(run_wordcount, args=(2,),
@@ -76,10 +87,14 @@ def test_e07_combiner_ablation(benchmark, capsys):
 
 def test_e07_locality_rate_high(benchmark, capsys):
     result = run_wordcount(6, corpus_kib=1024, block_size=32 * KiB)
-    show(capsys, "E07c: data locality with co-located trackers/DataNodes",
-         ["maps", "data-local maps", "rate"],
-         [[result.counters.map_tasks, result.counters.data_local_maps,
-           f"{result.counters.locality_rate * 100:.0f}%"]])
+    publish(capsys, BenchResult(
+        "e07c_locality",
+        params={"corpus_kib": 1024, "trackers": 6},
+        metrics={"locality_rate": round(result.counters.locality_rate, 3)},
+    ).table("E07c: data locality with co-located trackers/DataNodes",
+            ["maps", "data-local maps", "rate"],
+            [[result.counters.map_tasks, result.counters.data_local_maps,
+              f"{result.counters.locality_rate * 100:.0f}%"]]))
     assert result.counters.locality_rate >= 0.5
     benchmark.pedantic(run_wordcount, args=(4,),
                        kwargs={"corpus_kib": 128}, rounds=3, iterations=1)
@@ -93,8 +108,12 @@ def test_e07_reduce_fanout(benchmark, capsys):
         outputs.append(result.output)
         rows.append([r, f"{result.duration:.1f}",
                      result.counters.reduce_tasks])
-    show(capsys, "E07d: reducer fan-out (correctness invariant under R)",
-         ["reducers", "duration s", "reduce tasks"], rows)
+    publish(capsys, BenchResult(
+        "e07d_reduce_fanout",
+        params={"trackers": 4, "reducers": [1, 2, 4]},
+        metrics={"outputs_identical": outputs[0] == outputs[1] == outputs[2]},
+    ).table("E07d: reducer fan-out (correctness invariant under R)",
+            ["reducers", "duration s", "reduce tasks"], rows))
     assert outputs[0] == outputs[1] == outputs[2]
     benchmark.pedantic(run_wordcount, args=(4,),
                        kwargs={"corpus_kib": 64, "num_reduces": 4},

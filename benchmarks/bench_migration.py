@@ -15,7 +15,7 @@ from repro.hardware import Cluster
 from repro.one import OpenNebula, VmTemplate
 from repro.virt import DiskImage
 
-from _util import run, show
+from _util import BenchResult, publish, run
 
 
 def migrate_once(dirty_rate, kind, *, memory=1 * GiB, cal=None):
@@ -46,9 +46,16 @@ def test_e05_dirty_rate_sweep(benchmark, capsys):
                 f"{r.bytes_transferred / MiB:.0f}",
                 f"{r.degradation_time:.2f}" if kind == "postcopy" else "-",
             ])
-    show(capsys, "E05: live migration of a 1 GiB VM (Figures 8-10)",
-         ["dirty MiB/s", "algo", "total s", "downtime ms", "rounds",
-          "converged", "MiB moved", "degraded s"], rows)
+    publish(capsys, BenchResult(
+        "e05_dirty_rate_sweep",
+        params={"dirty_mib_s": [0, 10, 50, 100, 200, 400],
+                "guest_gib": 1},
+        metrics={"downtime_ms": {
+            f"{rate}_{kind}": round(r.downtime * 1000, 2)
+            for (rate, kind), r in results.items()}},
+    ).table("E05: live migration of a 1 GiB VM (Figures 8-10)",
+            ["dirty MiB/s", "algo", "total s", "downtime ms", "rounds",
+             "converged", "MiB moved", "degraded s"], rows))
 
     # shape assertions
     assert results[(0, "precopy")].downtime < results[(100, "precopy")].downtime
@@ -70,8 +77,12 @@ def test_e05_memory_size_scaling(benchmark, capsys):
         rows.append([mem_gib, f"{r.total_time:.2f}", f"{r.downtime * 1000:.1f}"])
         assert r.total_time > prev_total
         prev_total = r.total_time
-    show(capsys, "E05b: pre-copy total time vs guest RAM (20 MiB/s dirty)",
-         ["RAM GiB", "total s", "downtime ms"], rows)
+    publish(capsys, BenchResult(
+        "e05b_memory_scaling",
+        params={"ram_gib": [1, 2, 4], "dirty_mib_s": 20},
+        metrics={"total_s_by_gib": {r[0]: float(r[1]) for r in rows}},
+    ).table("E05b: pre-copy total time vs guest RAM (20 MiB/s dirty)",
+            ["RAM GiB", "total s", "downtime ms"], rows))
     benchmark.pedantic(migrate_once, args=(20 * MiB, "postcopy"),
                        rounds=3, iterations=1)
 
@@ -86,8 +97,12 @@ def test_e05_round_cap_ablation(benchmark, capsys):
         rows.append([cap, r.rounds, f"{r.total_time:.2f}",
                      f"{r.downtime * 1000:.1f}"])
         downtimes.append(r.downtime)
-    show(capsys, "E05c: pre-copy round-cap ablation (150 MiB/s dirty guest)",
-         ["round cap", "rounds used", "total s", "downtime ms"], rows)
+    publish(capsys, BenchResult(
+        "e05c_round_cap_ablation",
+        params={"round_caps": [2, 5, 30], "dirty_mib_s": 150},
+        metrics={"downtime_s": [round(d, 4) for d in downtimes]},
+    ).table("E05c: pre-copy round-cap ablation (150 MiB/s dirty guest)",
+            ["round cap", "rounds used", "total s", "downtime ms"], rows))
     assert downtimes[0] >= downtimes[-1]
     benchmark.pedantic(
         migrate_once, args=(150 * MiB, "precopy"),
@@ -124,9 +139,14 @@ def test_e05_cold_vs_live(benchmark, capsys):
         rows.append([kind, f"{r.total_time:.2f}",
                      f"{r.downtime * 1000:.0f}",
                      f"{r.bytes_transferred / MiB:.0f}"])
-    show(capsys, "E05d: cold vs live migration (1 GiB guest, 20 MiB/s dirty)",
-         ["method", "total s", "downtime ms", "MiB moved"],
-         rows)
+    publish(capsys, BenchResult(
+        "e05d_cold_vs_live",
+        params={"guest_gib": 1, "dirty_mib_s": 20},
+        metrics={"downtime_ms": {k: round(r.downtime * 1000, 2)
+                                 for k, r in results.items()}},
+    ).table("E05d: cold vs live migration (1 GiB guest, 20 MiB/s dirty)",
+            ["method", "total s", "downtime ms", "MiB moved"],
+            rows))
     assert results["cold"].downtime == results["cold"].total_time
     assert results["precopy"].downtime < results["cold"].downtime / 10
     benchmark.pedantic(migrate, args=("cold",), rounds=2, iterations=1)

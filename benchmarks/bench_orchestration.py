@@ -20,7 +20,7 @@ from repro.one import (
 )
 from repro.virt import DiskImage
 
-from _util import run, show
+from _util import BenchResult, publish, run
 
 
 def make_cloud(n_hosts=6, tm="ssh"):
@@ -57,19 +57,31 @@ def test_e02_service_deploy_and_driver_trace(benchmark, capsys):
     assert web_vm.context["roles"]["db"] == service.role_ips("db")
 
     rows = [[c.time, c.driver, c.action, c.target] for c in cloud.trace.calls[:8]]
-    show(capsys, "E02: first driver calls of the service deployment",
-         ["t (s)", "driver", "action", "target"], rows)
+    publish(capsys, BenchResult(
+        "e02_service_deploy",
+        params={"n_web": 3, "tm": "ssh"},
+        metrics={"tm_prologs": tm_actions.count("prolog"),
+                 "vmm_deploys": vmm_actions.count("deploy"),
+                 "deploy_s": round(cluster.now, 3)},
+    ).table("E02: first driver calls of the service deployment",
+            ["t (s)", "driver", "action", "target"], rows))
 
     benchmark.pedantic(lambda: deploy_service(1), rounds=3, iterations=1)
 
 
 def test_e02_time_to_running_scales(benchmark, capsys):
     rows = []
+    times = {}
     for n_web in (1, 2, 4, 8):
         cluster, _, service = deploy_service(n_web)
+        times[str(n_web + 1)] = round(cluster.now, 3)
         rows.append([n_web + 1, f"{cluster.now:.1f}"])
-    show(capsys, "E02b: time to fully RUNNING vs service size (ssh TM)",
-         ["VMs", "simulated s"], rows)
+    publish(capsys, BenchResult(
+        "e02b_time_to_running",
+        params={"web_tiers": [1, 2, 4, 8], "tm": "ssh"},
+        metrics={"time_to_running_s": times},
+    ).table("E02b: time to fully RUNNING vs service size (ssh TM)",
+            ["VMs", "simulated s"], rows))
     benchmark.pedantic(lambda: deploy_service(2), rounds=3, iterations=1)
 
 
@@ -77,10 +89,14 @@ def test_e02_shared_tm_faster_than_ssh(benchmark, capsys):
     """Ablation: shared-storage prolog removes the image copy entirely."""
     t_ssh = deploy_service(2, tm="ssh")[0].now
     t_shared = deploy_service(2, tm="shared")[0].now
-    show(capsys, "E02c: transfer-manager ablation (3-VM service)",
-         ["TM driver", "deploy s"],
-         [["ssh (copy image)", f"{t_ssh:.1f}"],
-          ["shared (NFS snapshot)", f"{t_shared:.1f}"]])
+    publish(capsys, BenchResult(
+        "e02c_tm_ablation",
+        params={"n_web": 2},
+        metrics={"ssh_s": round(t_ssh, 3), "shared_s": round(t_shared, 3)},
+    ).table("E02c: transfer-manager ablation (3-VM service)",
+            ["TM driver", "deploy s"],
+            [["ssh (copy image)", f"{t_ssh:.1f}"],
+             ["shared (NFS snapshot)", f"{t_shared:.1f}"]]))
     assert t_shared < t_ssh
     benchmark.pedantic(lambda: deploy_service(1, tm="shared"), rounds=3, iterations=1)
 
@@ -101,4 +117,10 @@ def test_e04_monitoring_dashboard(benchmark, capsys):
     sample = mon.latest(service.vms[0].host_name)
     assert sample.running_vms >= 1
     assert sample.mem_used > 0
+    publish(capsys, BenchResult(
+        "e04_monitoring",
+        params={"period_s": 10, "sweeps": 3},
+        metrics={"hosts_monitored": len(cloud.host_pool),
+                 "running_vms_on_sampled_host": sample.running_vms},
+    ))
     benchmark.pedantic(lambda: run(cluster, mon.poll_once()), rounds=3, iterations=1)

@@ -10,14 +10,14 @@ and every refusal must be accounted, not dropped on the floor.
 
 import pytest
 
-from repro.bench import PortalDriver, VideoCatalog
+from repro.bench import KernelRate, PortalDriver, VideoCatalog
 from repro.chaos import ChaosMonkey
 from repro.common.units import MiB
 from repro.hardware import Cluster
 from repro.hdfs import Hdfs
 from repro.web import VideoPortal
 
-from _util import run, show, show_json
+from _util import BenchResult, publish, run
 
 #: storm shape: half playback, a third search, the rest heavy uploads
 MIX = {"playback": 0.5, "search": 0.3, "upload": 0.2}
@@ -49,7 +49,7 @@ def build_stack(seed=0, *, overload=True, capacity=8, queue_capacity=32,
     def playback():
         counters["playback"] += 1
         vid = driver.video_ids[counters["playback"] % len(driver.video_ids)]
-        return portal.request("GET", "/video", params={"id": vid})
+        return portal.request("GET", f"/video/{vid}")
 
     def upload():
         counters["upload"] += 1
@@ -69,18 +69,24 @@ def build_stack(seed=0, *, overload=True, capacity=8, queue_capacity=32,
     return cluster, portal, controller, monkey, factories
 
 
-def run_storm(rate, *, seed=0, overload=True):
+def run_storm(rate, *, seed=0, overload=True, kernel_rate=None):
     cluster, portal, controller, monkey, factories = build_stack(
         seed=seed, overload=overload)
-    stats = cluster.run(monkey.overload_storm(
-        duration=DURATION, rate=rate, mix=MIX,
-        request_factories=factories))
+    storm = monkey.overload_storm(
+        duration=DURATION, rate=rate, mix=MIX, request_factories=factories)
+    if kernel_rate is not None:
+        with kernel_rate.measure(cluster.engine):
+            stats = cluster.run(storm)
+    else:
+        stats = cluster.run(storm)
     return cluster, portal, controller, stats
 
 
 def test_e_overload_goodput_protection(benchmark, capsys):
-    _, _, _, calm = run_storm(CALM_RATE)
-    cluster, portal, controller, hot = run_storm(STORM_RATE)
+    kernel_rate = KernelRate()
+    _, _, _, calm = run_storm(CALM_RATE, kernel_rate=kernel_rate)
+    cluster, portal, controller, hot = run_storm(
+        STORM_RATE, kernel_rate=kernel_rate)
     _, raw_portal, _, raw = run_storm(STORM_RATE, overload=False)
 
     rows = []
@@ -92,9 +98,6 @@ def test_e_overload_goodput_protection(benchmark, capsys):
             f"{hot.goodput(kind):.2f}",
             f"{lat:.2f}" if lat is not None else "-",
         ])
-    show(capsys, "E-overload: 2x storm with admission control",
-         ["class", "offered", "done", "shed", "calm good/s",
-          "storm good/s", "mean lat s"], rows)
 
     # unsaturated the regime is invisible: nothing refused, all complete
     assert sum(calm.rejected.values()) == 0
@@ -126,16 +129,25 @@ def test_e_overload_goodput_protection(benchmark, capsys):
     assert raw_portal.server.stats.peak_connections > 2 * 8
     assert raw.mean_latency("upload") > 2 * hot.mean_latency("upload")
 
-    show_json(capsys, "e_overload", {
-        "calm_goodput": {k: calm.goodput(k) for k in MIX},
-        "storm_goodput": {k: hot.goodput(k) for k in MIX},
-        "storm_offered": hot.offered, "storm_rejected": hot.rejected,
-        "shed_counts": controller.shed_counts,
-        "peak_connections": {
-            "controlled": portal.server.stats.peak_connections,
-            "uncontrolled": raw_portal.server.stats.peak_connections,
+    publish(capsys, BenchResult(
+        "e_overload",
+        params={"mix": MIX, "calm_rate": CALM_RATE,
+                "storm_rate": STORM_RATE, "duration_s": DURATION},
+        metrics={
+            "calm_goodput": {k: calm.goodput(k) for k in MIX},
+            "storm_goodput": {k: hot.goodput(k) for k in MIX},
+            "storm_offered": hot.offered, "storm_rejected": hot.rejected,
+            "shed_counts": controller.shed_counts,
+            "peak_connections": {
+                "controlled": portal.server.stats.peak_connections,
+                "uncontrolled": raw_portal.server.stats.peak_connections,
+            },
         },
-    })
+        seed=0,
+        events_per_sec=kernel_rate.events_per_sec,
+    ).table("E-overload: 2x storm with admission control",
+            ["class", "offered", "done", "shed", "calm good/s",
+             "storm good/s", "mean lat s"], rows))
 
     def kernel():
         cluster, _, _, monkey, factories = build_stack()
@@ -158,11 +170,13 @@ def test_e_overload_shedding_is_seed_deterministic(benchmark, capsys):
     assert other.offered != a.offered
 
     rows = [[k, a.offered.get(k, 0), a.rejected.get(k, 0)] for k in sorted(MIX)]
-    show(capsys, "E-overload: shed counts reproduce from the seed (11)",
-         ["class", "offered", "shed"], rows)
-    show_json(capsys, "e_overload_determinism", {
-        "seed": 11, "offered": a.offered, "rejected": a.rejected,
-        "shed_counts": ctrl_a.shed_counts,
-    })
+    publish(capsys, BenchResult(
+        "e_overload_determinism",
+        params={"mix": MIX, "storm_rate": STORM_RATE},
+        metrics={"offered": a.offered, "rejected": a.rejected,
+                 "shed_counts": ctrl_a.shed_counts},
+        seed=11,
+    ).table("E-overload: shed counts reproduce from the seed (11)",
+            ["class", "offered", "shed"], rows))
     benchmark.pedantic(
         lambda: run_storm(CALM_RATE, seed=11), rounds=2, iterations=1)

@@ -12,7 +12,7 @@ from repro.hardware import Cluster
 from repro.one import OneState, OpenNebula, VmTemplate, rank_free_memory
 from repro.virt import DiskImage
 
-from _util import show
+from _util import BenchResult, publish
 
 
 def place_burst(policy, n_vms=8, *, rank=None):
@@ -43,8 +43,15 @@ def test_e14_policy_comparison(benchmark, capsys):
             policy, len(counts), max(counts.values()), min(counts.values()),
             idle_hosts,
         ])
-    show(capsys, "E14: 8 VMs onto a heterogeneous pool (5 small + 1 big host)",
-         ["policy", "hosts used", "max/host", "min/host", "idle hosts"], rows)
+    publish(capsys, BenchResult(
+        "e14_placement_policies",
+        params={"n_vms": 8, "pool": "5 small + 1 big host"},
+        metrics={"hosts_used": {p: len(c) for p, c in results.items()},
+                 "max_per_host": {p: max(c.values())
+                                  for p, c in results.items()}},
+    ).table("E14: 8 VMs onto a heterogeneous pool (5 small + 1 big host)",
+            ["policy", "hosts used", "max/host", "min/host", "idle hosts"],
+            rows))
     # packing consolidates (frees hosts for power-down); striping spreads
     assert len(results["packing"]) < len(results["striping"])
     assert max(results["striping"].values()) <= max(results["packing"].values())
@@ -53,8 +60,12 @@ def test_e14_policy_comparison(benchmark, capsys):
 
 def test_e14_rank_expression_targets_big_host(benchmark, capsys):
     _, counts = place_burst("striping", n_vms=6, rank=rank_free_memory)
-    show(capsys, "E14b: template RANK=FREEMEMORY draws VMs to the big box",
-         ["host", "VMs"], sorted(counts.items()))
+    publish(capsys, BenchResult(
+        "e14b_rank_expression",
+        params={"n_vms": 6, "rank": "FREEMEMORY"},
+        metrics={"vms_on_big_host": counts.get("big", 0)},
+    ).table("E14b: template RANK=FREEMEMORY draws VMs to the big box",
+            ["host", "VMs"], sorted(counts.items())))
     # the 32 GiB host keeps the most free memory, so it attracts the burst
     assert counts.get("big", 0) >= 4
     benchmark.pedantic(place_burst, args=("packing",), rounds=3, iterations=1)
@@ -75,7 +86,13 @@ def test_e14_pending_backlog_drains_when_capacity_frees(benchmark, capsys):
     cluster.engine.process(cloud.shutdown_vm(first))
     cluster.run(until=cluster.now + 120)
     assert second.state is OneState.RUNNING
-    show(capsys, "E14c: backlog drains after capacity frees",
-         ["vm", "state"],
-         [[first.name, first.state.value], [second.name, second.state.value]])
+    publish(capsys, BenchResult(
+        "e14c_backlog_drain",
+        params={"oversubscribe": "2 VMs at 60% host memory"},
+        metrics={"first_state": first.state.value,
+                 "second_state": second.state.value},
+    ).table("E14c: backlog drains after capacity frees",
+            ["vm", "state"],
+            [[first.name, first.state.value],
+             [second.name, second.state.value]]))
     benchmark.pedantic(place_burst, args=("load_aware", 4), rounds=3, iterations=1)

@@ -14,7 +14,7 @@ from repro.hardware import Cluster
 from repro.hdfs import Hdfs
 from repro.web import VideoPortal
 
-from _util import metrics_report, percentile_row, run, show, show_json
+from _util import BenchResult, metrics_report, percentile_row, publish, run
 
 
 def build_loaded_portal(n_videos=6, n_clients=4):
@@ -44,8 +44,6 @@ def test_e03_mixed_workload_latencies(benchmark, capsys):
             f"{s.percentile(50) * 1000:.1f}",
             f"{s.percentile(95) * 1000:.1f}",
         ])
-    show(capsys, "E03: 120 mixed requests against the portal",
-         ["action", "count", "mean ms", "p50 ms", "p95 ms"], rows)
     assert report.errors == 0
     assert report.events == 120
 
@@ -58,14 +56,20 @@ def test_e03_mixed_workload_latencies(benchmark, capsys):
         route_rows.append([route, *percentile_row(summary)])
     aggregate = obs.percentiles("web_request_seconds")
     route_rows.append(["(all routes)", *percentile_row(aggregate)])
-    show(capsys, "E03: server-side latency from web_request_seconds",
-         ["route", "count", "p50 ms", "p95 ms", "p99 ms"], route_rows)
-    show_json(capsys, "e03_portal_load", {
-        "aggregate": aggregate.to_json(),
-        "routes": [s.to_json() for s in sorted(
-            obs.histogram_children("web_request_seconds"),
-            key=lambda s: s.labels)],
-    })
+    publish(capsys, BenchResult(
+        "e03_portal_load",
+        params={"events": 120, "clients": 4},
+        metrics={
+            "aggregate": aggregate.to_json(),
+            "routes": [s.to_json() for s in sorted(
+                obs.histogram_children("web_request_seconds"),
+                key=lambda s: s.labels)],
+        },
+        seed=9,
+    ).table("E03: 120 mixed requests against the portal",
+            ["action", "count", "mean ms", "p50 ms", "p95 ms"], rows)
+     .table("E03: server-side latency from web_request_seconds",
+            ["route", "count", "p50 ms", "p95 ms", "p99 ms"], route_rows))
     assert aggregate.count >= report.events
     assert aggregate.p50 <= aggregate.p95 <= aggregate.p99
     # watch includes actual streaming, so it dwarfs page serves
@@ -91,8 +95,13 @@ def test_e03_popularity_skew_hits_popular_videos(benchmark, capsys):
     }
     ranked = [views[vid] for vid in driver.video_ids]
     rows = [[rank, driver.video_ids[rank], v] for rank, v in enumerate(ranked)]
-    show(capsys, "E03b: Zipf popularity -> view counts by rank",
-         ["popularity rank", "video id", "views"], rows)
+    publish(capsys, BenchResult(
+        "e03b_popularity_skew",
+        params={"events": 200, "clients": 4},
+        metrics={"views_by_rank": ranked},
+        seed=4,
+    ).table("E03b: Zipf popularity -> view counts by rank",
+            ["popularity rank", "video id", "views"], rows))
     # most popular video gets more views than the tail
     assert ranked[0] >= max(ranked[3:] or [0])
     benchmark.pedantic(

@@ -12,11 +12,11 @@ control plane) plus the action log census.
 
 import pytest
 
-from repro.bench import PortalDriver, VideoCatalog
+from repro.bench import KernelRate, PortalDriver, VideoCatalog
 from repro.chaos import ReconcileStorm
 from repro.stack import build_reconciled_cloud
 
-from _util import show, show_json
+from _util import BenchResult, publish
 
 #: upload-heavy burst mix: the storm must saturate the admission tier
 MIX = (("playback", 0.5), ("search", 0.2), ("upload", 0.3))
@@ -43,14 +43,19 @@ def build(seed=7):
     return vc
 
 
-def run_storm(vc, *, tail=TAIL):
+def run_storm(vc, *, tail=TAIL, kernel_rate=None):
     vc.run(until=vc.engine.now + SETTLE)
     storm = ReconcileStorm(crash="node2", isolated=("node5",), at=0.0,
                            storm_rate=STORM_RATE, storm_mix=MIX,
                            heal_after=180.0)
     done = vc.chaos.unleash([storm])
-    vc.run(done)
-    vc.run(until=vc.engine.now + tail)
+    if kernel_rate is not None:
+        with kernel_rate.measure(vc.engine):
+            vc.run(done)
+            vc.run(until=vc.engine.now + tail)
+    else:
+        vc.run(done)
+        vc.run(until=vc.engine.now + tail)
     return vc.reconciler
 
 
@@ -72,9 +77,9 @@ def exercise_upgrades(vc):
     vc.run(until=vc.engine.now + 30 * rec.period)
 
 
-def converge_and_report(seed=7):
+def converge_and_report(seed=7, kernel_rate=None):
     vc = build(seed)
-    rec = run_storm(vc)
+    rec = run_storm(vc, kernel_rate=kernel_rate)
     exercise_upgrades(vc)
     vc.stop_background()
     vc.cluster.run()
@@ -82,7 +87,8 @@ def converge_and_report(seed=7):
 
 
 def test_e_reconcile_storm_convergence(benchmark, capsys):
-    vc, rec = converge_and_report()
+    kernel_rate = KernelRate()
+    vc, rec = converge_and_report(kernel_rate=kernel_rate)
     counts = rec.actions.counts()
     report = rec.report
 
@@ -111,20 +117,26 @@ def test_e_reconcile_storm_convergence(benchmark, capsys):
 
     rows = [[k, counts.get(k, 0)]
             for k in sorted(counts)]
-    show(capsys, "E-reconcile: action census under compound chaos",
-         ["action", "count"], rows)
-    show(capsys, "E-reconcile: convergence",
-         ["episodes", "mean s", "max s", "sweeps"],
-         [[len(report.episodes), f"{report.mean_convergence_time():.1f}",
-           f"{report.max_convergence_time():.1f}", rec.sweeps]])
-    show_json(capsys, "e_reconcile", {
-        "actions": counts,
-        "episodes": len(report.episodes),
-        "mean_convergence_s": round(report.mean_convergence_time(), 3),
-        "max_convergence_s": round(report.max_convergence_time(), 3),
-        "sweeps": rec.sweeps,
-        "final_replicas": {p.name: p.replicas for p in rec.spec.pools},
-    })
+    publish(capsys, BenchResult(
+        "e_reconcile",
+        params={"storm_rate": STORM_RATE, "mix": dict(MIX),
+                "settle_s": SETTLE, "tail_s": TAIL},
+        metrics={
+            "actions": counts,
+            "episodes": len(report.episodes),
+            "mean_convergence_s": round(report.mean_convergence_time(), 3),
+            "max_convergence_s": round(report.max_convergence_time(), 3),
+            "sweeps": rec.sweeps,
+            "final_replicas": {p.name: p.replicas for p in rec.spec.pools},
+        },
+        seed=7,
+        events_per_sec=kernel_rate.events_per_sec,
+    ).table("E-reconcile: action census under compound chaos",
+            ["action", "count"], rows)
+     .table("E-reconcile: convergence",
+            ["episodes", "mean s", "max s", "sweeps"],
+            [[len(report.episodes), f"{report.mean_convergence_time():.1f}",
+              f"{report.max_convergence_time():.1f}", rec.sweeps]]))
 
     def kernel():
         vc = build_reconciled_cloud(seed=3, autoscale=False)
@@ -151,10 +163,11 @@ def test_e_reconcile_storm_is_seed_deterministic(benchmark, capsys):
     other = signatures(12)
     assert other != a               # the seed actually matters
 
-    show_json(capsys, "e_reconcile_determinism", {
-        "seed": 11,
-        "actions": len(a[0]),
-        "episodes": len(a[1]),
-        "identical": a == b,
-    })
+    publish(capsys, BenchResult(
+        "e_reconcile_determinism",
+        params={"storm_rate": STORM_RATE, "tail_s": 200.0},
+        metrics={"actions": len(a[0]), "episodes": len(a[1]),
+                 "identical": a == b},
+        seed=11,
+    ))
     benchmark.pedantic(lambda: signatures(11), rounds=1, iterations=1)

@@ -19,7 +19,7 @@ from repro.search import (
     write_crawl_segment,
 )
 
-from _util import run, show
+from _util import BenchResult, publish, run
 
 WORDS = ("cloud video nobody song cat concert parody kvm hadoop nutch girl "
          "wonder stream live music hd official channel dance cover").split()
@@ -58,8 +58,13 @@ def test_e09_build_time_crossover(benchmark, capsys):
         mr, seq, _ = build_times(n_docs)
         ratios[n_docs] = seq / mr
         rows.append([n_docs, f"{seq:.1f}", f"{mr:.1f}", f"{seq / mr:.2f}x"])
-    show(capsys, "E09: index build, sequential vs MapReduce (C2)",
-         ["documents", "sequential s", "mapreduce s", "speedup"], rows)
+    publish(capsys, BenchResult(
+        "e09_build_crossover",
+        params={"corpus_sizes": [20, 100, 400, 1200], "num_reduces": 4},
+        metrics={"speedup_by_docs": {str(n): round(r, 3)
+                                     for n, r in ratios.items()}},
+    ).table("E09: index build, sequential vs MapReduce (C2)",
+            ["documents", "sequential s", "mapreduce s", "speedup"], rows))
     # small corpora: overheads dominate; large corpora: MR wins clearly
     assert ratios[1200] > 1.5
     assert ratios[1200] > ratios[20]
@@ -70,8 +75,13 @@ def test_e09_nobody_query_and_latency(benchmark, capsys):
     _, _, index = build_times(400)
     hits = execute(index, "nobody", limit=5)
     rows = [[h.doc_id, f"{h.score:.2f}", h.title] for h in hits]
-    show(capsys, "E09b: Figure 18 -- top hits for 'nobody' (400 docs)",
-         ["doc", "score", "title"], rows)
+    publish(capsys, BenchResult(
+        "e09b_nobody_query",
+        params={"corpus_docs": 400, "query": "nobody", "limit": 5},
+        metrics={"hits": len(hits),
+                 "top_score": round(hits[0].score, 3) if hits else 0.0},
+    ).table("E09b: Figure 18 -- top hits for 'nobody' (400 docs)",
+            ["doc", "score", "title"], rows))
     assert hits, "the demo query must return results"
     assert all("nobody" in (h.title + h.snippet).lower() or h.score > 0
                for h in hits)
@@ -83,10 +93,16 @@ def test_e09_nobody_query_and_latency(benchmark, capsys):
 
 def test_e09_reducer_fanout_ablation(benchmark, capsys):
     rows = []
+    build_s = {}
     for r in (1, 2, 8):
         mr, _, _ = build_times(400, num_reduces=r)
+        build_s[str(r)] = round(mr, 3)
         rows.append([r, f"{mr:.1f}"])
-    show(capsys, "E09c: reducer fan-out ablation (400 docs)",
-         ["reducers", "mapreduce build s"], rows)
+    publish(capsys, BenchResult(
+        "e09c_reducer_fanout",
+        params={"corpus_docs": 400, "reducers": [1, 2, 8]},
+        metrics={"build_s_by_reducers": build_s},
+    ).table("E09c: reducer fan-out ablation (400 docs)",
+            ["reducers", "mapreduce build s"], rows))
     benchmark.pedantic(build_times, args=(50,),
                        kwargs={"num_reduces": 2}, rounds=2, iterations=1)

@@ -11,7 +11,7 @@ from repro.common.units import Mbps
 from repro.hardware import Cluster
 from repro.video import R_720P, PlaybackSession, StreamingServer, VideoFile
 
-from _util import run, show
+from _util import BenchResult, publish, run
 
 
 def movie(bitrate=4 * Mbps, duration=120.0):
@@ -41,8 +41,16 @@ def test_e12_bandwidth_sweep(benchmark, capsys):
             r.rebuffer_count, f"{r.rebuffer_time:.1f}",
             "yes" if r.smooth else "NO",
         ])
-    show(capsys, "E12: 4 Mb/s 720p stream vs client bandwidth",
-         ["client Mb/s", "startup ms", "rebuffers", "stall s", "smooth"], rows)
+    publish(capsys, BenchResult(
+        "e12_bandwidth_sweep",
+        params={"client_mbps": [64, 16, 8, 4], "media_mbps": 4},
+        metrics={"rebuffers": {str(n): r.rebuffer_count
+                               for n, r in reports.items()},
+                 "startup_ms": {str(n): round(r.startup_delay * 1000, 1)
+                                for n, r in reports.items()}},
+    ).table("E12: 4 Mb/s 720p stream vs client bandwidth",
+            ["client Mb/s", "startup ms", "rebuffers", "stall s", "smooth"],
+            rows))
     assert reports[64].smooth
     assert reports[4].rebuffer_count > 0  # below the ~4.2 Mb/s media rate
     assert reports[64].startup_delay < reports[8].startup_delay
@@ -55,8 +63,13 @@ def test_e12_seek_latency(benchmark, capsys):
     r = play(16, plan=[(0.0, 10.0), (60.0, 10.0), (110.0, 10.0)],
              duration=120.0)
     rows = [[i + 1, f"{lat * 1000:.0f}"] for i, lat in enumerate(r.seek_latencies)]
-    show(capsys, "E12b: seek latencies (16 Mb/s client)",
-         ["seek #", "latency ms"], rows)
+    publish(capsys, BenchResult(
+        "e12b_seek_latency",
+        params={"client_mbps": 16, "seeks": 2},
+        metrics={"seek_latency_ms": [round(lat * 1000, 1)
+                                     for lat in r.seek_latencies]},
+    ).table("E12b: seek latencies (16 Mb/s client)",
+            ["seek #", "latency ms"], rows))
     assert len(r.seek_latencies) == 2
     assert all(lat < 5.0 for lat in r.seek_latencies)
     benchmark.pedantic(play, args=(16,),
@@ -89,8 +102,12 @@ def test_e12_concurrent_viewers_share_uplink(benchmark, capsys):
         mean_startup = sum(r.startup_delay for r in reports) / n
         stats[n] = stalled
         rows.append([n, f"{mean_startup * 1000:.0f}", stalled])
-    show(capsys, "E12c: concurrent viewers on one 1 Gb/s server (4 Mb/s media)",
-         ["viewers", "mean startup ms", "viewers with stalls"], rows)
+    publish(capsys, BenchResult(
+        "e12c_concurrent_viewers",
+        params={"viewer_counts": [4, 64, 256], "server_gbps": 1},
+        metrics={"stalled_viewers": {str(n): s for n, s in stats.items()}},
+    ).table("E12c: concurrent viewers on one 1 Gb/s server (4 Mb/s media)",
+            ["viewers", "mean startup ms", "viewers with stalls"], rows))
     # 1 Gb/s / 4.2 Mb/s media rate ~ 230 viewers: 256 must congest, 4 must not
     assert stats[4] == 0
     assert stats[256] > 0
@@ -132,9 +149,13 @@ def test_e12_replica_streaming_scales_service_capacity(benchmark, capsys):
 
     single = stalls(False)
     replicas = stalls(True)
-    show(capsys, "E12d: 96 viewers of a 4 Mb/s stream (repl 3)",
-         ["serving mode", "viewers with stalls"],
-         [["single server", single], ["3 HDFS replicas", replicas]])
+    publish(capsys, BenchResult(
+        "e12d_replica_streaming",
+        params={"viewers": 96, "replication": 3},
+        metrics={"stalls_single": single, "stalls_replicas": replicas},
+    ).table("E12d: 96 viewers of a 4 Mb/s stream (repl 3)",
+            ["serving mode", "viewers with stalls"],
+            [["single server", single], ["3 HDFS replicas", replicas]]))
     assert replicas <= single
 
     benchmark.pedantic(stalls, args=(True, 8), rounds=2, iterations=1)
@@ -172,8 +193,12 @@ def test_e12_adaptive_bitrate_selection(benchmark, capsys):
         rows.append([mbps, quality,
                      "yes" if report.smooth else "NO",
                      f"{report.startup_delay * 1000:.0f}"])
-    show(capsys, "E12e: startup ABR over the 720/480/360p ladder",
-         ["client Mb/s", "chosen", "smooth", "startup ms"], rows)
+    publish(capsys, BenchResult(
+        "e12e_adaptive_bitrate",
+        params={"client_mbps": [16, 6, 4, 2], "ladder": ["720p", "480p", "360p"]},
+        metrics={"chosen": {str(m): q for m, (q, _) in results.items()}},
+    ).table("E12e: startup ABR over the 720/480/360p ladder",
+            ["client Mb/s", "chosen", "smooth", "startup ms"], rows))
     assert results[16][0] == "720p"
     assert results[2][0] == "360p"
     assert all(r.smooth for _, r in results.values())

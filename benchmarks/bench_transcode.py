@@ -12,7 +12,7 @@ from repro.common.units import Mbps
 from repro.hardware import Cluster
 from repro.video import R_480P, R_720P, DistributedTranscoder, VideoFile
 
-from _util import metrics_report, percentile_row, run, show, show_json
+from _util import BenchResult, metrics_report, percentile_row, publish, run
 
 
 def clip(duration, name="upload.avi"):
@@ -55,9 +55,15 @@ def test_e08_speedup_curve(benchmark, capsys):
             f"{rep.total_time:.1f}",
             f"{speedup:.2f}x",
         ])
-    show(capsys, "E08: Figure 16 pipeline, 30-min 720p mpeg4 -> h264/flv",
-         ["configuration", "split s", "convert s", "merge s", "total s",
-          "speedup"], rows)
+    publish(capsys, BenchResult(
+        "e08_speedup_curve",
+        params={"clip_s": duration, "workers": [1, 2, 4, 8]},
+        metrics={"speedup_by_workers": {str(n): round(s, 3)
+                                        for n, s in speedups.items()},
+                 "single_node_s": round(base.total_time, 3)},
+    ).table("E08: Figure 16 pipeline, 30-min 720p mpeg4 -> h264/flv",
+            ["configuration", "split s", "convert s", "merge s", "total s",
+             "speedup"], rows))
     # C1: distributed wins, speedup grows with workers (sub-linear is fine)
     assert speedups[2] > 1.5
     assert speedups[8] > speedups[4] > speedups[2]
@@ -74,8 +80,12 @@ def test_e08_clip_length_sensitivity(benchmark, capsys):
         ratios.append(ratio)
         rows.append([f"{duration:.0f}", f"{single.total_time:.1f}",
                      f"{dist.total_time:.1f}", f"{ratio:.2f}x"])
-    show(capsys, "E08b: speedup vs clip length (4 workers)",
-         ["clip s", "single s", "distributed s", "speedup"], rows)
+    publish(capsys, BenchResult(
+        "e08b_clip_length",
+        params={"clip_lengths_s": [10.0, 60.0, 600.0, 3600.0], "workers": 4},
+        metrics={"speedups": [round(r, 3) for r in ratios]},
+    ).table("E08b: speedup vs clip length (4 workers)",
+            ["clip s", "single s", "distributed s", "speedup"], rows))
     assert ratios == sorted(ratios)  # longer clips amortise overheads better
     benchmark.pedantic(convert, args=(60.0, 4), rounds=3, iterations=1)
 
@@ -89,8 +99,14 @@ def test_e08_segments_per_worker_ablation(benchmark, capsys):
         rep = convert(duration, 4, n_segments=4 * mult)
         times[mult] = rep.total_time
         rows.append([4 * mult, f"{rep.total_time:.1f}"])
-    show(capsys, "E08c: segment-count ablation (4 workers, 30-min clip)",
-         ["segments", "total s"], rows)
+    publish(capsys, BenchResult(
+        "e08c_segment_ablation",
+        params={"clip_s": duration, "workers": 4,
+                "segment_multipliers": [1, 2, 4, 16]},
+        metrics={"total_s": {str(4 * m): round(t, 3)
+                             for m, t in times.items()}},
+    ).table("E08c: segment-count ablation (4 workers, 30-min clip)",
+            ["segments", "total s"], rows))
     benchmark.pedantic(convert, args=(300.0, 4),
                        kwargs={"n_segments": 8}, rounds=3, iterations=1)
 
@@ -111,15 +127,18 @@ def test_e08_stage_percentiles(benchmark, capsys):
         rows.append([stage, *percentile_row(summary)])
     total = obs.histogram("transcode_seconds", mode="distributed")
     rows.append(["(total)", *percentile_row(total)])
-    show(capsys, "E08e: stage latency percentiles over 4 conversions",
-         ["stage", "count", "p50 ms", "p95 ms", "p99 ms"], rows)
-    show_json(capsys, "e08_transcode_stages", {
-        "stages": {stage: obs.histogram(
-            "transcode_stage_seconds", stage=stage).to_json()
-            for stage in ("split", "convert", "merge")},
-        "total": total.to_json(),
-        "segments": obs.counter("transcode_segments_total"),
-    })
+    publish(capsys, BenchResult(
+        "e08_transcode_stages",
+        params={"conversions": 4, "workers": 4},
+        metrics={
+            "stages": {stage: obs.histogram(
+                "transcode_stage_seconds", stage=stage).to_json()
+                for stage in ("split", "convert", "merge")},
+            "total": total.to_json(),
+            "segments": obs.counter("transcode_segments_total"),
+        },
+    ).table("E08e: stage latency percentiles over 4 conversions",
+            ["stage", "count", "p50 ms", "p95 ms", "p99 ms"], rows))
     assert total.count == 4
     assert obs.counter("transcode_segments_total") == 16  # 4 runs x 4 workers
     # convert dominates split/merge for long-form content
@@ -132,9 +151,15 @@ def test_e08_downscale_target(benchmark, capsys):
     """Converting to a smaller output resolution is cheaper end-to-end."""
     hd = convert(600.0, 4, resolution=R_720P)
     sd = convert(600.0, 4, resolution=R_480P)
-    show(capsys, "E08d: output-resolution effect (10-min clip, 4 workers)",
-         ["target", "total s"],
-         [["720p", f"{hd.total_time:.1f}"], ["480p", f"{sd.total_time:.1f}"]])
+    publish(capsys, BenchResult(
+        "e08d_downscale_target",
+        params={"clip_s": 600.0, "workers": 4},
+        metrics={"total_s_720p": round(hd.total_time, 3),
+                 "total_s_480p": round(sd.total_time, 3)},
+    ).table("E08d: output-resolution effect (10-min clip, 4 workers)",
+            ["target", "total s"],
+            [["720p", f"{hd.total_time:.1f}"],
+             ["480p", f"{sd.total_time:.1f}"]]))
     assert sd.total_time < hd.total_time
     benchmark.pedantic(convert, args=(300.0, 4),
                        kwargs={"resolution": R_480P}, rounds=3, iterations=1)

@@ -13,7 +13,7 @@ from repro.hdfs import Hdfs
 from repro.video import R_720P, VideoFile
 from repro.web import VideoPortal
 
-from _util import run, show
+from _util import BenchResult, publish, run
 
 
 def make_portal(n_hosts=7):
@@ -59,12 +59,17 @@ def test_e11_upload_pipeline_vs_length(benchmark, capsys):
     for minutes in (1, 5, 15, 30):
         vid, dt = upload(cluster, portal, session, minutes)
         times.append(dt)
-        resp = run(cluster, portal.request("GET", "/video", params={"id": vid}))
+        resp = run(cluster, portal.request("GET", f"/video/{vid}"))
         assert resp.ok  # dynamic link live right after upload
         rows.append([minutes, f"{dt:.1f}", f"{dt / (minutes * 60):.3f}",
                      resp.body["video"]["link"]])
-    show(capsys, "E11: Figure 22 upload -> convert -> publish pipeline",
-         ["clip min", "pipeline s", "s per media-s", "dynamic link"], rows)
+    publish(capsys, BenchResult(
+        "e11_upload_pipeline",
+        params={"clip_minutes": [1, 5, 15, 30]},
+        metrics={"pipeline_s": [round(t, 3) for t in times]},
+    ).table("E11: Figure 22 upload -> convert -> publish pipeline",
+            ["clip min", "pipeline s", "s per media-s", "dynamic link"],
+            rows))
     assert times == sorted(times)
 
     def kernel():
@@ -84,9 +89,15 @@ def test_e11_published_video_is_replicated(benchmark, capsys):
         len(portal.fs.namenode.locations(b.block_id)) == portal.fs.replication
         for b in inode.blocks
     )
-    show(capsys, "E11b: published rendition storage",
-         ["video", "bytes", "blocks", "fully replicated"],
-         [[vid, inode.length, len(inode.blocks), "yes" if repl_ok else "NO"]])
+    publish(capsys, BenchResult(
+        "e11b_published_replication",
+        params={"clip_minutes": 2},
+        metrics={"bytes": inode.length, "blocks": len(inode.blocks),
+                 "fully_replicated": repl_ok},
+    ).table("E11b: published rendition storage",
+            ["video", "bytes", "blocks", "fully replicated"],
+            [[vid, inode.length, len(inode.blocks),
+              "yes" if repl_ok else "NO"]]))
     assert repl_ok
     benchmark.pedantic(
         lambda: portal.fs.namenode.under_replicated_count(),

@@ -19,7 +19,7 @@ from repro.virt import (
     make_hypervisor,
 )
 
-from _util import run, show
+from _util import BenchResult, publish, run
 
 IMG = DiskImage("bench", size=1024 * MiB)
 CYCLES = 20 * GHz  # ~7.4 s of guest work at 2.7 GHz
@@ -54,8 +54,12 @@ def test_e01_virtualization_overhead(benchmark, capsys, kind):
             f"{t:.3f}",
             f"{(t / bare - 1) * 100:+.1f}%",
         ])
-    show(capsys, f"E01: {kind.value}-bound guest workload (Figures 1-2)",
-         ["mode", "simulated s", "overhead vs bare"], rows)
+    publish(capsys, BenchResult(
+        f"e01_overhead_{kind.value}",
+        params={"workload": kind.value, "batches": 50},
+        metrics={"overhead_pct": {r[0]: r[2] for r in rows}},
+    ).table(f"E01: {kind.value}-bound guest workload (Figures 1-2)",
+            ["mode", "simulated s", "overhead vs bare"], rows))
 
     # ordering assertions: the paper's qualitative claim
     times = {m: run_workload(m, kind, batches=10) for m in HYPERVISOR_TYPES}
@@ -70,9 +74,15 @@ def test_e01_io_penalty_exceeds_cpu_penalty(benchmark, capsys):
     """Full virt hurts I/O much more than CPU (why virtio/PV drivers exist)."""
     cpu_ratio = run_workload("kvm", WorkKind.CPU) / run_workload("bare", WorkKind.CPU)
     io_ratio = run_workload("kvm", WorkKind.IO) / run_workload("bare", WorkKind.IO)
-    show(capsys, "E01b: KVM slowdown factor by workload type",
-         ["workload", "slowdown"],
-         [["CPU-bound", f"{cpu_ratio:.3f}x"], ["I/O-bound", f"{io_ratio:.3f}x"]])
+    publish(capsys, BenchResult(
+        "e01b_io_vs_cpu_penalty",
+        params={"mode": "kvm"},
+        metrics={"cpu_slowdown": round(cpu_ratio, 4),
+                 "io_slowdown": round(io_ratio, 4)},
+    ).table("E01b: KVM slowdown factor by workload type",
+            ["workload", "slowdown"],
+            [["CPU-bound", f"{cpu_ratio:.3f}x"],
+             ["I/O-bound", f"{io_ratio:.3f}x"]]))
     assert io_ratio > cpu_ratio
     benchmark.pedantic(run_workload, args=("kvm", WorkKind.IO, 10),
                        rounds=3, iterations=1)

@@ -11,7 +11,7 @@ import pytest
 from repro.hardware import Cluster
 from repro.web import ApachePrefork, Lighttpd, Request, Response
 
-from _util import run, show
+from _util import BenchResult, publish, run
 
 
 def make_server(cls):
@@ -55,9 +55,16 @@ def test_e13_lighttpd_vs_prefork(benchmark, capsys):
             f"{server.stats.cpu_seconds * 1000:.0f}",
             f"{server.memory_footprint() / 1024 / 1024:.0f}",
         ])
-    show(capsys, "E13: 500 portal requests under concurrency",
-         ["server", "requests", "makespan s", "server CPU ms", "memory MiB"],
-         rows)
+    publish(capsys, BenchResult(
+        "e13_lighttpd_vs_prefork",
+        params={"requests": 500},
+        metrics={kind: {"makespan_s": round(m[0], 3),
+                        "cpu_s": round(m[1], 4),
+                        "memory_bytes": m[2]}
+                 for kind, m in metrics.items()},
+    ).table("E13: 500 portal requests under concurrency",
+            ["server", "requests", "makespan s", "server CPU ms",
+             "memory MiB"], rows))
     lt, ap = metrics["lighttpd"], metrics["apache-prefork"]
     assert lt[1] < ap[1]          # less CPU
     assert lt[2] < ap[2]          # far less memory
@@ -111,8 +118,12 @@ def test_e13_page_graph_trace(benchmark, capsys):
         if path == "/upload":
             vid = resp.body["video_id"]
         rows.append([f"{method} {path}", resp.status, f"{cluster.now - t0:.3f}"])
-    show(capsys, "E13b: Figure 15 request flow (service time per page)",
-         ["page", "status", "service s"], rows)
+    publish(capsys, BenchResult(
+        "e13b_page_graph",
+        params={"pages": len(rows)},
+        metrics={"all_ok": all(r[1] == 200 for r in rows)},
+    ).table("E13b: Figure 15 request flow (service time per page)",
+            ["page", "status", "service s"], rows))
     assert vid is not None
     assert all(r[1] in (200,) for r in rows)
     benchmark.pedantic(
@@ -154,7 +165,12 @@ def test_e13_page_latency_by_virtualization_mode(benchmark, capsys):
         t = page_time(kind)
         times[kind] = t
         rows.append([label, f"{t * 1000:.3f}"])
-    show(capsys, "E13c: portal home-page time by web-tier virtualization",
-         ["web tier", "mean page ms"], rows)
+    publish(capsys, BenchResult(
+        "e13c_virtualization_modes",
+        params={"requests_per_mode": 60},
+        metrics={"mean_page_ms": {str(k): round(t * 1000, 4)
+                                  for k, t in times.items()}},
+    ).table("E13c: portal home-page time by web-tier virtualization",
+            ["web tier", "mean page ms"], rows))
     assert times[None] < times["xen"] <= times["kvm-virtio"] <= times["kvm"]
     benchmark.pedantic(page_time, args=("kvm", 10), rounds=2, iterations=1)

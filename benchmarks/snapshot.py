@@ -1,14 +1,27 @@
 """Snapshot machine-readable bench results into committed JSON files.
 
 Runs the smoke bench suites and harvests their ``### BENCH_JSON <tag>``
-blocks (see :func:`_util.show_json`) into ``BENCH_<suite>.json`` at the
-repository root, one file per suite, so regression tooling can diff the
-simulated numbers across commits without re-running the benches.
+blocks (emitted by :func:`repro.bench.harness.emit`) into
+``BENCH_<suite>.json`` at the repository root, one file per suite, so
+regression tooling can diff the simulated numbers across commits without
+re-running the benches.
+
+Each block that reports a wall-clock ``events_per_sec`` also carries the
+previously committed figure as ``prev_events_per_sec`` -- the persisted
+perf trajectory: every refresh records before/after kernel throughput.
 
 Usage::
 
-    python benchmarks/snapshot.py              # all suites
-    python benchmarks/snapshot.py reconcile    # just one
+    python benchmarks/snapshot.py                  # all suites
+    python benchmarks/snapshot.py reconcile        # just one
+    python benchmarks/snapshot.py kernel --check   # CI regression gate
+
+``--check`` re-runs the suite and compares against the committed file
+instead of rewriting it.  For the kernel suite the gated number is the
+*speedup* (fast path vs the frozen in-bench baseline, both measured on
+the same machine in the same run), which stays comparable across
+machines in a way raw events/sec never is: the gate fails when the
+fresh speedup drops below 80% of the committed one.
 
 The script is plain stdlib on purpose: it shells out to pytest exactly
 the way CI does, so a snapshot is always produced by the same command
@@ -29,10 +42,19 @@ ROOT = Path(__file__).resolve().parent.parent
 
 #: suites with machine-readable blocks worth archiving at the root
 SUITES = {
+    "kernel": "bench_kernel.py",
     "reconcile": "bench_reconcile.py",
     "chaos": "bench_chaos.py",
     "overload": "bench_overload.py",
 }
+
+#: fresh speedup must be at least this fraction of the committed one
+CHECK_TOLERANCE = 0.8
+
+#: a failed kernel check re-measures this many times before failing for
+#: real -- one slow scheduling window on a shared runner is not a
+#: regression, the same ratio three times in a row is
+CHECK_RETRIES = 2
 
 _LINE = re.compile(r"^### BENCH_JSON (\S+) (.+)$")
 
@@ -60,17 +82,83 @@ def collect(bench_file: str) -> dict:
     return blocks
 
 
+def carry_trajectory(blocks: dict, committed: dict) -> None:
+    """Copy each committed ``events_per_sec`` into ``prev_events_per_sec``."""
+    for tag, block in blocks.items():
+        if "events_per_sec" not in block:
+            continue
+        prior = committed.get(tag, {})
+        prev = prior.get("events_per_sec")
+        if prev is not None:
+            block["prev_events_per_sec"] = prev
+
+
+def check(suite: str, blocks: dict, committed: dict) -> list[str]:
+    """Regression check against the committed snapshot; returns failures."""
+    failures = []
+    if suite == "kernel":
+        fresh = blocks.get("kernel", {}).get("metrics", {}).get("speedup")
+        baseline = committed.get("kernel", {}).get("metrics", {}).get("speedup")
+        if fresh is None or baseline is None:
+            failures.append("kernel: no speedup metric to compare")
+        elif fresh < baseline * CHECK_TOLERANCE:
+            failures.append(
+                f"kernel: speedup {fresh:.2f}x fell below "
+                f"{CHECK_TOLERANCE:.0%} of committed {baseline:.2f}x")
+        else:
+            print(f"kernel: speedup {fresh:.2f}x vs committed "
+                  f"{baseline:.2f}x -- ok")
+    else:
+        # simulated outputs are deterministic: a changed metric is a
+        # behaviour change that belongs in a refreshed snapshot commit
+        for tag, block in blocks.items():
+            prior = committed.get(tag)
+            if prior is None:
+                failures.append(f"{suite}/{tag}: not in committed snapshot")
+                continue
+            if block.get("metrics") != prior.get("metrics"):
+                failures.append(f"{suite}/{tag}: metrics drifted from "
+                                "committed snapshot")
+    return failures
+
+
 def main(argv: list[str] | None = None) -> None:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("suites", nargs="*", choices=[*SUITES, []],
-                        default=list(SUITES),
-                        help="suites to snapshot (default: all)")
+    parser.add_argument("suites", nargs="*", metavar="suite",
+                        help=f"suites to snapshot: {', '.join(SUITES)} "
+                             "(default: all)")
+    parser.add_argument("--check", action="store_true",
+                        help="compare against the committed snapshot "
+                             "instead of rewriting it")
     args = parser.parse_args(argv)
-    for suite in args.suites:
+    unknown = [s for s in args.suites if s not in SUITES]
+    if unknown:
+        parser.error(f"unknown suite(s): {', '.join(unknown)} "
+                     f"(choose from {', '.join(SUITES)})")
+    failures: list[str] = []
+    for suite in args.suites or SUITES:
         blocks = collect(SUITES[suite])
         out = ROOT / f"BENCH_{suite}.json"
+        committed = {}
+        if out.exists():
+            committed = json.loads(out.read_text())
+        if args.check:
+            suite_failures = check(suite, blocks, committed)
+            for _ in range(CHECK_RETRIES if suite == "kernel" else 0):
+                if not suite_failures:
+                    break
+                print(f"{suite}: retrying after {suite_failures[0]}")
+                suite_failures = check(suite, collect(SUITES[suite]),
+                                       committed)
+            failures += suite_failures
+            continue
+        carry_trajectory(blocks, committed)
         out.write_text(json.dumps(blocks, indent=2, sort_keys=True) + "\n")
         print(f"wrote {out.relative_to(ROOT)} ({len(blocks)} blocks)")
+    if failures:
+        for f in failures:
+            print(f"FAIL {f}", file=sys.stderr)
+        raise SystemExit(1)
 
 
 if __name__ == "__main__":

@@ -58,7 +58,7 @@ def main() -> None:
     print()
 
     # -- player page + streaming with a seek (Figure 23) ----------------------------
-    resp = run(portal.request("GET", "/video", params={"id": vid}))
+    resp = run(portal.request("GET", f"/video/{vid}"))
     player = resp.body["player"]
     print(f"== player: {player['format']} {player['resolution']} "
           f"(seekable: {player['seekable_time_bar']}) ==")

@@ -72,9 +72,9 @@ def main() -> None:
 
     print("== player page + comments + social (Figure 23) ==")
     vid = video_ids["Nobody - Wonder Girls MV"]
-    run(portal.request("POST", "/comment", session=sessions["kuan"],
-                       params={"id": vid, "text": "classic!"}))
-    resp = run(portal.request("GET", "/video", params={"id": vid}))
+    run(portal.request("POST", f"/video/{vid}/comment",
+                       session=sessions["kuan"], params={"text": "classic!"}))
+    resp = run(portal.request("GET", f"/video/{vid}"))
     body = resp.body
     print(render_page(resp))
     report = run(portal.play(vid, cluster.host_names[-1]).run())
@@ -84,15 +84,15 @@ def main() -> None:
 
     print("== moderation: flag -> admin removes + blocks (Section IV) ==")
     bad = video_ids["Totally legit video"]
-    run(portal.request("POST", "/flag", session=sessions["kuan"],
-                       params={"id": bad, "reason": "bad film"}))
+    run(portal.request("POST", f"/video/{bad}/flag",
+                       session=sessions["kuan"], params={"reason": "bad film"}))
     resp = run(portal.request("GET", "/admin", session=sessions["admin"]))
     print(f"   admin sees open flags: {resp.body['open_flags']}")
-    run(portal.request("POST", "/admin/remove", session=sessions["admin"],
-                       params={"id": bad}))
+    run(portal.request("POST", f"/admin/video/{bad}/remove",
+                       session=sessions["admin"]))
     troll_id = portal.auth.current_user(sessions["troll"])["id"]
-    run(portal.request("POST", "/admin/block", session=sessions["admin"],
-                       params={"user_id": troll_id}))
+    run(portal.request("POST", f"/admin/user/{troll_id}/block",
+                       session=sessions["admin"]))
     print(f"   removed video {bad}, blocked user {troll_id}")
     resp = run(portal.request("POST", "/logout", session=sessions["kuan"]))
     print(f"   kuan logged out (Figure 21): {resp.body['message']}")

@@ -166,7 +166,8 @@ class WallClockCheck(Check):
     rule = "DET01"
     description = ("no wall-clock sources (time/datetime) outside "
                    "sim/core.py, common/rng.py and benchmarks/")
-    allowlist = ("repro/sim/core.py", "repro/common/rng.py", "benchmarks/")
+    allowlist = ("repro/sim/core.py", "repro/common/rng.py",
+                 "repro/bench/harness.py", "benchmarks/")
 
     def check_module(self, mod: ModuleInfo) -> Iterable[Finding]:
         if _is_allowlisted(mod, self.allowlist):

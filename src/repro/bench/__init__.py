@@ -1,6 +1,7 @@
 """Workload generation + load driving for the benchmark harness."""
 
 from .driver import PortalDriver, WorkloadReport
+from .harness import BenchResult, KernelRate, emit, kernel_events_per_sec
 from .workloads import (
     CatalogEntry,
     LatencyStats,
@@ -11,7 +12,9 @@ from .workloads import (
 )
 
 __all__ = [
+    "BenchResult",
     "CatalogEntry",
+    "KernelRate",
     "LatencyStats",
     "PortalDriver",
     "TrafficEvent",
@@ -19,4 +22,6 @@ __all__ = [
     "TrafficModel",
     "VideoCatalog",
     "WorkloadReport",
+    "emit",
+    "kernel_events_per_sec",
 ]

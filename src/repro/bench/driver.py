@@ -107,7 +107,7 @@ class PortalDriver:
                         client_host=client))
                 elif event.action == "watch":
                     resp = yield engine.process(self.portal.request(
-                        "GET", "/video", params={"id": vid},
+                        "GET", f"/video/{vid}",
                         client_host=client))
                     if resp.ok:
                         session = self.portal.play(
@@ -116,8 +116,8 @@ class PortalDriver:
                         yield engine.process(session.run())
                 else:  # comment
                     resp = yield engine.process(self.portal.request(
-                        "POST", "/comment", session=self._session,
-                        params={"id": vid, "text": "nice!"},
+                        "POST", f"/video/{vid}/comment",
+                        session=self._session, params={"text": "nice!"},
                         client_host=client))
                 if not resp.ok:
                     report.errors += 1

@@ -32,7 +32,8 @@ class DataNode:
         #: set when the node leaves the pool for good (decommission /
         #: hard removal): a host reboot must not resurrect it
         self.retired = False
-        self._heartbeat_proc: Process | None = None
+        self._hb_active = False
+        self._hb_epoch = 0
         self._hb_stop = False
         self._hb_interval: float | None = None
         self._scanner_proc: Process | None = None
@@ -118,29 +119,38 @@ class DataNode:
     # -- liveness ------------------------------------------------------------------
 
     def start_heartbeats(self, interval: float) -> None:
-        """Begin the heartbeat loop (idempotent)."""
-        if self._heartbeat_proc is not None and self._heartbeat_proc.is_alive:
+        """Begin the heartbeat loop (idempotent).
+
+        Each beat is one ``Engine.call_later`` callback, not a generator
+        process: fire-and-forget timers carry no cancel handle, so the
+        loop is stopped by flag -- a stale tick (old epoch, ``_hb_stop``,
+        or dead node) simply declines to reschedule itself.
+        """
+        if self._hb_active:
             return
         self._hb_stop = False
         self._hb_interval = interval
+        self._hb_active = True
+        self._hb_epoch += 1
+        epoch = self._hb_epoch
         engine = self.host.engine
 
-        def _beat():
-            try:
-                while self.alive and not self._hb_stop:
-                    self.namenode.heartbeat(self.name)
-                    yield engine.timeout(interval)
-            except Interrupt:
-                pass
+        def _tick() -> None:
+            if epoch != self._hb_epoch:
+                return  # superseded by a restart
+            if self._hb_stop or not self.alive:
+                self._hb_active = False
+                return
+            self.namenode.heartbeat(self.name)
+            engine.call_later(interval, _tick)
 
-        self._heartbeat_proc = engine.process(_beat(), name=f"hb-{self.name}")
+        # first beat lands now at URGENT, exactly when the old generator
+        # process would have started via its Initialize event
+        engine.call_later(0.0, _tick, urgent=True)
 
     def stop_heartbeats(self) -> None:
         self._hb_stop = True
-        proc = self._heartbeat_proc
-        self._heartbeat_proc = None
-        if proc is not None and proc.is_alive and proc.started:
-            proc.interrupt("stop")
+        self._hb_active = False
 
     # -- corruption + scanning --------------------------------------------------
 

@@ -16,6 +16,7 @@ from .metrics import (
     Metric,
     MetricsRegistry,
 )
+from .profiling import HotSpot, ProfileReport, profile_call, profiling
 from .report import ClusterMetrics, HistogramSummary
 from .spans import Span, Tracer
 
@@ -26,8 +27,12 @@ __all__ = [
     "Gauge",
     "Histogram",
     "HistogramSummary",
+    "HotSpot",
     "Metric",
     "MetricsRegistry",
+    "ProfileReport",
     "Span",
     "Tracer",
+    "profile_call",
+    "profiling",
 ]

@@ -1,0 +1,137 @@
+"""cProfile-based hot-path profiling for simulation storms.
+
+The PR-7 kernel fast-path work needed a repeatable way to answer "where
+does a chaos/overload storm actually spend its time?".  This module wraps
+:mod:`cProfile`/:mod:`pstats` behind a small API that the benchmarks (and
+ad-hoc scripts) call:
+
+>>> from repro.obs.profiling import profile_call
+>>> result, report = profile_call(run_storm, cluster, seed=7)
+>>> print(report.table(limit=10))
+
+The report keeps plain data (function, calls, total/cumulative seconds)
+so benches can both render a human table and embed the top rows in their
+``BENCH_JSON`` payloads.  Profiling measures *wall* time by nature; it is
+an observation tool, never something simulated code may branch on, which
+is why it lives in ``repro.obs`` next to metrics and spans.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import pstats
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator
+
+from ..common.tables import format_table
+
+__all__ = ["HotSpot", "ProfileReport", "profile_call", "profiling"]
+
+
+@dataclass(frozen=True)
+class HotSpot:
+    """One function's share of a profiled run."""
+
+    function: str
+    calls: int
+    tottime: float
+    cumtime: float
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "function": self.function,
+            "calls": self.calls,
+            "tottime_s": round(self.tottime, 6),
+            "cumtime_s": round(self.cumtime, 6),
+        }
+
+
+@dataclass
+class ProfileReport:
+    """Digested cProfile stats: the hot functions of one run."""
+
+    hotspots: list[HotSpot] = field(default_factory=list)
+    total_calls: int = 0
+    total_time: float = 0.0
+
+    def top(self, limit: int = 10) -> list[HotSpot]:
+        """Hot spots ordered by exclusive (*tottime*) cost."""
+        return self.hotspots[:limit]
+
+    def table(self, limit: int = 10, title: str = "hot functions") -> str:
+        """Render the top *limit* hot spots as an aligned ASCII table."""
+        rows = [[h.function, h.calls, h.tottime, h.cumtime]
+                for h in self.top(limit)]
+        return format_table(
+            ["function", "calls", "tottime (s)", "cumtime (s)"], rows,
+            title=title, floatfmt=".4f")
+
+    def as_dict(self, limit: int = 10) -> dict[str, Any]:
+        """JSON-ready digest for BENCH_JSON payloads."""
+        return {
+            "total_calls": self.total_calls,
+            "total_time_s": round(self.total_time, 6),
+            "hotspots": [h.as_dict() for h in self.top(limit)],
+        }
+
+
+def _strip_path(filename: str) -> str:
+    """Shorten an absolute path to its last two components."""
+    parts = filename.replace("\\", "/").split("/")
+    return "/".join(parts[-2:]) if len(parts) > 2 else filename
+
+
+def _digest(profiler: cProfile.Profile) -> ProfileReport:
+    stats = pstats.Stats(profiler)
+    hotspots: list[HotSpot] = []
+    total_calls = 0
+    for (filename, lineno, funcname), (_cc, ncalls, tottime, cumtime, _callers) \
+            in stats.stats.items():  # type: ignore[attr-defined]
+        total_calls += ncalls
+        if filename.startswith("<") and funcname.startswith("<"):
+            label = funcname
+        elif filename.startswith("~") or filename.startswith("<"):
+            label = f"{{{funcname}}}"  # C builtins
+        else:
+            label = f"{_strip_path(filename)}:{lineno}:{funcname}"
+        hotspots.append(HotSpot(label, ncalls, tottime, cumtime))
+    hotspots.sort(key=lambda h: (-h.tottime, h.function))
+    return ProfileReport(
+        hotspots=hotspots,
+        total_calls=total_calls,
+        total_time=getattr(stats, "total_tt", 0.0),
+    )
+
+
+def profile_call(fn: Callable[..., Any], *args: Any,
+                 **kwargs: Any) -> tuple[Any, ProfileReport]:
+    """Run ``fn(*args, **kwargs)`` under cProfile; return (result, report)."""
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        result = fn(*args, **kwargs)
+    finally:
+        profiler.disable()
+    return result, _digest(profiler)
+
+
+@contextmanager
+def profiling() -> Iterator[ProfileReport]:
+    """Profile a ``with`` block; the yielded report fills in on exit.
+
+    >>> with profiling() as report:
+    ...     engine.run()
+    >>> print(report.table())
+    """
+    profiler = cProfile.Profile()
+    report = ProfileReport()
+    profiler.enable()
+    try:
+        yield report
+    finally:
+        profiler.disable()
+        digested = _digest(profiler)
+        report.hotspots = digested.hotspots
+        report.total_calls = digested.total_calls
+        report.total_time = digested.total_time

@@ -81,30 +81,52 @@ class CapacityManager:
         return float(facts["cores"] - facts["running_tasks"]) - facts["cpu_util"]
 
     def select_host(self, vm: "OneVm", records: list["HostRecord"]) -> "HostRecord":
-        """Choose a host for *vm* or raise :class:`PlacementError`."""
+        """Choose a host for *vm* or raise :class:`PlacementError`.
+
+        Hot-path notes (PR-7): the common template -- no REQUIREMENTS, no
+        custom RANK -- skips :func:`host_facts` entirely and scores hosts
+        straight off the record fields, and the best candidate is tracked
+        in a single scan (same winner as the old sort: highest rank, ties
+        broken by pool order).
+        """
         tpl = vm.template
-        candidates: list[tuple[float, int, "HostRecord"]] = []
-        for idx, rec in enumerate(records):
-            facts = host_facts(rec)
-            if not facts["alive"]:
-                continue
+        fast = not tpl.requirements and not tpl.rank
+        policy = self.policy
+        headroom = self.headroom
+        need = tpl.memory
+        best_rank = 0.0
+        best_rec: "HostRecord | None" = None
+        for rec in records:
             if rec.cordoned:
                 continue
-            if facts["mem_free"] < tpl.memory:
+            host = rec.host
+            if not host.alive:
                 continue
-            if (self.headroom > 0.0
-                    and facts["mem_free"] - tpl.memory
-                    < self.headroom * facts["mem_total"]):
+            mem_free = host.memory_free - rec.reserved_memory
+            if mem_free < need:
                 continue
-            if any(not req(facts) for req in tpl.requirements):
+            if headroom > 0.0 and mem_free - need < headroom * host.memory:
                 continue
-            rank = tpl.rank(facts) if tpl.rank else self._policy_rank(facts)
-            candidates.append((rank, idx, rec))
-        if not candidates:
+            if fast:
+                if policy == "packing":
+                    rank = float(len(rec.hypervisor.domains) + rec.reserved_vms)
+                elif policy == "striping":
+                    rank = -float(len(rec.hypervisor.domains) + rec.reserved_vms)
+                else:  # load_aware
+                    rank = (float(host.cores - host.running_tasks)
+                            - host.cpu_utilisation())
+            else:
+                facts = host_facts(rec)
+                if any(not req(facts) for req in tpl.requirements):
+                    continue
+                rank = tpl.rank(facts) if tpl.rank else self._policy_rank(facts)
+            # strictly-greater keeps the earliest record on ties, matching
+            # the old sort key (-rank, pool index)
+            if best_rec is None or rank > best_rank:
+                best_rank, best_rec = rank, rec
+        if best_rec is None:
             raise PlacementError(
                 f"no host satisfies vm {vm.name} "
                 f"(memory={tpl.memory}, requirements={len(tpl.requirements)})"
             )
-        # highest rank wins; ties broken by pool order for determinism
-        candidates.sort(key=lambda t: (-t[0], t[1]))
-        return candidates[0][2]
+        return best_rec

@@ -1,6 +1,8 @@
 """Deterministic discrete-event simulation kernel (SimPy-style, homegrown)."""
 
 from .core import (
+    NORMAL,
+    URGENT,
     AllOf,
     AnyOf,
     Condition,
@@ -33,6 +35,7 @@ __all__ = [
     "Event",
     "Initialize",
     "Interrupt",
+    "NORMAL",
     "Process",
     "Request",
     "Resource",
@@ -40,4 +43,5 @@ __all__ = [
     "StoreGet",
     "StorePut",
     "Timeout",
+    "URGENT",
 ]

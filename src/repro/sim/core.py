@@ -6,10 +6,25 @@ virtual time and resumes processes when the events they wait on trigger.
 
 Determinism rules:
 
-* the event queue is a heap keyed by ``(time, priority, seq)`` where *seq*
-  is a global schedule counter, so simultaneous events fire in the order
-  they were scheduled;
+* simultaneous events fire ordered by ``(time, priority, schedule order)``:
+  the schedule is a heap of ``(time, priority)`` *keys*, each key owning a
+  FIFO bucket of the events scheduled for it, so equal-timestamp runs
+  drain in the order they were scheduled without per-event re-heapify;
 * the kernel never consults wall-clock time or unseeded randomness.
+
+Performance notes (the PR-7 raw-speed pass):
+
+* every kernel class carries ``__slots__``;
+* same-``(time, priority)`` events share one bucket: scheduling into a
+  hot timestamp and draining it are O(1) per event, which is what storm
+  benchmarks hammer (thousands of arrivals per simulated second);
+* :meth:`Engine.call_later` / :meth:`Engine.call_at` schedule a plain
+  callback as a bare ``(fn, args)`` tuple -- timers and periodic ticks
+  skip Event/generator machinery entirely;
+* short-lived :class:`Timeout` objects are recycled through a freelist
+  when they provably had a single waiting process.  The contract: model
+  code must not *retain* a Timeout reference past its firing (re-yielding
+  a still-pending timeout, as interrupt handlers do, is fine).
 
 Only the features the repro library needs are implemented, but they are
 implemented fully: timeouts, process joining, interrupts, and the
@@ -18,7 +33,8 @@ implemented fully: timeouts, process joining, interrupts, and the
 
 from __future__ import annotations
 
-import heapq
+from collections import deque
+from heapq import heappop, heappush
 from typing import Any, Callable, Generator, Iterable
 
 from ..common.errors import SimulationError
@@ -27,6 +43,9 @@ from ..common.errors import SimulationError
 URGENT = 0
 NORMAL = 1
 
+#: freelist bound: beyond this, recycled cells are dropped to the GC
+_POOL_MAX = 4096
+
 
 class Event:
     """A one-shot occurrence with a value and callbacks.
@@ -34,6 +53,8 @@ class Event:
     Lifecycle: *pending* -> ``succeed``/``fail`` (**triggered**) ->
     callbacks run (**processed**).
     """
+
+    __slots__ = ("engine", "callbacks", "_value", "_ok", "_defused")
 
     def __init__(self, engine: "Engine") -> None:
         self.engine = engine
@@ -66,22 +87,30 @@ class Event:
 
     # -- triggering ----------------------------------------------------------
 
-    def succeed(self, value: Any = None) -> "Event":
-        if self.triggered:
+    def _trigger(self, ok: bool, value: Any, priority: int = NORMAL,
+                 delay: float = 0.0) -> None:
+        """THE one transition from pending to triggered.
+
+        Every path that fires an event -- ``succeed``, ``fail``, timeout
+        construction, interrupt delivery -- funnels through here, so the
+        already-triggered guard and the schedule insertion cannot drift
+        apart (that single code path is also what makes freelist reuse of
+        Timeouts safe to reason about).
+        """
+        if self._value is not _PENDING:
             raise SimulationError(f"{self!r} already triggered")
-        self._ok = True
+        self._ok = ok
         self._value = value
-        self.engine._schedule(self, NORMAL)
+        self.engine._schedule(self, priority, delay)
+
+    def succeed(self, value: Any = None) -> "Event":
+        self._trigger(True, value)
         return self
 
     def fail(self, exc: BaseException) -> "Event":
         if not isinstance(exc, BaseException):
             raise SimulationError("Event.fail() needs an exception instance")
-        if self.triggered:
-            raise SimulationError(f"{self!r} already triggered")
-        self._ok = False
-        self._value = exc
-        self.engine._schedule(self, NORMAL)
+        self._trigger(False, exc)
         return self
 
     def defuse(self) -> None:
@@ -103,25 +132,31 @@ _PENDING = object()
 class Timeout(Event):
     """An event that triggers *delay* simulated seconds after creation."""
 
+    __slots__ = ("delay",)
+
     def __init__(self, engine: "Engine", delay: float, value: Any = None) -> None:
         if delay < 0:
             raise SimulationError(f"negative timeout delay: {delay}")
         super().__init__(engine)
         self.delay = delay
-        self._ok = True
-        self._value = value
-        engine._schedule(self, NORMAL, delay)
+        self._trigger(True, value, NORMAL, delay)
+
+
+# A :meth:`Engine.call_later` timer is scheduled as a bare ``(fn, args)``
+# tuple, not an Event: no value, no callbacks, no handle.  CPython's tuple
+# free list makes allocation cheaper than any slab pool we could manage in
+# Python, and the dispatch loop recognises timers by ``__class__ is tuple``.
 
 
 class Initialize(Event):
     """Internal: kicks off a freshly created process."""
 
+    __slots__ = ()
+
     def __init__(self, engine: "Engine", process: "Process") -> None:
         super().__init__(engine)
-        self._ok = True
-        self._value = None
         self.callbacks.append(process._resume)
-        engine._schedule(self, URGENT)
+        self._trigger(True, None, URGENT)
 
 
 class Interrupt(Exception):
@@ -135,14 +170,14 @@ class Interrupt(Exception):
 class _Interruption(Event):
     """Internal: delivers an Interrupt into a process out-of-band."""
 
+    __slots__ = ()
+
     def __init__(self, process: "Process", cause: Any) -> None:
         super().__init__(process.engine)
         if process.triggered:
             raise SimulationError("cannot interrupt a terminated process")
         if process is self.engine.active_process:
             raise SimulationError("a process cannot interrupt itself")
-        self._ok = False
-        self._value = Interrupt(cause)
         self._defused = True
         # Detach the process from whatever it was waiting on so the original
         # event does not resume it a second time when it eventually fires.
@@ -153,7 +188,7 @@ class _Interruption(Event):
             except ValueError:
                 pass
         self.callbacks.append(process._resume)
-        self.engine._schedule(self, URGENT)
+        self._trigger(False, Interrupt(cause), URGENT)
 
 
 class Process(Event):
@@ -163,6 +198,8 @@ class Process(Event):
     result of the ``yield`` expression; failed events raise inside the
     generator (so model code can ``try/except`` simulated failures).
     """
+
+    __slots__ = ("_generator", "name", "_target")
 
     def __init__(self, engine: "Engine", generator: Generator, name: str | None = None) -> None:
         if not hasattr(generator, "throw"):
@@ -194,13 +231,14 @@ class Process(Event):
 
     def _resume(self, event: Event) -> None:
         self.engine._active = self
+        generator = self._generator
         while True:
             try:
                 if event._ok:
-                    next_target = self._generator.send(event._value)
+                    next_target = generator.send(event._value)
                 else:
                     event._defused = True
-                    next_target = self._generator.throw(event._value)
+                    next_target = generator.throw(event._value)
             except StopIteration as stop:
                 self._target = None
                 self.succeed(stop.value)
@@ -234,6 +272,8 @@ class Process(Event):
 
 class Condition(Event):
     """Base for AllOf/AnyOf: triggers when ``_check`` says enough happened."""
+
+    __slots__ = ("events", "_done")
 
     def __init__(self, engine: "Engine", events: Iterable[Event]) -> None:
         super().__init__(engine)
@@ -275,6 +315,8 @@ class Condition(Event):
 class AllOf(Condition):
     """Triggers when every constituent event has succeeded."""
 
+    __slots__ = ()
+
     def _check(self) -> bool:
         return self._done == len(self.events)
 
@@ -282,18 +324,42 @@ class AllOf(Condition):
 class AnyOf(Condition):
     """Triggers when the first constituent event succeeds."""
 
+    __slots__ = ()
+
     def _check(self) -> bool:
         return self._done >= 1
 
 
+#: Process._resume as an unbound function, for the Timeout-recycling probe
+_RESUME = Process._resume
+
+
 class Engine:
-    """The event loop: owns virtual time and the schedule."""
+    """The event loop: owns virtual time and the schedule.
+
+    The schedule is two-level: a heap of ``(time, priority)`` keys over
+    FIFO buckets.  Events scheduled for a key already in the heap append
+    in O(1); draining a same-timestamp run pops the bucket left-to-right
+    with the key heap untouched, so a burst of N simultaneous events
+    costs O(N) instead of N heap reorderings.  ``events_dispatched``
+    counts every dispatched entry (events and timers) -- benchmarks
+    divide it by wall time for the kernel events/sec trajectory.
+    """
 
     def __init__(self) -> None:
         self._now = 0.0
-        self._queue: list[tuple[float, int, int, Event]] = []
-        self._seq = 0
+        self._buckets: dict[tuple[float, int], deque] = {}
+        self._keys: list[tuple[float, int]] = []
         self._active: Process | None = None
+        self._timeout_pool: list[Timeout] = []
+        self.events_dispatched = 0
+        # Hot-bucket cache: grid-shaped storms schedule run after run of
+        # entries for one (time, priority) key; remembering the last
+        # bucket skips the tuple build + dict hash on those repeats.
+        # Simulated time is never negative, so -1.0 means "no cache".
+        self._hot_at = -1.0
+        self._hot_pri = NORMAL
+        self._hot_bucket: deque | None = None
 
     # -- clock ----------------------------------------------------------------
 
@@ -311,6 +377,14 @@ class Engine:
         return Event(self)
 
     def timeout(self, delay: float, value: Any = None) -> Timeout:
+        pool = self._timeout_pool
+        if pool and delay >= 0:
+            t = pool.pop()
+            t.delay = delay
+            t._ok = True
+            t._value = value
+            self._schedule(t, NORMAL, delay)
+            return t
         return Timeout(self, delay, value)
 
     def process(self, generator: Generator, name: str | None = None) -> Process:
@@ -322,27 +396,136 @@ class Engine:
     def any_of(self, events: Iterable[Event]) -> AnyOf:
         return AnyOf(self, events)
 
+    # -- callback fast path ----------------------------------------------------
+
+    def call_later(self, delay: float, fn: Callable[..., Any], *args: Any,
+                   urgent: bool = False) -> None:
+        """Schedule ``fn(*args)`` *delay* seconds from now.
+
+        The fast path for timers, periodic ticks and retries: no Event, no
+        generator, no handle -- one bare ``(fn, args)`` tuple on the schedule.
+        Fire-and-forget by design: there is nothing to cancel, so a
+        callback that may be stopped should check its owner's flag and
+        simply decline to reschedule (see the DataNode heartbeat loop).
+        """
+        if delay < 0:
+            raise SimulationError(f"negative call_later delay: {delay}")
+        # Inlined _schedule_timer: this is the hottest schedule entry
+        # point (periodic ticks rescheduling themselves) -- keep in sync.
+        at = self._now + delay
+        priority = URGENT if urgent else NORMAL
+        if at == self._hot_at and priority == self._hot_pri:
+            self._hot_bucket.append((fn, args))
+            return
+        key = (at, priority)
+        bucket = self._buckets.get(key)
+        if bucket is None:
+            self._buckets[key] = bucket = deque()
+            heappush(self._keys, key)
+        self._hot_at = at
+        self._hot_pri = priority
+        self._hot_bucket = bucket
+        bucket.append((fn, args))
+
+    def call_at(self, when: float, fn: Callable[..., Any], *args: Any,
+                urgent: bool = False) -> None:
+        """Schedule ``fn(*args)`` at absolute simulated time *when*."""
+        if when < self._now:
+            raise SimulationError(
+                f"call_at({when}) is in the past (now={self._now})")
+        self._schedule_timer(when, fn, args, URGENT if urgent else NORMAL)
+
+    def _schedule_timer(self, at: float, fn: Callable[..., Any],
+                        args: tuple, priority: int) -> None:
+        if at == self._hot_at and priority == self._hot_pri:
+            self._hot_bucket.append((fn, args))
+            return
+        key = (at, priority)
+        bucket = self._buckets.get(key)
+        if bucket is None:
+            self._buckets[key] = bucket = deque()
+            heappush(self._keys, key)
+        self._hot_at = at
+        self._hot_pri = priority
+        self._hot_bucket = bucket
+        bucket.append((fn, args))
+
     # -- scheduling -----------------------------------------------------------
 
     def _schedule(self, event: Event, priority: int, delay: float = 0.0) -> None:
-        heapq.heappush(self._queue, (self._now + delay, priority, self._seq, event))
-        self._seq += 1
+        at = self._now + delay
+        if at == self._hot_at and priority == self._hot_pri:
+            self._hot_bucket.append(event)
+            return
+        key = (at, priority)
+        bucket = self._buckets.get(key)
+        if bucket is None:
+            self._buckets[key] = bucket = deque()
+            heappush(self._keys, key)
+        self._hot_at = at
+        self._hot_pri = priority
+        self._hot_bucket = bucket
+        bucket.append(event)
+
+    def _next_key(self) -> "tuple[float, int] | None":
+        """Head of the key heap, lazily discarding drained keys."""
+        keys = self._keys
+        buckets = self._buckets
+        while keys:
+            key = keys[0]
+            if key in buckets:
+                return key
+            heappop(keys)
+        return None
 
     def peek(self) -> float:
         """Time of the next scheduled event, or +inf if none."""
-        return self._queue[0][0] if self._queue else float("inf")
+        key = self._next_key()
+        return key[0] if key is not None else float("inf")
+
+    def _dispatch(self, entry: Any) -> None:
+        """Fire one schedule entry (timer cell or event) at the current time.
+
+        ``run()`` inlines this logic for speed -- keep the two in sync.
+        """
+        self.events_dispatched += 1
+        if entry.__class__ is tuple:
+            fn, args = entry
+            fn(*args)
+            return
+        callbacks, entry.callbacks = entry.callbacks, None
+        for cb in callbacks:
+            cb(entry)
+        if not entry._ok and not entry._defused:
+            raise entry._value
+        if entry.__class__ is Timeout and len(callbacks) == 1 \
+                and getattr(callbacks[0], "__func__", None) is _RESUME:
+            # Sole waiter was a process and it has consumed the value:
+            # recycle the cell (see the module docstring for the contract).
+            entry._value = _PENDING
+            entry._ok = None
+            entry._defused = False
+            callbacks.clear()
+            entry.callbacks = callbacks
+            if len(self._timeout_pool) < _POOL_MAX:
+                self._timeout_pool.append(entry)
 
     def step(self) -> None:
-        """Process exactly one event."""
-        if not self._queue:
+        """Process exactly one schedule entry."""
+        key = self._next_key()
+        if key is None:
             raise SimulationError("step() on an empty schedule")
-        self._now, _, _, event = heapq.heappop(self._queue)
-        callbacks, event.callbacks = event.callbacks, None
-        for cb in callbacks:
-            cb(event)
-        if not event._ok and not event._defused:
-            exc = event._value
-            raise exc
+        bucket = self._buckets[key]
+        self._now = key[0]
+        entry = bucket.popleft()
+        if not bucket:
+            del self._buckets[key]
+            if self._hot_bucket is bucket:
+                self._hot_at = -1.0
+                self._hot_bucket = None
+            if self._keys[0] is key:
+                heappop(self._keys)
+        self._dispatch(entry)
 
     def run(self, until: "float | Event | None" = None) -> Any:
         """Run until the schedule empties, a deadline passes, or an event fires.
@@ -362,14 +545,94 @@ class Engine:
             if deadline < self._now:
                 raise SimulationError(f"run(until={deadline}) is in the past (now={self._now})")
 
-        while self._queue:
-            if stop_event is not None and stop_event.triggered and stop_event.processed:
-                break
-            if deadline is not None and self._queue[0][0] > deadline:
-                break
-            self.step()
-            if stop_event is not None and stop_event.processed:
-                break
+        # The hot loop: everything localised, the common same-key run drained
+        # without touching the key heap.  Mirrors _dispatch() -- keep in sync.
+        # Two inner-drain variants: the common until=None/deadline case
+        # skips the per-entry stop_event checks entirely.
+        keys = self._keys
+        buckets = self._buckets
+        timeout_pool = self._timeout_pool
+        dispatched = self.events_dispatched
+        try:
+            while keys:
+                key = keys[0]
+                bucket = buckets.get(key)
+                if bucket is None:
+                    heappop(keys)
+                    continue
+                if deadline is not None and key[0] > deadline:
+                    break
+                if stop_event is None:
+                    self._now = key[0]
+                    popleft = bucket.popleft
+                    while bucket:
+                        entry = popleft()
+                        dispatched += 1
+                        if entry.__class__ is tuple:
+                            fn, args = entry
+                            fn(*args)
+                        else:
+                            callbacks, entry.callbacks = entry.callbacks, None
+                            for cb in callbacks:
+                                cb(entry)
+                            if not entry._ok and not entry._defused:
+                                raise entry._value
+                            if entry.__class__ is Timeout \
+                                    and len(callbacks) == 1 \
+                                    and getattr(callbacks[0], "__func__",
+                                                None) is _RESUME:
+                                entry._value = _PENDING
+                                entry._ok = None
+                                entry._defused = False
+                                callbacks.clear()
+                                entry.callbacks = callbacks
+                                if len(timeout_pool) < _POOL_MAX:
+                                    timeout_pool.append(entry)
+                        if keys[0] is not key:
+                            # an URGENT (or earlier) key arrived mid-drain
+                            # and outranks the rest of this bucket
+                            break
+                else:
+                    if stop_event.callbacks is None:
+                        break
+                    self._now = key[0]
+                    while bucket:
+                        entry = bucket.popleft()
+                        dispatched += 1
+                        if entry.__class__ is tuple:
+                            fn, args = entry
+                            fn(*args)
+                        else:
+                            callbacks, entry.callbacks = entry.callbacks, None
+                            for cb in callbacks:
+                                cb(entry)
+                            if not entry._ok and not entry._defused:
+                                raise entry._value
+                            if entry.__class__ is Timeout \
+                                    and entry is not stop_event \
+                                    and len(callbacks) == 1 \
+                                    and getattr(callbacks[0], "__func__",
+                                                None) is _RESUME:
+                                entry._value = _PENDING
+                                entry._ok = None
+                                entry._defused = False
+                                callbacks.clear()
+                                entry.callbacks = callbacks
+                                if len(timeout_pool) < _POOL_MAX:
+                                    timeout_pool.append(entry)
+                        if stop_event.callbacks is None:
+                            break
+                        if keys[0] is not key:
+                            break
+                if not bucket:
+                    del buckets[key]
+                    if self._hot_bucket is bucket:
+                        self._hot_at = -1.0
+                        self._hot_bucket = None
+                    if keys and keys[0] is key:
+                        heappop(keys)
+        finally:
+            self.events_dispatched = dispatched
 
         if deadline is not None:
             self._now = max(self._now, deadline)

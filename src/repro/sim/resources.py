@@ -4,6 +4,12 @@ These model contention: CPU cores (Resource), disk/NIC byte budgets and
 memory (Container), and queues of work items (Store).  All wait-lists are
 FIFO, which together with the kernel's deterministic tie-breaking keeps
 whole simulations reproducible.
+
+Accounting is O(1) per operation (PR-7 raw-speed pass): holders and
+waiters are plain counters instead of membership lists, and cancelling a
+queued claim just flags it -- the dispatch loop skips flagged entries
+lazily when they reach the head of their deque, so a busy resource never
+pays an O(n) ``remove``.
 """
 
 from __future__ import annotations
@@ -14,20 +20,29 @@ from typing import Any
 from ..common.errors import SimulationError
 from .core import Engine, Event
 
+# Request lifecycle states
+_QUEUED = 0
+_HELD = 1
+_DONE = 2
+
 
 class Request(Event):
     """A pending claim on a :class:`Resource` slot."""
 
+    __slots__ = ("resource", "_state")
+
     def __init__(self, resource: "Resource") -> None:
         super().__init__(resource.engine)
         self.resource = resource
+        self._state = _QUEUED
+        resource._waiting += 1
         resource._queue.append(self)
         resource._dispatch()
 
     def __enter__(self) -> "Request":
         return self
 
-    def __exit__(self, *exc) -> None:
+    def __exit__(self, *exc: object) -> None:
         self.resource.release(self)
 
 
@@ -46,52 +61,67 @@ class Resource:
             raise SimulationError(f"Resource capacity must be >= 1, got {capacity}")
         self.engine = engine
         self.capacity = capacity
-        self._users: list[Request] = []
+        self._held = 0
+        self._waiting = 0
         self._queue: deque[Request] = deque()
 
     @property
     def count(self) -> int:
         """Slots currently held."""
-        return len(self._users)
+        return self._held
 
     @property
     def queue_length(self) -> int:
-        return len(self._queue)
+        return self._waiting
 
     def request(self) -> Request:
         return Request(self)
 
     def release(self, request: Request) -> None:
-        """Give back a slot (or cancel a still-queued request)."""
-        if request in self._users:
-            self._users.remove(request)
-        elif request in self._queue:
-            self._queue.remove(request)
-        self._dispatch()
+        """Give back a slot (or cancel a still-queued request) in O(1)."""
+        if request._state == _HELD:
+            request._state = _DONE
+            self._held -= 1
+            self._dispatch()
+        elif request._state == _QUEUED:
+            # Lazy cancel: the dispatch loop discards it at the head.
+            request._state = _DONE
+            self._waiting -= 1
 
     def _dispatch(self) -> None:
-        while self._queue and len(self._users) < self.capacity:
-            req = self._queue.popleft()
-            self._users.append(req)
+        queue = self._queue
+        while queue and self._held < self.capacity:
+            req = queue.popleft()
+            if req._state != _QUEUED:
+                continue  # cancelled while waiting
+            req._state = _HELD
+            self._waiting -= 1
+            self._held += 1
             req.succeed()
 
 
 class ContainerPut(Event):
+    __slots__ = ("amount", "_abandoned")
+
     def __init__(self, container: "Container", amount: float) -> None:
         if amount <= 0:
             raise SimulationError(f"put amount must be > 0, got {amount}")
         super().__init__(container.engine)
         self.amount = amount
+        self._abandoned = False
         container._puts.append(self)
         container._dispatch()
 
 
 class ContainerGet(Event):
+    __slots__ = ("amount", "_abandoned")
+
     def __init__(self, container: "Container", amount: float) -> None:
         if amount <= 0:
             raise SimulationError(f"get amount must be > 0, got {amount}")
         super().__init__(container.engine)
         self.amount = amount
+        self._abandoned = False
         container._gets.append(self)
         container._dispatch()
 
@@ -124,39 +154,48 @@ class Container:
         return ContainerGet(self, amount)
 
     def cancel(self, event: Event) -> None:
-        """Withdraw a still-pending put/get."""
-        if event in self._puts:
-            self._puts.remove(event)
-        if event in self._gets:
-            self._gets.remove(event)
+        """Withdraw a still-pending put/get (O(1): flagged, skipped lazily)."""
+        if isinstance(event, (ContainerPut, ContainerGet)) and not event.triggered:
+            event._abandoned = True
 
     def _dispatch(self) -> None:
+        puts, gets = self._puts, self._gets
         progressed = True
         while progressed:
             progressed = False
-            if self._puts and self._level + self._puts[0].amount <= self.capacity:
-                put = self._puts.popleft()
+            while puts and puts[0]._abandoned:
+                puts.popleft()
+            while gets and gets[0]._abandoned:
+                gets.popleft()
+            if puts and self._level + puts[0].amount <= self.capacity:
+                put = puts.popleft()
                 self._level += put.amount
                 put.succeed()
                 progressed = True
-            if self._gets and self._level >= self._gets[0].amount:
-                get = self._gets.popleft()
+            if gets and self._level >= gets[0].amount:
+                get = gets.popleft()
                 self._level -= get.amount
                 get.succeed()
                 progressed = True
 
 
 class StorePut(Event):
+    __slots__ = ("item", "_abandoned")
+
     def __init__(self, store: "Store", item: Any) -> None:
         super().__init__(store.engine)
         self.item = item
+        self._abandoned = False
         store._puts.append(self)
         store._dispatch()
 
 
 class StoreGet(Event):
+    __slots__ = ("_abandoned",)
+
     def __init__(self, store: "Store") -> None:
         super().__init__(store.engine)
+        self._abandoned = False
         store._gets.append(self)
         store._dispatch()
 
@@ -183,21 +222,26 @@ class Store:
         return StoreGet(self)
 
     def cancel(self, event: Event) -> None:
-        if event in self._puts:
-            self._puts.remove(event)
-        if event in self._gets:
-            self._gets.remove(event)
+        """Withdraw a still-pending put/get (O(1): flagged, skipped lazily)."""
+        if isinstance(event, (StorePut, StoreGet)) and not event.triggered:
+            event._abandoned = True
 
     def _dispatch(self) -> None:
+        puts, gets = self._puts, self._gets
+        items = self.items
         progressed = True
         while progressed:
             progressed = False
-            while self._puts and len(self.items) < self.capacity:
-                put = self._puts.popleft()
-                self.items.append(put.item)
+            while puts and len(items) < self.capacity:
+                put = puts.popleft()
+                if put._abandoned:
+                    continue
+                items.append(put.item)
                 put.succeed()
                 progressed = True
-            while self._gets and self.items:
-                get = self._gets.popleft()
-                get.succeed(self.items.popleft())
+            while gets and items:
+                get = gets.popleft()
+                if get._abandoned:
+                    continue
+                get.succeed(items.popleft())
                 progressed = True

@@ -7,6 +7,7 @@ from .minidb import Column, Database, QueryStats, Table
 from .portal import VideoPortal
 from .render import render_page
 from .server import (
+    ALIAS_SUNSET,
     ApachePrefork,
     Handler,
     Lighttpd,
@@ -17,6 +18,7 @@ from .server import (
 )
 
 __all__ = [
+    "ALIAS_SUNSET",
     "ApachePrefork",
     "AuthService",
     "Column",

@@ -19,7 +19,7 @@ def render_feed(videos: list[dict], *, title: str = "VOC - new videos",
     """RSS 2.0 document for *videos* (dicts with id/title/views/duration)."""
     items = []
     for v in videos[:limit]:
-        link = f"{SITE_URL}/video?id={v['id']}"
+        link = f"{SITE_URL}/video/{v['id']}"
         items.append(
             "    <item>\n"
             f"      <title>{escape(str(v['title']))}</title>\n"

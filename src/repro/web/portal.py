@@ -690,7 +690,7 @@ class VideoPortal:
 
     def share_links(self, video_id: int) -> dict[str, str]:
         """The social-network buttons of the paper's portal."""
-        url = f"http://voc.example/video?id={video_id}"
+        url = f"http://voc.example/video/{video_id}"
         return {
             "facebook": f"https://www.facebook.com/sharer.php?u={url}",
             "plurk": f"https://www.plurk.com/?qualifier=shares&status={url}",
@@ -970,9 +970,9 @@ class VideoPortal:
     def fetch(self, url: str) -> Page:
         if url == "/":
             published = self.db.table("videos").select({"status": "published"})
-            return Page("/", None, tuple(f"/video?id={v['id']}" for v in published))
-        if url.startswith("/video?id="):
-            video_id = int(url.removeprefix("/video?id="))
+            return Page("/", None, tuple(f"/video/{v['id']}" for v in published))
+        if url.startswith("/video/"):
+            video_id = int(url.removeprefix("/video/"))
             row = self.db.table("videos").get(video_id)
             if row is None or row["status"] != "published":
                 return Page(url, None)
@@ -999,7 +999,7 @@ class VideoPortal:
             "tags": row["tags"],
             "views": row["views"],
             "duration": row["duration"],
-            "link": f"/video?id={row['id']}",
+            "link": f"/video/{row['id']}",
         }
 
     def refresh_search_index(self, max_pages: int = 10_000) -> Generator:

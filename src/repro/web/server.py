@@ -34,6 +34,12 @@ from ..resilience import AdmissionController, Deadline, TokenBucket
 from ..sim import Resource
 
 
+def _mark_deprecated(response: "Response") -> None:
+    """Stamp the RFC 8594-style deprecation headers on an alias response."""
+    response.headers.setdefault("Deprecation", "true")
+    response.headers.setdefault("Sunset", ALIAS_SUNSET)
+
+
 def format_retry_after(seconds: float) -> str:
     """THE ``Retry-After`` value format: whole seconds, rounded up.
 
@@ -120,10 +126,26 @@ class Response:
 #: returns a Response
 Handler = Callable[[Request], Generator]
 
+#: responses served via a deprecated ``alias_of`` route carry
+#: ``Deprecation: true`` plus this ``Sunset`` deadline; the aliases are
+#: removed after the window documented in README "Route alias deprecation"
+ALIAS_SUNSET = "Tue, 01 Dec 2026 00:00:00 GMT"
+
+#: bound on the memoised resolve cache (cleared wholesale when exceeded)
+_RESOLVE_CACHE_MAX = 4096
+
+#: cache-miss sentinel (None is a legitimate cached 404)
+_UNRESOLVED: Any = object()
+
 
 @dataclass(frozen=True)
 class Route:
-    """One compiled route pattern."""
+    """One compiled route pattern.
+
+    ``compile_route`` pre-splits the pattern into positional literal
+    checks and parameter slots so :meth:`match` is a couple of index
+    comparisons instead of re-parsing ``<name>`` markers per request.
+    """
 
     method: str
     pattern: str
@@ -131,19 +153,21 @@ class Route:
     segments: tuple[str, ...]          # literal text or "<name>"
     param_names: tuple[str, ...]
     alias_of: str | None = None        # deprecated path kept for one release
+    #: compiled form: (index, literal text) pairs that must match exactly
+    literal_slots: tuple[tuple[int, str], ...] = ()
+    #: compiled form: (index, parameter name) pairs to extract
+    param_slots: tuple[tuple[int, str], ...] = ()
+    #: number of non-empty path segments the pattern expects
+    n_parts: int = 0
 
     def match(self, path: str) -> dict[str, str] | None:
-        parts = tuple(p for p in path.split("/") if p != "")
-        want = tuple(p for p in self.segments if p != "")
-        if len(parts) != len(want):
+        parts = [p for p in path.split("/") if p]
+        if len(parts) != self.n_parts:
             return None
-        params: dict[str, str] = {}
-        for got, seg in zip(parts, want):
-            if seg.startswith("<") and seg.endswith(">"):
-                params[seg[1:-1]] = got
-            elif got != seg:
+        for i, text in self.literal_slots:
+            if parts[i] != text:
                 return None
-        return params
+        return {name: parts[i] for i, name in self.param_slots}
 
 
 def compile_route(method: str, pattern: str, handler: Handler,
@@ -151,8 +175,13 @@ def compile_route(method: str, pattern: str, handler: Handler,
     if not pattern.startswith("/"):
         raise WebError(f"route pattern {pattern!r} must start with '/'")
     segments = tuple(pattern.split("/"))
-    names = []
+    names: list[str] = []
+    literal_slots: list[tuple[int, str]] = []
+    param_slots: list[tuple[int, str]] = []
+    index = 0
     for seg in segments:
+        if seg == "":
+            continue
         if seg.startswith("<") and seg.endswith(">"):
             name = seg[1:-1]
             if not name.isidentifier():
@@ -160,11 +189,16 @@ def compile_route(method: str, pattern: str, handler: Handler,
             if name in names:
                 raise WebError(f"duplicate path parameter {seg!r} in {pattern!r}")
             names.append(name)
+            param_slots.append((index, name))
         elif "<" in seg or ">" in seg:
             raise WebError(f"malformed segment {seg!r} in {pattern!r}")
+        else:
+            literal_slots.append((index, seg))
+        index += 1
     return Route(method=method, pattern=pattern, handler=handler,
                  segments=segments, param_names=tuple(names),
-                 alias_of=alias_of)
+                 alias_of=alias_of, literal_slots=tuple(literal_slots),
+                 param_slots=tuple(param_slots), n_parts=index)
 
 
 @dataclass
@@ -199,6 +233,10 @@ class WebServer:
         self.tracer = cluster.tracer
         self.routes: dict[tuple[str, str], Route] = {}   # exact-path fast table
         self.patterns: list[Route] = []                  # parameterised routes
+        #: memoised resolve() results, (method, path) -> (route, params)|None;
+        #: cleared on registration, size-bounded against path-cardinality blowup
+        self._resolve_cache: dict[tuple[str, str],
+                                  tuple[Route, dict[str, str]] | None] = {}
         self.stats = ServerStats()
         self._conns = Resource(self.engine, capacity=self.max_connections)
         metrics = cluster.metrics
@@ -269,6 +307,7 @@ class WebServer:
             self.patterns.append(compiled)
         else:
             self.routes[(method, pattern)] = compiled
+        self._resolve_cache.clear()
         for alias in aliases:
             self.route(method, alias, handler, alias_of=pattern)
         return compiled
@@ -290,16 +329,32 @@ class WebServer:
         return _register
 
     def resolve(self, method: str, path: str) -> tuple[Route, dict[str, str]]:
-        """The matching route + extracted path params, or HttpError(404)."""
-        exact = self.routes.get((method, path))
+        """The matching route + extracted path params, or HttpError(404).
+
+        Results (including misses) are memoised per ``(method, path)``;
+        callers must treat the returned params mapping as read-only.
+        """
+        cache = self._resolve_cache
+        key = (method, path)
+        hit = cache.get(key, _UNRESOLVED)
+        if hit is not _UNRESOLVED:
+            if hit is None:
+                raise HttpError(404, f"no route {method} {path}")
+            return hit
+        if len(cache) >= _RESOLVE_CACHE_MAX:
+            cache.clear()
+        exact = self.routes.get(key)
         if exact is not None:
+            cache[key] = (exact, {})
             return exact, {}
         for route in self.patterns:
             if route.method != method:
                 continue
             params = route.match(path)
             if params is not None:
+                cache[key] = (route, params)
                 return route, params
+        cache[key] = None
         raise HttpError(404, f"no route {method} {path}")
 
     # -- serving ------------------------------------------------------------------
@@ -330,6 +385,8 @@ class WebServer:
                         label=f"{request.method} {route.alias_of or route.pattern}")
                 shed = yield from self._front_door(request, route)
                 if shed is not None:
+                    if route.alias_of is not None:
+                        _mark_deprecated(shed)
                     return self._finish_shed(request, shed, t0,
                                              route.alias_of or route.pattern)
             kind = self._admitted_kind(route)
@@ -402,6 +459,7 @@ class WebServer:
                 self.host.compute_seconds(self.request_cpu)
             )
             self.stats.cpu_seconds += self.request_cpu
+            deprecated = False
             try:
                 try:
                     route, path_params = self.resolve(
@@ -411,6 +469,7 @@ class WebServer:
                     route_label = "<unmatched>"
                     raise
                 route_label = route.alias_of or route.pattern
+                deprecated = route.alias_of is not None
                 for name, value in path_params.items():
                     request.params.setdefault(name, value)
                 if request.deadline is not None:
@@ -431,6 +490,8 @@ class WebServer:
                 self.stats.shed += 1
             except HttpError as exc:
                 response = Response.from_http_error(exc)
+            if deprecated:
+                _mark_deprecated(response)
             self.stats.requests += 1
             if not response.ok:
                 self.stats.errors += 1

@@ -78,7 +78,7 @@ class TestEndToEndVideoService:
 
         # player page (Figure 23) + streaming session with a seek
         r = cluster.run(cluster.engine.process(portal.request(
-            "GET", "/video", params={"id": vid})))
+            "GET", f"/video/{vid}")))
         assert r.body["player"]["seekable_time_bar"]
         playback = portal.play(vid, vc.cluster.host_names[-1],
                                watch_plan=[(0.0, 10.0), (60.0, 10.0)])

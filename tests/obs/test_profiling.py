@@ -1,0 +1,89 @@
+"""The cProfile wrapper behind the kernel fast-path work."""
+
+import pytest
+
+from repro.obs import HotSpot, ProfileReport, profile_call, profiling
+from repro.sim import Engine
+
+
+def busy(n=200):
+    def inner(k):
+        return sum(range(k))
+    return [inner(i) for i in range(n)]
+
+
+class TestProfileCall:
+    def test_returns_result_and_report(self):
+        result, report = profile_call(busy, 100)
+        assert len(result) == 100
+        assert isinstance(report, ProfileReport)
+        assert report.total_calls > 100
+        assert report.hotspots
+
+    def test_hotspots_sorted_by_exclusive_time(self):
+        _, report = profile_call(busy)
+        tottimes = [h.tottime for h in report.hotspots]
+        assert tottimes == sorted(tottimes, reverse=True)
+
+    def test_captures_named_functions(self):
+        _, report = profile_call(busy)
+        names = [h.function for h in report.hotspots]
+        assert any("inner" in n for n in names)
+
+    def test_exceptions_propagate_with_profiler_stopped(self):
+        with pytest.raises(ValueError, match="boom"):
+            profile_call(lambda: (_ for _ in ()).throw(ValueError("boom")).__next__())
+
+    def test_profiles_a_simulation_storm(self):
+        eng = Engine()
+
+        def storm():
+            for i in range(50):
+                eng.call_later(float(i % 3), lambda: None)
+            eng.run()
+
+        _, report = profile_call(storm)
+        assert any("core.py" in h.function for h in report.hotspots)
+
+
+class TestProfilingContext:
+    def test_report_fills_on_exit(self):
+        with profiling() as report:
+            busy(50)
+        assert report.total_calls > 0
+        assert report.hotspots
+
+    def test_body_exception_propagates(self):
+        with pytest.raises(RuntimeError):
+            with profiling() as report:
+                raise RuntimeError("storm died")
+        # the report still digested what ran before the raise
+        assert isinstance(report, ProfileReport)
+
+
+class TestReportShapes:
+    def test_top_limits_rows(self):
+        _, report = profile_call(busy)
+        assert len(report.top(3)) == 3
+
+    def test_table_renders(self):
+        _, report = profile_call(busy, 20)
+        text = report.table(limit=5, title="storm hot spots")
+        assert "storm hot spots" in text
+        assert "tottime" in text
+
+    def test_as_dict_is_json_ready(self):
+        import json
+
+        _, report = profile_call(busy, 20)
+        digest = report.as_dict(limit=4)
+        assert set(digest) == {"total_calls", "total_time_s", "hotspots"}
+        assert len(digest["hotspots"]) == 4
+        assert json.dumps(digest)
+
+    def test_hotspot_as_dict(self):
+        h = HotSpot("core.py:1:run", 10, 0.5, 1.25)
+        assert h.as_dict() == {
+            "function": "core.py:1:run", "calls": 10,
+            "tottime_s": 0.5, "cumtime_s": 1.25,
+        }

@@ -1,0 +1,235 @@
+"""Kernel fast-path behaviour: batched dispatch, timers, recycling.
+
+PR 7 rebuilt the schedule as a heap of ``(time, priority)`` keys over
+FIFO buckets and added the ``call_later`` timer path and the Timeout
+freelist.  These tests pin the properties that redesign must preserve:
+simultaneous events fire in exact schedule order (the old
+``(time, priority, seq)`` semantics), URGENT work preempts a same-time
+NORMAL run mid-drain, and recycling never leaks state to model code
+that plays by the documented rules.
+"""
+
+import random
+
+import pytest
+
+from repro.common.errors import SimulationError
+from repro.sim import Engine
+
+
+@pytest.fixture
+def eng():
+    return Engine()
+
+
+class TestSimultaneousOrdering:
+    """Satellite: N simultaneous mixed-priority events fire in schedule
+    order, bit-identically across runs."""
+
+    N = 240
+    SEED = 2026
+
+    @staticmethod
+    def _storm(seed):
+        """Schedule N callbacks over 3 timestamps x 2 priorities; return
+        (firing log, expected log in old (time, priority, seq) order)."""
+        eng = Engine()
+        rng = random.Random(seed)
+        log = []
+        schedule = []
+        for i in range(TestSimultaneousOrdering.N):
+            at = float(rng.randrange(3))
+            urgent = rng.random() < 0.3
+            record = (at, 0 if urgent else 1, i)
+            schedule.append(record)
+            eng.call_at(at, log.append, record, urgent=urgent)
+        eng.run()
+        # stable sort on (time, priority) keeps schedule order within
+        # each equal run -- exactly the retired seq-counter semantics
+        expected = sorted(schedule, key=lambda r: (r[0], r[1]))
+        return log, expected
+
+    def test_fires_in_schedule_order(self):
+        log, expected = self._storm(self.SEED)
+        assert log == expected
+
+    def test_log_is_bit_identical_across_runs(self):
+        first, _ = self._storm(self.SEED)
+        second, _ = self._storm(self.SEED)
+        assert first == second
+
+    def test_processes_and_timers_share_one_order(self, eng):
+        log = []
+
+        def worker(tag):
+            log.append(tag)
+            yield eng.timeout(1.0)
+            log.append(f"{tag}+1s")
+
+        eng.process(worker("p1"))
+        eng.call_later(0.0, log.append, "t0")
+        eng.process(worker("p2"))
+        eng.call_later(1.0, log.append, "t1")
+        eng.run()
+        # t=0: inits (URGENT, schedule order) then the NORMAL timer;
+        # t=1: the timer was scheduled at t=0, before either process had
+        # resumed and created its timeout, so it fires first
+        assert log == ["p1", "p2", "t0", "t1", "p1+1s", "p2+1s"]
+
+
+class TestUrgentPreemption:
+    def test_urgent_preempts_same_time_normal_drain(self, eng):
+        log = []
+
+        def first():
+            log.append("first")
+            eng.call_later(0.0, log.append, "urgent", urgent=True)
+
+        eng.call_later(0.0, first)
+        eng.call_later(0.0, log.append, "second")
+        eng.run()
+        assert log == ["first", "urgent", "second"]
+
+    def test_urgent_chain_drains_before_resuming_normal(self, eng):
+        log = []
+
+        def spawn(depth):
+            log.append(f"u{depth}")
+            if depth < 3:
+                eng.call_later(0.0, spawn, depth + 1, urgent=True)
+
+        eng.call_later(0.0, spawn, 1, urgent=True)
+        eng.call_later(0.0, log.append, "n1")
+        eng.call_later(0.0, log.append, "n2")
+        eng.run()
+        assert log == ["u1", "u2", "u3", "n1", "n2"]
+
+
+class TestCallLater:
+    def test_args_are_passed_through(self, eng):
+        seen = []
+        eng.call_later(1.0, lambda a, b: seen.append((a, b, eng.now)), "x", 2)
+        eng.run()
+        assert seen == [("x", 2, 1.0)]
+
+    def test_negative_delay_rejected(self, eng):
+        with pytest.raises(SimulationError):
+            eng.call_later(-0.1, lambda: None)
+
+    def test_call_at_past_rejected(self, eng):
+        eng.call_later(5.0, lambda: None)
+        eng.run()
+        with pytest.raises(SimulationError):
+            eng.call_at(4.0, lambda: None)
+
+    def test_timers_respect_run_deadline(self, eng):
+        log = []
+        eng.call_later(1.0, log.append, "early")
+        eng.call_later(10.0, log.append, "late")
+        eng.run(until=5.0)
+        assert log == ["early"]
+        assert eng.now == 5.0
+        eng.run()
+        assert log == ["early", "late"]
+
+    def test_timer_chain_counts_in_events_dispatched(self, eng):
+        left = [5]
+
+        def tick():
+            left[0] -= 1
+            if left[0]:
+                eng.call_later(1.0, tick)
+
+        eng.call_later(1.0, tick)
+        eng.run()
+        assert left[0] == 0
+        assert eng.events_dispatched == 5
+
+    def test_schedule_into_partially_drained_bucket(self, eng):
+        """step() pops one entry; later same-key appends must land in
+        the still-live bucket, not a stale cache."""
+        log = []
+        eng.call_later(1.0, log.append, "a")
+        eng.call_later(1.0, log.append, "b")
+        eng.step()
+        assert log == ["a"]
+        eng.call_later(0.0, log.append, "c")  # now=1.0, same key
+        eng.run()
+        assert log == ["a", "b", "c"]
+
+    def test_rescheduling_same_key_after_full_drain(self, eng):
+        """A drained (time, priority) bucket is deleted; scheduling the
+        same key again must build a fresh bucket (hot-cache invalidation)."""
+        log = []
+        eng.call_at(1.0, log.append, "x")
+        eng.run()
+        eng.call_at(1.0, log.append, "y")
+        eng.run()
+        assert log == ["x", "y"]
+
+
+class TestTimeoutRecycling:
+    def test_sole_process_waiter_is_recycled(self, eng):
+        def p():
+            yield eng.timeout(1.0)
+
+        eng.run(eng.process(p()))
+        assert len(eng._timeout_pool) == 1
+        cell = eng._timeout_pool[0]
+        assert not cell.triggered
+        assert cell.callbacks == []
+
+    def test_pool_cell_is_reused_with_fresh_state(self, eng):
+        def p():
+            yield eng.timeout(1.0)
+
+        eng.run(eng.process(p()))
+        cell = eng._timeout_pool[0]
+        t = eng.timeout(2.0, value="again")
+        assert t is cell
+        assert t.delay == 2.0
+        assert t.value == "again"
+
+        def q(t):
+            got = yield t
+            return got
+
+        assert eng.run(eng.process(q(t))) == "again"
+
+    def test_extra_waiter_blocks_recycling(self, eng):
+        held = []
+
+        def p():
+            t = eng.timeout(1.0, value=7)
+            t.callbacks.append(lambda ev: None)
+            held.append(t)
+            yield t
+
+        eng.run(eng.process(p()))
+        assert held[0] not in eng._timeout_pool
+        assert held[0].triggered
+        assert held[0].value == 7
+
+    def test_condition_waiter_blocks_recycling(self, eng):
+        held = []
+
+        def p():
+            t = eng.timeout(1.0, value="winner")
+            held.append(t)
+            result = yield t | eng.timeout(5.0)
+            return result
+
+        result = eng.run(eng.process(p()))
+        assert held[0].value == "winner"
+        assert held[0] in result
+        assert held[0] not in eng._timeout_pool
+
+    def test_run_until_timeout_is_not_recycled(self, eng):
+        def p(t):
+            yield t
+
+        t = eng.timeout(3.0, value="stop")
+        eng.process(p(t))
+        assert eng.run(t) == "stop"
+        assert t.triggered
+        assert t not in eng._timeout_pool

@@ -20,7 +20,7 @@ class TestRssFeed:
         xml = resp.body["xml"]
         assert xml.startswith('<?xml version="1.0"')
         assert "<rss version=\"2.0\">" in xml
-        assert f"/video?id={vid}" in xml
+        assert f"/video/{vid}" in xml
         # XML-escaped title
         assert "Nobody &lt;MV&gt;" in xml
         assert resp.body["items"] == 1
@@ -31,7 +31,7 @@ class TestRssFeed:
         session = register_and_login(cluster, portal, "admin")
         vid = publish_video(cluster, portal, session)
         cluster.run(cluster.engine.process(portal.request(
-            "POST", "/delete", session=session, params={"id": vid})))
+            "POST", f"/video/{vid}/delete", session=session)))
         resp = cluster.run(cluster.engine.process(
             portal.request("GET", "/feed")))
         assert resp.body["items"] == 0

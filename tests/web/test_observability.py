@@ -7,7 +7,7 @@ from repro.common.units import Mbps, MiB
 from repro.hardware import Cluster
 from repro.hdfs import Hdfs
 from repro.video import R_720P, VideoFile
-from repro.web import Lighttpd, Request, Response, VideoPortal
+from repro.web import ALIAS_SUNSET, Lighttpd, Request, Response, VideoPortal
 
 
 def make_portal(n_hosts=6):
@@ -140,13 +140,18 @@ class TestRouting:
             return Response.json_ok()
 
         server.route("GET", "/video/<id>", handler, aliases=("/video",))
-        cluster.run(cluster.engine.process(
+        legacy = cluster.run(cluster.engine.process(
             server.handle(Request("GET", "/video", params={"id": "1"}))))
-        cluster.run(cluster.engine.process(
+        canonical = cluster.run(cluster.engine.process(
             server.handle(Request("GET", "/video/1"))))
         counter = cluster.metrics.get("web_requests_total")
         assert counter.labels(
             method="GET", route="/video/<id>", status="200").value == 2
+        # alias responses announce their retirement (RFC 8594 style)
+        assert legacy.headers["Deprecation"] == "true"
+        assert legacy.headers["Sunset"] == ALIAS_SUNSET
+        assert "Deprecation" not in canonical.headers
+        assert "Sunset" not in canonical.headers
 
     def test_malformed_patterns_rejected(self):
         cluster, server = self.make_server()
@@ -174,6 +179,9 @@ class TestPortalRoutes:
                          params={"id": vid})
         assert canonical.ok and legacy.ok
         assert canonical.body["video"]["id"] == legacy.body["video"]["id"]
+        assert legacy.headers["Deprecation"] == "true"
+        assert legacy.headers["Sunset"] == ALIAS_SUNSET
+        assert "Deprecation" not in canonical.headers
 
     def test_comment_via_path_param(self):
         cluster, portal = make_portal()

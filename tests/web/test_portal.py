@@ -152,8 +152,8 @@ class TestSearchAndHome:
         vid = publish_video(cluster, portal, admin_session)
         cluster.run(cluster.engine.process(portal.refresh_search_index()))
         r = cluster.run(cluster.engine.process(portal.request(
-            "POST", "/admin/remove", session=admin_session,
-            params={"id": vid})))
+            "POST", f"/admin/video/{vid}/remove",
+            session=admin_session)))
         assert r.ok
         r = cluster.run(cluster.engine.process(portal.request(
             "GET", "/search", params={"q": "nobody"})))
@@ -166,7 +166,7 @@ class TestPlayerPage:
         session = register_and_login(cluster, portal)
         vid = publish_video(cluster, portal, session)
         r = cluster.run(cluster.engine.process(portal.request(
-            "GET", "/video", params={"id": vid})))
+            "GET", f"/video/{vid}")))
         assert r.ok
         player = r.body["player"]
         assert player["format"] == "h264/flv"
@@ -181,13 +181,13 @@ class TestPlayerPage:
         vid = publish_video(cluster, portal, session)
         for _ in range(3):
             cluster.run(cluster.engine.process(portal.request(
-                "GET", "/video", params={"id": vid})))
+                "GET", f"/video/{vid}")))
         assert portal.db.table("videos").get(vid)["views"] == 3
 
     def test_missing_video_404(self):
         cluster, portal = make_portal()
         r = cluster.run(cluster.engine.process(portal.request(
-            "GET", "/video", params={"id": 999})))
+            "GET", "/video/999")))
         assert r.status == 404
 
     def test_play_session_streams(self):
@@ -211,11 +211,11 @@ class TestCommentsFlagsAdmin:
         session = register_and_login(cluster, portal)
         vid = publish_video(cluster, portal, session)
         r = cluster.run(cluster.engine.process(portal.request(
-            "POST", "/comment", session=session,
-            params={"id": vid, "text": "great video!"})))
+            "POST", f"/video/{vid}/comment", session=session,
+            params={"text": "great video!"})))
         assert r.ok
         r = cluster.run(cluster.engine.process(portal.request(
-            "GET", "/video", params={"id": vid})))
+            "GET", f"/video/{vid}")))
         assert r.body["comments"][0]["text"] == "great video!"
 
     def test_comment_requires_login(self):
@@ -223,7 +223,7 @@ class TestCommentsFlagsAdmin:
         session = register_and_login(cluster, portal)
         vid = publish_video(cluster, portal, session)
         r = cluster.run(cluster.engine.process(portal.request(
-            "POST", "/comment", params={"id": vid, "text": "anon"})))
+            "POST", f"/video/{vid}/comment", params={"text": "anon"})))
         assert r.status == 403
 
     def test_flag_then_admin_remove(self):
@@ -232,14 +232,14 @@ class TestCommentsFlagsAdmin:
         user_session = register_and_login(cluster, portal, "user1")
         vid = publish_video(cluster, portal, user_session)
         r = cluster.run(cluster.engine.process(portal.request(
-            "POST", "/flag", session=user_session,
-            params={"id": vid, "reason": "bad film"})))
+            "POST", f"/video/{vid}/flag", session=user_session,
+            params={"reason": "bad film"})))
         assert r.ok
         r = cluster.run(cluster.engine.process(portal.request(
             "GET", "/admin", session=admin_session)))
         assert r.body["open_flags"][0]["video_id"] == vid
         r = cluster.run(cluster.engine.process(portal.request(
-            "POST", "/admin/remove", session=admin_session, params={"id": vid})))
+            "POST", f"/admin/video/{vid}/remove", session=admin_session)))
         assert r.ok
         assert portal.db.table("videos").get(vid)["status"] == "removed"
         # flags resolved, HDFS rendition gone
@@ -259,8 +259,8 @@ class TestCommentsFlagsAdmin:
         user_session = register_and_login(cluster, portal, "troll")
         user = portal.auth.current_user(user_session)
         r = cluster.run(cluster.engine.process(portal.request(
-            "POST", "/admin/block", session=admin_session,
-            params={"user_id": user["id"]})))
+            "POST", f"/admin/user/{user['id']}/block",
+            session=admin_session)))
         assert r.ok
         assert portal.auth.current_user(user_session) is None
         with pytest.raises(Exception):

@@ -70,7 +70,7 @@ class TestSafeModeDegradation:
         portal.attach_safemode(safemode)
         safemode.enter()
         r = cluster.run(cluster.engine.process(
-            portal.request("GET", "/video", params={"id": video_id})))
+            portal.request("GET", f"/video/{video_id}")))
         assert r.ok  # degradation sheds writes only
 
     def test_upload_succeeds_after_safemode_exit(self):

@@ -57,8 +57,8 @@ class TestMyVideosEditDelete:
         session = register_and_login(cluster, portal)
         vid = publish(cluster, portal, session, "old title")
         r = cluster.run(cluster.engine.process(portal.request(
-            "POST", "/edit", session=session,
-            params={"id": vid, "title": "new title", "tags": "updated"})))
+            "POST", f"/video/{vid}/edit", session=session,
+            params={"title": "new title", "tags": "updated"})))
         assert r.ok
         row = portal.db.table("videos").get(vid)
         assert row["title"] == "new title"
@@ -70,8 +70,8 @@ class TestMyVideosEditDelete:
         vid = publish(cluster, portal, session, "original nobody")
         cluster.run(cluster.engine.process(portal.refresh_search_index()))
         cluster.run(cluster.engine.process(portal.request(
-            "POST", "/edit", session=session,
-            params={"id": vid, "title": "renamed wonderful"})))
+            "POST", f"/video/{vid}/edit", session=session,
+            params={"title": "renamed wonderful"})))
         # stale entry dropped immediately
         r = cluster.run(cluster.engine.process(portal.request(
             "GET", "/search", params={"q": "nobody"})))
@@ -87,8 +87,8 @@ class TestMyVideosEditDelete:
         bob = register_and_login(cluster, portal, "bob")
         vid = publish(cluster, portal, alice, "alice video")
         r = cluster.run(cluster.engine.process(portal.request(
-            "POST", "/edit", session=bob,
-            params={"id": vid, "title": "hacked"})))
+            "POST", f"/video/{vid}/edit", session=bob,
+            params={"title": "hacked"})))
         assert r.status == 403
 
     def test_edit_nothing_is_400(self):
@@ -96,7 +96,7 @@ class TestMyVideosEditDelete:
         session = register_and_login(cluster, portal)
         vid = publish(cluster, portal, session, "x")
         r = cluster.run(cluster.engine.process(portal.request(
-            "POST", "/edit", session=session, params={"id": vid})))
+            "POST", f"/video/{vid}/edit", session=session)))
         assert r.status == 400
 
     def test_delete_own_video(self):
@@ -104,7 +104,7 @@ class TestMyVideosEditDelete:
         session = register_and_login(cluster, portal)
         vid = publish(cluster, portal, session, "doomed")
         r = cluster.run(cluster.engine.process(portal.request(
-            "POST", "/delete", session=session, params={"id": vid})))
+            "POST", f"/video/{vid}/delete", session=session)))
         assert r.ok
         assert portal.db.table("videos").get(vid)["status"] == "removed"
         assert not portal.fs.namenode.listdir("/published")
@@ -115,7 +115,7 @@ class TestMyVideosEditDelete:
             "GET", "/my_videos", session=session)))
         assert r.body["videos"] == []
         r = cluster.run(cluster.engine.process(portal.request(
-            "GET", "/video", params={"id": vid})))
+            "GET", f"/video/{vid}")))
         assert r.status == 404
 
     def test_admin_can_delete_any(self):
@@ -124,7 +124,7 @@ class TestMyVideosEditDelete:
         user = register_and_login(cluster, portal, "user1")
         vid = publish(cluster, portal, user, "spam")
         r = cluster.run(cluster.engine.process(portal.request(
-            "POST", "/delete", session=admin, params={"id": vid})))
+            "POST", f"/video/{vid}/delete", session=admin)))
         assert r.ok
 
 
@@ -170,7 +170,7 @@ class TestSearchUx:
     def test_related_videos_on_player_page(self):
         cluster, portal, _, vids = self.setup_portal_with_corpus()
         r = cluster.run(cluster.engine.process(portal.request(
-            "GET", "/video", params={"id": vids[0]})))
+            "GET", f"/video/{vids[0]}")))
         related_ids = {v["id"] for v in r.body["related"]}
         assert related_ids
         assert vids[0] not in related_ids
@@ -186,7 +186,7 @@ class TestMultiRendition:
         for q in ("720p", "480p", "360p"):
             assert portal.fs.namenode.exists(f"/published/video-{vid}-{q}.flv")
         r = cluster.run(cluster.engine.process(portal.request(
-            "GET", "/video", params={"id": vid})))
+            "GET", f"/video/{vid}")))
         assert r.body["player"]["qualities"] == ["720p", "480p", "360p"]
 
     def test_low_quality_streams_fewer_bytes(self):
@@ -222,5 +222,5 @@ class TestInputValidation:
     def test_bad_video_id(self):
         cluster, portal = make_portal()
         r = cluster.run(cluster.engine.process(portal.request(
-            "GET", "/video", params={"id": "nan"})))
+            "GET", "/video/nan")))
         assert r.status == 400

@@ -34,7 +34,7 @@ class TestRenderPages:
                                            params={"q": "nobody"}))
         page = render_page(resp)
         assert "FIGURE 18" in page
-        assert f"/video?id={vid}" in page
+        assert f"/video/{vid}" in page
 
     def test_search_no_results_with_suggestion(self, portal_with_video):
         cluster, portal, _, _ = portal_with_video
@@ -46,8 +46,7 @@ class TestRenderPages:
 
     def test_player_page(self, portal_with_video):
         cluster, portal, _, vid = portal_with_video
-        resp = run(cluster, portal.request("GET", "/video",
-                                           params={"id": vid}))
+        resp = run(cluster, portal.request("GET", f"/video/{vid}"))
         page = render_page(resp)
         assert "FIGURE 23" in page
         assert "h264/flv" in page
