@@ -46,6 +46,7 @@ SUITES = {
     "reconcile": "bench_reconcile.py",
     "chaos": "bench_chaos.py",
     "overload": "bench_overload.py",
+    "failover": "bench_failover.py",
 }
 
 #: fresh speedup must be at least this fraction of the committed one

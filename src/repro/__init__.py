@@ -23,7 +23,12 @@ The package mirrors the paper's stack:
 from .chaos import ChaosMonkey, ChaosReport
 from .common.calibration import DEFAULT_CALIBRATION, Calibration
 from .hardware import Cluster
-from .stack import VideoCloud, build_video_cloud
+from .stack import (
+    VideoCloud,
+    build_ha_cloud,
+    build_video_cloud,
+    enable_namenode_ha,
+)
 
 __version__ = "1.0.0"
 
@@ -35,5 +40,7 @@ __all__ = [
     "DEFAULT_CALIBRATION",
     "VideoCloud",
     "__version__",
+    "build_ha_cloud",
     "build_video_cloud",
+    "enable_namenode_ha",
 ]

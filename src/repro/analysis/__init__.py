@@ -31,6 +31,14 @@ from .core import (
     load_modules,
     run_checks,
 )
+from .history import (
+    NOT_FOUND_ERRORS,
+    HistoryRecorder,
+    HistoryReport,
+    Operation,
+    Violation,
+    check_history,
+)
 from .layering import ALLOWED_IMPORTS
 
 __all__ = [
@@ -39,8 +47,14 @@ __all__ = [
     "ANALYZER_VERSION",
     "Check",
     "Finding",
+    "HistoryRecorder",
+    "HistoryReport",
     "ModuleInfo",
+    "NOT_FOUND_ERRORS",
+    "Operation",
+    "Violation",
     "analyze_paths",
+    "check_history",
     "load_modules",
     "rule_ids",
     "run_checks",

@@ -1,0 +1,240 @@
+"""Jepsen-style consistency checking for client operation histories.
+
+A :class:`HistoryRecorder` logs every client-visible operation as an
+invoke / ack / fail pair with simulated timestamps; :func:`check_history`
+then verifies the two guarantees the NameNode HA design promises:
+
+* **No lost acknowledged writes** -- a path whose last acknowledged
+  mutation was a write must exist in the final state (and vice versa for
+  deletes).
+* **No stale reads after acknowledgement** -- once a write has been
+  acknowledged, a read that *starts* later may not report the path as
+  missing, and an acknowledged read may not return a value older than the
+  latest acknowledged write that completed before the read began.
+
+Failed operations are genuinely ambiguous (they may or may not have taken
+effect -- linearizability permits either outcome), so the checker treats
+them as concurrency: any key touched by a failed mutation overlapping a
+read is exempt from the staleness rules for that window.
+
+This module is pure bookkeeping over recorded timestamps: it imports
+nothing from the simulation layers, so histories can be checked offline
+or inside benchmarks without layering concerns.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+#: error names a read raises when a path is absent (used to detect
+#: "read saw nothing" as opposed to infrastructure failures)
+NOT_FOUND_ERRORS = frozenset({"FileNotFoundInHdfs"})
+
+
+@dataclass
+class Operation:
+    """One client-visible operation, from invocation to completion."""
+
+    index: int
+    client: str
+    kind: str                  # write | read | delete
+    key: str
+    invoked: float
+    completed: float | None = None
+    outcome: str = "open"      # open | ok | fail
+    value: int | None = None
+    error: str | None = None
+
+    @property
+    def acked(self) -> bool:
+        return self.outcome == "ok"
+
+    @property
+    def failed(self) -> bool:
+        return self.outcome == "fail"
+
+
+class HistoryRecorder:
+    """Collects the operation history of one run.
+
+    *clock* supplies simulated time (pass ``lambda: engine.now``).  Attach
+    the same recorder to every client whose operations should be checked
+    together.
+    """
+
+    def __init__(self, clock: Callable[[], float]) -> None:
+        self._clock = clock
+        self.ops: list[Operation] = []
+
+    def invoke(self, client: str, kind: str, key: str,
+               *, value: int | None = None) -> Operation:
+        op = Operation(index=len(self.ops), client=client, kind=kind,
+                       key=key, invoked=self._clock(), value=value)
+        self.ops.append(op)
+        return op
+
+    def ack(self, op: Operation, *, value: int | None = None) -> None:
+        op.completed = self._clock()
+        op.outcome = "ok"
+        if value is not None:
+            op.value = value
+
+    def fail(self, op: Operation, error: str) -> None:
+        op.completed = self._clock()
+        op.outcome = "fail"
+        op.error = error
+
+    def acked_writes(self) -> list[Operation]:
+        return [op for op in self.ops if op.kind == "write" and op.acked]
+
+    def signature(self) -> str:
+        """Deterministic digest of the full history (for DET02-style checks)."""
+        digest = hashlib.sha256()
+        for op in self.ops:
+            digest.update(
+                f"{op.index}|{op.client}|{op.kind}|{op.key}|{op.invoked!r}|"
+                f"{op.completed!r}|{op.outcome}|{op.value!r}|{op.error!r}\n"
+                .encode())
+        return digest.hexdigest()
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One consistency anomaly found by :func:`check_history`."""
+
+    rule: str                  # lost-acked-write | stale-read | value-mismatch
+    key: str
+    detail: str
+    at: float
+
+
+@dataclass
+class HistoryReport:
+    """The checker's verdict over one recorded history."""
+
+    ops: int
+    acked_writes: int
+    acked_reads: int
+    failed_ops: int
+    violations: list[Violation] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "ops": self.ops,
+            "acked_writes": self.acked_writes,
+            "acked_reads": self.acked_reads,
+            "failed_ops": self.failed_ops,
+            "ok": self.ok,
+            "violations": [
+                {"rule": v.rule, "key": v.key, "detail": v.detail, "at": v.at}
+                for v in self.violations
+            ],
+        }
+
+
+def _last_acked_mutation(ops: list[Operation], key: str,
+                         before: float | None = None) -> Operation | None:
+    """The acked write/delete on *key* with the latest completion time
+    (ties broken by invocation order), optionally completed <= *before*."""
+    best: Operation | None = None
+    for op in ops:
+        if op.key != key or not op.acked or op.kind not in ("write", "delete"):
+            continue
+        if before is not None and (op.completed is None or op.completed > before):
+            continue
+        if best is None or (op.completed, op.index) > (best.completed, best.index):
+            best = op
+    return best
+
+
+def _ambiguous_overlap(ops: list[Operation], read: Operation) -> bool:
+    """Whether a failed or concurrent mutation on the read's key makes any
+    outcome of the read legal (linearizability treats an unacknowledged
+    mutation as free to take effect at any point, or never)."""
+    for op in ops:
+        if op.key != read.key or op.kind not in ("write", "delete"):
+            continue
+        if op is read:
+            continue
+        end = op.completed
+        if op.failed or op.outcome == "open":
+            return True
+        # acked mutation concurrent with the read window
+        read_end = read.completed if read.completed is not None else read.invoked
+        if end is not None and op.invoked <= read_end and end >= read.invoked:
+            return True
+    return False
+
+
+def check_history(history: HistoryRecorder,
+                  *, final_keys: "set[str] | None" = None) -> HistoryReport:
+    """Check *history* for acked-write loss and stale reads.
+
+    *final_keys* is the set of paths that exist at the end of the run
+    (pass ``set(client.listdir("/"))`` or equivalent); omit it to skip
+    the final-state rule and check only the read/write timeline.
+    """
+    ops = history.ops
+    report = HistoryReport(
+        ops=len(ops),
+        acked_writes=sum(1 for o in ops if o.kind == "write" and o.acked),
+        acked_reads=sum(1 for o in ops if o.kind == "read" and o.acked),
+        failed_ops=sum(1 for o in ops if o.failed),
+    )
+
+    # Rule 1: lost acknowledged writes (vs the observed final state).
+    if final_keys is not None:
+        for key in sorted({o.key for o in ops}):
+            last = _last_acked_mutation(ops, key)
+            if last is None:
+                continue
+            ambiguous = any(
+                o.key == key and o.kind in ("write", "delete")
+                and (o.failed or o.outcome == "open")
+                and (o.completed is None or last.completed is None
+                     or o.completed >= last.completed)
+                for o in ops)
+            if ambiguous:
+                continue  # a later unacked mutation may legally have landed
+            if last.kind == "write" and key not in final_keys:
+                report.violations.append(Violation(
+                    "lost-acked-write", key,
+                    f"write acked at t={last.completed} but {key} is absent "
+                    "from the final state", last.completed or 0.0))
+            elif last.kind == "delete" and key in final_keys:
+                report.violations.append(Violation(
+                    "lost-acked-write", key,
+                    f"delete acked at t={last.completed} but {key} survives "
+                    "in the final state", last.completed or 0.0))
+
+    # Rules 2+3: every read against the acked timeline.
+    for read in ops:
+        if read.kind != "read" or read.outcome == "open":
+            continue
+        if _ambiguous_overlap(ops, read):
+            continue
+        expected = _last_acked_mutation(ops, read.key, before=read.invoked)
+        if expected is None or expected.kind != "write":
+            continue  # nothing provably present when the read began
+        if read.failed:
+            if read.error in NOT_FOUND_ERRORS:
+                report.violations.append(Violation(
+                    "stale-read", read.key,
+                    f"read invoked at t={read.invoked} saw no file, but a "
+                    f"write was acked at t={expected.completed}",
+                    read.invoked))
+            continue  # other failures (timeouts, partitions) are not staleness
+        if (read.value is not None and expected.value is not None
+                and read.value != expected.value):
+            report.violations.append(Violation(
+                "value-mismatch", read.key,
+                f"read returned {read.value} but the latest acked write "
+                f"(t={expected.completed}) wrote {expected.value}",
+                read.invoked))
+    return report

@@ -10,7 +10,8 @@ the stack of the paper, bottom-up::
     hardware                        hosts, disks, network, cluster
     virt                            hypervisor, images, dirty-page model
     drivers                         ONE's im/tm/vmm driver shims
-    hdfs                            namenode / datanodes / placement
+    hdfs                            namenode / datanodes / placement / HA
+                                    pair over the quorum journal (``ha``)
     one                             OpenNebula core, scheduler, FT, CLI
     mapreduce                       jobtracker / tasktrackers over HDFS
     fusehdfs, video, search         the PaaS/SaaS middle tier
@@ -20,7 +21,9 @@ the stack of the paper, bottom-up::
     stack, bench                    top-level assembly and workloads
 
 ``analysis`` (this package) sits outside the runtime stack and may only
-reach ``common``.  Imports guarded by ``if TYPE_CHECKING:`` are ignored
+reach ``common`` -- that covers both the static checkers and the runtime
+consistency checker (``history``), which sees the system purely through
+recorded operations.  Imports guarded by ``if TYPE_CHECKING:`` are ignored
 -- they never execute, so they cannot create runtime layering cycles.
 
 Adding an edge here is an architectural decision: keep the graph a DAG

@@ -6,11 +6,14 @@ from .monkey import ChaosMonkey
 from .report import ChaosReport, FaultRecord, RecoveryRecord, StormStats
 from .scenarios import (
     DiskSlowdown,
+    FailoverFlap,
     HostCrash,
+    KillActiveNameNode,
     LinkCut,
     LinkDegradation,
     NetworkPartition,
     OverloadStorm,
+    PartitionActiveNameNode,
     ReconcileStorm,
     Scenario,
     VmKill,
@@ -20,12 +23,15 @@ __all__ = [
     "ChaosMonkey",
     "ChaosReport",
     "DiskSlowdown",
+    "FailoverFlap",
     "FaultRecord",
     "HostCrash",
+    "KillActiveNameNode",
     "LinkCut",
     "LinkDegradation",
     "NetworkPartition",
     "OverloadStorm",
+    "PartitionActiveNameNode",
     "ReconcileStorm",
     "RecoveryRecord",
     "Scenario",

@@ -23,6 +23,7 @@ from .report import ChaosReport, StormStats
 
 if TYPE_CHECKING:  # pragma: no cover - annotations only
     from ..hdfs import Hdfs
+    from ..hdfs.ha import HaNameNodePair
     from ..mapreduce import FaultModel
     from ..one import OneVm, OpenNebula
     from ..sim import Process
@@ -49,6 +50,7 @@ class ChaosMonkey:
         cloud: OpenNebula | None = None,
         fs: Hdfs | None = None,
         portal: VideoPortal | None = None,
+        ha: HaNameNodePair | None = None,
         rng: RngStream | None = None,
         report: ChaosReport | None = None,
     ) -> None:
@@ -58,6 +60,7 @@ class ChaosMonkey:
         self.cloud = cloud
         self.fs = fs
         self.portal = portal
+        self.ha = ha
         self.rng = rng or cluster.rng.child("chaos")
         self.report = report or ChaosReport()
         #: extra storm request classes (kind -> factory) merged over the
@@ -124,6 +127,33 @@ class ChaosMonkey:
         self.log.emit("chaos", "chaos_disk_restore", f"{name} disk nominal",
                       host=name)
         self.cluster.host(name).disk.set_slowdown(1.0)
+
+    def _ha_pair(self) -> "HaNameNodePair":
+        ha = self.ha or (self.fs.ha if self.fs is not None else None)
+        if ha is None:
+            raise ConfigError("this fault needs an HA NameNode pair")
+        return ha
+
+    def crash_active_namenode(self) -> str:
+        """Crash whatever host is the *current* active NameNode.
+
+        Resolved at fire time, not at scenario-construction time, so a
+        flapping scenario keeps chasing the role as it moves.  Returns
+        the crashed host name (for the matching recovery).
+        """
+        target = self._ha_pair().active_host
+        self.crash_host(target)
+        return target
+
+    def partition_active_namenode(self) -> str:
+        """Isolate the current active NameNode's host from the fabric.
+
+        Unlike a crash the deposed active stays up and keeps trying to
+        write -- this is the scenario that exercises fencing epochs.
+        """
+        target = self._ha_pair().active_host
+        self.partition([target])
+        return target
 
     def kill_vm(self, vm_name: str) -> None:
         """Kill one VM through the cloud controller; watch its resurrection."""
@@ -366,13 +396,23 @@ class ChaosMonkey:
         """Watch for HDFS returning to full replication with no missing blocks."""
         if self.fs is None:
             raise ConfigError("watch_hdfs needs an Hdfs instance")
-        nn = self.fs.namenode
+        fs = self.fs
 
         def healthy() -> bool:
+            # resolve the NameNode each poll: after an HA failover (or a
+            # restart) the authoritative replica map lives on a new object
+            nn = fs.namenode
             return (nn.under_replicated_count() == 0
                     and not nn.missing_blocks())
 
         return self.watch("hdfs", "replication", healthy, since=since, **kw)
+
+    def watch_namenode(self, *, since: float | None = None,
+                       **kw: Any) -> Process:
+        """Watch for the HA pair serving writes again (post-failover)."""
+        pair = self._ha_pair()
+        return self.watch("hdfs", "namenode", pair.active_serving,
+                          since=since, **kw)
 
     def watch_vm(self, vm: OneVm, *, since: float | None = None,
                  **kw: Any) -> Process:

@@ -260,6 +260,95 @@ class ReconcileStorm:
         yield engine.all_of(procs)
 
 
+@dataclass(frozen=True)
+class KillActiveNameNode:
+    """Crash whichever host is the active NameNode at *at*.
+
+    The target is resolved when the fault fires (not when the scenario is
+    built), so this composes with earlier failovers.  With
+    *recover_after* the host reboots -- by then the standby should hold
+    the active role and the rebooted node rejoins as the new standby.
+    """
+
+    at: float
+    recover_after: float | None = None
+
+    kind = "nn_kill_active"
+
+    def __post_init__(self) -> None:
+        _check_at(self.at)
+        if self.recover_after is not None and self.recover_after <= 0:
+            raise ConfigError("recover_after must be > 0")
+
+    def run(self, monkey: "ChaosMonkey") -> Generator:
+        yield monkey.engine.timeout(self.at)
+        target = monkey.crash_active_namenode()
+        if self.recover_after is not None:
+            yield monkey.engine.timeout(self.recover_after)
+            monkey.recover_host(target)
+
+
+@dataclass(frozen=True)
+class PartitionActiveNameNode:
+    """Isolate the active NameNode's host from the fabric at *at*.
+
+    The nastier failover: the deposed active stays alive and keeps trying
+    to commit, so split-brain prevention rests entirely on the journal
+    quorum's fencing epochs.  Heals after *heal_after* seconds.
+    """
+
+    at: float
+    heal_after: float | None = None
+
+    kind = "nn_partition_active"
+
+    def __post_init__(self) -> None:
+        _check_at(self.at)
+        if self.heal_after is not None and self.heal_after <= 0:
+            raise ConfigError("heal_after must be > 0")
+
+    def run(self, monkey: "ChaosMonkey") -> Generator:
+        yield monkey.engine.timeout(self.at)
+        monkey.partition_active_namenode()
+        if self.heal_after is not None:
+            yield monkey.engine.timeout(self.heal_after)
+            monkey.heal_partition()
+
+
+@dataclass(frozen=True)
+class FailoverFlap:
+    """Repeatedly crash whoever is active, *cycles* times, *interval* apart.
+
+    Each cycle crashes the current active, waits half the interval,
+    reboots it, and waits the other half -- so the role ping-pongs across
+    the pair and every promotion must fence the previous epoch.  The
+    failover controller's ``min_interval`` guard is what keeps this from
+    thrashing; size *interval* above it to let each cycle complete.
+    """
+
+    at: float
+    cycles: int = 2
+    interval: float = 60.0
+
+    kind = "nn_failover_flap"
+
+    def __post_init__(self) -> None:
+        _check_at(self.at)
+        if self.cycles < 1:
+            raise ConfigError("cycles must be >= 1")
+        if self.interval <= 0:
+            raise ConfigError("interval must be > 0")
+
+    def run(self, monkey: "ChaosMonkey") -> Generator:
+        yield monkey.engine.timeout(self.at)
+        for _ in range(self.cycles):
+            target = monkey.crash_active_namenode()
+            yield monkey.engine.timeout(self.interval / 2)
+            monkey.recover_host(target)
+            yield monkey.engine.timeout(self.interval / 2)
+
+
 Scenario = (HostCrash | VmKill | LinkCut | NetworkPartition
             | LinkDegradation | DiskSlowdown | OverloadStorm
-            | ReconcileStorm)
+            | ReconcileStorm | KillActiveNameNode | PartitionActiveNameNode
+            | FailoverFlap)

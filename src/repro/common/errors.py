@@ -96,6 +96,23 @@ class SafeModeError(HdfsError):
     """Mutation attempted while the NameNode is in safe mode."""
 
 
+class FencedError(HdfsError):
+    """A journal write carried a fencing epoch that has been superseded.
+
+    Raised to a deposed active NameNode (and through it, to clients)
+    once a newer writer has promised a higher epoch to a majority of
+    journal nodes -- the write provably cannot commit.
+    """
+
+
+class QuorumLostError(HdfsError):
+    """Fewer than a majority of journal nodes acknowledged an operation."""
+
+
+class StandbyError(HdfsError):
+    """The contacted NameNode cannot serve: down, deposed, or standby."""
+
+
 class MapReduceError(ReproError):
     """Job submission/execution failure in the MapReduce layer."""
 

@@ -14,6 +14,14 @@ from .block import Block, BlockId, split_into_blocks
 from .client import RPC_COST, HdfsClient
 from .datanode import DataNode
 from .fs import Hdfs
+from .ha import (
+    DualNameNodeView,
+    HaNameNodePair,
+    JournalEntry,
+    JournalNode,
+    JournalQuorum,
+    QuorumWriter,
+)
 from .journal import (
     EditLog,
     EditOp,
@@ -32,16 +40,22 @@ __all__ = [
     "Block",
     "BlockId",
     "DataNode",
+    "DualNameNodeView",
     "EditLog",
     "EditOp",
     "FsImage",
     "FileHealth",
     "FsckReport",
+    "HaNameNodePair",
     "Hdfs",
     "HdfsClient",
     "INode",
+    "JournalEntry",
+    "JournalNode",
+    "JournalQuorum",
     "NameNode",
     "PlacementPolicy",
+    "QuorumWriter",
     "RPC_COST",
     "SafeModeController",
     "TRASH_ROOT",

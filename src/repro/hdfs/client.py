@@ -4,22 +4,44 @@ A client is bound to the host it runs on: reads prefer a local replica
 (Hadoop's read locality), writes place the first replica locally when the
 writer host is also a DataNode.  This is exactly the property MapReduce
 exploits ("calculation migration to the storage method", Section III.B).
+
+In HA mode (``fs.ha`` set) every metadata RPC re-resolves the current
+active NameNode and retries through failovers: :class:`StandbyError`,
+:class:`FencedError` and :class:`QuorumLostError` are transient -- the
+failover controller will promote the standby and the retry lands on the
+new active.  Outcomes feed a shared NameNode circuit breaker so a dead
+active is probed, not hammered.  Without HA the code path is identical
+to the classic client (no breaker, no retry, same RPC costs).
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Generator
+from typing import TYPE_CHECKING, Callable, Generator
 
-from ..common.errors import HdfsError, PartitionError
-from .block import split_into_blocks
-from .namenode import INode
+from ..common.errors import (
+    FencedError,
+    HdfsError,
+    PartitionError,
+    QuorumLostError,
+    StandbyError,
+)
+from .block import Block, BlockId, split_into_blocks
+from .namenode import INode, NameNode
 
 if TYPE_CHECKING:  # pragma: no cover
+    from ..analysis.history import HistoryRecorder
     from ..resilience import Deadline
     from .fs import Hdfs
 
 #: fixed cost of one client<->NameNode metadata RPC, seconds
 RPC_COST = 0.002
+
+#: errors that mean "the active NameNode moved (or is moving)" -- retryable
+FAILOVER_RETRYABLE = (FencedError, QuorumLostError, StandbyError)
+#: pause between failover retries, seconds
+FAILOVER_RETRY_WAIT = 1.0
+#: give up after this many attempts of one metadata RPC
+FAILOVER_RETRY_LIMIT = 120
 
 
 class HdfsClient:
@@ -30,11 +52,72 @@ class HdfsClient:
     instance, replica selection skips nodes whose breaker is open, and an
     optional :class:`~repro.resilience.Deadline` stops multi-block
     operations once the caller's budget is spent.
+
+    Attach a :class:`repro.analysis.history.HistoryRecorder` to
+    ``recorder`` to log every client-visible operation (invoke / ack /
+    fail with simulated timestamps) for linearizability checking.
     """
 
     def __init__(self, fs: "Hdfs", host_name: str) -> None:
         self.fs = fs
         self.host_name = host_name
+        self.recorder: "HistoryRecorder | None" = None
+
+    # -- NameNode RPC plumbing ---------------------------------------------------
+
+    def _read_nn(self) -> NameNode:
+        """The NameNode to serve a metadata read right now."""
+        fs = self.fs
+        if fs.ha is not None:
+            return fs.ha.read_namenode(self.host_name)
+        return fs.namenode
+
+    def _meta_rpc(self, call: Callable, *, cost: float = RPC_COST,
+                  read: bool = False) -> Generator:
+        """Process: one metadata RPC with HA failover retry.
+
+        *call* receives ``(namenode, attempt)`` and runs synchronously --
+        the simulation executes it atomically, so a returned result means
+        the op committed and an exception means it provably did not (the
+        quorum protocol undoes failed appends).  That atomicity is what
+        lets the retry loop stay simple without risking duplicated ops.
+        """
+        fs = self.fs
+        engine = fs.engine
+
+        def _rpc():
+            attempt = 0
+            while True:
+                attempt += 1
+                breaker = fs.namenode_breaker() if fs.ha is not None else None
+                if breaker is not None and not breaker.allow():
+                    if attempt >= FAILOVER_RETRY_LIMIT:
+                        raise StandbyError(
+                            "namenode breaker open; retries exhausted")
+                    yield engine.timeout(FAILOVER_RETRY_WAIT)
+                    continue
+                if cost:
+                    yield engine.timeout(cost)
+                try:
+                    if read and fs.ha is not None:
+                        nn = fs.ha.read_namenode(self.host_name)
+                    else:
+                        if fs.ha is not None:
+                            fs.check_namenode(self.host_name)
+                        nn = fs.namenode
+                    result = call(nn, attempt)
+                except FAILOVER_RETRYABLE:
+                    if breaker is not None:
+                        breaker.record_failure()
+                    if fs.ha is None or attempt >= FAILOVER_RETRY_LIMIT:
+                        raise
+                    yield engine.timeout(FAILOVER_RETRY_WAIT)
+                    continue
+                if breaker is not None:
+                    breaker.record_success()
+                return result
+
+        return _rpc()
 
     # -- writes ---------------------------------------------------------------
 
@@ -52,7 +135,6 @@ class HdfsClient:
                replication: int | None,
                deadline: "Deadline | None" = None) -> Generator:
         fs = self.fs
-        nn = fs.namenode
         engine = fs.engine
         repl = replication if replication is not None else fs.replication
         metrics = fs.cluster.metrics
@@ -66,59 +148,100 @@ class HdfsClient:
 
         def _flow():
             t0 = engine.now
-            yield engine.timeout(RPC_COST)
-            nn.create_file(path, repl)
-            blocks = split_into_blocks(nn.next_block_id, data, length, fs.block_size)
-            for block in blocks:
-                if deadline is not None:
-                    deadline.check(f"writing {path}")
-                yield engine.timeout(RPC_COST)
-                targets = nn.add_block(path, block, self.host_name)
-                # Client streams to the first DataNode; it forwards down the
-                # pipeline while writing (store_block overlaps the hops).
-                # If a pipeline node dies mid-write, rebuild the pipeline from
-                # the survivors and re-stream (DFSClient pipeline recovery).
-                while True:
-                    first, rest = targets[0], targets[1:]
-                    try:
-                        yield fs.cluster.network.transfer(
-                            self.host_name, first, block.length)
-                        yield engine.process(
-                            fs.datanode(first).store_block(block, rest))
-                    except (HdfsError, PartitionError) as exc:
-                        survivors = [
-                            t for t in targets
-                            if fs.datanodes[t].alive
-                            and t not in nn.dead_datanodes
-                            and fs.cluster.network.reachable(self.host_name, t)
-                        ]
-                        for lost in targets:
-                            if lost not in survivors:
-                                fs.breaker(lost).record_failure()
-                        if not survivors or survivors == targets:
-                            raise
-                        fs.cluster.log.emit(
-                            "hdfs.client", "pipeline_recovered",
-                            f"{path}: pipeline {targets} -> {survivors} "
-                            f"after {type(exc).__name__}",
-                            path=path, block=str(block.block_id),
-                            survivors=list(survivors),
-                        )
-                        m_recover.inc()
-                        targets = survivors
-                        continue
-                    fs.breaker(first).record_success()
-                    break
-                if len(targets) < repl:
-                    # short pipeline: let the replication monitor top it up
-                    nn.under_replicated.append(block.block_id)
-            nn.complete_file(path)
+            rec = self.recorder
+            hop = (rec.invoke(self.host_name, "write", path, value=length)
+                   if rec is not None else None)
+            try:
+                result = yield from self._write_inner(
+                    path, data, length, repl, deadline, m_recover)
+            except BaseException as exc:
+                if hop is not None:
+                    rec.fail(hop, type(exc).__name__)
+                raise
             m_bytes.inc(length)
             m_seconds.observe(engine.now - t0)
-            return nn.get_file(path)
+            if hop is not None:
+                rec.ack(hop, value=length)
+            return result
 
         return fs.cluster.tracer.trace(
             "hdfs.write", _flow(), source="hdfs", path=path, bytes=length)
+
+    def _write_inner(self, path: str, data: bytes | None, length: int,
+                     repl: int, deadline: "Deadline | None",
+                     m_recover) -> Generator:
+        fs = self.fs
+        engine = fs.engine
+
+        def _create(nn: NameNode, attempt: int):
+            if fs.ha is not None and attempt > 1:
+                existing = nn.namespace.get(path)
+                if (existing is not None and not existing.complete
+                        and not existing.blocks):
+                    return existing  # our create landed just before a failover
+            return nn.create_file(path, repl)
+
+        yield from self._meta_rpc(_create)
+        if fs.ha is None:
+            # classic mode: mint every block id up front, as ever
+            pending = split_into_blocks(
+                fs.namenode.next_block_id, data, length, fs.block_size)
+        else:
+            # HA mode: ids are minted inside the add_block RPC so a retry
+            # after failover mints from the *new* active's counter
+            pending = split_into_blocks(lambda: -1, data, length, fs.block_size)
+        for proto in pending:
+            if deadline is not None:
+                deadline.check(f"writing {path}")
+
+            def _add(nn: NameNode, attempt: int, proto=proto):
+                block = proto if fs.ha is None else Block(
+                    BlockId(nn.next_block_id()), proto.length, proto.payload)
+                return block, nn.add_block(path, block, self.host_name)
+
+            block, targets = yield from self._meta_rpc(_add)
+            # Client streams to the first DataNode; it forwards down the
+            # pipeline while writing (store_block overlaps the hops).
+            # If a pipeline node dies mid-write, rebuild the pipeline from
+            # the survivors and re-stream (DFSClient pipeline recovery).
+            while True:
+                first, rest = targets[0], targets[1:]
+                try:
+                    yield fs.cluster.network.transfer(
+                        self.host_name, first, block.length)
+                    yield engine.process(
+                        fs.datanode(first).store_block(block, rest))
+                except (HdfsError, PartitionError) as exc:
+                    nn = fs.namenode
+                    survivors = [
+                        t for t in targets
+                        if fs.datanodes[t].alive
+                        and t not in nn.dead_datanodes
+                        and fs.cluster.network.reachable(self.host_name, t)
+                    ]
+                    for lost in targets:
+                        if lost not in survivors:
+                            fs.breaker(lost).record_failure()
+                    if not survivors or survivors == targets:
+                        raise
+                    fs.cluster.log.emit(
+                        "hdfs.client", "pipeline_recovered",
+                        f"{path}: pipeline {targets} -> {survivors} "
+                        f"after {type(exc).__name__}",
+                        path=path, block=str(block.block_id),
+                        survivors=list(survivors),
+                    )
+                    m_recover.inc()
+                    targets = survivors
+                    continue
+                fs.breaker(first).record_success()
+                break
+            if len(targets) < repl:
+                # short pipeline: let the replication monitor top it up
+                fs.namenode.under_replicated.append(block.block_id)
+        yield from self._meta_rpc(
+            lambda nn, attempt: nn.complete_file(path), cost=0.0)
+        return fs.namenode.get_file(path)
 
     # -- reads ------------------------------------------------------------------
 
@@ -138,7 +261,6 @@ class HdfsClient:
                   deadline: "Deadline | None" = None) -> Generator:
         """Process: read all blocks; returns bytes (real) or total length (synthetic)."""
         fs = self.fs
-        nn = fs.namenode
         engine = fs.engine
         metrics = fs.cluster.metrics
         m_seconds = metrics.histogram(
@@ -148,54 +270,73 @@ class HdfsClient:
 
         def _flow():
             t0 = engine.now
-            yield engine.timeout(RPC_COST)
-            inode = nn.get_file(path)
-            chunks: list[bytes] = []
-            synthetic = False
-            for block in inode.blocks:
-                if deadline is not None:
-                    deadline.check(f"reading {path}")
-                # try replicas in preference order; a checksum failure on
-                # one replica (reported to the NameNode by the DataNode)
-                # falls through to the next -- real DFSClient behaviour
-                got = None
-                last_error: HdfsError | None = None
-                while got is None:
-                    locs = nn.locations(block.block_id)
-                    if not locs:
-                        raise last_error or HdfsError(
-                            f"{path}: {block.block_id} has no live replica")
-                    src = self._pick_replica(locs)
-                    try:
-                        got = yield engine.process(
-                            fs.datanode(src).serve_block(
-                                block.block_id, self.host_name)
-                        )
-                        fs.breaker(src).record_success()
-                    except HdfsError as exc:
-                        last_error = exc
-                        fs.breaker(src).record_failure()
-                        # corrupt replicas are dropped from the block map by
-                        # report_corrupt; a dead node needs manual exclusion
-                        if src in nn.locations(block.block_id):
-                            raise
-                if got.payload is None:
-                    synthetic = True
-                else:
-                    chunks.append(got.payload)
+            rec = self.recorder
+            hop = (rec.invoke(self.host_name, "read", path)
+                   if rec is not None else None)
+            try:
+                inode, result = yield from self._read_inner(path, deadline)
+            except BaseException as exc:
+                if hop is not None:
+                    rec.fail(hop, type(exc).__name__)
+                raise
             m_bytes.inc(inode.length)
             m_seconds.observe(engine.now - t0)
-            if synthetic:
-                return inode.length
-            return b"".join(chunks)
+            if hop is not None:
+                rec.ack(hop, value=inode.length)
+            return result
 
         return fs.cluster.tracer.trace(
             "hdfs.read", _flow(), source="hdfs", path=path)
 
+    def _read_inner(self, path: str,
+                    deadline: "Deadline | None") -> Generator:
+        fs = self.fs
+        engine = fs.engine
+        inode = yield from self._meta_rpc(
+            lambda nn, attempt: nn.get_file(path), read=True)
+        chunks: list[bytes] = []
+        synthetic = False
+        for block in inode.blocks:
+            if deadline is not None:
+                deadline.check(f"reading {path}")
+            # try replicas in preference order; a checksum failure on
+            # one replica (reported to the NameNode by the DataNode)
+            # falls through to the next -- real DFSClient behaviour
+            got = None
+            last_error: HdfsError | None = None
+            while got is None:
+                nn = self._read_nn()
+                locs = nn.locations(block.block_id)
+                if not locs:
+                    raise last_error or HdfsError(
+                        f"{path}: {block.block_id} has no live replica")
+                src = self._pick_replica(locs)
+                try:
+                    got = yield engine.process(
+                        fs.datanode(src).serve_block(
+                            block.block_id, self.host_name)
+                    )
+                    fs.breaker(src).record_success()
+                except HdfsError as exc:
+                    last_error = exc
+                    fs.breaker(src).record_failure()
+                    # corrupt replicas are dropped from the block map by
+                    # report_corrupt; a dead node needs manual exclusion
+                    if src in self._read_nn().locations(block.block_id):
+                        raise
+            if got.payload is None:
+                synthetic = True
+            else:
+                chunks.append(got.payload)
+        if synthetic:
+            return inode, inode.length
+        return inode, b"".join(chunks)
+
     def preferred_block_host(self, path: str, block_index: int) -> str:
         """Where block *block_index* of *path* should be read from (locality)."""
-        inode = self.fs.namenode.get_file(path)
-        locs = self.fs.namenode.locations(inode.blocks[block_index].block_id)
+        nn = self._read_nn()
+        inode = nn.get_file(path)
+        locs = nn.locations(inode.blocks[block_index].block_id)
         if not locs:
             raise HdfsError(f"{path}: block {block_index} has no live replica")
         return self.host_name if self.host_name in locs else sorted(locs)[0]
@@ -203,13 +344,25 @@ class HdfsClient:
     # -- metadata -----------------------------------------------------------------
 
     def exists(self, path: str) -> bool:
-        return self.fs.namenode.exists(path)
+        return self._read_nn().exists(path)
 
     def stat(self, path: str) -> INode:
-        return self.fs.namenode.get_file(path)
+        return self._read_nn().get_file(path)
 
     def listdir(self, prefix: str) -> list[str]:
-        return self.fs.namenode.listdir(prefix)
+        return self._read_nn().listdir(prefix)
 
     def delete(self, path: str) -> None:
-        self.fs.namenode.delete(path)
+        rec = self.recorder
+        hop = (rec.invoke(self.host_name, "delete", path)
+               if rec is not None else None)
+        try:
+            if self.fs.ha is not None:
+                self.fs.check_namenode(self.host_name)
+            self.fs.namenode.delete(path)
+        except BaseException as exc:
+            if hop is not None:
+                rec.fail(hop, type(exc).__name__)
+            raise
+        if hop is not None:
+            rec.ack(hop)

@@ -90,12 +90,16 @@ class DataNode:
 
         return _recv()
 
-    def serve_block(self, block_id: BlockId, dst_host: str) -> Generator:
+    def serve_block(self, block_id: BlockId, dst_host: str,
+                    *, allow_corrupt: bool = False) -> Generator:
         """Process: read a block from disk and ship it to *dst_host*.
 
         A corrupted replica fails its checksum on read: the DataNode
         reports itself to the NameNode and the read errors out so the
-        client can retry another replica (real HDFS behaviour).
+        client can retry another replica (real HDFS behaviour).  With
+        *allow_corrupt* the checksum failure is tolerated and the damaged
+        bytes ship anyway -- the salvage path for a block whose every
+        replica is corrupt.
         """
         engine = self.host.engine
         fs = self.namenode.fs
@@ -107,7 +111,7 @@ class DataNode:
             if block is None:
                 raise HdfsError(f"{self.name} has no replica of {block_id}")
             yield engine.process(self.host.disk.read(block.length))
-            if block_id in self.corrupted:
+            if block_id in self.corrupted and not allow_corrupt:
                 self.namenode.report_corrupt(self.name, block_id)
                 raise HdfsError(
                     f"{self.name}: checksum failure on {block_id}")

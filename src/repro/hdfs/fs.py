@@ -6,13 +6,18 @@ Mirrors the deployment of Figure 11: the NameNode runs on a master host
 
 from __future__ import annotations
 
-from ..common.errors import ConfigError
+from typing import TYPE_CHECKING
+
+from ..common.errors import ConfigError, StandbyError
 from ..hardware import Cluster
 from ..resilience import CircuitBreaker
 from .client import HdfsClient
 from .datanode import DataNode
 from .namenode import NameNode
 from .placement import PlacementPolicy
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .ha import HaNameNodePair
 
 
 class Hdfs:
@@ -54,6 +59,9 @@ class Hdfs:
             )
 
         self.namenode = NameNode(self, PlacementPolicy(cluster.rng.child("hdfs")))
+        #: set by :class:`repro.hdfs.ha.HaNameNodePair` when HA is enabled;
+        #: None means the classic single-NameNode deployment
+        self.ha: HaNameNodePair | None = None
         #: per-DataNode circuit breakers: clients eject a node that keeps
         #: failing reads/writes instead of queueing on it (lazy, see breaker())
         self._breakers: dict[str, CircuitBreaker] = {}
@@ -68,6 +76,8 @@ class Hdfs:
         dn = DataNode(self.cluster.host(name), self.namenode)
         self.datanodes[name] = dn
         self.namenode.register_datanode(name)
+        if self.ha is not None:
+            self.ha.on_datanode_enrolled(name, dn)
         # a whole-host crash (chaos layer) takes its DataNode with it
         host = self.cluster.host(name)
         host.on_fail(lambda h, dn=dn: dn.kill())
@@ -118,6 +128,8 @@ class Hdfs:
         dn.alive = False
         dn.retired = True
         self.namenode.finish_decommission(name)
+        if self.ha is not None:
+            self.ha.on_datanode_removed(name)
         del self.datanodes[name]
         self._breakers.pop(name, None)
         self.cluster.log.emit("hdfs", "datanode_removed",
@@ -137,6 +149,8 @@ class Hdfs:
         dn.kill()
         dn.retired = True
         self.namenode.finish_decommission(name)
+        if self.ha is not None:
+            self.ha.on_datanode_removed(name)
         self._breakers.pop(name, None)
         self.cluster.log.emit("hdfs", "datanode_dropped",
                               f"datanode {name} hard-removed", datanode=name)
@@ -152,6 +166,25 @@ class Hdfs:
     def client(self, host_name: str | None = None) -> HdfsClient:
         """A client running on *host_name* (default: the NameNode host)."""
         return HdfsClient(self, host_name or self.namenode_host)
+
+    def check_namenode(self, client_host: str) -> None:
+        """HA only: raise :class:`StandbyError` when the active cannot take
+        a write from *client_host* (host dead or network-unreachable)."""
+        if self.ha is None:
+            return
+        if not self.cluster.host(self.namenode_host).alive:
+            raise StandbyError(f"active namenode {self.namenode_host} is down")
+        if not self.cluster.network.reachable(client_host, self.namenode_host):
+            raise StandbyError(
+                f"active namenode {self.namenode_host} unreachable "
+                f"from {client_host}")
+
+    def read_namenode(self, client_host: str | None = None) -> NameNode:
+        """The NameNode to read from: the active, or (HA only) a caught-up
+        standby when the active is gone."""
+        if self.ha is None:
+            return self.namenode
+        return self.ha.read_namenode(client_host)
 
     def breaker(self, datanode_name: str) -> CircuitBreaker:
         """The shared circuit breaker guarding one DataNode.
@@ -171,6 +204,24 @@ class Hdfs:
                 rng=self._breaker_rng,
                 metrics=self.cluster.metrics)
             self._breakers[datanode_name] = found
+        return found
+
+    def namenode_breaker(self) -> CircuitBreaker:
+        """The shared breaker guarding NameNode metadata RPCs (HA mode).
+
+        Keyed under a name no DataNode can take, so it shares the breaker
+        table without colliding with :meth:`breaker` entries.
+        """
+        found = self._breakers.get("__namenode__")
+        if found is None:
+            cal = self.cluster.cal.hadoop
+            found = CircuitBreaker(
+                "namenode", lambda: self.engine.now,
+                failure_threshold=3,
+                recovery_timeout=cal.heartbeat_interval,
+                rng=self._breaker_rng,
+                metrics=self.cluster.metrics)
+            self._breakers["__namenode__"] = found
         return found
 
     # -- background services -----------------------------------------------------------
@@ -195,6 +246,8 @@ class Hdfs:
             dn.stop_heartbeats()
             dn.stop_block_scanner()
         self.namenode.stop_monitor()
+        if self.ha is not None:
+            self.ha.stop()
 
     def kill_datanode(self, name: str) -> None:
         """Failure injection: the node stops heart-beating and serving."""

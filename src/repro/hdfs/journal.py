@@ -17,7 +17,7 @@ exact recovery path:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Generator
 
 from ..common.errors import HdfsError
@@ -30,22 +30,33 @@ from .placement import PlacementPolicy
 
 @dataclass(frozen=True)
 class EditOp:
-    """One journalled mutation."""
+    """One journalled mutation.
+
+    *txid* is stamped by :meth:`EditLog.append` (or by the HA quorum
+    writer); ``-1`` means "not yet journalled".
+    """
 
     op: str                      # create | add_block | complete | delete
     path: str
     replication: int = 0
     block_id: int = -1
     length: int = 0
+    txid: int = -1
 
 
 @dataclass
 class FsImage:
-    """A namespace snapshot (no block locations, as in real HDFS)."""
+    """A namespace snapshot (no block locations, as in real HDFS).
+
+    *last_txid* records how far into the edit stream the snapshot
+    reaches, so replaying a log that still contains checkpointed ops
+    never applies them twice.
+    """
 
     files: dict[str, tuple[int, list[tuple[int, int]], bool]] = field(
         default_factory=dict)   # path -> (replication, [(bid, length)], complete)
     next_block_id: int = 0
+    last_txid: int = 0
 
     @property
     def file_count(self) -> int:
@@ -53,24 +64,48 @@ class FsImage:
 
 
 class EditLog:
-    """Append-only journal attached to a NameNode."""
+    """Append-only journal attached to a NameNode.
 
-    def __init__(self) -> None:
+    Ops are stamped with monotonically increasing transaction ids on
+    append.  Checkpoints truncate *by txid* (:meth:`truncate_through`)
+    rather than clearing the whole log, so an op appended between the
+    snapshot and the truncate survives -- the crash-consistency fix.
+    """
+
+    def __init__(self, start_txid: int = 1) -> None:
         self.ops: list[EditOp] = []
+        self._next_txid = start_txid
 
-    def append(self, op: EditOp) -> None:
+    def append(self, op: EditOp) -> EditOp:
+        """Stamp (unless already stamped, e.g. by a quorum writer) and keep."""
+        if op.txid <= 0:
+            op = replace(op, txid=self._next_txid)
+        self._next_txid = op.txid + 1
         self.ops.append(op)
+        return op
+
+    @property
+    def last_txid(self) -> int:
+        """Txid of the newest op (counts checkpointed-away ops too)."""
+        return self.ops[-1].txid if self.ops else self._next_txid - 1
+
+    def truncate_through(self, txid: int) -> int:
+        """Drop every op with ``op.txid <= txid``; returns how many."""
+        before = len(self.ops)
+        self.ops = [op for op in self.ops if op.txid > txid]
+        return before - len(self.ops)
 
     def __len__(self) -> int:
         return len(self.ops)
 
-    def clear(self) -> None:
-        self.ops = []
 
+def attach_journal(nn: NameNode, start_txid: int = 1) -> EditLog:
+    """Instrument *nn* so every namespace mutation is journalled.
 
-def attach_journal(nn: NameNode) -> EditLog:
-    """Instrument *nn* so every namespace mutation is journalled."""
-    log = EditLog()
+    *start_txid* seats the new log after an existing image's
+    ``last_txid`` so txids stay globally monotonic across restarts.
+    """
+    log = EditLog(start_txid)
     orig_create = nn.create_file
     orig_add_block = nn.add_block
     orig_complete = nn.complete_file
@@ -104,10 +139,21 @@ def attach_journal(nn: NameNode) -> EditLog:
 
 
 def replay_into_image(image: FsImage, ops: list[EditOp]) -> FsImage:
-    """Fold *ops* into a copy of *image* (pure function)."""
+    """Fold *ops* into a copy of *image* (pure function).
+
+    Ops whose txid the image already covers are skipped, so replaying a
+    log that still holds checkpointed entries is idempotent (unstamped
+    ops, txid <= 0, always apply).
+    """
     files = {p: (r, list(blocks), c) for p, (r, blocks, c) in image.files.items()}
     next_bid = image.next_block_id
+    last_txid = image.last_txid
     for op in ops:
+        if 0 < op.txid <= image.last_txid:
+            continue
+        last_txid = max(last_txid, op.txid)
+        if op.op == "noop":
+            continue  # HA epoch marker: advances txids, touches nothing
         if op.op == "create":
             files[op.path] = (op.replication, [], False)
         elif op.op == "add_block":
@@ -122,19 +168,24 @@ def replay_into_image(image: FsImage, ops: list[EditOp]) -> FsImage:
             files.pop(op.path, None)
         else:  # pragma: no cover - defensive
             raise HdfsError(f"unknown edit op {op.op!r}")
-    return FsImage(files=files, next_block_id=next_bid)
+    return FsImage(files=files, next_block_id=next_bid, last_txid=last_txid)
 
 
 def checkpoint(nn: NameNode, image: FsImage | None = None) -> FsImage:
     """The SecondaryNameNode merge: edits + old image -> new image.
 
-    Truncates the edit log afterwards, exactly like a real checkpoint.
+    Two-phase, crash-consistent: first snapshot the edits up to the
+    current ``last_txid``, then truncate exactly that prefix.  An op
+    appended between the two phases has a higher txid and survives in
+    the log (the old ``clear()`` implementation silently dropped it).
     """
     log: EditLog | None = getattr(nn, "journal", None)
     if log is None:
         raise HdfsError("NameNode has no journal attached")
-    new_image = replay_into_image(image or FsImage(), log.ops)
-    log.clear()
+    upto = log.last_txid
+    snapshot = [op for op in log.ops if op.txid <= upto]
+    new_image = replay_into_image(image or FsImage(), snapshot)
+    log.truncate_through(upto)
     return new_image
 
 
@@ -156,6 +207,8 @@ def restart_namenode(
     final = replay_into_image(image, edits or [])
 
     def _flow():
+        # the old NameNode is gone; its background monitor dies with it
+        fs.namenode.stop_monitor()
         nn = NameNode(fs, PlacementPolicy(fs.cluster.rng.child("hdfs-restart")))
         nn._next_block_id = final.next_block_id
         for path, (repl, blocks, complete) in final.files.items():
@@ -168,7 +221,7 @@ def restart_namenode(
                 nn.block_owner[block.block_id] = path
             nn.namespace[path] = inode
         fs.namenode = nn
-        attach_journal(nn)
+        attach_journal(nn, start_txid=final.last_txid + 1)
         safemode = SafeModeController(fs, threshold=safemode_threshold)
         safemode.enter()
         nn.safemode = safemode  # type: ignore[attr-defined]
@@ -192,6 +245,12 @@ def restart_namenode(
                         if b.block_id == block_id and b.payload is None:
                             inode.blocks[i] = block
             safemode.report(name)
+        if fs._started:
+            # a started filesystem keeps its replication monitor across
+            # the restart (the old NameNode's loop was stopped above)
+            cal = fs.cluster.cal.hadoop
+            nn.start_replication_monitor(
+                period=cal.heartbeat_interval, dn_timeout=cal.datanode_timeout)
         fs.cluster.log.emit(
             "hdfs.namenode", "namenode_restarted",
             f"namenode restarted: {final.file_count} files recovered, "

@@ -58,10 +58,24 @@ class NameNode:
         #: placement target, and their blocks are queued for re-replication
         self.decommissioning: set[str] = set()
         self.under_replicated: list[BlockId] = []
+        #: replicas reported corrupt but *retained* because dropping them
+        #: would lose the block's last copy -- salvage sources of last resort
+        self.corrupt_replicas: dict[BlockId, set[str]] = {}
         self._monitor_proc: Process | None = None
         self._monitor_stop = False
         self._next_block_id = 0
         self.rereplications_done = 0
+        self.salvage_rereplications = 0
+        metrics = fs.cluster.metrics
+        self._m_corrupt = metrics.counter(
+            "hdfs_corrupt_replicas_total",
+            "replicas that failed a checksum and were reported")
+        self._m_missing_corrupt = metrics.counter(
+            "hdfs_blocks_missing_all_corrupt_total",
+            "blocks whose last healthy replica went corrupt (marked missing)")
+        self._m_salvage = metrics.counter(
+            "hdfs_salvage_rereplications_total",
+            "re-replications forced to copy from a corrupt source")
 
     # -- datanode membership ----------------------------------------------------
 
@@ -119,6 +133,8 @@ class NameNode:
         self.last_heartbeat.pop(name, None)
         for holders in self.block_map.values():
             holders.discard(name)
+        for corrupt in self.corrupt_replicas.values():
+            corrupt.discard(name)
         self.fs.cluster.log.emit(
             "hdfs.namenode", "decommission_finished",
             f"datanode {name} left the pool", datanode=name,
@@ -179,6 +195,7 @@ class NameNode:
                 if dn is not None:
                     dn.blocks.pop(block.block_id, None)
             self.block_owner.pop(block.block_id, None)
+            self.corrupt_replicas.pop(block.block_id, None)
         del self.namespace[path]
 
     def listdir(self, prefix: str) -> list[str]:
@@ -194,6 +211,11 @@ class NameNode:
     def effective_locations(self, block_id: BlockId) -> set[str]:
         """Replicas that count toward safety: live and not draining away."""
         return self.locations(block_id) - self.decommissioning
+
+    def healthy_locations(self, block_id: BlockId) -> set[str]:
+        """Live replicas not reported corrupt (retained salvage copies
+        hold bytes but do not count as healthy)."""
+        return self.locations(block_id) - self.corrupt_replicas.get(block_id, set())
 
     def _inode(self, path: str) -> INode:
         try:
@@ -228,11 +250,39 @@ class NameNode:
         return newly_dead
 
     def report_corrupt(self, datanode: str, block_id: BlockId) -> None:
-        """A replica failed its checksum: drop it and queue a re-copy."""
+        """A replica failed its checksum.
+
+        Normally the replica is dropped and a re-copy queued.  When it is
+        the block's *last* healthy copy, dropping it would silently turn
+        corruption into data loss -- instead the replica is retained as a
+        salvage source of last resort and the block is surfaced as
+        missing (:meth:`missing_blocks` + metrics).
+        """
         holders = self.block_map.get(block_id)
         if holders is None or datanode not in holders:
             return
+        corrupt = self.corrupt_replicas.setdefault(block_id, set())
+        if datanode in corrupt:
+            return  # already reported and retained
+        self._m_corrupt.inc()
+        # "last copy" must be judged against *live* replicas: a dead
+        # node's copy may never come back, so counting it would let the
+        # drop below silently lose the only reachable bytes
+        if not (self.locations(block_id) - corrupt) - {datanode}:
+            # last healthy copy: keep the damaged bytes, mark the block missing
+            corrupt.add(datanode)
+            self.under_replicated.append(block_id)
+            self._m_missing_corrupt.inc()
+            self.fs.cluster.log.emit(
+                "hdfs.namenode", "block_missing_corrupt",
+                f"{block_id}: last replica corrupt on {datanode}; "
+                "retained for salvage",
+                block=str(block_id), datanode=datanode,
+            )
+            return
         holders.discard(datanode)
+        if not corrupt:
+            self.corrupt_replicas.pop(block_id, None)
         dn = self.fs.datanodes.get(datanode)
         if dn is not None:
             dn.blocks.pop(block_id, None)
@@ -252,19 +302,31 @@ class NameNode:
             holders = self.locations(block_id)
             if not holders:
                 raise ReplicationError(f"{block_id}: all replicas lost")
-            src = sorted(holders)[0]
+            healthy = sorted(self.healthy_locations(block_id))
+            salvage = not healthy
+            src = healthy[0] if healthy else sorted(holders)[0]
             target = self.placement.choose_rereplication_target(
                 self.placement_candidates(), holders
             )
             src_dn = fs.datanode(src)
             block = src_dn.blocks[block_id]
-            yield fs.engine.process(src_dn.serve_block(block_id, target))
+            yield fs.engine.process(
+                src_dn.serve_block(block_id, target, allow_corrupt=salvage))
             yield fs.engine.process(fs.datanode(target).store_block(block, []))
+            if salvage:
+                # the copy inherits the corruption: it preserves the bytes
+                # on a second disk, not their integrity -- the block stays
+                # missing until a clean replica reappears
+                fs.datanode(target).corrupted.add(block_id)
+                self.corrupt_replicas.setdefault(block_id, set()).add(target)
+                self.salvage_rereplications += 1
+                self._m_salvage.inc()
             self.rereplications_done += 1
             fs.cluster.log.emit(
                 "hdfs.namenode", "rereplicated",
-                f"{block_id} re-replicated {src} -> {target}",
-                block=str(block_id), src=src, dst=target,
+                f"{block_id} re-replicated {src} -> {target}"
+                + (" (salvage from corrupt source)" if salvage else ""),
+                block=str(block_id), src=src, dst=target, salvage=salvage,
             )
 
         return _copy()
@@ -285,15 +347,23 @@ class NameNode:
                     self.check_datanodes(dn_timeout)
                     work, self.under_replicated = self.under_replicated, []
                     started = []
-                    for block_id in work:
+                    # the queue may name a block twice (dead-node sweep +
+                    # corruption report); one copy per block per round
+                    for block_id in dict.fromkeys(work):
                         inode = self.namespace.get(self.block_owner.get(block_id, ""))
                         if inode is None:
                             continue
-                        if (len(self.effective_locations(block_id))
-                                >= inode.replication):
-                            continue
                         if not self.locations(block_id):
                             continue  # unrecoverable; surfaced via metrics
+                        if not self.healthy_locations(block_id):
+                            # every live copy is corrupt: salvage once so
+                            # the damaged bytes sit on two disks, then stop
+                            # -- the block stays in missing_blocks()
+                            if len(self.locations(block_id)) >= 2:
+                                continue
+                        elif (len(self.effective_locations(block_id))
+                                >= inode.replication):
+                            continue
                         started.append(
                             (block_id, engine.process(self.rereplicate_one(block_id)))
                         )
@@ -318,8 +388,8 @@ class NameNode:
     # -- metrics -----------------------------------------------------------------------
 
     def missing_blocks(self) -> list[BlockId]:
-        """Blocks with zero live replicas (data loss)."""
-        return [b for b in self.block_map if not self.locations(b)]
+        """Blocks with zero *healthy* live replicas (lost or all-corrupt)."""
+        return [b for b in self.block_map if not self.healthy_locations(b)]
 
     def under_replicated_count(self) -> int:
         count = 0

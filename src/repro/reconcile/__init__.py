@@ -18,6 +18,7 @@ from .autoscaler import (
     queue_depth_signal,
     shed_rate_signal,
 )
+from .failover import PROMOTE_RPC_COST, FailoverController
 from .pools import (
     DataNodePoolAdapter,
     MemberStatus,
@@ -36,8 +37,10 @@ __all__ = [
     "AutoscalePolicy",
     "ConvergenceReport",
     "DataNodePoolAdapter",
+    "FailoverController",
     "FleetSpec",
     "HealthPolicy",
+    "PROMOTE_RPC_COST",
     "MemberStatus",
     "PoolAdapter",
     "PoolSpec",

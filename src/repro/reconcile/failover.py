@@ -1,0 +1,146 @@
+"""Automatic NameNode failover: the ZKFC analogue for the HA pair.
+
+Real HDFS pairs the QJM with ZooKeeper failover controllers that watch
+NameNode health and trigger a fenced promotion.  Here the controller is
+a reconciler-style loop: every *period* it probes whether the active can
+still commit (host alive *and* a journal majority reachable --
+:meth:`~repro.hdfs.ha.HaNameNodePair.active_quorum_degraded`), counts
+consecutive bad probes against the pool's
+:class:`~repro.reconcile.spec.HealthPolicy`, and once the streak passes
+``unhealthy_after`` it promotes the standby.  The promotion itself is
+the fence: :meth:`~repro.hdfs.ha.HaNameNodePair.promote` bumps the
+quorum epoch, so even if the old active is merely partitioned (not
+dead), its in-flight writes are rejected rather than split-braining.
+
+A *min_interval* flap guard refuses back-to-back failovers so a bouncing
+network cannot make the pair ping-pong, and every promotion is recorded
+into the shared :class:`~repro.reconcile.reconciler.ActionLog` (kind
+``failover``) plus an MTTR histogram measured from the first bad probe.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from ..common.errors import ConfigError, QuorumLostError, StandbyError
+from ..sim import Interrupt, Process
+from .spec import HealthPolicy
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..hdfs.ha import HaNameNodePair
+    from .reconciler import ActionLog
+
+#: cost of the promote RPC exchange (fence + catch-up + role switch)
+PROMOTE_RPC_COST = 0.25
+
+
+class FailoverController:
+    """Health-checks the HA pair and promotes the standby when needed."""
+
+    def __init__(self, pair: "HaNameNodePair", *,
+                 policy: HealthPolicy | None = None,
+                 period: float = 1.0,
+                 actions: "ActionLog | None" = None,
+                 min_interval: float = 30.0) -> None:
+        if period <= 0:
+            raise ConfigError("period must be > 0")
+        if min_interval < 0:
+            raise ConfigError("min_interval must be >= 0")
+        self.pair = pair
+        self.policy = policy or HealthPolicy()
+        self.period = period
+        self.actions = actions
+        self.min_interval = min_interval
+        self.failovers = 0
+        self.skipped = 0
+        self.last_mttr: float | None = None
+        self._streak = 0
+        self._suspect_since: float | None = None
+        self._last_failover: float | None = None
+        self._proc: Process | None = None
+        self._stop = False
+        metrics = pair.fs.cluster.metrics
+        self._m_mttr = metrics.histogram(
+            "hdfs_ha_failover_mttr_seconds",
+            "first bad health probe to completed promotion")
+        self._m_skipped = metrics.counter(
+            "hdfs_ha_failover_skipped_total",
+            "promotions refused (no quorum, dead standby, or flap guard)")
+
+    # -- one probe ----------------------------------------------------------------
+
+    def check_once(self) -> str | None:
+        """One health probe + (maybe) one promotion; returns the action.
+
+        ``None`` means healthy, ``"suspect"`` a building streak,
+        ``"failover"`` a completed promotion, ``"skipped"`` a promotion
+        that was due but refused.
+        """
+        engine = self.pair.fs.engine
+        reason = self.pair.active_quorum_degraded()
+        if reason is None:
+            self._streak = 0
+            self._suspect_since = None
+            return None
+        if self._suspect_since is None:
+            self._suspect_since = engine.now
+        self._streak += 1
+        if self._streak < self.policy.unhealthy_after:
+            return "suspect"
+        if (self._last_failover is not None
+                and engine.now - self._last_failover < self.min_interval):
+            return "suspect"  # flap guard: wait out the cool-down
+        try:
+            epoch = self.pair.promote()
+        except (QuorumLostError, StandbyError) as exc:
+            self.skipped += 1
+            self._m_skipped.inc()
+            self.pair.fs.cluster.log.emit(
+                "reconcile.failover", "failover_skipped",
+                f"promotion refused: {exc}", reason=str(exc))
+            return "skipped"
+        mttr = engine.now - (self._suspect_since or engine.now)
+        self.failovers += 1
+        self.last_mttr = mttr
+        self._last_failover = engine.now
+        self._m_mttr.observe(mttr)
+        if self.actions is not None:
+            self.actions.record(
+                "hdfs-ha", "failover", member=self.pair.active_host,
+                detail=f"epoch {epoch} after '{reason}', mttr {mttr:.2f}s")
+        self._streak = 0
+        self._suspect_since = None
+        return "failover"
+
+    # -- the loop ------------------------------------------------------------------
+
+    def start(self) -> None:
+        """Start the watch loop (idempotent; stop with :meth:`stop`)."""
+        if self._proc is not None and self._proc.is_alive:
+            return
+        self._stop = False
+        engine = self.pair.fs.engine
+
+        def _loop():
+            try:
+                while not self._stop:
+                    yield engine.timeout(self.period)
+                    if self._stop:
+                        return
+                    if self._streak + 1 >= self.policy.unhealthy_after \
+                            and self.pair.active_quorum_degraded() is not None:
+                        # the promotion round-trip has a real cost; pay it
+                        # before acting so MTTR includes the fence exchange
+                        yield engine.timeout(PROMOTE_RPC_COST)
+                    self.check_once()
+            except Interrupt:
+                pass
+
+        self._proc = engine.process(_loop(), name="hdfs-ha-failover-controller")
+
+    def stop(self) -> None:
+        self._stop = True
+        proc = self._proc
+        self._proc = None
+        if proc is not None and proc.is_alive and proc.started:
+            proc.interrupt("stop")

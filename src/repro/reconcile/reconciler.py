@@ -39,7 +39,7 @@ if TYPE_CHECKING:  # pragma: no cover - annotations only
 ACTION_KINDS = (
     "spec_applied", "replace", "add", "remove", "scale_up", "scale_down",
     "upgrade_start", "upgrade_member", "upgrade_done", "rollback",
-    "give_up", "cordon", "uncordon",
+    "give_up", "cordon", "uncordon", "failover",
 )
 
 

@@ -25,7 +25,7 @@ from .common.calibration import Calibration
 from .common.errors import ConfigError
 from .common.units import GiB, MiB
 from .hardware import Cluster
-from .hdfs import Hdfs
+from .hdfs import HaNameNodePair, Hdfs
 from .one import (
     FaultToleranceHook,
     MonitoringService,
@@ -40,6 +40,7 @@ from .reconcile import (
     AutoscalePolicy,
     Autoscaler,
     DataNodePoolAdapter,
+    FailoverController,
     FleetSpec,
     HealthPolicy,
     PoolSpec,
@@ -68,6 +69,8 @@ class VideoCloud:
     chaos: ChaosMonkey | None = None
     lb: LoadBalancer | None = None
     reconciler: Reconciler | None = None
+    ha: HaNameNodePair | None = None
+    failover: FailoverController | None = None
 
     @property
     def engine(self) -> Engine:
@@ -80,6 +83,8 @@ class VideoCloud:
         """Stop every periodic loop so the engine can drain to idle."""
         if self.reconciler is not None:
             self.reconciler.stop()
+        if self.failover is not None:
+            self.failover.stop()
         if self.ft is not None:
             self.ft.stop()
         self.fs.stop()
@@ -265,4 +270,97 @@ def build_reconciled_cloud(
     reconciler.start()
     vc.lb = lb
     vc.reconciler = reconciler
+    return vc
+
+
+def enable_namenode_ha(
+    vc: VideoCloud,
+    *,
+    standby_host: str | None = None,
+    journal_hosts: tuple[str, ...] | None = None,
+    policy: HealthPolicy | None = None,
+    tail_period: float = 1.0,
+    period: float = 1.0,
+    min_interval: float = 30.0,
+) -> HaNameNodePair:
+    """Retrofit NameNode HA onto a running stack.
+
+    Stands up a standby NameNode (default: the last host, which the
+    NameNode and web tier both avoid), a three-node journal quorum
+    (default: NameNode host + standby + the first other compute host),
+    the standby tailer, and a :class:`~repro.reconcile.FailoverController`
+    wired into the reconciler's action log when one exists.  The portal
+    gains an ``hdfs-ha`` health probe and any ChaosMonkey is pointed at
+    the pair so ``KillActiveNameNode``-style scenarios can resolve the
+    active at fire time.
+    """
+    if vc.ha is not None:
+        raise ConfigError("NameNode HA is already enabled on this stack")
+    names = vc.cluster.host_names
+    active = vc.fs.namenode_host
+    if standby_host is None:
+        standby_host = names[-1]
+    if journal_hosts is None:
+        others = [h for h in names if h not in (active, standby_host)]
+        if not others:
+            raise ConfigError("no spare host to complete a 3-node quorum")
+        journal_hosts = (active, standby_host, others[0])
+    pair = HaNameNodePair(vc.fs, standby_host=standby_host,
+                          journal_hosts=journal_hosts,
+                          tail_period=tail_period)
+    pair.start()
+    actions = vc.reconciler.actions if vc.reconciler is not None else None
+    controller = FailoverController(pair, policy=policy, period=period,
+                                    actions=actions,
+                                    min_interval=min_interval)
+    controller.start()
+
+    def _ha_health() -> str | None:
+        reason = pair.active_quorum_degraded()
+        if reason is not None:
+            return reason
+        if not pair.caught_up():
+            return "standby lagging behind the journal quorum"
+        return None
+
+    vc.portal.add_health_provider("hdfs-ha", _ha_health)
+    if vc.chaos is not None:
+        vc.chaos.ha = pair
+    vc.ha = pair
+    vc.failover = controller
+    return pair
+
+
+def build_ha_cloud(
+    n_hosts: int = 8,
+    *,
+    seed: int = 0,
+    cal: Calibration | None = None,
+    replication: int = 2,
+    block_size: int = 32 * MiB,
+    standby_host: str | None = None,
+    journal_hosts: tuple[str, ...] | None = None,
+    tail_period: float = 1.0,
+    failover_period: float = 1.0,
+    min_interval: float = 30.0,
+) -> VideoCloud:
+    """The highly-available variant: fault-tolerant stack + NameNode HA.
+
+    :func:`build_video_cloud` with ``fault_tolerance=True`` (heartbeats,
+    replication monitor, FT hook, chaos monkey) and ``deploy_vms=False``,
+    then :func:`enable_namenode_ha` on top.  The returned cloud's
+    ``vc.ha`` / ``vc.failover`` give direct handles on the pair and its
+    controller; ``stop_background()`` tears all of it down.
+    """
+    if n_hosts < 5:
+        raise ConfigError("the HA stack needs at least 5 hosts")
+    vc = build_video_cloud(
+        n_hosts, seed=seed, cal=cal, replication=replication,
+        block_size=block_size, deploy_vms=False, fault_tolerance=True,
+    )
+    enable_namenode_ha(
+        vc, standby_host=standby_host, journal_hosts=journal_hosts,
+        tail_period=tail_period, period=failover_period,
+        min_interval=min_interval,
+    )
     return vc

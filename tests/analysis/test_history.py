@@ -1,0 +1,155 @@
+"""The Jepsen-style history checker: synthetic histories with known verdicts."""
+
+from repro.analysis import HistoryRecorder, check_history
+
+
+def make_recorder():
+    now = [0.0]
+
+    def clock():
+        now[0] += 1.0
+        return now[0]
+
+    return HistoryRecorder(clock)
+
+
+def ok_write(rec, client, key, value=1):
+    op = rec.invoke(client, "write", key, value=value)
+    rec.ack(op, value=value)
+    return op
+
+
+def ok_read(rec, client, key, value=1):
+    op = rec.invoke(client, "read", key)
+    rec.ack(op, value=value)
+    return op
+
+
+class TestCleanHistories:
+    def test_empty_history_is_ok(self):
+        rec = make_recorder()
+        report = check_history(rec, final_keys=set())
+        assert report.ok and report.ops == 0
+
+    def test_write_then_read_is_ok(self):
+        rec = make_recorder()
+        ok_write(rec, "c1", "/a", value=100)
+        ok_read(rec, "c1", "/a", value=100)
+        report = check_history(rec, final_keys={"/a"})
+        assert report.ok
+        assert report.acked_writes == 1 and report.acked_reads == 1
+
+    def test_delete_then_absent_is_ok(self):
+        rec = make_recorder()
+        ok_write(rec, "c1", "/a")
+        op = rec.invoke("c1", "delete", "/a")
+        rec.ack(op)
+        report = check_history(rec, final_keys=set())
+        assert report.ok
+
+    def test_counts(self):
+        rec = make_recorder()
+        ok_write(rec, "c1", "/a")
+        bad = rec.invoke("c2", "write", "/b", value=2)
+        rec.fail(bad, "QuorumLostError")
+        report = check_history(rec)
+        assert report.ops == 2
+        assert report.acked_writes == 1
+        assert report.failed_ops == 1
+
+
+class TestViolations:
+    def test_lost_acked_write_detected(self):
+        rec = make_recorder()
+        ok_write(rec, "c1", "/a")
+        report = check_history(rec, final_keys=set())
+        assert not report.ok
+        assert report.violations[0].rule == "lost-acked-write"
+        assert report.violations[0].key == "/a"
+
+    def test_resurrected_delete_detected(self):
+        rec = make_recorder()
+        ok_write(rec, "c1", "/a")
+        op = rec.invoke("c1", "delete", "/a")
+        rec.ack(op)
+        report = check_history(rec, final_keys={"/a"})
+        assert [v.rule for v in report.violations] == ["lost-acked-write"]
+
+    def test_stale_read_after_ack_detected(self):
+        rec = make_recorder()
+        ok_write(rec, "c1", "/a")
+        read = rec.invoke("c2", "read", "/a")
+        rec.fail(read, "FileNotFoundInHdfs")
+        report = check_history(rec, final_keys={"/a"})
+        assert [v.rule for v in report.violations] == ["stale-read"]
+
+    def test_value_mismatch_detected(self):
+        rec = make_recorder()
+        ok_write(rec, "c1", "/a", value=100)
+        ok_read(rec, "c2", "/a", value=7)
+        report = check_history(rec, final_keys={"/a"})
+        assert [v.rule for v in report.violations] == ["value-mismatch"]
+
+
+class TestAmbiguityExemptions:
+    def test_failed_write_makes_final_state_ambiguous(self):
+        # a failed (unacknowledged) write may or may not have landed --
+        # either final state is legal, so no violation in either case
+        rec = make_recorder()
+        op = rec.invoke("c1", "write", "/a", value=1)
+        rec.fail(op, "QuorumLostError")
+        assert check_history(rec, final_keys=set()).ok
+        rec2 = make_recorder()
+        op = rec2.invoke("c1", "write", "/a", value=1)
+        rec2.fail(op, "QuorumLostError")
+        assert check_history(rec2, final_keys={"/a"}).ok
+
+    def test_failed_delete_after_acked_write_is_ambiguous(self):
+        rec = make_recorder()
+        ok_write(rec, "c1", "/a")
+        op = rec.invoke("c1", "delete", "/a")
+        rec.fail(op, "StandbyError")
+        # the delete may have landed: absence is not a lost write
+        assert check_history(rec, final_keys=set()).ok
+        assert check_history(rec, final_keys={"/a"}).ok
+
+    def test_read_concurrent_with_mutation_is_exempt(self):
+        rec = make_recorder()
+        ok_write(rec, "c1", "/a", value=1)
+        # read overlaps a second write in wall-clock time: either value ok
+        w2 = rec.invoke("c1", "write", "/a", value=2)     # t=3
+        read = rec.invoke("c2", "read", "/a")             # t=4
+        rec.ack(w2, value=2)                              # t=5
+        rec.ack(read, value=2)  # t=6: newer value than the pre-read write
+        assert check_history(rec, final_keys={"/a"}).ok
+
+    def test_infrastructure_read_failure_is_not_staleness(self):
+        rec = make_recorder()
+        ok_write(rec, "c1", "/a")
+        read = rec.invoke("c2", "read", "/a")
+        rec.fail(read, "PartitionError")  # not a not-found error
+        assert check_history(rec, final_keys={"/a"}).ok
+
+    def test_open_op_at_run_end_is_ambiguous(self):
+        rec = make_recorder()
+        ok_write(rec, "c1", "/a")
+        rec.invoke("c1", "delete", "/a")  # run ended mid-flight
+        assert check_history(rec, final_keys=set()).ok
+
+
+class TestSignature:
+    def test_signature_deterministic_and_sensitive(self):
+        rec1, rec2 = make_recorder(), make_recorder()
+        for rec in (rec1, rec2):
+            ok_write(rec, "c1", "/a", value=3)
+            ok_read(rec, "c2", "/a", value=3)
+        assert rec1.signature() == rec2.signature()
+        ok_write(rec2, "c1", "/b")
+        assert rec1.signature() != rec2.signature()
+
+    def test_acked_writes_accessor(self):
+        rec = make_recorder()
+        ok_write(rec, "c1", "/a")
+        bad = rec.invoke("c1", "write", "/b")
+        rec.fail(bad, "FencedError")
+        assert [op.key for op in rec.acked_writes()] == ["/a"]

@@ -99,3 +99,102 @@ class TestBlockScanner:
         cluster.run(until=cluster.now + 12)
         fs.stop()
         cluster.run()  # must terminate
+
+
+class TestSoleReplicaCorruption:
+    """Corruption of the *last* healthy replica must not silently become
+    data loss: the damaged copy is retained for salvage and the block is
+    surfaced as missing."""
+
+    def make_single(self):
+        cluster = Cluster(5)
+        fs = Hdfs(cluster, replication=1, block_size=8 * MiB)
+        data = b"the only copy " * 1000
+        cluster.run(cluster.engine.process(
+            fs.client("node1").write_file("/v/only", data)))
+        block = fs.namenode.get_file("/v/only").blocks[0]
+        holder = next(iter(fs.namenode.locations(block.block_id)))
+        return cluster, fs, block, holder
+
+    def test_last_replica_retained_and_marked_missing(self):
+        cluster, fs, block, holder = self.make_single()
+        fs.datanode(holder).corrupt_replica(block.block_id)
+        found = cluster.run(cluster.engine.process(
+            fs.datanode(holder).scan_once()))
+        assert found == [block.block_id]
+        # retained, not dropped -- but never counted as healthy
+        assert fs.namenode.locations(block.block_id) == {holder}
+        assert fs.namenode.healthy_locations(block.block_id) == set()
+        assert block.block_id in fs.namenode.missing_blocks()
+        assert cluster.log.records(kind="block_missing_corrupt")
+        missing = cluster.metrics.counter(
+            "hdfs_blocks_missing_all_corrupt_total", "")
+        assert missing.value == 1
+        # the damaged bytes are still on disk for forensics/salvage
+        assert block.block_id in fs.datanode(holder).blocks
+
+    def test_duplicate_reports_counted_once(self):
+        cluster, fs, block, holder = self.make_single()
+        fs.namenode.report_corrupt(holder, block.block_id)
+        fs.namenode.report_corrupt(holder, block.block_id)
+        corrupt = cluster.metrics.counter("hdfs_corrupt_replicas_total", "")
+        missing = cluster.metrics.counter(
+            "hdfs_blocks_missing_all_corrupt_total", "")
+        assert corrupt.value == 1 and missing.value == 1
+
+    def test_salvage_rereplication_converges_and_stops(self):
+        cluster, fs, block, holder = self.make_single()
+        fs.datanode(holder).corrupt_replica(block.block_id)
+        fs.namenode.report_corrupt(holder, block.block_id)
+        fs.start()
+        cluster.run(until=cluster.now + 60)
+        fs.stop()
+        cluster.run()
+        # exactly one salvage copy: damaged bytes now sit on two disks,
+        # both flagged corrupt, and the block stays missing
+        assert fs.namenode.salvage_rereplications == 1
+        holders = fs.namenode.locations(block.block_id)
+        assert len(holders) == 2
+        assert fs.namenode.corrupt_replicas[block.block_id] == holders
+        assert block.block_id in fs.namenode.missing_blocks()
+        salvage = cluster.metrics.counter(
+            "hdfs_salvage_rereplications_total", "")
+        assert salvage.value == 1
+
+    def test_multi_replica_corruption_retains_only_final_copy(self):
+        cluster, fs, inode, _ = make_fs(replication=3)
+        block = inode.blocks[0]
+        replicas = sorted(fs.namenode.locations(block.block_id))
+        for name in replicas[:2]:
+            fs.namenode.report_corrupt(name, block.block_id)
+            assert name not in fs.namenode.locations(block.block_id)
+        fs.namenode.report_corrupt(replicas[2], block.block_id)
+        assert fs.namenode.locations(block.block_id) == {replicas[2]}
+        assert block.block_id in fs.namenode.missing_blocks()
+
+
+class TestScannerRaceWithRereplication:
+    def test_scanner_detection_races_monitor_copy(self):
+        # One replica is lost to a crash while the surviving replica is
+        # silently corrupt.  The monitor's first copy attempt trips the
+        # checksum (scanner-on-read), the replica is retained as the last
+        # copy, and the system converges to a salvage state instead of
+        # crashing or looping.
+        cluster, fs, inode, _ = make_fs(replication=2, n_hosts=5)
+        block = inode.blocks[0]
+        a, b = sorted(fs.namenode.locations(block.block_id))
+        fs.kill_datanode(b)
+        fs.datanode(a).corrupt_replica(block.block_id)
+        fs.start(scan_period=30)
+        cluster.run(until=cluster.now + 120)
+        fs.stop()
+        cluster.run()
+        # converged: the corrupt copy was retained and salvaged once
+        holders = fs.namenode.locations(block.block_id)
+        assert a in holders and len(holders) == 2
+        assert holders <= fs.namenode.corrupt_replicas[block.block_id]
+        assert fs.namenode.salvage_rereplications == 1
+        assert block.block_id in fs.namenode.missing_blocks()
+        # other blocks of the file were re-replicated normally
+        for other in inode.blocks[1:]:
+            assert len(fs.namenode.healthy_locations(other.block_id)) == 2

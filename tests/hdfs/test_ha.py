@@ -1,0 +1,341 @@
+"""NameNode HA: journal quorum, fencing epochs, tailing, fenced failover."""
+
+import pytest
+
+from repro.common.errors import (
+    ConfigError,
+    FencedError,
+    QuorumLostError,
+    StandbyError,
+)
+from repro.common.units import MiB
+from repro.hardware import Cluster
+from repro.hdfs import (
+    HaNameNodePair,
+    Hdfs,
+    JournalQuorum,
+    QuorumWriter,
+)
+from repro.hdfs.journal import EditOp
+
+JOURNALS = ["node0", "node1", "node2"]
+
+
+def make_quorum(n_hosts=5):
+    cluster = Cluster(n_hosts)
+    return cluster, JournalQuorum(cluster, list(JOURNALS))
+
+
+def make_ha(n_hosts=6, replication=2):
+    cluster = Cluster(n_hosts)
+    fs = Hdfs(cluster, replication=replication, block_size=4 * MiB,
+              namenode_host="node0")
+    last = cluster.host_names[-1]
+    pair = HaNameNodePair(fs, standby_host=last, journal_hosts=list(JOURNALS))
+    return cluster, fs, pair
+
+
+def write(cluster, fs, host, path, data):
+    return cluster.run(cluster.engine.process(
+        fs.client(host).write_file(path, data)))
+
+
+class TestJournalQuorum:
+    def test_shape_validation(self):
+        cluster = Cluster(5)
+        with pytest.raises(ConfigError):
+            JournalQuorum(cluster, ["node0", "node1"])        # even / too few
+        with pytest.raises(ConfigError):
+            JournalQuorum(cluster, ["node0", "node0", "node1"])  # dup
+        with pytest.raises(ConfigError):
+            JournalQuorum(cluster, ["node0", "node1", "ghost"])  # unknown
+
+    def test_majority_ack_append(self):
+        cluster, quorum = make_quorum()
+        writer = QuorumWriter(quorum, "node0")
+        writer.activate()
+        entry = writer.append(EditOp("create", "/a", replication=2))
+        assert entry.txid == 2  # txid 1 is the activation marker
+        for jn in quorum.nodes:
+            assert jn.last_txid == 2
+        assert quorum.committed_txid("node0") == 2
+
+    def test_quorum_lost_append_writes_nothing(self):
+        cluster, quorum = make_quorum()
+        writer = QuorumWriter(quorum, "node0")
+        writer.activate()
+        cluster.network.partition(["node0"])
+        with pytest.raises(QuorumLostError):
+            writer.append(EditOp("create", "/a", replication=2))
+        # the pre-check refused before transmitting: no orphan anywhere
+        for jn in quorum.nodes:
+            assert jn.last_txid == 1
+        assert not writer.fenced  # quorum loss is not a fence
+
+    def test_activation_needs_majority(self):
+        cluster, quorum = make_quorum()
+        cluster.network.partition(["node0"])
+        with pytest.raises(QuorumLostError):
+            QuorumWriter(quorum, "node0").activate()
+
+    def test_new_epoch_fences_old_writer(self):
+        cluster, quorum = make_quorum()
+        old = QuorumWriter(quorum, "node0")
+        old.activate()
+        old.append(EditOp("create", "/a", replication=2))
+        new = QuorumWriter(quorum, "node1")
+        assert new.activate() == old.epoch + 1
+        with pytest.raises(FencedError):
+            old.append(EditOp("create", "/b", replication=2))
+        assert old.fenced
+        # the new writer adopted the committed prefix and keeps going
+        assert any(e.op.path == "/a" for e in new.entries)
+        new.append(EditOp("create", "/b", replication=2))
+
+    def test_epoch_marker_dominates_fenced_orphan(self):
+        # The nasty recovery case: a fenced writer scatters an orphan onto
+        # the one journal node the new epoch has not promised yet.  The
+        # orphan ties the marker on txid but loses on epoch, so recovery
+        # must never adopt it.
+        cluster, quorum = make_quorum()
+        old = QuorumWriter(quorum, "node0")
+        old.activate()
+        old.append(EditOp("create", "/committed", replication=2))
+        # node0 drops out; a new writer activates through node1+node2
+        cluster.network.partition(["node0"])
+        new = QuorumWriter(quorum, "node1")
+        new.activate()
+        # partition flips: the old writer now reaches node0 (unpromised)
+        # and node1 (promised) -- a majority pre-check passes, node0
+        # accepts the orphan, node1 rejects => fenced with side effects
+        cluster.network.heal_partition()
+        cluster.network.partition(["node2"])
+        with pytest.raises(FencedError):
+            old.append(EditOp("create", "/orphan", replication=2))
+        node0 = quorum.nodes[0]
+        assert any(e.op.path == "/orphan" for e in node0.entries)
+        cluster.network.heal_partition()
+        # epoch-aware recovery: the marker (higher epoch) wins over the
+        # orphan (same txid, older epoch)
+        best = quorum.best_log("node2")
+        assert best.last_epoch == new.epoch
+        third = QuorumWriter(quorum, "node2")
+        third.activate()
+        assert all(e.op.path != "/orphan" for e in third.entries)
+        assert any(e.op.path == "/committed" for e in third.entries)
+        # the catch-up batch erased the orphan from node0 too
+        assert all(e.op.path != "/orphan" for e in node0.entries)
+
+    def test_committed_txid_is_conservative(self):
+        cluster, quorum = make_quorum()
+        writer = QuorumWriter(quorum, "node0")
+        writer.activate()
+        writer.append(EditOp("create", "/a", replication=2))
+        assert quorum.committed_txid("node0") == 2
+        cluster.network.partition(["node3", "node0"])
+        assert quorum.committed_txid("node3") is None  # no majority view
+
+
+class TestHaPair:
+    def test_construction_validation(self):
+        cluster = Cluster(5)
+        fs = Hdfs(cluster, replication=2)
+        with pytest.raises(ConfigError):
+            HaNameNodePair(fs, standby_host="node0", journal_hosts=JOURNALS)
+        with pytest.raises(ConfigError):
+            HaNameNodePair(fs, standby_host="ghost", journal_hosts=JOURNALS)
+        pair = HaNameNodePair(fs, standby_host="node4",
+                              journal_hosts=list(JOURNALS))
+        assert fs.ha is pair
+        with pytest.raises(ConfigError):
+            HaNameNodePair(fs, standby_host="node3",
+                           journal_hosts=list(JOURNALS))
+
+    def test_acked_write_is_quorum_committed(self):
+        cluster, fs, pair = make_ha()
+        write(cluster, fs, "node2", "/movie", b"x" * (1 * MiB))
+        committed = pair.quorum.committed_txid(pair.active_host)
+        # marker + create + add_block + complete
+        assert committed == 4
+        ops = [e.op.op for e in pair.quorum.nodes[0].entries]
+        assert ops == ["noop", "create", "add_block", "complete"]
+
+    def test_standby_tails_to_identical_namespace(self):
+        cluster, fs, pair = make_ha()
+        write(cluster, fs, "node2", "/a", b"x" * 100)
+        write(cluster, fs, "node3", "/b", b"y" * (5 * MiB))
+        assert not pair.standby.exists("/a")
+        pair.tail_once()
+        assert pair.standby.exists("/a") and pair.standby.exists("/b")
+        for path in ("/a", "/b"):
+            ours = pair.standby.get_file(path)
+            theirs = fs.namenode.get_file(path)
+            assert [b.block_id for b in ours.blocks] == \
+                   [b.block_id for b in theirs.blocks]
+            assert ours.complete
+        assert pair.caught_up()
+
+    def test_bootstrap_covers_pre_ha_files(self):
+        cluster = Cluster(6)
+        fs = Hdfs(cluster, replication=2, block_size=4 * MiB)
+        write(cluster, fs, "node2", "/old", b"z" * 100)
+        pair = HaNameNodePair(fs, standby_host="node5",
+                              journal_hosts=list(JOURNALS))
+        assert pair.standby.exists("/old")
+        block = pair.standby.get_file("/old").blocks[0]
+        assert pair.standby.locations(block.block_id) == \
+               fs.namenode.locations(block.block_id)
+
+    def test_standby_refuses_direct_mutation(self):
+        cluster, fs, pair = make_ha()
+        with pytest.raises(StandbyError):
+            pair.standby.create_file("/nope", 2)
+
+    def test_datanodes_dual_heartbeat(self):
+        cluster, fs, pair = make_ha()
+        fs.start()
+        cluster.run(until=10.0)
+        fs.stop()
+        pair.stop()
+        cluster.run()
+        for name in fs.datanodes:
+            assert pair.active.last_heartbeat[name] > 0
+            assert pair.standby.last_heartbeat[name] > 0
+
+    def test_standby_learns_block_locations_live(self):
+        cluster, fs, pair = make_ha()
+        write(cluster, fs, "node2", "/v", b"q" * (1 * MiB))
+        pair.tail_once()
+        block = pair.standby.get_file("/v").blocks[0]
+        # dual block_received: the standby knows the holders without a
+        # block report, so it can serve immediately after promotion
+        assert pair.standby.locations(block.block_id) == \
+               fs.namenode.locations(block.block_id)
+
+    def test_read_namenode_prefers_active_falls_back_to_standby(self):
+        cluster, fs, pair = make_ha()
+        write(cluster, fs, "node2", "/r", b"r" * 64)
+        assert pair.read_namenode("node2") is pair.active
+        pair.tail_once()
+        cluster.host(pair.active_host).fail()
+        assert pair.read_namenode("node2") is pair.standby
+
+    def test_stale_standby_refuses_reads(self):
+        cluster, fs, pair = make_ha()
+        write(cluster, fs, "node2", "/r", b"r" * 64)
+        cluster.host(pair.active_host).fail()  # before any tailing
+        with pytest.raises(StandbyError):
+            pair.read_namenode("node2")
+
+
+class TestPromote:
+    def test_promote_swaps_roles_and_bumps_epoch(self):
+        cluster, fs, pair = make_ha()
+        write(cluster, fs, "node2", "/f", b"d" * 100)
+        old_active, old_standby = pair.active_host, pair.standby_host
+        epoch = pair.promote()
+        assert epoch == 2
+        assert pair.active_host == old_standby
+        assert pair.standby_host == old_active
+        assert fs.namenode is pair.active
+        assert fs.namenode_host == pair.active_host
+        # promotion caught the new active up without waiting for a tail
+        assert pair.active.exists("/f")
+
+    def test_writes_work_after_promote(self):
+        cluster, fs, pair = make_ha()
+        pair.promote()
+        write(cluster, fs, "node2", "/after", b"a" * 100)
+        assert fs.namenode.exists("/after")
+        assert pair.quorum.committed_txid(pair.active_host) is not None
+
+    def test_deposed_reachable_active_is_demoted(self):
+        cluster, fs, pair = make_ha()
+        old_nn = pair.active
+        pair.promote()
+        with pytest.raises(StandbyError):
+            old_nn.create_file("/stale", 2)
+
+    def test_partitioned_deposed_active_is_fenced_by_journal(self):
+        # Split-brain drill: the old active is alive but unreachable when
+        # deposed, so nobody can tell it.  Its next commit attempt must
+        # die on the journal's epoch fence, then it demotes itself.
+        cluster, fs, pair = make_ha()
+        old_nn, old_host = pair.active, pair.active_host
+        cluster.network.partition([old_host])
+        pair.promote()
+        cluster.network.heal_partition()
+        with pytest.raises(FencedError):
+            old_nn.create_file("/split-brain", 2)
+        assert "/split-brain" not in old_nn.namespace  # undo ran
+        with pytest.raises(StandbyError):
+            old_nn.create_file("/split-brain-2", 2)
+        fenced = cluster.metrics.counter("hdfs_ha_fenced_writes_total", "")
+        assert fenced.value == 1
+
+    def test_partitioned_deposed_active_quorum_lost_while_cut(self):
+        cluster, fs, pair = make_ha()
+        old_nn, old_host = pair.active, pair.active_host
+        cluster.network.partition([old_host])
+        pair.promote()
+        # still inside the partition: can't reach a majority at all
+        with pytest.raises(QuorumLostError):
+            old_nn.create_file("/island", 2)
+        assert "/island" not in old_nn.namespace
+
+    def test_promote_refused_without_quorum(self):
+        cluster, fs, pair = make_ha()
+        cluster.network.partition([pair.standby_host])
+        with pytest.raises(QuorumLostError):
+            pair.promote()
+
+    def test_promote_refused_with_dead_standby(self):
+        cluster, fs, pair = make_ha()
+        cluster.host(pair.standby_host).fail()
+        with pytest.raises(StandbyError):
+            pair.promote()
+
+    def test_acked_writes_survive_promote(self):
+        cluster, fs, pair = make_ha()
+        data = {}
+        for i in range(4):
+            data[f"/f{i}"] = bytes([i]) * 256
+            write(cluster, fs, "node2", f"/f{i}", data[f"/f{i}"])
+        pair.promote()
+        for path, payload in data.items():
+            got = cluster.run(cluster.engine.process(
+                fs.client("node3").read_file(path)))
+            assert got == payload
+
+
+class TestClientFailover:
+    def test_client_retries_through_active_crash(self):
+        cluster, fs, pair = make_ha()
+        fs.start()
+        pair.start()
+        engine = cluster.engine
+        client = fs.client("node2")
+        acked = []
+
+        def workload():
+            for i in range(6):
+                yield engine.timeout(5.0)
+                yield from client.write_file(f"/w{i}", bytes([i]) * 512)
+                acked.append(f"/w{i}")
+
+        def killer():
+            yield engine.timeout(12.0)
+            cluster.host(pair.active_host).fail()
+            yield engine.timeout(2.0)
+            pair.promote()
+
+        engine.process(workload(), name="workload")
+        engine.process(killer(), name="killer")
+        cluster.run(until=120.0)
+        fs.stop()
+        pair.stop()
+        cluster.run()
+        assert len(acked) == 6
+        for path in acked:
+            assert fs.namenode.exists(path)
+        assert pair.failovers == 1

@@ -13,6 +13,7 @@ from repro.hdfs import (
     replay_into_image,
     restart_namenode,
 )
+from repro.hdfs.journal import EditOp
 
 
 def make_fs(n_hosts=5):
@@ -83,6 +84,60 @@ class TestCheckpoint:
             checkpoint(fs.namenode)
 
 
+class TestCrashConsistency:
+    """The crash-window regression: checkpoints truncate by txid, so an op
+    appended between the snapshot and the truncate is never dropped (the
+    old ``clear()`` implementation silently lost it)."""
+
+    def test_op_in_the_crash_window_survives_truncation(self):
+        cluster, fs, log = make_fs()
+        write(cluster, fs, "/a", b"x" * 100)
+        upto = log.last_txid
+        snapshot = [op for op in log.ops if op.txid <= upto]
+        image = replay_into_image(FsImage(), snapshot)
+        # an op lands between the two checkpoint phases
+        late = log.append(EditOp("create", "/late", replication=2))
+        log.truncate_through(upto)
+        assert late in log.ops
+        final = replay_into_image(image, log.ops)
+        assert "/a" in final.files and "/late" in final.files
+
+    def test_crash_window_op_recovered_on_restart(self):
+        cluster, fs, log = make_fs()
+        write(cluster, fs, "/a", b"x" * 100)
+        upto = log.last_txid
+        snapshot = [op for op in log.ops if op.txid <= upto]
+        image = replay_into_image(FsImage(), snapshot)
+        write(cluster, fs, "/late", b"z" * 10)  # inside the window
+        log.truncate_through(upto)
+        cluster.run(cluster.engine.process(
+            restart_namenode(fs, image, list(log.ops))))
+        assert fs.namenode.exists("/a") and fs.namenode.exists("/late")
+
+    def test_double_replay_is_idempotent_by_txid(self):
+        cluster, fs, log = make_fs()
+        write(cluster, fs, "/a", b"x" * 100)
+        stale = list(log.ops)  # a copy that survives the checkpoint
+        image = checkpoint(fs.namenode)
+        write(cluster, fs, "/b", b"y" * 50)
+        # replaying stale (already-checkpointed) edits again is harmless:
+        # their txids are covered by the image and skipped
+        final = replay_into_image(image, stale + list(log.ops))
+        assert final.file_count == 2
+        _, blocks, complete = final.files["/a"]
+        assert blocks and complete  # not reset by the stale create
+
+    def test_txids_stay_monotonic_across_restart(self):
+        cluster, fs, log = make_fs()
+        write(cluster, fs, "/a", b"x" * 100)
+        high = log.last_txid
+        image = checkpoint(fs.namenode)
+        cluster.run(cluster.engine.process(restart_namenode(fs, image)))
+        write(cluster, fs, "/b", b"y" * 50)
+        new_log = fs.namenode.journal
+        assert all(op.txid > high for op in new_log.ops)
+
+
 class TestRestart:
     def populated(self):
         cluster, fs, log = make_fs()
@@ -146,6 +201,36 @@ class TestRestart:
         nn = cluster.run(cluster.engine.process(
             restart_namenode(fs, image, safemode_threshold=0.7)))
         assert not nn.safemode.active
+
+    def test_datanodes_reregister_with_new_namenode(self):
+        cluster, fs, log, _ = self.populated()
+        fs.start()
+        image = checkpoint(fs.namenode)
+        nn = cluster.run(cluster.engine.process(restart_namenode(fs, image)))
+        before = dict(nn.last_heartbeat)
+        cluster.run(until=cluster.now + 15)
+        fs.stop()
+        cluster.run()
+        # heartbeats re-pointed to the new NameNode without reconfiguration
+        for name in fs.datanodes:
+            assert fs.datanodes[name].namenode is nn
+            assert nn.last_heartbeat[name] > before[name]
+
+    def test_dead_datanode_reregisters_on_recovery(self):
+        cluster, fs, log, _ = self.populated()
+        image = checkpoint(fs.namenode)
+        victim = "node4"
+        held = set(fs.datanodes[victim].blocks)
+        fs.kill_datanode(victim)
+        nn = cluster.run(cluster.engine.process(
+            restart_namenode(fs, image, safemode_threshold=0.7)))
+        assert victim not in nn.last_heartbeat
+        fs.datanodes[victim].recover()
+        # recovery re-registers with the *new* NameNode and re-reports
+        # every surviving replica
+        assert victim in nn.last_heartbeat
+        for block_id in held:
+            assert victim in nn.locations(block_id)
 
     def test_next_block_id_preserved(self):
         cluster, fs, log, _ = self.populated()

@@ -1,0 +1,121 @@
+"""The failover controller: streak detection, flap guard, fenced promotion."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.common.units import MiB
+from repro.hardware import Cluster
+from repro.hdfs import HaNameNodePair, Hdfs
+from repro.reconcile import FailoverController, HealthPolicy
+from repro.reconcile.reconciler import ActionLog
+
+JOURNALS = ["node0", "node1", "node2"]
+
+
+def make_pair(n_hosts=6):
+    cluster = Cluster(n_hosts)
+    fs = Hdfs(cluster, replication=2, block_size=4 * MiB)
+    pair = HaNameNodePair(fs, standby_host=cluster.host_names[-1],
+                          journal_hosts=list(JOURNALS))
+    return cluster, fs, pair
+
+
+class TestCheckOnce:
+    def test_config_validation(self):
+        cluster, fs, pair = make_pair()
+        with pytest.raises(ConfigError):
+            FailoverController(pair, period=0)
+        with pytest.raises(ConfigError):
+            FailoverController(pair, min_interval=-1)
+
+    def test_healthy_probe_resets_streak(self):
+        cluster, fs, pair = make_pair()
+        fc = FailoverController(pair, policy=HealthPolicy(unhealthy_after=3))
+        assert fc.check_once() is None
+        cluster.host(pair.active_host).fail()
+        assert fc.check_once() == "suspect"
+        cluster.host(pair.active_host).recover()
+        assert fc.check_once() is None
+        assert fc._streak == 0
+
+    def test_streak_then_failover(self):
+        cluster, fs, pair = make_pair()
+        fc = FailoverController(pair, policy=HealthPolicy(unhealthy_after=2))
+        old_active = pair.active_host
+        cluster.host(pair.active_host).fail()
+        assert fc.check_once() == "suspect"
+        assert fc.check_once() == "failover"
+        assert pair.active_host != old_active
+        assert fc.failovers == 1
+        assert fc.last_mttr is not None
+
+    def test_flap_guard_refuses_back_to_back(self):
+        cluster, fs, pair = make_pair()
+        fc = FailoverController(pair, policy=HealthPolicy(unhealthy_after=1),
+                                min_interval=30.0)
+        cluster.host(pair.active_host).fail()
+        assert fc.check_once() == "failover"
+        # the new active dies immediately, but the guard holds
+        cluster.host(pair.active_host).fail()
+        assert fc.check_once() == "suspect"
+        assert fc.failovers == 1
+
+    def test_promotion_skipped_without_quorum(self):
+        cluster, fs, pair = make_pair()
+        fc = FailoverController(pair, policy=HealthPolicy(unhealthy_after=1))
+        # a majority of journal hosts dies with the active: no safe fence
+        for host in JOURNALS[:2]:
+            cluster.host(host).fail()
+        assert fc.check_once() == "skipped"
+        assert fc.skipped == 1
+        assert cluster.log.records(kind="failover_skipped")
+
+    def test_action_log_records_failover(self):
+        cluster, fs, pair = make_pair()
+        actions = ActionLog(cluster)
+        fc = FailoverController(pair, policy=HealthPolicy(unhealthy_after=1),
+                                actions=actions)
+        cluster.host(pair.active_host).fail()
+        assert fc.check_once() == "failover"
+        assert len(actions.actions) == 1
+        action = actions.actions[0]
+        assert action.kind == "failover"
+        assert action.pool == "hdfs-ha"
+        assert action.member == pair.active_host
+        assert "epoch 2" in action.detail
+
+
+class TestLoop:
+    def test_background_loop_promotes_and_measures_mttr(self):
+        cluster, fs, pair = make_pair()
+        pair.start()
+        fc = FailoverController(pair, policy=HealthPolicy(unhealthy_after=2),
+                                period=1.0)
+        fc.start()
+        engine = cluster.engine
+
+        def killer():
+            yield engine.timeout(10.0)
+            cluster.host(pair.active_host).fail()
+
+        engine.process(killer(), name="killer")
+        cluster.run(until=30.0)
+        fc.stop()
+        pair.stop()
+        cluster.run()
+        assert fc.failovers == 1
+        # detection takes unhealthy_after probes plus the promote RPC
+        assert 1.0 <= fc.last_mttr <= 5.0
+        hist = cluster.metrics.histogram("hdfs_ha_failover_mttr_seconds", "")
+        assert hist.count == 1
+
+    def test_loop_stays_quiet_when_healthy(self):
+        cluster, fs, pair = make_pair()
+        pair.start()
+        fc = FailoverController(pair, period=1.0)
+        fc.start()
+        cluster.run(until=20.0)
+        fc.stop()
+        pair.stop()
+        cluster.run()
+        assert fc.failovers == 0 and fc.skipped == 0
