@@ -1,0 +1,119 @@
+"""E-analysis: the race-detection toolchain, timed on the real tree.
+
+Two measurements, both archived into ``BENCH_analysis.json``:
+
+* the static analyzer (all rules, with the RACE01-03 yield-point pass
+  timed separately) over ``src`` -- the tree must be clean;
+* a smoke schedule-fuzz: K=4 shuffled replays of bench_chaos's
+  host-crash storm, whose chaos report signature must come out
+  bit-identical under every legal tie-break permutation.
+
+The *metrics* block carries only deterministic outputs (finding counts,
+rule counts, the fuzz verdict and its signature digest) so
+``snapshot.py analysis --check`` can gate on exact equality; wall-clock
+goes in the ``timings`` payload field, which the check ignores.
+"""
+
+import time
+
+from repro import build_video_cloud
+from repro.analysis import ALL_CHECKS, analyze_paths
+from repro.analysis.races import RACE_CHECKS
+from repro.bench import KernelRate
+from repro.chaos import HostCrash
+from repro.common.units import MiB
+from repro.sim import fuzz_schedules
+
+from _util import BenchResult, publish, run
+
+N_HOSTS = 4
+SETTLE = 400.0
+#: shuffled schedules in the smoke fuzz (CI floor; tier-1 runs K=8)
+SHUFFLES = 4
+
+_RATE = KernelRate()
+
+
+def chaos_storm_signature(shuffle_seed):
+    """bench_chaos's crash storm, run under one tie-break permutation."""
+    vc = build_video_cloud(N_HOSTS, seed=7, fault_tolerance=True)
+    cluster = vc.cluster
+    if shuffle_seed is not None:
+        cluster.engine.enable_schedule_shuffle(shuffle_seed)
+    run(cluster, vc.fs.client("node1").write_synthetic("/mv.avi", 96 * MiB))
+    nn = vc.fs.namenode
+    inode = nn.get_file("/mv.avi")
+    victim = sorted(nn.locations(inode.blocks[0].block_id) - {"node1"})[0]
+    t0 = cluster.engine.now
+    vc.chaos.unleash([HostCrash(victim, at=1.0)])
+    vc.chaos.watch_hdfs(since=t0 + 1.0)
+    with _RATE.measure(cluster.engine):
+        cluster.run(t0 + SETTLE)
+        vc.stop_background()
+        cluster.run()
+    report = vc.chaos.report
+    return {
+        "faults": [(f.time, f.kind, f.target, f.detail)
+                   for f in report.faults],
+        "recoveries": sorted((r.layer, r.target, r.injected_at,
+                              r.recovered_at) for r in report.recoveries),
+        "mttr": report.mttr_by_layer(),
+        "end": cluster.engine.now,
+    }
+
+
+def static_pass():
+    """All rules over src; the tree must be clean (stale allows included)."""
+    return analyze_paths(["src"], report_unused_allows=True)
+
+
+def race_pass():
+    """Just the RACE01-03 yield-point pass over src."""
+    return analyze_paths(["src"], rules=[c.rule for c in RACE_CHECKS])
+
+
+def test_eanalysis_static_rules_and_schedule_fuzz(benchmark, capsys):
+    t0 = time.perf_counter()
+    findings = static_pass()
+    static_s = time.perf_counter() - t0
+    assert findings == [], [f.format() for f in findings]
+
+    t0 = time.perf_counter()
+    race_findings = race_pass()
+    race_s = time.perf_counter() - t0
+    assert race_findings == []
+
+    t0 = time.perf_counter()
+    fuzz = fuzz_schedules(chaos_storm_signature, shuffles=SHUFFLES, seed=9)
+    fuzz_s = time.perf_counter() - t0
+    assert fuzz.ok, fuzz.summary()
+
+    result = BenchResult(
+        "e_analysis",
+        params={"paths": ["src"], "storm": "bench_chaos host crash",
+                "cluster_size": N_HOSTS, "shuffles": SHUFFLES},
+        metrics={
+            "findings": len(findings),
+            "race_findings": len(race_findings),
+            "rules": len(ALL_CHECKS),
+            "race_rules": len(RACE_CHECKS),
+            "fuzz": {"ok": fuzz.ok, "shuffles": fuzz.shuffles,
+                     "signature": fuzz.signature},
+        },
+        seed=9,
+        events_per_sec=_RATE.events_per_sec,
+        timings={"static_all_rules_s": static_s,
+                 "static_race_rules_s": race_s,
+                 "schedule_fuzz_s": fuzz_s},
+    ).table("E-analysis: race toolchain on the real tree",
+            ["pass", "result", "wall s"],
+            [["static (all rules)", f"{len(findings)} findings",
+              f"{static_s:.2f}"],
+             ["static (RACE01-03)", f"{len(race_findings)} findings",
+              f"{race_s:.2f}"],
+             [f"schedule fuzz (K={SHUFFLES})",
+              "bit-identical" if fuzz.ok else "DIVERGED",
+              f"{fuzz_s:.2f}"]])
+    publish(capsys, result)
+
+    benchmark.pedantic(race_pass, rounds=1, iterations=1)

@@ -47,6 +47,7 @@ SUITES = {
     "chaos": "bench_chaos.py",
     "overload": "bench_overload.py",
     "failover": "bench_failover.py",
+    "analysis": "bench_analysis.py",
 }
 
 #: fresh speedup must be at least this fraction of the committed one

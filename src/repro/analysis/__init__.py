@@ -11,9 +11,13 @@ or programmatically::
     from repro.analysis import analyze_paths
     findings = analyze_paths(["src"])
 
-The rules (DET01/DET02, ARCH01/ARCH02, ERR01, OBS01/OBS02, API01) are
-documented in :mod:`repro.analysis.checks`; the layering DAG lives in
-:mod:`repro.analysis.layering`.  A whole-program pass also runs inside
+The rules (DET01/DET02, ARCH01/ARCH02, ERR01, OBS01/OBS02, API01,
+RACE01-03) are documented in :mod:`repro.analysis.checks`; the
+yield-point hazard rules live in :mod:`repro.analysis.races`, the
+layering DAG in :mod:`repro.analysis.layering`.  The framework itself
+reports SUP01 for ``# repro: allow[...]`` comments that suppress
+nothing, and ``--format sarif`` emits SARIF 2.1.0 for code-scanning
+UIs.  A whole-program pass also runs inside
 the tier-1 test suite (``tests/analysis/test_codebase_invariants.py``)
 so a violating commit fails fast.
 """
@@ -25,6 +29,7 @@ from typing import Sequence
 from .checks import ALL_CHECKS
 from .core import (
     ANALYZER_VERSION,
+    UNUSED_ALLOW_RULE,
     Check,
     Finding,
     ModuleInfo,
@@ -40,6 +45,8 @@ from .history import (
     check_history,
 )
 from .layering import ALLOWED_IMPORTS
+from .races import RACE_CHECKS
+from .sarif import to_sarif
 
 __all__ = [
     "ALL_CHECKS",
@@ -52,12 +59,15 @@ __all__ = [
     "ModuleInfo",
     "NOT_FOUND_ERRORS",
     "Operation",
+    "RACE_CHECKS",
+    "UNUSED_ALLOW_RULE",
     "Violation",
     "analyze_paths",
     "check_history",
     "load_modules",
     "rule_ids",
     "run_checks",
+    "to_sarif",
 ]
 
 
@@ -67,8 +77,10 @@ def rule_ids() -> list[str]:
 
 
 def analyze_paths(paths: Sequence[str],
-                  rules: "Sequence[str] | None" = None) -> list[Finding]:
+                  rules: "Sequence[str] | None" = None,
+                  *, report_unused_allows: bool = False) -> list[Finding]:
     """Run the (optionally filtered) check suite over *paths*."""
     checks = ALL_CHECKS if rules is None else tuple(
         c for c in ALL_CHECKS if c.rule in set(rules))
-    return run_checks(load_modules(paths), checks)
+    return run_checks(load_modules(paths), checks,
+                      report_unused_allows=report_unused_allows)

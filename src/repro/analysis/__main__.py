@@ -12,6 +12,15 @@ import sys
 from typing import Sequence
 
 from . import ALL_CHECKS, ANALYZER_VERSION, analyze_paths, rule_ids
+from .core import UNUSED_ALLOW_RULE
+from .sarif import to_sarif
+
+EXIT_CODES_HELP = """\
+exit status:
+  0   the tree is clean (no unsuppressed findings)
+  1   at least one unsuppressed finding was reported
+  2   usage error (unknown rule, unreadable path, syntax error)
+"""
 
 
 def main(argv: "Sequence[str] | None" = None) -> int:
@@ -20,20 +29,28 @@ def main(argv: "Sequence[str] | None" = None) -> int:
         description="AST-based invariant checker for the repro tree "
                     f"(analyzer {ANALYZER_VERSION}, "
                     f"{len(ALL_CHECKS)} rules)",
+        epilog=EXIT_CODES_HELP,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
     )
     parser.add_argument("paths", nargs="*", default=["src"],
                         help="files or directories to analyze (default: src)")
-    parser.add_argument("--format", choices=("text", "json"), default="text",
-                        help="report format")
+    parser.add_argument("--format", choices=("text", "json", "sarif"),
+                        default="text", help="report format")
     parser.add_argument("--rules", default=None,
                         help="comma-separated rule ids to run (default: all)")
     parser.add_argument("--list-rules", action="store_true",
                         help="print the active rules and exit")
+    parser.add_argument("--fix", action="store_true",
+                        help="print the cleanup recipe for unused "
+                             "# repro: allow[...] comments (SUP01) and "
+                             "exit 1 when any exist")
     args = parser.parse_args(argv)
 
     if args.list_rules:
         for check in ALL_CHECKS:
             print(f"{check.rule}  {check.description}")
+        print(f"{UNUSED_ALLOW_RULE}  unused # repro: allow[...] comment "
+              f"(framework-reported; not suppressible)")
         return 0
 
     rules = None
@@ -46,11 +63,22 @@ def main(argv: "Sequence[str] | None" = None) -> int:
             return 2
 
     try:
-        findings = analyze_paths(args.paths, rules=rules)
+        findings = analyze_paths(args.paths, rules=rules,
+                                 report_unused_allows=True)
     except (OSError, SyntaxError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
 
+    if args.fix:
+        unused = [f for f in findings if f.rule == UNUSED_ALLOW_RULE]
+        for f in unused:
+            print(f"{f.path}:{f.line}: delete the stale allow comment "
+                  f"({f.message.split(';')[0]})")
+        noun = "comment" if len(unused) == 1 else "comments"
+        print(f"{len(unused)} stale suppression {noun}")
+        return 1 if unused else 0
+
+    active = len(ALL_CHECKS if rules is None else rules)
     if args.format == "json":
         print(json.dumps({
             "analyzer_version": ANALYZER_VERSION,
@@ -58,12 +86,16 @@ def main(argv: "Sequence[str] | None" = None) -> int:
             "count": len(findings),
             "findings": [f.to_dict() for f in findings],
         }, indent=2, sort_keys=True))
+    elif args.format == "sarif":
+        checks = ALL_CHECKS if rules is None else tuple(
+            c for c in ALL_CHECKS if c.rule in set(rules))
+        print(json.dumps(to_sarif(findings, checks), indent=2,
+                         sort_keys=True))
     else:
         for f in findings:
             print(f.format())
         noun = "finding" if len(findings) == 1 else "findings"
-        print(f"{len(findings)} {noun} "
-              f"({len(ALL_CHECKS if rules is None else rules)} rules, "
+        print(f"{len(findings)} {noun} ({active} rules, "
               f"analyzer {ANALYZER_VERSION})")
     return 1 if findings else 0
 

@@ -31,6 +31,19 @@ Observability
 API
     API01  public functions/methods in ``repro.*`` carry full type
            annotations (parameters and return)
+
+Concurrency (defined in :mod:`repro.analysis.races`)
+    RACE01 check-then-act: a guard on shared mutable state must be
+           re-validated after an intervening ``yield``
+    RACE02 no mutating a shared container while iterating it across a
+           ``yield``; iterate a snapshot
+    RACE03 no reading a cached ``engine.now`` / resource snapshot after
+           a later ``yield`` (elapsed-time subtraction is exempt)
+
+Suppressions
+    SUP01  every ``# repro: allow[RULE]`` comment must suppress at
+           least one finding (reported by the framework itself, like
+           ruff's unused-noqa; not suppressible)
 """
 
 from __future__ import annotations
@@ -40,6 +53,7 @@ from typing import Iterable, Iterator, Sequence
 
 from .core import Check, Finding, ModuleInfo
 from .layering import ALLOWED_IMPORTS
+from .races import RACE_CHECKS
 
 # -- shared import resolution -------------------------------------------------
 
@@ -593,4 +607,4 @@ ALL_CHECKS: tuple[Check, ...] = (
     MetricLabelCheck(),
     SpanDisciplineCheck(),
     PublicAnnotationCheck(),
-)
+) + RACE_CHECKS

@@ -31,8 +31,13 @@ from typing import Iterable, Iterator, Sequence
 
 #: bump when a rule is added/removed or its semantics change; benches
 #: record this so every BENCH_JSON block names the invariant set it ran
-#: under.
-ANALYZER_VERSION = "1.0.0"
+#: under.  1.1.0: RACE01-03 yield-point hazard rules + SUP01
+#: unused-suppression detection.
+ANALYZER_VERSION = "1.1.0"
+
+#: the framework's own rule id for ``# repro: allow[...]`` comments that
+#: suppress nothing (like ruff's unused-noqa); never itself suppressible
+UNUSED_ALLOW_RULE = "SUP01"
 
 _ALLOW_RE = re.compile(r"#\s*repro:\s*allow\[([A-Za-z0-9_,\s]+)\]")
 
@@ -86,6 +91,10 @@ class ModuleInfo:
         """True when *line* carries a ``# repro: allow[rule]`` comment."""
         return rule in self._suppressed.get(line, ())
 
+    def suppressions(self) -> dict[int, frozenset[str]]:
+        """Every ``# repro: allow[...]`` comment, keyed by line number."""
+        return dict(self._suppressed)
+
     def in_type_checking(self, node: ast.AST) -> bool:
         """True when *node* sits inside an ``if TYPE_CHECKING:`` block."""
         return getattr(node, "lineno", 0) in self.type_checking_lines
@@ -137,8 +146,16 @@ def load_modules(paths: Sequence["Path | str"]) -> list[ModuleInfo]:
 
 
 def run_checks(modules: Sequence[ModuleInfo],
-               checks: Sequence[Check]) -> list[Finding]:
-    """All unsuppressed findings over *modules*, sorted by location."""
+               checks: Sequence[Check],
+               *, report_unused_allows: bool = False) -> list[Finding]:
+    """All unsuppressed findings over *modules*, sorted by location.
+
+    With *report_unused_allows*, every ``# repro: allow[RULE]`` comment
+    that suppressed nothing is itself reported as a
+    :data:`UNUSED_ALLOW_RULE` finding -- but only for rules the active
+    check set could have produced, so a filtered run never calls a
+    suppression for an unselected rule stale.
+    """
     by_path = {m.relpath: m for m in modules}
     findings: list[Finding] = []
     for check in checks:
@@ -146,11 +163,27 @@ def run_checks(modules: Sequence[ModuleInfo],
             findings.extend(check.check_module(mod))
         findings.extend(check.check_program(modules))
     kept = []
+    used: set[tuple[str, int, str]] = set()
     for f in findings:
         mod = by_path.get(f.path)
         if mod is not None and mod.allows(f.rule, f.line):
+            used.add((f.path, f.line, f.rule))
             continue
         kept.append(f)
+    if report_unused_allows:
+        active = {check.rule for check in checks}
+        for mod in modules:
+            for line, rules in sorted(mod.suppressions().items()):
+                for rule in sorted(rules):
+                    if rule not in active:
+                        continue
+                    if (mod.relpath, line, rule) in used:
+                        continue
+                    kept.append(Finding(
+                        mod.relpath, line, UNUSED_ALLOW_RULE,
+                        f"unused suppression: no {rule} finding on this "
+                        f"line; delete the allow[{rule}] comment",
+                        severity="warning"))
     return sorted(set(kept))
 
 

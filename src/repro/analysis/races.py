@@ -1,0 +1,291 @@
+"""Static yield-point hazard rules (RACE01-03).
+
+A ``yield`` inside a simulation process is a scheduling point: any other
+process may run before the generator resumes, at the *same* simulated
+timestamp.  Code that latches shared state on one side of a yield and
+consumes it on the other is therefore exactly as racy as unlocked
+shared-memory code between threads -- these rules flag the three
+patterns that caused real divergence under the schedule fuzzer:
+
+    RACE01  check-then-act: a guard tested on shared mutable state whose
+            guarded body yields and then keeps acting without
+            re-validating the guard after resuming
+    RACE02  mutating a shared container inside a loop that iterates the
+            same container across a yield
+    RACE03  caching ``engine.now`` or a resource snapshot in a local and
+            reading the stale copy after a later yield (the elapsed-time
+            idiom ``engine.now - t0`` is exempt)
+
+The rules are heuristic (attribute-name based) and complement the
+dynamic pair: the happens-before sanitizer proves an access pattern is
+order-dependent at runtime, the schedule fuzzer proves the divergence is
+observable, and these rules catch the shape at review time before either
+ever runs.  Suppress a deliberate occurrence with ``# repro:
+allow[RACE01]`` (and friends) on the offending line.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator
+
+from .core import Check, Finding, ModuleInfo
+
+#: attribute names that read shared mutable simulation state (resource
+#: and container snapshots, liveness flags, breaker/admission state)
+GUARD_ATTRS = frozenset({
+    "level", "count", "queue_length", "queued", "utilisation",
+    "alive", "state", "items",
+})
+
+#: snapshot sources RACE03 tracks across yields
+SNAPSHOT_ATTRS = frozenset({
+    "now", "level", "count", "queue_length", "queued", "utilisation",
+})
+
+#: method names that mutate a container in place
+MUTATORS = frozenset({
+    "append", "appendleft", "add", "discard", "remove", "pop",
+    "popleft", "clear", "extend", "insert", "update", "setdefault",
+})
+
+
+def _dotted(node: ast.expr) -> "str | None":
+    """Flatten ``a.b.c`` attribute chains to a dotted string."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _own_nodes(func: ast.AST) -> Iterator[ast.AST]:
+    """Walk *func*'s body without descending into nested functions."""
+    stack: list[ast.AST] = list(ast.iter_child_nodes(func))
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.Lambda)):
+            continue
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def _is_generator(func: ast.AST) -> bool:
+    return any(isinstance(n, (ast.Yield, ast.YieldFrom))
+               for n in _own_nodes(func))
+
+
+def iter_generator_functions(tree: ast.Module) -> Iterator[ast.FunctionDef]:
+    """Every (sync) generator function definition in *tree*."""
+    for node in ast.walk(tree):
+        if isinstance(node, ast.FunctionDef) and _is_generator(node):
+            yield node
+
+
+def _shared_reads(node: ast.expr) -> list[str]:
+    """Dotted chains in *node* that read shared-state attributes."""
+    out = []
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Attribute) and sub.attr in GUARD_ATTRS:
+            chain = _dotted(sub)
+            if chain is not None:
+                out.append(chain)
+    return out
+
+
+def _yields_in(stmts: "list[ast.stmt]") -> list[ast.AST]:
+    found: list[ast.AST] = []
+    for stmt in stmts:
+        for node in _own_nodes_of_stmts([stmt]):
+            if isinstance(node, (ast.Yield, ast.YieldFrom)):
+                found.append(node)
+    return found
+
+
+def _own_nodes_of_stmts(stmts: "list[ast.stmt]") -> Iterator[ast.AST]:
+    stack: list[ast.AST] = list(stmts)
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.Lambda)):
+            continue
+        stack.extend(ast.iter_child_nodes(node))
+
+
+class CheckThenActCheck(Check):
+    """RACE01: guard on shared state consumed on the far side of a yield."""
+
+    rule = "RACE01"
+    description = ("a guard tested on shared mutable state must be "
+                   "re-validated after an intervening yield before acting")
+
+    def check_module(self, mod: ModuleInfo) -> Iterable[Finding]:
+        if mod.module is None:
+            return
+        for func in iter_generator_functions(mod.tree):
+            yield from self._check_function(mod, func)
+
+    def _check_function(self, mod: ModuleInfo,
+                        func: ast.FunctionDef) -> Iterable[Finding]:
+        for node in _own_nodes(func):
+            if not isinstance(node, (ast.If, ast.While)):
+                continue
+            reads = _shared_reads(node.test)
+            if not reads:
+                continue
+            yields = _yields_in(node.body)
+            if not yields:
+                continue
+            last_yield_line = max(getattr(y, "lineno", 0) for y in yields)
+            acts_after = [
+                s for s in node.body
+                if getattr(s, "lineno", 0) > last_yield_line
+            ]
+            if not acts_after:
+                continue
+            if self._revalidated(acts_after, set(reads)):
+                continue
+            yield self.finding(
+                mod, node,
+                f"guard on shared state ({', '.join(sorted(set(reads)))}) "
+                f"still acts after the yield at line {last_yield_line}; "
+                f"re-validate the condition after resuming")
+
+    @staticmethod
+    def _revalidated(stmts: "list[ast.stmt]", reads: set[str]) -> bool:
+        """Do the trailing statements re-test any of the guarded chains?"""
+        for node in _own_nodes_of_stmts(stmts):
+            if isinstance(node, (ast.If, ast.While)) \
+                    and set(_shared_reads(node.test)) & reads:
+                return True
+        return False
+
+
+class IterateWhileMutatingCheck(Check):
+    """RACE02: container mutated while iterated across a yield."""
+
+    rule = "RACE02"
+    description = ("do not mutate a shared container inside a loop that "
+                   "iterates it across a yield; snapshot it first")
+
+    def check_module(self, mod: ModuleInfo) -> Iterable[Finding]:
+        if mod.module is None:
+            return
+        for func in iter_generator_functions(mod.tree):
+            for node in _own_nodes(func):
+                if not isinstance(node, ast.For):
+                    continue
+                target = _dotted(node.iter)
+                if target is None:
+                    continue
+                if not _yields_in(node.body):
+                    continue
+                mutation = self._first_mutation(node.body, target)
+                if mutation is not None:
+                    yield self.finding(
+                        mod, node,
+                        f"iterates {target} across a yield while line "
+                        f"{mutation} mutates it; iterate over a snapshot "
+                        f"(list({target})) instead")
+
+    @staticmethod
+    def _first_mutation(stmts: "list[ast.stmt]",
+                        target: str) -> "int | None":
+        for node in _own_nodes_of_stmts(stmts):
+            if isinstance(node, ast.Call) \
+                    and isinstance(node.func, ast.Attribute) \
+                    and node.func.attr in MUTATORS \
+                    and _dotted(node.func.value) == target:
+                return node.lineno
+            if isinstance(node, (ast.Assign, ast.AugAssign)):
+                targets = (node.targets if isinstance(node, ast.Assign)
+                           else [node.target])
+                for t in targets:
+                    if isinstance(t, ast.Subscript) \
+                            and _dotted(t.value) == target:
+                        return node.lineno
+            if isinstance(node, ast.Delete):
+                for t in node.targets:
+                    if isinstance(t, ast.Subscript) \
+                            and _dotted(t.value) == target:
+                        return node.lineno
+        return None
+
+
+class StaleSnapshotCheck(Check):
+    """RACE03: a cached clock/resource snapshot read after a later yield."""
+
+    rule = "RACE03"
+    description = ("engine.now / resource snapshots cached before a yield "
+                   "are stale afterwards; re-read them (elapsed-time "
+                   "subtraction is exempt)")
+
+    def check_module(self, mod: ModuleInfo) -> Iterable[Finding]:
+        if mod.module is None:
+            return
+        for func in iter_generator_functions(mod.tree):
+            yield from self._check_function(mod, func)
+
+    def _check_function(self, mod: ModuleInfo,
+                        func: ast.FunctionDef) -> Iterable[Finding]:
+        snapshots: dict[str, list[tuple[int, str]]] = {}
+        for node in _own_nodes(func):
+            if isinstance(node, ast.Assign) and len(node.targets) == 1 \
+                    and isinstance(node.targets[0], ast.Name) \
+                    and isinstance(node.value, ast.Attribute) \
+                    and node.value.attr in SNAPSHOT_ATTRS:
+                chain = _dotted(node.value)
+                if chain is not None:
+                    snapshots.setdefault(node.targets[0].id, []).append(
+                        (node.lineno, chain))
+        if not snapshots:
+            return
+        yield_lines = sorted(
+            n.lineno for n in _own_nodes(func)
+            if isinstance(n, (ast.Yield, ast.YieldFrom)))
+        exempt = self._exempt_loads(func)
+        for node in _own_nodes(func):
+            if not (isinstance(node, ast.Name)
+                    and isinstance(node.ctx, ast.Load)
+                    and node.id in snapshots):
+                continue
+            # a load is judged against the latest snapshot taken before it
+            # (a re-read after the yield starts a fresh window)
+            before = [(ln, ch) for ln, ch in snapshots[node.id]
+                      if ln < node.lineno]
+            if not before:
+                continue
+            taken_line, chain = max(before)
+            crossed = [y for y in yield_lines if taken_line < y < node.lineno]
+            if not crossed:
+                continue
+            if id(node) in exempt:
+                continue
+            yield self.finding(
+                mod, node,
+                f"{node.id} caches {chain} from line {taken_line} but is "
+                f"read after the yield at line {crossed[-1]}; the snapshot "
+                f"is stale -- re-read {chain}")
+
+    @staticmethod
+    def _exempt_loads(func: ast.AST) -> set[int]:
+        """Loads used as the right operand of a subtraction (elapsed time)."""
+        out: set[int] = set()
+        for node in _own_nodes(func):
+            if isinstance(node, ast.BinOp) and isinstance(node.op, ast.Sub) \
+                    and isinstance(node.right, ast.Name):
+                out.add(id(node.right))
+        return out
+
+
+#: the yield-point hazard rules, in reporting order
+RACE_CHECKS: tuple[Check, ...] = (
+    CheckThenActCheck(),
+    IterateWhileMutatingCheck(),
+    StaleSnapshotCheck(),
+)

@@ -1,0 +1,75 @@
+"""Minimal SARIF 2.1.0 serialisation of analyzer findings.
+
+SARIF (Static Analysis Results Interchange Format) is the lingua franca
+code-scanning UIs ingest -- GitHub code scanning, VS Code SARIF viewers,
+and most CI annotators.  This emits the smallest valid document those
+consumers accept: one run, one driver, one rule descriptor per distinct
+rule, one result per finding.  No optional blocks, no extensions.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from .core import ANALYZER_VERSION, Check, Finding
+
+#: SARIF severity levels for the analyzer's severities
+_LEVELS = {"error": "error", "warning": "warning"}
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = ("https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
+                "master/Schemata/sarif-schema-2.1.0.json")
+
+
+def to_sarif(findings: Sequence[Finding],
+             checks: Sequence[Check]) -> dict[str, object]:
+    """A SARIF 2.1.0 document covering *findings* from *checks*."""
+    descriptors = [
+        {
+            "id": check.rule,
+            "shortDescription": {"text": check.description},
+            "defaultConfiguration": {
+                "level": _LEVELS.get(check.severity, "error"),
+            },
+        }
+        for check in checks
+    ]
+    known = {check.rule for check in checks}
+    # findings can carry framework rules (SUP01) with no Check object;
+    # synthesise a bare descriptor so every result resolves
+    for rule in sorted({f.rule for f in findings} - known):
+        descriptors.append({
+            "id": rule,
+            "shortDescription": {"text": "framework-reported finding"},
+            "defaultConfiguration": {"level": "warning"},
+        })
+    index = {d["id"]: i for i, d in enumerate(descriptors)}
+    results = [
+        {
+            "ruleId": f.rule,
+            "ruleIndex": index[f.rule],
+            "level": _LEVELS.get(f.severity, "error"),
+            "message": {"text": f.message},
+            "locations": [{
+                "physicalLocation": {
+                    "artifactLocation": {"uri": f.path},
+                    "region": {"startLine": f.line},
+                },
+            }],
+        }
+        for f in findings
+    ]
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [{
+            "tool": {
+                "driver": {
+                    "name": "repro.analysis",
+                    "version": ANALYZER_VERSION,
+                    "rules": descriptors,
+                },
+            },
+            "results": results,
+        }],
+    }

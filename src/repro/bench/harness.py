@@ -53,6 +53,11 @@ class BenchResult:
     metrics: dict[str, Any] = field(default_factory=dict)
     seed: int | None = None
     events_per_sec: float | None = None
+    #: wall-clock measurements (seconds).  Archived for the trajectory
+    #: but -- like ``events_per_sec`` -- never compared by
+    #: ``snapshot.py --check``, which gates on ``metrics`` only:
+    #: simulated outputs must be deterministic, wall time never is.
+    timings: dict[str, float] | None = None
     #: human-facing tables: (title, headers, rows)
     tables: list[tuple[str, Sequence[str], list[Sequence[Any]]]] = \
         field(default_factory=list)
@@ -75,6 +80,9 @@ class BenchResult:
             body["seed"] = self.seed
         if self.events_per_sec is not None:
             body["events_per_sec"] = round(self.events_per_sec, 1)
+        if self.timings is not None:
+            body["timings"] = {k: round(v, 3)
+                               for k, v in sorted(self.timings.items())}
         return body
 
     def render(self) -> str:

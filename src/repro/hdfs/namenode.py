@@ -21,6 +21,7 @@ from ..common.errors import (
     ReplicationError,
 )
 from ..sim import Interrupt, Process
+from ..sim import sanitizer as _sanitizer
 from .block import Block, BlockId
 from .placement import PlacementPolicy
 
@@ -131,6 +132,8 @@ class NameNode:
         self.decommissioning.discard(name)
         self.dead_datanodes.discard(name)
         self.last_heartbeat.pop(name, None)
+        if _sanitizer.ACTIVE is not None:
+            _sanitizer.ACTIVE.access(self, "block_map", "w")
         for holders in self.block_map.values():
             holders.discard(name)
         for corrupt in self.corrupt_replicas.values():
@@ -168,12 +171,16 @@ class NameNode:
             inode.replication, self.placement_candidates(), writer_host
         )
         inode.blocks.append(block)
+        if _sanitizer.ACTIVE is not None:
+            _sanitizer.ACTIVE.access(self, "block_map", "w")
         self.block_map[block.block_id] = set()
         self.block_owner[block.block_id] = path
         return targets
 
     def block_received(self, datanode: str, block: Block) -> None:
         """A DataNode confirmed a replica (the HDFS blockReceived RPC)."""
+        if _sanitizer.ACTIVE is not None:
+            _sanitizer.ACTIVE.access(self, "block_map", "w")
         self.block_map.setdefault(block.block_id, set()).add(datanode)
 
     def complete_file(self, path: str) -> None:
@@ -189,6 +196,8 @@ class NameNode:
 
     def delete(self, path: str) -> None:
         inode = self._inode(path)
+        if _sanitizer.ACTIVE is not None:
+            _sanitizer.ACTIVE.access(self, "block_map", "w")
         for block in inode.blocks:
             for dn_name in self.block_map.pop(block.block_id, set()):
                 dn = self.fs.datanodes.get(dn_name)
@@ -205,6 +214,8 @@ class NameNode:
         return sorted(p for p in self.namespace if p.startswith(prefix))
 
     def locations(self, block_id: BlockId) -> set[str]:
+        if _sanitizer.ACTIVE is not None:
+            _sanitizer.ACTIVE.access(self, "block_map", "r")
         live = set(self.live_datanodes())
         return self.block_map.get(block_id, set()) & live
 

@@ -256,7 +256,8 @@ class JobTracker:
                     part_paths.append(part_path)
 
             result = JobResult(
-                job=job, started=started, finished=engine.now,
+                # the start *timestamp* is the point: not a stale snapshot
+                job=job, started=started, finished=engine.now,  # repro: allow[RACE03]
                 counters=counters, output=output, part_paths=sorted(part_paths),
             )
             fs.cluster.log.emit(

@@ -26,8 +26,9 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Iterable
 
 from ..common.errors import ReconcileError, ReproError
-from ..hardware import Cluster
+from ..hardware import Cluster, PhysicalHost
 from ..sim import Interrupt, Process
+from ..sim import sanitizer as _sanitizer
 from .autoscaler import Autoscaler
 from .pools import MemberStatus, PoolAdapter
 from .spec import FleetSpec, PoolSpec
@@ -209,6 +210,12 @@ class Reconciler:
         self._state: dict[str, _PoolState] = {}
         self._host_failures: dict[str, int] = {}
         self._cordoned_until: dict[str, float] = {}
+        # event-driven liveness: hosts report back via on_recover/on_fail
+        # listeners instead of the sweep polling host.alive, so an
+        # uncordon decision never depends on same-timestamp dispatch
+        # order between a sweep and the host's recovery event
+        self._host_alive_since: dict[str, float] = {}
+        self._watched_hosts: set[str] = set()
         self._proc: Process | None = None
         self._stop = False
         metrics = cluster.metrics
@@ -240,6 +247,8 @@ class Reconciler:
         for pool in spec.pools:
             if pool.name not in self.adapters:
                 raise ReconcileError(f"no adapter for pool {pool.name!r}")
+        if _sanitizer.ACTIVE is not None:
+            _sanitizer.ACTIVE.access(self, "spec", "w")
         previous = self.spec if self._applied else None
         self.spec = spec
         self._applied = True
@@ -318,6 +327,9 @@ class Reconciler:
 
     def sweep(self) -> None:
         """Diff desired vs observed for every pool and act on it."""
+        if _sanitizer.ACTIVE is not None:
+            # a sweep both reads the spec and may rewrite it (autoscaler)
+            _sanitizer.ACTIVE.access(self, "spec", "w")
         now = self.engine.now
         self.sweeps += 1
         self._m_sweeps.inc()
@@ -550,17 +562,34 @@ class Reconciler:
             # hosts outside the compute pool (e.g. the front-end) cannot
             # be cordoned; just keep counting
             return
+        host_obj = self.cluster.host(host)
+        if host not in self._watched_hosts:
+            self._watched_hosts.add(host)
+            host_obj.on_recover(self._note_host_recovered)
+            host_obj.on_fail(self._note_host_down)
+        if host_obj.alive:
+            self._host_alive_since[host] = now
         self._cordoned_until[host] = now + self.cordon_probation
         self.actions.record(
             "fleet", "cordon", member=host,
             detail=f"{self._host_failures[host]} member failures")
 
+    def _note_host_recovered(self, host: PhysicalHost) -> None:
+        self._host_alive_since[host.name] = self.engine.now
+
+    def _note_host_down(self, host: PhysicalHost) -> None:
+        self._host_alive_since.pop(host.name, None)
+
     def _sweep_cordons(self, now: float) -> None:
         for host in sorted(self._cordoned_until):
             if now < self._cordoned_until[host]:
                 continue
-            if not self.cluster.host(host).alive:
-                continue             # probation extends while it is down
+            alive_since = self._host_alive_since.get(host)
+            if alive_since is None or alive_since >= now:
+                # down, or came back at this very instant: probation
+                # extends to the next sweep either way, regardless of
+                # how the tie between sweep and recovery was broken
+                continue
             self.cloud.uncordon_host(host)
             del self._cordoned_until[host]
             self._host_failures[host] = 0

@@ -28,6 +28,7 @@ from collections import deque
 from typing import TYPE_CHECKING
 
 from ..common.errors import AdmissionShedError, ConfigError
+from ..sim import sanitizer as _sanitizer
 
 if TYPE_CHECKING:  # pragma: no cover - annotations only
     from ..obs import MetricsRegistry
@@ -94,6 +95,8 @@ class AdmissionController:
 
     @property
     def queued(self) -> int:
+        if _sanitizer.ACTIVE is not None:
+            _sanitizer.ACTIVE.access(self, "queues", "r")
         return sum(len(q) for q in self._queues.values())
 
     @property
@@ -108,6 +111,8 @@ class AdmissionController:
         :class:`AdmissionShedError` when this work (or no queue space)
         is shed.  Yield it before doing the work; pair with :meth:`leave`."""
         self.rank(kind)  # validate
+        if _sanitizer.ACTIVE is not None:
+            _sanitizer.ACTIVE.access(self, "queues", "w")
         ticket = self.engine.event()
         if self.active < self.capacity:
             self._grant(kind, ticket)
@@ -130,6 +135,8 @@ class AdmissionController:
     def leave(self, kind: str) -> None:
         """Release a slot granted by :meth:`enter`; promotes queued work."""
         self.rank(kind)  # validate
+        if _sanitizer.ACTIVE is not None:
+            _sanitizer.ACTIVE.access(self, "queues", "w")
         if self.active <= 0:
             raise ConfigError(f"{self.name}: leave() without a matching enter()")
         self.active -= 1

@@ -20,6 +20,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Callable
 
 from ..common.errors import CircuitOpenError, ConfigError
+from ..sim import sanitizer as _sanitizer
 
 if TYPE_CHECKING:  # pragma: no cover - annotations only
     from ..common.rng import RngStream
@@ -89,6 +90,9 @@ class CircuitBreaker:
         Half-open admits exactly one probe at a time: a True answer claims
         the probe slot, which frees again when its outcome is recorded.
         """
+        if _sanitizer.ACTIVE is not None:
+            # allow() may claim the probe slot, so it counts as a write
+            _sanitizer.ACTIVE.access(self, "state", "w")
         if self.state == "closed":
             return True
         if self.state == "open":
@@ -116,6 +120,8 @@ class CircuitBreaker:
     # -- outcome reporting ---------------------------------------------------
 
     def record_success(self) -> None:
+        if _sanitizer.ACTIVE is not None:
+            _sanitizer.ACTIVE.access(self, "state", "w")
         if self.state == "half_open":
             self._probe_in_flight = False
             self.consecutive_successes += 1
@@ -125,6 +131,8 @@ class CircuitBreaker:
         self.consecutive_failures = 0
 
     def record_failure(self) -> None:
+        if _sanitizer.ACTIVE is not None:
+            _sanitizer.ACTIVE.access(self, "state", "w")
         if self.state == "half_open":
             self._trip()
             return

@@ -1,4 +1,11 @@
-"""Deterministic discrete-event simulation kernel (SimPy-style, homegrown)."""
+"""Deterministic discrete-event simulation kernel (SimPy-style, homegrown).
+
+Concurrency tooling rides alongside the kernel: :mod:`repro.sim.sanitizer`
+(happens-before race detection over registered shared state, armed with
+``engine.enable_sanitizer()``) and :mod:`repro.sim.fuzz` (the schedule
+fuzzer permuting equal-``(time, priority)`` dispatch order).  Both are
+off by default and cost the fast path nothing while disarmed.
+"""
 
 from .core import (
     NORMAL,
@@ -13,6 +20,13 @@ from .core import (
     Process,
     Timeout,
 )
+from .fuzz import (
+    Divergence,
+    FuzzReport,
+    first_difference,
+    fuzz_schedules,
+    signature_digest,
+)
 from .resources import (
     Container,
     ContainerGet,
@@ -23,6 +37,7 @@ from .resources import (
     StoreGet,
     StorePut,
 )
+from .sanitizer import RaceRecord, Sanitizer
 
 __all__ = [
     "AllOf",
@@ -31,17 +46,24 @@ __all__ = [
     "Container",
     "ContainerGet",
     "ContainerPut",
+    "Divergence",
     "Engine",
     "Event",
+    "FuzzReport",
     "Initialize",
     "Interrupt",
     "NORMAL",
     "Process",
+    "RaceRecord",
     "Request",
     "Resource",
+    "Sanitizer",
     "Store",
     "StoreGet",
     "StorePut",
     "Timeout",
     "URGENT",
+    "first_difference",
+    "fuzz_schedules",
+    "signature_digest",
 ]

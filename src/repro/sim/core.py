@@ -35,9 +35,12 @@ from __future__ import annotations
 
 from collections import deque
 from heapq import heappop, heappush
-from typing import Any, Callable, Generator, Iterable
+from typing import TYPE_CHECKING, Any, Callable, Generator, Iterable
 
 from ..common.errors import SimulationError
+
+if TYPE_CHECKING:  # pragma: no cover - annotations only
+    from .sanitizer import Sanitizer
 
 # Scheduling priorities (lower fires first at equal times).
 URGENT = 0
@@ -360,6 +363,11 @@ class Engine:
         self._hot_at = -1.0
         self._hot_pri = NORMAL
         self._hot_bucket: deque | None = None
+        # Concurrency tooling, both off by default.  run() pays exactly
+        # one None-check per *call* (not per event) to route to the
+        # instrumented twin loop, so the PR-7 fast path is untaxed.
+        self._sanitizer: "Sanitizer | None" = None
+        self._shuffle = None  # RngStream permuting equal-(time, priority) runs
 
     # -- clock ----------------------------------------------------------------
 
@@ -483,6 +491,89 @@ class Engine:
         key = self._next_key()
         return key[0] if key is not None else float("inf")
 
+    # -- concurrency tooling ---------------------------------------------------
+
+    def enable_sanitizer(self) -> "Sanitizer":
+        """Arm the happens-before race sanitizer (idempotent).
+
+        Scheduling entry points are shadowed with note-taking wrappers
+        (instance attributes win over the class methods and disappear on
+        :meth:`disable_sanitizer`), and ``run()`` routes to the
+        instrumented loop -- the fast path itself is never edited, so a
+        sanitizer-off engine runs the exact PR-7 machine code.
+        """
+        if self._sanitizer is not None:
+            return self._sanitizer
+        from .sanitizer import Sanitizer, activate
+
+        san = Sanitizer(self)
+        self._sanitizer = san
+        plain_schedule = Engine._schedule.__get__(self)
+
+        def _schedule(event: Event, priority: int, delay: float = 0.0) -> None:
+            san.note_schedule(event)
+            plain_schedule(event, priority, delay)
+
+        def call_later(delay: float, fn: Callable[..., Any], *args: Any,
+                       urgent: bool = False) -> None:
+            if delay < 0:
+                raise SimulationError(f"negative call_later delay: {delay}")
+            cell = (fn, args)
+            san.note_schedule(cell)
+            self._insert(self._now + delay,
+                         URGENT if urgent else NORMAL, cell)
+
+        def call_at(when: float, fn: Callable[..., Any], *args: Any,
+                    urgent: bool = False) -> None:
+            if when < self._now:
+                raise SimulationError(
+                    f"call_at({when}) is in the past (now={self._now})")
+            cell = (fn, args)
+            san.note_schedule(cell)
+            self._insert(when, URGENT if urgent else NORMAL, cell)
+
+        self._schedule = _schedule          # type: ignore[method-assign]
+        self.call_later = call_later        # type: ignore[method-assign]
+        self.call_at = call_at              # type: ignore[method-assign]
+        activate(san)
+        return san
+
+    def disable_sanitizer(self) -> None:
+        """Disarm the sanitizer and restore the plain schedule methods."""
+        if self._sanitizer is None:
+            return
+        from .sanitizer import deactivate
+
+        deactivate(self._sanitizer)
+        self._sanitizer = None
+        for name in ("_schedule", "call_later", "call_at"):
+            self.__dict__.pop(name, None)
+
+    def enable_schedule_shuffle(self, seed: int) -> None:
+        """Permute equal-``(time, priority)`` dispatch order, seeded.
+
+        The shuffle is the schedule fuzzer's lever: every legal
+        tie-break order is a legal schedule, so any report that changes
+        under a reshuffle depends on dispatch order -- a race.  Ordering
+        *between* distinct keys (times, priorities) is untouched.
+        """
+        from ..common.rng import RngStream
+
+        self._shuffle = RngStream(int(seed), "schedule-shuffle")
+
+    def disable_schedule_shuffle(self) -> None:
+        """Restore plain FIFO draining of equal-key buckets."""
+        self._shuffle = None
+
+    def _insert(self, at: float, priority: int, entry: Any) -> None:
+        """Plain (uncached) schedule insert used by the sanitizer wrappers."""
+        key = (at, priority)
+        bucket = self._buckets.get(key)
+        if bucket is None:
+            self._buckets[key] = bucket = deque()
+            heappush(self._keys, key)
+        bucket.append(entry)
+
     def _dispatch(self, entry: Any) -> None:
         """Fire one schedule entry (timer cell or event) at the current time.
 
@@ -534,6 +625,8 @@ class Engine:
         * ``until=<float>``-- advance to that time (clock lands exactly there).
         * ``until=<Event>``-- run until that event triggers; returns its value.
         """
+        if self._sanitizer is not None or self._shuffle is not None:
+            return self._run_instrumented(until)
         stop_event: Event | None = None
         deadline: float | None = None
         if isinstance(until, Event):
@@ -639,6 +732,93 @@ class Engine:
         if stop_event is not None:
             if not stop_event.triggered:
                 raise SimulationError("run() ran out of events before `until` triggered")
+            if not stop_event._ok:
+                stop_event._defused = True
+                raise stop_event._value
+            return stop_event._value
+        return None
+
+    def _run_instrumented(self, until: "float | Event | None" = None) -> Any:
+        """run()'s twin for when the sanitizer or schedule shuffle is armed.
+
+        Same semantics as the fast path (deadline, stop events, URGENT
+        preemption mid-drain, lazy stale-key deletion) at lower speed:
+        each entry funnels through the sanitizer for happens-before
+        attribution, and equal-``(time, priority)`` buckets are permuted
+        by the seeded shuffle stream before draining (entries scheduled
+        into the key mid-drain append FIFO behind the permuted prefix
+        and are re-permuted if the drain is preempted and resumed).
+        Timeout freelist recycling is deliberately skipped: correctness
+        tooling must never observe a recycled cell.
+        """
+        stop_event: Event | None = None
+        deadline: float | None = None
+        if isinstance(until, Event):
+            stop_event = until
+            if stop_event.callbacks is None:
+                return stop_event._value
+        elif until is not None:
+            deadline = float(until)
+            if deadline < self._now:
+                raise SimulationError(
+                    f"run(until={deadline}) is in the past (now={self._now})")
+
+        keys = self._keys
+        buckets = self._buckets
+        san = self._sanitizer
+        shuffle = self._shuffle
+        while keys:
+            key = keys[0]
+            bucket = buckets.get(key)
+            if bucket is None:
+                heappop(keys)
+                continue
+            if deadline is not None and key[0] > deadline:
+                break
+            if stop_event is not None and stop_event.callbacks is None:
+                break
+            self._now = key[0]
+            if shuffle is not None and len(bucket) > 1:
+                permuted = shuffle.shuffle(list(bucket))
+                bucket.clear()
+                bucket.extend(permuted)
+            while bucket:
+                entry = bucket.popleft()
+                self.events_dispatched += 1
+                if san is not None:
+                    san.dispatch(entry)
+                elif entry.__class__ is tuple:
+                    fn, args = entry
+                    fn(*args)
+                else:
+                    callbacks, entry.callbacks = entry.callbacks, None
+                    for cb in callbacks:
+                        cb(entry)
+                    if not entry._ok and not entry._defused:
+                        raise entry._value
+                if stop_event is not None and stop_event.callbacks is None:
+                    break
+                if keys[0] is not key:
+                    break
+            if not bucket:
+                del buckets[key]
+                if self._hot_bucket is bucket:
+                    self._hot_at = -1.0
+                    self._hot_bucket = None
+                if keys and keys[0] is key:
+                    heappop(keys)
+
+        if san is not None:
+            # run() returning is a synchronization point: the caller
+            # resumes only after every dispatched event has finished,
+            # so its later accesses are ordered after the whole run
+            san.barrier()
+        if deadline is not None:
+            self._now = max(self._now, deadline)
+        if stop_event is not None:
+            if not stop_event.triggered:
+                raise SimulationError(
+                    "run() ran out of events before `until` triggered")
             if not stop_event._ok:
                 stop_event._defused = True
                 raise stop_event._value

@@ -1,0 +1,149 @@
+"""Schedule fuzzer: prove a report is independent of dispatch tie-breaks.
+
+The kernel drains equal-``(time, priority)`` events FIFO; every
+permutation of that order is an equally legal schedule.  The fuzzer
+re-runs a seeded scenario K times with
+:meth:`~repro.sim.core.Engine.enable_schedule_shuffle` permuting the
+tie-break order and asserts the run's *report signature* comes out
+bit-identical every time.  Any divergence is a caught race: some result
+silently depended on same-timestamp dispatch order, and the report names
+the two minimal conflicting schedules (their shuffle seeds) plus the
+first point where their signatures part ways.
+
+Contract: the caller supplies ``run(shuffle_seed)`` which must build a
+**fresh** world each call, arm ``engine.enable_schedule_shuffle(seed)``
+when the seed is not None (None means the plain FIFO baseline), run the
+scenario and return its signature -- any finitely comparable structure
+(tuples, dicts, strings, floats).  Sequences and mappings are diffed
+element-wise in divergence reports, so prefer structured signatures over
+pre-hashed digests.
+
+This module is deliberately dependency-free bookkeeping (like
+:mod:`repro.analysis.history`): storms, worlds and signature choices
+live with the callers.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+#: multiplier deriving per-shuffle seeds from the base seed (any odd
+#: constant works; fixed so fuzz runs are reproducible from one seed)
+_SEED_STRIDE = 1000003
+
+
+@dataclass(frozen=True)
+class Divergence:
+    """Two legal schedules whose report signatures disagree."""
+
+    seed_first: "int | None"    # None = the unshuffled FIFO baseline
+    seed_second: "int | None"
+    detail: str                 # first differing signature element
+
+    def format(self) -> str:
+        a = "fifo" if self.seed_first is None else f"shuffle[{self.seed_first}]"
+        b = ("fifo" if self.seed_second is None
+             else f"shuffle[{self.seed_second}]")
+        return f"{a} vs {b}: {self.detail}"
+
+
+@dataclass
+class FuzzReport:
+    """Outcome of one fuzzing campaign over a single scenario."""
+
+    shuffles: int
+    seeds: list[int]
+    signature: str = ""         # digest all runs agreed on (when ok)
+    divergences: list[Divergence] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.divergences
+
+    def summary(self) -> str:
+        if self.ok:
+            return (f"schedule fuzz: {self.shuffles} shuffled runs "
+                    f"bit-identical (signature {self.signature[:12]})")
+        lines = [f"schedule fuzz: {len(self.divergences)} divergence(s) "
+                 f"across {self.shuffles} shuffled runs -- the report "
+                 f"depends on same-timestamp dispatch order"]
+        lines += [d.format() for d in self.divergences]
+        return "\n".join(lines)
+
+
+def signature_digest(signature: Any) -> str:
+    """Stable digest of a signature structure (for archiving, not diffing)."""
+    return hashlib.sha256(repr(signature).encode()).hexdigest()
+
+
+def fuzz_schedules(run: Callable[["int | None"], Any], *,
+                   shuffles: int = 8, seed: int = 0,
+                   include_baseline: bool = True) -> FuzzReport:
+    """Re-run a scenario under *shuffles* permuted schedules and compare.
+
+    ``run(None)`` (the FIFO baseline, included unless *include_baseline*
+    is False) and ``run(seed_k)`` for K derived seeds must all return the
+    same signature.  Divergences are reported pairwise against the first
+    run -- the minimal conflicting pair for each mismatch -- and, when
+    two shuffled runs disagree with the baseline *and* each other, that
+    shuffled pair is reported too, so the two schedules to replay are
+    always named.
+    """
+    seeds = [seed * _SEED_STRIDE + k for k in range(shuffles)]
+    plan: list[int | None] = ([None] if include_baseline else []) + list(seeds)
+    signatures: list[tuple[int | None, Any]] = [
+        (s, run(s)) for s in plan]
+
+    reference_seed, reference = signatures[0]
+    report = FuzzReport(shuffles=shuffles, seeds=seeds)
+    mismatched: list[tuple[int | None, Any]] = []
+    for shuffle_seed, sig in signatures[1:]:
+        if sig != reference:
+            mismatched.append((shuffle_seed, sig))
+            report.divergences.append(Divergence(
+                reference_seed, shuffle_seed,
+                first_difference(reference, sig)))
+    # two shuffled schedules that also disagree with *each other* are a
+    # tighter repro pair than either-vs-baseline; name the first such pair
+    for i, (seed_a, sig_a) in enumerate(mismatched):
+        for seed_b, sig_b in mismatched[i + 1:]:
+            if sig_a != sig_b:
+                report.divergences.append(Divergence(
+                    seed_a, seed_b, first_difference(sig_a, sig_b)))
+                break
+        else:
+            continue
+        break
+    if report.ok:
+        report.signature = signature_digest(reference)
+    return report
+
+
+def first_difference(a: Any, b: Any, path: str = "sig") -> str:
+    """Human-readable pointer at the first place *a* and *b* disagree."""
+    if type(a) is not type(b):
+        return f"{path}: type {type(a).__name__} != {type(b).__name__}"
+    if isinstance(a, dict):
+        for key in sorted(set(a) | set(b), key=repr):
+            if key not in a:
+                return f"{path}[{key!r}]: missing on the left"
+            if key not in b:
+                return f"{path}[{key!r}]: missing on the right"
+            if a[key] != b[key]:
+                return first_difference(a[key], b[key], f"{path}[{key!r}]")
+        return f"{path}: dicts compare unequal but share items"
+    if isinstance(a, (list, tuple)):
+        for i, (xa, xb) in enumerate(zip(a, b)):
+            if xa != xb:
+                return first_difference(xa, xb, f"{path}[{i}]")
+        if len(a) != len(b):
+            return f"{path}: length {len(a)} != {len(b)}"
+        return f"{path}: sequences compare unequal but share items"
+    ra, rb = repr(a), repr(b)
+    if len(ra) > 80:
+        ra = ra[:77] + "..."
+    if len(rb) > 80:
+        rb = rb[:77] + "..."
+    return f"{path}: {ra} != {rb}"

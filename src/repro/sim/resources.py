@@ -10,6 +10,12 @@ waiters are plain counters instead of membership lists, and cancelling a
 queued claim just flags it -- the dispatch loop skips flagged entries
 lazily when they reach the head of their deque, so a busy resource never
 pays an O(n) ``remove``.
+
+Every operation and snapshot read is tagged for the happens-before
+sanitizer (:mod:`repro.sim.sanitizer`): while an engine has the
+sanitizer armed, unordered same-timestamp access pairs on a resource are
+reported as schedule races.  Disarmed, each tag is a single attribute
+load plus a None check.
 """
 
 from __future__ import annotations
@@ -33,6 +39,9 @@ class Request(Event):
 
     def __init__(self, resource: "Resource") -> None:
         super().__init__(resource.engine)
+        san = resource.engine._sanitizer
+        if san is not None:
+            san.access(resource, "slots", "w")
         self.resource = resource
         self._state = _QUEUED
         resource._waiting += 1
@@ -68,10 +77,16 @@ class Resource:
     @property
     def count(self) -> int:
         """Slots currently held."""
+        san = self.engine._sanitizer
+        if san is not None:
+            san.access(self, "slots", "r")
         return self._held
 
     @property
     def queue_length(self) -> int:
+        san = self.engine._sanitizer
+        if san is not None:
+            san.access(self, "slots", "r")
         return self._waiting
 
     def request(self) -> Request:
@@ -79,6 +94,9 @@ class Resource:
 
     def release(self, request: Request) -> None:
         """Give back a slot (or cancel a still-queued request) in O(1)."""
+        san = self.engine._sanitizer
+        if san is not None:
+            san.access(self, "slots", "w")
         if request._state == _HELD:
             request._state = _DONE
             self._held -= 1
@@ -107,6 +125,9 @@ class ContainerPut(Event):
         if amount <= 0:
             raise SimulationError(f"put amount must be > 0, got {amount}")
         super().__init__(container.engine)
+        san = container.engine._sanitizer
+        if san is not None:
+            san.access(container, "level", "w")
         self.amount = amount
         self._abandoned = False
         container._puts.append(self)
@@ -120,6 +141,9 @@ class ContainerGet(Event):
         if amount <= 0:
             raise SimulationError(f"get amount must be > 0, got {amount}")
         super().__init__(container.engine)
+        san = container.engine._sanitizer
+        if san is not None:
+            san.access(container, "level", "w")
         self.amount = amount
         self._abandoned = False
         container._gets.append(self)
@@ -145,6 +169,9 @@ class Container:
 
     @property
     def level(self) -> float:
+        san = self.engine._sanitizer
+        if san is not None:
+            san.access(self, "level", "r")
         return self._level
 
     def put(self, amount: float) -> ContainerPut:
@@ -156,6 +183,9 @@ class Container:
     def cancel(self, event: Event) -> None:
         """Withdraw a still-pending put/get (O(1): flagged, skipped lazily)."""
         if isinstance(event, (ContainerPut, ContainerGet)) and not event.triggered:
+            san = self.engine._sanitizer
+            if san is not None:
+                san.access(self, "level", "w")
             event._abandoned = True
 
     def _dispatch(self) -> None:
@@ -184,6 +214,9 @@ class StorePut(Event):
 
     def __init__(self, store: "Store", item: Any) -> None:
         super().__init__(store.engine)
+        san = store.engine._sanitizer
+        if san is not None:
+            san.access(store, "items", "w")
         self.item = item
         self._abandoned = False
         store._puts.append(self)
@@ -195,6 +228,9 @@ class StoreGet(Event):
 
     def __init__(self, store: "Store") -> None:
         super().__init__(store.engine)
+        san = store.engine._sanitizer
+        if san is not None:
+            san.access(store, "items", "w")
         self._abandoned = False
         store._gets.append(self)
         store._dispatch()
@@ -213,6 +249,9 @@ class Store:
         self._gets: deque[StoreGet] = deque()
 
     def __len__(self) -> int:
+        san = self.engine._sanitizer
+        if san is not None:
+            san.access(self, "items", "r")
         return len(self.items)
 
     def put(self, item: Any) -> StorePut:
@@ -224,6 +263,9 @@ class Store:
     def cancel(self, event: Event) -> None:
         """Withdraw a still-pending put/get (O(1): flagged, skipped lazily)."""
         if isinstance(event, (StorePut, StoreGet)) and not event.triggered:
+            san = self.engine._sanitizer
+            if san is not None:
+                san.access(self, "items", "w")
             event._abandoned = True
 
     def _dispatch(self) -> None:

@@ -387,12 +387,13 @@ class WebServer:
                 if shed is not None:
                     if route.alias_of is not None:
                         _mark_deprecated(shed)
-                    return self._finish_shed(request, shed, t0,
+                    # t0 is the arrival timestamp the latency math needs
+                    return self._finish_shed(request, shed, t0,  # repro: allow[RACE03]
                                              route.alias_of or route.pattern)
             kind = self._admitted_kind(route)
             try:
                 response, route_label = yield from self._serve_inner(
-                    request, t0, route_label)
+                    request, t0, route_label)  # repro: allow[RACE03]
             finally:
                 if kind is not None:
                     self.admission.leave(kind)

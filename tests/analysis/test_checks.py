@@ -39,8 +39,9 @@ def test_rule_registry_is_complete():
     assert rule_ids() == [
         "DET01", "DET02", "ARCH01", "ARCH02",
         "ERR01", "OBS01", "OBS02", "API01",
+        "RACE01", "RACE02", "RACE03",
     ]
-    assert len(ALL_CHECKS) == 8
+    assert len(ALL_CHECKS) == 11
     assert all(c.description for c in ALL_CHECKS)
 
 

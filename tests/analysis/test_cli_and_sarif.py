@@ -1,0 +1,189 @@
+"""SUP01 unused-suppression detection, SARIF output, and the CLI contract."""
+
+from __future__ import annotations
+
+import json
+import textwrap
+
+from repro.analysis import ALL_CHECKS, ANALYZER_VERSION, run_checks, to_sarif
+from repro.analysis.__main__ import main
+from repro.analysis.core import UNUSED_ALLOW_RULE, ModuleInfo
+from repro.analysis.races import RACE_CHECKS
+from repro.analysis.sarif import SARIF_SCHEMA, SARIF_VERSION
+
+RACY = textwrap.dedent("""
+    def consume(engine: object, tank: object) -> object:
+        yield engine.timeout(1.0)
+        if tank.level >= 5:
+            yield engine.timeout(0.5)
+            tank.get(5)
+""")
+
+SUPPRESSED = RACY.replace("if tank.level >= 5:",
+                          "if tank.level >= 5:  # repro: allow[RACE01]")
+
+CLEAN = "def double(x: int) -> int:\n    return 2 * x\n"
+
+STALE_ALLOW = "LIMIT = 3  # repro: allow[RACE01]\n"
+
+
+def mod(source: str, path: str = "src/repro/fake/mod.py") -> ModuleInfo:
+    return ModuleInfo(path, source)
+
+
+# -- SUP01: unused-suppression detection --------------------------------------
+
+
+class TestUnusedAllows:
+    def test_stale_allow_reported_as_sup01_warning(self):
+        found = run_checks([mod(STALE_ALLOW)], RACE_CHECKS,
+                           report_unused_allows=True)
+        assert len(found) == 1
+        f = found[0]
+        assert f.rule == UNUSED_ALLOW_RULE
+        assert f.severity == "warning"
+        assert f.line == 1
+        assert "delete the allow[RACE01] comment" in f.message
+
+    def test_used_allow_is_not_reported(self):
+        found = run_checks([mod(SUPPRESSED)], RACE_CHECKS,
+                           report_unused_allows=True)
+        assert found == []
+
+    def test_off_by_default(self):
+        assert run_checks([mod(STALE_ALLOW)], RACE_CHECKS) == []
+
+    def test_unselected_rule_suppressions_are_not_called_stale(self):
+        # a RACE01 allow is not stale just because a filtered run only
+        # executed RACE02/RACE03 -- the rule never had a chance to fire
+        subset = [c for c in RACE_CHECKS if c.rule != "RACE01"]
+        found = run_checks([mod(SUPPRESSED)], subset,
+                           report_unused_allows=True)
+        assert found == []
+
+    def test_sup01_itself_is_not_suppressible(self):
+        src = STALE_ALLOW.replace("allow[RACE01]", "allow[RACE01, SUP01]")
+        found = run_checks([mod(src)], RACE_CHECKS,
+                           report_unused_allows=True)
+        assert [f.rule for f in found] == [UNUSED_ALLOW_RULE]
+
+
+# -- SARIF serialisation ------------------------------------------------------
+
+
+class TestSarif:
+    def test_document_shape_and_versioning(self):
+        doc = to_sarif([], ALL_CHECKS)
+        assert doc["$schema"] == SARIF_SCHEMA
+        assert doc["version"] == SARIF_VERSION
+        (run,) = doc["runs"]
+        driver = run["tool"]["driver"]
+        assert driver["name"] == "repro.analysis"
+        assert driver["version"] == ANALYZER_VERSION
+        assert [r["id"] for r in driver["rules"]] == \
+            [c.rule for c in ALL_CHECKS]
+        assert run["results"] == []
+
+    def test_results_resolve_through_rule_index(self):
+        found = run_checks([mod(RACY)], RACE_CHECKS)
+        assert found, "fixture must produce findings"
+        doc = to_sarif(found, RACE_CHECKS)
+        (run,) = doc["runs"]
+        rules = run["tool"]["driver"]["rules"]
+        for result, f in zip(run["results"], found):
+            assert result["ruleId"] == f.rule
+            assert rules[result["ruleIndex"]]["id"] == f.rule
+            loc = result["locations"][0]["physicalLocation"]
+            assert loc["artifactLocation"]["uri"] == f.path
+            assert loc["region"]["startLine"] == f.line
+
+    def test_framework_rules_get_synthesised_descriptors(self):
+        found = run_checks([mod(STALE_ALLOW)], RACE_CHECKS,
+                           report_unused_allows=True)
+        doc = to_sarif(found, RACE_CHECKS)
+        (run,) = doc["runs"]
+        rules = run["tool"]["driver"]["rules"]
+        sup = [r for r in rules if r["id"] == UNUSED_ALLOW_RULE]
+        assert len(sup) == 1
+        assert sup[0]["defaultConfiguration"]["level"] == "warning"
+        (result,) = run["results"]
+        assert result["level"] == "warning"
+
+
+# -- the CLI contract: formats, --fix, exit codes -----------------------------
+
+
+def write_tree(tmp_path, source: str):
+    target = tmp_path / "src" / "repro" / "fake"
+    target.mkdir(parents=True)
+    path = target / "mod.py"
+    path.write_text(source, encoding="utf-8")
+    return str(path)
+
+
+class TestCli:
+    def test_clean_tree_exits_zero(self, tmp_path, capsys):
+        path = write_tree(tmp_path, CLEAN)
+        assert main([path]) == 0
+        out = capsys.readouterr().out
+        assert "0 findings" in out
+
+    def test_findings_exit_one(self, tmp_path, capsys):
+        path = write_tree(tmp_path, RACY)
+        assert main([path]) == 1
+        assert "RACE01" in capsys.readouterr().out
+
+    def test_unknown_rule_exits_two(self, capsys):
+        assert main(["--rules", "NOPE99", "src"]) == 2
+        assert "unknown rule" in capsys.readouterr().err
+
+    def test_unreadable_path_exits_two(self, tmp_path, capsys):
+        assert main([str(tmp_path / "missing.py")]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_help_documents_exit_codes(self, capsys):
+        try:
+            main(["--help"])
+        except SystemExit as exc:
+            assert exc.code == 0
+        out = capsys.readouterr().out
+        assert "exit status" in out
+        assert "0   the tree is clean" in out
+
+    def test_list_rules_includes_sup01(self, capsys):
+        assert main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for check in ALL_CHECKS:
+            assert check.rule in out
+        assert UNUSED_ALLOW_RULE in out
+
+    def test_json_format_is_parseable(self, tmp_path, capsys):
+        path = write_tree(tmp_path, RACY)
+        assert main([path, "--format", "json"]) == 1
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["analyzer_version"] == ANALYZER_VERSION
+        assert doc["count"] >= 1
+        assert doc["findings"][0]["rule"] == "RACE01"
+
+    def test_sarif_format_is_parseable(self, tmp_path, capsys):
+        path = write_tree(tmp_path, RACY)
+        assert main([path, "--format", "sarif"]) == 1
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["version"] == SARIF_VERSION
+        assert doc["runs"][0]["results"][0]["ruleId"] == "RACE01"
+
+    def test_fix_lists_stale_allows_and_exits_one(self, tmp_path, capsys):
+        path = write_tree(tmp_path, STALE_ALLOW)
+        assert main([path, "--fix"]) == 1
+        out = capsys.readouterr().out
+        assert "delete the stale allow comment" in out
+        assert "1 stale suppression comment" in out
+
+    def test_fix_on_clean_tree_exits_zero(self, tmp_path, capsys):
+        path = write_tree(tmp_path, SUPPRESSED)
+        assert main([path, "--fix"]) == 0
+        assert "0 stale suppression comments" in capsys.readouterr().out
+
+    def test_real_tree_is_clean_including_suppressions(self, capsys):
+        assert main(["src"]) == 0
+        assert "0 findings" in capsys.readouterr().out

@@ -36,7 +36,7 @@ def test_cli_exits_zero_on_clean_tree(tmp_path, capsys):
     clean.write_text("def f(x: int) -> int:\n    return x\n")
     assert main([str(clean)]) == 0
     out = capsys.readouterr().out
-    assert f"0 findings (8 rules, analyzer {ANALYZER_VERSION})" in out
+    assert f"0 findings (11 rules, analyzer {ANALYZER_VERSION})" in out
 
 
 def test_cli_exits_nonzero_on_violation(tmp_path, capsys):

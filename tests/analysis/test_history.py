@@ -137,6 +137,119 @@ class TestAmbiguityExemptions:
         assert check_history(rec, final_keys=set()).ok
 
 
+def manual_recorder():
+    """A recorder with a hand-driven clock, for boundary-exact histories."""
+    now = [0.0]
+    rec = HistoryRecorder(lambda: now[0])
+
+    def at(t):
+        now[0] = t
+
+    return rec, at
+
+
+class TestConcurrencyExemptionBoundaries:
+    """The overlap window is closed: touching endpoints count as concurrent."""
+
+    def test_mutation_completing_exactly_at_read_start_is_exempt(self):
+        rec, at = manual_recorder()
+        at(1.0); ok_write(rec, "c1", "/a", value=1)
+        at(2.0); w2 = rec.invoke("c1", "write", "/a", value=2)
+        at(4.0); rec.ack(w2, value=2)
+        at(4.0); read = rec.invoke("c2", "read", "/a")
+        at(6.0); rec.ack(read, value=1)   # old value, but w2 end == read start
+        assert check_history(rec, final_keys={"/a"}).ok
+
+    def test_mutation_invoked_exactly_at_read_end_is_exempt(self):
+        rec, at = manual_recorder()
+        at(1.0); ok_write(rec, "c1", "/a", value=1)
+        at(2.0); read = rec.invoke("c2", "read", "/a")
+        at(4.0); w2 = rec.invoke("c1", "write", "/a", value=2)
+        at(4.0); rec.ack(read, value=2)   # new value, but w2 start == read end
+        at(6.0); rec.ack(w2, value=2)
+        assert check_history(rec, final_keys={"/a"}).ok
+
+    def test_mutation_completing_just_before_read_start_is_not_exempt(self):
+        # one tick outside the window the exemption must NOT apply: the
+        # read provably began after the second write was acked, so the
+        # old value is a real anomaly
+        rec, at = manual_recorder()
+        at(1.0); ok_write(rec, "c1", "/a", value=1)
+        at(2.0); w2 = rec.invoke("c1", "write", "/a", value=2)
+        at(3.9); rec.ack(w2, value=2)
+        at(4.0); read = rec.invoke("c2", "read", "/a")
+        at(6.0); rec.ack(read, value=1)
+        report = check_history(rec, final_keys={"/a"})
+        assert [v.rule for v in report.violations] == ["value-mismatch"]
+
+    def test_failed_mutation_completing_at_last_ack_is_ambiguous(self):
+        # final-state rule boundary: a failed delete whose completion ties
+        # the acked write's completion may legally have landed after it
+        rec, at = manual_recorder()
+        at(1.0); w = rec.invoke("c1", "write", "/a", value=1)
+        at(2.0); rec.ack(w, value=1)
+        at(1.5); bad = rec.invoke("c2", "delete", "/a")
+        at(2.0); rec.fail(bad, "StandbyError")
+        assert check_history(rec, final_keys=set()).ok
+
+    def test_failed_mutation_completing_before_last_ack_is_not_ambiguous(self):
+        # ...but one that completed strictly before the acked write cannot
+        # explain the write's absence from the final state
+        rec, at = manual_recorder()
+        at(0.5); bad = rec.invoke("c2", "delete", "/a")
+        at(1.0); rec.fail(bad, "StandbyError")
+        at(1.5); w = rec.invoke("c1", "write", "/a", value=1)
+        at(2.0); rec.ack(w, value=1)
+        report = check_history(rec, final_keys=set())
+        assert [v.rule for v in report.violations] == ["lost-acked-write"]
+
+
+class TestResurrectedDeleteInterleavings:
+    def test_delete_then_recreate_present_is_ok(self):
+        rec = make_recorder()
+        ok_write(rec, "c1", "/a")
+        d = rec.invoke("c1", "delete", "/a")
+        rec.ack(d)
+        ok_write(rec, "c1", "/a", value=2)  # re-create after the delete
+        assert check_history(rec, final_keys={"/a"}).ok
+
+    def test_delete_then_recreate_absent_is_lost_write(self):
+        rec = make_recorder()
+        ok_write(rec, "c1", "/a")
+        d = rec.invoke("c1", "delete", "/a")
+        rec.ack(d)
+        ok_write(rec, "c1", "/a", value=2)
+        report = check_history(rec, final_keys=set())
+        assert [v.rule for v in report.violations] == ["lost-acked-write"]
+        assert "absent" in report.violations[0].detail
+
+    def test_recreate_then_final_delete_surviving_is_resurrection(self):
+        rec = make_recorder()
+        ok_write(rec, "c1", "/a")
+        d1 = rec.invoke("c1", "delete", "/a")
+        rec.ack(d1)
+        ok_write(rec, "c1", "/a", value=2)
+        d2 = rec.invoke("c1", "delete", "/a")
+        rec.ack(d2)
+        assert check_history(rec, final_keys=set()).ok
+        report = check_history(rec, final_keys={"/a"})
+        assert [v.rule for v in report.violations] == ["lost-acked-write"]
+        assert "survives" in report.violations[0].detail
+
+    def test_same_instant_delete_and_recreate_break_ties_by_index(self):
+        # both mutations complete at the same simulated instant; the
+        # checker must pick the later *invocation* as authoritative
+        rec, at = manual_recorder()
+        at(1.0); ok_write(rec, "c1", "/a", value=1)
+        at(2.0); d = rec.invoke("c1", "delete", "/a")
+        at(2.0); w = rec.invoke("c1", "write", "/a", value=2)
+        at(3.0); rec.ack(d)
+        at(3.0); rec.ack(w, value=2)
+        assert check_history(rec, final_keys={"/a"}).ok
+        report = check_history(rec, final_keys=set())
+        assert [v.rule for v in report.violations] == ["lost-acked-write"]
+
+
 class TestSignature:
     def test_signature_deterministic_and_sensitive(self):
         rec1, rec2 = make_recorder(), make_recorder()
@@ -146,6 +259,31 @@ class TestSignature:
         assert rec1.signature() == rec2.signature()
         ok_write(rec2, "c1", "/b")
         assert rec1.signature() != rec2.signature()
+
+    def test_signature_stable_across_checks(self):
+        # check_history must be a pure reader: the digest cannot move
+        rec = make_recorder()
+        ok_write(rec, "c1", "/a", value=3)
+        before = rec.signature()
+        check_history(rec, final_keys={"/a"})
+        check_history(rec)
+        assert rec.signature() == before
+
+    def test_signature_sees_outcome_error_and_timestamps(self):
+        rec1, _ = manual_recorder()
+        rec2, _ = manual_recorder()
+        op1 = rec1.invoke("c1", "write", "/a", value=1)
+        op2 = rec2.invoke("c1", "write", "/a", value=1)
+        rec1.fail(op1, "QuorumLostError")
+        rec2.fail(op2, "FencedError")
+        assert rec1.signature() != rec2.signature()   # error string differs
+        rec3, at3 = manual_recorder()
+        rec4, at4 = manual_recorder()
+        at3(1.0); op3 = rec3.invoke("c1", "write", "/a", value=1)
+        at4(2.0); op4 = rec4.invoke("c1", "write", "/a", value=1)
+        rec3.ack(op3, value=1)
+        rec4.ack(op4, value=1)
+        assert rec3.signature() != rec4.signature()   # invoked time differs
 
     def test_acked_writes_accessor(self):
         rec = make_recorder()

@@ -1,0 +1,229 @@
+"""Fixture tests for the yield-point hazard rules RACE01-03."""
+
+from __future__ import annotations
+
+import textwrap
+
+from repro.analysis import run_checks
+from repro.analysis.core import ModuleInfo
+from repro.analysis.races import RACE_CHECKS
+
+
+def findings_for(source: str, rule: "str | None" = None):
+    mod = ModuleInfo("src/repro/fake/mod.py", textwrap.dedent(source))
+    out = run_checks([mod], RACE_CHECKS)
+    if rule is not None:
+        out = [f for f in out if f.rule == rule]
+    return out
+
+
+# -- RACE01: check-then-act ---------------------------------------------------
+
+
+RACE01_POSITIVE = """
+def consume(engine, tank):
+    yield engine.timeout(1.0)
+    if tank.level >= 5:
+        yield engine.timeout(0.5)
+        tank.get(5)
+"""
+
+
+def test_race01_flags_guard_acting_after_yield():
+    found = findings_for(RACE01_POSITIVE, "RACE01")
+    assert len(found) == 1
+    f = found[0]
+    assert "tank.level" in f.message
+    assert "re-validate" in f.message
+
+
+def test_race01_suppressed_with_allow_comment():
+    src = RACE01_POSITIVE.replace(
+        "if tank.level >= 5:",
+        "if tank.level >= 5:  # repro: allow[RACE01]")
+    assert findings_for(src, "RACE01") == []
+
+
+def test_race01_negative_revalidated_guard():
+    src = """
+    def consume(engine, tank):
+        yield engine.timeout(1.0)
+        if tank.level >= 5:
+            yield engine.timeout(0.5)
+            if tank.level >= 5:
+                tank.get(5)
+    """
+    assert findings_for(src, "RACE01") == []
+
+
+def test_race01_negative_yield_is_the_last_action():
+    src = """
+    def consume(engine, tank):
+        if tank.level >= 5:
+            yield tank.get(5)
+    """
+    assert findings_for(src, "RACE01") == []
+
+
+def test_race01_negative_plain_function_is_atomic():
+    src = """
+    def consume(engine, tank):
+        if tank.level >= 5:
+            tank.get(5)
+            tank.get(1)
+    """
+    assert findings_for(src, "RACE01") == []
+
+
+def test_race01_while_guard_is_checked_too():
+    src = """
+    def drain(engine, store):
+        while store.items:
+            yield engine.timeout(1.0)
+            store.get()
+    """
+    found = findings_for(src, "RACE01")
+    assert len(found) == 1
+
+
+# -- RACE02: iterate-while-mutating across a yield ----------------------------
+
+
+RACE02_POSITIVE = """
+def sweep(engine, registry):
+    for name in registry.members:
+        yield engine.timeout(1.0)
+        registry.members.remove(name)
+"""
+
+
+def test_race02_flags_mutation_of_iterated_container():
+    found = findings_for(RACE02_POSITIVE, "RACE02")
+    assert len(found) == 1
+    assert "registry.members" in found[0].message
+    assert "snapshot" in found[0].message
+
+
+def test_race02_suppressed_with_allow_comment():
+    src = RACE02_POSITIVE.replace(
+        "for name in registry.members:",
+        "for name in registry.members:  # repro: allow[RACE02]")
+    assert findings_for(src, "RACE02") == []
+
+
+def test_race02_negative_snapshot_iteration():
+    src = """
+    def sweep(engine, registry):
+        for name in list(registry.members):
+            yield engine.timeout(1.0)
+            registry.members.remove(name)
+    """
+    assert findings_for(src, "RACE02") == []
+
+
+def test_race02_negative_no_yield_in_loop():
+    src = """
+    def sweep(engine, registry):
+        yield engine.timeout(1.0)
+        for name in registry.members:
+            registry.members.discard(name)
+    """
+    assert findings_for(src, "RACE02") == []
+
+
+def test_race02_flags_subscript_and_del_mutations():
+    src = """
+    def rekey(engine, table):
+        for key in table.items:
+            yield engine.timeout(1.0)
+            del table.items[key]
+    """
+    assert len(findings_for(src, "RACE02")) == 1
+
+
+# -- RACE03: stale snapshot across a yield ------------------------------------
+
+
+RACE03_POSITIVE = """
+def report(engine, tank):
+    before = tank.level
+    yield engine.timeout(5.0)
+    return before
+"""
+
+
+def test_race03_flags_stale_snapshot_read():
+    found = findings_for(RACE03_POSITIVE, "RACE03")
+    assert len(found) == 1
+    assert "tank.level" in found[0].message
+    assert "stale" in found[0].message
+
+
+def test_race03_suppressed_with_allow_comment():
+    src = RACE03_POSITIVE.replace("return before",
+                                  "return before  # repro: allow[RACE03]")
+    assert findings_for(src, "RACE03") == []
+
+
+def test_race03_negative_elapsed_time_subtraction():
+    src = """
+    def timed(engine):
+        t0 = engine.now
+        yield engine.timeout(5.0)
+        return engine.now - t0
+    """
+    assert findings_for(src, "RACE03") == []
+
+
+def test_race03_negative_use_before_any_yield():
+    src = """
+    def peek(engine, tank):
+        snapshot = tank.level
+        decide(snapshot)
+        yield engine.timeout(1.0)
+    """
+    assert findings_for(src, "RACE03") == []
+
+
+def test_race03_negative_fresh_snapshot_after_yield():
+    src = """
+    def report(engine, tank):
+        snap = tank.level
+        use(snap)
+        yield engine.timeout(5.0)
+        snap = tank.level
+        return snap
+    """
+    assert findings_for(src, "RACE03") == []
+
+
+def test_race03_flags_cached_engine_now():
+    src = """
+    def lease(engine):
+        deadline = engine.now
+        yield engine.timeout(10.0)
+        renew(deadline)
+    """
+    found = findings_for(src, "RACE03")
+    assert len(found) == 1
+    assert "engine.now" in found[0].message
+
+
+# -- framework plumbing -------------------------------------------------------
+
+
+def test_race_rules_skip_non_repro_files():
+    mod = ModuleInfo("scripts/tool.py", RACE01_POSITIVE)
+    assert run_checks([mod], RACE_CHECKS) == []
+
+
+def test_race_rules_skip_nested_function_bodies():
+    src = """
+    def outer(engine, tank):
+        def helper():
+            if tank.level >= 5:
+                pass
+        yield engine.timeout(1.0)
+        helper()
+    """
+    assert findings_for(src) == []

@@ -1,0 +1,171 @@
+"""Schedule fuzzer: planted check-then-act race caught both ways.
+
+The acceptance fixture for PR 9: a world with a genuine check-then-act
+race (guard on ``Container.level`` consumed after a schedule tie-break)
+must be caught by BOTH detectors -- the dynamic sanitizer flags the
+unordered same-timestamp access pair, and the schedule fuzzer observes
+divergent outcomes within a handful of shuffles.
+"""
+
+from __future__ import annotations
+
+from repro.sim import (
+    Container,
+    Engine,
+    first_difference,
+    fuzz_schedules,
+    signature_digest,
+)
+
+#: shuffles needed to catch the planted race (documented in EXPERIMENTS.md)
+PLANTED_RACE_SHUFFLES = 4
+
+
+def _racy_world(shuffle_seed: "int | None") -> dict:
+    """Planted check-then-act race: outcome depends on dispatch order.
+
+    At t=1 a consumer checks ``tank.level >= 5`` (level is 3) while a
+    producer puts 3 more at the same timestamp.  FIFO dispatch runs the
+    consumer's check first ("skipped"); any shuffle that runs the
+    producer first flips it to "took".
+    """
+    env = Engine()
+    if shuffle_seed is not None:
+        env.enable_schedule_shuffle(shuffle_seed)
+    tank = Container(env, capacity=10, init=3)
+    outcome: list[str] = []
+
+    def consumer():
+        yield env.timeout(1.0)
+        if tank.level >= 5:
+            outcome.append("took")
+            yield tank.get(5)
+        else:
+            outcome.append("skipped")
+
+    def producer():
+        yield env.timeout(1.0)
+        yield tank.put(3)
+
+    env.process(consumer(), name="consumer")
+    env.process(producer(), name="producer")
+    env.run()
+    return {"outcome": tuple(outcome), "level": tank.level, "end": env.now}
+
+
+def _fixed_world(shuffle_seed: "int | None") -> dict:
+    """The same world with the guard re-validated after every yield."""
+    env = Engine()
+    if shuffle_seed is not None:
+        env.enable_schedule_shuffle(shuffle_seed)
+    tank = Container(env, capacity=10, init=3)
+    taken: list[float] = []
+
+    def consumer():
+        yield env.timeout(2.0)            # strictly after the producer
+        if tank.level >= 5:
+            yield tank.get(5)
+            taken.append(env.now)
+
+    def producer():
+        yield env.timeout(1.0)
+        yield tank.put(3)
+
+    env.process(consumer(), name="consumer")
+    env.process(producer(), name="producer")
+    env.run()
+    return {"taken": tuple(taken), "level": tank.level, "end": env.now}
+
+
+def test_planted_race_is_caught_by_the_fuzzer():
+    report = fuzz_schedules(_racy_world, shuffles=PLANTED_RACE_SHUFFLES,
+                            seed=0)
+    assert not report.ok
+    assert report.divergences
+    detail = report.divergences[0].format()
+    assert "outcome" in detail or "level" in detail
+    assert "depends on same-timestamp dispatch order" in report.summary()
+
+
+def test_planted_race_is_caught_by_the_sanitizer():
+    env = Engine()
+    tank = Container(env, capacity=10, init=3)
+    san = env.enable_sanitizer()
+    san.track(tank, "tank")
+    outcome: list[str] = []
+
+    def consumer():
+        yield env.timeout(1.0)
+        outcome.append("took" if tank.level >= 5 else "skipped")
+
+    def producer():
+        yield env.timeout(1.0)
+        yield tank.put(3)
+
+    env.process(consumer(), name="consumer")
+    env.process(producer(), name="producer")
+    env.run()
+    env.disable_sanitizer()
+    assert not san.ok
+    assert any(r.obj == "tank" and r.field == "level" and
+               r.kind == "read-write" for r in san.races)
+
+
+def test_fixed_world_passes_the_fuzzer():
+    report = fuzz_schedules(_fixed_world, shuffles=8, seed=0)
+    assert report.ok, report.summary()
+    assert report.signature == signature_digest(_fixed_world(None))
+    assert "bit-identical" in report.summary()
+
+
+def test_divergence_names_two_conflicting_schedules():
+    report = fuzz_schedules(_racy_world, shuffles=PLANTED_RACE_SHUFFLES,
+                            seed=0)
+    d = report.divergences[0]
+    assert d.seed_first is None            # the FIFO baseline
+    assert d.seed_second in report.seeds
+    assert d.format().startswith("fifo vs shuffle[")
+
+
+def test_fuzz_without_baseline_compares_shuffles_to_each_other():
+    report = fuzz_schedules(_fixed_world, shuffles=4, seed=3,
+                            include_baseline=False)
+    assert report.ok
+    assert len(report.seeds) == 4
+
+
+def test_first_difference_points_into_nested_structures():
+    a = {"metrics": {"mttr": [1.0, 2.0]}, "end": 10.0}
+    b = {"metrics": {"mttr": [1.0, 3.0]}, "end": 10.0}
+    detail = first_difference(a, b)
+    assert detail == "sig['metrics']['mttr'][1]: 2.0 != 3.0"
+    assert first_difference((1, 2), (1, 2, 3)) == "sig: length 2 != 3"
+    assert "type" in first_difference({"a": 1}, [1])
+    assert "missing on the right" in first_difference({"a": 1, "b": 2},
+                                                      {"a": 1})
+
+
+def test_shuffle_preserves_priorities_and_time_order():
+    """Shuffling only permutes ties: time and URGENT ordering still hold."""
+
+    def run(shuffle_seed):
+        env = Engine()
+        if shuffle_seed is not None:
+            env.enable_schedule_shuffle(shuffle_seed)
+        order: list[str] = []
+
+        def late():
+            yield env.timeout(2.0)
+            order.append("late")
+
+        def early():
+            yield env.timeout(1.0)
+            order.append("early")
+
+        env.process(late(), name="late")
+        env.process(early(), name="early")
+        env.run()
+        return tuple(order)
+
+    for seed in (None, 0, 1, 2, 3):
+        assert run(seed) == ("early", "late")
