@@ -48,6 +48,7 @@ SUITES = {
     "overload": "bench_overload.py",
     "failover": "bench_failover.py",
     "analysis": "bench_analysis.py",
+    "tail": "bench_tail.py",
 }
 
 #: fresh speedup must be at least this fraction of the committed one

@@ -2,6 +2,19 @@
 recovery observation (the robustness counterpart of the paper's
 fault-tolerance claims)."""
 
+from .failslow import (
+    FAIL_SLOW_KINDS,
+    SEVERITIES,
+    SEVERITY_RANGES,
+    CpuThrottle,
+    DiskStall,
+    FailSlowScenario,
+    FailSlowStorm,
+    IntermittentLatency,
+    NicDegrade,
+    draw_factor,
+    validate_fail_slow,
+)
 from .monkey import ChaosMonkey
 from .report import ChaosReport, FaultRecord, RecoveryRecord, StormStats
 from .scenarios import (
@@ -22,10 +35,21 @@ from .scenarios import (
 __all__ = [
     "ChaosMonkey",
     "ChaosReport",
+    "CpuThrottle",
     "DiskSlowdown",
+    "DiskStall",
+    "FAIL_SLOW_KINDS",
+    "FailSlowScenario",
+    "FailSlowStorm",
     "FailoverFlap",
     "FaultRecord",
     "HostCrash",
+    "IntermittentLatency",
+    "NicDegrade",
+    "SEVERITIES",
+    "SEVERITY_RANGES",
+    "draw_factor",
+    "validate_fail_slow",
     "KillActiveNameNode",
     "LinkCut",
     "LinkDegradation",

@@ -1,0 +1,255 @@
+"""Fail-slow fault family: nodes that lie instead of die.
+
+The classic chaos scenarios are fail-stop -- a crashed host stops
+answering and every layer notices.  Production postmortems blame a
+different species for most tail-latency incidents: *gray failures*,
+where a component keeps accepting work but serves it late.  This module
+models the four canonical ones as seeded scenarios:
+
+=====================  ================================================
+``disk_stall``         spindle latency multiplied (firmware retries,
+                       media errors, a dying SSD's GC storms)
+``nic_degrade``        link capacity cut to a fraction (auto-negotiated
+                       down to 100 Mb, a flaky transceiver)
+``cpu_throttle``       compute durations multiplied (thermal throttle,
+                       a noisy co-tenant stealing cycles)
+``intermittent_latency``  extra per-packet latency that flaps on and
+                       off (a congested ToR queue, a flapping port)
+=====================  ================================================
+
+Severity is drawn from a per-kind calibrated range -- ``mild`` degrades,
+``moderate`` hurts, ``severe`` makes the node near-useless while still
+technically alive.  Every draw comes from a labelled child of the
+monkey's stream keyed by ``(kind, host, at)``, never from a shared
+sequential stream, so concurrent scenarios produce bit-identical factors
+under any event ordering (schedule-fuzz safe).
+
+Unknown kinds or severities raise :class:`~repro.common.errors.
+FaultInjectionError` naming the valid vocabulary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Generator
+
+from ..common.errors import ConfigError
+from ..common.failslow import FAIL_SLOW_KINDS, SEVERITIES, validate_fail_slow
+from ..common.rng import RngStream
+
+if TYPE_CHECKING:  # pragma: no cover - annotations only
+    from .monkey import ChaosMonkey
+
+__all__ = [
+    "FAIL_SLOW_KINDS", "SEVERITIES", "SEVERITY_RANGES", "validate_fail_slow",
+    "draw_factor", "DiskStall", "NicDegrade", "CpuThrottle",
+    "IntermittentLatency", "FailSlowStorm", "FailSlowScenario",
+]
+
+#: per kind x severity: the (low, high) range the injected factor is
+#: drawn from.  disk/cpu are duration multipliers (>= 1), nic is a
+#: capacity fraction (< 1 degrades), intermittent latency is seconds
+#: added per packet.
+SEVERITY_RANGES: dict[str, dict[str, tuple[float, float]]] = {
+    "disk_stall": {
+        "mild": (2.0, 5.0), "moderate": (5.0, 15.0), "severe": (15.0, 40.0)},
+    "nic_degrade": {
+        "mild": (0.5, 0.8), "moderate": (0.2, 0.5), "severe": (0.05, 0.2)},
+    "cpu_throttle": {
+        "mild": (1.5, 3.0), "moderate": (3.0, 8.0), "severe": (8.0, 20.0)},
+    "intermittent_latency": {
+        "mild": (0.01, 0.05), "moderate": (0.05, 0.25), "severe": (0.25, 1.0)},
+}
+
+
+def draw_factor(rng: RngStream, kind: str, severity: str) -> float:
+    """One seeded severity draw from the calibrated range."""
+    validate_fail_slow(kind, severity)
+    low, high = SEVERITY_RANGES[kind][severity]
+    return rng.uniform(low, high)
+
+
+def _scenario_rng(monkey: "ChaosMonkey", kind: str, host: str,
+                  at: float) -> RngStream:
+    """A stream keyed by the scenario's identity, not by draw order.
+
+    Concurrent scenarios sharing one sequential stream would make their
+    draws depend on event ordering; a labelled child keyed by
+    ``(kind, host, at)`` is bit-stable under schedule shuffling.
+    """
+    return monkey.rng.child(f"failslow-{kind}-{host}-{at:.6f}")
+
+
+def _check_window(at: float, duration: float) -> None:
+    if at < 0:
+        raise ConfigError(f"scenario start time must be >= 0, got {at}")
+    if duration <= 0:
+        raise ConfigError(f"fail-slow duration must be > 0, got {duration}")
+
+
+@dataclass(frozen=True)
+class DiskStall:
+    """Stall *host*'s spindle for *duration* s at a seeded severity."""
+
+    host: str
+    at: float
+    duration: float
+    severity: str = "moderate"
+
+    kind = "disk_stall"
+
+    def __post_init__(self) -> None:
+        _check_window(self.at, self.duration)
+        validate_fail_slow(self.kind, self.severity)
+
+    def run(self, monkey: "ChaosMonkey") -> Generator:
+        yield monkey.engine.timeout(self.at)
+        rng = _scenario_rng(monkey, self.kind, self.host, self.at)
+        factor = draw_factor(rng, self.kind, self.severity)
+        monkey.slow_disk(self.host, factor)
+        yield monkey.engine.timeout(self.duration)
+        monkey.restore_disk(self.host)
+
+
+@dataclass(frozen=True)
+class NicDegrade:
+    """Degrade *host*'s NIC for *duration* s at a seeded severity."""
+
+    host: str
+    at: float
+    duration: float
+    severity: str = "moderate"
+
+    kind = "nic_degrade"
+
+    def __post_init__(self) -> None:
+        _check_window(self.at, self.duration)
+        validate_fail_slow(self.kind, self.severity)
+
+    def run(self, monkey: "ChaosMonkey") -> Generator:
+        yield monkey.engine.timeout(self.at)
+        rng = _scenario_rng(monkey, self.kind, self.host, self.at)
+        factor = draw_factor(rng, self.kind, self.severity)
+        monkey.degrade_link(self.host, factor)
+        yield monkey.engine.timeout(self.duration)
+        monkey.restore_link(self.host)
+
+
+@dataclass(frozen=True)
+class CpuThrottle:
+    """Throttle *host*'s cores for *duration* s at a seeded severity."""
+
+    host: str
+    at: float
+    duration: float
+    severity: str = "moderate"
+
+    kind = "cpu_throttle"
+
+    def __post_init__(self) -> None:
+        _check_window(self.at, self.duration)
+        validate_fail_slow(self.kind, self.severity)
+
+    def run(self, monkey: "ChaosMonkey") -> Generator:
+        yield monkey.engine.timeout(self.at)
+        rng = _scenario_rng(monkey, self.kind, self.host, self.at)
+        factor = draw_factor(rng, self.kind, self.severity)
+        monkey.throttle_cpu(self.host, factor)
+        yield monkey.engine.timeout(self.duration)
+        monkey.restore_cpu(self.host)
+
+
+@dataclass(frozen=True)
+class IntermittentLatency:
+    """Flapping extra latency on *host*'s links: on/off every half *period*.
+
+    The hardest gray failure to catch -- the node looks healthy between
+    flaps, so fixed-threshold detectors reset while phi accrual keeps
+    the history.  The injected latency is drawn once per scenario; the
+    flapping cadence is deterministic.
+    """
+
+    host: str
+    at: float
+    duration: float
+    severity: str = "moderate"
+    period: float = 5.0
+
+    kind = "intermittent_latency"
+
+    def __post_init__(self) -> None:
+        _check_window(self.at, self.duration)
+        validate_fail_slow(self.kind, self.severity)
+        if self.period <= 0:
+            raise ConfigError(f"flap period must be > 0, got {self.period}")
+
+    def run(self, monkey: "ChaosMonkey") -> Generator:
+        yield monkey.engine.timeout(self.at)
+        rng = _scenario_rng(monkey, self.kind, self.host, self.at)
+        extra = draw_factor(rng, self.kind, self.severity)
+        end = monkey.engine.now + self.duration
+        half = self.period / 2.0
+        while monkey.engine.now < end:
+            monkey.add_net_latency(self.host, extra)
+            yield monkey.engine.timeout(min(half, end - monkey.engine.now))
+            monkey.restore_net_latency(self.host)
+            if monkey.engine.now >= end:
+                break
+            yield monkey.engine.timeout(min(half, end - monkey.engine.now))
+        monkey.restore_net_latency(self.host)
+
+
+@dataclass(frozen=True)
+class FailSlowStorm:
+    """One seeded gray-failure wave: each victim gets one drawn fault.
+
+    For every host in *victims* one kind is drawn from *kinds* and held
+    for *duration* seconds from *at*, then restored -- a storm where
+    nothing ever dies yet everything gets slower.  All draws come from
+    per-victim labelled streams, so the storm composes with schedule
+    fuzzing.
+    """
+
+    victims: tuple[str, ...]
+    at: float
+    duration: float
+    kinds: tuple[str, ...] = FAIL_SLOW_KINDS
+    severity: str = "moderate"
+
+    kind = "fail_slow_storm"
+
+    def __post_init__(self) -> None:
+        _check_window(self.at, self.duration)
+        if not self.victims:
+            raise ConfigError("fail-slow storm needs at least one victim")
+        if not self.kinds:
+            raise ConfigError("fail-slow storm needs at least one kind")
+        for k in self.kinds:
+            validate_fail_slow(k, self.severity)
+
+    def children(self, monkey: "ChaosMonkey") -> tuple:
+        """The per-victim scenarios, with kinds drawn at expansion time."""
+        out = []
+        for victim in self.victims:
+            rng = _scenario_rng(monkey, self.kind, victim, self.at)
+            drawn = self.kinds[rng.randint(0, len(self.kinds))]
+            cls = {"disk_stall": DiskStall, "nic_degrade": NicDegrade,
+                   "cpu_throttle": CpuThrottle,
+                   "intermittent_latency": IntermittentLatency}[drawn]
+            out.append(cls(host=victim, at=0.0, duration=self.duration,
+                           severity=self.severity))
+        return tuple(out)
+
+    def run(self, monkey: "ChaosMonkey") -> Generator:
+        yield monkey.engine.timeout(self.at)
+        engine = monkey.engine
+        procs = [
+            engine.process(child.run(monkey),
+                           name=f"failslow-{child.kind}-{child.host}")
+            for child in self.children(monkey)
+        ]
+        yield engine.all_of(procs)
+
+
+FailSlowScenario = (DiskStall | NicDegrade | CpuThrottle
+                    | IntermittentLatency | FailSlowStorm)

@@ -28,6 +28,15 @@ if TYPE_CHECKING:  # pragma: no cover - annotations only
     from ..one import OneVm, OpenNebula
     from ..sim import Process
     from ..web import VideoPortal
+from .failslow import (
+    FAIL_SLOW_KINDS,
+    SEVERITIES,
+    CpuThrottle,
+    DiskStall,
+    IntermittentLatency,
+    NicDegrade,
+    validate_fail_slow,
+)
 from .scenarios import (
     DiskSlowdown,
     HostCrash,
@@ -127,6 +136,36 @@ class ChaosMonkey:
         self.log.emit("chaos", "chaos_disk_restore", f"{name} disk nominal",
                       host=name)
         self.cluster.host(name).disk.set_slowdown(1.0)
+
+    def throttle_cpu(self, name: str, factor: float) -> None:
+        """Stretch *name*'s compute durations by *factor* (thermal throttle)."""
+        self.report.record_fault(
+            self.engine.now, "cpu_throttle", name, f"factor={factor}")
+        self.log.emit("chaos", "chaos_cpu_throttle",
+                      f"{name} CPU throttled {factor:.1f}x", host=name,
+                      factor=factor)
+        self.cluster.host(name).set_cpu_throttle(factor)
+
+    def restore_cpu(self, name: str) -> None:
+        self.report.record_fault(self.engine.now, "cpu_restore", name)
+        self.log.emit("chaos", "chaos_cpu_restore", f"{name} CPU nominal",
+                      host=name)
+        self.cluster.host(name).set_cpu_throttle(1.0)
+
+    def add_net_latency(self, name: str, seconds: float) -> None:
+        """Add *seconds* of latency to every packet touching *name*."""
+        self.report.record_fault(
+            self.engine.now, "net_latency", name, f"extra={seconds}")
+        self.log.emit("chaos", "chaos_net_latency",
+                      f"{name} +{seconds * 1000:.0f} ms per packet",
+                      host=name, extra=seconds)
+        self.cluster.network.set_extra_latency(name, seconds)
+
+    def restore_net_latency(self, name: str) -> None:
+        self.report.record_fault(self.engine.now, "net_latency_restore", name)
+        self.log.emit("chaos", "chaos_net_latency_restore",
+                      f"{name} latency nominal", host=name)
+        self.cluster.network.set_extra_latency(name, 0.0)
 
     def _ha_pair(self) -> "HaNameNodePair":
         ha = self.ha or (self.fs.ha if self.fs is not None else None)
@@ -325,19 +364,67 @@ class ChaosMonkey:
                 raise ConfigError(f"unknown scenario kind {kind!r}")
         return sorted(out, key=lambda s: s.at)
 
+    def fail_slow_scenarios(
+        self,
+        n: int,
+        *,
+        horizon: float,
+        hosts: Sequence[str] | None = None,
+        kinds: Sequence[str] = FAIL_SLOW_KINDS,
+        severities: Sequence[str] = SEVERITIES,
+    ) -> list:
+        """*n* seeded gray-failure scenarios spread over ``[0, horizon)``.
+
+        Each draw picks a host, a fail-slow kind and a severity grade;
+        the concrete factor is drawn per scenario at fire time from its
+        own labelled stream.  Unknown kinds or severities raise
+        :class:`~repro.common.errors.FaultInjectionError` up front.
+        """
+        if n < 0 or horizon <= 0:
+            raise ConfigError("need n >= 0 and horizon > 0")
+        for kind in kinds:
+            validate_fail_slow(kind, SEVERITIES[0])
+        for severity in severities:
+            validate_fail_slow(FAIL_SLOW_KINDS[0], severity)
+        pool = list(hosts) if hosts is not None else self.cluster.host_names
+        classes = {"disk_stall": DiskStall, "nic_degrade": NicDegrade,
+                   "cpu_throttle": CpuThrottle,
+                   "intermittent_latency": IntermittentLatency}
+        out = []
+        for _ in range(n):
+            kind = self.rng.choice(list(kinds))
+            host = self.rng.choice(pool)
+            severity = self.rng.choice(list(severities))
+            at = self.rng.uniform(0.0, horizon)
+            duration = self.rng.uniform(0.1 * horizon, 0.5 * horizon)
+            out.append(classes[kind](host=host, at=at, duration=duration,
+                                     severity=severity))
+        return sorted(out, key=lambda s: s.at)
+
     def scenarios_from_fault_model(
         self, fault: FaultModel, hosts: Sequence[str], *, horizon: float,
     ) -> list:
-        """TaskTracker-crash scenarios from a MapReduce FaultModel.
+        """Chaos scenarios from a MapReduce FaultModel.
 
         One crash draw per host over the horizon (the satellite wiring for
         ``FaultModel.tracker_crash_rate``): hosts that lose the draw get a
         HostCrash at a uniform time, taking their tracker down with them.
+        With ``fail_slow_rate`` set each host additionally risks one gray
+        failure of a model-drawn kind at the model's severity.
         """
+        classes = {"disk_stall": DiskStall, "nic_degrade": NicDegrade,
+                   "cpu_throttle": CpuThrottle,
+                   "intermittent_latency": IntermittentLatency}
         out = []
         for host in hosts:
             if fault.tracker_crashes(self.rng):
                 out.append(HostCrash(host, self.rng.uniform(0.0, horizon)))
+            if fault.host_fails_slow(self.rng):
+                kind = fault.draw_fail_slow_kind(self.rng)
+                out.append(classes[kind](
+                    host=host, at=self.rng.uniform(0.0, horizon),
+                    duration=self.rng.uniform(0.1 * horizon, 0.5 * horizon),
+                    severity=fault.fail_slow_severity))
         return sorted(out, key=lambda s: s.at)
 
     # -- recovery watchers ---------------------------------------------------------------

@@ -1,0 +1,31 @@
+"""The fail-slow (gray-failure) fault vocabulary.
+
+Lives in :mod:`repro.common` so both the chaos layer (which injects the
+faults) and the MapReduce fault model (which only *configures* them, and
+may not import chaos under the layering rules) validate against one
+shared set of names.  The calibrated severity ranges and the scenario
+classes stay in :mod:`repro.chaos.failslow`.
+"""
+
+from __future__ import annotations
+
+from .errors import FaultInjectionError
+
+#: the fail-slow kinds every layer agrees on
+FAIL_SLOW_KINDS = ("disk_stall", "nic_degrade", "cpu_throttle",
+                   "intermittent_latency")
+
+#: severity grades, mildest first
+SEVERITIES = ("mild", "moderate", "severe")
+
+
+def validate_fail_slow(kind: str, severity: str) -> None:
+    """Reject unknown kinds/severities with an actionable message."""
+    if kind not in FAIL_SLOW_KINDS:
+        raise FaultInjectionError(
+            f"unknown fail-slow kind {kind!r} "
+            f"(choose from {', '.join(FAIL_SLOW_KINDS)})")
+    if severity not in SEVERITIES:
+        raise FaultInjectionError(
+            f"unknown fail-slow severity {severity!r} for {kind} "
+            f"(choose from {', '.join(SEVERITIES)})")

@@ -89,6 +89,7 @@ class PhysicalHost:
             raise CapacityError(f"invalid host shape for {name}")
 
         self.cpu = Resource(engine, capacity=self.cores)
+        self.cpu_throttle = 1.0  # >1.0 under an injected fail-slow throttle
         self.disk = Disk(engine, cal)
         self.network: "Network | None" = None  # set by Network.attach
         self._mem_used = 0
@@ -174,11 +175,17 @@ class PhysicalHost:
 
     # -- CPU ---------------------------------------------------------------------
 
+    def set_cpu_throttle(self, factor: float) -> None:
+        """Scale future compute durations (thermal throttle; 1.0 = nominal)."""
+        if factor < 1.0:
+            raise ConfigError(f"cpu throttle factor must be >= 1.0, got {factor}")
+        self.cpu_throttle = factor
+
     def compute(self, cycles: float, overhead: float = 1.0) -> Generator:
         """Process: burn *cycles* of CPU on one core, scaled by *overhead*."""
         if cycles < 0:
             raise CapacityError(f"negative cycles: {cycles}")
-        seconds = cycles * overhead / self.cpu_hz
+        seconds = cycles * overhead * self.cpu_throttle / self.cpu_hz
         with self.cpu.request() as req:
             yield req
             yield self.engine.timeout(seconds)

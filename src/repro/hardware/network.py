@@ -62,6 +62,7 @@ class Network:
         self._cut: set[str] = set()
         self._partition: set[str] | None = None
         self._base_rate: dict[str, float] = {}
+        self._extra_latency: dict[str, float] = {}
 
     # -- topology -----------------------------------------------------------------
 
@@ -113,6 +114,7 @@ class Network:
             raise SimulationError(f"restore of unknown host {host}")
         self._cut.discard(host)
         self.set_link_factor(host, 1.0)
+        self.set_extra_latency(host, 0.0)
 
     def link_factor(self, host: str) -> float:
         """Current capacity fraction of *host*'s links (1.0 = nominal)."""
@@ -129,6 +131,32 @@ class Network:
         self._links[f"{host}:up"].capacity = capacity
         self._links[f"{host}:down"].capacity = capacity
         self._recompute_and_schedule()
+
+    def extra_latency(self, host: str) -> float:
+        """Injected per-packet latency currently added at *host* (seconds)."""
+        return self._extra_latency.get(host, 0.0)
+
+    def set_extra_latency(self, host: str, seconds: float) -> None:
+        """Add *seconds* of propagation latency to every flow touching *host*.
+
+        Models an intermittently flapping switch port or a congested
+        top-of-rack queue: bandwidth is untouched, only latency grows.
+        0.0 restores the nominal fabric latency.
+        """
+        if host not in self._hosts:
+            raise SimulationError(f"latency injection on unknown host {host}")
+        if seconds < 0:
+            raise SimulationError(f"extra latency must be >= 0, got {seconds}")
+        if seconds == 0.0:
+            self._extra_latency.pop(host, None)
+        else:
+            self._extra_latency[host] = seconds
+
+    def _latency(self, src: str, dst: str) -> float:
+        """Propagation latency src -> dst including injected extras."""
+        return (self.cal.net_latency
+                + self._extra_latency.get(src, 0.0)
+                + self._extra_latency.get(dst, 0.0))
 
     def partition(self, isolated: Iterable[str]) -> None:
         """Split the fabric: *isolated* hosts can only reach each other."""
@@ -193,7 +221,7 @@ class Network:
             return done
 
         if nbytes == 0:
-            dur = self.cal.net_latency
+            dur = self._latency(src, dst)
 
             def _empty():
                 yield self.engine.timeout(dur)
@@ -302,10 +330,11 @@ class Network:
 
     def _complete(self, flow: Flow) -> None:
         """Deliver the completion event after propagation latency."""
-        duration = self.engine.now - flow.started + self.cal.net_latency
+        latency = self._latency(flow.src, flow.dst)
+        duration = self.engine.now - flow.started + latency
 
         def _finish():
-            yield self.engine.timeout(self.cal.net_latency)
+            yield self.engine.timeout(latency)
             flow.done.succeed(duration)
 
         self.engine.process(_finish(), name=f"xfer-done:{flow.src}->{flow.dst}")

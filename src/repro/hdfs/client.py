@@ -25,6 +25,7 @@ from ..common.errors import (
     QuorumLostError,
     StandbyError,
 )
+from ..sim import Interrupt, Process
 from .block import Block, BlockId, split_into_blocks
 from .namenode import INode, NameNode
 
@@ -299,31 +300,35 @@ class HdfsClient:
         for block in inode.blocks:
             if deadline is not None:
                 deadline.check(f"reading {path}")
-            # try replicas in preference order; a checksum failure on
-            # one replica (reported to the NameNode by the DataNode)
-            # falls through to the next -- real DFSClient behaviour
-            got = None
-            last_error: HdfsError | None = None
-            while got is None:
-                nn = self._read_nn()
-                locs = nn.locations(block.block_id)
-                if not locs:
-                    raise last_error or HdfsError(
-                        f"{path}: {block.block_id} has no live replica")
-                src = self._pick_replica(locs)
-                try:
-                    got = yield engine.process(
-                        fs.datanode(src).serve_block(
-                            block.block_id, self.host_name)
-                    )
-                    fs.breaker(src).record_success()
-                except HdfsError as exc:
-                    last_error = exc
-                    fs.breaker(src).record_failure()
-                    # corrupt replicas are dropped from the block map by
-                    # report_corrupt; a dead node needs manual exclusion
-                    if src in self._read_nn().locations(block.block_id):
-                        raise
+            if fs.hedge is not None:
+                got = yield from self._read_block_hedged(path, block)
+            else:
+                # try replicas in preference order; a checksum failure on
+                # one replica (reported to the NameNode by the DataNode)
+                # falls through to the next -- real DFSClient behaviour
+                got = None
+                last_error: HdfsError | None = None
+                while got is None:
+                    nn = self._read_nn()
+                    locs = nn.locations(block.block_id)
+                    if not locs:
+                        raise last_error or HdfsError(
+                            f"{path}: {block.block_id} has no live replica")
+                    src = self._pick_replica(locs)
+                    t0 = engine.now
+                    try:
+                        got = yield engine.process(
+                            fs.datanode(src).serve_block(
+                                block.block_id, self.host_name)
+                        )
+                        fs.breaker(src).record_success(engine.now - t0)
+                    except HdfsError as exc:
+                        last_error = exc
+                        fs.breaker(src).record_failure()
+                        # corrupt replicas are dropped from the block map by
+                        # report_corrupt; a dead node needs manual exclusion
+                        if src in self._read_nn().locations(block.block_id):
+                            raise
             if got.payload is None:
                 synthetic = True
             else:
@@ -331,6 +336,145 @@ class HdfsClient:
         if synthetic:
             return inode, inode.length
         return inode, b"".join(chunks)
+
+    # -- hedged reads -----------------------------------------------------------
+
+    def _spawn_attempt(self, block_id: BlockId, src: str) -> Process:
+        """Guard process around one replica read for the hedge race.
+
+        The guard *never fails*: it resolves to a 4-tuple
+        ``(src, block | None, error | None, elapsed)``.  A lost race
+        (interrupt) yields the cancelled marker ``(src, None, None, t)``;
+        the abandoned inner serve is defused so its late failure cannot
+        crash the engine.
+        """
+        fs = self.fs
+        engine = fs.engine
+
+        def _attempt() -> Generator:
+            t0 = engine.now
+            serve = engine.process(
+                fs.datanode(src).serve_block(block_id, self.host_name))
+            try:
+                got = yield serve
+            except (HdfsError, PartitionError) as exc:
+                return (src, None, exc, engine.now - t0)
+            except Interrupt:
+                # we lost the race.  The inner serve is *defused*, not
+                # interrupted: interrupting would detach it from the
+                # disk/network event it waits on, and that event failing
+                # later with no waiter would crash the engine.  The
+                # replica finishes its (wasted) work and the reply is
+                # dropped -- exactly how real hedge cancellation behaves.
+                serve.defuse()
+                return (src, None, None, engine.now - t0)
+            return (src, got, None, engine.now - t0)
+
+        return engine.process(_attempt(), name=f"hdfs-read-{src}")
+
+    def _read_block_hedged(self, path: str, block: Block) -> Generator:
+        """Process: read one block with tail hedging (Dean's backup requests).
+
+        The primary replica read races an EWMA-tracked tail threshold;
+        if it is still in flight past the estimate and the token budget
+        allows, one backup read fires at the next breaker-admitted
+        replica and the first success wins (ties go to the primary, so
+        winner selection is seed-deterministic).  When the gray phi
+        bank already suspects the primary, the wait is skipped and the
+        backup fires immediately -- the detector has pre-paid the
+        evidence the tail threshold exists to gather, so waiting would
+        only add it to a verdict already reached.  The loser is
+        cancelled.
+        Failure semantics match the unhedged path: a failed replica that
+        the NameNode still lists is fatal, a dropped one is retried.
+        """
+        fs = self.fs
+        engine = fs.engine
+        hedge = fs.hedge
+        if hedge is None:  # pragma: no cover - guarded by caller
+            raise HdfsError("hedged read without enable_hedged_reads()")
+        last_error: HdfsError | None = None
+        while True:
+            nn = self._read_nn()
+            locs = nn.locations(block.block_id)
+            if not locs:
+                raise last_error or HdfsError(
+                    f"{path}: {block.block_id} has no live replica")
+            src = self._pick_replica(locs)
+            primary = self._spawn_attempt(block.block_id, src)
+            secondary = None
+            if hedge.tracker.primed and len(locs) > 1:
+                if not (fs.detectors is not None and fs.detectors.suspect(
+                        src, hedge.suspicion_threshold)):
+                    yield engine.any_of(
+                        [primary, engine.timeout(hedge.tracker.threshold())])
+                if not primary.triggered:
+                    if hedge.budget.try_spend():
+                        alternates = [n for n in sorted(locs)
+                                      if n != src and fs.breaker(n).allow()]
+                        if alternates:
+                            hedge.m_hedged.inc()
+                            secondary = self._spawn_attempt(
+                                block.block_id, alternates[0])
+                        else:
+                            hedge.budget.refund()
+                    else:
+                        hedge.m_denied.inc()
+            if secondary is None:
+                outcomes = [(yield primary)]
+            else:
+                yield engine.any_of([primary, secondary])
+                racers = (primary, secondary)
+                outcomes = [p.value for p in racers if p.triggered]
+                if not any(o[1] is not None for o in outcomes):
+                    # every finished attempt failed; drain the straggler
+                    for proc in racers:
+                        if not proc.triggered:
+                            outcomes.append((yield proc))
+                else:
+                    for proc in racers:
+                        if not proc.triggered and proc.is_alive:
+                            proc.defuse()
+                            proc.interrupt("hedge lost")
+                    if not primary.triggered:
+                        # the primary lost despite its head start (or,
+                        # suspicion-primed, lost a fair race while the
+                        # detector already called it gray): a fail-slow
+                        # signal.  The losing streak opens the replica's
+                        # breaker so the picker routes around it --
+                        # otherwise every read keeps feeding the stalled
+                        # disk abandoned serves and its queue grows
+                        # without bound.  (A losing *secondary* is never
+                        # penalised: it started the race late by design.)
+                        fs.breaker(src).record_failure()
+            # score decisive outcomes (cancelled markers carry nothing)
+            winner: tuple[str, Block, float] | None = None
+            for osrc, oblock, oerr, odur in outcomes:
+                if oblock is None and oerr is None:
+                    continue
+                hedge.m_replica_seconds.labels(datanode=osrc).observe(odur)
+                if oblock is not None:
+                    fs.breaker(osrc).record_success(odur)
+                    hedge.tracker.observe(odur)
+                    if winner is None:
+                        role = "primary" if osrc == src else "hedge"
+                        winner = (role, oblock, odur)
+                else:
+                    fs.breaker(osrc).record_failure()
+            if winner is not None:
+                hedge.budget.record_primary()
+                hedge.m_wins.labels(winner=winner[0]).inc()
+                return winner[1]
+            # every attempt failed: same retry contract as unhedged reads --
+            # a replica the NameNode still lists is a hard error, a dropped
+            # one (corruption report) means re-resolve and try again
+            for osrc, _oblock, oerr, _odur in outcomes:
+                if oerr is None:
+                    continue
+                if isinstance(oerr, HdfsError):
+                    last_error = oerr
+                if osrc in self._read_nn().locations(block.block_id):
+                    raise oerr
 
     def preferred_block_host(self, path: str, block_index: int) -> str:
         """Where block *block_index* of *path* should be read from (locality)."""

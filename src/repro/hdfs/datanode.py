@@ -11,8 +11,9 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Generator
 
-from ..common.errors import HdfsError
+from ..common.errors import HdfsError, PartitionError
 from ..hardware import PhysicalHost
+from ..resilience import ProbeGate
 from ..sim import Interrupt, Process
 from .block import Block, BlockId
 
@@ -36,6 +37,13 @@ class DataNode:
         self._hb_epoch = 0
         self._hb_stop = False
         self._hb_interval: float | None = None
+        #: probe-mode heartbeats: each beat pays a disk read of this many
+        #: bytes plus a network hop, so fail-slow faults *delay* beats and
+        #: the phi-accrual detector can see them.  None = instant beats.
+        self.probe_bytes: int | None = None
+        #: Karn-gated probe RTT filter: a probe far slower than the node's
+        #: own baseline counts as a missed beat (set with probe mode)
+        self.probe_gate: ProbeGate | None = None
         self._scanner_proc: Process | None = None
         self._scan_stop = False
 
@@ -122,6 +130,61 @@ class DataNode:
 
     # -- liveness ------------------------------------------------------------------
 
+    def enable_probe_heartbeats(self, probe_bytes: int = 4 * 1024 * 1024) -> None:
+        """Make every heartbeat a real health probe instead of a free RPC.
+
+        An instant beat proves only that the process is scheduled; a gray
+        node (stalled disk, degraded NIC) would keep beating on time and
+        stay invisible.  In probe mode each beat reads *probe_bytes* off
+        the spindle (queueing behind real I/O) and ships a report across
+        the fabric, so every fail-slow fault stretches the inter-arrival
+        gaps the phi detector watches.
+        """
+        if probe_bytes <= 0:
+            raise HdfsError(f"probe_bytes must be > 0, got {probe_bytes}")
+        self.probe_bytes = probe_bytes
+        if self.probe_gate is None:
+            self.probe_gate = ProbeGate()
+
+    def _report_beat(self) -> None:
+        """Deliver one raw heartbeat arrival (NameNode + liveness bank).
+
+        The liveness channel records *every* arrival, late or not: it is
+        what the death decision keys off, so only true silence can kill.
+        """
+        self.namenode.heartbeat(self.name)
+        liveness = self.namenode.fs.liveness
+        if liveness is not None:
+            liveness.heartbeat(self.name)
+
+    def _probe_beat(self) -> Generator:
+        """Process: one probed heartbeat -- disk read, network hop, report."""
+        engine = self.host.engine
+        fs = self.namenode.fs
+
+        def _probe():
+            t0 = engine.now
+            yield engine.process(self.host.disk.read(self.probe_bytes or 0))
+            try:
+                yield fs.cluster.network.transfer(
+                    self.name, fs.namenode_host, 4096)
+            except PartitionError:
+                return  # beat lost on the wire; the detector sees silence
+            if not self.alive:
+                return
+            self._report_beat()
+            # the suspicion channel is Karn-gated: a probe far over the
+            # node's own RTT baseline is a gray signal, not a heartbeat,
+            # so it is suppressed there and phi accrues -- while the raw
+            # beat above keeps the node *alive*
+            gate = self.probe_gate
+            detectors = fs.detectors
+            if detectors is not None and (
+                    gate is None or gate.admit(engine.now - t0)):
+                detectors.heartbeat(self.name)
+
+        return _probe()
+
     def start_heartbeats(self, interval: float) -> None:
         """Begin the heartbeat loop (idempotent).
 
@@ -145,7 +208,12 @@ class DataNode:
             if self._hb_stop or not self.alive:
                 self._hb_active = False
                 return
-            self.namenode.heartbeat(self.name)
+            if self.probe_bytes is None:
+                self.namenode.heartbeat(self.name)
+            else:
+                # the beat *sends* on cadence but *arrives* after the probe
+                # cost -- exactly the delay the phi detector measures
+                engine.process(self._probe_beat(), name=f"hb-probe-{self.name}")
             engine.call_later(interval, _tick)
 
         # first beat lands now at URGENT, exactly when the old generator
@@ -228,7 +296,7 @@ class DataNode:
         if self.alive or self.retired:
             return
         self.alive = True
-        self.namenode.heartbeat(self.name)
+        self._report_beat()
         for block in self.blocks.values():
             self.namenode.block_received(self.name, block)
         if self._hb_interval is not None:

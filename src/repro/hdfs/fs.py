@@ -10,7 +10,12 @@ from typing import TYPE_CHECKING
 
 from ..common.errors import ConfigError, StandbyError
 from ..hardware import Cluster
-from ..resilience import CircuitBreaker
+from ..resilience import (
+    CircuitBreaker,
+    FailureDetectorBank,
+    HedgeBudget,
+    LatencyTracker,
+)
 from .client import HdfsClient
 from .datanode import DataNode
 from .namenode import NameNode
@@ -18,6 +23,39 @@ from .placement import PlacementPolicy
 
 if TYPE_CHECKING:  # pragma: no cover
     from .ha import HaNameNodePair
+
+
+class HedgedReads:
+    """Tail-tolerance policy for block reads (Dean's hedged requests).
+
+    One shared EWMA tracker estimates the block-service tail; a read
+    still in flight past that estimate fires one backup read at another
+    replica, budgeted so hedges stay a bounded fraction of primaries.
+    When the gray-detection phi bank already suspects the primary
+    (``suspicion_threshold``), the backup fires immediately instead of
+    waiting out the tail threshold -- the detector has pre-paid the
+    evidence the wait would have gathered.  The client consults this
+    object; all counters land in ``obs``.
+    """
+
+    def __init__(self, fs: "Hdfs", *, ratio: float, burst: float,
+                 tail_factor: float, alpha: float,
+                 suspicion_threshold: float) -> None:
+        self.tracker = LatencyTracker(alpha=alpha, tail_factor=tail_factor)
+        self.budget = HedgeBudget(ratio=ratio, burst=burst)
+        self.suspicion_threshold = suspicion_threshold
+        metrics = fs.cluster.metrics
+        self.m_hedged = metrics.counter(
+            "hdfs_hedged_reads_total", "backup block reads fired")
+        self.m_wins = metrics.counter(
+            "hdfs_hedge_wins_total", "block reads won per contender",
+            labels=("winner",))
+        self.m_denied = metrics.counter(
+            "hdfs_hedge_denied_total",
+            "hedges skipped because the token budget was dry")
+        self.m_replica_seconds = metrics.histogram(
+            "hdfs_block_read_seconds",
+            "per-replica block service latency", labels=("datanode",))
 
 
 class Hdfs:
@@ -66,6 +104,21 @@ class Hdfs:
         #: failing reads/writes instead of queueing on it (lazy, see breaker())
         self._breakers: dict[str, CircuitBreaker] = {}
         self._breaker_rng = cluster.rng.child("hdfs-breakers")
+        #: phi-accrual suspicion over DataNode heartbeats; None until
+        #: :meth:`enable_gray_detection` opts the deployment in.  Two
+        #: channels: ``detectors`` sees only Karn-admitted (on-time)
+        #: probes and drives quarantine/suspicion, ``liveness`` sees every
+        #: raw arrival and drives the *death* decision -- so a slow node
+        #: accrues suspicion without ever being declared dead
+        self.detectors: FailureDetectorBank | None = None
+        self.liveness: FailureDetectorBank | None = None
+        self.phi_dead_threshold = 12.0
+        self.phi_dead_sweeps = 2
+        #: hedged-read policy; None until :meth:`enable_hedged_reads`
+        self.hedge: HedgedReads | None = None
+        #: slow successes count as breaker failures past this latency
+        #: (set via enable_gray_detection; None keeps the classic breakers)
+        self._breaker_latency: float | None = None
         self.datanodes: dict[str, DataNode] = {}
         self._started = False
         self._scan_period: float | None = None
@@ -98,6 +151,11 @@ class Hdfs:
         if name == self.namenode_host:
             raise ConfigError("the namenode host does not run a datanode")
         dn = self._enrol_datanode(name)
+        if self.detectors is not None:
+            dn.enable_probe_heartbeats()
+            self.detectors.heartbeat(name)
+            if self.liveness is not None:
+                self.liveness.heartbeat(name)
         if self._started:
             cal = self.cluster.cal.hadoop
             dn.start_heartbeats(cal.heartbeat_interval)
@@ -132,6 +190,10 @@ class Hdfs:
             self.ha.on_datanode_removed(name)
         del self.datanodes[name]
         self._breakers.pop(name, None)
+        if self.detectors is not None:
+            self.detectors.forget(name)
+        if self.liveness is not None:
+            self.liveness.forget(name)
         self.cluster.log.emit("hdfs", "datanode_removed",
                               f"datanode {name} decommissioned", datanode=name)
         return True
@@ -152,6 +214,10 @@ class Hdfs:
         if self.ha is not None:
             self.ha.on_datanode_removed(name)
         self._breakers.pop(name, None)
+        if self.detectors is not None:
+            self.detectors.forget(name)
+        if self.liveness is not None:
+            self.liveness.forget(name)
         self.cluster.log.emit("hdfs", "datanode_dropped",
                               f"datanode {name} hard-removed", datanode=name)
 
@@ -201,10 +267,82 @@ class Hdfs:
                 f"datanode:{datanode_name}", lambda: self.engine.now,
                 failure_threshold=3,
                 recovery_timeout=cal.heartbeat_interval * 2,
+                latency_threshold=self._breaker_latency,
                 rng=self._breaker_rng,
                 metrics=self.cluster.metrics)
             self._breakers[datanode_name] = found
         return found
+
+    # -- gray-failure tolerance (all opt-in) -------------------------------------
+
+    def enable_gray_detection(
+        self,
+        *,
+        phi_dead_threshold: float = 12.0,
+        phi_dead_sweeps: int = 2,
+        probe_bytes: int = 4 * 1024 * 1024,
+        window: int = 64,
+        breaker_latency: float | None = None,
+    ) -> FailureDetectorBank:
+        """Switch DataNode liveness from a fixed timeout to phi accrual.
+
+        Heartbeats become probes (disk read + network hop, so fail-slow
+        faults delay them) and feed *two* phi banks: ``liveness`` sees
+        every raw arrival -- however late -- and is what the replication
+        monitor consults to declare death (*phi_dead_threshold* for
+        *phi_dead_sweeps* consecutive sweeps); ``detectors`` sees only
+        probes the Karn gate judged on-time, so a gray node reads as
+        silent there and accrues suspicion for the quarantine and
+        hedging layers while its raw beats keep it alive.  Silence kills
+        fast; slowness only quarantines.  With *breaker_latency* set,
+        the per-DataNode breakers additionally count successes slower
+        than that threshold as failures (gray-failure ejection).
+        """
+        if self.detectors is not None:
+            return self.detectors
+        if phi_dead_threshold <= 0 or phi_dead_sweeps < 1:
+            raise ConfigError("need phi_dead_threshold > 0 and sweeps >= 1")
+        cal = self.cluster.cal.hadoop
+        min_std = max(0.05, 0.1 * cal.heartbeat_interval)
+        self.detectors = FailureDetectorBank(
+            "hdfs-datanodes", lambda: self.engine.now,
+            window=window,
+            min_std=min_std,
+            bootstrap_interval=cal.heartbeat_interval,
+            metrics=self.cluster.metrics)
+        self.liveness = FailureDetectorBank(
+            "hdfs-liveness", lambda: self.engine.now,
+            window=window,
+            min_std=min_std,
+            bootstrap_interval=cal.heartbeat_interval,
+            metrics=self.cluster.metrics)
+        self.phi_dead_threshold = phi_dead_threshold
+        self.phi_dead_sweeps = phi_dead_sweeps
+        self._breaker_latency = breaker_latency
+        if breaker_latency is not None:
+            for breaker in self._breakers.values():
+                breaker.latency_threshold = breaker_latency
+        for name, dn in self.datanodes.items():
+            dn.enable_probe_heartbeats(probe_bytes)
+            self.detectors.heartbeat(name)  # registration counts as arrival
+            self.liveness.heartbeat(name)
+        return self.detectors
+
+    def enable_hedged_reads(
+        self,
+        *,
+        ratio: float = 0.2,
+        burst: float = 8.0,
+        tail_factor: float = 4.0,
+        alpha: float = 0.2,
+        suspicion_threshold: float = 8.0,
+    ) -> HedgedReads:
+        """Arm tail-tolerant block reads (see :class:`HedgedReads`)."""
+        if self.hedge is None:
+            self.hedge = HedgedReads(
+                self, ratio=ratio, burst=burst, tail_factor=tail_factor,
+                alpha=alpha, suspicion_threshold=suspicion_threshold)
+        return self.hedge
 
     def namenode_breaker(self) -> CircuitBreaker:
         """The shared breaker guarding NameNode metadata RPCs (HA mode).

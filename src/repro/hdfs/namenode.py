@@ -64,6 +64,9 @@ class NameNode:
         self.corrupt_replicas: dict[BlockId, set[str]] = {}
         self._monitor_proc: Process | None = None
         self._monitor_stop = False
+        #: consecutive monitor sweeps each node spent above the phi death
+        #: threshold (gray-detection mode only)
+        self._phi_streak: dict[str, int] = {}
         self._next_block_id = 0
         self.rereplications_done = 0
         self.salvage_rereplications = 0
@@ -87,6 +90,7 @@ class NameNode:
         if name in self.dead_datanodes:
             # A node can come back; treat as re-registration.
             self.dead_datanodes.discard(name)
+        self._phi_streak.pop(name, None)
         self.last_heartbeat[name] = self.fs.engine.now
 
     def live_datanodes(self) -> list[str]:
@@ -237,13 +241,34 @@ class NameNode:
     # -- failure detection + re-replication ------------------------------------------
 
     def check_datanodes(self, timeout: float) -> list[str]:
-        """Mark DataNodes silent for > *timeout* as dead; enqueue their blocks."""
+        """Mark dead DataNodes; enqueue their blocks for re-replication.
+
+        Classic mode: silent for > *timeout* seconds means dead.  With
+        gray detection enabled on the Hdfs instance the verdict is
+        adaptive instead: a node is dead once its phi-accrual suspicion
+        stays above ``fs.phi_dead_threshold`` for ``fs.phi_dead_sweeps``
+        consecutive sweeps.  The verdict keys off the *liveness* bank,
+        which records every raw beat arrival -- the Karn-gated suspicion
+        bank would read gray slowness as silence and condemn a node that
+        is still beating.  Only true silence kills; the hedging and
+        quarantine layers handle slow-but-alive nodes without data
+        movement.
+        """
         now = self.fs.engine.now
+        detectors = self.fs.liveness or self.fs.detectors
         newly_dead = []
         for name, last in self.last_heartbeat.items():
             if name in self.dead_datanodes:
                 continue
-            if now - last > timeout:
+            if detectors is not None:
+                if detectors.phi(name) >= self.fs.phi_dead_threshold:
+                    streak = self._phi_streak.get(name, 0) + 1
+                    self._phi_streak[name] = streak
+                    if streak >= self.fs.phi_dead_sweeps:
+                        newly_dead.append(name)
+                else:
+                    self._phi_streak.pop(name, None)
+            elif now - last > timeout:
                 newly_dead.append(name)
         for name in newly_dead:
             self.dead_datanodes.add(name)

@@ -11,6 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..common.errors import ConfigError, MapReduceError
+from ..common.failslow import FAIL_SLOW_KINDS, validate_fail_slow
 from ..common.rng import RngStream
 
 
@@ -24,14 +25,28 @@ class FaultModel:
     #: per-heartbeat probability that a whole TaskTracker crashes; drawn by
     #: the chaos layer (ChaosMonkey.scenarios_from_fault_model)
     tracker_crash_rate: float = 0.0
+    #: per-host probability of a gray failure over a chaos horizon; the
+    #: chaos layer turns winning draws into fail-slow scenarios
+    fail_slow_rate: float = 0.0
+    #: fail-slow kinds eligible for those draws (common.failslow vocabulary)
+    fail_slow_kinds: tuple[str, ...] = FAIL_SLOW_KINDS
+    #: severity grade applied to injected fail-slow faults
+    fail_slow_severity: str = "moderate"
 
     def __post_init__(self) -> None:
         for rate in (self.map_failure_rate, self.reduce_failure_rate,
-                     self.tracker_crash_rate):
+                     self.tracker_crash_rate, self.fail_slow_rate):
             if not 0.0 <= rate < 1.0:
                 raise ConfigError(f"failure rate {rate} outside [0, 1)")
         if self.max_attempts < 1:
             raise ConfigError("max_attempts must be >= 1")
+        # unknown kinds/severities are configuration bugs: fail loudly with
+        # the valid vocabulary (FaultInjectionError) instead of silently
+        # injecting nothing
+        for kind in self.fail_slow_kinds:
+            validate_fail_slow(kind, self.fail_slow_severity)
+        if not self.fail_slow_kinds and self.fail_slow_rate > 0:
+            raise ConfigError("fail_slow_rate > 0 needs fail_slow_kinds")
 
     def attempt_fails(self, rng: RngStream, kind: str) -> bool:
         if kind not in ("map", "reduce"):
@@ -42,6 +57,16 @@ class FaultModel:
     def tracker_crashes(self, rng: RngStream) -> bool:
         """One crash draw for one tracker (used per chaos horizon window)."""
         return self.tracker_crash_rate > 0 and rng.uniform() < self.tracker_crash_rate
+
+    def host_fails_slow(self, rng: RngStream) -> bool:
+        """One gray-failure draw for one host (per chaos horizon window)."""
+        return self.fail_slow_rate > 0 and rng.uniform() < self.fail_slow_rate
+
+    def draw_fail_slow_kind(self, rng: RngStream) -> str:
+        """Which fail-slow kind a winning draw injects."""
+        if not self.fail_slow_kinds:
+            raise ConfigError("fault model has no fail_slow_kinds to draw from")
+        return self.fail_slow_kinds[rng.randint(0, len(self.fail_slow_kinds))]
 
 
 class TaskAttemptFailed(MapReduceError):

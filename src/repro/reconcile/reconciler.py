@@ -27,6 +27,7 @@ from typing import TYPE_CHECKING, Iterable
 
 from ..common.errors import ReconcileError, ReproError
 from ..hardware import Cluster, PhysicalHost
+from ..resilience import FailureDetectorBank
 from ..sim import Interrupt, Process
 from ..sim import sanitizer as _sanitizer
 from .autoscaler import Autoscaler
@@ -34,13 +35,15 @@ from .pools import MemberStatus, PoolAdapter
 from .spec import FleetSpec, PoolSpec
 
 if TYPE_CHECKING:  # pragma: no cover - annotations only
+    from typing import Callable
+
     from ..one import MonitoringService, OpenNebula
 
 #: every kind an Action can carry (determinism tests pin this vocabulary)
 ACTION_KINDS = (
     "spec_applied", "replace", "add", "remove", "scale_up", "scale_down",
     "upgrade_start", "upgrade_member", "upgrade_done", "rollback",
-    "give_up", "cordon", "uncordon", "failover",
+    "give_up", "cordon", "uncordon", "failover", "quarantine", "reinstate",
 )
 
 
@@ -161,6 +164,24 @@ class ConvergenceReport:
 
 
 @dataclass
+class _SuspicionWatch:
+    """One phi-suspicion source the reconciler quarantines against."""
+
+    name: str
+    bank: FailureDetectorBank
+    threshold: float
+    sweeps: int
+    probation: float
+    on_quarantine: "Callable[[str], None] | None"
+    on_reinstate: "Callable[[str], None] | None"
+    cordon_hosts: bool
+    streak: dict[str, int] = field(default_factory=dict)
+    quarantined: dict[str, float] = field(default_factory=dict)
+    calm_since: dict[str, float] = field(default_factory=dict)
+    cordoned: set[str] = field(default_factory=set)
+
+
+@dataclass
 class _PoolState:
     """Mutable per-pool bookkeeping between sweeps."""
 
@@ -216,6 +237,7 @@ class Reconciler:
         # order between a sweep and the host's recovery event
         self._host_alive_since: dict[str, float] = {}
         self._watched_hosts: set[str] = set()
+        self._suspicion: list[_SuspicionWatch] = []
         self._proc: Process | None = None
         self._stop = False
         metrics = cluster.metrics
@@ -230,6 +252,10 @@ class Reconciler:
             "divergence episode durations")
         self._m_sweeps = metrics.counter(
             "reconcile_sweeps_total", "reconciler sweeps executed")
+        self._m_quarantined = metrics.gauge(
+            "reconcile_quarantined",
+            "1 while a node sits in slow-node quarantine",
+            labels=("pool", "host"))
         self.spec: FleetSpec = spec  # set for type; apply() validates
         self._applied = False
         self.apply(spec)
@@ -345,6 +371,7 @@ class Reconciler:
                     detail=f"{pool.replicas}->{clamped} "
                            f"signal={scaler.last_value:.3f}")
         self._sweep_cordons(now)
+        self._sweep_suspicion(now)
         for pool in self.spec.pools:
             self._reconcile_pool(pool, now)
 
@@ -545,6 +572,98 @@ class Reconciler:
         st.last_good = target
         self.actions.record(pool.name, "upgrade_done",
                             detail=f"all members at {target}")
+
+    # -- slow-node (gray) quarantine ------------------------------------------
+
+    def watch_suspicion(
+        self,
+        name: str,
+        bank: FailureDetectorBank,
+        *,
+        threshold: float = 8.0,
+        sweeps: int = 2,
+        probation: float = 60.0,
+        on_quarantine: "Callable[[str], None] | None" = None,
+        on_reinstate: "Callable[[str], None] | None" = None,
+        cordon_hosts: bool = True,
+    ) -> None:
+        """Quarantine nodes whose phi suspicion stays high without dying.
+
+        Every sweep each target of *bank* is scored: suspicion at or
+        above *threshold* for *sweeps* consecutive sweeps sends the node
+        to quarantine -- its host is cordoned (no new placements) and
+        the *on_quarantine* hook runs (wire it to drain traffic away).
+        A quarantined node starts probation the moment its suspicion
+        drops below the threshold; staying calm for *probation* seconds
+        reinstates it automatically (uncordon + *on_reinstate*).
+        Crash-failures stay with the binary cordon path -- this watcher
+        is purely for the gray, slow-but-alive middle ground.
+        """
+        if threshold <= 0 or sweeps < 1 or probation <= 0:
+            raise ReconcileError(
+                "need threshold > 0, sweeps >= 1 and probation > 0")
+        if any(w.name == name for w in self._suspicion):
+            raise ReconcileError(f"suspicion watch {name!r} already exists")
+        self._suspicion.append(_SuspicionWatch(
+            name=name, bank=bank, threshold=threshold, sweeps=sweeps,
+            probation=probation, on_quarantine=on_quarantine,
+            on_reinstate=on_reinstate, cordon_hosts=cordon_hosts))
+
+    def quarantined(self) -> dict[str, list[str]]:
+        """Currently quarantined nodes, keyed by watch name."""
+        return {w.name: sorted(w.quarantined) for w in self._suspicion}
+
+    def _sweep_suspicion(self, now: float) -> None:
+        for watch in self._suspicion:
+            for target in sorted(watch.bank.targets()):
+                phi = watch.bank.phi(target)
+                if target in watch.quarantined:
+                    if phi < watch.threshold:
+                        since = watch.calm_since.setdefault(target, now)
+                        if now - since >= watch.probation:
+                            self._reinstate(watch, target)
+                    else:
+                        # suspicion flared again: probation starts over
+                        watch.calm_since.pop(target, None)
+                elif phi >= watch.threshold:
+                    watch.streak[target] = watch.streak.get(target, 0) + 1
+                    if watch.streak[target] >= watch.sweeps:
+                        self._quarantine(watch, target, now, phi)
+                else:
+                    watch.streak.pop(target, None)
+
+    def _quarantine(self, watch: _SuspicionWatch, target: str,
+                    now: float, phi: float) -> None:
+        watch.quarantined[target] = now
+        watch.streak.pop(target, None)
+        if watch.cordon_hosts and self.cloud is not None:
+            try:
+                self.cloud.cordon_host(target)
+                watch.cordoned.add(target)
+            except ReproError:
+                pass  # not a compute host; traffic drain still applies
+        self._m_quarantined.labels(pool=watch.name, host=target).set(1.0)
+        self.actions.record(
+            watch.name, "quarantine", member=target,
+            detail=f"phi={min(phi, 999.0):.1f} over {watch.sweeps} sweeps")
+        if watch.on_quarantine is not None:
+            watch.on_quarantine(target)
+
+    def _reinstate(self, watch: _SuspicionWatch, target: str) -> None:
+        del watch.quarantined[target]
+        watch.calm_since.pop(target, None)
+        if target in watch.cordoned:
+            watch.cordoned.discard(target)
+            if self.cloud is not None:
+                try:
+                    self.cloud.uncordon_host(target)
+                except ReproError:
+                    pass
+        self._m_quarantined.labels(pool=watch.name, host=target).set(0.0)
+        self.actions.record(watch.name, "reinstate", member=target,
+                            detail="probation served")
+        if watch.on_reinstate is not None:
+            watch.on_reinstate(target)
 
     # -- host quarantine ------------------------------------------------------
 

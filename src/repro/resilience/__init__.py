@@ -14,6 +14,19 @@ makes saturation a first-class, graceful, observable regime:
 * :class:`AdmissionController` -- bounded priority queues with
   cheapest-first shedding (``playback > search > upload > transcode``).
 
+Gray failures get their own continuous machinery in
+:mod:`repro.resilience.detector`:
+
+* :class:`PhiAccrualDetector` / :class:`FailureDetectorBank` -- adaptive
+  suspicion levels over heartbeat inter-arrival histories, replacing
+  fixed timeouts with a per-decision phi threshold;
+* :class:`LatencyTracker` -- EWMA tail estimate that hedged requests
+  trigger on;
+* :class:`HedgeBudget` -- token budget so hedging never amplifies an
+  overload;
+* :class:`AdaptiveDeadline` -- deadlines that follow the observed
+  latency instead of a fixed constant.
+
 Everything reports through :mod:`repro.obs` and burns only simulated
 time, so overload runs are bit-reproducible from the cluster seed.
 """
@@ -21,12 +34,28 @@ time, so overload runs are bit-reproducible from the cluster seed.
 from .admission import DEFAULT_PRIORITIES, AdmissionController
 from .breaker import CircuitBreaker
 from .deadline import Deadline
+from .detector import (
+    PHI_MAX,
+    AdaptiveDeadline,
+    FailureDetectorBank,
+    HedgeBudget,
+    LatencyTracker,
+    PhiAccrualDetector,
+    ProbeGate,
+)
 from .ratelimit import TokenBucket
 
 __all__ = [
+    "AdaptiveDeadline",
     "AdmissionController",
     "CircuitBreaker",
     "DEFAULT_PRIORITIES",
     "Deadline",
+    "FailureDetectorBank",
+    "HedgeBudget",
+    "LatencyTracker",
+    "PHI_MAX",
+    "PhiAccrualDetector",
+    "ProbeGate",
     "TokenBucket",
 ]

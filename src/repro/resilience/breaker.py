@@ -42,6 +42,7 @@ class CircuitBreaker:
         recovery_timeout: float = 30.0,
         success_threshold: int = 1,
         probe_jitter: float = 0.1,
+        latency_threshold: float | None = None,
         rng: "RngStream | None" = None,
         metrics: "MetricsRegistry | None" = None,
     ) -> None:
@@ -51,12 +52,15 @@ class CircuitBreaker:
             raise ConfigError("recovery_timeout must be > 0")
         if probe_jitter < 0:
             raise ConfigError("probe_jitter must be >= 0")
+        if latency_threshold is not None and latency_threshold <= 0:
+            raise ConfigError("latency_threshold must be > 0")
         self.name = name
         self.clock = clock
         self.failure_threshold = failure_threshold
         self.recovery_timeout = recovery_timeout
         self.success_threshold = success_threshold
         self.probe_jitter = probe_jitter
+        self.latency_threshold = latency_threshold
         self.rng = rng
 
         self.state = "closed"
@@ -65,9 +69,11 @@ class CircuitBreaker:
         self.opened_at: float | None = None
         self.probe_at: float | None = None
         self.rejections = 0
+        self.slow_successes = 0
         self._probe_in_flight = False
 
         self._m_state = self._m_transitions = self._m_rejections = None
+        self._m_slow = None
         if metrics is not None:
             self._m_state = metrics.gauge(
                 "breaker_state",
@@ -79,6 +85,10 @@ class CircuitBreaker:
             self._m_rejections = metrics.counter(
                 "breaker_rejections_total",
                 "calls refused while the circuit was open",
+                labels=("breaker",))
+            self._m_slow = metrics.counter(
+                "breaker_slow_successes_total",
+                "successes over the latency threshold, counted as failures",
                 labels=("breaker",))
             self._m_state.labels(breaker=self.name).set(0.0)
 
@@ -119,7 +129,21 @@ class CircuitBreaker:
 
     # -- outcome reporting ---------------------------------------------------
 
-    def record_success(self) -> None:
+    def record_success(self, duration: float | None = None) -> None:
+        """Report a completed call; pass *duration* to latency-gate it.
+
+        With a ``latency_threshold`` configured, a success slower than the
+        threshold is a *gray* failure -- the dependency answered, but so
+        late the answer hurt -- and trips the failure counter exactly
+        like an exception would.
+        """
+        if (self.latency_threshold is not None and duration is not None
+                and duration > self.latency_threshold):
+            self.slow_successes += 1
+            if self._m_slow is not None:
+                self._m_slow.labels(breaker=self.name).inc()
+            self.record_failure()
+            return
         if _sanitizer.ACTIVE is not None:
             _sanitizer.ACTIVE.access(self, "state", "w")
         if self.state == "half_open":

@@ -1,0 +1,393 @@
+"""Gray-failure detection: suspicion instead of alive/dead verdicts.
+
+Fail-stop faults are easy -- a host that crashes stops heart-beating and
+a fixed timeout catches it.  The failure mode that dominates real video
+clusters is *fail-slow*: a DataNode with a degrading disk, a replica
+behind a saturated NIC, a transcode host in thermal throttle.  Such a
+node keeps answering, just late, and a binary threshold either never
+fires or flaps.  This module provides the continuous machinery the rest
+of the stack builds tail tolerance on:
+
+* :class:`PhiAccrualDetector` -- Hayashibara's phi-accrual failure
+  detector: the suspicion level ``phi`` is ``-log10`` of the probability
+  that a heartbeat this late would arrive at all, given the observed
+  inter-arrival history.  ``phi = 1`` means "1 in 10 heartbeats is this
+  late", ``phi = 8`` means "1 in 10^8".  Consumers pick a threshold per
+  decision instead of one timeout for all of them.
+* :class:`FailureDetectorBank` -- a labelled family of detectors (one per
+  DataNode, per backend, per host) surfacing every suspicion level as an
+  ``obs`` gauge.
+* :class:`LatencyTracker` -- EWMA mean + EWMA absolute deviation of a
+  latency stream; ``threshold()`` estimates the tail (p95-ish) that
+  hedged requests fire at and adaptive deadlines budget from.
+* :class:`HedgeBudget` -- a token budget capping hedged requests to a
+  fraction of primaries, so hedging can never amplify an overload.
+* :class:`AdaptiveDeadline` -- mints :class:`~repro.resilience.Deadline`
+  budgets from a tracker instead of a fixed constant, clamped to a floor
+  and a cap.
+
+Everything burns simulated time through injected clocks (DET01) and
+holds no RNG at all, so gray-failure runs stay bit-reproducible.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from typing import TYPE_CHECKING, Callable
+
+from ..common.errors import ConfigError
+from .deadline import Deadline
+
+if TYPE_CHECKING:  # pragma: no cover - annotations only
+    from ..obs import MetricsRegistry
+    from ..sim import Engine
+
+#: suspicion reported for a target that never heart-beat at all
+PHI_MAX = 1000.0
+
+#: ln(10), for converting a log-probability to a base-10 phi
+_LN10 = math.log(10.0)
+
+
+class PhiAccrualDetector:
+    """Adaptive failure detector over one heartbeat stream.
+
+    Keeps the last *window* inter-arrival gaps; :meth:`phi` scores how
+    implausibly late the next heartbeat currently is against a normal
+    fit of that history (mean + std, with *min_std* flooring out the
+    degenerate zero-variance case of perfectly periodic simulated
+    beats).  Until enough gaps accumulate the detector falls back to
+    *bootstrap_interval* as the assumed mean, so a freshly registered
+    target is neither blindly trusted nor instantly condemned.
+    """
+
+    __slots__ = ("clock", "window", "min_std", "bootstrap_interval",
+                 "min_samples", "max_gap_factor", "last_beat", "gaps")
+
+    def __init__(
+        self,
+        clock: Callable[[], float],
+        *,
+        window: int = 64,
+        min_std: float = 0.05,
+        bootstrap_interval: float = 1.0,
+        min_samples: int = 3,
+        max_gap_factor: float = 16.0,
+    ) -> None:
+        if window < 2:
+            raise ConfigError(f"detector window must be >= 2, got {window}")
+        if min_std <= 0:
+            raise ConfigError(f"min_std must be > 0, got {min_std}")
+        if bootstrap_interval <= 0:
+            raise ConfigError("bootstrap_interval must be > 0")
+        if min_samples < 1:
+            raise ConfigError("min_samples must be >= 1")
+        if max_gap_factor <= 1.0:
+            raise ConfigError("max_gap_factor must be > 1")
+        self.max_gap_factor = max_gap_factor
+        self.clock = clock
+        self.window = window
+        self.min_std = min_std
+        self.bootstrap_interval = bootstrap_interval
+        self.min_samples = min_samples
+        self.last_beat: float | None = None
+        self.gaps: deque[float] = deque(maxlen=window)
+
+    def heartbeat(self) -> None:
+        """Record one arrival at the current clock reading.
+
+        A gap beyond ``max_gap_factor`` expected intervals means the
+        target was down, not slow -- the window is reset rather than
+        poisoned with one giant outlier that would make every later
+        silence look normal.
+        """
+        now = self.clock()
+        if self.last_beat is not None:
+            gap = max(0.0, now - self.last_beat)
+            ceiling = self.max_gap_factor * max(self.mean_interval(),
+                                                self.bootstrap_interval)
+            if gap > ceiling:
+                self.gaps.clear()
+            else:
+                self.gaps.append(gap)
+        self.last_beat = now
+
+    def mean_interval(self) -> float:
+        """Current estimate of the heartbeat period."""
+        if len(self.gaps) < self.min_samples:
+            return self.bootstrap_interval
+        return sum(self.gaps) / len(self.gaps)
+
+    def _std(self, mean: float) -> float:
+        if len(self.gaps) < self.min_samples:
+            return max(self.min_std, mean / 4.0)
+        var = sum((g - mean) ** 2 for g in self.gaps) / len(self.gaps)
+        return max(self.min_std, math.sqrt(var))
+
+    def phi(self) -> float:
+        """Suspicion right now: ``-log10 P(heartbeat later than this)``.
+
+        0 while a beat just landed, rising continuously the longer the
+        stream stays silent; :data:`PHI_MAX` for a target never heard
+        from at all.
+        """
+        if self.last_beat is None:
+            return PHI_MAX
+        elapsed = self.clock() - self.last_beat
+        mean = self.mean_interval()
+        std = self._std(mean)
+        # one-sided normal tail: P(gap > elapsed) = erfc(z / sqrt(2)) / 2
+        z = (elapsed - mean) / std
+        if z <= 0:
+            return 0.0
+        tail = 0.5 * math.erfc(z / math.sqrt(2.0))
+        if tail <= 0.0:
+            return PHI_MAX
+        return min(PHI_MAX, -math.log(tail) / _LN10)
+
+
+class FailureDetectorBank:
+    """A labelled family of phi-accrual detectors with obs gauges.
+
+    One bank per monitored population (DataNodes, web backends, hosts);
+    ``heartbeat(name)`` feeds a member's stream, ``phi(name)`` reads its
+    suspicion, and every read refreshes the ``detector_phi`` gauge so
+    dashboards see the same continuous signal the control loops act on.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        clock: Callable[[], float],
+        *,
+        window: int = 64,
+        min_std: float = 0.05,
+        bootstrap_interval: float = 1.0,
+        metrics: "MetricsRegistry | None" = None,
+    ) -> None:
+        if not name:
+            raise ConfigError("bank name must be non-empty")
+        self.name = name
+        self.clock = clock
+        self.window = window
+        self.min_std = min_std
+        self.bootstrap_interval = bootstrap_interval
+        self._detectors: dict[str, PhiAccrualDetector] = {}
+        self._m_phi = None
+        if metrics is not None:
+            self._m_phi = metrics.gauge(
+                "detector_phi",
+                "phi-accrual suspicion level per monitored target",
+                labels=("bank", "target"))
+
+    def _detector(self, target: str) -> PhiAccrualDetector:
+        found = self._detectors.get(target)
+        if found is None:
+            found = PhiAccrualDetector(
+                self.clock, window=self.window, min_std=self.min_std,
+                bootstrap_interval=self.bootstrap_interval)
+            self._detectors[target] = found
+        return found
+
+    def heartbeat(self, target: str) -> None:
+        self._detector(target).heartbeat()
+
+    def forget(self, target: str) -> None:
+        """Drop a target that left the pool (decommission, removal)."""
+        self._detectors.pop(target, None)
+        if self._m_phi is not None:
+            self._m_phi.labels(bank=self.name, target=target).set(0.0)
+
+    def targets(self) -> list[str]:
+        return sorted(self._detectors)
+
+    def phi(self, target: str) -> float:
+        """Suspicion for *target*; :data:`PHI_MAX` when never seen."""
+        det = self._detectors.get(target)
+        value = PHI_MAX if det is None else det.phi()
+        if self._m_phi is not None:
+            self._m_phi.labels(bank=self.name, target=target).set(value)
+        return value
+
+    def suspect(self, target: str, threshold: float) -> bool:
+        return self.phi(target) >= threshold
+
+    def suspicion_snapshot(self) -> dict[str, float]:
+        """Every known target's phi, for reports and quarantine sweeps."""
+        return {t: self.phi(t) for t in self.targets()}
+
+
+class LatencyTracker:
+    """EWMA latency estimator: mean + absolute deviation -> tail estimate.
+
+    The classic TCP RTT filter (Jacobson/Karels): ``observe`` folds each
+    sample into an exponentially weighted mean and mean-absolute
+    deviation; :meth:`threshold` returns ``mean + tail_factor * dev``,
+    which with the default factor of 4 sits near the p95..p99 band for
+    the latency shapes the simulator produces.  That is the trigger
+    point for hedged requests and the basis for adaptive deadlines.
+    """
+
+    __slots__ = ("alpha", "tail_factor", "mean", "dev", "samples")
+
+    def __init__(self, *, alpha: float = 0.2, tail_factor: float = 4.0) -> None:
+        if not 0.0 < alpha <= 1.0:
+            raise ConfigError(f"alpha must be in (0, 1], got {alpha}")
+        if tail_factor <= 0:
+            raise ConfigError(f"tail_factor must be > 0, got {tail_factor}")
+        self.alpha = alpha
+        self.tail_factor = tail_factor
+        self.mean = 0.0
+        self.dev = 0.0
+        self.samples = 0
+
+    def observe(self, latency: float) -> None:
+        if latency < 0:
+            raise ConfigError(f"negative latency {latency}")
+        if self.samples == 0:
+            self.mean = latency
+            self.dev = latency / 2.0
+        else:
+            err = latency - self.mean
+            self.mean += self.alpha * err
+            self.dev += self.alpha * (abs(err) - self.dev)
+        self.samples += 1
+
+    @property
+    def primed(self) -> bool:
+        """Enough history to trust the estimate (hedging stays off before)."""
+        return self.samples >= 3
+
+    def threshold(self) -> float:
+        """The tail latency estimate hedges fire at (0 until primed)."""
+        if not self.primed:
+            return 0.0
+        return self.mean + self.tail_factor * self.dev
+
+
+class ProbeGate:
+    """Karn-gated probe filter: slow probes count as *missed* heartbeats.
+
+    A gray node often keeps answering probes -- just late.  A constant
+    per-probe delay shifts arrival *phase* without stretching the
+    inter-arrival *gaps* a phi-accrual detector watches, so slowness
+    alone would stay invisible.  The gate closes that hole: each probe's
+    round-trip feeds a :class:`LatencyTracker`, and a probe slower than
+    the adaptive cut is suppressed entirely -- the detector sees silence
+    and suspicion accrues.  Per Karn's rule the outlier is *not* folded
+    into the estimate, so a fail-slow episode cannot stretch the
+    baseline until the gate re-admits the node.
+
+    The cut is ``max(threshold(), spike_factor * mean)``: the second
+    term keeps a jitter-free history (``dev -> 0``) from turning the
+    gate into a hair trigger.
+    """
+
+    __slots__ = ("tracker", "spike_factor", "missed", "admitted")
+
+    def __init__(self, *, alpha: float = 0.2, tail_factor: float = 8.0,
+                 spike_factor: float = 3.0) -> None:
+        if spike_factor <= 1.0:
+            raise ConfigError(
+                f"spike_factor must be > 1, got {spike_factor}")
+        self.tracker = LatencyTracker(alpha=alpha, tail_factor=tail_factor)
+        self.spike_factor = spike_factor
+        self.missed = 0
+        self.admitted = 0
+
+    def admit(self, rtt: float) -> bool:
+        """Is this probe on time?  False means treat the beat as missed."""
+        if self.tracker.primed:
+            cut = max(self.tracker.threshold(),
+                      self.spike_factor * self.tracker.mean)
+            if rtt > cut:
+                self.missed += 1
+                return False
+        self.tracker.observe(rtt)
+        self.admitted += 1
+        return True
+
+
+class HedgeBudget:
+    """Token budget keeping hedges a bounded fraction of primaries.
+
+    Every primary request earns *ratio* tokens (capped at *burst*); one
+    hedge spends a whole token.  Under calm traffic tokens accumulate so
+    a latency spike can be hedged immediately; under sustained overload
+    at most ``ratio`` of requests grow a second copy -- hedging degrades
+    to plain requests instead of doubling an already saturated load.
+    Pure counters, no clock, fully deterministic.
+    """
+
+    __slots__ = ("ratio", "burst", "tokens", "spent", "denied", "earned")
+
+    def __init__(self, *, ratio: float = 0.1, burst: float = 8.0) -> None:
+        if not 0.0 < ratio <= 1.0:
+            raise ConfigError(f"hedge ratio must be in (0, 1], got {ratio}")
+        if burst < 1.0:
+            raise ConfigError(f"hedge burst must be >= 1, got {burst}")
+        self.ratio = ratio
+        self.burst = burst
+        self.tokens = burst
+        self.spent = 0
+        self.denied = 0
+        self.earned = 0
+
+    def record_primary(self) -> None:
+        """One primary request completed: earn a fractional token."""
+        self.tokens = min(self.burst, self.tokens + self.ratio)
+        self.earned += 1
+
+    def try_spend(self) -> bool:
+        """Claim one hedge token; False (and counted) when exhausted."""
+        if self.tokens >= 1.0:
+            self.tokens -= 1.0
+            self.spent += 1
+            return True
+        self.denied += 1
+        return False
+
+    def refund(self) -> None:
+        """Return a claimed token that went unused (no alternate replica)."""
+        self.tokens = min(self.burst, self.tokens + 1.0)
+        self.spent = max(0, self.spent - 1)
+
+
+class AdaptiveDeadline:
+    """Mint :class:`Deadline` budgets that follow the observed latency.
+
+    The budget is ``multiplier * tracker.threshold()`` clamped to
+    ``[floor, cap]`` -- generous while the system runs calm, tightening
+    as the tail estimate tightens, and never colder than *floor* so a
+    single outlier cannot starve legitimate work.  Until the tracker is
+    primed the *cap* is used (fail open: no history, no strictness).
+    """
+
+    __slots__ = ("tracker", "multiplier", "floor", "cap")
+
+    def __init__(self, tracker: LatencyTracker, *, multiplier: float = 3.0,
+                 floor: float = 0.05, cap: float = 60.0) -> None:
+        if multiplier <= 0:
+            raise ConfigError(f"multiplier must be > 0, got {multiplier}")
+        if not 0 < floor <= cap:
+            raise ConfigError(f"need 0 < floor <= cap, got {floor}/{cap}")
+        self.tracker = tracker
+        self.multiplier = multiplier
+        self.floor = floor
+        self.cap = cap
+
+    def budget(self) -> float:
+        """The current time budget in simulated seconds."""
+        if not self.tracker.primed:
+            return self.cap
+        want = self.multiplier * self.tracker.threshold()
+        return min(self.cap, max(self.floor, want))
+
+    def deadline(self, engine: "Engine", *, label: str = "request") -> Deadline:
+        """A fresh deadline for one request at the current budget."""
+        return Deadline.after(engine, self.budget(), label=label)
+
+    def observe(self, latency: float) -> None:
+        """Feed one completed-request latency back into the estimate."""
+        self.tracker.observe(latency)

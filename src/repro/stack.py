@@ -83,6 +83,8 @@ class VideoCloud:
         """Stop every periodic loop so the engine can drain to idle."""
         if self.reconciler is not None:
             self.reconciler.stop()
+        if self.lb is not None:
+            self.lb.stop_probes()
         if self.failover is not None:
             self.failover.stop()
         if self.ft is not None:
@@ -271,6 +273,73 @@ def build_reconciled_cloud(
     vc.lb = lb
     vc.reconciler = reconciler
     return vc
+
+
+def enable_gray_tolerance(
+    vc: VideoCloud,
+    *,
+    phi_threshold: float = 8.0,
+    quarantine_sweeps: int = 2,
+    probation: float = 60.0,
+    hedge_ratio: float = 0.2,
+    hedge_burst: float = 8.0,
+    probe_bytes: int = 4 * MiB,
+    lb_probe_interval: float = 1.0,
+    phi_dead_threshold: float = 12.0,
+    phi_dead_sweeps: int = 2,
+    breaker_latency: float | None = None,
+) -> None:
+    """Retrofit the gray-failure defences onto a running stack.
+
+    Wires together the whole tail-tolerance story:
+
+    * HDFS heartbeats become probes feeding a phi-accrual detector
+      (:meth:`~repro.hdfs.Hdfs.enable_gray_detection`); DataNode *death*
+      keys off the ungated liveness bank, so a slow-but-alive node is
+      quarantined while only true silence condemns it;
+    * block reads hedge against the EWMA tail
+      (:meth:`~repro.hdfs.Hdfs.enable_hedged_reads`);
+    * when the stack has a load balancer, backends get probe-fed
+      suspicion gating and hedged GET dispatch;
+    * when the stack has a reconciler, it watches both suspicion banks
+      and quarantines slow nodes -- cordoned in the cloud, drained at
+      the load balancer -- with automatic probation reinstatement.
+    """
+    fs = vc.fs
+    bank = fs.enable_gray_detection(
+        phi_dead_threshold=phi_dead_threshold,
+        phi_dead_sweeps=phi_dead_sweeps,
+        probe_bytes=probe_bytes,
+        breaker_latency=breaker_latency,
+    )
+    fs.enable_hedged_reads(ratio=hedge_ratio, burst=hedge_burst)
+    if vc.reconciler is not None:
+        vc.reconciler.watch_suspicion(
+            "datanodes-gray", bank, threshold=phi_threshold,
+            sweeps=quarantine_sweeps, probation=probation,
+        )
+    if vc.lb is not None:
+        lb = vc.lb
+        lb_bank = lb.enable_gray_gate(
+            threshold=phi_threshold, interval=lb_probe_interval,
+            probe_from=fs.namenode_host,
+        )
+        lb.enable_hedged_dispatch(ratio=hedge_ratio, burst=hedge_burst)
+        if vc.reconciler is not None:
+
+            def _drain(name: str) -> None:
+                if name in lb.backends and name not in lb.draining:
+                    lb.drain(name)
+
+            def _undrain(name: str) -> None:
+                if name in lb.backends:
+                    lb.undrain(name)
+
+            vc.reconciler.watch_suspicion(
+                "web-gray", lb_bank, threshold=phi_threshold,
+                sweeps=quarantine_sweeps, probation=probation,
+                on_quarantine=_drain, on_reinstate=_undrain,
+            )
 
 
 def enable_namenode_ha(

@@ -1,0 +1,247 @@
+"""Fail-slow fault family: injection, restoration, seeding, fuzz."""
+
+import pytest
+
+from repro.chaos import (
+    ChaosMonkey,
+    CpuThrottle,
+    DiskStall,
+    FailSlowStorm,
+    IntermittentLatency,
+    NicDegrade,
+    SEVERITY_RANGES,
+    draw_factor,
+)
+from repro.common.errors import ConfigError, FaultInjectionError
+from repro.common.failslow import FAIL_SLOW_KINDS, SEVERITIES, validate_fail_slow
+from repro.common.rng import RngStream
+from repro.common.units import MiB
+from repro.hardware import Cluster
+from repro.hdfs import Hdfs
+from repro.mapreduce import FaultModel
+from repro.sim import fuzz_schedules
+
+
+def make_monkey(n_hosts=4, seed=0):
+    cluster = Cluster(n_hosts, seed=seed)
+    return cluster, ChaosMonkey(cluster)
+
+
+class TestVocabulary:
+    def test_unknown_kind_names_the_valid_set(self):
+        with pytest.raises(FaultInjectionError, match="disk_stall"):
+            validate_fail_slow("disk_melt", "mild")
+
+    def test_unknown_severity_names_the_valid_set(self):
+        with pytest.raises(FaultInjectionError, match="severe"):
+            validate_fail_slow("disk_stall", "catastrophic")
+
+    def test_scenarios_validate_at_construction(self):
+        with pytest.raises(FaultInjectionError):
+            DiskStall(host="node1", at=0.0, duration=10.0, severity="apocalyptic")
+        with pytest.raises(ConfigError):
+            DiskStall(host="node1", at=-1.0, duration=10.0)
+        with pytest.raises(ConfigError):
+            NicDegrade(host="node1", at=0.0, duration=0.0)
+        with pytest.raises(ConfigError):
+            IntermittentLatency(host="node1", at=0.0, duration=10.0, period=0.0)
+        with pytest.raises(ConfigError):
+            FailSlowStorm(victims=(), at=0.0, duration=10.0)
+        with pytest.raises(FaultInjectionError):
+            FailSlowStorm(victims=("node1",), at=0.0, duration=10.0,
+                          kinds=("disk_melt",))
+
+    def test_fault_model_rejects_bad_fail_slow_config(self):
+        with pytest.raises(FaultInjectionError):
+            FaultModel(fail_slow_kinds=("disk_melt",))
+        with pytest.raises(FaultInjectionError):
+            FaultModel(fail_slow_severity="apocalyptic")
+        with pytest.raises(ConfigError):
+            FaultModel(fail_slow_rate=0.5, fail_slow_kinds=())
+
+
+class TestSeverityDraws:
+    def test_draws_stay_inside_the_calibrated_range(self):
+        rng = RngStream(7)
+        for kind in FAIL_SLOW_KINDS:
+            for severity in SEVERITIES:
+                low, high = SEVERITY_RANGES[kind][severity]
+                for _ in range(50):
+                    assert low <= draw_factor(rng, kind, severity) <= high
+
+    def test_same_seed_same_draws(self):
+        a = [draw_factor(RngStream(3).child(f"d{i}"), "disk_stall", "severe")
+             for i in range(10)]
+        b = [draw_factor(RngStream(3).child(f"d{i}"), "disk_stall", "severe")
+             for i in range(10)]
+        assert a == b
+
+    def test_severity_grades_are_ordered(self):
+        for kind in ("disk_stall", "cpu_throttle", "intermittent_latency"):
+            mild = SEVERITY_RANGES[kind]["mild"]
+            severe = SEVERITY_RANGES[kind]["severe"]
+            assert mild[1] <= severe[0] or mild[0] < severe[0]
+        # nic_degrade is a capacity *fraction*: severe is the smallest
+        assert (SEVERITY_RANGES["nic_degrade"]["severe"][1]
+                <= SEVERITY_RANGES["nic_degrade"]["mild"][0])
+
+
+class TestInjection:
+    def test_disk_stall_applies_and_restores(self):
+        cluster, monkey = make_monkey()
+        done = monkey.unleash([
+            DiskStall(host="node1", at=5.0, duration=10.0, severity="severe")])
+        cluster.engine.run(until=cluster.engine.timeout(6.0))
+        low, high = SEVERITY_RANGES["disk_stall"]["severe"]
+        assert low <= cluster.host("node1").disk.slowdown <= high
+        cluster.run(done)
+        assert cluster.host("node1").disk.slowdown == 1.0
+
+    def test_cpu_throttle_applies_and_restores(self):
+        cluster, monkey = make_monkey()
+        done = monkey.unleash([
+            CpuThrottle(host="node2", at=0.0, duration=5.0, severity="moderate")])
+        cluster.engine.run(until=cluster.engine.timeout(1.0))
+        low, high = SEVERITY_RANGES["cpu_throttle"]["moderate"]
+        assert low <= cluster.host("node2").cpu_throttle <= high
+        cluster.run(done)
+        assert cluster.host("node2").cpu_throttle == 1.0
+
+    def test_nic_degrade_applies_and_restores(self):
+        cluster, monkey = make_monkey()
+        done = monkey.unleash([
+            NicDegrade(host="node3", at=0.0, duration=5.0, severity="severe")])
+        cluster.engine.run(until=cluster.engine.timeout(1.0))
+        low, high = SEVERITY_RANGES["nic_degrade"]["severe"]
+        assert low <= cluster.network.link_factor("node3") <= high
+        cluster.run(done)
+        assert cluster.network.link_factor("node3") == 1.0
+
+    def test_intermittent_latency_flaps_and_clears(self):
+        cluster, monkey = make_monkey()
+        done = monkey.unleash([IntermittentLatency(
+            host="node1", at=0.0, duration=10.0, severity="severe", period=4.0)])
+        engine = cluster.engine
+        engine.run(until=engine.timeout(1.0))
+        assert cluster.network.extra_latency("node1") > 0.0   # on-phase
+        engine.run(until=engine.timeout(2.0))                 # t=3: off-phase
+        assert cluster.network.extra_latency("node1") == 0.0
+        engine.run(until=engine.timeout(2.0))                 # t=5: on again
+        assert cluster.network.extra_latency("node1") > 0.0
+        cluster.run(done)
+        assert cluster.network.extra_latency("node1") == 0.0
+
+    def test_storm_hits_every_victim_then_restores_all(self):
+        cluster, monkey = make_monkey(6)
+        victims = ("node1", "node2", "node3")
+        done = monkey.unleash([FailSlowStorm(
+            victims=victims, at=0.0, duration=20.0, severity="severe")])
+        cluster.engine.run(until=cluster.engine.timeout(2.0))
+        degraded = 0
+        for v in victims:
+            host = cluster.host(v)
+            if (host.disk.slowdown > 1.0 or host.cpu_throttle > 1.0
+                    or cluster.network.link_factor(v) < 1.0
+                    or cluster.network.extra_latency(v) > 0.0):
+                degraded += 1
+        assert degraded == len(victims)
+        cluster.run(done)
+        for v in victims:
+            host = cluster.host(v)
+            assert host.disk.slowdown == 1.0
+            assert host.cpu_throttle == 1.0
+            assert cluster.network.link_factor(v) == 1.0
+            assert cluster.network.extra_latency(v) == 0.0
+
+
+class TestScenarioGeneration:
+    def test_fail_slow_scenarios_are_seed_deterministic(self):
+        def gen(seed):
+            cluster, monkey = make_monkey(6, seed=seed)
+            return [(s.kind, s.host, s.at, s.duration, s.severity)
+                    for s in monkey.fail_slow_scenarios(10, horizon=100.0)]
+        assert gen(5) == gen(5)
+        assert gen(5) != gen(6)
+
+    def test_generated_scenarios_respect_the_vocabulary(self):
+        _, monkey = make_monkey(6)
+        for s in monkey.fail_slow_scenarios(20, horizon=100.0):
+            assert s.kind in FAIL_SLOW_KINDS
+            assert s.severity in SEVERITIES
+            assert 0.0 <= s.at < 100.0
+
+    def test_kind_and_severity_filters(self):
+        _, monkey = make_monkey(6)
+        out = monkey.fail_slow_scenarios(
+            15, horizon=50.0, kinds=("disk_stall",), severities=("severe",))
+        assert all(s.kind == "disk_stall" and s.severity == "severe"
+                   for s in out)
+
+    def test_fault_model_draws_fail_slow_scenarios(self):
+        _, monkey = make_monkey(6, seed=2)
+        fault = FaultModel(fail_slow_rate=0.9, fail_slow_severity="mild")
+        out = monkey.scenarios_from_fault_model(
+            fault, monkey.cluster.host_names, horizon=60.0)
+        gray = [s for s in out if s.kind in FAIL_SLOW_KINDS]
+        assert gray, "0.9 rate over 6 hosts drew nothing"
+        assert all(s.severity == "mild" for s in gray)
+
+
+def _gray_read_run(shuffle_seed):
+    """One seeded fail-slow storm over hedged HDFS reads -> signature."""
+    cluster = Cluster(6, seed=13)
+    if shuffle_seed is not None:
+        cluster.engine.enable_schedule_shuffle(shuffle_seed)
+    engine = cluster.engine
+    fs = Hdfs(cluster, replication=3)
+    fs.enable_gray_detection()
+    fs.enable_hedged_reads()
+    monkey = ChaosMonkey(cluster)
+    client = fs.client("node0")
+    cluster.run(engine.process(
+        client.write_synthetic("/fuzz/video", 24 * MiB)))
+    fs.start()
+    engine.run(until=engine.timeout(60.0))   # prime trackers + detectors
+
+    monkey.unleash([FailSlowStorm(
+        victims=("node1", "node2"), at=5.0, duration=40.0,
+        severity="severe")])
+
+    durations = []
+    suspects: list[str] = []
+
+    def traffic():
+        for _ in range(12):
+            yield engine.timeout(5.0)
+            t0 = engine.now
+            yield from client.read_file("/fuzz/video")
+            durations.append(round(engine.now - t0, 9))
+
+    def sampler():
+        # mid-storm: exact phi values are continuous functions of the
+        # arrival instants and legitimately wobble under a shuffled
+        # schedule; the *verdicts* (suspect or not at the quarantine
+        # threshold) must not
+        yield engine.timeout(35.0)
+        suspects.extend(t for t in fs.detectors.targets()
+                        if fs.detectors.suspect(t, 8.0))
+
+    engine.process(traffic(), name="gray-traffic")
+    engine.process(sampler(), name="gray-sampler")
+    engine.run(until=engine.timeout(80.0))
+    fs.stop()
+    cluster.run()
+    hedge = fs.hedge
+    return {
+        "durations": tuple(durations),
+        "hedged": hedge.budget.spent,
+        "denied": hedge.budget.denied,
+        "suspects": tuple(suspects),
+        "dead": sorted(fs.namenode.dead_datanodes),
+        "end": engine.now,
+    }
+
+
+def test_fail_slow_storm_report_is_shuffle_invariant():
+    report = fuzz_schedules(_gray_read_run, shuffles=8, seed=2)
+    assert report.ok, report.summary()

@@ -1,0 +1,157 @@
+"""Hedged block reads: tail cut, budget bounds, determinism, race freedom."""
+
+from repro.chaos import ChaosMonkey, DiskStall
+from repro.common.units import MiB
+from repro.hardware import Cluster
+from repro.hdfs import Hdfs
+
+
+def make_stack(n_hosts=6, seed=0, replication=3):
+    cluster = Cluster(n_hosts, seed=seed)
+    fs = Hdfs(cluster, replication=replication)
+    return cluster, fs
+
+
+def write(cluster, fs, path, size, host="node0"):
+    cluster.run(cluster.engine.process(
+        fs.client(host).write_synthetic(path, size)))
+
+
+def read_once(cluster, fs, path, host="node0"):
+    engine = cluster.engine
+    t0 = engine.now
+
+    def _run():
+        yield from fs.client(host).read_file(path)
+
+    cluster.run(engine.process(_run()))
+    return engine.now - t0
+
+
+def prime(cluster, fs, path, n=5):
+    """Feed the latency tracker enough calm reads to arm hedging."""
+    for _ in range(n):
+        read_once(cluster, fs, path)
+
+
+class TestHedging:
+    def test_no_hedge_on_a_calm_cluster(self):
+        cluster, fs = make_stack()
+        fs.enable_hedged_reads()
+        write(cluster, fs, "/v", 16 * MiB)
+        prime(cluster, fs, "/v", n=8)
+        assert fs.hedge.budget.spent == 0
+
+    def test_stalled_primary_is_hedged_around(self):
+        cluster, fs = make_stack()
+        fs.enable_hedged_reads()
+        write(cluster, fs, "/v", 16 * MiB)
+        prime(cluster, fs, "/v")
+        calm = read_once(cluster, fs, "/v")
+
+        victim = sorted(fs.namenode.locations(
+            fs.namenode.get_file("/v").blocks[0].block_id))[0]
+        monkey = ChaosMonkey(cluster)
+        done = monkey.unleash([DiskStall(
+            host=victim, at=0.0, duration=300.0, severity="severe")])
+        stalled = 0.0
+        # the rotating replica picker hits the stalled node within a few
+        # reads; the hedge must cap every one near the calm latency
+        # rather than the 15-40x stall
+        for _ in range(4):
+            stalled = max(stalled, read_once(cluster, fs, "/v"))
+        assert fs.hedge.budget.spent >= 1
+        assert stalled < 5.0 * calm
+        cluster.run(done)
+
+    def test_hedge_budget_is_never_exceeded(self):
+        cluster, fs = make_stack()
+        fs.enable_hedged_reads(ratio=0.2, burst=2.0)
+        write(cluster, fs, "/v", 16 * MiB)
+        prime(cluster, fs, "/v")
+        victim = sorted(fs.namenode.locations(
+            fs.namenode.get_file("/v").blocks[0].block_id))[0]
+        monkey = ChaosMonkey(cluster)
+        monkey.unleash([DiskStall(
+            host=victim, at=0.0, duration=3600.0, severity="severe")])
+        for _ in range(20):
+            read_once(cluster, fs, "/v")
+        budget = fs.hedge.budget
+        assert budget.spent <= budget.ratio * budget.earned + budget.burst
+
+    def test_hedged_read_still_works_with_single_replica(self):
+        cluster, fs = make_stack(n_hosts=2, replication=1)
+        fs.enable_hedged_reads()
+        write(cluster, fs, "/solo", 8 * MiB)
+        prime(cluster, fs, "/solo")
+        # nowhere to hedge to: the read must fall through, not crash
+        assert read_once(cluster, fs, "/solo") > 0.0
+
+    def test_corrupt_primary_falls_back_to_another_replica(self):
+        cluster, fs = make_stack()
+        fs.enable_hedged_reads()
+        write(cluster, fs, "/v", 8 * MiB)
+        prime(cluster, fs, "/v")
+        block_id = fs.namenode.get_file("/v").blocks[0].block_id
+        # corrupt every replica but one: checksum failures report the
+        # replica to the NameNode (dropping it from the block map), and
+        # the hedged loop must retry until it lands on the good copy
+        locs = sorted(fs.namenode.locations(block_id))
+        for victim in locs[:-1]:
+            fs.datanode(victim).corrupt_replica(block_id)
+        for _ in range(4):
+            assert read_once(cluster, fs, "/v") > 0.0
+        assert set(fs.namenode.locations(block_id)) == {locs[-1]}
+
+
+class TestDeterminism:
+    @staticmethod
+    def _storm_signature(seed=11):
+        cluster, fs = make_stack(seed=seed)
+        fs.enable_hedged_reads()
+        write(cluster, fs, "/v", 16 * MiB)
+        prime(cluster, fs, "/v")
+        victim = sorted(fs.namenode.locations(
+            fs.namenode.get_file("/v").blocks[0].block_id))[0]
+        monkey = ChaosMonkey(cluster)
+        monkey.unleash([DiskStall(
+            host=victim, at=0.0, duration=600.0, severity="severe")])
+        durations = tuple(read_once(cluster, fs, "/v") for _ in range(6))
+        return durations, fs.hedge.budget.spent, cluster.engine.now
+
+    def test_same_seed_replays_bit_identically(self):
+        assert self._storm_signature(11) == self._storm_signature(11)
+
+    def test_hedged_storm_is_race_clean_under_the_sanitizer(self):
+        cluster, fs = make_stack()
+        san = cluster.engine.enable_sanitizer()
+        fs.enable_hedged_reads()
+        write(cluster, fs, "/v", 16 * MiB)
+        prime(cluster, fs, "/v")
+        victim = sorted(fs.namenode.locations(
+            fs.namenode.get_file("/v").blocks[0].block_id))[0]
+        monkey = ChaosMonkey(cluster)
+        monkey.unleash([DiskStall(
+            host=victim, at=0.0, duration=600.0, severity="severe")])
+        for _ in range(6):
+            read_once(cluster, fs, "/v")
+        assert san.ok, san.report()
+
+
+class TestMetrics:
+    def test_hedge_counters_are_exported(self):
+        cluster, fs = make_stack()
+        fs.enable_hedged_reads()
+        write(cluster, fs, "/v", 16 * MiB)
+        prime(cluster, fs, "/v")
+        victim = sorted(fs.namenode.locations(
+            fs.namenode.get_file("/v").blocks[0].block_id))[0]
+        monkey = ChaosMonkey(cluster)
+        monkey.unleash([DiskStall(
+            host=victim, at=0.0, duration=600.0, severity="severe")])
+        for _ in range(4):
+            read_once(cluster, fs, "/v")
+        assert fs.hedge.m_hedged.value == fs.hedge.budget.spent >= 1
+        wins = sum(fs.hedge.m_wins.labels(winner=w).value
+                   for w in ("primary", "hedge"))
+        assert wins >= 1

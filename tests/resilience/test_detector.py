@@ -1,0 +1,316 @@
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.obs import MetricsRegistry
+from repro.resilience import (
+    PHI_MAX,
+    AdaptiveDeadline,
+    FailureDetectorBank,
+    HedgeBudget,
+    LatencyTracker,
+    PhiAccrualDetector,
+    ProbeGate,
+)
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+
+def beat_n(det, clock, n, interval=1.0):
+    for _ in range(n):
+        clock.now += interval
+        det.heartbeat()
+
+
+class TestPhiAccrual:
+    def test_never_heard_from_is_max_suspicion(self):
+        det = PhiAccrualDetector(FakeClock())
+        assert det.phi() == PHI_MAX
+
+    def test_zero_right_after_a_beat(self):
+        clock = FakeClock()
+        det = PhiAccrualDetector(clock)
+        beat_n(det, clock, 8)
+        assert det.phi() == 0.0
+
+    def test_phi_rises_monotonically_with_silence(self):
+        clock = FakeClock()
+        det = PhiAccrualDetector(clock, min_std=0.05)
+        beat_n(det, clock, 10, interval=1.0)
+        values = []
+        for _ in range(12):
+            clock.now += 0.5
+            values.append(det.phi())
+        assert values == sorted(values)
+        assert values[-1] > 8.0
+
+    def test_on_time_beats_keep_phi_low(self):
+        clock = FakeClock()
+        det = PhiAccrualDetector(clock, min_std=0.05)
+        beat_n(det, clock, 20, interval=1.0)
+        clock.now += 1.0
+        assert det.phi() < 1.0
+
+    def test_bootstrap_interval_governs_fresh_targets(self):
+        clock = FakeClock()
+        det = PhiAccrualDetector(clock, bootstrap_interval=10.0)
+        det.heartbeat()
+        clock.now += 5.0
+        # half an assumed period late: not suspicious yet
+        assert det.phi() < 1.0
+
+    def test_huge_gap_resets_window_instead_of_poisoning_it(self):
+        clock = FakeClock()
+        det = PhiAccrualDetector(clock, min_std=0.05, max_gap_factor=16.0)
+        beat_n(det, clock, 10, interval=1.0)
+        clock.now += 500.0          # the node was down, not slow
+        det.heartbeat()
+        assert len(det.gaps) == 0
+        # after the reset it re-learns from the bootstrap interval
+        beat_n(det, clock, 5, interval=1.0)
+        clock.now += 1.0
+        assert det.phi() < 1.0
+
+    def test_adapts_to_the_observed_period(self):
+        clock = FakeClock()
+        fast = PhiAccrualDetector(clock, min_std=0.05)
+        beat_n(fast, clock, 20, interval=0.5)
+        phi_fast = None
+        clock.now += 2.0
+        phi_fast = fast.phi()
+
+        clock2 = FakeClock()
+        slow = PhiAccrualDetector(clock2, min_std=0.05)
+        beat_n(slow, clock2, 20, interval=5.0)
+        clock2.now += 2.0
+        phi_slow = slow.phi()
+        # 2s of silence is an eternity at a 0.5s period, nothing at 5s
+        assert phi_fast > 8.0
+        assert phi_slow == 0.0
+
+    def test_config_validation(self):
+        clock = FakeClock()
+        with pytest.raises(ConfigError):
+            PhiAccrualDetector(clock, window=1)
+        with pytest.raises(ConfigError):
+            PhiAccrualDetector(clock, min_std=0.0)
+        with pytest.raises(ConfigError):
+            PhiAccrualDetector(clock, bootstrap_interval=0.0)
+        with pytest.raises(ConfigError):
+            PhiAccrualDetector(clock, min_samples=0)
+        with pytest.raises(ConfigError):
+            PhiAccrualDetector(clock, max_gap_factor=1.0)
+
+
+class TestBank:
+    def test_unknown_target_is_max_suspicion(self):
+        bank = FailureDetectorBank("b", FakeClock())
+        assert bank.phi("ghost") == PHI_MAX
+
+    def test_per_target_streams_are_independent(self):
+        clock = FakeClock()
+        bank = FailureDetectorBank("b", clock, min_std=0.05)
+        for _ in range(10):
+            clock.now += 1.0
+            bank.heartbeat("steady")
+            bank.heartbeat("flaky")
+        for _ in range(10):
+            clock.now += 1.0
+            bank.heartbeat("steady")      # flaky goes silent
+        assert bank.phi("steady") < 1.0
+        assert bank.phi("flaky") > 8.0
+        assert bank.suspect("flaky", 8.0)
+        assert not bank.suspect("steady", 8.0)
+
+    def test_forget_drops_the_target(self):
+        clock = FakeClock()
+        bank = FailureDetectorBank("b", clock)
+        bank.heartbeat("dn1")
+        assert bank.targets() == ["dn1"]
+        bank.forget("dn1")
+        assert bank.targets() == []
+        assert bank.phi("dn1") == PHI_MAX
+
+    def test_snapshot_covers_every_target(self):
+        clock = FakeClock()
+        bank = FailureDetectorBank("b", clock)
+        bank.heartbeat("a")
+        bank.heartbeat("c")
+        snap = bank.suspicion_snapshot()
+        assert sorted(snap) == ["a", "c"]
+
+    def test_phi_gauge_is_exported(self):
+        clock = FakeClock()
+        metrics = MetricsRegistry()
+        bank = FailureDetectorBank("dns", clock, metrics=metrics)
+        bank.heartbeat("dn1")
+        bank.phi("dn1")
+        sample = metrics.gauge(
+            "detector_phi", "phi-accrual suspicion level per monitored target",
+            labels=("bank", "target")).labels(bank="dns", target="dn1")
+        assert sample.value == bank.phi("dn1")
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ConfigError):
+            FailureDetectorBank("", FakeClock())
+
+
+class TestLatencyTracker:
+    def test_unprimed_threshold_is_zero(self):
+        t = LatencyTracker()
+        t.observe(1.0)
+        t.observe(1.0)
+        assert not t.primed
+        assert t.threshold() == 0.0
+
+    def test_threshold_sits_above_the_mean(self):
+        t = LatencyTracker(alpha=0.2, tail_factor=4.0)
+        for _ in range(20):
+            t.observe(0.1)
+        assert t.primed
+        assert t.threshold() >= t.mean
+        assert abs(t.mean - 0.1) < 1e-9
+
+    def test_tracks_a_shifting_stream(self):
+        t = LatencyTracker(alpha=0.5)
+        for _ in range(10):
+            t.observe(0.1)
+        for _ in range(10):
+            t.observe(1.0)
+        assert 0.9 < t.mean <= 1.0
+
+    def test_negative_latency_rejected(self):
+        with pytest.raises(ConfigError):
+            LatencyTracker().observe(-0.1)
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigError):
+            LatencyTracker(alpha=0.0)
+        with pytest.raises(ConfigError):
+            LatencyTracker(tail_factor=0.0)
+
+
+class TestProbeGate:
+    def test_admits_everything_until_primed(self):
+        gate = ProbeGate()
+        assert gate.admit(0.01)
+        assert gate.admit(50.0)      # still learning, no baseline yet
+        assert gate.missed == 0
+
+    def test_spike_over_baseline_is_suppressed(self):
+        gate = ProbeGate(spike_factor=3.0)
+        for _ in range(10):
+            assert gate.admit(0.05)
+        assert not gate.admit(1.5)   # 30x the baseline
+        assert gate.missed == 1
+
+    def test_karns_rule_keeps_the_baseline_clean(self):
+        gate = ProbeGate(spike_factor=3.0)
+        for _ in range(10):
+            gate.admit(0.05)
+        baseline = gate.tracker.mean
+        # a sustained gray episode: every probe suppressed, none folded in
+        for _ in range(20):
+            assert not gate.admit(2.0)
+        assert gate.tracker.mean == baseline
+        # the node recovers: normal probes re-admitted immediately
+        assert gate.admit(0.05)
+
+    def test_without_karn_the_gate_would_reopen(self):
+        # the control experiment: folding outliers in stretches the cut
+        t = LatencyTracker(alpha=0.2, tail_factor=8.0)
+        for _ in range(10):
+            t.observe(0.05)
+        for _ in range(20):
+            t.observe(2.0)
+        # baseline stretched past the gray latency -> 2.0s now looks fine
+        assert max(t.threshold(), 3.0 * t.mean) > 2.0
+
+    def test_mild_jitter_is_admitted(self):
+        gate = ProbeGate(spike_factor=3.0)
+        for rtt in (0.05, 0.06, 0.04, 0.05, 0.07, 0.05):
+            assert gate.admit(rtt)
+        assert gate.missed == 0
+
+    def test_spike_factor_validated(self):
+        with pytest.raises(ConfigError):
+            ProbeGate(spike_factor=1.0)
+
+
+class TestHedgeBudget:
+    def test_burst_allows_immediate_hedges(self):
+        b = HedgeBudget(ratio=0.1, burst=2.0)
+        assert b.try_spend()
+        assert b.try_spend()
+        assert not b.try_spend()
+        assert b.denied == 1
+
+    def test_primaries_earn_fractional_tokens(self):
+        b = HedgeBudget(ratio=0.5, burst=1.0)
+        assert b.try_spend()
+        assert not b.try_spend()
+        b.record_primary()
+        assert not b.try_spend()
+        b.record_primary()
+        assert b.try_spend()             # two primaries = one hedge at 0.5
+
+    def test_sustained_ratio_is_bounded(self):
+        b = HedgeBudget(ratio=0.1, burst=4.0)
+        hedged = 0
+        for _ in range(1000):
+            b.record_primary()
+            if b.try_spend():
+                hedged += 1
+        assert hedged <= 0.1 * 1000 + 4.0
+
+    def test_refund_returns_the_token(self):
+        b = HedgeBudget(ratio=0.1, burst=1.0)
+        assert b.try_spend()
+        assert b.spent == 1
+        b.refund()
+        assert b.spent == 0
+        assert b.try_spend()
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigError):
+            HedgeBudget(ratio=0.0)
+        with pytest.raises(ConfigError):
+            HedgeBudget(ratio=1.5)
+        with pytest.raises(ConfigError):
+            HedgeBudget(burst=0.5)
+
+
+class TestAdaptiveDeadline:
+    def test_unprimed_uses_the_cap(self):
+        ad = AdaptiveDeadline(LatencyTracker(), cap=30.0)
+        assert ad.budget() == 30.0
+
+    def test_budget_follows_the_tail_estimate(self):
+        t = LatencyTracker()
+        ad = AdaptiveDeadline(t, multiplier=3.0, floor=0.05, cap=60.0)
+        for _ in range(10):
+            ad.observe(0.2)
+        assert 0.05 <= ad.budget() <= 60.0
+        assert abs(ad.budget() - 3.0 * t.threshold()) < 1e-9
+
+    def test_floor_and_cap_clamp(self):
+        t = LatencyTracker()
+        ad = AdaptiveDeadline(t, multiplier=3.0, floor=0.5, cap=1.0)
+        for _ in range(10):
+            ad.observe(0.0001)
+        assert ad.budget() == 0.5
+        for _ in range(50):
+            ad.observe(10.0)
+        assert ad.budget() == 1.0
+
+    def test_config_validation(self):
+        t = LatencyTracker()
+        with pytest.raises(ConfigError):
+            AdaptiveDeadline(t, multiplier=0.0)
+        with pytest.raises(ConfigError):
+            AdaptiveDeadline(t, floor=2.0, cap=1.0)

@@ -1,0 +1,187 @@
+"""LoadBalancer gray gate + hedged dispatch."""
+
+import pytest
+
+from repro.chaos import ChaosMonkey
+from repro.common.errors import ConfigError
+from repro.hardware import Cluster
+from repro.web import LoadBalancer
+from repro.web.server import Request, Response, WebServer
+
+WORK_CPU = 0.01
+
+
+def make_lb(n_backends=3, seed=0):
+    cluster = Cluster(n_backends + 1, seed=seed)
+    lb = LoadBalancer(cluster)
+    for i in range(1, n_backends + 1):
+        server = WebServer(cluster, f"node{i}")
+
+        def _work(request, server=server):
+            def _h():
+                yield server.engine.process(
+                    server.host.compute_seconds(WORK_CPU))
+                return Response.json_ok({"from": server.host.name})
+            return _h()
+
+        server.route("GET", "/w", _work)
+        server.route("POST", "/w", _work)
+        lb.add_backend(f"node{i}", server)
+    return cluster, lb
+
+
+def send(cluster, lb, method="GET"):
+    done = cluster.engine.process(
+        lb.handle(Request(method, "/w", client_host="node0")))
+    t0 = cluster.engine.now
+    cluster.run(done)
+    return done.value, cluster.engine.now - t0
+
+
+def advance(cluster, dt):
+    cluster.engine.run(until=cluster.engine.timeout(dt))
+
+
+class TestGrayGate:
+    def test_slow_backend_is_gated_then_reinstated(self):
+        cluster, lb = make_lb()
+        lb.enable_gray_gate(interval=1.0, probe_from="node0")
+        monkey = ChaosMonkey(cluster)
+        advance(cluster, 30.0)                  # prime the probe baselines
+        assert sorted(lb.healthy_backends()) == ["node1", "node2", "node3"]
+
+        monkey.throttle_cpu("node1", 50.0)
+        advance(cluster, 30.0)
+        assert lb.detectors.phi("node1") >= lb.suspicion_threshold
+        assert "node1" not in lb.healthy_backends()
+        assert sorted(lb.healthy_backends()) == ["node2", "node3"]
+
+        monkey.restore_cpu("node1")
+        advance(cluster, 30.0)
+        assert lb.detectors.phi("node1") < lb.suspicion_threshold
+        assert "node1" in lb.healthy_backends()
+        lb.stop_probes()
+        cluster.run()                           # probe loop must not wedge
+
+    def test_gated_backend_gets_no_traffic(self):
+        cluster, lb = make_lb()
+        lb.enable_gray_gate(interval=1.0, probe_from="node0")
+        monkey = ChaosMonkey(cluster)
+        advance(cluster, 30.0)
+        monkey.throttle_cpu("node1", 50.0)
+        advance(cluster, 30.0)
+        for _ in range(6):
+            resp, _ = send(cluster, lb)
+            assert resp.status == 200
+            assert resp.body["from"] != "node1"
+        lb.stop_probes()
+
+    def test_suspicion_never_empties_the_pool(self):
+        cluster, lb = make_lb()
+        lb.enable_gray_gate(interval=1.0, probe_from="node0")
+        monkey = ChaosMonkey(cluster)
+        advance(cluster, 30.0)
+        for name in ("node1", "node2", "node3"):
+            monkey.throttle_cpu(name, 50.0)
+        advance(cluster, 30.0)
+        # every backend suspect: forced traffic beats refusing everyone
+        assert sorted(lb.healthy_backends()) == ["node1", "node2", "node3"]
+        resp, _ = send(cluster, lb)
+        assert resp.status == 200
+        lb.stop_probes()
+
+    def test_removed_backend_is_forgotten(self):
+        cluster, lb = make_lb()
+        lb.enable_gray_gate(interval=1.0)
+        advance(cluster, 5.0)
+        lb.remove_backend("node2")
+        assert "node2" not in lb.detectors.targets()
+        lb.stop_probes()
+
+    def test_config_validation(self):
+        cluster, lb = make_lb()
+        with pytest.raises(ConfigError):
+            lb.enable_gray_gate(interval=0.0)
+        with pytest.raises(ConfigError):
+            lb.enable_gray_gate(probe_from="ghost")
+
+
+class TestHedgedDispatch:
+    def test_calm_pool_never_hedges(self):
+        cluster, lb = make_lb()
+        lb.enable_hedged_dispatch()
+        for _ in range(10):
+            resp, _ = send(cluster, lb)
+            assert resp.status == 200
+        assert lb.hedge_budget.spent == 0
+
+    def test_slow_backend_is_hedged_around(self):
+        cluster, lb = make_lb()
+        lb.enable_hedged_dispatch()
+        durations = [send(cluster, lb)[1] for _ in range(6)]
+        calm = max(durations)
+        ChaosMonkey(cluster).throttle_cpu("node1", 50.0)
+        worst = 0.0
+        for _ in range(6):
+            resp, dur = send(cluster, lb)
+            assert resp.status == 200
+            worst = max(worst, dur)
+        assert lb.hedge_budget.spent >= 1
+        # a 50x stall must be cut to near the hedge trigger, not ridden out
+        assert worst < 0.5 * 50 * WORK_CPU
+
+    def test_posts_are_never_hedged(self):
+        cluster, lb = make_lb()
+        lb.enable_hedged_dispatch()
+        for _ in range(6):
+            send(cluster, lb)                   # prime the tracker with GETs
+        ChaosMonkey(cluster).throttle_cpu("node1", 50.0)
+        before = lb.hedge_budget.spent
+        for _ in range(6):
+            resp, _ = send(cluster, lb, method="POST")
+            assert resp.status == 200
+        assert lb.hedge_budget.spent == before  # duplicated POST double-applies
+
+    def test_hedge_budget_is_bounded(self):
+        cluster, lb = make_lb()
+        lb.enable_hedged_dispatch(ratio=0.1, burst=2.0)
+        for _ in range(6):
+            send(cluster, lb)
+        ChaosMonkey(cluster).throttle_cpu("node1", 50.0)
+        for _ in range(30):
+            send(cluster, lb)
+        budget = lb.hedge_budget
+        assert budget.spent <= budget.ratio * budget.earned + budget.burst
+        assert budget.denied >= 1
+
+    def test_dead_backend_still_served_by_the_binary_gate(self):
+        cluster, lb = make_lb()
+        lb.enable_hedged_dispatch()
+        for _ in range(6):
+            send(cluster, lb)
+        cluster.host("node1").fail()
+        for _ in range(4):
+            resp, _ = send(cluster, lb)
+            assert resp.status == 200
+
+    def test_hedged_storm_is_seed_deterministic(self):
+        def run(seed):
+            cluster, lb = make_lb(seed=seed)
+            lb.enable_hedged_dispatch()
+            out = [send(cluster, lb)[1] for _ in range(5)]
+            ChaosMonkey(cluster).throttle_cpu("node2", 30.0)
+            out += [send(cluster, lb)[1] for _ in range(8)]
+            return tuple(out), lb.hedge_budget.spent
+
+        assert run(4) == run(4)
+
+    def test_hedged_storm_is_race_clean_under_the_sanitizer(self):
+        cluster, lb = make_lb()
+        san = cluster.engine.enable_sanitizer()
+        lb.enable_hedged_dispatch()
+        for _ in range(5):
+            send(cluster, lb)
+        ChaosMonkey(cluster).throttle_cpu("node2", 30.0)
+        for _ in range(8):
+            send(cluster, lb)
+        assert san.ok, san.report()
